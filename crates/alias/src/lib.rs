@@ -1,0 +1,21 @@
+//! Weighted random sampling structures.
+//!
+//! All three algorithms in the paper pick a query point `r ∈ R` with
+//! probability proportional to a (possibly approximate) range count, using
+//! **Walker's alias method** \[Walker 1974\]: `O(k)` construction over `k`
+//! weights, `O(1)` per draw, `O(k)` space. [`AliasTable`] implements it
+//! with the classic two-stack (small/large) construction.
+//!
+//! The proposed algorithm additionally needs, for every `r`, a weighted
+//! choice among the ≤ 9 grid cells overlapping `w(r)` (the alias `A_r` in
+//! Algorithm 1). Building a heap-allocated alias per point would cost two
+//! `Vec`s per element of `R`; [`CumulativeRow9`] instead stores an inline
+//! fixed-size cumulative-weight row and samples by scanning at most nine
+//! entries — still `O(1)` per draw with far better constants and exactly
+//! `O(n)` total space (see DESIGN.md §2.2 for this documented deviation).
+
+mod table;
+mod row9;
+
+pub use row9::{CumulativeRow9, NUM_CELLS};
+pub use table::AliasTable;

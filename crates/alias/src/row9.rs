@@ -1,0 +1,147 @@
+use rand::Rng;
+
+/// Number of grid cells a query window can overlap: the window side is
+/// twice the cell side, so `w(r)` fits inside the 3×3 block of cells
+/// around the cell containing `r` (paper Fig. 1).
+pub const NUM_CELLS: usize = 9;
+
+/// Inline cumulative-weight row over the 9 cells overlapping one window.
+///
+/// This plays the role of the per-point alias `A_r` in Algorithm 1: after
+/// the approximate-range-counting phase computed `µ(r, c)` for each of the
+/// nine cells, the sampling phase repeatedly picks a cell with probability
+/// `µ(r, c) / µ(r)`. Storing a full Walker alias per point would allocate
+/// two heap vectors for every `r ∈ R`; the cumulative row is a `Copy`
+/// 72-byte struct held in one flat `Vec<CumulativeRow9>`, sampled by a
+/// ≤ 9-entry scan — `O(1)` per draw, exactly `O(n)` space overall.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CumulativeRow9 {
+    /// `cum[i]` = `µ(r, c_0) + … + µ(r, c_i)`.
+    cum: [f64; NUM_CELLS],
+}
+
+impl CumulativeRow9 {
+    /// Builds the cumulative row from nine per-cell weights.
+    ///
+    /// Weights must be non-negative and finite (checked in debug builds).
+    #[inline]
+    pub fn new(weights: [f64; NUM_CELLS]) -> Self {
+        let mut cum = [0.0; NUM_CELLS];
+        let mut acc = 0.0;
+        for (slot, &w) in cum.iter_mut().zip(weights.iter()) {
+            debug_assert!(w.is_finite() && w >= 0.0, "bad cell weight {w}");
+            acc += w;
+            *slot = acc;
+        }
+        CumulativeRow9 { cum }
+    }
+
+    /// Total weight `µ(r)` of the row.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.cum[NUM_CELLS - 1]
+    }
+
+    /// Weight of cell `i` (recovered from the cumulative form).
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cum[0]
+        } else {
+            self.cum[i] - self.cum[i - 1]
+        }
+    }
+
+    /// Draws a cell index in `0..9` with probability proportional to its
+    /// weight, or `None` if the total weight is zero.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        let total = self.total();
+        if total <= 0.0 {
+            return None;
+        }
+        let u = rng.gen::<f64>() * total;
+        // Scan ≤ 9 entries; branch-predictable and cache-resident.
+        let mut i = 0;
+        while i < NUM_CELLS - 1 && u >= self.cum[i] {
+            i += 1;
+        }
+        // Skip over trailing zero-weight cells (u can land exactly on a
+        // boundary shared by empty cells).
+        while self.weight(i) == 0.0 {
+            debug_assert!(i > 0, "sampled from all-zero row");
+            i -= 1;
+        }
+        Some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn total_and_weights_roundtrip() {
+        let w = [1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 4.0, 0.0, 5.0];
+        let row = CumulativeRow9::new(w);
+        assert_eq!(row.total(), 15.0);
+        for (i, &wi) in w.iter().enumerate() {
+            assert_eq!(row.weight(i), wi);
+        }
+    }
+
+    #[test]
+    fn zero_row_returns_none() {
+        let row = CumulativeRow9::new([0.0; 9]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(row.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn never_samples_zero_weight_cell() {
+        let w = [0.0, 5.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0];
+        let row = CumulativeRow9::new(w);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..20_000 {
+            let i = row.sample(&mut rng).unwrap();
+            assert!(w[i] > 0.0, "sampled zero-weight cell {i}");
+        }
+    }
+
+    #[test]
+    fn frequencies_track_weights() {
+        let w = [1.0, 2.0, 0.0, 4.0, 0.0, 0.0, 8.0, 0.0, 1.0];
+        let row = CumulativeRow9::new(w);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let draws = 320_000usize;
+        let mut counts = [0usize; 9];
+        for _ in 0..draws {
+            counts[row.sample(&mut rng).unwrap()] += 1;
+        }
+        let total: f64 = w.iter().sum();
+        for i in 0..9 {
+            if w[i] == 0.0 {
+                assert_eq!(counts[i], 0);
+            } else {
+                let expected = draws as f64 * w[i] / total;
+                let rel = (counts[i] as f64 - expected).abs() / expected;
+                assert!(rel < 0.05, "cell {i}: expected {expected}, got {}", counts[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_nonzero_cell_always_chosen() {
+        for hot in 0..9 {
+            let mut w = [0.0; 9];
+            w[hot] = 3.5;
+            let row = CumulativeRow9::new(w);
+            let mut rng = SmallRng::seed_from_u64(hot as u64);
+            for _ in 0..100 {
+                assert_eq!(row.sample(&mut rng), Some(hot));
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+use srj_geom::{Point, PointId};
+
+/// A bucket (paper Definition 3): a run of at most `⌈log₂ m⌉` points,
+/// consecutive in the cell's x-sorted order, together with its coordinate
+/// extrema.
+///
+/// Buckets do not own points — they address a contiguous range of the
+/// owning cell's x-sorted id array (`S(c)` in the paper).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bucket {
+    /// Start of the range in the cell's x-sorted id array.
+    pub lo: u32,
+    /// One past the end of the range.
+    pub hi: u32,
+    /// `min_{s ∈ B} s.x`.
+    pub min_x: f64,
+    /// `max_{s ∈ B} s.x`.
+    pub max_x: f64,
+    /// `min_{s ∈ B} s.y`.
+    pub min_y: f64,
+    /// `max_{s ∈ B} s.y`.
+    pub max_y: f64,
+}
+
+impl Bucket {
+    /// Number of points in the bucket.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// `true` iff the bucket holds no points (never produced by
+    /// [`partition_into_buckets`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+/// Bucket capacity for a dataset of `m` points: `⌈log₂ m⌉`, at least 1.
+///
+/// The size is what balances the BBST's space (`O(N/log m)` nodes, each
+/// storing its subtree's buckets ⇒ `O(N)` total, Lemma 2) against the
+/// approximation error (`µ ≤ O(log m) · exact`, Lemma 5).
+#[inline]
+pub fn bucket_capacity(m: usize) -> u32 {
+    if m <= 2 {
+        1
+    } else {
+        (usize::BITS - (m - 1).leading_zeros()).max(1)
+    }
+}
+
+/// Chops a cell's x-sorted id array into consecutive buckets of
+/// `capacity` points (the last bucket may be shorter) and records each
+/// bucket's coordinate extrema. `O(N)` time.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0` or if `by_x` is not sorted by x
+/// (debug builds only for the sortedness check).
+pub fn partition_into_buckets(
+    points: &[Point],
+    by_x: &[PointId],
+    capacity: u32,
+) -> Vec<Bucket> {
+    assert!(capacity >= 1, "bucket capacity must be at least 1");
+    debug_assert!(
+        by_x
+            .windows(2)
+            .all(|w| points[w[0] as usize].x <= points[w[1] as usize].x),
+        "by_x must be sorted by x coordinate"
+    );
+    let n = by_x.len();
+    let mut buckets = Vec::with_capacity(n.div_ceil(capacity as usize));
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + capacity as usize).min(n);
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for &id in &by_x[lo..hi] {
+            let p = points[id as usize];
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        buckets.push(Bucket {
+            lo: lo as u32,
+            hi: hi as u32,
+            min_x,
+            max_x,
+            min_y,
+            max_y,
+        });
+        lo = hi;
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_ceil_log2() {
+        assert_eq!(bucket_capacity(0), 1);
+        assert_eq!(bucket_capacity(1), 1);
+        assert_eq!(bucket_capacity(2), 1);
+        assert_eq!(bucket_capacity(3), 2);
+        assert_eq!(bucket_capacity(4), 2);
+        assert_eq!(bucket_capacity(5), 3);
+        assert_eq!(bucket_capacity(1024), 10);
+        assert_eq!(bucket_capacity(1025), 11);
+        assert_eq!(bucket_capacity(1_000_000), 20);
+    }
+
+    fn sorted_ids(points: &[Point]) -> Vec<PointId> {
+        let mut ids: Vec<PointId> = (0..points.len() as u32).collect();
+        ids.sort_by(|&a, &b| points[a as usize].x.total_cmp(&points[b as usize].x));
+        ids
+    }
+
+    #[test]
+    fn buckets_cover_all_points_in_order() {
+        let points: Vec<Point> = (0..23)
+            .map(|i| Point::new(i as f64, (i * 7 % 23) as f64))
+            .collect();
+        let by_x = sorted_ids(&points);
+        let buckets = partition_into_buckets(&points, &by_x, 5);
+        assert_eq!(buckets.len(), 5); // 5+5+5+5+3
+        assert_eq!(buckets.last().unwrap().len(), 3);
+        let mut covered = 0u32;
+        for b in &buckets {
+            assert_eq!(b.lo, covered, "buckets must be consecutive");
+            covered = b.hi;
+            assert!(b.len() <= 5 && !b.is_empty());
+        }
+        assert_eq!(covered as usize, points.len());
+    }
+
+    #[test]
+    fn extrema_are_tight() {
+        let points = vec![
+            Point::new(1.0, 10.0),
+            Point::new(2.0, -5.0),
+            Point::new(3.0, 7.0),
+        ];
+        let by_x = sorted_ids(&points);
+        let b = &partition_into_buckets(&points, &by_x, 8)[0];
+        assert_eq!((b.min_x, b.max_x), (1.0, 3.0));
+        assert_eq!((b.min_y, b.max_y), (-5.0, 10.0));
+    }
+
+    #[test]
+    fn bucket_x_keys_are_monotone() {
+        // consecutive runs of an x-sorted array: min_x and max_x are both
+        // non-decreasing across buckets — the invariant the BBST key
+        // ordering relies on, and the reason at most one bucket can
+        // straddle a query abscissa (Lemma 5's "+ log m" sub-case).
+        let points: Vec<Point> = (0..100)
+            .map(|i| Point::new((i / 3) as f64, (i % 10) as f64))
+            .collect();
+        let by_x = sorted_ids(&points);
+        let buckets = partition_into_buckets(&points, &by_x, 7);
+        for w in buckets.windows(2) {
+            assert!(w[0].min_x <= w[1].min_x);
+            assert!(w[0].max_x <= w[1].max_x);
+        }
+        // at most one bucket straddles any abscissa x0
+        for x0 in [0.0, 3.3, 15.0, 33.0] {
+            let straddling = buckets
+                .iter()
+                .filter(|b| b.min_x < x0 && x0 <= b.max_x)
+                .count();
+            assert!(straddling <= 1, "x0 = {x0}: {straddling} straddling buckets");
+        }
+    }
+
+    #[test]
+    fn single_point_and_empty() {
+        let points = vec![Point::new(4.0, 2.0)];
+        let buckets = partition_into_buckets(&points, &[0], 3);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].len(), 1);
+        assert!(partition_into_buckets(&[], &[], 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        partition_into_buckets(&[], &[], 0);
+    }
+}

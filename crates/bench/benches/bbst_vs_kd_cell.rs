@@ -1,0 +1,33 @@
+//! Fig. 9 — effectiveness of the BBST structure: the full Algorithm 1
+//! pipeline with per-cell BBSTs vs per-cell kd-trees ("Variant").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use srj_bench::{build_bbst, build_variant, scaled_spec};
+use srj_core::JoinSampler;
+use srj_datagen::DatasetKind;
+
+const SCALE: f64 = 0.03;
+const BATCH: usize = 10_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_bbst_vs_kd_cell");
+    g.sample_size(10);
+    for &kind in &DatasetKind::PAPER_ORDER {
+        let d = scaled_spec(kind, SCALE, 0.5, 18);
+        let mut bbst = build_bbst(&d.r, &d.s, 100.0);
+        let mut variant = build_variant(&d.r, &d.s, 100.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        g.bench_function(BenchmarkId::new("BBST", kind.label()), |b| {
+            b.iter(|| bbst.sample(BATCH, &mut rng).unwrap());
+        });
+        g.bench_function(BenchmarkId::new("Variant", kind.label()), |b| {
+            b.iter(|| variant.sample(BATCH, &mut rng).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Substrate-level microbenchmarks: the building blocks whose constants
+//! the paper's Lemmas bound (alias draws, grid mapping, per-cell BBST
+//! construction, kd-tree range counting). Regression guards for the
+//! pieces the pipeline benches aggregate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use srj_alias::AliasTable;
+use srj_bbst::{bucket_capacity, CellBbsts};
+use srj_bench::scaled_spec;
+use srj_datagen::DatasetKind;
+use srj_geom::Rect;
+use srj_grid::Grid;
+use srj_kdtree::KdTree;
+
+fn alias(c: &mut Criterion) {
+    let mut g = c.benchmark_group("component_alias");
+    g.sample_size(20);
+    let weights: Vec<f64> = (0..100_000).map(|i| ((i * 7919) % 1000) as f64 + 1.0).collect();
+    g.bench_function("build_100k", |b| {
+        b.iter(|| AliasTable::new(&weights).unwrap());
+    });
+    let table = AliasTable::new(&weights).unwrap();
+    let mut rng = SmallRng::seed_from_u64(1);
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("draw_1k", |b| {
+        b.iter(|| (0..1_000).map(|_| table.sample(&mut rng)).sum::<usize>());
+    });
+    g.finish();
+}
+
+fn grid_and_trees(c: &mut Criterion) {
+    let mut g = c.benchmark_group("component_structures");
+    g.sample_size(10);
+    let d = scaled_spec(DatasetKind::PoiClusters, 0.1, 0.5, 7);
+    g.bench_function("grid_build", |b| {
+        b.iter(|| Grid::build(&d.s, 100.0));
+    });
+    g.bench_function("kdtree_build", |b| {
+        b.iter(|| KdTree::build(&d.s));
+    });
+    let grid = Grid::build(&d.s, 100.0);
+    let cap = bucket_capacity(d.s.len());
+    g.bench_function("bbst_build_all_cells", |b| {
+        b.iter(|| {
+            grid.cells()
+                .iter()
+                .map(|c| CellBbsts::build(grid.points(), &c.by_x, cap).capacity())
+                .sum::<u32>()
+        });
+    });
+    let tree = KdTree::build(&d.s);
+    let windows: Vec<Rect> = d.r[..256]
+        .iter()
+        .map(|&p| Rect::window(p, 100.0))
+        .collect();
+    g.throughput(Throughput::Elements(windows.len() as u64));
+    g.bench_function("kdtree_range_count_256", |b| {
+        b.iter(|| windows.iter().map(|w| tree.range_count(w)).sum::<usize>());
+    });
+    g.bench_function("grid_exact_count_256", |b| {
+        b.iter(|| {
+            windows
+                .iter()
+                .map(|w| grid.exact_window_count(w))
+                .sum::<usize>()
+        });
+    });
+    g.finish();
+}
+
+fn datagen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("component_datagen");
+    g.sample_size(10);
+    for &kind in &DatasetKind::PAPER_ORDER {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                srj_datagen::generate(&srj_datagen::DatasetSpec::new(kind, 50_000, 3))
+                    .len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, alias, grid_and_trees, datagen);
+criterion_main!(benches);

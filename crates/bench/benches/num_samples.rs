@@ -1,0 +1,33 @@
+//! Fig. 6 — impact of `t`: sampling time as the number of samples grows.
+//! The baselines grow linearly in `t` with a large constant (`O(√m)` per
+//! draw); BBST's per-draw cost is polylogarithmic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use srj_bench::{build_bbst, build_kds, scaled_spec};
+use srj_core::JoinSampler;
+use srj_datagen::DatasetKind;
+
+const SCALE: f64 = 0.04;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_num_samples");
+    g.sample_size(10);
+    let d = scaled_spec(DatasetKind::PoiClusters, SCALE, 0.5, 15);
+    let mut kds = build_kds(&d.r, &d.s, 100.0);
+    let mut bbst = build_bbst(&d.r, &d.s, 100.0);
+    let mut rng = SmallRng::seed_from_u64(3);
+    for t in [1_000usize, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("KDS", t), &t, |b, &t| {
+            b.iter(|| kds.sample(t, &mut rng).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("BBST", t), &t, |b, &t| {
+            b.iter(|| bbst.sample(t, &mut rng).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 5 — impact of the range (window half-extent) `l`: total time
+//! (build + samples) as `l` sweeps 1 … 500. BBST should be nearly flat;
+//! the kd-tree baselines degrade with `l`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srj_bench::{build_bbst, build_kds, run_sampler, scaled_spec};
+use srj_datagen::DatasetKind;
+
+const SCALE: f64 = 0.02;
+const T: usize = 10_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_range_size");
+    g.sample_size(10);
+    let d = scaled_spec(DatasetKind::RoadLike, SCALE, 0.5, 14);
+    for l in [1.0, 10.0, 100.0, 500.0] {
+        g.bench_with_input(BenchmarkId::new("KDS", l as u64), &l, |b, &l| {
+            b.iter(|| {
+                let mut s = build_kds(&d.r, &d.s, l);
+                run_sampler(&mut s, T, 1)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("BBST", l as u64), &l, |b, &l| {
+            b.iter(|| {
+                let mut s = build_bbst(&d.r, &d.s, l);
+                run_sampler(&mut s, T, 1)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

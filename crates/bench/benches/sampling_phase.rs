@@ -1,0 +1,38 @@
+//! Table IV — sampling-phase cost in isolation: per-batch draw time on
+//! pre-built samplers (the paper's "known selectivity" comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use srj_bench::{build_bbst, build_kds, build_rejection, scaled_spec};
+use srj_core::JoinSampler;
+use srj_datagen::DatasetKind;
+
+const SCALE: f64 = 0.04;
+const BATCH: usize = 1_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_sampling");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(BATCH as u64));
+    for &kind in &DatasetKind::PAPER_ORDER {
+        let d = scaled_spec(kind, SCALE, 0.5, 13);
+        let mut kds = build_kds(&d.r, &d.s, 100.0);
+        let mut rej = build_rejection(&d.r, &d.s, 100.0);
+        let mut bbst = build_bbst(&d.r, &d.s, 100.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        g.bench_function(BenchmarkId::new("KDS", kind.label()), |b| {
+            b.iter(|| kds.sample(BATCH, &mut rng).unwrap());
+        });
+        g.bench_function(BenchmarkId::new("KDS-rejection", kind.label()), |b| {
+            b.iter(|| rej.sample(BATCH, &mut rng).unwrap());
+        });
+        g.bench_function(BenchmarkId::new("BBST", kind.label()), |b| {
+            b.iter(|| bbst.sample(BATCH, &mut rng).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figs. 4 & 7 — impact of dataset size: full-pipeline time at dataset
+//! fractions 0.25 / 0.5 / 1.0 (Fig. 7's time series; Fig. 4's memory
+//! series is reported by the experiments binary, since Criterion
+//! measures time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srj_bench::{build_bbst, build_kds, build_rejection, run_sampler, scaled_spec};
+use srj_datagen::DatasetKind;
+
+const SCALE: f64 = 0.03;
+const T: usize = 10_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_scalability");
+    g.sample_size(10);
+    for frac in [0.25, 0.5, 1.0] {
+        let d = scaled_spec(DatasetKind::TaxiHotspots, SCALE * frac, 0.5, 16);
+        let points = d.total() as u64;
+        g.bench_with_input(BenchmarkId::new("KDS", points), &d, |b, d| {
+            b.iter(|| {
+                let mut s = build_kds(&d.r, &d.s, 100.0);
+                run_sampler(&mut s, T, 1)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("KDS-rejection", points), &d, |b, d| {
+            b.iter(|| {
+                let mut s = build_rejection(&d.r, &d.s, 100.0);
+                run_sampler(&mut s, T, 1)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("BBST", points), &d, |b, d| {
+            b.iter(|| {
+                let mut s = build_bbst(&d.r, &d.s, 100.0);
+                run_sampler(&mut s, T, 1)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 8 — impact of the dataset size ratio `n/(n+m)` on BBST
+//! (0.1 … 0.5; R and S are symmetric, so 0.5 is the midpoint).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srj_bench::{build_bbst, run_sampler, scaled_spec};
+use srj_datagen::DatasetKind;
+
+const SCALE: f64 = 0.03;
+const T: usize = 10_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_size_ratio");
+    g.sample_size(10);
+    for ratio in [0.1, 0.3, 0.5] {
+        let d = scaled_spec(DatasetKind::TrajectoryLike, SCALE, ratio, 17);
+        g.bench_with_input(
+            BenchmarkId::new("BBST", format!("{ratio}")),
+            &d,
+            |b, d| {
+                b.iter(|| {
+                    let mut s = build_bbst(&d.r, &d.s, 100.0);
+                    run_sampler(&mut s, T, 1)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

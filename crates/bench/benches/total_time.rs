@@ -1,0 +1,39 @@
+//! Table III — total time (build + t samples) for the three algorithms
+//! on every dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srj_bench::{build_bbst, build_kds, build_rejection, run_sampler, scaled_spec};
+use srj_datagen::DatasetKind;
+
+const SCALE: f64 = 0.02;
+const T: usize = 10_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_total");
+    g.sample_size(10);
+    for &kind in &DatasetKind::PAPER_ORDER {
+        let d = scaled_spec(kind, SCALE, 0.5, 12);
+        g.bench_with_input(BenchmarkId::new("KDS", kind.label()), &d, |b, d| {
+            b.iter(|| {
+                let mut s = build_kds(&d.r, &d.s, 100.0);
+                run_sampler(&mut s, T, 1)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("KDS-rejection", kind.label()), &d, |b, d| {
+            b.iter(|| {
+                let mut s = build_rejection(&d.r, &d.s, 100.0);
+                run_sampler(&mut s, T, 1)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("BBST", kind.label()), &d, |b, d| {
+            b.iter(|| {
+                let mut s = build_bbst(&d.r, &d.s, 100.0);
+                run_sampler(&mut s, T, 1)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! CLI regenerating every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run -p srj-bench --release --bin experiments -- all --scale 0.5
+//! cargo run -p srj-bench --release --bin experiments -- table3
+//! cargo run -p srj-bench --release --bin experiments -- fig5 --t 100000
+//! ```
+
+use srj_bench::experiments::{
+    ablation_cascading, ablation_mass, accuracy, default_runs, fig4, fig5, fig6, fig7, fig8, fig9, footnote4,
+    table2, table3, table4, ExpConfig,
+};
+
+const USAGE: &str = "usage: experiments <exp> [--scale F] [--t N] [--l F] [--seed N]
+  exp: table2 | table3 | table4 | accuracy | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | ablation | footnote4 | all";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(exp) = args.first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let mut cfg = ExpConfig::default();
+    let mut i = 1;
+    while i + 1 < args.len() + 1 {
+        match args.get(i).map(String::as_str) {
+            Some("--scale") => {
+                cfg.scale = args[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            Some("--t") => {
+                cfg.t = args[i + 1].parse().expect("--t takes an integer");
+                i += 2;
+            }
+            Some("--l") => {
+                cfg.l = args[i + 1].parse().expect("--l takes a float");
+                i += 2;
+            }
+            Some("--seed") => {
+                cfg.seed = args[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            Some(other) => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+            None => break,
+        }
+    }
+    eprintln!(
+        "# config: scale = {}, t = {}, l = {}, seed = {}",
+        cfg.scale, cfg.t, cfg.l, cfg.seed
+    );
+
+    let run_default_tables = || {
+        let runs = default_runs(&cfg);
+        format!(
+            "{}\n{}\n{}\n{}",
+            table2(&runs),
+            table3(&runs),
+            table4(&runs, cfg.t),
+            accuracy(&runs)
+        )
+    };
+
+    let out = match exp.as_str() {
+        "table2" | "table3" | "table4" | "accuracy" => {
+            let runs = default_runs(&cfg);
+            match exp.as_str() {
+                "table2" => table2(&runs),
+                "table3" => table3(&runs),
+                "table4" => table4(&runs, cfg.t),
+                _ => accuracy(&runs),
+            }
+        }
+        "fig4" => fig4(&cfg),
+        "fig5" => fig5(&cfg),
+        "fig6" => fig6(&cfg),
+        "fig7" => fig7(&cfg),
+        "fig8" => fig8(&cfg),
+        "fig9" => fig9(&cfg),
+        "ablation" => {
+            let mut s = ablation_mass(&cfg);
+            s.push('\n');
+            s.push_str(&ablation_cascading(&cfg));
+            s
+        }
+        "footnote4" => footnote4(&cfg),
+        "all" => {
+            let mut s = run_default_tables();
+            for part in [
+                fig4(&cfg),
+                fig5(&cfg),
+                fig6(&cfg),
+                fig7(&cfg),
+                fig8(&cfg),
+                fig9(&cfg),
+                ablation_mass(&cfg),
+                ablation_cascading(&cfg),
+                footnote4(&cfg),
+            ] {
+                s.push('\n');
+                s.push_str(&part);
+            }
+            s
+        }
+        other => {
+            eprintln!("unknown experiment {other}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

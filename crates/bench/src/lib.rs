@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section V) at laptop scale.
+//!
+//! The binary `experiments` prints the same rows/series the paper
+//! reports; the Criterion benches in `benches/` track the same
+//! quantities as regressions. See EXPERIMENTS.md for the recorded
+//! paper-vs-measured comparison.
+//!
+//! Scaling: the paper's datasets range up to 324 M points and its default
+//! `t` is 10⁶. The harness keeps the paper's *relative* dataset sizes and
+//! parameters but divides absolute sizes by a configurable scale so the
+//! full suite completes in minutes. All algorithms are `O(n + m)` space
+//! and near-linear time, so the comparison shape survives scaling (the
+//! baselines' `√m` terms shrink *in their favour* — measured gaps are
+//! conservative).
+
+pub mod datasets;
+pub mod experiments;
+pub mod runner;
+
+pub use datasets::{scaled_spec, ScaledDataset, DEFAULT_T};
+pub use runner::{
+    build_bbst, build_kds, build_rejection, build_variant, run_sampler, RunOutcome,
+};

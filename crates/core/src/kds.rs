@@ -1,0 +1,208 @@
+use std::time::Instant;
+
+use rand::RngCore;
+use srj_alias::AliasTable;
+use srj_geom::{Point, Rect};
+use srj_kdtree::{CanonicalScratch, KdTree};
+
+use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
+use crate::traits::JoinSampler;
+
+/// Baseline 1 — **KDS** (paper Section III-A).
+///
+/// 1. Build a kd-tree over `S` offline.
+/// 2. Run an exact range count `|S(w(r))|` for every `r ∈ R`
+///    (`O(n√m)` — this is the baseline's bottleneck).
+/// 3. Build a Walker alias over the counts; the alias picks `r` with
+///    probability `|S(w(r))| / |J|`.
+/// 4. Per sample, draw `r` from the alias and one uniform point from
+///    `S ∩ w(r)` via spatial independent range sampling (`O(√m)`).
+///
+/// Every pair of `J` is emitted with probability exactly `1/|J|`; no
+/// rejections ever occur (`iterations == samples`).
+///
+/// Total: `O((n + t)√m)` time, `O(n + m)` space.
+pub struct KdsSampler {
+    r_points: Vec<Point>,
+    tree: KdTree,
+    alias: Option<AliasTable>,
+    join_size: u64,
+    config: SampleConfig,
+    report: PhaseReport,
+    scratch: CanonicalScratch,
+}
+
+impl KdsSampler {
+    /// Builds the sampler: kd-tree (pre-processing) + exact counts and
+    /// alias (upper-bounding phase, in the paper's table terminology —
+    /// for KDS the "bounds" are exact).
+    pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
+        let t0 = Instant::now();
+        let tree = KdTree::build(s);
+        let preprocessing = t0.elapsed();
+
+        let t1 = Instant::now();
+        let weights: Vec<f64> = r
+            .iter()
+            .map(|&rp| tree.range_count(&Rect::window(rp, config.half_extent)) as f64)
+            .collect();
+        let join_size = weights.iter().sum::<f64>() as u64;
+        let alias = AliasTable::new(&weights);
+        let upper_bounding = t1.elapsed();
+
+        KdsSampler {
+            r_points: r.to_vec(),
+            tree,
+            alias,
+            join_size,
+            config: *config,
+            report: PhaseReport {
+                preprocessing,
+                upper_bounding,
+                ..PhaseReport::default()
+            },
+            scratch: CanonicalScratch::new(),
+        }
+    }
+
+    /// Exact join cardinality `|J| = Σ_r |S(w(r))|` (free by-product of
+    /// the counting step — one of KDS's few advantages).
+    pub fn join_size(&self) -> u64 {
+        self.join_size
+    }
+
+    fn draw_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
+        let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
+        self.report.iterations += 1;
+        let ridx = alias.sample(rng);
+        let w = Rect::window(self.r_points[ridx], self.config.half_extent);
+        // The alias only returns r with a positive count, so the window
+        // is non-empty and the draw cannot fail.
+        let (sid, _count) = self
+            .tree
+            .sample_in_range(&w, rng, &mut self.scratch)
+            .expect("alias returned an r with zero range count");
+        self.report.samples += 1;
+        Ok(JoinPair::new(ridx as u32, sid))
+    }
+}
+
+impl JoinSampler for KdsSampler {
+    fn name(&self) -> &'static str {
+        "KDS"
+    }
+
+    fn sample_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
+        let t = Instant::now();
+        let out = self.draw_one(rng);
+        self.report.sampling += t.elapsed();
+        out
+    }
+
+    fn sample(&mut self, t: usize, rng: &mut dyn RngCore) -> Result<Vec<JoinPair>, SampleError> {
+        let start = Instant::now();
+        let mut out = Vec::with_capacity(t);
+        for _ in 0..t {
+            match self.draw_one(rng) {
+                Ok(p) => out.push(p),
+                Err(e) => {
+                    self.report.sampling += start.elapsed();
+                    return Err(e);
+                }
+            }
+        }
+        self.report.sampling += start.elapsed();
+        Ok(out)
+    }
+
+    fn report(&self) -> PhaseReport {
+        self.report
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.r_points.capacity() * std::mem::size_of::<Point>()
+            + self.tree.memory_bytes()
+            + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+    }
+
+    #[test]
+    fn samples_are_genuine_join_pairs() {
+        let r = pseudo_points(80, 1, 50.0);
+        let s = pseudo_points(120, 2, 50.0);
+        let cfg = SampleConfig::new(6.0);
+        let mut sampler = KdsSampler::build(&r, &s, &cfg);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let samples = sampler.sample(500, &mut rng).unwrap();
+        assert_eq!(samples.len(), 500);
+        for p in samples {
+            let w = Rect::window(r[p.r as usize], 6.0);
+            assert!(w.contains(s[p.s as usize]));
+        }
+        // KDS never rejects
+        assert_eq!(sampler.report().iterations, sampler.report().samples);
+    }
+
+    #[test]
+    fn join_size_matches_brute_force() {
+        let r = pseudo_points(40, 5, 30.0);
+        let s = pseudo_points(60, 6, 30.0);
+        let cfg = SampleConfig::new(4.0);
+        let sampler = KdsSampler::build(&r, &s, &cfg);
+        let brute = srj_join::nested_loop_join(&r, &s, 4.0).len() as u64;
+        assert_eq!(sampler.join_size(), brute);
+    }
+
+    #[test]
+    fn empty_join_is_reported() {
+        let r = vec![Point::new(0.0, 0.0)];
+        let s = vec![Point::new(1000.0, 1000.0)];
+        let cfg = SampleConfig::new(1.0);
+        let mut sampler = KdsSampler::build(&r, &s, &cfg);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(sampler.sample_one(&mut rng), Err(SampleError::EmptyJoin));
+        assert_eq!(sampler.join_size(), 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cfg = SampleConfig::new(1.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut a = KdsSampler::build(&[], &pseudo_points(10, 1, 10.0), &cfg);
+        assert_eq!(a.sample_one(&mut rng), Err(SampleError::EmptyJoin));
+        let mut b = KdsSampler::build(&pseudo_points(10, 1, 10.0), &[], &cfg);
+        assert_eq!(b.sample_one(&mut rng), Err(SampleError::EmptyJoin));
+    }
+
+    #[test]
+    fn phase_report_populated() {
+        let r = pseudo_points(50, 9, 20.0);
+        let s = pseudo_points(50, 10, 20.0);
+        let cfg = SampleConfig::new(3.0);
+        let mut sampler = KdsSampler::build(&r, &s, &cfg);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = sampler.sample(100, &mut rng).unwrap();
+        let rep = sampler.report();
+        assert_eq!(rep.samples, 100);
+        assert_eq!(rep.grid_mapping, std::time::Duration::ZERO); // KDS has no GM
+        assert!(rep.total() >= rep.sampling);
+        assert!(sampler.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Uniform, independent random sampling over spatial range joins.
+//!
+//! The paper's problem (Definition 2): given point sets `R` (size `n`)
+//! and `S` (size `m`), a window half-extent `l`, and a sample count `t`,
+//! return `t` pairs of `J = {(r, s) | s ∈ w(r)}`, each drawn uniformly at
+//! random with replacement and independently — **without running the
+//! join**.
+//!
+//! Four samplers implement the common [`JoinSampler`] trait:
+//!
+//! | Sampler | Paper | Time | Space |
+//! |---|---|---|---|
+//! | [`KdsSampler`] | §III-A | `O((n + t)√m)` | `O(n + m)` |
+//! | [`KdsRejectionSampler`] | §III-B | `O(n + m + n·m^1.5·t/\|J\|)` exp. | `O(n + m)` |
+//! | [`BbstSampler`] | §IV | `Õ(n + m + t)` exp. | `O(n + m)` |
+//! | [`BbstKdVariantSampler`] | Fig. 9 | grid pipeline, kd-tree cells | `O(n + m)` |
+//!
+//! plus [`JoinThenSample`], the `Ω(|J|)` strawman (materialise, then
+//! sample) that the introduction rules out and the experiments use as a
+//! sanity lower bound.
+//!
+//! All samplers record a [`PhaseReport`] with the paper's phase
+//! decomposition (pre-processing, GM, UB, sampling; Tables II–IV) and
+//! expose `memory_bytes()` for the Fig. 4 experiment.
+
+mod bbst_alg;
+mod decompose;
+mod config;
+mod kds;
+mod materialize;
+mod rangetree_sampler;
+mod rejection;
+mod traits;
+mod variant;
+
+pub use bbst_alg::BbstSampler;
+pub use config::{JoinPair, PhaseReport, SampleConfig, SampleError};
+pub use kds::KdsSampler;
+pub use materialize::JoinThenSample;
+pub use rangetree_sampler::RangeTreeSampler;
+pub use rejection::KdsRejectionSampler;
+pub use traits::{JoinSampler, SampleIter};
+pub use variant::BbstKdVariantSampler;
+
+// Re-export the mass mode so downstream users configure the BBST bound
+// without depending on srj-bbst directly.
+pub use srj_bbst::MassMode;

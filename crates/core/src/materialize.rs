@@ -1,0 +1,103 @@
+use std::time::Instant;
+
+use rand::{Rng, RngCore};
+use srj_geom::Point;
+use srj_join::{grid_join, IdPair};
+
+use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
+use crate::traits::JoinSampler;
+
+/// The strawman the paper's introduction rules out: **run the join, then
+/// sample** from the materialised result.
+///
+/// Trivially uniform, but costs `Ω(|J|)` time *and* `Ω(|J|)` memory —
+/// `|J|` can be `Θ(nm)`, and the paper notes this approach "tends to
+/// have run out of memory" at their scales (§V footnote 5). Kept as a
+/// sanity comparator for small-scale experiments and tests.
+pub struct JoinThenSample {
+    pairs: Vec<IdPair>,
+    report: PhaseReport,
+}
+
+impl JoinThenSample {
+    /// Materialises `J` with the grid index nested-loop join.
+    pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
+        let t0 = Instant::now();
+        let pairs = if r.is_empty() || s.is_empty() {
+            Vec::new()
+        } else {
+            grid_join(r, s, config.half_extent)
+        };
+        let grid_mapping = t0.elapsed();
+        JoinThenSample {
+            pairs,
+            report: PhaseReport { grid_mapping, ..PhaseReport::default() },
+        }
+    }
+
+    /// Exact join size (free after materialisation).
+    pub fn join_size(&self) -> u64 {
+        self.pairs.len() as u64
+    }
+}
+
+impl JoinSampler for JoinThenSample {
+    fn name(&self) -> &'static str {
+        "join-then-sample"
+    }
+
+    fn sample_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
+        if self.pairs.is_empty() {
+            return Err(SampleError::EmptyJoin);
+        }
+        let t = Instant::now();
+        self.report.iterations += 1;
+        self.report.samples += 1;
+        let (r, s) = self.pairs[rng.gen_range(0..self.pairs.len())];
+        self.report.sampling += t.elapsed();
+        Ok(JoinPair::new(r, s))
+    }
+
+    fn report(&self) -> PhaseReport {
+        self.report
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.pairs.capacity() * std::mem::size_of::<IdPair>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_over_materialized_join() {
+        let r = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let s = vec![Point::new(0.5, 0.5), Point::new(1.5, 1.5), Point::new(9.0, 9.0)];
+        let cfg = SampleConfig::new(1.0);
+        let mut sampler = JoinThenSample::build(&r, &s, &cfg);
+        assert_eq!(sampler.join_size(), srj_join::nested_loop_join(&r, &s, 1.0).len() as u64);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..40_000 {
+            let p = sampler.sample_one(&mut rng).unwrap();
+            *counts.entry(p).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len() as u64, sampler.join_size());
+        let expected = 40_000.0 / sampler.join_size() as f64;
+        for (&pair, &c) in &counts {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.1, "{pair:?}: {c} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn empty_join() {
+        let mut sampler = JoinThenSample::build(&[], &[], &SampleConfig::new(1.0));
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(sampler.sample_one(&mut rng), Err(SampleError::EmptyJoin));
+    }
+}

@@ -1,0 +1,222 @@
+use std::time::Instant;
+
+use rand::{Rng, RngCore};
+use srj_alias::AliasTable;
+use srj_geom::{Point, Rect};
+use srj_grid::Grid;
+use srj_kdtree::{CanonicalScratch, KdTree};
+
+use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
+use crate::traits::JoinSampler;
+
+/// Baseline 2 — **KDS-rejection** (paper Section III-B).
+///
+/// Replaces KDS's `O(n√m)` exact counting with `O(1)`-per-point upper
+/// bounds from a grid: `µ(r)` = total population of the ≤ 9 cells
+/// overlapping `w(r)`. The alias then over-weights each `r` by
+/// `µ(r)/|S(w(r))|`, which rejection sampling corrects: a drawn pair is
+/// accepted with probability `|S(w(r))| / µ(r)`.
+///
+/// The bound has **no approximation guarantee** (all nine cells may be
+/// almost entirely outside the window), so the expected iteration count
+/// `Σµ/|J|` can be large — the drawback the proposed algorithm fixes.
+///
+/// Expected `O(n + m + n·m^1.5·t/|J|)` time, `O(n + m)` space.
+pub struct KdsRejectionSampler {
+    r_points: Vec<Point>,
+    tree: KdTree,
+    grid: Grid,
+    /// Per-`r` upper bounds `µ(r)` (the alias weights).
+    mu: Vec<f64>,
+    alias: Option<AliasTable>,
+    config: SampleConfig,
+    report: PhaseReport,
+    scratch: CanonicalScratch,
+}
+
+impl KdsRejectionSampler {
+    /// Builds the sampler: kd-tree (pre-processing), grid (GM), bounds +
+    /// alias (UB).
+    pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
+        let t0 = Instant::now();
+        let tree = KdTree::build(s);
+        let preprocessing = t0.elapsed();
+
+        let t1 = Instant::now();
+        let grid = Grid::build(s, config.half_extent);
+        let grid_mapping = t1.elapsed();
+
+        let t2 = Instant::now();
+        let mu: Vec<f64> = r
+            .iter()
+            .map(|&rp| grid.neighborhood_population(rp) as f64)
+            .collect();
+        let alias = AliasTable::new(&mu);
+        let upper_bounding = t2.elapsed();
+
+        KdsRejectionSampler {
+            r_points: r.to_vec(),
+            tree,
+            grid,
+            mu,
+            alias,
+            config: *config,
+            report: PhaseReport {
+                preprocessing,
+                grid_mapping,
+                upper_bounding,
+                ..PhaseReport::default()
+            },
+            scratch: CanonicalScratch::new(),
+        }
+    }
+
+    /// Sum of the upper bounds `Σ_r µ(r)` (the rejection-rate
+    /// denominator: expected iterations per sample is `Σµ / |J|`).
+    pub fn mu_total(&self) -> f64 {
+        self.alias.as_ref().map_or(0.0, AliasTable::total_weight)
+    }
+
+    fn draw_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
+        let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
+        let mut consecutive = 0u64;
+        loop {
+            self.report.iterations += 1;
+            let ridx = alias.sample(rng);
+            let w = Rect::window(self.r_points[ridx], self.config.half_extent);
+            // µ(r) > 0 does not imply the window is non-empty: the nine
+            // cells may hold points only outside w(r).
+            if let Some((sid, count)) = self.tree.sample_in_range(&w, rng, &mut self.scratch) {
+                // Accept with probability |S(w(r))| / µ(r).
+                let accept = rng.gen::<f64>() * self.mu[ridx] < count as f64;
+                if accept {
+                    self.report.samples += 1;
+                    return Ok(JoinPair::new(ridx as u32, sid));
+                }
+            }
+            consecutive += 1;
+            if consecutive >= self.config.max_consecutive_rejections {
+                return Err(SampleError::RejectionLimit);
+            }
+        }
+    }
+}
+
+impl JoinSampler for KdsRejectionSampler {
+    fn name(&self) -> &'static str {
+        "KDS-rejection"
+    }
+
+    fn sample_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
+        let t = Instant::now();
+        let out = self.draw_one(rng);
+        self.report.sampling += t.elapsed();
+        out
+    }
+
+    fn sample(&mut self, t: usize, rng: &mut dyn RngCore) -> Result<Vec<JoinPair>, SampleError> {
+        let start = Instant::now();
+        let mut out = Vec::with_capacity(t);
+        for _ in 0..t {
+            match self.draw_one(rng) {
+                Ok(p) => out.push(p),
+                Err(e) => {
+                    self.report.sampling += start.elapsed();
+                    return Err(e);
+                }
+            }
+        }
+        self.report.sampling += start.elapsed();
+        Ok(out)
+    }
+
+    fn report(&self) -> PhaseReport {
+        self.report
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.r_points.capacity() * std::mem::size_of::<Point>()
+            + self.tree.memory_bytes()
+            + self.grid.memory_bytes()
+            + self.mu.capacity() * std::mem::size_of::<f64>()
+            + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+    }
+
+    #[test]
+    fn samples_are_genuine_join_pairs_and_rejections_happen() {
+        let r = pseudo_points(70, 11, 60.0);
+        let s = pseudo_points(130, 12, 60.0);
+        let cfg = SampleConfig::new(5.0);
+        let mut sampler = KdsRejectionSampler::build(&r, &s, &cfg);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let samples = sampler.sample(400, &mut rng).unwrap();
+        for p in &samples {
+            let w = Rect::window(r[p.r as usize], 5.0);
+            assert!(w.contains(s[p.s as usize]));
+        }
+        let rep = sampler.report();
+        assert_eq!(rep.samples, 400);
+        // the 9-cell bound is loose: rejections are all but certain here
+        assert!(rep.iterations > rep.samples, "expected at least one rejection");
+    }
+
+    #[test]
+    fn mu_dominates_exact_count() {
+        let r = pseudo_points(50, 21, 40.0);
+        let s = pseudo_points(80, 22, 40.0);
+        let cfg = SampleConfig::new(4.0);
+        let sampler = KdsRejectionSampler::build(&r, &s, &cfg);
+        for (i, &rp) in r.iter().enumerate() {
+            let w = Rect::window(rp, 4.0);
+            let exact = s.iter().filter(|p| w.contains(**p)).count() as f64;
+            assert!(
+                sampler.mu[i] >= exact,
+                "r{i}: µ {} < exact {exact}",
+                sampler.mu[i]
+            );
+        }
+        let brute = srj_join::nested_loop_join(&r, &s, 4.0).len() as f64;
+        assert!(sampler.mu_total() >= brute);
+    }
+
+    #[test]
+    fn empty_join_with_nearby_points_trips_safety_valve() {
+        // S point in a neighbouring cell but outside every window:
+        // µ > 0 yet |J| = 0 ⇒ the safety valve must fire.
+        let r = vec![Point::new(10.0, 10.0)];
+        let s = vec![Point::new(13.5, 13.5)]; // within the 3×3 block for l = 2
+        let cfg = SampleConfig::new(2.0).with_rejection_limit(5_000);
+        let mut sampler = KdsRejectionSampler::build(&r, &s, &cfg);
+        assert!(sampler.mu_total() > 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(sampler.sample_one(&mut rng), Err(SampleError::RejectionLimit));
+    }
+
+    #[test]
+    fn truly_empty_join() {
+        let r = vec![Point::new(0.0, 0.0)];
+        let s = vec![Point::new(500.0, 500.0)];
+        let cfg = SampleConfig::new(1.0);
+        let mut sampler = KdsRejectionSampler::build(&r, &s, &cfg);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(sampler.sample_one(&mut rng), Err(SampleError::EmptyJoin));
+    }
+}

@@ -1,0 +1,236 @@
+use std::time::Instant;
+
+use rand::{Rng, RngCore};
+use srj_alias::{AliasTable, CumulativeRow9};
+use srj_geom::{Point, PointId, Rect};
+use srj_grid::{case_of, CellCase, Grid};
+use srj_kdtree::{CanonicalScratch, KdTree};
+
+use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
+use crate::decompose::{case12_count, case12_run, quadrant_query, quadrant_rect};
+use crate::traits::JoinSampler;
+
+/// The Fig. 9 ablation: Algorithm 1's pipeline with **a per-cell kd-tree
+/// instead of the two BBSTs** for the case-3 corner cells ("this variant
+/// used KDS" for corner sampling).
+///
+/// Case-3 counts become exact (kd-tree range counting of the clipped
+/// quadrant rectangle) and corner draws never produce dud slots, but
+/// each corner count costs `O(√N)` instead of `Õ(1)` and each corner
+/// draw costs `O(√N)` — which is precisely the gap the paper's Fig. 9
+/// measures (BBST is "up to 12 times faster").
+pub struct BbstKdVariantSampler {
+    r_points: Vec<Point>,
+    grid: Grid,
+    /// Per-cell kd-trees, parallel to `grid.cells()`; point ids are
+    /// positions in the cell's `by_x` array.
+    cell_trees: Vec<KdTree>,
+    rows: Vec<CumulativeRow9>,
+    alias: Option<AliasTable>,
+    config: SampleConfig,
+    report: PhaseReport,
+    scratch: CanonicalScratch,
+}
+
+impl BbstKdVariantSampler {
+    /// Builds the variant (same phase structure as
+    /// [`crate::BbstSampler::build`]).
+    pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
+        let t0 = Instant::now();
+        let mut x_order: Vec<PointId> = (0..s.len() as u32).collect();
+        x_order.sort_unstable_by(|&a, &b| s[a as usize].x.total_cmp(&s[b as usize].x));
+        let preprocessing = t0.elapsed();
+
+        let t1 = Instant::now();
+        let grid = Grid::build_from_sorted(s, &x_order, config.half_extent);
+        drop(x_order);
+        let cell_trees: Vec<KdTree> = grid
+            .cells()
+            .iter()
+            .map(|c| {
+                let pts: Vec<Point> =
+                    c.by_x.iter().map(|&id| grid.point(id)).collect();
+                KdTree::build(&pts)
+            })
+            .collect();
+        let grid_mapping = t1.elapsed();
+
+        let t2 = Instant::now();
+        let mut rows = Vec::with_capacity(r.len());
+        let mut weights = Vec::with_capacity(r.len());
+        for &rp in r {
+            let w = Rect::window(rp, config.half_extent);
+            let slots = grid.neighborhood_slots(rp);
+            let mut cell_w = [0.0f64; 9];
+            for (i, slot) in slots.into_iter().enumerate() {
+                let Some(slot) = slot else { continue };
+                let cell = grid.cell(slot);
+                let mu = match case_of(i) {
+                    CellCase::Quadrant { x_is_min, y_is_min } => {
+                        let q = quadrant_query(x_is_min, y_is_min, &w);
+                        let rect = quadrant_rect(&q, &cell.rect);
+                        cell_trees[slot as usize].range_count(&rect) as u64
+                    }
+                    case => case12_count(cell, grid.points(), case, &w)
+                        .expect("non-corner case must yield an exact count"),
+                };
+                cell_w[i] = mu as f64;
+            }
+            let row = CumulativeRow9::new(cell_w);
+            weights.push(row.total());
+            rows.push(row);
+        }
+        let alias = AliasTable::new(&weights);
+        let upper_bounding = t2.elapsed();
+
+        BbstKdVariantSampler {
+            r_points: r.to_vec(),
+            grid,
+            cell_trees,
+            rows,
+            alias,
+            config: *config,
+            report: PhaseReport {
+                preprocessing,
+                grid_mapping,
+                upper_bounding,
+                ..PhaseReport::default()
+            },
+            scratch: CanonicalScratch::new(),
+        }
+    }
+
+    /// Sum of the per-`r` bounds — exact here, so `mu_total == |J|`.
+    pub fn mu_total(&self) -> f64 {
+        self.alias.as_ref().map_or(0.0, AliasTable::total_weight)
+    }
+
+    fn draw_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
+        let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
+        self.report.iterations += 1;
+        let ridx = alias.sample(rng);
+        let rp = self.r_points[ridx];
+        let w = Rect::window(rp, self.config.half_extent);
+        let cell_idx = self.rows[ridx]
+            .sample(rng)
+            .expect("alias returned r with zero µ(r)");
+        let slot = self.grid.neighborhood_slots(rp)[cell_idx]
+            .expect("positive cell weight for an empty cell");
+        let cell = self.grid.cell(slot);
+        let sid = match case_of(cell_idx) {
+            CellCase::Quadrant { x_is_min, y_is_min } => {
+                let q = quadrant_query(x_is_min, y_is_min, &w);
+                let rect = quadrant_rect(&q, &cell.rect);
+                let (pos, _count) = self.cell_trees[slot as usize]
+                    .sample_in_range(&rect, rng, &mut self.scratch)
+                    .expect("positive exact count for an empty quadrant");
+                cell.by_x[pos as usize]
+            }
+            case => {
+                let run = case12_run(cell, self.grid.points(), case, &w)
+                    .expect("non-corner case must yield a run");
+                run[rng.gen_range(0..run.len())]
+            }
+        };
+        debug_assert!(
+            w.contains(self.grid.point(sid)),
+            "variant sample escaped the window"
+        );
+        self.report.samples += 1;
+        Ok(JoinPair::new(ridx as u32, sid))
+    }
+}
+
+impl JoinSampler for BbstKdVariantSampler {
+    fn name(&self) -> &'static str {
+        "BBST-kd-variant"
+    }
+
+    fn sample_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
+        let t = Instant::now();
+        let out = self.draw_one(rng);
+        self.report.sampling += t.elapsed();
+        out
+    }
+
+    fn sample(&mut self, t: usize, rng: &mut dyn RngCore) -> Result<Vec<JoinPair>, SampleError> {
+        let start = Instant::now();
+        let mut out = Vec::with_capacity(t);
+        for _ in 0..t {
+            match self.draw_one(rng) {
+                Ok(p) => out.push(p),
+                Err(e) => {
+                    self.report.sampling += start.elapsed();
+                    return Err(e);
+                }
+            }
+        }
+        self.report.sampling += start.elapsed();
+        Ok(out)
+    }
+
+    fn report(&self) -> PhaseReport {
+        self.report
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.r_points.capacity() * std::mem::size_of::<Point>()
+            + self.grid.memory_bytes()
+            + self.cell_trees.iter().map(KdTree::memory_bytes).sum::<usize>()
+            + self.rows.capacity() * std::mem::size_of::<CumulativeRow9>()
+            + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+    }
+
+    #[test]
+    fn samples_are_genuine_and_never_rejected() {
+        let r = pseudo_points(70, 81, 60.0);
+        let s = pseudo_points(200, 82, 60.0);
+        let cfg = SampleConfig::new(5.0);
+        let mut sampler = BbstKdVariantSampler::build(&r, &s, &cfg);
+        let mut rng = SmallRng::seed_from_u64(83);
+        let samples = sampler.sample(400, &mut rng).unwrap();
+        for p in samples {
+            let w = Rect::window(r[p.r as usize], 5.0);
+            assert!(w.contains(s[p.s as usize]));
+        }
+        // exact per-cell counts ⇒ zero rejections
+        let rep = sampler.report();
+        assert_eq!(rep.iterations, rep.samples);
+    }
+
+    #[test]
+    fn mu_total_equals_join_size() {
+        let r = pseudo_points(50, 91, 40.0);
+        let s = pseudo_points(90, 92, 40.0);
+        let sampler = BbstKdVariantSampler::build(&r, &s, &SampleConfig::new(4.0));
+        let brute = srj_join::nested_loop_join(&r, &s, 4.0).len() as f64;
+        assert_eq!(sampler.mu_total(), brute);
+    }
+
+    #[test]
+    fn empty_join() {
+        let r = vec![Point::new(0.0, 0.0)];
+        let s = vec![Point::new(900.0, 900.0)];
+        let mut sampler = BbstKdVariantSampler::build(&r, &s, &SampleConfig::new(1.0));
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(sampler.sample_one(&mut rng), Err(SampleError::EmptyJoin));
+    }
+}

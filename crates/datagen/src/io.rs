@@ -1,0 +1,155 @@
+//! Plain-text point I/O, so the harness can run on the paper's real
+//! datasets when the user obtains them (CaStreet and IMIS from
+//! chorochronos.org, Foursquare from the LBSN2Vec release, NYC from the
+//! city's open-data portal — see README).
+//!
+//! Format: one point per line, `x<sep>y`, where `<sep>` is a comma,
+//! semicolon, tab, or spaces. Lines starting with `#` and blank lines
+//! are skipped. Extra columns are ignored (the NYC export carries many).
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use srj_geom::Point;
+
+/// Errors from point-file parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that could not be parsed (1-based line number, content).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse(line, text) => write!(f, "line {line}: cannot parse point from {text:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses points from a reader (see the module docs for the format).
+pub fn read_points<R: BufRead>(reader: R) -> Result<Vec<Point>, IoError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed
+            .split(|c: char| c == ',' || c == ';' || c.is_whitespace())
+            .filter(|f| !f.is_empty());
+        let (Some(xs), Some(ys)) = (fields.next(), fields.next()) else {
+            return Err(IoError::Parse(i + 1, line.clone()));
+        };
+        let (Ok(x), Ok(y)) = (xs.parse::<f64>(), ys.parse::<f64>()) else {
+            return Err(IoError::Parse(i + 1, line.clone()));
+        };
+        if !x.is_finite() || !y.is_finite() {
+            return Err(IoError::Parse(i + 1, line.clone()));
+        }
+        out.push(Point::new(x, y));
+    }
+    Ok(out)
+}
+
+/// Reads points from a file path.
+pub fn read_points_file<P: AsRef<Path>>(path: P) -> Result<Vec<Point>, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_points(std::io::BufReader::new(file))
+}
+
+/// Writes points as `x,y` lines (full `f64` round-trip precision).
+pub fn write_points<W: Write>(writer: W, points: &[Point]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for p in points {
+        // `{:?}`-style shortest round-trip formatting for f64
+        writeln!(w, "{},{}", p.x, p.y)?;
+    }
+    w.flush()
+}
+
+/// Writes points to a file path.
+pub fn write_points_file<P: AsRef<Path>>(path: P, points: &[Point]) -> std::io::Result<()> {
+    write_points(std::fs::File::create(path)?, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_common_separators() {
+        let input = "1.5,2.5\n3 4\n5;6\n7\t8\n";
+        let pts = read_points(input.as_bytes()).unwrap();
+        assert_eq!(
+            pts,
+            vec![
+                Point::new(1.5, 2.5),
+                Point::new(3.0, 4.0),
+                Point::new(5.0, 6.0),
+                Point::new(7.0, 8.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_blanks_and_extra_columns() {
+        let input = "# header\n\n1,2,extra,columns\n  \n3,4\n";
+        let pts = read_points(input.as_bytes()).unwrap();
+        assert_eq!(pts, vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+    }
+
+    #[test]
+    fn reports_bad_lines_with_position() {
+        let input = "1,2\nnot-a-point\n";
+        match read_points(input.as_bytes()) {
+            Err(IoError::Parse(2, text)) => assert_eq!(text, "not-a-point"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // NaN is data corruption, not a point
+        assert!(read_points("NaN,1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let pts = vec![
+            Point::new(0.1 + 0.2, -1.0e-300),
+            Point::new(9999.999999999999, 42.0),
+        ];
+        let mut buf = Vec::new();
+        write_points(&mut buf, &pts).unwrap();
+        let back = read_points(buf.as_slice()).unwrap();
+        assert_eq!(pts, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("srj-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pts.csv");
+        let pts = vec![Point::new(1.0, 2.0), Point::new(3.5, -4.5)];
+        write_points_file(&path, &pts).unwrap();
+        assert_eq!(read_points_file(&path).unwrap(), pts);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match read_points_file("/definitely/not/a/file.csv") {
+            Err(IoError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+}

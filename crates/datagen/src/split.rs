@@ -1,0 +1,87 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srj_geom::Point;
+
+/// Randomly assigns each point to `R` (with probability `r_fraction`) or
+/// `S`, mirroring the paper's setup: "For each dataset, we randomly
+/// assigned each point to R or S. By default, |R| ≈ |S|" (§V-A), and the
+/// Fig. 8 sweep over `n / (n + m)`.
+///
+/// Deterministic for a given seed.
+pub fn split_rs(points: &[Point], r_fraction: f64, seed: u64) -> (Vec<Point>, Vec<Point>) {
+    assert!(
+        (0.0..=1.0).contains(&r_fraction),
+        "r_fraction must be within [0, 1], got {r_fraction}"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let expected_r = (points.len() as f64 * r_fraction) as usize;
+    let mut r = Vec::with_capacity(expected_r + 1);
+    let mut s = Vec::with_capacity(points.len().saturating_sub(expected_r) + 1);
+    for &p in points {
+        if rng.gen::<f64>() < r_fraction {
+            r.push(p);
+        } else {
+            s.push(p);
+        }
+    }
+    (r, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64, (i * 3) as f64)).collect()
+    }
+
+    #[test]
+    fn partition_is_exact() {
+        let points = pts(10_000);
+        let (r, s) = split_rs(&points, 0.5, 9);
+        assert_eq!(r.len() + s.len(), points.len());
+        // every point lands on exactly one side, in order
+        let mut merged: Vec<(u64, u64)> = Vec::new();
+        for p in r.iter().chain(s.iter()) {
+            merged.push((p.x.to_bits(), p.y.to_bits()));
+        }
+        merged.sort_unstable();
+        let mut orig: Vec<(u64, u64)> =
+            points.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+        orig.sort_unstable();
+        assert_eq!(merged, orig);
+    }
+
+    #[test]
+    fn fraction_is_respected() {
+        let points = pts(50_000);
+        for frac in [0.1, 0.3, 0.5] {
+            let (r, _) = split_rs(&points, frac, 4);
+            let got = r.len() as f64 / points.len() as f64;
+            assert!((got - frac).abs() < 0.02, "frac {frac}: got {got}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let points = pts(1000);
+        assert_eq!(split_rs(&points, 0.4, 8), split_rs(&points, 0.4, 8));
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let points = pts(100);
+        let (r, s) = split_rs(&points, 0.0, 1);
+        assert!(r.is_empty());
+        assert_eq!(s.len(), 100);
+        let (r, s) = split_rs(&points, 1.0, 1);
+        assert_eq!(r.len(), 100);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "r_fraction must be within")]
+    fn bad_fraction_panics() {
+        split_rs(&[], 1.5, 0);
+    }
+}

@@ -1,0 +1,92 @@
+use crate::{Point, Rect};
+
+/// The experimental domain used throughout the paper's evaluation:
+/// coordinates are normalised into `[0, 10000] × [0, 10000]` (§V-A).
+pub const DEFAULT_DOMAIN: f64 = 10_000.0;
+
+/// Axis-aligned bounding rectangle of a non-empty point slice.
+///
+/// Returns `None` for an empty slice.
+pub fn bounding_rect(points: &[Point]) -> Option<Rect> {
+    let (first, rest) = points.split_first()?;
+    let mut r = Rect::degenerate(*first);
+    for p in rest {
+        r = r.grown_to(*p);
+    }
+    Some(r)
+}
+
+/// Normalises `points` in place so both coordinates span `[0, domain]`,
+/// mirroring the paper's preprocessing ("We normalized the coordinates of
+/// each dataset so that the domain was [0, 10000] × [0, 10000]").
+///
+/// Each axis is scaled independently. A degenerate axis (all points share
+/// the same coordinate) is mapped to `domain / 2`.
+pub fn normalize_to_domain(points: &mut [Point], domain: f64) {
+    let Some(bb) = bounding_rect(points) else {
+        return;
+    };
+    let scale_axis = |extent: f64| if extent > 0.0 { domain / extent } else { 0.0 };
+    let sx = scale_axis(bb.width());
+    let sy = scale_axis(bb.height());
+    for p in points.iter_mut() {
+        p.x = if sx > 0.0 { (p.x - bb.min_x) * sx } else { domain * 0.5 };
+        p.y = if sy > 0.0 { (p.y - bb.min_y) * sy } else { domain * 0.5 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounding_rect_empty_is_none() {
+        assert_eq!(bounding_rect(&[]), None);
+    }
+
+    #[test]
+    fn bounding_rect_covers_all_points() {
+        let pts = vec![
+            Point::new(3.0, -1.0),
+            Point::new(-5.0, 2.0),
+            Point::new(0.0, 7.0),
+        ];
+        let bb = bounding_rect(&pts).unwrap();
+        assert_eq!(bb, Rect::new(-5.0, -1.0, 3.0, 7.0));
+        assert!(pts.iter().all(|p| bb.contains(*p)));
+    }
+
+    #[test]
+    fn normalize_spans_domain() {
+        let mut pts = vec![
+            Point::new(10.0, 100.0),
+            Point::new(20.0, 300.0),
+            Point::new(15.0, 200.0),
+        ];
+        normalize_to_domain(&mut pts, DEFAULT_DOMAIN);
+        let bb = bounding_rect(&pts).unwrap();
+        assert_eq!(bb.min_x, 0.0);
+        assert_eq!(bb.min_y, 0.0);
+        assert!((bb.max_x - DEFAULT_DOMAIN).abs() < 1e-9);
+        assert!((bb.max_y - DEFAULT_DOMAIN).abs() < 1e-9);
+        // relative order preserved
+        assert!(pts[0].x < pts[2].x && pts[2].x < pts[1].x);
+    }
+
+    #[test]
+    fn normalize_degenerate_axis_centers() {
+        let mut pts = vec![Point::new(5.0, 1.0), Point::new(5.0, 2.0)];
+        normalize_to_domain(&mut pts, 100.0);
+        assert_eq!(pts[0].x, 50.0);
+        assert_eq!(pts[1].x, 50.0);
+        assert_eq!(pts[0].y, 0.0);
+        assert_eq!(pts[1].y, 100.0);
+    }
+
+    #[test]
+    fn normalize_empty_is_noop() {
+        let mut pts: Vec<Point> = vec![];
+        normalize_to_domain(&mut pts, 100.0);
+        assert!(pts.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! 2-D geometric primitives shared by every crate in the `srj` workspace.
+//!
+//! The paper ("Random Sampling over Spatial Range Joins", ICDE 2025) works
+//! with static, memory-resident sets of 2-D points and axis-aligned square
+//! query windows `w(r) = [r.x − l, r.x + l] × [r.y − l, r.y + l]`. This
+//! crate provides exactly those primitives:
+//!
+//! * [`Point`] — a 2-D point with `f64` coordinates,
+//! * [`Rect`] — a closed axis-aligned rectangle (query windows, cells,
+//!   bounding boxes),
+//! * [`normalize_to_domain`] — the coordinate normalization to
+//!   `[0, 10000]²` used in the paper's experimental setup (§V-A).
+//!
+//! Point identifiers are plain `u32` indices ([`PointId`]) into the owning
+//! dataset slice; every structure in the workspace stores ids rather than
+//! copies of points wherever possible.
+
+mod point;
+mod rect;
+mod domain;
+
+pub use domain::{bounding_rect, normalize_to_domain, DEFAULT_DOMAIN};
+pub use point::{Point, PointId};
+pub use rect::Rect;

@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// Identifier of a point: its index in the owning dataset slice.
+///
+/// The paper's datasets top out at a few hundred million points, so `u32`
+/// is sufficient and halves the memory of every id-carrying structure
+/// compared to `usize` (see the Rust Performance Book's "Smaller Integers"
+/// guidance).
+pub type PointId = u32;
+
+/// A 2-D point with `f64` coordinates.
+///
+/// Points are `Copy` (16 bytes) and are stored by value in dense arrays;
+/// algorithms refer to them by [`PointId`].
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Coordinate along `axis` (0 = x, 1 = y).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis > 1`.
+    #[inline]
+    pub fn coord(&self, axis: usize) -> f64 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            _ => panic!("axis must be 0 or 1, got {axis}"),
+        }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point { x, y }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_selects_axis() {
+        let p = Point::new(3.0, -7.5);
+        assert_eq!(p.coord(0), 3.0);
+        assert_eq!(p.coord(1), -7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis must be 0 or 1")]
+    fn coord_rejects_bad_axis() {
+        Point::new(0.0, 0.0).coord(2);
+    }
+
+    #[test]
+    fn dist2_is_squared_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(b.dist2(&a), 25.0);
+        assert_eq!(a.dist2(&a), 0.0);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn point_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<Point>(), 16);
+    }
+}

@@ -1,0 +1,217 @@
+use crate::Point;
+
+/// A closed axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+///
+/// Used for query windows (`w(r)`), grid cells, and bounding boxes.
+/// Containment is **closed** on all four sides, matching the paper's
+/// `w(r) ∩ s` predicate ("a point s exists in w(r)").
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Rect {
+    /// Left x coordinate (`w(r).xmin` in the paper).
+    pub min_x: f64,
+    /// Bottom y coordinate.
+    pub min_y: f64,
+    /// Right x coordinate.
+    pub max_x: f64,
+    /// Top y coordinate.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `min > max` on either axis.
+    #[inline]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        debug_assert!(min_x <= max_x, "min_x {min_x} > max_x {max_x}");
+        debug_assert!(min_y <= max_y, "min_y {min_y} > max_y {max_y}");
+        Rect { min_x, min_y, max_x, max_y }
+    }
+
+    /// The query window `w(r)` of half-extent `l` centred at `center`:
+    /// `[r.x − l, r.x + l] × [r.y − l, r.y + l]` (paper §V-A).
+    #[inline]
+    pub fn window(center: Point, half_extent: f64) -> Self {
+        debug_assert!(half_extent >= 0.0, "half_extent must be non-negative");
+        Rect {
+            min_x: center.x - half_extent,
+            min_y: center.y - half_extent,
+            max_x: center.x + half_extent,
+            max_y: center.y + half_extent,
+        }
+    }
+
+    /// `true` iff `p` lies inside the closed rectangle.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.min_x <= p.x && p.x <= self.max_x && self.min_y <= p.y && p.y <= self.max_y
+    }
+
+    /// `true` iff the two closed rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// `true` iff `other` is entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.min_x <= other.min_x
+            && other.max_x <= self.max_x
+            && self.min_y <= other.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// Intersection of two rectangles, or `None` if they are disjoint.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let min_x = self.min_x.max(other.min_x);
+        let min_y = self.min_y.max(other.min_y);
+        let max_x = self.max_x.min(other.max_x);
+        let max_y = self.max_y.min(other.max_y);
+        (min_x <= max_x && min_y <= max_y).then_some(Rect { min_x, min_y, max_x, max_y })
+    }
+
+    /// Width (x extent) of the rectangle.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height (y extent) of the rectangle.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point of the rectangle.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.min_x + self.width() * 0.5,
+            self.min_y + self.height() * 0.5,
+        )
+    }
+
+    /// Minimum coordinate along `axis` (0 = x, 1 = y).
+    #[inline]
+    pub fn min_coord(&self, axis: usize) -> f64 {
+        if axis == 0 { self.min_x } else { self.min_y }
+    }
+
+    /// Maximum coordinate along `axis` (0 = x, 1 = y).
+    #[inline]
+    pub fn max_coord(&self, axis: usize) -> f64 {
+        if axis == 0 { self.max_x } else { self.max_y }
+    }
+
+    /// Smallest rectangle covering `self` and `p`.
+    #[inline]
+    pub fn grown_to(&self, p: Point) -> Rect {
+        Rect {
+            min_x: self.min_x.min(p.x),
+            min_y: self.min_y.min(p.y),
+            max_x: self.max_x.max(p.x),
+            max_y: self.max_y.max(p.y),
+        }
+    }
+
+    /// A degenerate rectangle containing only `p`.
+    #[inline]
+    pub fn degenerate(p: Point) -> Rect {
+        Rect { min_x: p.x, min_y: p.y, max_x: p.x, max_y: p.y }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_is_centered_square() {
+        let w = Rect::window(Point::new(10.0, 20.0), 5.0);
+        assert_eq!(w, Rect::new(5.0, 15.0, 15.0, 25.0));
+        assert_eq!(w.width(), 10.0);
+        assert_eq!(w.height(), 10.0);
+        assert_eq!(w.center(), Point::new(10.0, 20.0));
+    }
+
+    #[test]
+    fn containment_is_closed() {
+        let w = Rect::new(0.0, 0.0, 10.0, 10.0);
+        // all four edges and corners are inside
+        assert!(w.contains(Point::new(0.0, 0.0)));
+        assert!(w.contains(Point::new(10.0, 10.0)));
+        assert!(w.contains(Point::new(0.0, 10.0)));
+        assert!(w.contains(Point::new(5.0, 0.0)));
+        assert!(w.contains(Point::new(5.0, 5.0)));
+        // just outside
+        assert!(!w.contains(Point::new(-1e-9, 5.0)));
+        assert!(!w.contains(Point::new(5.0, 10.0 + 1e-9)));
+    }
+
+    #[test]
+    fn zero_extent_window_contains_center_only() {
+        let c = Point::new(3.0, 3.0);
+        let w = Rect::window(c, 0.0);
+        assert!(w.contains(c));
+        assert!(!w.contains(Point::new(3.0 + 1e-12, 3.0)));
+    }
+
+    #[test]
+    fn intersects_shared_edge() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 0.0, 2.0, 1.0); // touches at x = 1
+        let c = Rect::new(1.0 + 1e-9, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn intersection_clips() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(5.0, -5.0, 15.0, 5.0);
+        assert_eq!(a.intersection(&b), Some(Rect::new(5.0, 0.0, 10.0, 5.0)));
+        let far = Rect::new(100.0, 100.0, 101.0, 101.0);
+        assert_eq!(a.intersection(&far), None);
+    }
+
+    #[test]
+    fn contains_rect_and_degenerate() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(a.contains_rect(&Rect::new(1.0, 1.0, 9.0, 9.0)));
+        assert!(a.contains_rect(&a));
+        assert!(!a.contains_rect(&Rect::new(1.0, 1.0, 10.5, 9.0)));
+        let d = Rect::degenerate(Point::new(4.0, 4.0));
+        assert!(a.contains_rect(&d));
+        assert_eq!(d.area(), 0.0);
+    }
+
+    #[test]
+    fn grown_to_covers_point() {
+        let r = Rect::degenerate(Point::new(1.0, 1.0)).grown_to(Point::new(-2.0, 5.0));
+        assert_eq!(r, Rect::new(-2.0, 1.0, 1.0, 5.0));
+        assert!(r.contains(Point::new(-2.0, 5.0)));
+    }
+
+    #[test]
+    fn axis_accessors() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.min_coord(0), 1.0);
+        assert_eq!(r.min_coord(1), 2.0);
+        assert_eq!(r.max_coord(0), 3.0);
+        assert_eq!(r.max_coord(1), 4.0);
+    }
+}

@@ -1,0 +1,484 @@
+use srj_geom::{Point, PointId, Rect};
+
+use crate::cell::Cell;
+use crate::fx::FxHashMap;
+use crate::offsets::NEIGHBOR_OFFSETS;
+
+/// Non-empty hash grid over a point set (`GRID-MAPPING(S, l)`).
+///
+/// The grid owns a copy of the point coordinates (the algorithms index by
+/// [`PointId`]), a hash map from discrete cell coordinates to cell slots,
+/// and one [`Cell`] per non-empty cell with x- and y-sorted id arrays.
+///
+/// Total space is `O(m)`: each point id appears in exactly one cell's
+/// `by_x` and `by_y`.
+///
+/// ```
+/// use srj_geom::{Point, Rect};
+/// use srj_grid::Grid;
+///
+/// let pts = vec![Point::new(1.0, 1.0), Point::new(12.0, 3.0), Point::new(13.0, 4.0)];
+/// let grid = Grid::build(&pts, 10.0); // cell side = window half-extent
+/// assert_eq!(grid.num_cells(), 2);    // only non-empty cells exist
+/// assert_eq!(grid.coord_of(pts[1]), (1, 0));
+/// assert_eq!(grid.exact_window_count(&Rect::new(0.0, 0.0, 12.5, 5.0)), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Grid {
+    cell_side: f64,
+    points: Vec<Point>,
+    lookup: FxHashMap<(i32, i32), u32>,
+    cells: Vec<Cell>,
+}
+
+impl Grid {
+    /// Builds the grid with the given cell side (the paper uses cell side
+    /// = window half-extent `l`, i.e. half the window side).
+    ///
+    /// `O(m log m)` time (dominated by the per-cell sorts), `O(m)` space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_side` is not strictly positive and finite, or if a
+    /// coordinate divided by `cell_side` overflows `i32` (cannot happen
+    /// for the paper's normalised `[0, 10000]²` domain with any sane `l`).
+    pub fn build(points: &[Point], cell_side: f64) -> Self {
+        Self::build_inner(points, None, cell_side)
+    }
+
+    /// Builds the grid from a **pre-sorted** x-order of the points (the
+    /// paper's offline preprocessing: "points in S are pre-sorted based
+    /// on the x-dimension", Lemma 1 / footnote 2).
+    ///
+    /// `x_order` must be a permutation of `0..points.len()` sorted by
+    /// ascending x. Appending ids in this order makes every cell's
+    /// `by_x` sorted for free, so the grid-mapping phase only sorts the
+    /// y copies (`S_y(c)`) — exactly Algorithm 1 lines 1–4.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `x_order` is not x-sorted; panics if its
+    /// length differs from `points`.
+    pub fn build_from_sorted(points: &[Point], x_order: &[PointId], cell_side: f64) -> Self {
+        assert_eq!(x_order.len(), points.len(), "x_order must cover all points");
+        debug_assert!(
+            x_order
+                .windows(2)
+                .all(|w| points[w[0] as usize].x <= points[w[1] as usize].x),
+            "x_order must be sorted by x"
+        );
+        Self::build_inner(points, Some(x_order), cell_side)
+    }
+
+    fn build_inner(points: &[Point], x_order: Option<&[PointId]>, cell_side: f64) -> Self {
+        assert!(
+            cell_side.is_finite() && cell_side > 0.0,
+            "cell_side must be positive and finite, got {cell_side}"
+        );
+        assert!(points.len() <= u32::MAX as usize, "too many points");
+        assert!(
+            points.iter().all(|p| p.x.is_finite() && p.y.is_finite()),
+            "points must have finite coordinates"
+        );
+
+        let mut lookup: FxHashMap<(i32, i32), u32> = FxHashMap::default();
+        let mut members: Vec<Vec<PointId>> = Vec::new();
+        let mut insert = |id: PointId| {
+            let coord = coord_of_raw(points[id as usize], cell_side);
+            let slot = *lookup.entry(coord).or_insert_with(|| {
+                members.push(Vec::new());
+                (members.len() - 1) as u32
+            });
+            members[slot as usize].push(id);
+        };
+        match x_order {
+            Some(order) => order.iter().for_each(|&id| insert(id)),
+            None => (0..points.len() as u32).for_each(&mut insert),
+        }
+        let presorted = x_order.is_some();
+
+        // Recover each cell's coordinate from the lookup (avoids a second
+        // pass over the points).
+        let mut coords: Vec<(i32, i32)> = vec![(0, 0); members.len()];
+        for (&coord, &slot) in &lookup {
+            coords[slot as usize] = coord;
+        }
+
+        let cells: Vec<Cell> = members
+            .into_iter()
+            .zip(coords)
+            .map(|(ids, coord)| {
+                let mut by_x = ids;
+                let mut by_y = by_x.clone();
+                if !presorted {
+                    by_x.sort_unstable_by(|&a, &b| {
+                        points[a as usize].x.total_cmp(&points[b as usize].x)
+                    });
+                }
+                by_y.sort_unstable_by(|&a, &b| {
+                    points[a as usize].y.total_cmp(&points[b as usize].y)
+                });
+                let rect = Rect::new(
+                    coord.0 as f64 * cell_side,
+                    coord.1 as f64 * cell_side,
+                    (coord.0 as f64 + 1.0) * cell_side,
+                    (coord.1 as f64 + 1.0) * cell_side,
+                );
+                Cell { coord, rect, by_x, by_y }
+            })
+            .collect();
+
+        Grid { cell_side, points: points.to_vec(), lookup, cells }
+    }
+
+    /// Cell side length the grid was built with.
+    #[inline]
+    pub fn cell_side(&self) -> f64 {
+        self.cell_side
+    }
+
+    /// Number of indexed points (`m`).
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of non-empty cells.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// All indexed points, indexable by [`PointId`].
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Coordinates of point `id`.
+    #[inline]
+    pub fn point(&self, id: PointId) -> Point {
+        self.points[id as usize]
+    }
+
+    /// All non-empty cells (iteration order is unspecified but stable).
+    #[inline]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Discrete cell coordinate containing `p`.
+    #[inline]
+    pub fn coord_of(&self, p: Point) -> (i32, i32) {
+        coord_of_raw(p, self.cell_side)
+    }
+
+    /// The cell at `coord`, if non-empty.
+    #[inline]
+    pub fn cell_at(&self, coord: (i32, i32)) -> Option<&Cell> {
+        self.lookup.get(&coord).map(|&slot| &self.cells[slot as usize])
+    }
+
+    /// Slot index of the cell at `coord`, if non-empty. Slots index
+    /// [`Grid::cells`] and stay stable for the grid's lifetime, letting
+    /// callers attach per-cell side structures (e.g. the BBST pair).
+    #[inline]
+    pub fn cell_slot_at(&self, coord: (i32, i32)) -> Option<u32> {
+        self.lookup.get(&coord).copied()
+    }
+
+    /// The cell stored at `slot` (see [`Grid::cell_slot_at`]).
+    #[inline]
+    pub fn cell(&self, slot: u32) -> &Cell {
+        &self.cells[slot as usize]
+    }
+
+    /// Slot indices of the ≤ 9 cells of the 3×3 block around the cell
+    /// containing `p`, in [`NEIGHBOR_OFFSETS`] order.
+    pub fn neighborhood_slots(&self, p: Point) -> [Option<u32>; 9] {
+        let (cx, cy) = self.coord_of(p);
+        let mut out = [None; 9];
+        for (slot, &(dx, dy)) in out.iter_mut().zip(NEIGHBOR_OFFSETS.iter()) {
+            let coord = (cx.saturating_add(dx), cy.saturating_add(dy));
+            *slot = self.cell_slot_at(coord);
+        }
+        out
+    }
+
+    /// The ≤ 9 cells of the 3×3 block around the cell containing `p`, in
+    /// [`NEIGHBOR_OFFSETS`] order (`None` where the cell is empty).
+    pub fn neighborhood(&self, p: Point) -> [Option<&Cell>; 9] {
+        let (cx, cy) = self.coord_of(p);
+        let mut out = [None; 9];
+        for (slot, &(dx, dy)) in out.iter_mut().zip(NEIGHBOR_OFFSETS.iter()) {
+            // Windows at the domain edge may index coordinates one step
+            // outside the populated range; saturating keeps them empty.
+            let coord = (cx.saturating_add(dx), cy.saturating_add(dy));
+            *slot = self.cell_at(coord);
+        }
+        out
+    }
+
+    /// Sum of `|S(c)|` over the 3×3 block around `p` — the loose
+    /// upper bound `µ(r)` of KDS-rejection (Section III-B), `O(1)`.
+    pub fn neighborhood_population(&self, p: Point) -> usize {
+        self.neighborhood(p)
+            .iter()
+            .flatten()
+            .map(|c| c.len())
+            .sum()
+    }
+
+    /// Exact number of indexed points inside the closed rectangle `w`.
+    ///
+    /// Visits every cell overlapping `w`; fully-covered cells contribute
+    /// `|S(c)|` in `O(1)`, boundary cells contribute an x-binary-search
+    /// plus a scan of the x-run. Used as ground truth (`|S(w(r))|`, and
+    /// `|J| = Σ_r |S(w(r))|`).
+    pub fn exact_window_count(&self, w: &Rect) -> usize {
+        let (lo_cx, lo_cy) = coord_of_raw(Point::new(w.min_x, w.min_y), self.cell_side);
+        let (hi_cx, hi_cy) = coord_of_raw(Point::new(w.max_x, w.max_y), self.cell_side);
+        let span = (hi_cx as i64 - lo_cx as i64 + 1) * (hi_cy as i64 - lo_cy as i64 + 1);
+        if span > self.cells.len() as i64 {
+            // Wide window: iterating the non-empty cells is cheaper.
+            return self
+                .cells
+                .iter()
+                .map(|c| self.count_cell_in_window(c, w))
+                .sum();
+        }
+        let mut total = 0usize;
+        for cx in lo_cx..=hi_cx {
+            for cy in lo_cy..=hi_cy {
+                if let Some(c) = self.cell_at((cx, cy)) {
+                    total += self.count_cell_in_window(c, w);
+                }
+            }
+        }
+        total
+    }
+
+    #[inline]
+    fn count_cell_in_window(&self, c: &Cell, w: &Rect) -> usize {
+        if w.contains_rect(&c.rect) {
+            c.len()
+        } else {
+            c.count_in_rect(&self.points, w)
+        }
+    }
+
+    /// Approximate heap footprint in bytes (Fig. 4 experiment).
+    pub fn memory_bytes(&self) -> usize {
+        let map_entry = std::mem::size_of::<((i32, i32), u32)>() + 1;
+        self.points.capacity() * std::mem::size_of::<Point>()
+            + self.lookup.capacity() * map_entry
+            + self.cells.capacity() * std::mem::size_of::<Cell>()
+            + self.cells.iter().map(Cell::memory_bytes).sum::<usize>()
+    }
+}
+
+#[inline]
+fn coord_of_raw(p: Point, cell_side: f64) -> (i32, i32) {
+    let cx = (p.x / cell_side).floor();
+    let cy = (p.y / cell_side).floor();
+    debug_assert!(
+        cx >= i32::MIN as f64 && cx <= i32::MAX as f64,
+        "cell x coordinate overflow"
+    );
+    debug_assert!(
+        cy >= i32::MIN as f64 && cy <= i32::MAX as f64,
+        "cell y coordinate overflow"
+    );
+    (cx as i32, cy as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, seed: u64) -> Vec<Point> {
+        // Deterministic pseudo-random points without pulling in rand here.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect()
+    }
+
+    #[test]
+    fn every_point_in_exactly_one_cell() {
+        let pts = cluster(500, 3);
+        let g = Grid::build(&pts, 7.0);
+        let mut seen = vec![0u32; pts.len()];
+        for c in g.cells() {
+            assert!(!c.is_empty(), "empty cell materialised");
+            assert_eq!(c.by_x.len(), c.by_y.len());
+            for &id in &c.by_x {
+                seen[id as usize] += 1;
+                assert_eq!(g.coord_of(pts[id as usize]), c.coord);
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1));
+        assert_eq!(
+            g.cells().iter().map(Cell::len).sum::<usize>(),
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn cell_arrays_are_sorted() {
+        let pts = cluster(300, 11);
+        let g = Grid::build(&pts, 10.0);
+        for c in g.cells() {
+            assert!(c
+                .by_x
+                .windows(2)
+                .all(|w| pts[w[0] as usize].x <= pts[w[1] as usize].x));
+            assert!(c
+                .by_y
+                .windows(2)
+                .all(|w| pts[w[0] as usize].y <= pts[w[1] as usize].y));
+        }
+    }
+
+    #[test]
+    fn point_on_cell_boundary_goes_to_upper_cell() {
+        let pts = vec![Point::new(10.0, 10.0), Point::new(9.999, 9.999)];
+        let g = Grid::build(&pts, 10.0);
+        assert_eq!(g.coord_of(pts[0]), (1, 1));
+        assert_eq!(g.coord_of(pts[1]), (0, 0));
+        assert_eq!(g.num_cells(), 2);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let pts = vec![Point::new(-0.5, -0.5), Point::new(0.5, 0.5)];
+        let g = Grid::build(&pts, 1.0);
+        assert_eq!(g.coord_of(pts[0]), (-1, -1));
+        assert_eq!(g.coord_of(pts[1]), (0, 0));
+        assert!(g.cell_at((-1, -1)).is_some());
+    }
+
+    #[test]
+    fn neighborhood_layout_and_population() {
+        // one point per cell of a 3x3 block centred at cell (1,1)
+        let mut pts = Vec::new();
+        for cx in 0..3 {
+            for cy in 0..3 {
+                pts.push(Point::new(cx as f64 + 0.5, cy as f64 + 0.5));
+            }
+        }
+        let g = Grid::build(&pts, 1.0);
+        let center = Point::new(1.5, 1.5);
+        let hood = g.neighborhood(center);
+        assert!(hood.iter().all(|c| c.is_some()));
+        assert_eq!(g.neighborhood_population(center), 9);
+        // at the corner of the populated block only 4 cells exist
+        let corner = Point::new(0.5, 0.5);
+        assert_eq!(g.neighborhood(corner).iter().flatten().count(), 4);
+        assert_eq!(g.neighborhood_population(corner), 4);
+    }
+
+    #[test]
+    fn exact_window_count_matches_brute_force() {
+        let pts = cluster(800, 17);
+        let g = Grid::build(&pts, 9.0);
+        let windows = [
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            Rect::new(13.0, 22.0, 31.0, 40.0),
+            Rect::new(50.0, 50.0, 50.0, 50.0),
+            Rect::new(-20.0, -20.0, -1.0, -1.0),
+            Rect::new(95.0, 0.0, 200.0, 200.0),
+        ];
+        for w in &windows {
+            let brute = pts.iter().filter(|p| w.contains(**p)).count();
+            assert_eq!(g.exact_window_count(w), brute, "window {w:?}");
+        }
+    }
+
+    #[test]
+    fn wide_window_path_matches_narrow_path() {
+        // tiny cell side forces the "span > num_cells" fallback
+        let pts = cluster(100, 23);
+        let g = Grid::build(&pts, 0.01);
+        let w = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let brute = pts.iter().filter(|p| w.contains(**p)).count();
+        assert_eq!(g.exact_window_count(&w), brute);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_side must be positive")]
+    fn zero_cell_side_panics() {
+        Grid::build(&[], 0.0);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g = Grid::build(&[], 5.0);
+        assert_eq!(g.num_cells(), 0);
+        assert_eq!(g.num_points(), 0);
+        assert_eq!(g.exact_window_count(&Rect::new(0.0, 0.0, 1.0, 1.0)), 0);
+        assert_eq!(g.neighborhood_population(Point::new(0.0, 0.0)), 0);
+    }
+
+    #[test]
+    fn memory_accounting_scales() {
+        let small = Grid::build(&cluster(100, 1), 10.0);
+        let large = Grid::build(&cluster(10_000, 1), 10.0);
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn build_from_sorted_matches_unsorted_build() {
+        let pts = cluster(600, 29);
+        let mut order: Vec<u32> = (0..pts.len() as u32).collect();
+        order.sort_by(|&a, &b| pts[a as usize].x.total_cmp(&pts[b as usize].x));
+        let a = Grid::build(&pts, 8.0);
+        let b = Grid::build_from_sorted(&pts, &order, 8.0);
+        assert_eq!(a.num_cells(), b.num_cells());
+        for cell in b.cells() {
+            // by_x sorted without an explicit per-cell sort
+            assert!(cell
+                .by_x
+                .windows(2)
+                .all(|w| pts[w[0] as usize].x <= pts[w[1] as usize].x));
+            let other = a.cell_at(cell.coord).unwrap();
+            let mut lhs = cell.by_x.clone();
+            let mut rhs = other.by_x.clone();
+            lhs.sort_unstable();
+            rhs.sort_unstable();
+            assert_eq!(lhs, rhs, "cell {:?} membership differs", cell.coord);
+        }
+        let w = Rect::new(10.0, 10.0, 60.0, 55.0);
+        assert_eq!(a.exact_window_count(&w), b.exact_window_count(&w));
+    }
+
+    #[test]
+    fn neighborhood_slots_agree_with_neighborhood() {
+        let pts = cluster(400, 31);
+        let g = Grid::build(&pts, 12.0);
+        for probe in [Point::new(50.0, 50.0), Point::new(3.0, 97.0), pts[7]] {
+            let cells = g.neighborhood(probe);
+            let slots = g.neighborhood_slots(probe);
+            for (c, s) in cells.iter().zip(slots.iter()) {
+                match (c, s) {
+                    (Some(cell), Some(slot)) => assert_eq!(cell.coord, g.cell(*slot).coord),
+                    (None, None) => {}
+                    _ => panic!("neighborhood and slots disagree"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x_order must cover all points")]
+    fn build_from_sorted_rejects_short_order() {
+        let pts = cluster(10, 1);
+        Grid::build_from_sorted(&pts, &[0, 1], 5.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The 3×3 neighbourhood layout of Fig. 1 and the case classification of
+//! Section IV-A.
+
+/// Offset `(dx, dy)` of a neighbour cell relative to the centre cell.
+pub type NeighborOffset = (i32, i32);
+
+/// Fixed enumeration order of the ≤ 9 cells overlapping a window, indexed
+/// `(dy + 1) * 3 + (dx + 1)`:
+///
+/// ```text
+///   index:   6 7 8        paper Fig. 1:   3 6 9
+///            3 4 5                        2 5 8
+///            0 1 2                        1 4 7
+/// ```
+///
+/// Index 4 is the centre cell (case 1); indices 1, 3, 5, 7 are the edge
+/// cells (case 2); indices 0, 2, 6, 8 are the corner cells (case 3).
+pub const NEIGHBOR_OFFSETS: [NeighborOffset; 9] = [
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (-1, 0),
+    (0, 0),
+    (1, 0),
+    (-1, 1),
+    (0, 1),
+    (1, 1),
+];
+
+/// Index of the centre cell in [`NEIGHBOR_OFFSETS`].
+pub const CENTER_IDX: usize = 4;
+
+/// How the window covers a neighbour cell (Section IV-A).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CellCase {
+    /// Case 1: the cell is fully covered (0-sided).
+    Full,
+    /// Case 2: fully covered along y, bounded on the left by
+    /// `w(r).xmin` (cell `c←`).
+    XMinSided,
+    /// Case 2: fully covered along y, bounded on the right by
+    /// `w(r).xmax` (cell `c→`).
+    XMaxSided,
+    /// Case 2: fully covered along x, bounded below by `w(r).ymin`
+    /// (cell `c↓`).
+    YMinSided,
+    /// Case 2: fully covered along x, bounded above by `w(r).ymax`
+    /// (cell `c↑`).
+    YMaxSided,
+    /// Case 3: bounded by `w(r).xmin` and `w(r).ymin` (cell `c↙`).
+    Quadrant { x_is_min: bool, y_is_min: bool },
+}
+
+/// Classifies neighbour index `i` (into [`NEIGHBOR_OFFSETS`]) per
+/// Section IV-A.
+///
+/// The quadrant flags follow the paper's arrows: `c↙` (index 0) is
+/// bounded by `xmin`/`ymin`, `c↗` (index 8) by `xmax`/`ymax`, etc.
+pub const fn case_of(i: usize) -> CellCase {
+    match i {
+        0 => CellCase::Quadrant { x_is_min: true, y_is_min: true }, // c↙
+        1 => CellCase::YMinSided,                                   // c↓
+        2 => CellCase::Quadrant { x_is_min: false, y_is_min: true }, // c↘
+        3 => CellCase::XMinSided,                                   // c←
+        4 => CellCase::Full,                                        // c
+        5 => CellCase::XMaxSided,                                   // c→
+        6 => CellCase::Quadrant { x_is_min: true, y_is_min: false }, // c↖
+        7 => CellCase::YMaxSided,                                   // c↑
+        8 => CellCase::Quadrant { x_is_min: false, y_is_min: false }, // c↗
+        _ => panic!("neighbour index out of range"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_cover_3x3_once() {
+        let mut seen = std::collections::HashSet::new();
+        for &(dx, dy) in &NEIGHBOR_OFFSETS {
+            assert!((-1..=1).contains(&dx) && (-1..=1).contains(&dy));
+            assert!(seen.insert((dx, dy)));
+        }
+        assert_eq!(seen.len(), 9);
+        assert_eq!(NEIGHBOR_OFFSETS[CENTER_IDX], (0, 0));
+    }
+
+    #[test]
+    fn index_formula_matches_layout() {
+        for (i, &(dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
+            assert_eq!(i, ((dy + 1) * 3 + (dx + 1)) as usize);
+        }
+    }
+
+    #[test]
+    fn case_classification() {
+        assert_eq!(case_of(CENTER_IDX), CellCase::Full);
+        // edges
+        assert_eq!(case_of(3), CellCase::XMinSided);
+        assert_eq!(case_of(5), CellCase::XMaxSided);
+        assert_eq!(case_of(1), CellCase::YMinSided);
+        assert_eq!(case_of(7), CellCase::YMaxSided);
+        // corners carry the right boundary flags
+        assert_eq!(case_of(0), CellCase::Quadrant { x_is_min: true, y_is_min: true });
+        assert_eq!(case_of(2), CellCase::Quadrant { x_is_min: false, y_is_min: true });
+        assert_eq!(case_of(6), CellCase::Quadrant { x_is_min: true, y_is_min: false });
+        assert_eq!(case_of(8), CellCase::Quadrant { x_is_min: false, y_is_min: false });
+    }
+
+    #[test]
+    fn corner_flags_match_offsets() {
+        // a corner at (dx, dy) is bounded by xmin iff dx == -1, by ymin
+        // iff dy == -1
+        for (i, &(dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
+            if let CellCase::Quadrant { x_is_min, y_is_min } = case_of(i) {
+                assert_eq!(x_is_min, dx == -1);
+                assert_eq!(y_is_min, dy == -1);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+use srj_geom::{Point, Rect};
+use srj_grid::Grid;
+
+/// Exact per-`r` range counts `|S(w(r))|` over a pre-built grid on `S`.
+///
+/// Used by the accuracy experiment (§V-B) and by tests; also exactly the
+/// quantity the KDS baseline computes with its kd-tree in step 1.
+pub fn per_r_counts(r: &[Point], s_grid: &Grid, half_extent: f64) -> Vec<u64> {
+    r.iter()
+        .map(|&rp| s_grid.exact_window_count(&Rect::window(rp, half_extent)) as u64)
+        .collect()
+}
+
+/// Exact join cardinality `|J| = Σ_r |S(w(r))|` without materialising
+/// the pairs.
+///
+/// `O(m log m)` grid build plus `O(n (log m + boundary scans))` probes —
+/// far cheaper than `Ω(|J|)` when the join is large, which is what makes
+/// the accuracy metric computable at the paper's scales.
+pub fn join_count(r: &[Point], s: &[Point], half_extent: f64) -> u64 {
+    assert!(half_extent > 0.0, "half_extent must be positive");
+    let grid = Grid::build(s, half_extent);
+    per_r_counts(r, &grid, half_extent).into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nested::nested_loop_join;
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+    }
+
+    #[test]
+    fn count_matches_materialized_join() {
+        let r = pseudo_points(100, 21, 80.0);
+        let s = pseudo_points(140, 22, 80.0);
+        for l in [2.0, 8.0, 30.0] {
+            assert_eq!(
+                join_count(&r, &s, l),
+                nested_loop_join(&r, &s, l).len() as u64,
+                "half_extent {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_r_counts_sum_to_join_count() {
+        let r = pseudo_points(60, 31, 40.0);
+        let s = pseudo_points(60, 32, 40.0);
+        let grid = Grid::build(&s, 5.0);
+        let counts = per_r_counts(&r, &grid, 5.0);
+        assert_eq!(counts.len(), r.len());
+        assert_eq!(counts.iter().sum::<u64>(), join_count(&r, &s, 5.0));
+    }
+
+    #[test]
+    fn empty_join() {
+        let r = vec![Point::new(0.0, 0.0)];
+        let s = vec![Point::new(100.0, 100.0)];
+        assert_eq!(join_count(&r, &s, 1.0), 0);
+    }
+}

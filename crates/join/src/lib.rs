@@ -1,0 +1,38 @@
+//! Exact spatial range join algorithms.
+//!
+//! The paper's problem statement rules these out as a *solution* — any
+//! join algorithm pays `Ω(|J|)` \[Wang & Tao 2024\], and `|J|` can be
+//! `Θ(nm)` — but they are needed three ways:
+//!
+//! 1. as the **"join then sample" strawman** the introduction dismisses
+//!    (implemented in `srj-core::JoinThenSample`),
+//! 2. as **ground truth** for correctness tests (every sampler may only
+//!    emit pairs the join emits),
+//! 3. to compute **`|J|`** for the paper's accuracy metric
+//!    `Σ_r µ(r) / |J|` (§V-B) without materialising the pairs.
+//!
+//! Three algorithms are provided, mirroring the related-work section:
+//! the index nested-loop join over a grid ([`grid_join`], the "simple yet
+//! still state-of-the-art" approach \[77, 78\]), a plane-sweep join
+//! ([`plane_sweep_join`], \[79\]), and the brute-force nested loop
+//! ([`nested_loop_join`]) as the obviously-correct oracle for tests.
+
+mod count;
+mod grid_inl;
+mod nested;
+mod rtree_inl;
+mod sweep;
+
+pub use count::{join_count, per_r_counts};
+pub use grid_inl::grid_join;
+pub use nested::nested_loop_join;
+pub use rtree_inl::rtree_join;
+pub use sweep::plane_sweep_join;
+
+/// A join result pair: ids into the `R` and `S` slices.
+pub type IdPair = (srj_geom::PointId, srj_geom::PointId);
+
+/// Canonical ordering for comparing join outputs in tests.
+pub fn sort_pairs(pairs: &mut [IdPair]) {
+    pairs.sort_unstable();
+}

@@ -1,0 +1,58 @@
+use srj_geom::{Point, Rect};
+
+use crate::IdPair;
+
+/// Brute-force nested-loop spatial range join: `O(nm)` time.
+///
+/// The obviously-correct oracle used to validate the other join
+/// algorithms and the samplers on small inputs.
+pub fn nested_loop_join(r: &[Point], s: &[Point], half_extent: f64) -> Vec<IdPair> {
+    let mut out = Vec::new();
+    for (i, &rp) in r.iter().enumerate() {
+        let w = Rect::window(rp, half_extent);
+        for (j, &sp) in s.iter().enumerate() {
+            if w.contains(sp) {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_predicate() {
+        // Definition 1: w(r) ∩ s  ⇔  r ∩ w(s) for a common range size.
+        let r = vec![Point::new(0.0, 0.0), Point::new(10.0, 10.0)];
+        let s = vec![Point::new(3.0, 4.0), Point::new(8.0, 8.0)];
+        let forward = nested_loop_join(&r, &s, 5.0);
+        let backward = nested_loop_join(&s, &r, 5.0);
+        let mut flipped: Vec<_> = backward.into_iter().map(|(a, b)| (b, a)).collect();
+        flipped.sort_unstable();
+        let mut fwd = forward;
+        fwd.sort_unstable();
+        assert_eq!(fwd, flipped);
+    }
+
+    #[test]
+    fn small_example() {
+        let r = vec![Point::new(5.0, 5.0)];
+        let s = vec![
+            Point::new(4.0, 4.0),  // inside
+            Point::new(6.0, 6.0),  // inside
+            Point::new(5.0, 7.0),  // on edge (closed) — inside
+            Point::new(5.0, 7.1),  // outside
+        ];
+        let j = nested_loop_join(&r, &s, 2.0);
+        assert_eq!(j, vec![(0, 0), (0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(nested_loop_join(&[], &[Point::new(0.0, 0.0)], 1.0).is_empty());
+        assert!(nested_loop_join(&[Point::new(0.0, 0.0)], &[], 1.0).is_empty());
+    }
+}

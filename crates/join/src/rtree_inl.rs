@@ -1,0 +1,69 @@
+use srj_geom::{Point, Rect};
+use srj_rtree::RTree;
+
+use crate::IdPair;
+
+/// R-tree index nested-loop join: bulk-loads an STR R-tree over `S`,
+/// then probes one window query per `r ∈ R`.
+///
+/// This is the classic INL instantiation the paper's related-work
+/// section calls "a simple yet still state-of-the-art approach"
+/// \[Jacox & Samet 2007; Gu et al. 2023\]. Compared with [`crate::grid_join`]
+/// it pays tree traversal per probe but needs no tuning to the window
+/// size.
+pub fn rtree_join(r: &[Point], s: &[Point], half_extent: f64) -> Vec<IdPair> {
+    assert!(half_extent > 0.0, "half_extent must be positive");
+    let tree = RTree::build(s);
+    let mut out = Vec::new();
+    let mut hits = Vec::new();
+    for (i, &rp) in r.iter().enumerate() {
+        hits.clear();
+        tree.range_report(&Rect::window(rp, half_extent), &mut hits);
+        out.extend(hits.iter().map(|&sid| (i as u32, sid)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nested::nested_loop_join;
+    use crate::sort_pairs;
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+    }
+
+    #[test]
+    fn matches_nested_loop() {
+        let r = pseudo_points(110, 41, 70.0);
+        let s = pseudo_points(140, 42, 70.0);
+        for l in [1.0, 6.0, 25.0, 150.0] {
+            let mut a = rtree_join(&r, &s, l);
+            let mut b = nested_loop_join(&r, &s, l);
+            sort_pairs(&mut a);
+            sort_pairs(&mut b);
+            assert_eq!(a, b, "half_extent {l}");
+        }
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert!(rtree_join(&[], &pseudo_points(10, 1, 10.0), 1.0).is_empty());
+        assert!(rtree_join(&pseudo_points(10, 1, 10.0), &[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn boundary_points_join() {
+        let r = vec![Point::new(5.0, 5.0)];
+        let s = vec![Point::new(3.0, 5.0), Point::new(7.0, 5.0), Point::new(5.0, 3.0)];
+        assert_eq!(rtree_join(&r, &s, 2.0).len(), 3);
+    }
+}

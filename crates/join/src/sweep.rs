@@ -1,0 +1,95 @@
+use srj_geom::Point;
+
+use crate::IdPair;
+
+/// Plane-sweep spatial range join \[Patel & DeWitt 1996 family\]:
+/// sorts both sets by x and sweeps a vertical strip of width `2l`,
+/// checking the y predicate inside the strip.
+///
+/// `O((n + m) log(n + m) + strip scans)`; on point data with small
+/// windows the strip scans are near-output-sensitive. Used as the second
+/// "state-of-the-art join" comparator (paper §VI cites the plane-sweep
+/// family as one of the two leading in-memory approaches).
+pub fn plane_sweep_join(r: &[Point], s: &[Point], half_extent: f64) -> Vec<IdPair> {
+    let mut r_ids: Vec<u32> = (0..r.len() as u32).collect();
+    r_ids.sort_unstable_by(|&a, &b| r[a as usize].x.total_cmp(&r[b as usize].x));
+    let mut s_ids: Vec<u32> = (0..s.len() as u32).collect();
+    s_ids.sort_unstable_by(|&a, &b| s[a as usize].x.total_cmp(&s[b as usize].x));
+
+    let mut out = Vec::new();
+    let mut strip_start = 0usize; // first s whose x ≥ r.x − l
+    for &ri in &r_ids {
+        let rp = r[ri as usize];
+        let x_lo = rp.x - half_extent;
+        let x_hi = rp.x + half_extent;
+        while strip_start < s_ids.len() && s[s_ids[strip_start] as usize].x < x_lo {
+            strip_start += 1;
+        }
+        let y_lo = rp.y - half_extent;
+        let y_hi = rp.y + half_extent;
+        for &si in &s_ids[strip_start..] {
+            let sp = s[si as usize];
+            if sp.x > x_hi {
+                break;
+            }
+            if y_lo <= sp.y && sp.y <= y_hi {
+                out.push((ri, si));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nested::nested_loop_join;
+    use crate::sort_pairs;
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+    }
+
+    #[test]
+    fn matches_nested_loop() {
+        let r = pseudo_points(130, 7, 50.0);
+        let s = pseudo_points(90, 8, 50.0);
+        for l in [0.5, 3.0, 10.0, 100.0] {
+            let mut a = plane_sweep_join(&r, &s, l);
+            let mut b = nested_loop_join(&r, &s, l);
+            sort_pairs(&mut a);
+            sort_pairs(&mut b);
+            assert_eq!(a, b, "half_extent {l}");
+        }
+    }
+
+    #[test]
+    fn duplicate_x_coordinates() {
+        let r: Vec<Point> = (0..20).map(|i| Point::new(5.0, i as f64)).collect();
+        let s: Vec<Point> = (0..20).map(|i| Point::new(5.0, (i as f64) + 0.5)).collect();
+        let mut a = plane_sweep_join(&r, &s, 2.0);
+        let mut b = nested_loop_join(&r, &s, 2.0);
+        sort_pairs(&mut a);
+        sort_pairs(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strip_boundaries_are_closed() {
+        let r = vec![Point::new(10.0, 10.0)];
+        let s = vec![
+            Point::new(8.0, 10.0),  // exactly on x_lo
+            Point::new(12.0, 10.0), // exactly on x_hi
+            Point::new(10.0, 12.0), // exactly on y_hi
+        ];
+        let j = plane_sweep_join(&r, &s, 2.0);
+        assert_eq!(j.len(), 3);
+    }
+}

@@ -1,0 +1,249 @@
+use rand::Rng;
+use srj_geom::{PointId, Rect};
+
+use crate::tree::NONE;
+use crate::KdTree;
+
+/// Reusable scratch buffer for canonical-range decomposition.
+///
+/// `KDS` re-decomposes the window for every draw (`O(√m)` per sample, as
+/// in Section III-A of the paper). The decomposition needs a temporary
+/// list of `O(√m)` contiguous index ranges; reusing this buffer across
+/// draws keeps the hot loop allocation-free (see the Rust Performance
+/// Book's "workhorse collection" pattern).
+#[derive(Default, Clone, Debug)]
+pub struct CanonicalScratch {
+    /// Contiguous internal-index ranges that are fully inside the window.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl CanonicalScratch {
+    /// Creates an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl KdTree {
+    /// Draws one point **uniformly at random** from the indexed points
+    /// inside the closed window `w`, independently of any previous draw.
+    ///
+    /// Returns `(id, count)` where `count = |S ∩ w|`, or `None` when the
+    /// window is empty. The count comes for free from the canonical
+    /// decomposition and is exactly what `KDS-rejection` needs for its
+    /// acceptance probability `|S(w(r))| / µ(r)` (paper Section III-B).
+    ///
+    /// This is the KDS primitive \[Xie et al., SIGMOD 2021\]:
+    /// 1. decompose `w` into canonical subtrees (fully covered nodes) and
+    ///    individually-checked boundary points — `O(√m)` ranges;
+    /// 2. draw a uniform rank in `[0, count)`;
+    /// 3. map the rank to a range, then to a point. Because every subtree
+    ///    owns a contiguous slice, step 3 is a uniform index choice.
+    ///
+    /// Every point in `S ∩ w` is returned with probability exactly
+    /// `1 / count`.
+    pub fn sample_in_range<R: Rng + ?Sized>(
+        &self,
+        w: &Rect,
+        rng: &mut R,
+        scratch: &mut CanonicalScratch,
+    ) -> Option<(PointId, usize)> {
+        let count = self.decompose(w, scratch);
+        if count == 0 {
+            return None;
+        }
+        let mut rank = rng.gen_range(0..count);
+        for &(lo, hi) in &scratch.ranges {
+            let len = (hi - lo) as usize;
+            if rank < len {
+                let (id, _) = self.entry(lo + rank as u32);
+                return Some((id, count));
+            }
+            rank -= len;
+        }
+        unreachable!("rank {rank} exceeded decomposition of size {count}")
+    }
+
+    /// Canonical decomposition of `w`: fills `scratch.ranges` with
+    /// contiguous internal-index ranges covering exactly `S ∩ w`, and
+    /// returns the total count.
+    fn decompose(&self, w: &Rect, scratch: &mut CanonicalScratch) -> usize {
+        scratch.ranges.clear();
+        if self.is_empty() {
+            return 0;
+        }
+        let mut total = 0usize;
+        let mut stack = [0u32; 64];
+        let mut top = 0usize;
+        stack[top] = 0;
+        top += 1;
+        // Iterative traversal with a fixed-size stack: the tree depth is
+        // O(log m) ≤ 64 for any dataset that fits in memory.
+        let mut overflow: Vec<u32> = Vec::new();
+        loop {
+            let node = if top > 0 {
+                top -= 1;
+                stack[top]
+            } else if let Some(n) = overflow.pop() {
+                n
+            } else {
+                break;
+            };
+            let n = &self.nodes()[node as usize];
+            if !w.intersects(&n.bbox) {
+                continue;
+            }
+            if w.contains_rect(&n.bbox) {
+                total += n.len() as usize;
+                scratch.ranges.push((n.lo, n.hi));
+                continue;
+            }
+            if n.is_leaf() {
+                // Boundary leaf: push each matching point as a unit range.
+                let mut run_start = NONE;
+                for i in n.lo..n.hi {
+                    if w.contains(self.pts_slice()[i as usize]) {
+                        if run_start == NONE {
+                            run_start = i;
+                        }
+                    } else if run_start != NONE {
+                        total += (i - run_start) as usize;
+                        scratch.ranges.push((run_start, i));
+                        run_start = NONE;
+                    }
+                }
+                if run_start != NONE {
+                    total += (n.hi - run_start) as usize;
+                    scratch.ranges.push((run_start, n.hi));
+                }
+                continue;
+            }
+            for child in [n.left, n.right] {
+                if top < stack.len() {
+                    stack[top] = child;
+                    top += 1;
+                } else {
+                    overflow.push(child);
+                }
+            }
+        }
+        total
+    }
+
+    #[inline]
+    fn nodes(&self) -> &[crate::tree::Node] {
+        &self.nodes
+    }
+
+    #[inline]
+    fn pts_slice(&self) -> &[srj_geom::Point] {
+        &self.pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use srj_geom::Point;
+    use std::collections::HashMap;
+
+    fn grid_points(nx: usize, ny: usize) -> Vec<Point> {
+        let mut v = Vec::with_capacity(nx * ny);
+        for i in 0..nx {
+            for j in 0..ny {
+                v.push(Point::new(i as f64, j as f64));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_window_returns_none() {
+        let t = KdTree::build(&grid_points(10, 10));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut scratch = CanonicalScratch::new();
+        let w = Rect::new(100.0, 100.0, 200.0, 200.0);
+        assert_eq!(t.sample_in_range(&w, &mut rng, &mut scratch), None);
+    }
+
+    #[test]
+    fn empty_tree_returns_none() {
+        let t = KdTree::build(&[]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut scratch = CanonicalScratch::new();
+        let w = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(t.sample_in_range(&w, &mut rng, &mut scratch), None);
+    }
+
+    #[test]
+    fn sample_lies_in_window_and_count_is_exact() {
+        let pts = grid_points(20, 20);
+        let t = KdTree::with_leaf_size(&pts, 4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut scratch = CanonicalScratch::new();
+        let w = Rect::new(2.5, 3.0, 11.0, 9.5);
+        let expected = pts.iter().filter(|p| w.contains(**p)).count();
+        for _ in 0..500 {
+            let (id, count) = t.sample_in_range(&w, &mut rng, &mut scratch).unwrap();
+            assert_eq!(count, expected);
+            assert!(w.contains(pts[id as usize]));
+        }
+    }
+
+    #[test]
+    fn single_point_window() {
+        let pts = grid_points(10, 10);
+        let t = KdTree::build(&pts);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut scratch = CanonicalScratch::new();
+        let w = Rect::degenerate(Point::new(4.0, 7.0));
+        let (id, count) = t.sample_in_range(&w, &mut rng, &mut scratch).unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(pts[id as usize], Point::new(4.0, 7.0));
+    }
+
+    #[test]
+    fn draws_are_uniform_over_window() {
+        // 6x6 sub-window of a 12x12 grid => 36 qualifying points.
+        let pts = grid_points(12, 12);
+        let t = KdTree::with_leaf_size(&pts, 3);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut scratch = CanonicalScratch::new();
+        let w = Rect::new(3.0, 3.0, 8.0, 8.0);
+        let draws = 180_000usize;
+        let mut freq: HashMap<PointId, usize> = HashMap::new();
+        for _ in 0..draws {
+            let (id, count) = t.sample_in_range(&w, &mut rng, &mut scratch).unwrap();
+            assert_eq!(count, 36);
+            *freq.entry(id).or_default() += 1;
+        }
+        assert_eq!(freq.len(), 36, "every qualifying point must be reachable");
+        let expected = draws as f64 / 36.0;
+        for (&id, &c) in &freq {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.06, "point {id}: expected {expected}, got {c}");
+        }
+    }
+
+    #[test]
+    fn whole_domain_window_is_uniform_over_everything() {
+        let pts = grid_points(8, 8);
+        let t = KdTree::with_leaf_size(&pts, 2);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut scratch = CanonicalScratch::new();
+        let w = Rect::new(-1.0, -1.0, 9.0, 9.0);
+        let mut freq = vec![0usize; 64];
+        for _ in 0..128_000 {
+            let (id, count) = t.sample_in_range(&w, &mut rng, &mut scratch).unwrap();
+            assert_eq!(count, 64);
+            freq[id as usize] += 1;
+        }
+        let expected = 128_000.0 / 64.0;
+        for (id, &c) in freq.iter().enumerate() {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.08, "point {id}: expected {expected}, got {c}");
+        }
+    }
+}

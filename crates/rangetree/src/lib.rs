@@ -1,0 +1,24 @@
+//! A static 2-D **range tree** \[Bentley 1979; Chazelle 1988\] with
+//! orthogonal range counting and independent range sampling.
+//!
+//! This is the comparator the paper dismisses in footnote 4:
+//!
+//! > "Range-tree, which needs Õ(1) time for an orthogonal range
+//! > counting, was also tested, but it ran out of memory before
+//! > completing the index building."
+//!
+//! The structure is a balanced BST over the x-dimension where every node
+//! stores the y-sorted ids of its whole subtree. Queries decompose the
+//! window into `O(log m)` canonical subtrees and resolve the y range
+//! with one binary search each — `O(log² m)` counting (the classic
+//! variant without fractional cascading). Because each point is stored
+//! at every ancestor, space is `Θ(m log m)` — the blow-up this crate
+//! exists to demonstrate (see the `footnote4` experiment).
+//!
+//! Sampling: within a canonical node the qualifying ids are a contiguous
+//! run of its y-sorted array, so a uniform draw is rank-selection over
+//! the collected runs — `O(log² m)` per draw, exactly uniform.
+
+mod tree;
+
+pub use tree::RangeTree;

@@ -1,0 +1,347 @@
+use rand::Rng;
+use srj_geom::{Point, PointId, Rect};
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    /// Range into the x-sorted leaf order covered by this subtree.
+    lo: u32,
+    hi: u32,
+    /// This subtree's ids sorted by y, as a segment of the arena.
+    y_seg: (u32, u32),
+    left: u32,
+    right: u32,
+}
+
+impl Node {
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.left == NONE
+    }
+}
+
+/// Static 2-D range tree (see the crate docs).
+///
+/// ```
+/// use srj_geom::{Point, Rect};
+/// use srj_rangetree::RangeTree;
+///
+/// let pts: Vec<Point> = (0..50).map(|i| Point::new(i as f64, (i % 5) as f64)).collect();
+/// let tree = RangeTree::build(&pts);
+/// let w = Rect::new(10.0, 1.0, 20.0, 3.0);
+/// assert_eq!(tree.range_count(&w), pts.iter().filter(|p| w.contains(**p)).count());
+/// ```
+#[derive(Clone, Debug)]
+pub struct RangeTree {
+    pts: Vec<Point>,
+    /// Point ids sorted by x — the leaf order.
+    x_order: Vec<PointId>,
+    nodes: Vec<Node>,
+    /// Concatenation of every node's y-sorted id array: `Θ(m log m)`
+    /// entries — the footnote-4 memory blow-up.
+    arena: Vec<PointId>,
+    root: u32,
+}
+
+impl RangeTree {
+    /// Builds the tree in `O(m log m)` time and — unlike every other
+    /// structure in this workspace — `Θ(m log m)` space.
+    pub fn build(points: &[Point]) -> Self {
+        assert!(points.len() <= (u32::MAX - 1) as usize, "too many points");
+        assert!(
+            points.iter().all(|p| p.x.is_finite() && p.y.is_finite()),
+            "points must have finite coordinates"
+        );
+        let mut x_order: Vec<PointId> = (0..points.len() as u32).collect();
+        x_order.sort_unstable_by(|&a, &b| {
+            points[a as usize].x.total_cmp(&points[b as usize].x)
+        });
+        let mut t = RangeTree {
+            pts: points.to_vec(),
+            x_order,
+            nodes: Vec::with_capacity(2 * points.len()),
+            arena: Vec::new(),
+            root: NONE,
+        };
+        if !t.pts.is_empty() {
+            t.root = t.build_rec(0, t.pts.len() as u32);
+        }
+        // The structure is static: drop the growth slack so the
+        // footprint reflects the data (Θ(m log m) arena).
+        t.nodes.shrink_to_fit();
+        t.arena.shrink_to_fit();
+        t
+    }
+
+    /// Builds the subtree over `x_order[lo..hi)` and returns its node
+    /// index. Children are built first so the parent's y array is the
+    /// linear merge of theirs (bottom-up mergesort ⇒ `O(m log m)` total).
+    fn build_rec(&mut self, lo: u32, hi: u32) -> u32 {
+        if hi - lo == 1 {
+            let start = self.arena.len() as u32;
+            self.arena.push(self.x_order[lo as usize]);
+            let me = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                lo,
+                hi,
+                y_seg: (start, start + 1),
+                left: NONE,
+                right: NONE,
+            });
+            return me;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let left = self.build_rec(lo, mid);
+        let right = self.build_rec(mid, hi);
+        let (ls, le) = self.nodes[left as usize].y_seg;
+        let (rs, re) = self.nodes[right as usize].y_seg;
+        let start = self.arena.len() as u32;
+        // merge the children's y-sorted segments
+        let (mut i, mut j) = (ls, rs);
+        while i < le && j < re {
+            let a = self.arena[i as usize];
+            let b = self.arena[j as usize];
+            if self.pts[a as usize].y <= self.pts[b as usize].y {
+                self.arena.push(a);
+                i += 1;
+            } else {
+                self.arena.push(b);
+                j += 1;
+            }
+        }
+        for k in i..le {
+            let v = self.arena[k as usize];
+            self.arena.push(v);
+        }
+        for k in j..re {
+            let v = self.arena[k as usize];
+            self.arena.push(v);
+        }
+        let me = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            lo,
+            hi,
+            y_seg: (start, self.arena.len() as u32),
+            left,
+            right,
+        });
+        me
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// `true` iff no points are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    #[inline]
+    fn node_x_span(&self, n: &Node) -> (f64, f64) {
+        (
+            self.pts[self.x_order[n.lo as usize] as usize].x,
+            self.pts[self.x_order[(n.hi - 1) as usize] as usize].x,
+        )
+    }
+
+    /// The contiguous run of `n`'s y-sorted segment inside
+    /// `[w.min_y, w.max_y]`.
+    #[inline]
+    fn y_run(&self, n: &Node, w: &Rect) -> (u32, u32) {
+        let seg = &self.arena[n.y_seg.0 as usize..n.y_seg.1 as usize];
+        let lb = seg.partition_point(|&id| self.pts[id as usize].y < w.min_y);
+        let ub = seg.partition_point(|&id| self.pts[id as usize].y <= w.max_y);
+        (n.y_seg.0 + lb as u32, n.y_seg.0 + ub as u32)
+    }
+
+    /// Visits the canonical decomposition of `w`: every maximal subtree
+    /// whose x span lies inside `[w.min_x, w.max_x]`, passing the arena
+    /// run of its y matches. `O(log² m)`.
+    fn for_each_canonical(&self, w: &Rect, mut visit: impl FnMut(u32, u32)) {
+        if self.root == NONE {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(ni) = stack.pop() {
+            let n = &self.nodes[ni as usize];
+            let (xmin, xmax) = self.node_x_span(n);
+            if xmin > w.max_x || xmax < w.min_x {
+                continue;
+            }
+            if w.min_x <= xmin && xmax <= w.max_x {
+                let (lo, hi) = self.y_run(n, w);
+                if lo < hi {
+                    visit(lo, hi);
+                }
+                continue;
+            }
+            if n.is_leaf() {
+                let p = self.pts[self.x_order[n.lo as usize] as usize];
+                if w.contains(p) {
+                    visit(n.y_seg.0, n.y_seg.1);
+                }
+                continue;
+            }
+            stack.push(n.left);
+            stack.push(n.right);
+        }
+    }
+
+    /// Exact `|S ∩ w|` in `O(log² m)`.
+    pub fn range_count(&self, w: &Rect) -> usize {
+        let mut total = 0usize;
+        self.for_each_canonical(w, |lo, hi| total += (hi - lo) as usize);
+        total
+    }
+
+    /// One uniform, independent draw from `S ∩ w` with the exact count,
+    /// or `None` if the window is empty. `O(log² m)`.
+    pub fn sample_in_range<R: Rng + ?Sized>(
+        &self,
+        w: &Rect,
+        rng: &mut R,
+    ) -> Option<(PointId, usize)> {
+        let count = self.range_count(w);
+        if count == 0 {
+            return None;
+        }
+        let mut rank = rng.gen_range(0..count);
+        let mut picked = None;
+        self.for_each_canonical(w, |lo, hi| {
+            if picked.is_some() {
+                return;
+            }
+            let len = (hi - lo) as usize;
+            if rank < len {
+                picked = Some(self.arena[(lo + rank as u32) as usize]);
+            } else {
+                rank -= len;
+            }
+        });
+        Some((picked.expect("rank within total count"), count))
+    }
+
+    /// Approximate heap footprint in bytes — `Θ(m log m)`, the number
+    /// this crate exists to report.
+    pub fn memory_bytes(&self) -> usize {
+        self.pts.capacity() * std::mem::size_of::<Point>()
+            + self.x_order.capacity() * std::mem::size_of::<PointId>()
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.arena.capacity() * std::mem::size_of::<PointId>()
+    }
+
+    /// Arena entries (≈ `m ⌈log₂ m⌉`): the log-factor overhead measured
+    /// by the footnote-4 experiment.
+    pub fn arena_entries(&self) -> usize {
+        self.arena.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let t = RangeTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.range_count(&Rect::new(0.0, 0.0, 1.0, 1.0)), 0);
+        let t = RangeTree::build(&[Point::new(2.0, 3.0)]);
+        assert_eq!(t.range_count(&Rect::new(0.0, 0.0, 5.0, 5.0)), 1);
+        assert_eq!(t.range_count(&Rect::new(0.0, 0.0, 1.0, 1.0)), 0);
+    }
+
+    #[test]
+    fn count_matches_brute_force() {
+        let pts = pseudo_points(500, 7, 100.0);
+        let t = RangeTree::build(&pts);
+        for (i, probe) in pseudo_points(40, 8, 100.0).into_iter().enumerate() {
+            let w = Rect::window(probe, 3.0 + (i as f64) * 2.0);
+            let brute = pts.iter().filter(|p| w.contains(**p)).count();
+            assert_eq!(t.range_count(&w), brute, "window {w:?}");
+        }
+    }
+
+    #[test]
+    fn duplicates_and_collinear() {
+        let mut pts = vec![Point::new(5.0, 5.0); 50];
+        pts.extend((0..50).map(|i| Point::new(i as f64, 5.0)));
+        let t = RangeTree::build(&pts);
+        assert_eq!(t.range_count(&Rect::new(5.0, 5.0, 5.0, 5.0)), 51);
+        assert_eq!(t.range_count(&Rect::new(0.0, 0.0, 100.0, 100.0)), 100);
+    }
+
+    #[test]
+    fn sample_is_uniform() {
+        let pts = pseudo_points(120, 9, 30.0);
+        let t = RangeTree::build(&pts);
+        let w = Rect::new(5.0, 5.0, 25.0, 25.0);
+        let qualifying: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| w.contains(pts[i as usize]))
+            .collect();
+        assert!(qualifying.len() > 10);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let draws = 4_000 * qualifying.len();
+        let mut freq = std::collections::HashMap::new();
+        for _ in 0..draws {
+            let (id, count) = t.sample_in_range(&w, &mut rng).unwrap();
+            assert_eq!(count, qualifying.len());
+            assert!(w.contains(pts[id as usize]));
+            *freq.entry(id).or_insert(0usize) += 1;
+        }
+        assert_eq!(freq.len(), qualifying.len());
+        let expected = draws as f64 / qualifying.len() as f64;
+        for (&id, &c) in &freq {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.1, "id {id}: {c} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn arena_is_m_log_m() {
+        let pts = pseudo_points(1024, 11, 50.0);
+        let t = RangeTree::build(&pts);
+        // complete binary tree over 1024 leaves: each point appears at
+        // exactly log2(1024) + 1 = 11 levels
+        assert_eq!(t.arena_entries(), 1024 * 11);
+    }
+
+    #[test]
+    fn memory_grows_superlinearly_vs_points() {
+        let small = RangeTree::build(&pseudo_points(1_000, 1, 50.0));
+        let large = RangeTree::build(&pseudo_points(16_000, 1, 50.0));
+        // arena entries per point grow with log m — the defining
+        // super-linear term
+        let apq_small = small.arena_entries() as f64 / 1_000.0;
+        let apq_large = large.arena_entries() as f64 / 16_000.0;
+        assert!(
+            apq_large > apq_small * 1.25,
+            "arena per point: {apq_small} -> {apq_large}"
+        );
+        // and the total footprint per point strictly increases too
+        let per_point_small = small.memory_bytes() as f64 / 1_000.0;
+        let per_point_large = large.memory_bytes() as f64 / 16_000.0;
+        assert!(
+            per_point_large > per_point_small * 1.05,
+            "{per_point_small} -> {per_point_large}"
+        );
+    }
+}

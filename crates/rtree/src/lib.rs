@@ -1,0 +1,20 @@
+//! An **STR bulk-loaded R-tree** \[Leutenegger et al. 1997\] over 2-D
+//! points, with orthogonal range counting and reporting.
+//!
+//! The paper's related-work section (§VI) names the index nested-loop
+//! join — classically an R-tree probe per outer point \[Jacox & Samet
+//! 2007; Šidlauskas & Jensen 2014\] — as one of the two state-of-the-art
+//! in-memory spatial join approaches. This crate provides that substrate
+//! so `srj-join::rtree_join` can stand in as the "run the join, then
+//! sample" comparator's index, and so the join-algorithm agreement tests
+//! have a third independent implementation to cross-check.
+//!
+//! Sort-Tile-Recursive packing: sort by x, cut into `⌈√(n/B)⌉` vertical
+//! slabs, sort each slab by y, cut into full leaves; repeat on the node
+//! MBR centres until one root remains. Produces near-100% node
+//! utilisation and near-square MBRs — the best static packing for point
+//! data.
+
+mod tree;
+
+pub use tree::{RTree, DEFAULT_FANOUT};

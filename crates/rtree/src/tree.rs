@@ -1,0 +1,329 @@
+use srj_geom::{Point, PointId, Rect};
+
+/// Default node fanout (entries per node). 16 balances probe depth
+/// against per-node scan cost for point data.
+pub const DEFAULT_FANOUT: usize = 16;
+
+#[derive(Clone, Debug)]
+struct Node {
+    /// Minimum bounding rectangle of everything below.
+    bbox: Rect,
+    /// Number of points below (enables O(1) containment counting).
+    count: u32,
+    /// Children: `leaf == true` ⇒ range into the entry arrays,
+    /// otherwise range into the node array.
+    lo: u32,
+    hi: u32,
+    leaf: bool,
+}
+
+/// STR bulk-loaded R-tree over points (see the crate docs).
+///
+/// ```
+/// use srj_geom::{Point, Rect};
+/// use srj_rtree::RTree;
+///
+/// let pts: Vec<Point> = (0..100).map(|i| Point::new(i as f64, (i % 7) as f64)).collect();
+/// let tree = RTree::build(&pts);
+/// let w = Rect::new(20.0, 1.0, 40.0, 5.0);
+/// assert_eq!(tree.range_count(&w), pts.iter().filter(|p| w.contains(**p)).count());
+/// ```
+#[derive(Clone, Debug)]
+pub struct RTree {
+    /// Leaf entries, reordered by the STR packing.
+    pts: Vec<Point>,
+    ids: Vec<PointId>,
+    nodes: Vec<Node>,
+    root: u32,
+    fanout: usize,
+}
+
+impl RTree {
+    /// Builds with [`DEFAULT_FANOUT`].
+    pub fn build(points: &[Point]) -> Self {
+        Self::with_fanout(points, DEFAULT_FANOUT)
+    }
+
+    /// Builds with an explicit fanout (must be ≥ 2).
+    pub fn with_fanout(points: &[Point], fanout: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        assert!(points.len() <= u32::MAX as usize, "too many points");
+        assert!(
+            points.iter().all(|p| p.x.is_finite() && p.y.is_finite()),
+            "points must have finite coordinates"
+        );
+        let mut entries: Vec<(Point, PointId)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as PointId))
+            .collect();
+
+        let mut t = RTree {
+            pts: Vec::with_capacity(points.len()),
+            ids: Vec::with_capacity(points.len()),
+            nodes: Vec::new(),
+            root: 0,
+            fanout,
+        };
+        if entries.is_empty() {
+            return t;
+        }
+
+        // Level 0: STR-pack the points into leaves.
+        str_sort(&mut entries, fanout, |e| e.0);
+        let mut level: Vec<u32> = Vec::new();
+        for chunk in entries.chunks(fanout) {
+            let lo = t.pts.len() as u32;
+            let mut bbox = Rect::degenerate(chunk[0].0);
+            for (p, id) in chunk {
+                t.pts.push(*p);
+                t.ids.push(*id);
+                bbox = bbox.grown_to(*p);
+            }
+            level.push(t.nodes.len() as u32);
+            t.nodes.push(Node {
+                bbox,
+                count: chunk.len() as u32,
+                lo,
+                hi: t.pts.len() as u32,
+                leaf: true,
+            });
+        }
+
+        // Upper levels: STR-pack node centres until a single root.
+        while level.len() > 1 {
+            let mut items: Vec<(Point, u32)> = level
+                .iter()
+                .map(|&ni| (t.nodes[ni as usize].bbox.center(), ni))
+                .collect();
+            str_sort(&mut items, fanout, |e| e.0);
+            let mut next: Vec<u32> = Vec::new();
+            // Children of one parent must be contiguous in the node
+            // array; re-emit them in packed order.
+            let mut packed_children: Vec<u32> = Vec::with_capacity(items.len());
+            let mut parents: Vec<(u32, u32)> = Vec::new();
+            for chunk in items.chunks(fanout) {
+                let start = packed_children.len() as u32;
+                packed_children.extend(chunk.iter().map(|&(_, ni)| ni));
+                parents.push((start, packed_children.len() as u32));
+            }
+            // Move the packed children to the front of a fresh segment.
+            let seg_base = t.nodes.len() as u32;
+            let mut remap: Vec<u32> = Vec::with_capacity(packed_children.len());
+            for &ni in &packed_children {
+                remap.push(t.nodes.len() as u32);
+                let copy = t.nodes[ni as usize].clone();
+                t.nodes.push(copy);
+            }
+            let _ = remap;
+            for (start, end) in parents {
+                let children = seg_base + start..seg_base + end;
+                let first = &t.nodes[children.start as usize];
+                let mut bbox = first.bbox;
+                let mut count = 0u32;
+                for ci in children.clone() {
+                    let c = &t.nodes[ci as usize];
+                    bbox = Rect::new(
+                        bbox.min_x.min(c.bbox.min_x),
+                        bbox.min_y.min(c.bbox.min_y),
+                        bbox.max_x.max(c.bbox.max_x),
+                        bbox.max_y.max(c.bbox.max_y),
+                    );
+                    count += c.count;
+                }
+                next.push(t.nodes.len() as u32);
+                t.nodes.push(Node {
+                    bbox,
+                    count,
+                    lo: children.start,
+                    hi: children.end,
+                    leaf: false,
+                });
+            }
+            level = next;
+        }
+        t.root = level[0];
+        t
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// `true` iff the tree indexes no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// Exact count of indexed points inside the closed rectangle.
+    pub fn range_count(&self, w: &Rect) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        self.count_rec(self.root, w)
+    }
+
+    fn count_rec(&self, ni: u32, w: &Rect) -> usize {
+        let n = &self.nodes[ni as usize];
+        if !w.intersects(&n.bbox) {
+            return 0;
+        }
+        if w.contains_rect(&n.bbox) {
+            return n.count as usize;
+        }
+        if n.leaf {
+            return self.pts[n.lo as usize..n.hi as usize]
+                .iter()
+                .filter(|p| w.contains(**p))
+                .count();
+        }
+        (n.lo..n.hi).map(|ci| self.count_rec(ci, w)).sum()
+    }
+
+    /// Appends ids of all indexed points inside `w` to `out`.
+    pub fn range_report(&self, w: &Rect, out: &mut Vec<PointId>) {
+        if self.is_empty() {
+            return;
+        }
+        self.report_rec(self.root, w, out);
+    }
+
+    fn report_rec(&self, ni: u32, w: &Rect, out: &mut Vec<PointId>) {
+        let n = &self.nodes[ni as usize];
+        if !w.intersects(&n.bbox) {
+            return;
+        }
+        if w.contains_rect(&n.bbox) && n.leaf {
+            out.extend_from_slice(&self.ids[n.lo as usize..n.hi as usize]);
+            return;
+        }
+        if n.leaf {
+            for i in n.lo..n.hi {
+                if w.contains(self.pts[i as usize]) {
+                    out.push(self.ids[i as usize]);
+                }
+            }
+            return;
+        }
+        for ci in n.lo..n.hi {
+            self.report_rec(ci, w, out);
+        }
+    }
+
+    /// Fanout the tree was built with.
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.pts.capacity() * std::mem::size_of::<Point>()
+            + self.ids.capacity() * std::mem::size_of::<PointId>()
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+    }
+}
+
+/// Sort-Tile-Recursive ordering: sort by x, then re-sort each vertical
+/// slab of `slab × fanout` items by y. After this, consecutive `fanout`
+/// chunks form the STR tiles.
+fn str_sort<T>(items: &mut [T], fanout: usize, center: impl Fn(&T) -> Point + Copy) {
+    let n = items.len();
+    let leaves = n.div_ceil(fanout);
+    let slabs = (leaves as f64).sqrt().ceil() as usize;
+    let slab_len = slabs.max(1) * fanout;
+    items.sort_by(|a, b| center(a).x.total_cmp(&center(b).x));
+    for slab in items.chunks_mut(slab_len) {
+        slab.sort_by(|a, b| center(a).y.total_cmp(&center(b).y));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let t = RTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.range_count(&Rect::new(0.0, 0.0, 1.0, 1.0)), 0);
+        let t = RTree::build(&[Point::new(3.0, 4.0)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.range_count(&Rect::new(0.0, 0.0, 5.0, 5.0)), 1);
+    }
+
+    #[test]
+    fn count_matches_brute_force() {
+        for n in [10usize, 100, 1_000, 5_000] {
+            let pts = pseudo_points(n, n as u64, 100.0);
+            let t = RTree::build(&pts);
+            for (i, probe) in pseudo_points(25, 99, 100.0).into_iter().enumerate() {
+                let w = Rect::window(probe, 2.0 + i as f64 * 3.0);
+                let brute = pts.iter().filter(|p| w.contains(**p)).count();
+                assert_eq!(t.range_count(&w), brute, "n={n} window {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_matches_count() {
+        let pts = pseudo_points(2_000, 5, 50.0);
+        let t = RTree::build(&pts);
+        let w = Rect::new(10.0, 10.0, 35.0, 30.0);
+        let mut out = Vec::new();
+        t.range_report(&w, &mut out);
+        assert_eq!(out.len(), t.range_count(&w));
+        out.sort_unstable();
+        out.dedup();
+        assert_eq!(out.len(), t.range_count(&w), "duplicates reported");
+        for id in out {
+            assert!(w.contains(pts[id as usize]));
+        }
+    }
+
+    #[test]
+    fn small_fanout_and_duplicates() {
+        let mut pts = vec![Point::new(1.0, 1.0); 40];
+        pts.extend(pseudo_points(60, 3, 10.0));
+        let t = RTree::with_fanout(&pts, 2);
+        assert_eq!(t.range_count(&Rect::degenerate(Point::new(1.0, 1.0))), 40);
+        let all = Rect::new(-1.0, -1.0, 11.0, 11.0);
+        assert_eq!(t.range_count(&all), 100);
+    }
+
+    #[test]
+    fn node_utilisation_is_high() {
+        // STR packing: every leaf except possibly the last is full
+        let pts = pseudo_points(1_600, 7, 100.0);
+        let t = RTree::with_fanout(&pts, 16);
+        let leaves: Vec<&Node> = t.nodes.iter().filter(|n| n.leaf).collect();
+        let full = leaves.iter().filter(|n| (n.hi - n.lo) as usize == 16).count();
+        assert!(full >= leaves.len() - 1, "{full} of {} leaves full", leaves.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be at least 2")]
+    fn fanout_one_rejected() {
+        RTree::with_fanout(&[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite coordinates")]
+    fn nan_rejected() {
+        RTree::build(&[Point::new(f64::NAN, 0.0)]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Progressive sampling with early stopping (paper §II: `t` "can be ∞";
+//! samplers "can stop sampling whenever sufficient join samples are
+//! obtained") — the online-aggregation pattern of the join-sampling
+//! literature the paper builds on (ripple joins, wander join).
+//!
+//! Question answered online: *what fraction of road-network join pairs
+//! lies in the busiest quarter of the map?* The estimator consumes
+//! samples one at a time and stops as soon as its 95% confidence
+//! interval is tighter than ±1%.
+//!
+//! ```sh
+//! cargo run --release --example progressive
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use srj::{
+    generate, split_rs, BbstSampler, DatasetKind, DatasetSpec, JoinSampler, SampleConfig,
+};
+
+fn main() {
+    let points = generate(&DatasetSpec::new(DatasetKind::RoadLike, 150_000, 6));
+    let (r, s) = split_rs(&points, 0.5, 23);
+    let config = SampleConfig::new(100.0);
+    let mut sampler = BbstSampler::build(&r, &s, &config);
+    let mut rng = SmallRng::seed_from_u64(31);
+
+    let in_region = |p: &srj::Point| p.x < 5_000.0 && p.y < 5_000.0;
+
+    let mut hits = 0usize;
+    let mut n = 0usize;
+    let target_half_width = 0.01; // ±1% at 95% confidence
+    for pair in sampler.sample_iter(&mut rng) {
+        n += 1;
+        if in_region(&r[pair.r as usize]) {
+            hits += 1;
+        }
+        if n % 1_000 == 0 {
+            let p = hits as f64 / n as f64;
+            let half_width = 1.96 * (p * (1.0 - p) / n as f64).sqrt();
+            if half_width < target_half_width {
+                println!(
+                    "converged after {n} samples: share = {:.3} ± {:.3}",
+                    p, half_width
+                );
+                break;
+            }
+        }
+    }
+    assert!(n > 0, "sampler produced no samples");
+
+    // Verify against the exact answer.
+    let join = srj::join::grid_join(&r, &s, config.half_extent);
+    let exact = join
+        .iter()
+        .filter(|&&(ri, _)| in_region(&r[ri as usize]))
+        .count() as f64
+        / join.len() as f64;
+    let estimate = hits as f64 / n as f64;
+    println!("exact share = {exact:.3}, estimate = {estimate:.3}");
+    println!(
+        "stopped after {n} samples vs |J| = {} pairs the exact path scans",
+        join.len()
+    );
+    assert!((estimate - exact).abs() < 0.02, "estimator outside tolerance");
+}

@@ -1,0 +1,65 @@
+//! # `srj` — Random Sampling over Spatial Range Joins
+//!
+//! A from-scratch Rust implementation of
+//!
+//! > Daichi Amagata. *Random Sampling over Spatial Range Joins.*
+//! > ICDE 2025 (arXiv:2508.15070).
+//!
+//! Given two 2-D point sets `R` and `S` and a window half-extent `l`, the
+//! spatial range join is `J = {(r, s) | r ∈ R, s ∈ S, s ∈ w(r)}` with
+//! `w(r) = [r.x−l, r.x+l] × [r.y−l, r.y+l]`. This crate returns `t`
+//! **uniform, independent** samples of `J` *without* computing `J`:
+//!
+//! * [`BbstSampler`] — the paper's proposed algorithm:
+//!   `Õ(n + m + t)` expected time, `O(n + m)` space, built on the
+//!   Bucket-based Binary Search Tree ([`srj_bbst`]).
+//! * [`KdsSampler`] — baseline: exact kd-tree range counting + spatial
+//!   independent range sampling, `O((n + t)·√m)`.
+//! * [`KdsRejectionSampler`] — baseline: grid upper bounds + rejection
+//!   sampling, `O(n + m + n·m^1.5·t / |J|)` expected.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use srj::{BbstSampler, JoinSampler, Point, SampleConfig};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // two tiny point sets
+//! let r: Vec<Point> = (0..50).map(|i| Point::new(i as f64, i as f64)).collect();
+//! let s: Vec<Point> = (0..50).map(|i| Point::new(i as f64, (i % 7) as f64)).collect();
+//!
+//! let config = SampleConfig::new(5.0); // half-extent l = 5
+//! let mut sampler = BbstSampler::build(&r, &s, &config);
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let samples = sampler.sample(100, &mut rng).unwrap();
+//! assert_eq!(samples.len(), 100);
+//! for pair in &samples {
+//!     // every sample is a genuine join result
+//!     let w = srj::Rect::window(r[pair.r as usize], 5.0);
+//!     assert!(w.contains(s[pair.s as usize]));
+//! }
+//! ```
+//!
+//! The workspace crates are re-exported under their own names
+//! ([`geom`], [`alias`], [`kdtree`], [`grid`], [`bbst`], [`join`],
+//! [`datagen`], [`core`]) and the most common types at the crate root.
+
+pub use srj_alias as alias;
+pub use srj_bbst as bbst;
+pub use srj_core as core;
+pub use srj_datagen as datagen;
+pub use srj_geom as geom;
+pub use srj_grid as grid;
+pub use srj_join as join;
+pub use srj_kdtree as kdtree;
+pub use srj_rangetree as rangetree;
+pub use srj_rtree as rtree;
+
+pub use srj_core::{
+    BbstKdVariantSampler, BbstSampler, JoinPair, JoinSampler, JoinThenSample,
+    KdsRejectionSampler, KdsSampler, MassMode, PhaseReport, RangeTreeSampler, SampleConfig,
+    SampleError, SampleIter,
+};
+pub use srj_datagen::{generate, split_rs, DatasetKind, DatasetSpec};
+pub use srj_geom::{Point, PointId, Rect};

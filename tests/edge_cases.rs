@@ -1,0 +1,224 @@
+//! Edge-case and failure-injection tests across the public API.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use srj::{
+    BbstKdVariantSampler, BbstSampler, JoinSampler, KdsRejectionSampler, KdsSampler, Point,
+    Rect, SampleConfig, SampleError,
+};
+
+fn all_samplers(r: &[Point], s: &[Point], cfg: &SampleConfig) -> Vec<Box<dyn JoinSampler>> {
+    vec![
+        Box::new(KdsSampler::build(r, s, cfg)),
+        Box::new(KdsRejectionSampler::build(r, s, cfg)),
+        Box::new(BbstSampler::build(r, s, cfg)),
+        Box::new(BbstKdVariantSampler::build(r, s, cfg)),
+    ]
+}
+
+#[test]
+fn single_pair_join() {
+    let r = vec![Point::new(5.0, 5.0)];
+    let s = vec![Point::new(5.5, 5.5)];
+    let cfg = SampleConfig::new(1.0);
+    for mut sampler in all_samplers(&r, &s, &cfg) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples = sampler.sample(50, &mut rng).unwrap();
+        assert!(samples.iter().all(|p| p.r == 0 && p.s == 0), "{}", sampler.name());
+    }
+}
+
+#[test]
+fn point_exactly_on_window_edges_joins() {
+    // closed predicate: points at distance exactly l on each axis join
+    let r = vec![Point::new(10.0, 10.0)];
+    let s = vec![
+        Point::new(8.0, 10.0),
+        Point::new(12.0, 10.0),
+        Point::new(10.0, 8.0),
+        Point::new(10.0, 12.0),
+        Point::new(8.0, 8.0),
+        Point::new(12.0, 12.0),
+    ];
+    let cfg = SampleConfig::new(2.0);
+    for mut sampler in all_samplers(&r, &s, &cfg) {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..600 {
+            seen.insert(sampler.sample_one(&mut rng).unwrap().s);
+        }
+        assert_eq!(seen.len(), s.len(), "{}: edge points must be reachable", sampler.name());
+    }
+}
+
+#[test]
+fn all_points_identical() {
+    // n × m duplicate coordinates: every pair joins, BBST's equal-key
+    // lists take the full load
+    let r = vec![Point::new(3.0, 3.0); 20];
+    let s = vec![Point::new(3.0, 3.0); 30];
+    let cfg = SampleConfig::new(1.0);
+    for mut sampler in all_samplers(&r, &s, &cfg) {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let samples = sampler.sample(2_000, &mut rng).unwrap();
+        // both marginals should cover everything
+        let rs: std::collections::HashSet<u32> = samples.iter().map(|p| p.r).collect();
+        let ss: std::collections::HashSet<u32> = samples.iter().map(|p| p.s).collect();
+        assert_eq!(rs.len(), 20, "{}", sampler.name());
+        assert_eq!(ss.len(), 30, "{}", sampler.name());
+    }
+}
+
+#[test]
+fn collinear_points_on_cell_boundaries() {
+    // lattice points with l = 1: every point sits on a cell corner
+    let r: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 5.0)).collect();
+    let s: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 5.0)).collect();
+    let cfg = SampleConfig::new(1.0);
+    let expected = srj::join::nested_loop_join(&r, &s, 1.0);
+    for mut sampler in all_samplers(&r, &s, &cfg) {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4_000 {
+            let p = sampler.sample_one(&mut rng).unwrap();
+            assert!(
+                expected.contains(&(p.r, p.s)),
+                "{}: invalid pair {p:?}",
+                sampler.name()
+            );
+            seen.insert((p.r, p.s));
+        }
+        assert_eq!(seen.len(), expected.len(), "{}", sampler.name());
+    }
+}
+
+#[test]
+fn window_larger_than_domain() {
+    // l covering everything: J = R × S, weights are maximal everywhere
+    let r: Vec<Point> = (0..15).map(|i| Point::new(i as f64, (i % 5) as f64)).collect();
+    let s: Vec<Point> = (0..12).map(|i| Point::new((i % 7) as f64, i as f64)).collect();
+    let cfg = SampleConfig::new(1_000.0);
+    for mut sampler in all_samplers(&r, &s, &cfg) {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let samples = sampler.sample(3_000, &mut rng).unwrap();
+        let distinct: std::collections::HashSet<_> =
+            samples.iter().map(|p| (p.r, p.s)).collect();
+        assert_eq!(distinct.len(), 15 * 12, "{}: cross product not covered", sampler.name());
+    }
+}
+
+#[test]
+fn tiny_window_sparse_join() {
+    let r: Vec<Point> = (0..50).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+    let mut s = r.clone();
+    s.iter_mut().for_each(|p| p.x += 0.001);
+    let cfg = SampleConfig::new(0.01);
+    for mut sampler in all_samplers(&r, &s, &cfg) {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let samples = sampler.sample(500, &mut rng).unwrap();
+        for p in samples {
+            assert_eq!(p.r, p.s, "{}: only the shifted twin joins", sampler.name());
+        }
+    }
+}
+
+#[test]
+fn empty_join_errors_uniformly() {
+    let r = vec![Point::new(0.0, 0.0)];
+    let s = vec![Point::new(9_999.0, 9_999.0)];
+    let cfg = SampleConfig::new(1.0);
+    for mut sampler in all_samplers(&r, &s, &cfg) {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(
+            sampler.sample_one(&mut rng),
+            Err(SampleError::EmptyJoin),
+            "{}",
+            sampler.name()
+        );
+    }
+}
+
+#[test]
+fn negative_coordinates_work() {
+    // datasets are normally normalised to [0, 10000]² but nothing should
+    // break off-domain
+    let r = vec![Point::new(-50.0, -50.0), Point::new(-45.0, -45.0)];
+    let s = vec![Point::new(-49.0, -49.0), Point::new(-44.0, -46.0)];
+    let cfg = SampleConfig::new(3.0);
+    let expected = srj::join::nested_loop_join(&r, &s, 3.0);
+    assert!(!expected.is_empty());
+    for mut sampler in all_samplers(&r, &s, &cfg) {
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let p = sampler.sample_one(&mut rng).unwrap();
+            assert!(expected.contains(&(p.r, p.s)), "{}", sampler.name());
+        }
+    }
+}
+
+#[test]
+fn asymmetric_sizes() {
+    // |R| ≫ |S| and |R| ≪ |S| (Fig. 8 territory)
+    let big: Vec<Point> = (0..300)
+        .map(|i| Point::new((i % 20) as f64, (i / 20) as f64))
+        .collect();
+    let small = vec![Point::new(5.0, 5.0), Point::new(12.0, 9.0)];
+    let cfg = SampleConfig::new(2.0);
+    for (r, s) in [(big.clone(), small.clone()), (small, big)] {
+        let expected = srj::join::nested_loop_join(&r, &s, 2.0);
+        for mut sampler in all_samplers(&r, &s, &cfg) {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let samples = sampler.sample(400, &mut rng).unwrap();
+            for p in samples {
+                assert!(expected.contains(&(p.r, p.s)), "{}", sampler.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn self_join() {
+    // R = S: every point joins at least itself, so |J| ≥ n
+    let pts: Vec<Point> = (0..40)
+        .map(|i| Point::new((i * 7 % 40) as f64, (i * 3 % 40) as f64))
+        .collect();
+    let cfg = SampleConfig::new(2.5);
+    for mut sampler in all_samplers(&pts, &pts, &cfg) {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let samples = sampler.sample(500, &mut rng).unwrap();
+        for p in samples {
+            let w = Rect::window(pts[p.r as usize], 2.5);
+            assert!(w.contains(pts[p.s as usize]), "{}", sampler.name());
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "finite coordinates")]
+fn nan_coordinates_rejected_by_grid() {
+    let bad = vec![Point::new(f64::NAN, 0.0)];
+    srj_grid::Grid::build(&bad, 1.0);
+}
+
+#[test]
+#[should_panic(expected = "finite coordinates")]
+fn infinite_coordinates_rejected_by_kdtree() {
+    let bad = vec![Point::new(0.0, f64::INFINITY)];
+    srj::kdtree::KdTree::build(&bad);
+}
+
+#[test]
+#[should_panic(expected = "finite coordinates")]
+fn nan_coordinates_rejected_by_rangetree() {
+    let bad = vec![Point::new(0.0, f64::NAN)];
+    srj::rangetree::RangeTree::build(&bad);
+}
+
+#[test]
+fn sample_zero_returns_empty() {
+    let pts = vec![Point::new(0.0, 0.0)];
+    let cfg = SampleConfig::new(1.0);
+    let mut sampler = BbstSampler::build(&pts, &pts, &cfg);
+    let mut rng = SmallRng::seed_from_u64(11);
+    assert!(sampler.sample(0, &mut rng).unwrap().is_empty());
+}
