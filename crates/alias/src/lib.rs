@@ -14,8 +14,8 @@
 //! entries — still `O(1)` per draw with far better constants and exactly
 //! `O(n)` total space (see DESIGN.md §2.2 for this documented deviation).
 
-mod table;
 mod row9;
+mod table;
 
 pub use row9::{CumulativeRow9, NUM_CELLS};
 pub use table::AliasTable;

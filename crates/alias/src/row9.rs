@@ -127,7 +127,11 @@ mod tests {
             } else {
                 let expected = draws as f64 * w[i] / total;
                 let rel = (counts[i] as f64 - expected).abs() / expected;
-                assert!(rel < 0.05, "cell {i}: expected {expected}, got {}", counts[i]);
+                assert!(
+                    rel < 0.05,
+                    "cell {i}: expected {expected}, got {}",
+                    counts[i]
+                );
             }
         }
     }

@@ -59,15 +59,10 @@ pub fn bucket_capacity(m: usize) -> u32 {
 ///
 /// Panics if `capacity == 0` or if `by_x` is not sorted by x
 /// (debug builds only for the sortedness check).
-pub fn partition_into_buckets(
-    points: &[Point],
-    by_x: &[PointId],
-    capacity: u32,
-) -> Vec<Bucket> {
+pub fn partition_into_buckets(points: &[Point], by_x: &[PointId], capacity: u32) -> Vec<Bucket> {
     assert!(capacity >= 1, "bucket capacity must be at least 1");
     debug_assert!(
-        by_x
-            .windows(2)
+        by_x.windows(2)
             .all(|w| points[w[0] as usize].x <= points[w[1] as usize].x),
         "by_x must be sorted by x coordinate"
     );
@@ -175,7 +170,10 @@ mod tests {
                 .iter()
                 .filter(|b| b.min_x < x0 && x0 <= b.max_x)
                 .count();
-            assert!(straddling <= 1, "x0 = {x0}: {straddling} straddling buckets");
+            assert!(
+                straddling <= 1,
+                "x0 = {x0}: {straddling} straddling buckets"
+            );
         }
     }
 

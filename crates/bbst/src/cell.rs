@@ -26,8 +26,16 @@ impl QuadrantQuery {
     /// `true` iff `p` lies inside the quadrant region.
     #[inline]
     pub fn contains(&self, p: Point) -> bool {
-        let x_ok = if self.x_is_min { p.x >= self.x0 } else { p.x <= self.x0 };
-        let y_ok = if self.y_is_min { p.y >= self.y0 } else { p.y <= self.y0 };
+        let x_ok = if self.x_is_min {
+            p.x >= self.x0
+        } else {
+            p.x <= self.x0
+        };
+        let y_ok = if self.y_is_min {
+            p.y >= self.y0
+        } else {
+            p.y <= self.y0
+        };
         x_ok && y_ok
     }
 
@@ -111,7 +119,12 @@ impl CellBbsts {
                 Bbst::build(&buckets, KeyKind::MaxX),
             )
         };
-        CellBbsts { buckets, t_min, t_max, cap }
+        CellBbsts {
+            buckets,
+            t_min,
+            t_max,
+            cap,
+        }
     }
 
     /// `true` iff the cell's trees carry fractional-cascading bridges.
@@ -273,10 +286,30 @@ mod tests {
 
     fn all_quadrants(x0: f64, y0: f64) -> [QuadrantQuery; 4] {
         [
-            QuadrantQuery { x_is_min: true, y_is_min: true, x0, y0 },
-            QuadrantQuery { x_is_min: true, y_is_min: false, x0, y0 },
-            QuadrantQuery { x_is_min: false, y_is_min: true, x0, y0 },
-            QuadrantQuery { x_is_min: false, y_is_min: false, x0, y0 },
+            QuadrantQuery {
+                x_is_min: true,
+                y_is_min: true,
+                x0,
+                y0,
+            },
+            QuadrantQuery {
+                x_is_min: true,
+                y_is_min: false,
+                x0,
+                y0,
+            },
+            QuadrantQuery {
+                x_is_min: false,
+                y_is_min: true,
+                x0,
+                y0,
+            },
+            QuadrantQuery {
+                x_is_min: false,
+                y_is_min: false,
+                x0,
+                y0,
+            },
         ]
     }
 
@@ -306,7 +339,12 @@ mod tests {
     #[test]
     fn empty_cell_counts_zero() {
         let (_, cb) = make_cell(&[], 4);
-        let q = QuadrantQuery { x_is_min: true, y_is_min: true, x0: 0.0, y0: 0.0 };
+        let q = QuadrantQuery {
+            x_is_min: true,
+            y_is_min: true,
+            x0: 0.0,
+            y0: 0.0,
+        };
         assert_eq!(cb.count_quadrant(&q, MassMode::Virtual), 0);
         let mut rng = SmallRng::seed_from_u64(0);
         assert_eq!(cb.sample_quadrant(&q, MassMode::Virtual, &mut rng), None);
@@ -316,7 +354,12 @@ mod tests {
     fn exact_mode_equals_brute_bucket_mass() {
         let points = spread_points(157); // not a multiple of cap
         let (_, cb) = make_cell(&points, 8);
-        let q = QuadrantQuery { x_is_min: true, y_is_min: true, x0: 17.0, y0: 9.0 };
+        let q = QuadrantQuery {
+            x_is_min: true,
+            y_is_min: true,
+            x0: 17.0,
+            y0: 9.0,
+        };
         let brute: u64 = cb
             .buckets()
             .iter()
@@ -342,7 +385,10 @@ mod tests {
         let mut iterations = 0usize;
         while accepted < target {
             iterations += 1;
-            assert!(iterations < target * 100, "acceptance rate pathologically low");
+            assert!(
+                iterations < target * 100,
+                "acceptance rate pathologically low"
+            );
             if let Some(idx) = cb.sample_quadrant(&q, mode, &mut rng) {
                 let id = by_x[idx as usize];
                 if q.contains(points[id as usize]) {
@@ -351,7 +397,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(freq.len(), qualifying.len(), "some qualifying point never sampled");
+        assert_eq!(
+            freq.len(),
+            qualifying.len(),
+            "some qualifying point never sampled"
+        );
         let expected = target as f64 / qualifying.len() as f64;
         for (&id, &c) in &freq {
             let rel = (c as f64 - expected).abs() / expected;
@@ -362,14 +412,24 @@ mod tests {
     #[test]
     fn accepted_samples_are_uniform_virtual() {
         let points = spread_points(120);
-        let q = QuadrantQuery { x_is_min: true, y_is_min: true, x0: 25.0, y0: 15.0 };
+        let q = QuadrantQuery {
+            x_is_min: true,
+            y_is_min: true,
+            x0: 25.0,
+            y0: 15.0,
+        };
         assert_uniform(&points, 7, q, MassMode::Virtual);
     }
 
     #[test]
     fn accepted_samples_are_uniform_exact() {
         let points = spread_points(120);
-        let q = QuadrantQuery { x_is_min: false, y_is_min: true, x0: 20.0, y0: 12.0 };
+        let q = QuadrantQuery {
+            x_is_min: false,
+            y_is_min: true,
+            x0: 20.0,
+            y0: 12.0,
+        };
         assert_uniform(&points, 7, q, MassMode::Exact);
     }
 
@@ -379,13 +439,23 @@ mod tests {
         assert_uniform(
             &points,
             5,
-            QuadrantQuery { x_is_min: true, y_is_min: false, x0: 10.0, y0: 20.0 },
+            QuadrantQuery {
+                x_is_min: true,
+                y_is_min: false,
+                x0: 10.0,
+                y0: 20.0,
+            },
             MassMode::Virtual,
         );
         assert_uniform(
             &points,
             5,
-            QuadrantQuery { x_is_min: false, y_is_min: false, x0: 30.0, y0: 25.0 },
+            QuadrantQuery {
+                x_is_min: false,
+                y_is_min: false,
+                x0: 30.0,
+                y0: 25.0,
+            },
             MassMode::Virtual,
         );
     }
@@ -396,7 +466,12 @@ mod tests {
         // matches the query (dud slots return None instead)
         let points = spread_points(200);
         let (by_x, cb) = make_cell(&points, 8);
-        let q = QuadrantQuery { x_is_min: true, y_is_min: true, x0: 22.0, y0: 18.0 };
+        let q = QuadrantQuery {
+            x_is_min: true,
+            y_is_min: true,
+            x0: 22.0,
+            y0: 18.0,
+        };
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..5_000 {
             if let Some(idx) = cb.sample_quadrant(&q, MassMode::Virtual, &mut rng) {
@@ -459,7 +534,12 @@ mod tests {
     #[test]
     fn cascading_sampling_is_uniform() {
         let points = spread_points(120);
-        let q = QuadrantQuery { x_is_min: true, y_is_min: true, x0: 25.0, y0: 15.0 };
+        let q = QuadrantQuery {
+            x_is_min: true,
+            y_is_min: true,
+            x0: 25.0,
+            y0: 15.0,
+        };
         let (by_x, cb) = make_cell_cascading(&points, 7);
         let qualifying: Vec<u32> = (0..points.len() as u32)
             .filter(|&i| q.contains(points[i as usize]))

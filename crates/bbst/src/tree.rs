@@ -110,7 +110,9 @@ impl Bbst {
     fn build_inner(buckets: &[Bucket], key_kind: KeyKind, cascading: bool) -> Self {
         let b = buckets.len();
         debug_assert!(
-            buckets.windows(2).all(|w| key_of(&w[0], key_kind) <= key_of(&w[1], key_kind)),
+            buckets
+                .windows(2)
+                .all(|w| key_of(&w[0], key_kind) <= key_of(&w[1], key_kind)),
             "bucket keys must be non-decreasing"
         );
         let mut t = Bbst {
@@ -129,9 +131,17 @@ impl Bbst {
         let keys: Vec<u32> = (0..b as u32).collect();
         // Bcp1 / Bcp2: copies sorted by min-y / max-y (Algorithm 2 line 3).
         let mut by_min = keys.clone();
-        by_min.sort_by(|&i, &j| buckets[i as usize].min_y.total_cmp(&buckets[j as usize].min_y));
+        by_min.sort_by(|&i, &j| {
+            buckets[i as usize]
+                .min_y
+                .total_cmp(&buckets[j as usize].min_y)
+        });
         let mut by_max = keys.clone();
-        by_max.sort_by(|&i, &j| buckets[i as usize].max_y.total_cmp(&buckets[j as usize].max_y));
+        by_max.sort_by(|&i, &j| {
+            buckets[i as usize]
+                .max_y
+                .total_cmp(&buckets[j as usize].max_y)
+        });
         t.root = t.make_node(buckets, &keys, &by_min, &by_max);
         t
     }
@@ -389,8 +399,7 @@ impl Bbst {
             let canonical = if ge { node.right } else { node.left };
             if canonical != NONE {
                 let c_seg = a_of(&self.nodes[canonical as usize]);
-                let c_pos =
-                    self.rank(a_seg, pos, if ge { RankOf::Right } else { RankOf::Left });
+                let c_pos = self.rank(a_seg, pos, if ge { RankOf::Right } else { RankOf::Left });
                 let (lo, hi) = Self::run_from_pos(c_seg, c_pos, y_pred);
                 visit(c_seg, lo, hi);
             }
@@ -538,13 +547,7 @@ mod tests {
         out
     }
 
-    fn brute_matched(
-        buckets: &[Bucket],
-        kk: KeyKind,
-        x0: f64,
-        y_pred: YPred,
-        y0: f64,
-    ) -> Vec<u32> {
+    fn brute_matched(buckets: &[Bucket], kk: KeyKind, x0: f64, y_pred: YPred, y0: f64) -> Vec<u32> {
         (0..buckets.len() as u32)
             .filter(|&i| {
                 let b = &buckets[i as usize];
@@ -640,7 +643,9 @@ mod tests {
 
     #[test]
     fn visits_are_logarithmic() {
-        let pts: Vec<Point> = (0..4096).map(|i| Point::new(i as f64, (i % 64) as f64)).collect();
+        let pts: Vec<Point> = (0..4096)
+            .map(|i| Point::new(i as f64, (i % 64) as f64))
+            .collect();
         let (_, buckets) = make(&pts, 8); // 512 buckets
         let t = Bbst::build(&buckets, KeyKind::MaxX);
         let mut visits = 0usize;

@@ -17,7 +17,9 @@ use srj_kdtree::KdTree;
 fn alias(c: &mut Criterion) {
     let mut g = c.benchmark_group("component_alias");
     g.sample_size(20);
-    let weights: Vec<f64> = (0..100_000).map(|i| ((i * 7919) % 1000) as f64 + 1.0).collect();
+    let weights: Vec<f64> = (0..100_000)
+        .map(|i| ((i * 7919) % 1000) as f64 + 1.0)
+        .collect();
     g.bench_function("build_100k", |b| {
         b.iter(|| AliasTable::new(&weights).unwrap());
     });
@@ -51,10 +53,7 @@ fn grid_and_trees(c: &mut Criterion) {
         });
     });
     let tree = KdTree::build(&d.s);
-    let windows: Vec<Rect> = d.r[..256]
-        .iter()
-        .map(|&p| Rect::window(p, 100.0))
-        .collect();
+    let windows: Vec<Rect> = d.r[..256].iter().map(|&p| Rect::window(p, 100.0)).collect();
     g.throughput(Throughput::Elements(windows.len() as u64));
     g.bench_function("kdtree_range_count_256", |b| {
         b.iter(|| windows.iter().map(|w| tree.range_count(w)).sum::<usize>());
@@ -75,10 +74,7 @@ fn datagen(c: &mut Criterion) {
     g.sample_size(10);
     for &kind in &DatasetKind::PAPER_ORDER {
         g.bench_function(kind.label(), |b| {
-            b.iter(|| {
-                srj_datagen::generate(&srj_datagen::DatasetSpec::new(kind, 50_000, 3))
-                    .len()
-            });
+            b.iter(|| srj_datagen::generate(&srj_datagen::DatasetSpec::new(kind, 50_000, 3)).len());
         });
     }
     g.finish();

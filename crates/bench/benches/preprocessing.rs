@@ -13,15 +13,17 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for &kind in &DatasetKind::PAPER_ORDER {
         let d = scaled_spec(kind, SCALE, 0.5, 11);
-        g.bench_with_input(BenchmarkId::new("kds_kdtree_build", kind.label()), &d, |b, d| {
-            b.iter(|| KdTree::build(&d.s));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("kds_kdtree_build", kind.label()),
+            &d,
+            |b, d| {
+                b.iter(|| KdTree::build(&d.s));
+            },
+        );
         g.bench_with_input(BenchmarkId::new("bbst_xsort", kind.label()), &d, |b, d| {
             b.iter(|| {
                 let mut order: Vec<u32> = (0..d.s.len() as u32).collect();
-                order.sort_unstable_by(|&x, &y| {
-                    d.s[x as usize].x.total_cmp(&d.s[y as usize].x)
-                });
+                order.sort_unstable_by(|&x, &y| d.s[x as usize].x.total_cmp(&d.s[y as usize].x));
                 order
             });
         });

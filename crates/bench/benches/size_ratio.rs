@@ -13,16 +13,12 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for ratio in [0.1, 0.3, 0.5] {
         let d = scaled_spec(DatasetKind::TrajectoryLike, SCALE, ratio, 17);
-        g.bench_with_input(
-            BenchmarkId::new("BBST", format!("{ratio}")),
-            &d,
-            |b, d| {
-                b.iter(|| {
-                    let mut s = build_bbst(&d.r, &d.s, 100.0);
-                    run_sampler(&mut s, T, 1)
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("BBST", format!("{ratio}")), &d, |b, d| {
+            b.iter(|| {
+                let mut s = build_bbst(&d.r, &d.s, 100.0);
+                run_sampler(&mut s, T, 1)
+            });
+        });
     }
     g.finish();
 }

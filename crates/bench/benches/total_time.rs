@@ -19,12 +19,16 @@ fn bench(c: &mut Criterion) {
                 run_sampler(&mut s, T, 1)
             });
         });
-        g.bench_with_input(BenchmarkId::new("KDS-rejection", kind.label()), &d, |b, d| {
-            b.iter(|| {
-                let mut s = build_rejection(&d.r, &d.s, 100.0);
-                run_sampler(&mut s, T, 1)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("KDS-rejection", kind.label()),
+            &d,
+            |b, d| {
+                b.iter(|| {
+                    let mut s = build_rejection(&d.r, &d.s, 100.0);
+                    run_sampler(&mut s, T, 1)
+                });
+            },
+        );
         g.bench_with_input(BenchmarkId::new("BBST", kind.label()), &d, |b, d| {
             b.iter(|| {
                 let mut s = build_bbst(&d.r, &d.s, 100.0);

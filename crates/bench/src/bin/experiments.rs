@@ -7,8 +7,8 @@
 //! ```
 
 use srj_bench::experiments::{
-    ablation_cascading, ablation_mass, accuracy, default_runs, fig4, fig5, fig6, fig7, fig8, fig9, footnote4,
-    table2, table3, table4, ExpConfig,
+    ablation_cascading, ablation_mass, accuracy, default_runs, fig4, fig5, fig6, fig7, fig8, fig9,
+    footnote4, table2, table3, table4, ExpConfig,
 };
 
 const USAGE: &str = "usage: experiments <exp> [--scale F] [--t N] [--l F] [--seed N]
@@ -22,29 +22,46 @@ fn main() {
     };
     let mut cfg = ExpConfig::default();
     let mut i = 1;
-    while i + 1 < args.len() + 1 {
-        match args.get(i).map(String::as_str) {
-            Some("--scale") => {
-                cfg.scale = args[i + 1].parse().expect("--scale takes a float");
-                i += 2;
+    // Each flag takes one value; a missing or unparsable value is a
+    // clean usage error, not a panic.
+    let flag_value = |i: &mut usize, flag: &str| -> String {
+        let Some(v) = args.get(*i + 1) else {
+            eprintln!("{flag} requires a value\n{USAGE}");
+            std::process::exit(2);
+        };
+        *i += 2;
+        v.clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                cfg.scale = flag_value(&mut i, "--scale").parse().unwrap_or_else(|_| {
+                    eprintln!("--scale takes a float\n{USAGE}");
+                    std::process::exit(2);
+                });
             }
-            Some("--t") => {
-                cfg.t = args[i + 1].parse().expect("--t takes an integer");
-                i += 2;
+            "--t" => {
+                cfg.t = flag_value(&mut i, "--t").parse().unwrap_or_else(|_| {
+                    eprintln!("--t takes an integer\n{USAGE}");
+                    std::process::exit(2);
+                });
             }
-            Some("--l") => {
-                cfg.l = args[i + 1].parse().expect("--l takes a float");
-                i += 2;
+            "--l" => {
+                cfg.l = flag_value(&mut i, "--l").parse().unwrap_or_else(|_| {
+                    eprintln!("--l takes a float\n{USAGE}");
+                    std::process::exit(2);
+                });
             }
-            Some("--seed") => {
-                cfg.seed = args[i + 1].parse().expect("--seed takes an integer");
-                i += 2;
+            "--seed" => {
+                cfg.seed = flag_value(&mut i, "--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed takes an integer\n{USAGE}");
+                    std::process::exit(2);
+                });
             }
-            Some(other) => {
+            other => {
                 eprintln!("unknown flag {other}\n{USAGE}");
                 std::process::exit(2);
             }
-            None => break,
         }
     }
     eprintln!(

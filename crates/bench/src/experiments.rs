@@ -29,7 +29,12 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { scale: 1.0, t: DEFAULT_T, l: 100.0, seed: 42 }
+        ExpConfig {
+            scale: 1.0,
+            t: DEFAULT_T,
+            l: 100.0,
+            seed: 42,
+        }
     }
 }
 
@@ -68,7 +73,12 @@ pub fn default_runs(cfg: &ExpConfig) -> Vec<DatasetRun> {
             let mut bbst = build_bbst(&d.r, &d.s, cfg.l);
             let mu_total = bbst.mu_total();
             outcomes.push(run_sampler(&mut bbst, cfg.t, cfg.seed));
-            DatasetRun { kind, outcomes, mu_total, join_size }
+            DatasetRun {
+                kind,
+                outcomes,
+                mu_total,
+                join_size,
+            }
         })
         .collect()
 }
@@ -87,7 +97,12 @@ pub fn table2(runs: &[DatasetRun]) -> String {
     for (row, name) in [(0usize, "KDS"), (2usize, "BBST")] {
         write!(out, "{name:<14}").unwrap();
         for run in runs {
-            write!(out, "{:>26.4}", secs(run.outcomes[row].report.preprocessing)).unwrap();
+            write!(
+                out,
+                "{:>26.4}",
+                secs(run.outcomes[row].report.preprocessing)
+            )
+            .unwrap();
         }
         writeln!(out).unwrap();
     }
@@ -100,8 +115,19 @@ pub fn table3(runs: &[DatasetRun]) -> String {
     let mut out = String::new();
     writeln!(out, "## Table III: total and decomposed times [sec]").unwrap();
     for run in runs {
-        writeln!(out, "dataset: {}  (|J| = {})", run.kind.label(), run.join_size).unwrap();
-        writeln!(out, "  {:<16}{:>10}{:>10}{:>10}", "Algorithm", "Total", "GM", "UB").unwrap();
+        writeln!(
+            out,
+            "dataset: {}  (|J| = {})",
+            run.kind.label(),
+            run.join_size
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  {:<16}{:>10}{:>10}{:>10}",
+            "Algorithm", "Total", "GM", "UB"
+        )
+        .unwrap();
         for o in &run.outcomes {
             writeln!(
                 out,
@@ -120,10 +146,19 @@ pub fn table3(runs: &[DatasetRun]) -> String {
 /// Table IV — sampling time and number of sampling iterations.
 pub fn table4(runs: &[DatasetRun], t: usize) -> String {
     let mut out = String::new();
-    writeln!(out, "## Table IV: sampling time [sec] and #iterations (t = {t})").unwrap();
+    writeln!(
+        out,
+        "## Table IV: sampling time [sec] and #iterations (t = {t})"
+    )
+    .unwrap();
     for run in runs {
         writeln!(out, "dataset: {}", run.kind.label()).unwrap();
-        writeln!(out, "  {:<16}{:>12}{:>14}", "Algorithm", "Sampling", "#iterations").unwrap();
+        writeln!(
+            out,
+            "  {:<16}{:>12}{:>14}",
+            "Algorithm", "Sampling", "#iterations"
+        )
+        .unwrap();
         for o in &run.outcomes {
             writeln!(
                 out,
@@ -192,7 +227,12 @@ pub fn fig4(cfg: &ExpConfig) -> String {
 /// Fig. 5 — running time vs range (window half-extent) `l ∈ [1, 500]`.
 pub fn fig5(cfg: &ExpConfig) -> String {
     let mut out = String::new();
-    writeln!(out, "## Fig. 5: running time [sec] vs range l (t = {})", cfg.t).unwrap();
+    writeln!(
+        out,
+        "## Fig. 5: running time [sec] vs range l (t = {})",
+        cfg.t
+    )
+    .unwrap();
     for &kind in &DatasetKind::PAPER_ORDER {
         let d = scaled_spec(kind, cfg.scale, 0.5, cfg.seed);
         writeln!(out, "dataset: {}", kind.label()).unwrap();
@@ -272,7 +312,12 @@ pub fn fig6(cfg: &ExpConfig) -> String {
 /// Fig. 7 — running time vs dataset size (fractions 0.2 … 1.0).
 pub fn fig7(cfg: &ExpConfig) -> String {
     let mut out = String::new();
-    writeln!(out, "## Fig. 7: running time [sec] vs dataset fraction (t = {})", cfg.t).unwrap();
+    writeln!(
+        out,
+        "## Fig. 7: running time [sec] vs dataset fraction (t = {})",
+        cfg.t
+    )
+    .unwrap();
     for &kind in &DatasetKind::PAPER_ORDER {
         writeln!(out, "dataset: {}", kind.label()).unwrap();
         writeln!(
@@ -298,7 +343,12 @@ pub fn fig7(cfg: &ExpConfig) -> String {
 /// Fig. 8 — BBST running time vs `n / (n + m)` (0.1 … 0.5).
 pub fn fig8(cfg: &ExpConfig) -> String {
     let mut out = String::new();
-    writeln!(out, "## Fig. 8: BBST running time [sec] vs n/(n+m) (t = {})", cfg.t).unwrap();
+    writeln!(
+        out,
+        "## Fig. 8: BBST running time [sec] vs n/(n+m) (t = {})",
+        cfg.t
+    )
+    .unwrap();
     write!(out, "{:<10}", "ratio").unwrap();
     for &kind in &DatasetKind::PAPER_ORDER {
         write!(out, "{:>26}", kind.label()).unwrap();
@@ -320,8 +370,18 @@ pub fn fig8(cfg: &ExpConfig) -> String {
 /// Fig. 9 — BBST vs the per-cell kd-tree variant.
 pub fn fig9(cfg: &ExpConfig) -> String {
     let mut out = String::new();
-    writeln!(out, "## Fig. 9: BBST vs kd-tree-per-cell variant [sec] (t = {})", cfg.t).unwrap();
-    writeln!(out, "{:<26}{:>10}{:>10}{:>10}", "dataset", "BBST", "Variant", "speedup").unwrap();
+    writeln!(
+        out,
+        "## Fig. 9: BBST vs kd-tree-per-cell variant [sec] (t = {})",
+        cfg.t
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<26}{:>10}{:>10}{:>10}",
+        "dataset", "BBST", "Variant", "speedup"
+    )
+    .unwrap();
     for &kind in &DatasetKind::PAPER_ORDER {
         let d = scaled_spec(kind, cfg.scale, 0.5, cfg.seed);
         let mut bbst = build_bbst(&d.r, &d.s, cfg.l);
@@ -452,7 +512,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpConfig {
-        ExpConfig { scale: 0.004, t: 500, l: 100.0, seed: 7 }
+        ExpConfig {
+            scale: 0.004,
+            t: 500,
+            l: 100.0,
+            seed: 7,
+        }
     }
 
     #[test]

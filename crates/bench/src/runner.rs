@@ -4,8 +4,8 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use srj_core::{
-    BbstKdVariantSampler, BbstSampler, JoinSampler, KdsRejectionSampler, KdsSampler,
-    PhaseReport, SampleConfig,
+    BbstKdVariantSampler, BbstSampler, JoinSampler, KdsRejectionSampler, KdsSampler, PhaseReport,
+    SampleConfig,
 };
 use srj_geom::Point;
 

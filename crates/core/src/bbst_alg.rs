@@ -1,3 +1,4 @@
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::{Rng, RngCore};
@@ -7,11 +8,13 @@ use srj_geom::{Point, PointId, Rect};
 use srj_grid::{case_of, CellCase, Grid};
 
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
+use crate::cursor::{Cursor, SamplerIndex};
 use crate::decompose::{case12_count, case12_run, quadrant_query};
 use crate::traits::JoinSampler;
 
-/// The paper's proposed algorithm (Section IV, Algorithm 1):
-/// `Õ(n + m + t)` expected time, `O(n + m)` space.
+/// Immutable build product of the paper's proposed algorithm
+/// (Section IV, Algorithm 1): `Õ(n + m + t)` expected time,
+/// `O(n + m)` space.
 ///
 /// **Phase 1 — online data-structure building** (`GRID-MAPPING` +
 /// `BBST-BUILDING`): map `S` onto a grid of cell side `l`, keep each
@@ -28,14 +31,17 @@ use crate::traits::JoinSampler;
 /// with `|S(w(r))| ≤ µ(r) ≤ max{O(log m)·|S(w(r))|, O(log m)}`
 /// (Lemma 5).
 ///
-/// **Phase 3 — sampling**: draw `r ∼ A`, a cell `∼ A_r`, then a point
-/// by case (uniform pick / 1-sided run pick / BBST quadrant descent);
-/// accept iff `s ∈ w(r)`. Cases 1–2 never reject; case 3 rejects with
-/// the bounded probability of Lemma 5, so a sample costs `Õ(1)` expected
-/// time (Lemma 6) and every pair of `J` is emitted with probability
-/// exactly `1/Σµ` per iteration (Theorem 3) — i.e. accepted samples are
-/// uniform and independent.
-pub struct BbstSampler {
+/// Both phases happen once, in [`BbstIndex::build`]; the result is
+/// `Send + Sync` and never mutated, so any number of threads can run
+/// **phase 3 — sampling** against it concurrently through their own
+/// [`BbstCursor`]s: draw `r ∼ A`, a cell `∼ A_r`, then a point by case
+/// (uniform pick / 1-sided run pick / BBST quadrant descent); accept iff
+/// `s ∈ w(r)`. Cases 1–2 never reject; case 3 rejects with the bounded
+/// probability of Lemma 5, so a sample costs `Õ(1)` expected time
+/// (Lemma 6) and every pair of `J` is emitted with probability exactly
+/// `1/Σµ` per iteration (Theorem 3) — i.e. accepted samples are uniform
+/// and independent.
+pub struct BbstIndex {
     r_points: Vec<Point>,
     grid: Grid,
     /// Per-cell BBST pairs, parallel to `grid.cells()`.
@@ -45,10 +51,15 @@ pub struct BbstSampler {
     /// Global alias over `µ(r)` (`A` in Algorithm 1).
     alias: Option<AliasTable>,
     config: SampleConfig,
-    report: PhaseReport,
+    build_report: PhaseReport,
 }
 
-impl BbstSampler {
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BbstIndex>();
+};
+
+impl BbstIndex {
     /// Runs phases 1 and 2 of Algorithm 1.
     pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
         // Offline pre-processing: sort S by x (footnote 2 / Table II —
@@ -58,11 +69,51 @@ impl BbstSampler {
         x_order.sort_unstable_by(|&a, &b| s[a as usize].x.total_cmp(&s[b as usize].x));
         let preprocessing = t0.elapsed();
 
-        // Phase 1: grid mapping + per-cell BBSTs.
         let t1 = Instant::now();
         let grid = Grid::build_from_sorted(s, &x_order, config.half_extent);
         drop(x_order);
-        let cap = bucket_capacity(s.len());
+        let grid_time = t1.elapsed();
+        Self::finish_build(r, grid, config, preprocessing, grid_time)
+    }
+
+    /// Like [`BbstIndex::build`], but reuses a grid the caller already
+    /// built over `S` with cell side `config.half_extent` (e.g. the
+    /// planner's estimation grid — `srj-engine` uses this to avoid
+    /// paying the grid-mapping phase twice on the auto path). The
+    /// offline x-sort is skipped entirely (the grid's cells already
+    /// carry x-sorted ids); `grid_build_time` is charged to the GM
+    /// phase so the decomposition stays truthful.
+    ///
+    /// # Panics
+    /// Panics if the grid's cell side differs from `config.half_extent`
+    /// — the window decomposition assumes cell side = `l`, so a
+    /// mismatched grid would make parts of `J` unreachable.
+    pub fn build_with_grid(
+        r: &[Point],
+        config: &SampleConfig,
+        grid: Grid,
+        grid_build_time: std::time::Duration,
+    ) -> Self {
+        assert!(
+            grid.cell_side().to_bits() == config.half_extent.to_bits(),
+            "grid cell side ({}) must equal the window half-extent ({})",
+            grid.cell_side(),
+            config.half_extent
+        );
+        Self::finish_build(r, grid, config, std::time::Duration::ZERO, grid_build_time)
+    }
+
+    /// Phase 1 tail (per-cell BBSTs) + phase 2, over a ready grid.
+    fn finish_build(
+        r: &[Point],
+        grid: Grid,
+        config: &SampleConfig,
+        preprocessing: std::time::Duration,
+        grid_time_so_far: std::time::Duration,
+    ) -> Self {
+        // Phase 1 (remainder): per-cell BBSTs.
+        let t1 = Instant::now();
+        let cap = bucket_capacity(grid.num_points());
         let cell_structs: Vec<CellBbsts> = grid
             .cells()
             .iter()
@@ -74,7 +125,7 @@ impl BbstSampler {
                 }
             })
             .collect();
-        let grid_mapping = t1.elapsed();
+        let grid_mapping = grid_time_so_far + t1.elapsed();
 
         // Phase 2: upper bounds, per-r rows, global alias.
         let t2 = Instant::now();
@@ -104,14 +155,14 @@ impl BbstSampler {
         let alias = AliasTable::new(&weights);
         let upper_bounding = t2.elapsed();
 
-        BbstSampler {
+        BbstIndex {
             r_points: r.to_vec(),
             grid,
             cell_structs,
             rows,
             alias,
             config: *config,
-            report: PhaseReport {
+            build_report: PhaseReport {
                 preprocessing,
                 grid_mapping,
                 upper_bounding,
@@ -134,32 +185,46 @@ impl BbstSampler {
         self.rows[ridx].total()
     }
 
-    /// Unbiased estimate of the join cardinality `|J|` from the
-    /// sampling statistics accumulated so far, or `None` before any
-    /// sampling iteration ran.
-    ///
-    /// Each sampling iteration accepts with probability exactly
-    /// `|J| / Σµ` (Theorem 3's accounting), so
-    /// `|J| ≈ Σµ · accepted / iterations`. The estimator sharpens as
-    /// more samples are drawn; the `cardinality_training` example uses
-    /// it to label selectivity models without ever running the join.
-    pub fn estimate_join_size(&self) -> Option<f64> {
-        (self.report.iterations > 0).then(|| {
-            self.mu_total() * self.report.samples as f64 / self.report.iterations as f64
-        })
-    }
-
     /// The bucket capacity `⌈log₂ m⌉` in use.
     pub fn bucket_cap(&self) -> u32 {
         self.cell_structs.first().map_or(1, CellBbsts::capacity)
     }
 
-    fn draw_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &SampleConfig {
+        &self.config
+    }
+
+    /// Build-phase timing (preprocessing + GM + UB).
+    pub fn build_report(&self) -> PhaseReport {
+        self.build_report
+    }
+
+    /// Approximate heap footprint of the retained structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.r_points.capacity() * std::mem::size_of::<Point>()
+            + self.grid.memory_bytes()
+            + self
+                .cell_structs
+                .iter()
+                .map(CellBbsts::memory_bytes)
+                .sum::<usize>()
+            + self.rows.capacity() * std::mem::size_of::<CumulativeRow9>()
+            + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
+    }
+
+    /// One uniform draw against the immutable index (`&self`; safe from
+    /// many threads).
+    fn draw(
+        &self,
+        rng: &mut dyn RngCore,
+        stats: &mut PhaseReport,
+    ) -> Result<JoinPair, SampleError> {
         let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
         let w_half = self.config.half_extent;
         let mut consecutive = 0u64;
         loop {
-            self.report.iterations += 1;
+            stats.iterations += 1;
             // Line 12: r ~ A.
             let ridx = alias.sample(rng);
             let rp = self.r_points[ridx];
@@ -195,7 +260,7 @@ impl BbstSampler {
                 }
             };
             if let Some(sid) = accepted {
-                self.report.samples += 1;
+                stats.samples += 1;
                 return Ok(JoinPair::new(ridx as u32, sid));
             }
             consecutive += 1;
@@ -206,48 +271,115 @@ impl BbstSampler {
     }
 }
 
-impl JoinSampler for BbstSampler {
-    fn name(&self) -> &'static str {
+impl SamplerIndex for BbstIndex {
+    /// The BBST draw needs no scratch memory.
+    type Scratch = ();
+
+    fn algorithm_name(&self) -> &'static str {
         "BBST"
     }
 
+    fn draw_with(
+        &self,
+        rng: &mut dyn RngCore,
+        _scratch: &mut (),
+        stats: &mut PhaseReport,
+    ) -> Result<JoinPair, SampleError> {
+        self.draw(rng, stats)
+    }
+
+    fn index_build_report(&self) -> PhaseReport {
+        self.build_report
+    }
+
+    fn index_memory_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+}
+
+/// Cheap per-thread query state over a shared [`BbstIndex`] (see
+/// [`Cursor`]): just the sampling-phase statistics — the BBST draw
+/// needs no scratch memory.
+pub type BbstCursor = Cursor<BbstIndex>;
+
+impl Cursor<BbstIndex> {
+    /// Unbiased estimate of the join cardinality `|J|` from this
+    /// cursor's sampling statistics, or `None` before any sampling
+    /// iteration ran.
+    ///
+    /// Each sampling iteration accepts with probability exactly
+    /// `|J| / Σµ` (Theorem 3's accounting), so
+    /// `|J| ≈ Σµ · accepted / iterations`. The estimator sharpens as
+    /// more samples are drawn; the `cardinality_training` example uses
+    /// it to label selectivity models without ever running the join.
+    pub fn estimate_join_size(&self) -> Option<f64> {
+        let stats = self.sampling_stats();
+        (stats.iterations > 0)
+            .then(|| self.index().mu_total() * stats.samples as f64 / stats.iterations as f64)
+    }
+}
+
+/// The paper's proposed algorithm as a self-contained single-threaded
+/// sampler (owned [`BbstIndex`] + one [`BbstCursor`]), preserving the
+/// pre-split `build`/`sample` API. Concurrent callers should use
+/// [`BbstIndex`] + [`BbstCursor`] (or the `srj-engine` crate) directly.
+pub struct BbstSampler {
+    cursor: BbstCursor,
+}
+
+impl BbstSampler {
+    /// Runs phases 1 and 2 of Algorithm 1 and attaches a private cursor.
+    pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
+        BbstSampler {
+            cursor: BbstCursor::new(Arc::new(BbstIndex::build(r, s, config))),
+        }
+    }
+
+    /// Sum of the upper bounds `Σ_r µ(r)` (see [`BbstIndex::mu_total`]).
+    pub fn mu_total(&self) -> f64 {
+        self.cursor.index().mu_total()
+    }
+
+    /// Upper bound `µ(r)` for one query point.
+    pub fn mu_of(&self, ridx: usize) -> f64 {
+        self.cursor.index().mu_of(ridx)
+    }
+
+    /// Unbiased `|J|` estimate (see [`BbstCursor::estimate_join_size`]).
+    pub fn estimate_join_size(&self) -> Option<f64> {
+        self.cursor.estimate_join_size()
+    }
+
+    /// The bucket capacity `⌈log₂ m⌉` in use.
+    pub fn bucket_cap(&self) -> u32 {
+        self.cursor.index().bucket_cap()
+    }
+
+    /// The shared index, for handing to additional cursors.
+    pub fn index(&self) -> &Arc<BbstIndex> {
+        self.cursor.index()
+    }
+}
+
+impl JoinSampler for BbstSampler {
+    fn name(&self) -> &'static str {
+        self.cursor.name()
+    }
+
     fn sample_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
-        let t = Instant::now();
-        let out = self.draw_one(rng);
-        self.report.sampling += t.elapsed();
-        out
+        self.cursor.sample_one(rng)
     }
 
     fn sample(&mut self, t: usize, rng: &mut dyn RngCore) -> Result<Vec<JoinPair>, SampleError> {
-        let start = Instant::now();
-        let mut out = Vec::with_capacity(t);
-        for _ in 0..t {
-            match self.draw_one(rng) {
-                Ok(p) => out.push(p),
-                Err(e) => {
-                    self.report.sampling += start.elapsed();
-                    return Err(e);
-                }
-            }
-        }
-        self.report.sampling += start.elapsed();
-        Ok(out)
+        self.cursor.sample(t, rng)
     }
 
     fn report(&self) -> PhaseReport {
-        self.report
+        self.cursor.report()
     }
 
     fn memory_bytes(&self) -> usize {
-        self.r_points.capacity() * std::mem::size_of::<Point>()
-            + self.grid.memory_bytes()
-            + self
-                .cell_structs
-                .iter()
-                .map(CellBbsts::memory_bytes)
-                .sum::<usize>()
-            + self.rows.capacity() * std::mem::size_of::<CumulativeRow9>()
-            + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
+        self.cursor.memory_bytes()
     }
 }
 
@@ -266,7 +398,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
     }
 
     #[test]
@@ -343,7 +477,10 @@ mod tests {
         let mut sampler = BbstSampler::build(&r, &s, &cfg);
         let mut rng = SmallRng::seed_from_u64(0);
         if sampler.mu_total() > 0.0 {
-            assert_eq!(sampler.sample_one(&mut rng), Err(SampleError::RejectionLimit));
+            assert_eq!(
+                sampler.sample_one(&mut rng),
+                Err(SampleError::RejectionLimit)
+            );
         } else {
             assert_eq!(sampler.sample_one(&mut rng), Err(SampleError::EmptyJoin));
         }
@@ -391,5 +528,21 @@ mod tests {
         assert!(rep.iterations >= 50);
         assert!(rep.grid_mapping > std::time::Duration::ZERO);
         assert!(sampler.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn many_cursors_one_index_deterministic_streams() {
+        let r = pseudo_points(80, 81, 50.0);
+        let s = pseudo_points(200, 82, 50.0);
+        let index = Arc::new(BbstIndex::build(&r, &s, &SampleConfig::new(5.0)));
+        let draws: Vec<Vec<JoinPair>> = (0..3)
+            .map(|_| {
+                let mut cursor = BbstCursor::new(Arc::clone(&index));
+                let mut rng = SmallRng::seed_from_u64(1234);
+                cursor.sample(100, &mut rng).unwrap()
+            })
+            .collect();
+        assert_eq!(draws[0], draws[1]);
+        assert_eq!(draws[1], draws[2]);
     }
 }

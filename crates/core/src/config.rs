@@ -97,7 +97,10 @@ impl fmt::Display for SampleError {
         match self {
             SampleError::EmptyJoin => write!(f, "the spatial range join is empty"),
             SampleError::RejectionLimit => {
-                write!(f, "rejection sampling exceeded the configured iteration limit")
+                write!(
+                    f,
+                    "rejection sampling exceeded the configured iteration limit"
+                )
             }
         }
     }
@@ -144,6 +147,25 @@ impl PhaseReport {
     /// Grand total including sampling.
     pub fn total(&self) -> Duration {
         self.build_total() + self.sampling
+    }
+
+    /// Combines an index's build-phase report with a cursor's
+    /// sampling-phase report into the classic single-sampler view.
+    ///
+    /// The index/cursor split (build once, sample from many cursors)
+    /// stores the build phases on the shared immutable index and the
+    /// sampling phases on each cursor; this reassembles the report shape
+    /// the paper's tables — and the pre-split `JoinSampler::report()`
+    /// contract — expect.
+    pub fn with_sampling_from(&self, sampling: &PhaseReport) -> PhaseReport {
+        PhaseReport {
+            preprocessing: self.preprocessing,
+            grid_mapping: self.grid_mapping,
+            upper_bounding: self.upper_bounding,
+            sampling: sampling.sampling,
+            iterations: sampling.iterations,
+            samples: sampling.samples,
+        }
     }
 }
 

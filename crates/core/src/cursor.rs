@@ -1,0 +1,118 @@
+//! The generic per-thread query cursor shared by every sampler.
+//!
+//! Each algorithm's immutable index implements [`SamplerIndex`]; the
+//! one [`Cursor`] type supplies the timing-wrapped [`JoinSampler`]
+//! implementation (single draws, batched draws, report assembly) so the
+//! accounting logic exists exactly once instead of per algorithm.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::RngCore;
+
+use crate::config::{JoinPair, PhaseReport, SampleError};
+use crate::traits::JoinSampler;
+
+/// Contract an immutable, shareable sampler index exposes to its
+/// cursors: a thread-safe draw against caller-owned mutable state.
+pub trait SamplerIndex: Send + Sync {
+    /// Per-cursor scratch state the draw needs (e.g. a kd-tree descent
+    /// buffer); `()` when the draw is allocation-free.
+    type Scratch: Default + Send;
+
+    /// Algorithm name as used in the paper's tables.
+    fn algorithm_name(&self) -> &'static str;
+
+    /// One uniform draw against `&self` (many threads may call this
+    /// concurrently, each with its own scratch and stats).
+    fn draw_with(
+        &self,
+        rng: &mut dyn RngCore,
+        scratch: &mut Self::Scratch,
+        stats: &mut PhaseReport,
+    ) -> Result<JoinPair, SampleError>;
+
+    /// Build-phase timing recorded when the index was constructed.
+    fn index_build_report(&self) -> PhaseReport;
+
+    /// Approximate heap footprint of the retained structures.
+    fn index_memory_bytes(&self) -> usize;
+}
+
+/// Cheap per-thread query state over a shared index: scratch buffers
+/// plus this cursor's own sampling-phase statistics. Construction is
+/// O(1); clone the `Arc` and make one cursor per serving thread.
+pub struct Cursor<I: SamplerIndex> {
+    index: Arc<I>,
+    scratch: I::Scratch,
+    stats: PhaseReport,
+}
+
+impl<I: SamplerIndex> Cursor<I> {
+    /// A fresh cursor over `index` with zeroed sampling statistics.
+    pub fn new(index: Arc<I>) -> Self {
+        Cursor {
+            index,
+            scratch: I::Scratch::default(),
+            stats: PhaseReport::default(),
+        }
+    }
+
+    /// The shared index this cursor samples from.
+    pub fn index(&self) -> &Arc<I> {
+        &self.index
+    }
+
+    /// This cursor's own sampling-phase statistics (no build phases).
+    pub fn sampling_stats(&self) -> &PhaseReport {
+        &self.stats
+    }
+}
+
+impl<I: SamplerIndex> JoinSampler for Cursor<I> {
+    fn name(&self) -> &'static str {
+        self.index.algorithm_name()
+    }
+
+    fn sample_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
+        let t = Instant::now();
+        let out = self
+            .index
+            .draw_with(rng, &mut self.scratch, &mut self.stats);
+        self.stats.sampling += t.elapsed();
+        out
+    }
+
+    fn sample(&mut self, t: usize, rng: &mut dyn RngCore) -> Result<Vec<JoinPair>, SampleError> {
+        // Bound the pre-allocation: `t` is caller-controlled (and will
+        // be remote-controlled once a network front-end lands); the
+        // vector still grows on demand past the cap.
+        const MAX_PREALLOC_PAIRS: usize = 1 << 20;
+        let start = Instant::now();
+        let mut out = Vec::with_capacity(t.min(MAX_PREALLOC_PAIRS));
+        for _ in 0..t {
+            match self
+                .index
+                .draw_with(rng, &mut self.scratch, &mut self.stats)
+            {
+                Ok(p) => out.push(p),
+                Err(e) => {
+                    self.stats.sampling += start.elapsed();
+                    return Err(e);
+                }
+            }
+        }
+        self.stats.sampling += start.elapsed();
+        Ok(out)
+    }
+
+    fn report(&self) -> PhaseReport {
+        self.index
+            .index_build_report()
+            .with_sampling_from(&self.stats)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.index.index_memory_bytes()
+    }
+}

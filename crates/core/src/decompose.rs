@@ -88,7 +88,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
     }
 
     /// Cases 1 and 2 claim exactness: the count must equal the brute
@@ -166,9 +168,19 @@ mod tests {
     #[test]
     fn quadrant_rect_clips_to_cell() {
         let cell = Rect::new(0.0, 0.0, 10.0, 10.0);
-        let q = QuadrantQuery { x_is_min: true, y_is_min: true, x0: 4.0, y0: 6.0 };
+        let q = QuadrantQuery {
+            x_is_min: true,
+            y_is_min: true,
+            x0: 4.0,
+            y0: 6.0,
+        };
         assert_eq!(quadrant_rect(&q, &cell), Rect::new(4.0, 6.0, 10.0, 10.0));
-        let q = QuadrantQuery { x_is_min: false, y_is_min: false, x0: 4.0, y0: 6.0 };
+        let q = QuadrantQuery {
+            x_is_min: false,
+            y_is_min: false,
+            x0: 4.0,
+            y0: 6.0,
+        };
         assert_eq!(quadrant_rect(&q, &cell), Rect::new(0.0, 0.0, 4.0, 6.0));
     }
 }

@@ -1,3 +1,4 @@
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::RngCore;
@@ -6,36 +7,44 @@ use srj_geom::{Point, Rect};
 use srj_kdtree::{CanonicalScratch, KdTree};
 
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
+use crate::cursor::{Cursor, SamplerIndex};
 use crate::traits::JoinSampler;
 
-/// Baseline 1 — **KDS** (paper Section III-A).
+/// Immutable build product of Baseline 1 — **KDS** (paper Section III-A).
 ///
 /// 1. Build a kd-tree over `S` offline.
 /// 2. Run an exact range count `|S(w(r))|` for every `r ∈ R`
 ///    (`O(n√m)` — this is the baseline's bottleneck).
 /// 3. Build a Walker alias over the counts; the alias picks `r` with
 ///    probability `|S(w(r))| / |J|`.
-/// 4. Per sample, draw `r` from the alias and one uniform point from
-///    `S ∩ w(r)` via spatial independent range sampling (`O(√m)`).
 ///
-/// Every pair of `J` is emitted with probability exactly `1/|J|`; no
-/// rejections ever occur (`iterations == samples`).
+/// The index is `Send + Sync` and never mutated after
+/// [`KdsIndex::build`]; wrap it in an [`Arc`] and hand every serving
+/// thread its own [`KdsCursor`]. Per sample, a cursor draws `r` from the
+/// alias and one uniform point from `S ∩ w(r)` via spatial independent
+/// range sampling (`O(√m)`). Every pair of `J` is emitted with
+/// probability exactly `1/|J|`; no rejections ever occur
+/// (`iterations == samples`).
 ///
 /// Total: `O((n + t)√m)` time, `O(n + m)` space.
-pub struct KdsSampler {
+pub struct KdsIndex {
     r_points: Vec<Point>,
     tree: KdTree,
     alias: Option<AliasTable>,
     join_size: u64,
     config: SampleConfig,
-    report: PhaseReport,
-    scratch: CanonicalScratch,
+    build_report: PhaseReport,
 }
 
-impl KdsSampler {
-    /// Builds the sampler: kd-tree (pre-processing) + exact counts and
-    /// alias (upper-bounding phase, in the paper's table terminology —
-    /// for KDS the "bounds" are exact).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KdsIndex>();
+};
+
+impl KdsIndex {
+    /// Runs the build phases: kd-tree (pre-processing) + exact counts
+    /// and alias (upper-bounding phase, in the paper's table terminology
+    /// — for KDS the "bounds" are exact).
     pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
         let t0 = Instant::now();
         let tree = KdTree::build(s);
@@ -50,18 +59,17 @@ impl KdsSampler {
         let alias = AliasTable::new(&weights);
         let upper_bounding = t1.elapsed();
 
-        KdsSampler {
+        KdsIndex {
             r_points: r.to_vec(),
             tree,
             alias,
             join_size,
             config: *config,
-            report: PhaseReport {
+            build_report: PhaseReport {
                 preprocessing,
                 upper_bounding,
                 ..PhaseReport::default()
             },
-            scratch: CanonicalScratch::new(),
         }
     }
 
@@ -71,58 +79,123 @@ impl KdsSampler {
         self.join_size
     }
 
-    fn draw_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &SampleConfig {
+        &self.config
+    }
+
+    /// Build-phase timing (preprocessing + upper bounding).
+    pub fn build_report(&self) -> PhaseReport {
+        self.build_report
+    }
+
+    /// Approximate heap footprint of the retained structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.r_points.capacity() * std::mem::size_of::<Point>()
+            + self.tree.memory_bytes()
+            + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
+    }
+
+    /// One uniform draw against the immutable index, using
+    /// caller-provided mutable state (`&self` — safe to call from many
+    /// threads at once).
+    fn draw(
+        &self,
+        rng: &mut dyn RngCore,
+        scratch: &mut CanonicalScratch,
+        stats: &mut PhaseReport,
+    ) -> Result<JoinPair, SampleError> {
         let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
-        self.report.iterations += 1;
+        stats.iterations += 1;
         let ridx = alias.sample(rng);
         let w = Rect::window(self.r_points[ridx], self.config.half_extent);
         // The alias only returns r with a positive count, so the window
         // is non-empty and the draw cannot fail.
         let (sid, _count) = self
             .tree
-            .sample_in_range(&w, rng, &mut self.scratch)
+            .sample_in_range(&w, rng, scratch)
             .expect("alias returned an r with zero range count");
-        self.report.samples += 1;
+        stats.samples += 1;
         Ok(JoinPair::new(ridx as u32, sid))
+    }
+}
+
+impl SamplerIndex for KdsIndex {
+    type Scratch = CanonicalScratch;
+
+    fn algorithm_name(&self) -> &'static str {
+        "KDS"
+    }
+
+    fn draw_with(
+        &self,
+        rng: &mut dyn RngCore,
+        scratch: &mut CanonicalScratch,
+        stats: &mut PhaseReport,
+    ) -> Result<JoinPair, SampleError> {
+        self.draw(rng, scratch, stats)
+    }
+
+    fn index_build_report(&self) -> PhaseReport {
+        self.build_report
+    }
+
+    fn index_memory_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+}
+
+/// Cheap per-thread query state over a shared [`KdsIndex`]: a kd-tree
+/// descent scratch buffer plus sampling-phase statistics (see
+/// [`Cursor`]).
+pub type KdsCursor = Cursor<KdsIndex>;
+
+/// Baseline 1 — **KDS** — as a self-contained single-threaded sampler:
+/// an owned [`KdsIndex`] plus one [`KdsCursor`], preserving the
+/// pre-split `build`/`sample` API. New concurrent callers should use
+/// [`KdsIndex`] + [`KdsCursor`] (or the `srj-engine` crate) directly.
+pub struct KdsSampler {
+    cursor: KdsCursor,
+}
+
+impl KdsSampler {
+    /// Builds the index and attaches a private cursor.
+    pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
+        KdsSampler {
+            cursor: KdsCursor::new(Arc::new(KdsIndex::build(r, s, config))),
+        }
+    }
+
+    /// Exact join cardinality `|J|` (see [`KdsIndex::join_size`]).
+    pub fn join_size(&self) -> u64 {
+        self.cursor.index().join_size()
+    }
+
+    /// The shared index, for handing to additional cursors.
+    pub fn index(&self) -> &Arc<KdsIndex> {
+        self.cursor.index()
     }
 }
 
 impl JoinSampler for KdsSampler {
     fn name(&self) -> &'static str {
-        "KDS"
+        self.cursor.name()
     }
 
     fn sample_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
-        let t = Instant::now();
-        let out = self.draw_one(rng);
-        self.report.sampling += t.elapsed();
-        out
+        self.cursor.sample_one(rng)
     }
 
     fn sample(&mut self, t: usize, rng: &mut dyn RngCore) -> Result<Vec<JoinPair>, SampleError> {
-        let start = Instant::now();
-        let mut out = Vec::with_capacity(t);
-        for _ in 0..t {
-            match self.draw_one(rng) {
-                Ok(p) => out.push(p),
-                Err(e) => {
-                    self.report.sampling += start.elapsed();
-                    return Err(e);
-                }
-            }
-        }
-        self.report.sampling += start.elapsed();
-        Ok(out)
+        self.cursor.sample(t, rng)
     }
 
     fn report(&self) -> PhaseReport {
-        self.report
+        self.cursor.report()
     }
 
     fn memory_bytes(&self) -> usize {
-        self.r_points.capacity() * std::mem::size_of::<Point>()
-            + self.tree.memory_bytes()
-            + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
+        self.cursor.memory_bytes()
     }
 }
 
@@ -140,7 +213,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
     }
 
     #[test]
@@ -204,5 +279,25 @@ mod tests {
         assert_eq!(rep.grid_mapping, std::time::Duration::ZERO); // KDS has no GM
         assert!(rep.total() >= rep.sampling);
         assert!(sampler.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn two_cursors_share_one_index() {
+        let r = pseudo_points(60, 21, 40.0);
+        let s = pseudo_points(90, 22, 40.0);
+        let index = Arc::new(KdsIndex::build(&r, &s, &SampleConfig::new(5.0)));
+        let mut a = KdsCursor::new(Arc::clone(&index));
+        let mut b = KdsCursor::new(Arc::clone(&index));
+        let mut rng_a = SmallRng::seed_from_u64(7);
+        let mut rng_b = SmallRng::seed_from_u64(7);
+        // identical seeds over the same index ⇒ identical streams
+        let pa = a.sample(50, &mut rng_a).unwrap();
+        let pb = b.sample(50, &mut rng_b).unwrap();
+        assert_eq!(pa, pb);
+        // per-cursor stats are independent
+        assert_eq!(a.report().samples, 50);
+        assert_eq!(b.report().samples, 50);
+        // both cursors carry the index's build phases
+        assert_eq!(a.report().preprocessing, index.build_report().preprocessing);
     }
 }

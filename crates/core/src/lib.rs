@@ -22,10 +22,27 @@
 //! All samplers record a [`PhaseReport`] with the paper's phase
 //! decomposition (pre-processing, GM, UB, sampling; Tables II–IV) and
 //! expose `memory_bytes()` for the Fig. 4 experiment.
+//!
+//! ## Build once, sample from many threads
+//!
+//! The paper separates one-time preprocessing from per-sample work; this
+//! crate makes that split structural. Every sampler is divided into an
+//! immutable, `Send + Sync` **index** ([`KdsIndex`],
+//! [`KdsRejectionIndex`], [`BbstIndex`], [`BbstKdVariantIndex`]) that
+//! runs the build phases exactly once, and a cheap mutable **cursor**
+//! ([`KdsCursor`], [`KdsRejectionCursor`], [`BbstCursor`],
+//! [`BbstKdVariantCursor`]) holding only per-thread state (scratch
+//! buffers and sampling statistics). Wrap an index in an `Arc`, hand
+//! each thread its own cursor, and all threads draw concurrently from
+//! the same structures. The classic `*Sampler` types remain as
+//! single-threaded shims (owned index + one cursor) with the original
+//! API; the `srj-engine` crate builds a full concurrent serving engine
+//! — planner, index cache, latency statistics — on top of this split.
 
 mod bbst_alg;
-mod decompose;
 mod config;
+mod cursor;
+mod decompose;
 mod kds;
 mod materialize;
 mod rangetree_sampler;
@@ -33,14 +50,15 @@ mod rejection;
 mod traits;
 mod variant;
 
-pub use bbst_alg::BbstSampler;
+pub use bbst_alg::{BbstCursor, BbstIndex, BbstSampler};
 pub use config::{JoinPair, PhaseReport, SampleConfig, SampleError};
-pub use kds::KdsSampler;
+pub use cursor::{Cursor, SamplerIndex};
+pub use kds::{KdsCursor, KdsIndex, KdsSampler};
 pub use materialize::JoinThenSample;
 pub use rangetree_sampler::RangeTreeSampler;
-pub use rejection::KdsRejectionSampler;
+pub use rejection::{KdsRejectionCursor, KdsRejectionIndex, KdsRejectionSampler};
 pub use traits::{JoinSampler, SampleIter};
-pub use variant::BbstKdVariantSampler;
+pub use variant::{BbstKdVariantCursor, BbstKdVariantIndex, BbstKdVariantSampler};
 
 // Re-export the mass mode so downstream users configure the BBST bound
 // without depending on srj-bbst directly.

@@ -31,7 +31,10 @@ impl JoinThenSample {
         let grid_mapping = t0.elapsed();
         JoinThenSample {
             pairs,
-            report: PhaseReport { grid_mapping, ..PhaseReport::default() },
+            report: PhaseReport {
+                grid_mapping,
+                ..PhaseReport::default()
+            },
         }
     }
 
@@ -76,10 +79,17 @@ mod tests {
     #[test]
     fn uniform_over_materialized_join() {
         let r = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
-        let s = vec![Point::new(0.5, 0.5), Point::new(1.5, 1.5), Point::new(9.0, 9.0)];
+        let s = vec![
+            Point::new(0.5, 0.5),
+            Point::new(1.5, 1.5),
+            Point::new(9.0, 9.0),
+        ];
         let cfg = SampleConfig::new(1.0);
         let mut sampler = JoinThenSample::build(&r, &s, &cfg);
-        assert_eq!(sampler.join_size(), srj_join::nested_loop_join(&r, &s, 1.0).len() as u64);
+        assert_eq!(
+            sampler.join_size(),
+            srj_join::nested_loop_join(&r, &s, 1.0).len() as u64
+        );
         let mut rng = SmallRng::seed_from_u64(5);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..40_000 {

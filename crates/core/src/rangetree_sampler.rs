@@ -128,7 +128,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
     }
 
     #[test]

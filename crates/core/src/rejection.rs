@@ -1,3 +1,4 @@
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::{Rng, RngCore};
@@ -7,9 +8,11 @@ use srj_grid::Grid;
 use srj_kdtree::{CanonicalScratch, KdTree};
 
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
+use crate::cursor::{Cursor, SamplerIndex};
 use crate::traits::JoinSampler;
 
-/// Baseline 2 — **KDS-rejection** (paper Section III-B).
+/// Immutable build product of Baseline 2 — **KDS-rejection** (paper
+/// Section III-B).
 ///
 /// Replaces KDS's `O(n√m)` exact counting with `O(1)`-per-point upper
 /// bounds from a grid: `µ(r)` = total population of the ≤ 9 cells
@@ -21,8 +24,11 @@ use crate::traits::JoinSampler;
 /// almost entirely outside the window), so the expected iteration count
 /// `Σµ/|J|` can be large — the drawback the proposed algorithm fixes.
 ///
+/// `Send + Sync`, never mutated after build; share it via [`Arc`] and
+/// give each thread its own [`KdsRejectionCursor`].
+///
 /// Expected `O(n + m + n·m^1.5·t/|J|)` time, `O(n + m)` space.
-pub struct KdsRejectionSampler {
+pub struct KdsRejectionIndex {
     r_points: Vec<Point>,
     tree: KdTree,
     grid: Grid,
@@ -30,21 +36,54 @@ pub struct KdsRejectionSampler {
     mu: Vec<f64>,
     alias: Option<AliasTable>,
     config: SampleConfig,
-    report: PhaseReport,
-    scratch: CanonicalScratch,
+    build_report: PhaseReport,
 }
 
-impl KdsRejectionSampler {
-    /// Builds the sampler: kd-tree (pre-processing), grid (GM), bounds +
-    /// alias (UB).
-    pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
-        let t0 = Instant::now();
-        let tree = KdTree::build(s);
-        let preprocessing = t0.elapsed();
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KdsRejectionIndex>();
+};
 
+impl KdsRejectionIndex {
+    /// Runs the build phases: kd-tree (pre-processing), grid (GM),
+    /// bounds + alias (UB).
+    pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
         let t1 = Instant::now();
         let grid = Grid::build(s, config.half_extent);
         let grid_mapping = t1.elapsed();
+        Self::build_with_grid(r, s, config, grid, grid_mapping)
+    }
+
+    /// Like [`KdsRejectionIndex::build`], but reuses a grid the caller
+    /// already built over `s` with cell side `config.half_extent`
+    /// (e.g. the planner's estimation grid — `srj-engine` uses this to
+    /// avoid paying the grid-mapping phase twice on the auto path).
+    /// `grid_build_time` is charged to the report's GM phase so the
+    /// phase decomposition stays truthful.
+    ///
+    /// # Panics
+    /// Panics if the grid's cell side differs from `config.half_extent`
+    /// or the grid does not cover `s` — a mismatched grid would make
+    /// `µ(r)` undercount windows and silently bias the samples.
+    pub fn build_with_grid(
+        r: &[Point],
+        s: &[Point],
+        config: &SampleConfig,
+        grid: Grid,
+        grid_build_time: std::time::Duration,
+    ) -> Self {
+        assert!(
+            grid.cell_side().to_bits() == config.half_extent.to_bits(),
+            "grid cell side ({}) must equal the window half-extent ({})",
+            grid.cell_side(),
+            config.half_extent
+        );
+        assert_eq!(grid.num_points(), s.len(), "grid must cover s");
+        let grid_mapping = grid_build_time;
+
+        let t0 = Instant::now();
+        let tree = KdTree::build(s);
+        let preprocessing = t0.elapsed();
 
         let t2 = Instant::now();
         let mu: Vec<f64> = r
@@ -54,20 +93,19 @@ impl KdsRejectionSampler {
         let alias = AliasTable::new(&mu);
         let upper_bounding = t2.elapsed();
 
-        KdsRejectionSampler {
+        KdsRejectionIndex {
             r_points: r.to_vec(),
             tree,
             grid,
             mu,
             alias,
             config: *config,
-            report: PhaseReport {
+            build_report: PhaseReport {
                 preprocessing,
                 grid_mapping,
                 upper_bounding,
                 ..PhaseReport::default()
             },
-            scratch: CanonicalScratch::new(),
         }
     }
 
@@ -77,20 +115,51 @@ impl KdsRejectionSampler {
         self.alias.as_ref().map_or(0.0, AliasTable::total_weight)
     }
 
-    fn draw_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
+    /// Upper bound `µ(r)` for one query point.
+    pub fn mu_of(&self, ridx: usize) -> f64 {
+        self.mu[ridx]
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &SampleConfig {
+        &self.config
+    }
+
+    /// Build-phase timing (preprocessing + GM + UB).
+    pub fn build_report(&self) -> PhaseReport {
+        self.build_report
+    }
+
+    /// Approximate heap footprint of the retained structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.r_points.capacity() * std::mem::size_of::<Point>()
+            + self.tree.memory_bytes()
+            + self.grid.memory_bytes()
+            + self.mu.capacity() * std::mem::size_of::<f64>()
+            + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
+    }
+
+    /// One uniform draw against the immutable index (`&self`; safe from
+    /// many threads).
+    fn draw(
+        &self,
+        rng: &mut dyn RngCore,
+        scratch: &mut CanonicalScratch,
+        stats: &mut PhaseReport,
+    ) -> Result<JoinPair, SampleError> {
         let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
         let mut consecutive = 0u64;
         loop {
-            self.report.iterations += 1;
+            stats.iterations += 1;
             let ridx = alias.sample(rng);
             let w = Rect::window(self.r_points[ridx], self.config.half_extent);
             // µ(r) > 0 does not imply the window is non-empty: the nine
             // cells may hold points only outside w(r).
-            if let Some((sid, count)) = self.tree.sample_in_range(&w, rng, &mut self.scratch) {
+            if let Some((sid, count)) = self.tree.sample_in_range(&w, rng, scratch) {
                 // Accept with probability |S(w(r))| / µ(r).
                 let accept = rng.gen::<f64>() * self.mu[ridx] < count as f64;
                 if accept {
-                    self.report.samples += 1;
+                    stats.samples += 1;
                     return Ok(JoinPair::new(ridx as u32, sid));
                 }
             }
@@ -102,44 +171,81 @@ impl KdsRejectionSampler {
     }
 }
 
-impl JoinSampler for KdsRejectionSampler {
-    fn name(&self) -> &'static str {
+impl SamplerIndex for KdsRejectionIndex {
+    type Scratch = CanonicalScratch;
+
+    fn algorithm_name(&self) -> &'static str {
         "KDS-rejection"
     }
 
+    fn draw_with(
+        &self,
+        rng: &mut dyn RngCore,
+        scratch: &mut CanonicalScratch,
+        stats: &mut PhaseReport,
+    ) -> Result<JoinPair, SampleError> {
+        self.draw(rng, scratch, stats)
+    }
+
+    fn index_build_report(&self) -> PhaseReport {
+        self.build_report
+    }
+
+    fn index_memory_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+}
+
+/// Cheap per-thread query state over a shared [`KdsRejectionIndex`]
+/// (see [`Cursor`]).
+pub type KdsRejectionCursor = Cursor<KdsRejectionIndex>;
+
+/// Baseline 2 — **KDS-rejection** — as a self-contained single-threaded
+/// sampler (owned index + one cursor), preserving the pre-split API.
+/// Concurrent callers should use [`KdsRejectionIndex`] +
+/// [`KdsRejectionCursor`] (or `srj-engine`) directly.
+pub struct KdsRejectionSampler {
+    cursor: KdsRejectionCursor,
+}
+
+impl KdsRejectionSampler {
+    /// Builds the index and attaches a private cursor.
+    pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
+        KdsRejectionSampler {
+            cursor: KdsRejectionCursor::new(Arc::new(KdsRejectionIndex::build(r, s, config))),
+        }
+    }
+
+    /// Sum of the upper bounds `Σ_r µ(r)`.
+    pub fn mu_total(&self) -> f64 {
+        self.cursor.index().mu_total()
+    }
+
+    /// The shared index, for handing to additional cursors.
+    pub fn index(&self) -> &Arc<KdsRejectionIndex> {
+        self.cursor.index()
+    }
+}
+
+impl JoinSampler for KdsRejectionSampler {
+    fn name(&self) -> &'static str {
+        self.cursor.name()
+    }
+
     fn sample_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
-        let t = Instant::now();
-        let out = self.draw_one(rng);
-        self.report.sampling += t.elapsed();
-        out
+        self.cursor.sample_one(rng)
     }
 
     fn sample(&mut self, t: usize, rng: &mut dyn RngCore) -> Result<Vec<JoinPair>, SampleError> {
-        let start = Instant::now();
-        let mut out = Vec::with_capacity(t);
-        for _ in 0..t {
-            match self.draw_one(rng) {
-                Ok(p) => out.push(p),
-                Err(e) => {
-                    self.report.sampling += start.elapsed();
-                    return Err(e);
-                }
-            }
-        }
-        self.report.sampling += start.elapsed();
-        Ok(out)
+        self.cursor.sample(t, rng)
     }
 
     fn report(&self) -> PhaseReport {
-        self.report
+        self.cursor.report()
     }
 
     fn memory_bytes(&self) -> usize {
-        self.r_points.capacity() * std::mem::size_of::<Point>()
-            + self.tree.memory_bytes()
-            + self.grid.memory_bytes()
-            + self.mu.capacity() * std::mem::size_of::<f64>()
-            + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
+        self.cursor.memory_bytes()
     }
 }
 
@@ -157,7 +263,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
     }
 
     #[test]
@@ -175,7 +283,10 @@ mod tests {
         let rep = sampler.report();
         assert_eq!(rep.samples, 400);
         // the 9-cell bound is loose: rejections are all but certain here
-        assert!(rep.iterations > rep.samples, "expected at least one rejection");
+        assert!(
+            rep.iterations > rep.samples,
+            "expected at least one rejection"
+        );
     }
 
     #[test]
@@ -184,13 +295,14 @@ mod tests {
         let s = pseudo_points(80, 22, 40.0);
         let cfg = SampleConfig::new(4.0);
         let sampler = KdsRejectionSampler::build(&r, &s, &cfg);
+        let index = sampler.index();
         for (i, &rp) in r.iter().enumerate() {
             let w = Rect::window(rp, 4.0);
             let exact = s.iter().filter(|p| w.contains(**p)).count() as f64;
             assert!(
-                sampler.mu[i] >= exact,
+                index.mu_of(i) >= exact,
                 "r{i}: µ {} < exact {exact}",
-                sampler.mu[i]
+                index.mu_of(i)
             );
         }
         let brute = srj_join::nested_loop_join(&r, &s, 4.0).len() as f64;
@@ -207,7 +319,10 @@ mod tests {
         let mut sampler = KdsRejectionSampler::build(&r, &s, &cfg);
         assert!(sampler.mu_total() > 0.0);
         let mut rng = SmallRng::seed_from_u64(1);
-        assert_eq!(sampler.sample_one(&mut rng), Err(SampleError::RejectionLimit));
+        assert_eq!(
+            sampler.sample_one(&mut rng),
+            Err(SampleError::RejectionLimit)
+        );
     }
 
     #[test]
@@ -218,5 +333,20 @@ mod tests {
         let mut sampler = KdsRejectionSampler::build(&r, &s, &cfg);
         let mut rng = SmallRng::seed_from_u64(1);
         assert_eq!(sampler.sample_one(&mut rng), Err(SampleError::EmptyJoin));
+    }
+
+    #[test]
+    fn cursors_over_shared_index_are_reproducible() {
+        let r = pseudo_points(40, 31, 30.0);
+        let s = pseudo_points(70, 32, 30.0);
+        let index = Arc::new(KdsRejectionIndex::build(&r, &s, &SampleConfig::new(4.0)));
+        let mut a = KdsRejectionCursor::new(Arc::clone(&index));
+        let mut b = KdsRejectionCursor::new(Arc::clone(&index));
+        let mut rng_a = SmallRng::seed_from_u64(99);
+        let mut rng_b = SmallRng::seed_from_u64(99);
+        assert_eq!(
+            a.sample(30, &mut rng_a).unwrap(),
+            b.sample(30, &mut rng_b).unwrap()
+        );
     }
 }

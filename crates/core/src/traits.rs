@@ -33,16 +33,21 @@ pub trait JoinSampler {
     /// replacement), by the paper's suggested extension: "just rejecting
     /// a given sample if it has already been obtained" (§II).
     ///
-    /// Needs `t ≤ |J|`; if `t` exceeds the join size the rejection
-    /// safety valve eventually reports
-    /// [`SampleError::RejectionLimit`].
+    /// Needs `t ≤ |J|`; if `t` exceeds the join size the duplicate
+    /// bail-out below reports [`SampleError::RejectionLimit`].
     fn sample_without_replacement(
         &mut self,
         t: usize,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<JoinPair>, SampleError> {
-        let mut seen = std::collections::HashSet::with_capacity(t * 2);
-        let mut out = Vec::with_capacity(t);
+        // Bound the pre-allocation: `t` is caller-controlled and the
+        // old `t * 2` both overflowed near `usize::MAX` and committed
+        // gigabytes up front for huge requests. The set still grows on
+        // demand past the cap.
+        const MAX_PREALLOC_PAIRS: usize = 1 << 16;
+        let mut seen =
+            std::collections::HashSet::with_capacity(t.saturating_mul(2).min(MAX_PREALLOC_PAIRS));
+        let mut out = Vec::with_capacity(t.min(MAX_PREALLOC_PAIRS));
         let mut consecutive_duplicates = 0u64;
         while out.len() < t {
             let pair = self.sample_one(rng)?;
@@ -51,7 +56,17 @@ pub trait JoinSampler {
                 consecutive_duplicates = 0;
             } else {
                 consecutive_duplicates += 1;
-                if consecutive_duplicates > 10_000_000 {
+                // Adaptive bail-out, scaled to the observed distinct
+                // count k instead of a fixed 10M draws (which stalled
+                // for minutes on tiny exhausted joins): if any unseen
+                // pair remained, a draw would miss it with probability
+                // ≤ k/(k+1), so c consecutive duplicates occur with
+                // probability ≤ (k/(k+1))^c ≈ e^(−c/(k+1)). At
+                // c = 64·(k+1) a false bail-out has probability
+                // < e⁻⁶⁴; the 4096 floor keeps tiny k comfortably
+                // conservative.
+                let limit = 64 * (seen.len() as u64 + 1);
+                if consecutive_duplicates > limit.max(4_096) {
                     return Err(SampleError::RejectionLimit);
                 }
             }
@@ -78,7 +93,11 @@ pub trait JoinSampler {
     where
         Self: Sized,
     {
-        SampleIter { sampler: self, rng, error: None }
+        SampleIter {
+            sampler: self,
+            rng,
+            error: None,
+        }
     }
 }
 
@@ -178,6 +197,49 @@ mod tests {
         assert_eq!(v.len(), 20);
         let set: std::collections::HashSet<_> = v.iter().collect();
         assert_eq!(set.len(), 20, "duplicates returned");
+    }
+
+    #[test]
+    fn without_replacement_bails_out_fast_when_t_exceeds_join() {
+        // |J| = 5 but 10 distinct pairs requested: the adaptive
+        // bail-out must fire after ~thousands of draws, not the old
+        // fixed 10M.
+        let mut t = toy(5);
+        let mut rng = SmallRng::seed_from_u64(8);
+        assert_eq!(
+            t.sample_without_replacement(10, &mut rng),
+            Err(SampleError::RejectionLimit)
+        );
+        // 5 distinct + adaptive duplicate budget: orders of magnitude
+        // below the old 10M-draw stall.
+        assert!(
+            t.report().iterations < 100_000,
+            "bail-out too slow: {} draws",
+            t.report().iterations
+        );
+    }
+
+    #[test]
+    fn without_replacement_survives_skewed_near_complete_collection() {
+        // Collecting all 40 of 40 pairs forces long duplicate streaks
+        // near the end; the adaptive limit must NOT fire spuriously.
+        let mut t = toy(40);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let v = t.sample_without_replacement(40, &mut rng).unwrap();
+        assert_eq!(v.len(), 40);
+    }
+
+    #[test]
+    fn without_replacement_huge_t_does_not_overallocate() {
+        // A request near usize::MAX previously computed `t * 2` with
+        // overflow (debug: panic) and tried to reserve the result.
+        // Now it starts bounded and fails via the bail-out.
+        let mut t = toy(3);
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(
+            t.sample_without_replacement(usize::MAX, &mut rng),
+            Err(SampleError::RejectionLimit)
+        );
     }
 
     #[test]

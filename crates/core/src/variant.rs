@@ -1,3 +1,4 @@
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::{Rng, RngCore};
@@ -7,19 +8,23 @@ use srj_grid::{case_of, CellCase, Grid};
 use srj_kdtree::{CanonicalScratch, KdTree};
 
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
+use crate::cursor::{Cursor, SamplerIndex};
 use crate::decompose::{case12_count, case12_run, quadrant_query, quadrant_rect};
 use crate::traits::JoinSampler;
 
-/// The Fig. 9 ablation: Algorithm 1's pipeline with **a per-cell kd-tree
-/// instead of the two BBSTs** for the case-3 corner cells ("this variant
-/// used KDS" for corner sampling).
+/// Immutable build product of the Fig. 9 ablation: Algorithm 1's
+/// pipeline with **a per-cell kd-tree instead of the two BBSTs** for the
+/// case-3 corner cells ("this variant used KDS" for corner sampling).
 ///
 /// Case-3 counts become exact (kd-tree range counting of the clipped
 /// quadrant rectangle) and corner draws never produce dud slots, but
 /// each corner count costs `O(√N)` instead of `Õ(1)` and each corner
 /// draw costs `O(√N)` — which is precisely the gap the paper's Fig. 9
 /// measures (BBST is "up to 12 times faster").
-pub struct BbstKdVariantSampler {
+///
+/// `Send + Sync`; share via [`Arc`] with one
+/// [`BbstKdVariantCursor`] per thread.
+pub struct BbstKdVariantIndex {
     r_points: Vec<Point>,
     grid: Grid,
     /// Per-cell kd-trees, parallel to `grid.cells()`; point ids are
@@ -28,13 +33,17 @@ pub struct BbstKdVariantSampler {
     rows: Vec<CumulativeRow9>,
     alias: Option<AliasTable>,
     config: SampleConfig,
-    report: PhaseReport,
-    scratch: CanonicalScratch,
+    build_report: PhaseReport,
 }
 
-impl BbstKdVariantSampler {
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BbstKdVariantIndex>();
+};
+
+impl BbstKdVariantIndex {
     /// Builds the variant (same phase structure as
-    /// [`crate::BbstSampler::build`]).
+    /// [`crate::BbstIndex::build`]).
     pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
         let t0 = Instant::now();
         let mut x_order: Vec<PointId> = (0..s.len() as u32).collect();
@@ -48,8 +57,7 @@ impl BbstKdVariantSampler {
             .cells()
             .iter()
             .map(|c| {
-                let pts: Vec<Point> =
-                    c.by_x.iter().map(|&id| grid.point(id)).collect();
+                let pts: Vec<Point> = c.by_x.iter().map(|&id| grid.point(id)).collect();
                 KdTree::build(&pts)
             })
             .collect();
@@ -83,20 +91,19 @@ impl BbstKdVariantSampler {
         let alias = AliasTable::new(&weights);
         let upper_bounding = t2.elapsed();
 
-        BbstKdVariantSampler {
+        BbstKdVariantIndex {
             r_points: r.to_vec(),
             grid,
             cell_trees,
             rows,
             alias,
             config: *config,
-            report: PhaseReport {
+            build_report: PhaseReport {
                 preprocessing,
                 grid_mapping,
                 upper_bounding,
                 ..PhaseReport::default()
             },
-            scratch: CanonicalScratch::new(),
         }
     }
 
@@ -105,9 +112,34 @@ impl BbstKdVariantSampler {
         self.alias.as_ref().map_or(0.0, AliasTable::total_weight)
     }
 
-    fn draw_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
+    /// Build-phase timing (preprocessing + GM + UB).
+    pub fn build_report(&self) -> PhaseReport {
+        self.build_report
+    }
+
+    /// Approximate heap footprint of the retained structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.r_points.capacity() * std::mem::size_of::<Point>()
+            + self.grid.memory_bytes()
+            + self
+                .cell_trees
+                .iter()
+                .map(KdTree::memory_bytes)
+                .sum::<usize>()
+            + self.rows.capacity() * std::mem::size_of::<CumulativeRow9>()
+            + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
+    }
+
+    /// One uniform draw against the immutable index (`&self`; safe from
+    /// many threads).
+    fn draw(
+        &self,
+        rng: &mut dyn RngCore,
+        scratch: &mut CanonicalScratch,
+        stats: &mut PhaseReport,
+    ) -> Result<JoinPair, SampleError> {
         let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
-        self.report.iterations += 1;
+        stats.iterations += 1;
         let ridx = alias.sample(rng);
         let rp = self.r_points[ridx];
         let w = Rect::window(rp, self.config.half_extent);
@@ -122,7 +154,7 @@ impl BbstKdVariantSampler {
                 let q = quadrant_query(x_is_min, y_is_min, &w);
                 let rect = quadrant_rect(&q, &cell.rect);
                 let (pos, _count) = self.cell_trees[slot as usize]
-                    .sample_in_range(&rect, rng, &mut self.scratch)
+                    .sample_in_range(&rect, rng, scratch)
                     .expect("positive exact count for an empty quadrant");
                 cell.by_x[pos as usize]
             }
@@ -136,49 +168,84 @@ impl BbstKdVariantSampler {
             w.contains(self.grid.point(sid)),
             "variant sample escaped the window"
         );
-        self.report.samples += 1;
+        stats.samples += 1;
         Ok(JoinPair::new(ridx as u32, sid))
+    }
+}
+
+impl SamplerIndex for BbstKdVariantIndex {
+    type Scratch = CanonicalScratch;
+
+    fn algorithm_name(&self) -> &'static str {
+        "BBST-kd-variant"
+    }
+
+    fn draw_with(
+        &self,
+        rng: &mut dyn RngCore,
+        scratch: &mut CanonicalScratch,
+        stats: &mut PhaseReport,
+    ) -> Result<JoinPair, SampleError> {
+        self.draw(rng, scratch, stats)
+    }
+
+    fn index_build_report(&self) -> PhaseReport {
+        self.build_report
+    }
+
+    fn index_memory_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+}
+
+/// Cheap per-thread query state over a shared [`BbstKdVariantIndex`]
+/// (see [`Cursor`]).
+pub type BbstKdVariantCursor = Cursor<BbstKdVariantIndex>;
+
+/// The Fig. 9 ablation as a self-contained single-threaded sampler
+/// (owned index + one cursor), preserving the pre-split API.
+pub struct BbstKdVariantSampler {
+    cursor: BbstKdVariantCursor,
+}
+
+impl BbstKdVariantSampler {
+    /// Builds the index and attaches a private cursor.
+    pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
+        BbstKdVariantSampler {
+            cursor: BbstKdVariantCursor::new(Arc::new(BbstKdVariantIndex::build(r, s, config))),
+        }
+    }
+
+    /// Sum of the per-`r` bounds — exact here, so `mu_total == |J|`.
+    pub fn mu_total(&self) -> f64 {
+        self.cursor.index().mu_total()
+    }
+
+    /// The shared index, for handing to additional cursors.
+    pub fn index(&self) -> &Arc<BbstKdVariantIndex> {
+        self.cursor.index()
     }
 }
 
 impl JoinSampler for BbstKdVariantSampler {
     fn name(&self) -> &'static str {
-        "BBST-kd-variant"
+        self.cursor.name()
     }
 
     fn sample_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {
-        let t = Instant::now();
-        let out = self.draw_one(rng);
-        self.report.sampling += t.elapsed();
-        out
+        self.cursor.sample_one(rng)
     }
 
     fn sample(&mut self, t: usize, rng: &mut dyn RngCore) -> Result<Vec<JoinPair>, SampleError> {
-        let start = Instant::now();
-        let mut out = Vec::with_capacity(t);
-        for _ in 0..t {
-            match self.draw_one(rng) {
-                Ok(p) => out.push(p),
-                Err(e) => {
-                    self.report.sampling += start.elapsed();
-                    return Err(e);
-                }
-            }
-        }
-        self.report.sampling += start.elapsed();
-        Ok(out)
+        self.cursor.sample(t, rng)
     }
 
     fn report(&self) -> PhaseReport {
-        self.report
+        self.cursor.report()
     }
 
     fn memory_bytes(&self) -> usize {
-        self.r_points.capacity() * std::mem::size_of::<Point>()
-            + self.grid.memory_bytes()
-            + self.cell_trees.iter().map(KdTree::memory_bytes).sum::<usize>()
-            + self.rows.capacity() * std::mem::size_of::<CumulativeRow9>()
-            + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
+        self.cursor.memory_bytes()
     }
 }
 
@@ -196,7 +263,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
     }
 
     #[test]

@@ -25,7 +25,9 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
-            IoError::Parse(line, text) => write!(f, "line {line}: cannot parse point from {text:?}"),
+            IoError::Parse(line, text) => {
+                write!(f, "line {line}: cannot parse point from {text:?}")
+            }
         }
     }
 }

@@ -97,7 +97,12 @@ fn gaussian(rng: &mut SmallRng) -> f64 {
 
 fn uniform(n: usize, rng: &mut SmallRng) -> Vec<Point> {
     (0..n)
-        .map(|_| Point::new(rng.gen::<f64>() * DEFAULT_DOMAIN, rng.gen::<f64>() * DEFAULT_DOMAIN))
+        .map(|_| {
+            Point::new(
+                rng.gen::<f64>() * DEFAULT_DOMAIN,
+                rng.gen::<f64>() * DEFAULT_DOMAIN,
+            )
+        })
         .collect()
 }
 
@@ -217,7 +222,9 @@ fn taxi_hotspots(n: usize, rng: &mut SmallRng) -> Vec<Point> {
             )
         })
         .collect();
-    let weights: Vec<f64> = (0..hotspots).map(|i| 1.0 / ((i + 1) as f64).powf(1.2)).collect();
+    let weights: Vec<f64> = (0..hotspots)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(1.2))
+        .collect();
     let total_w: f64 = weights.iter().sum();
     let mut cum = Vec::with_capacity(hotspots);
     let mut acc = 0.0;
@@ -229,7 +236,10 @@ fn taxi_hotspots(n: usize, rng: &mut SmallRng) -> Vec<Point> {
         .map(|_| {
             if rng.gen::<f64>() < 0.1 {
                 // background traffic
-                Point::new(rng.gen::<f64>() * DEFAULT_DOMAIN, rng.gen::<f64>() * DEFAULT_DOMAIN)
+                Point::new(
+                    rng.gen::<f64>() * DEFAULT_DOMAIN,
+                    rng.gen::<f64>() * DEFAULT_DOMAIN,
+                )
             } else {
                 let u: f64 = rng.gen();
                 let idx = cum.partition_point(|&c| c < u).min(hotspots - 1);
@@ -320,7 +330,9 @@ mod tests {
             let mut cells: std::collections::HashMap<(i64, i64), usize> =
                 std::collections::HashMap::new();
             for p in pts {
-                *cells.entry(((p.x / 100.0) as i64, (p.y / 100.0) as i64)).or_default() += 1;
+                *cells
+                    .entry(((p.x / 100.0) as i64, (p.y / 100.0) as i64))
+                    .or_default() += 1;
             }
             *cells.values().max().unwrap()
         };

@@ -32,7 +32,9 @@ mod tests {
     use super::*;
 
     fn pts(n: usize) -> Vec<Point> {
-        (0..n).map(|i| Point::new(i as f64, (i * 3) as f64)).collect()
+        (0..n)
+            .map(|i| Point::new(i as f64, (i * 3) as f64))
+            .collect()
     }
 
     #[test]
@@ -46,8 +48,10 @@ mod tests {
             merged.push((p.x.to_bits(), p.y.to_bits()));
         }
         merged.sort_unstable();
-        let mut orig: Vec<(u64, u64)> =
-            points.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+        let mut orig: Vec<(u64, u64)> = points
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect();
         orig.sort_unstable();
         assert_eq!(merged, orig);
     }

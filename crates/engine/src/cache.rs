@@ -1,0 +1,229 @@
+//! LRU cache of built engines keyed by `(dataset id, l)`.
+//!
+//! Building an index is the expensive part of serving (the whole point
+//! of the build/sample split); workloads that revisit the same window
+//! half-extent on the same dataset should never rebuild. The cache
+//! holds fully built [`Engine`]s — cloning an `Engine` clones an `Arc`,
+//! so a cache hit is O(1) and the returned engine keeps working even if
+//! it is later evicted.
+//!
+//! Keys: a caller-chosen `u64` dataset identifier (version it when the
+//! data changes!) plus the exact bit pattern of `l`. Two `l` values
+//! that differ in the last mantissa bit are different keys — the cache
+//! never answers with an index built for a different window size.
+
+use std::sync::Mutex;
+
+use crate::Engine;
+
+/// Cache key: dataset id + exact `l` bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    dataset: u64,
+    l_bits: u64,
+}
+
+struct CacheEntry {
+    key: CacheKey,
+    engine: Engine,
+    last_used: u64,
+}
+
+struct CacheInner {
+    entries: Vec<CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A fixed-capacity least-recently-used cache of built [`Engine`]s.
+///
+/// Thread-safe: the map is guarded by one mutex, held only for O(cap)
+/// bookkeeping — never while an engine builds. If two threads miss the
+/// same key simultaneously both build, and the first insert wins (the
+/// loser's engine is dropped and its clone still works); this favours
+/// serving latency over strict build dedup.
+pub struct EngineCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl EngineCache {
+    /// A cache retaining up to `capacity` built engines.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        EngineCache {
+            capacity,
+            inner: Mutex::new(CacheInner {
+                entries: Vec::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// The engine for `(dataset, l)` if cached, refreshing its recency.
+    pub fn get(&self, dataset: u64, l: f64) -> Option<Engine> {
+        let key = CacheKey {
+            dataset,
+            l_bits: l.to_bits(),
+        };
+        let mut inner = self.inner.lock().expect("engine cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.entries.iter_mut().find(|e| e.key == key) {
+            e.last_used = tick;
+            let engine = e.engine.clone();
+            inner.hits += 1;
+            Some(engine)
+        } else {
+            inner.misses += 1;
+            None
+        }
+    }
+
+    /// The engine for `(dataset, l)`, building it with `build` on a
+    /// miss and caching the result (evicting the least-recently-used
+    /// entry when full).
+    pub fn get_or_build(&self, dataset: u64, l: f64, build: impl FnOnce() -> Engine) -> Engine {
+        if let Some(hit) = self.get(dataset, l) {
+            return hit;
+        }
+        // Build outside the lock: concurrent misses on *different* keys
+        // must not serialise on one mutex for the whole build.
+        let engine = build();
+        let key = CacheKey {
+            dataset,
+            l_bits: l.to_bits(),
+        };
+        let mut inner = self.inner.lock().expect("engine cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.entries.iter_mut().find(|e| e.key == key) {
+            // Another thread built the same key first; keep its engine
+            // so later callers share one index.
+            e.last_used = tick;
+            return e.engine.clone();
+        }
+        if inner.entries.len() >= self.capacity {
+            let lru = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty at capacity");
+            inner.entries.swap_remove(lru);
+        }
+        inner.entries.push(CacheEntry {
+            key,
+            engine: engine.clone(),
+            last_used: tick,
+        });
+        engine
+    }
+
+    /// Number of engines currently cached.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("engine cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of retained engines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookup hits so far (including the lookup half of
+    /// [`EngineCache::get_or_build`]).
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("engine cache poisoned").hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("engine cache poisoned").misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+    use srj_core::SampleConfig;
+    use srj_geom::Point;
+
+    fn tiny_engine(l: f64) -> Engine {
+        let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64, i as f64)).collect();
+        Engine::build(&pts, &pts, &SampleConfig::new(l), Algorithm::Kds)
+    }
+
+    #[test]
+    fn hit_reuses_built_engine() {
+        let cache = EngineCache::new(4);
+        let mut builds = 0;
+        for _ in 0..3 {
+            let _ = cache.get_or_build(1, 5.0, || {
+                builds += 1;
+                tiny_engine(5.0)
+            });
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = EngineCache::new(4);
+        let a = cache.get_or_build(1, 5.0, || tiny_engine(5.0));
+        let b = cache.get_or_build(1, 6.0, || tiny_engine(6.0));
+        let c = cache.get_or_build(2, 5.0, || tiny_engine(5.0));
+        assert_eq!(cache.len(), 3);
+        // sanity: all three still serve
+        for e in [a, b, c] {
+            assert!(e.handle_seeded(0).sample_one().is_ok());
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = EngineCache::new(2);
+        cache.get_or_build(1, 1.0, || tiny_engine(1.0));
+        cache.get_or_build(2, 1.0, || tiny_engine(1.0));
+        // touch key 1 so key 2 is the LRU
+        assert!(cache.get(1, 1.0).is_some());
+        cache.get_or_build(3, 1.0, || tiny_engine(1.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1, 1.0).is_some(), "recently used entry evicted");
+        assert!(cache.get(2, 1.0).is_none(), "LRU entry survived");
+        assert!(cache.get(3, 1.0).is_some());
+    }
+
+    #[test]
+    fn evicted_engines_keep_serving() {
+        let cache = EngineCache::new(1);
+        let a = cache.get_or_build(1, 1.0, || tiny_engine(1.0));
+        cache.get_or_build(2, 1.0, || tiny_engine(1.0)); // evicts a
+        assert!(a.handle_seeded(7).sample_one().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        EngineCache::new(0);
+    }
+}

@@ -1,0 +1,399 @@
+//! The engine proper: one immutable index, many lightweight handles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use srj_core::{
+    BbstCursor, BbstIndex, JoinPair, JoinSampler, KdsCursor, KdsIndex, KdsRejectionCursor,
+    KdsRejectionIndex, PhaseReport, SampleConfig, SampleError,
+};
+use srj_geom::Point;
+
+use crate::planner::{plan, PlanReport};
+use crate::stats::{EngineStats, StatsSnapshot};
+
+/// Which of the paper's samplers an [`Engine`] serves with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Exact counting + spatial independent range sampling (§III-A).
+    Kds,
+    /// Grid upper bounds + rejection sampling (§III-B).
+    KdsRejection,
+    /// The proposed BBST pipeline (§IV).
+    Bbst,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Algorithm::Kds => "KDS",
+            Algorithm::KdsRejection => "KDS-rejection",
+            Algorithm::Bbst => "BBST",
+        })
+    }
+}
+
+/// The built index, one variant per algorithm.
+enum IndexKind {
+    Kds(Arc<KdsIndex>),
+    KdsRejection(Arc<KdsRejectionIndex>),
+    Bbst(Arc<BbstIndex>),
+}
+
+/// State shared by an engine and every handle it has issued.
+struct EngineShared {
+    index: IndexKind,
+    stats: EngineStats,
+    plan: Option<PlanReport>,
+    /// Sequence number for auto-seeded handles.
+    handle_seq: AtomicU64,
+}
+
+/// A build-once / serve-many join-sampling service over one `(R, S, l)`
+/// workload.
+///
+/// `Engine::build` (or [`Engine::auto`]) runs the chosen algorithm's
+/// build phases exactly once into immutable, `Arc`-shared state; from
+/// then on any number of threads obtain [`SamplerHandle`]s — each with
+/// its own RNG and its own [`PhaseReport`] — and draw uniform join
+/// samples concurrently with zero synchronisation on the hot path
+/// (aggregate statistics are relaxed atomics).
+///
+/// `Engine` is `Clone` (it is a handle to shared state) and `Send +
+/// Sync`; clone it into as many threads as needed, or share one
+/// `Arc<Engine>`.
+///
+/// ```
+/// use srj_engine::Engine;
+/// use srj_core::SampleConfig;
+/// use srj_geom::Point;
+///
+/// let r: Vec<Point> = (0..200).map(|i| Point::new((i % 20) as f64, (i / 20) as f64)).collect();
+/// let s = r.clone();
+/// let engine = Engine::auto(&r, &s, &SampleConfig::new(2.0));
+///
+/// let handles: Vec<_> = (0..4).map(|t| engine.handle_seeded(t)).collect();
+/// for mut h in handles {
+///     let pairs = h.sample(100).unwrap();
+///     assert_eq!(pairs.len(), 100);
+/// }
+/// assert_eq!(engine.stats().samples, 400);
+/// ```
+#[derive(Clone)]
+pub struct Engine {
+    shared: Arc<EngineShared>,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+};
+
+impl Engine {
+    /// Builds the index for `algorithm` once and wraps it for serving.
+    pub fn build(r: &[Point], s: &[Point], config: &SampleConfig, algorithm: Algorithm) -> Engine {
+        Engine::build_inner(r, s, config, algorithm, None)
+    }
+
+    /// Lets the planner pick the algorithm from a cheap `O(n + m)`
+    /// workload estimate (see [`crate::planner`]), then builds —
+    /// donating the planner's estimation grid to the index build, so
+    /// the grid-mapping phase is never paid twice.
+    ///
+    /// The decision and its supporting estimates are kept in
+    /// [`Engine::plan`].
+    pub fn auto(r: &[Point], s: &[Point], config: &SampleConfig) -> Engine {
+        let (report, estimation_grid) = plan(r, s, config);
+        let index = match (report.algorithm, estimation_grid) {
+            (Algorithm::KdsRejection, Some((grid, grid_time))) => {
+                IndexKind::KdsRejection(Arc::new(KdsRejectionIndex::build_with_grid(
+                    r, s, config, grid, grid_time,
+                )))
+            }
+            (Algorithm::Bbst, Some((grid, grid_time))) => IndexKind::Bbst(Arc::new(
+                BbstIndex::build_with_grid(r, config, grid, grid_time),
+            )),
+            (algorithm, _) => return Engine::build_inner(r, s, config, algorithm, Some(report)),
+        };
+        Engine {
+            shared: Arc::new(EngineShared {
+                index,
+                stats: EngineStats::new(),
+                plan: Some(report),
+                handle_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn build_inner(
+        r: &[Point],
+        s: &[Point],
+        config: &SampleConfig,
+        algorithm: Algorithm,
+        plan: Option<PlanReport>,
+    ) -> Engine {
+        let index = match algorithm {
+            Algorithm::Kds => IndexKind::Kds(Arc::new(KdsIndex::build(r, s, config))),
+            Algorithm::KdsRejection => {
+                IndexKind::KdsRejection(Arc::new(KdsRejectionIndex::build(r, s, config)))
+            }
+            Algorithm::Bbst => IndexKind::Bbst(Arc::new(BbstIndex::build(r, s, config))),
+        };
+        Engine {
+            shared: Arc::new(EngineShared {
+                index,
+                stats: EngineStats::new(),
+                plan,
+                handle_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The algorithm this engine serves with.
+    pub fn algorithm(&self) -> Algorithm {
+        match &self.shared.index {
+            IndexKind::Kds(_) => Algorithm::Kds,
+            IndexKind::KdsRejection(_) => Algorithm::KdsRejection,
+            IndexKind::Bbst(_) => Algorithm::Bbst,
+        }
+    }
+
+    /// The planner's decision report, if this engine came from
+    /// [`Engine::auto`].
+    pub fn plan(&self) -> Option<&PlanReport> {
+        self.shared.plan.as_ref()
+    }
+
+    /// A new serving handle with an automatically derived, per-handle
+    /// unique seed. Deterministic: the k-th handle of an engine always
+    /// gets the same seed.
+    pub fn handle(&self) -> SamplerHandle {
+        let seq = self.shared.handle_seq.fetch_add(1, Ordering::Relaxed);
+        // SplitMix64 step keeps consecutive sequence numbers from
+        // yielding correlated xoshiro seeds.
+        let mut z = seq.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.handle_seeded(z ^ (z >> 31))
+    }
+
+    /// A new serving handle seeded with `seed`: two handles with the
+    /// same seed over the same engine draw identical sample streams.
+    pub fn handle_seeded(&self, seed: u64) -> SamplerHandle {
+        let cursor = match &self.shared.index {
+            IndexKind::Kds(ix) => CursorKind::Kds(KdsCursor::new(Arc::clone(ix))),
+            IndexKind::KdsRejection(ix) => {
+                CursorKind::KdsRejection(KdsRejectionCursor::new(Arc::clone(ix)))
+            }
+            IndexKind::Bbst(ix) => CursorKind::Bbst(BbstCursor::new(Arc::clone(ix))),
+        };
+        SamplerHandle {
+            cursor,
+            rng: SmallRng::seed_from_u64(seed),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Aggregate statistics across every handle this engine has issued.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Build-phase timing of the underlying index.
+    pub fn build_report(&self) -> PhaseReport {
+        match &self.shared.index {
+            IndexKind::Kds(ix) => ix.build_report(),
+            IndexKind::KdsRejection(ix) => ix.build_report(),
+            IndexKind::Bbst(ix) => ix.build_report(),
+        }
+    }
+
+    /// Approximate heap footprint of the shared index.
+    pub fn memory_bytes(&self) -> usize {
+        match &self.shared.index {
+            IndexKind::Kds(ix) => ix.memory_bytes(),
+            IndexKind::KdsRejection(ix) => ix.memory_bytes(),
+            IndexKind::Bbst(ix) => ix.memory_bytes(),
+        }
+    }
+}
+
+/// Per-algorithm cursor, wrapped so a handle is one concrete type.
+enum CursorKind {
+    Kds(KdsCursor),
+    KdsRejection(KdsRejectionCursor),
+    Bbst(BbstCursor),
+}
+
+impl CursorKind {
+    fn as_sampler(&mut self) -> &mut dyn JoinSampler {
+        match self {
+            CursorKind::Kds(c) => c,
+            CursorKind::KdsRejection(c) => c,
+            CursorKind::Bbst(c) => c,
+        }
+    }
+
+    fn report(&self) -> PhaseReport {
+        match self {
+            CursorKind::Kds(c) => c.report(),
+            CursorKind::KdsRejection(c) => c.report(),
+            CursorKind::Bbst(c) => c.report(),
+        }
+    }
+}
+
+/// A lightweight per-thread serving handle: its own RNG, its own
+/// cursor (scratch + [`PhaseReport`]), a shared immutable index.
+///
+/// Handles are `Send` (move one into each serving thread) but
+/// deliberately not `Sync` — a handle is exactly the state that must
+/// not be shared. Creation is O(1); create them freely.
+pub struct SamplerHandle {
+    cursor: CursorKind,
+    rng: SmallRng,
+    shared: Arc<EngineShared>,
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SamplerHandle>();
+};
+
+impl SamplerHandle {
+    /// Draws one uniform join sample.
+    pub fn sample_one(&mut self) -> Result<JoinPair, SampleError> {
+        let t = Instant::now();
+        let out = self.cursor.as_sampler().sample_one(&mut self.rng);
+        match &out {
+            Ok(_) => self.shared.stats.record_query(1, t.elapsed()),
+            Err(_) => self.shared.stats.record_error(t.elapsed()),
+        }
+        out
+    }
+
+    /// Draws `t` uniform join samples with replacement.
+    pub fn sample(&mut self, t: usize) -> Result<Vec<JoinPair>, SampleError> {
+        let start = Instant::now();
+        let out = self.cursor.as_sampler().sample(t, &mut self.rng);
+        match &out {
+            Ok(v) => self
+                .shared
+                .stats
+                .record_query(v.len() as u64, start.elapsed()),
+            Err(_) => self.shared.stats.record_error(start.elapsed()),
+        }
+        out
+    }
+
+    /// Progressive sampling: an iterator of uniform join samples that
+    /// can be stopped at any point (the paper's `t = ∞` reading of
+    /// Definition 2). Ends on the first error, which
+    /// [`HandleStream::error`] exposes.
+    ///
+    /// Statistics: to keep shared atomics off the per-item path, a
+    /// stream does **not** record one engine query per item — it
+    /// accumulates the time spent **inside the draws** (consumer time
+    /// between `next()` calls is excluded, so latency quantiles stay a
+    /// serving-side signal) and flushes one aggregate query per
+    /// [`STREAM_STATS_BATCH`] samples, plus the remainder when the
+    /// stream is dropped.
+    pub fn stream(&mut self) -> HandleStream<'_> {
+        HandleStream {
+            handle: self,
+            error: None,
+            batch_draw_time: Duration::ZERO,
+            batch_samples: 0,
+        }
+    }
+
+    /// This handle's phase report: the shared index's build phases plus
+    /// this handle's own sampling statistics.
+    pub fn report(&self) -> PhaseReport {
+        self.cursor.report()
+    }
+
+    /// The algorithm behind this handle.
+    pub fn algorithm(&self) -> Algorithm {
+        match self.cursor {
+            CursorKind::Kds(_) => Algorithm::Kds,
+            CursorKind::KdsRejection(_) => Algorithm::KdsRejection,
+            CursorKind::Bbst(_) => Algorithm::Bbst,
+        }
+    }
+}
+
+/// How many stream items are aggregated into one recorded engine
+/// query (see [`SamplerHandle::stream`]).
+pub const STREAM_STATS_BATCH: u64 = 256;
+
+/// Iterator over a handle's progressive samples; see
+/// [`SamplerHandle::stream`].
+pub struct HandleStream<'a> {
+    handle: &'a mut SamplerHandle,
+    error: Option<SampleError>,
+    /// Time spent inside draws since the last flush (consumer time
+    /// between `next()` calls is deliberately excluded).
+    batch_draw_time: Duration,
+    batch_samples: u64,
+}
+
+impl HandleStream<'_> {
+    /// The error that terminated the stream, if any.
+    pub fn error(&self) -> Option<SampleError> {
+        self.error
+    }
+
+    fn flush_stats(&mut self) {
+        if self.batch_samples > 0 {
+            self.handle
+                .shared
+                .stats
+                .record_query(self.batch_samples, self.batch_draw_time);
+            self.batch_samples = 0;
+        }
+        self.batch_draw_time = Duration::ZERO;
+    }
+}
+
+impl Iterator for HandleStream<'_> {
+    type Item = JoinPair;
+
+    fn next(&mut self) -> Option<JoinPair> {
+        if self.error.is_some() {
+            return None;
+        }
+        let t = Instant::now();
+        let drawn = self
+            .handle
+            .cursor
+            .as_sampler()
+            .sample_one(&mut self.handle.rng);
+        let draw_time = t.elapsed();
+        match drawn {
+            Ok(p) => {
+                self.batch_draw_time += draw_time;
+                self.batch_samples += 1;
+                if self.batch_samples >= STREAM_STATS_BATCH {
+                    self.flush_stats();
+                }
+                Some(p)
+            }
+            Err(e) => {
+                self.flush_stats();
+                self.handle.shared.stats.record_error(draw_time);
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+impl Drop for HandleStream<'_> {
+    fn drop(&mut self) {
+        self.flush_stats();
+    }
+}

@@ -1,0 +1,270 @@
+//! `srj-engine` — a concurrent query-serving subsystem over the
+//! paper's join samplers.
+//!
+//! The paper's algorithms all separate one-time preprocessing from
+//! per-sample work ("all algorithms pick join samples progressively",
+//! §II; Tables II–IV time the phases separately). `srj-core` makes that
+//! seam structural (immutable `*Index` + cheap `*Cursor`); this crate
+//! turns it into a service:
+//!
+//! ```text
+//!                 ┌────────────────────────────────────────────┐
+//!                 │                Engine (Arc)                │
+//!   R, S, l ───►  │  build ONCE:                               │
+//!                 │   IndexKind = KdsIndex | KdsRejectionIndex │
+//!                 │               | BbstIndex  (Send + Sync)   │
+//!                 │  EngineStats (relaxed atomics)             │
+//!                 │  PlanReport  (Engine::auto only)           │
+//!                 └───────┬──────────────┬─────────────┬───────┘
+//!                         │              │             │
+//!                  handle()        handle()      handle()   … O(1) each
+//!                         │              │             │
+//!                 ┌───────▼──────┐ ┌─────▼────────┐ ┌──▼───────────┐
+//!                 │SamplerHandle │ │SamplerHandle │ │SamplerHandle │
+//!                 │ own SmallRng │ │ own SmallRng │ │ own SmallRng │
+//!                 │ own cursor / │ │ own cursor / │ │ own cursor / │
+//!                 │  PhaseReport │ │  PhaseReport │ │  PhaseReport │
+//!                 └───────┬──────┘ └─────┬────────┘ └──┬───────────┘
+//!                 thread 1 │       thread 2 │    thread N │
+//!                          ▼                ▼             ▼
+//!                  sample(t) / sample_one() / stream()  — concurrent,
+//!                  lock-free against the shared immutable index
+//! ```
+//!
+//! ## Planner ([`Engine::auto`])
+//!
+//! Picks the serving algorithm from an `O(n + m)` estimate before
+//! paying for a build:
+//!
+//! 1. `n·√m ≤` [`planner::KDS_COST_BUDGET`] → **KDS** (exact counting
+//!    is trivially affordable; zero rejections at serve time);
+//! 2. estimated `Σµ/|J| ≤` [`planner::MAX_REJECTION_OVERHEAD`] →
+//!    **KDS-rejection** (the §III-B grid bounds are tight, so its
+//!    cheapest-of-all build wins and rejections stay rare);
+//! 3. otherwise → **BBST** (the paper's algorithm: per-sample cost is
+//!    `Õ(1)` regardless of bound looseness, Lemma 6).
+//!
+//! `Σµ` is the same 9-cell grid bound KDS-rejection would use, computed
+//! in full; `|J|` is estimated by exact-counting an evenly-spaced probe
+//! subset of `R` against the grid. The decision and the estimates that
+//! drove it are retained in [`PlanReport`].
+//!
+//! ## Cache ([`EngineCache`])
+//!
+//! An LRU map `(dataset id, l bits) → Engine`, so workloads that
+//! revisit a window size reuse the built index instead of paying the
+//! build again. Hits are O(1) `Arc` clones; evicted engines keep
+//! serving for whoever still holds them; the mutex is never held while
+//! building.
+//!
+//! ## Statistics ([`Engine::stats`])
+//!
+//! Queries served, samples drawn, errors, and mean/p50/p99 per-query
+//! latency from a log₂-bucketed histogram — all relaxed atomics, no
+//! locks on the serving path.
+
+mod cache;
+mod engine;
+pub mod planner;
+mod stats;
+
+pub use cache::EngineCache;
+pub use engine::{Algorithm, Engine, HandleStream, SamplerHandle};
+pub use planner::PlanReport;
+pub use stats::{EngineStats, StatsSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srj_core::{SampleConfig, SampleError};
+    use srj_geom::{Point, Rect};
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
+    }
+
+    #[test]
+    fn every_algorithm_serves_valid_pairs() {
+        let r = pseudo_points(80, 1, 50.0);
+        let s = pseudo_points(120, 2, 50.0);
+        let cfg = SampleConfig::new(6.0);
+        for algo in [Algorithm::Kds, Algorithm::KdsRejection, Algorithm::Bbst] {
+            let engine = Engine::build(&r, &s, &cfg, algo);
+            assert_eq!(engine.algorithm(), algo);
+            let mut h = engine.handle_seeded(3);
+            let pairs = h.sample(300).unwrap();
+            assert_eq!(pairs.len(), 300);
+            for p in pairs {
+                let w = Rect::window(r[p.r as usize], 6.0);
+                assert!(w.contains(s[p.s as usize]), "{algo}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream_distinct_seeds_distinct_streams() {
+        let r = pseudo_points(60, 11, 40.0);
+        let s = pseudo_points(90, 12, 40.0);
+        let engine = Engine::build(&r, &s, &SampleConfig::new(5.0), Algorithm::Bbst);
+        let a = engine.handle_seeded(42).sample(200).unwrap();
+        let b = engine.handle_seeded(42).sample(200).unwrap();
+        let c = engine.handle_seeded(43).sample(200).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn auto_handles_are_unique_but_deterministic_per_engine() {
+        let r = pseudo_points(50, 21, 30.0);
+        let s = pseudo_points(70, 22, 30.0);
+        let cfg = SampleConfig::new(4.0);
+        let e1 = Engine::build(&r, &s, &cfg, Algorithm::Kds);
+        let e2 = Engine::build(&r, &s, &cfg, Algorithm::Kds);
+        // k-th auto handle draws the same stream on equal engines...
+        let s1 = e1.handle().sample(50).unwrap();
+        let s2 = e2.handle().sample(50).unwrap();
+        assert_eq!(s1, s2);
+        // ...but successive handles of one engine differ.
+        let s3 = e1.handle().sample(50).unwrap();
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn stats_aggregate_across_handles() {
+        let r = pseudo_points(60, 31, 40.0);
+        let s = pseudo_points(80, 32, 40.0);
+        let engine = Engine::build(&r, &s, &SampleConfig::new(5.0), Algorithm::KdsRejection);
+        let mut h1 = engine.handle_seeded(1);
+        let mut h2 = engine.handle_seeded(2);
+        h1.sample(100).unwrap();
+        h2.sample(50).unwrap();
+        h2.sample_one().unwrap();
+        let snap = engine.stats();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.samples, 151);
+        assert_eq!(snap.errors, 0);
+        assert!(snap.p99_latency >= snap.p50_latency);
+        assert!(snap.mean_latency > std::time::Duration::ZERO);
+        // per-handle reports stay separate
+        assert_eq!(h1.report().samples, 100);
+        assert_eq!(h2.report().samples, 51);
+    }
+
+    #[test]
+    fn errors_are_counted() {
+        let r = vec![Point::new(0.0, 0.0)];
+        let s = vec![Point::new(900.0, 900.0)];
+        let engine = Engine::build(&r, &s, &SampleConfig::new(1.0), Algorithm::Kds);
+        let mut h = engine.handle_seeded(0);
+        assert_eq!(h.sample_one(), Err(SampleError::EmptyJoin));
+        assert_eq!(engine.stats().errors, 1);
+    }
+
+    #[test]
+    fn stream_is_progressive_and_stops_on_error() {
+        let r = pseudo_points(40, 41, 30.0);
+        let s = pseudo_points(60, 42, 30.0);
+        let engine = Engine::build(&r, &s, &SampleConfig::new(4.0), Algorithm::Bbst);
+        let mut h = engine.handle_seeded(5);
+        let collected: Vec<_> = h.stream().take(75).collect();
+        assert_eq!(collected.len(), 75);
+        for p in collected {
+            let w = Rect::window(r[p.r as usize], 4.0);
+            assert!(w.contains(s[p.s as usize]));
+        }
+
+        let empty = Engine::build(
+            &[Point::new(0.0, 0.0)],
+            &[Point::new(500.0, 500.0)],
+            &SampleConfig::new(1.0),
+            Algorithm::Bbst,
+        );
+        let mut h = empty.handle_seeded(0);
+        let mut stream = h.stream();
+        assert!(stream.next().is_none());
+        assert_eq!(stream.error(), Some(SampleError::EmptyJoin));
+    }
+
+    #[test]
+    fn auto_records_a_plan() {
+        let r = pseudo_points(100, 51, 40.0);
+        let s = pseudo_points(100, 52, 40.0);
+        let engine = Engine::auto(&r, &s, &SampleConfig::new(5.0));
+        let plan = engine.plan().expect("auto must record its plan");
+        assert_eq!(plan.algorithm, engine.algorithm());
+        assert!(!plan.reason.is_empty());
+        // tiny input ⇒ the budget rule fires
+        assert_eq!(plan.algorithm, Algorithm::Kds);
+        // forced builds carry no plan
+        let forced = Engine::build(&r, &s, &SampleConfig::new(5.0), Algorithm::Bbst);
+        assert!(forced.plan().is_none());
+    }
+
+    #[test]
+    fn auto_picks_rejection_for_high_selectivity_workloads() {
+        // Dense uniform data with windows that cover a large fraction
+        // of their 3×3 cell block: the 9-cell bound is tight (overhead
+        // ≈ (3l/2l)² = 2.25 < 4), so rejection sampling's cheap build
+        // should win.
+        let r = pseudo_points(4_000, 61, 100.0);
+        let s = pseudo_points(4_000, 62, 100.0);
+        let engine = Engine::auto(&r, &s, &SampleConfig::new(10.0));
+        let plan = engine.plan().unwrap();
+        assert_eq!(
+            plan.algorithm,
+            Algorithm::KdsRejection,
+            "tight bounds should pick rejection: {plan:?}"
+        );
+        assert!(plan.est_overhead.unwrap() <= planner::MAX_REJECTION_OVERHEAD);
+        // and the engine actually serves
+        assert!(engine.handle_seeded(1).sample(100).is_ok());
+    }
+
+    #[test]
+    fn auto_picks_bbst_for_low_selectivity_workloads() {
+        // Near-miss workload: every S point sits in a neighbouring grid
+        // cell of some R point (so the 9-cell bound counts it) but
+        // outside almost every window. A sparse set of true matches
+        // keeps |J| > 0. Overhead Σµ/|J| ≫ 4 ⇒ BBST.
+        let l = 5.0;
+        let mut r = Vec::new();
+        let mut s = Vec::new();
+        for i in 0..4_000 {
+            let x = (i % 64) as f64 * 3.0 * l;
+            let y = (i / 64) as f64 * 3.0 * l;
+            r.push(Point::new(x, y));
+            // diagonal neighbour: inside the 3×3 block, outside w(r)
+            s.push(Point::new(x + 1.9 * l, y + 1.9 * l));
+            if i % 97 == 0 {
+                s.push(Point::new(x + 0.5 * l, y + 0.5 * l)); // true match
+            }
+        }
+        let engine = Engine::auto(&r, &s, &SampleConfig::new(l));
+        let plan = engine.plan().unwrap();
+        assert_eq!(
+            plan.algorithm,
+            Algorithm::Bbst,
+            "loose bounds should pick BBST: {plan:?}"
+        );
+        assert!(plan.est_overhead.unwrap() > planner::MAX_REJECTION_OVERHEAD);
+        assert!(engine.handle_seeded(1).sample(50).is_ok());
+    }
+
+    #[test]
+    fn build_report_and_memory_are_exposed() {
+        let r = pseudo_points(60, 71, 40.0);
+        let s = pseudo_points(90, 72, 40.0);
+        let engine = Engine::build(&r, &s, &SampleConfig::new(5.0), Algorithm::Bbst);
+        assert!(engine.build_report().grid_mapping > std::time::Duration::ZERO);
+        assert!(engine.memory_bytes() > 0);
+    }
+}

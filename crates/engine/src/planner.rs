@@ -1,0 +1,192 @@
+//! The adaptive planner behind [`crate::Engine::auto`]: pick the
+//! cheapest sampler for a workload from an `O(n + m)` estimate.
+//!
+//! The paper's three algorithms trade build cost against per-sample
+//! cost:
+//!
+//! * **KDS** — expensive exact counting (`O(n√m)`) but zero rejections;
+//!   unbeatable when `n·√m` is small.
+//! * **KDS-rejection** — near-free bounds (`O(n + m)`), but every
+//!   sample pays the bound looseness `Σµ/|J|` in expected rejections;
+//!   best when the grid bounds are tight (high-selectivity workloads
+//!   whose windows are densely populated).
+//! * **BBST** — moderate build (`Õ(n + m)`), guaranteed `Õ(1)`
+//!   per-sample cost regardless of bound looseness; the safe default
+//!   for low-selectivity workloads where the 9-cell bound is loose.
+//!
+//! The planner measures exactly the quantity that separates the last
+//! two: the §III-B grid upper bound `Σµ` (computed in full, `O(n)`) and
+//! a sampled exact-count estimate of `|J|` (`O(√n · cell)`), giving the
+//! expected rejection overhead `Σµ/|J|` before committing to a build.
+
+use srj_geom::{Point, Rect};
+use srj_grid::Grid;
+
+use crate::Algorithm;
+use srj_core::SampleConfig;
+
+/// Below this `n·√m` product, KDS's exact counting is too cheap to
+/// bother estimating anything else.
+pub const KDS_COST_BUDGET: f64 = 2.0e5;
+
+/// Maximum acceptable expected rejection overhead `Σµ/|J|` for
+/// KDS-rejection; looser bounds fall through to BBST, whose per-sample
+/// cost is insensitive to the overhead (Lemma 6).
+pub const MAX_REJECTION_OVERHEAD: f64 = 4.0;
+
+/// How many query points the join-size probe exact-counts.
+const PROBE_POINTS: usize = 512;
+
+/// What [`crate::Engine::auto`] decided, and the estimates that drove
+/// the decision.
+///
+/// The estimate fields are `None` when the small-input fast path
+/// (rule 1) fired: the planner never built the grid, so no `Σµ` or
+/// `|Ĵ|` exists — `0.0` sentinels would read as "empty join".
+#[derive(Clone, Copy, Debug)]
+pub struct PlanReport {
+    /// `|R|`.
+    pub n: usize,
+    /// `|S|`.
+    pub m: usize,
+    /// The §III-B grid upper bound `Σ_r µ(r)` (9-cell populations).
+    pub mu_grid_total: Option<f64>,
+    /// Estimated join cardinality `|Ĵ|` from the sampled exact-count
+    /// probe.
+    pub est_join_size: Option<f64>,
+    /// Estimated rejection overhead `Σµ / |Ĵ|` (`f64::INFINITY` when
+    /// the probe found an empty join).
+    pub est_overhead: Option<f64>,
+    /// The chosen algorithm.
+    pub algorithm: Algorithm,
+    /// Human-readable decision rationale.
+    pub reason: &'static str,
+}
+
+/// Runs the `O(n + m)` estimate and picks an algorithm.
+///
+/// Also returns the grid built for the estimate (with its build time)
+/// so [`crate::Engine::auto`] can donate it to the chosen index build
+/// instead of paying the grid-mapping phase twice; `None` on the
+/// small-input fast path, which never builds a grid.
+pub(crate) fn plan(
+    r: &[Point],
+    s: &[Point],
+    config: &SampleConfig,
+) -> (PlanReport, Option<(Grid, std::time::Duration)>) {
+    let n = r.len();
+    let m = s.len();
+
+    // Rule 1: tiny problems — exact counting is cheaper than estimating.
+    if (n as f64) * (m as f64).sqrt() <= KDS_COST_BUDGET {
+        let report = PlanReport {
+            n,
+            m,
+            mu_grid_total: None,
+            est_join_size: None,
+            est_overhead: None,
+            algorithm: Algorithm::Kds,
+            reason: "n·√m below the exact-counting budget: KDS's zero-rejection \
+                     sampling wins and its O(n√m) build is negligible",
+        };
+        return (report, None);
+    }
+
+    // The same grid KDS-rejection would build (O(m)), reused here for
+    // both the full Σµ and the probe's exact window counts, then
+    // donated to the chosen index build.
+    let t_grid = std::time::Instant::now();
+    let grid = Grid::build(s, config.half_extent);
+    let grid_build_time = t_grid.elapsed();
+
+    // Full §III-B upper bound: Σ over all r of the 9-cell population.
+    let mu_grid_total: f64 = r
+        .iter()
+        .map(|&rp| grid.neighborhood_population(rp) as f64)
+        .sum();
+
+    // Sampled |J| estimate: exact-count an evenly-spaced subset of R
+    // and scale. Evenly spaced (not random) keeps the planner
+    // deterministic for a given input.
+    let probes = PROBE_POINTS.min(n);
+    let stride = (n / probes).max(1);
+    let mut probed = 0usize;
+    let mut probe_sum = 0usize;
+    for i in (0..n).step_by(stride) {
+        probe_sum += grid.exact_window_count(&Rect::window(r[i], config.half_extent));
+        probed += 1;
+    }
+    let est_join_size = probe_sum as f64 * (n as f64 / probed.max(1) as f64);
+
+    let est_overhead = if est_join_size > 0.0 {
+        mu_grid_total / est_join_size
+    } else {
+        f64::INFINITY
+    };
+
+    // Rule 2: tight bounds — rejection sampling's expected iterations
+    // per sample (= the overhead) are acceptable and its build is the
+    // cheapest of the three.
+    let (algorithm, reason) = if est_overhead <= MAX_REJECTION_OVERHEAD {
+        (
+            Algorithm::KdsRejection,
+            "grid bounds are tight (estimated Σµ/|J| within budget): rejection \
+             sampling's cheap build wins and rejections stay rare",
+        )
+    } else {
+        // Rule 3: loose bounds — BBST's Õ(1)-per-sample guarantee is
+        // immune to the overhead.
+        (
+            Algorithm::Bbst,
+            "grid bounds are loose (estimated Σµ/|J| over budget): BBST's \
+             bounded per-sample cost beats rejection's unbounded retries",
+        )
+    };
+
+    let report = PlanReport {
+        n,
+        m,
+        mu_grid_total: Some(mu_grid_total),
+        est_join_size: Some(est_join_size),
+        est_overhead: Some(est_overhead),
+        algorithm,
+        reason,
+    };
+    (report, Some((grid, grid_build_time)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_input_picks_kds() {
+        let r: Vec<Point> = (0..50).map(|i| Point::new(i as f64, i as f64)).collect();
+        let s = r.clone();
+        let (p, grid) = plan(&r, &s, &SampleConfig::new(2.0));
+        assert_eq!(p.algorithm, Algorithm::Kds);
+        assert!(
+            p.est_overhead.is_none(),
+            "fast path must not fake estimates"
+        );
+        assert!(grid.is_none());
+    }
+
+    #[test]
+    fn probe_scales_to_full_population() {
+        // uniform grid of points: the probe's scaled estimate must land
+        // near the true join size
+        let r: Vec<Point> = (0..4_000)
+            .map(|i| Point::new((i % 64) as f64, (i / 64) as f64))
+            .collect();
+        let s = r.clone();
+        let cfg = SampleConfig::new(3.0);
+        let (p, grid) = plan(&r, &s, &cfg);
+        assert!(grid.is_some(), "estimation grid must be donated");
+        let est = p.est_join_size.unwrap();
+        let true_join = srj_join::grid_join(&r, &s, 3.0).len() as f64;
+        let rel = (est - true_join).abs() / true_join;
+        assert!(rel < 0.2, "estimate {est} vs true {true_join}");
+        assert!(p.mu_grid_total.unwrap() >= true_join);
+    }
+}

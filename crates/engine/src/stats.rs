@@ -1,0 +1,167 @@
+//! Lock-free aggregate query statistics for an [`crate::Engine`].
+//!
+//! Every handle records each query (one `sample_one` or one batched
+//! `sample(t)` call) into the engine's shared [`EngineStats`]:
+//! a query counter, a sample counter, an error counter, and a
+//! log₂-bucketed latency histogram. Everything is plain relaxed atomics
+//! — recording is a handful of `fetch_add`s, so the serving hot path
+//! never takes a lock — and quantiles are answered from the histogram
+//! (bucket-resolution accurate, i.e. within a factor of 2, which is the
+//! standard trade-off for serving-side p99 tracking).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets: bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` nanoseconds; bucket 63 is the overflow bucket.
+const BUCKETS: usize = 64;
+
+/// Shared, lock-free statistics aggregated across every handle of an
+/// engine.
+#[derive(Debug)]
+pub struct EngineStats {
+    queries: AtomicU64,
+    samples: AtomicU64,
+    errors: AtomicU64,
+    latency_ns_total: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineStats {
+    /// Fresh zeroed statistics.
+    pub fn new() -> Self {
+        EngineStats {
+            queries: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency_ns_total: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one query that produced `samples` samples in `latency`.
+    pub fn record_query(&self, samples: u64, latency: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.samples.fetch_add(samples, Ordering::Relaxed);
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
+        let bucket = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.latency_buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed query (the latency is still charged).
+    pub fn record_error(&self, latency: Duration) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.record_query(0, latency);
+    }
+
+    /// A point-in-time copy of every counter and derived quantile.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let buckets: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let queries = self.queries.load(Ordering::Relaxed);
+        let total_ns = self.latency_ns_total.load(Ordering::Relaxed);
+        StatsSnapshot {
+            queries,
+            samples: self.samples.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            mean_latency: Duration::from_nanos(total_ns.checked_div(queries).unwrap_or(0)),
+            p50_latency: quantile(&buckets, 0.50),
+            p99_latency: quantile(&buckets, 0.99),
+        }
+    }
+}
+
+/// Bucket-resolution quantile: the geometric midpoint of the bucket
+/// containing the q-th ranked observation.
+fn quantile(buckets: &[u64], q: f64) -> Duration {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    // Rank so that quantile q covers the slowest (1−q) fraction: with
+    // 100 observations, p99 is the 100th-ranked (max), p50 the 51st.
+    let rank = ((total as f64 * q).floor() as u64 + 1).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            // Bucket i spans [2^i, 2^(i+1)); report its geometric mean.
+            let lo = 1u64 << i;
+            return Duration::from_nanos((lo as f64 * std::f64::consts::SQRT_2) as u64);
+        }
+    }
+    Duration::ZERO
+}
+
+/// A point-in-time view of an engine's aggregate statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct StatsSnapshot {
+    /// Queries served (each `sample_one` / batched `sample` call).
+    pub queries: u64,
+    /// Join samples drawn across all queries.
+    pub samples: u64,
+    /// Queries that returned a [`srj_core::SampleError`].
+    pub errors: u64,
+    /// Mean per-query latency.
+    pub mean_latency: Duration,
+    /// Median per-query latency (bucket resolution).
+    pub p50_latency: Duration,
+    /// 99th-percentile per-query latency (bucket resolution).
+    pub p99_latency: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = EngineStats::new();
+        stats.record_query(10, Duration::from_micros(5));
+        stats.record_query(20, Duration::from_micros(50));
+        stats.record_error(Duration::from_micros(1));
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.samples, 30);
+        assert_eq!(snap.errors, 1);
+        assert!(snap.mean_latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate() {
+        let stats = EngineStats::new();
+        // 99 fast queries at ~1µs, one slow at ~1ms.
+        for _ in 0..99 {
+            stats.record_query(1, Duration::from_micros(1));
+        }
+        stats.record_query(1, Duration::from_millis(1));
+        let snap = stats.snapshot();
+        // p50 must sit in the microsecond bucket (within 2x).
+        assert!(snap.p50_latency < Duration::from_micros(4), "{snap:?}");
+        // p99 lands in one of the two top buckets depending on rank
+        // rounding; it must be far above p50.
+        assert!(snap.p99_latency > snap.p50_latency * 50, "{snap:?}");
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let snap = EngineStats::new().snapshot();
+        assert_eq!(snap.queries, 0);
+        assert_eq!(snap.p50_latency, Duration::ZERO);
+        assert_eq!(snap.p99_latency, Duration::ZERO);
+    }
+}

@@ -30,8 +30,16 @@ pub fn normalize_to_domain(points: &mut [Point], domain: f64) {
     let sx = scale_axis(bb.width());
     let sy = scale_axis(bb.height());
     for p in points.iter_mut() {
-        p.x = if sx > 0.0 { (p.x - bb.min_x) * sx } else { domain * 0.5 };
-        p.y = if sy > 0.0 { (p.y - bb.min_y) * sy } else { domain * 0.5 };
+        p.x = if sx > 0.0 {
+            (p.x - bb.min_x) * sx
+        } else {
+            domain * 0.5
+        };
+        p.y = if sy > 0.0 {
+            (p.y - bb.min_y) * sy
+        } else {
+            domain * 0.5
+        };
     }
 }
 

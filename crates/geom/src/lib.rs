@@ -15,9 +15,9 @@
 //! dataset slice; every structure in the workspace stores ids rather than
 //! copies of points wherever possible.
 
+mod domain;
 mod point;
 mod rect;
-mod domain;
 
 pub use domain::{bounding_rect, normalize_to_domain, DEFAULT_DOMAIN};
 pub use point::{Point, PointId};

@@ -27,7 +27,12 @@ impl Rect {
     pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
         debug_assert!(min_x <= max_x, "min_x {min_x} > max_x {max_x}");
         debug_assert!(min_y <= max_y, "min_y {min_y} > max_y {max_y}");
-        Rect { min_x, min_y, max_x, max_y }
+        Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
     }
 
     /// The query window `w(r)` of half-extent `l` centred at `center`:
@@ -74,7 +79,12 @@ impl Rect {
         let min_y = self.min_y.max(other.min_y);
         let max_x = self.max_x.min(other.max_x);
         let max_y = self.max_y.min(other.max_y);
-        (min_x <= max_x && min_y <= max_y).then_some(Rect { min_x, min_y, max_x, max_y })
+        (min_x <= max_x && min_y <= max_y).then_some(Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        })
     }
 
     /// Width (x extent) of the rectangle.
@@ -107,13 +117,21 @@ impl Rect {
     /// Minimum coordinate along `axis` (0 = x, 1 = y).
     #[inline]
     pub fn min_coord(&self, axis: usize) -> f64 {
-        if axis == 0 { self.min_x } else { self.min_y }
+        if axis == 0 {
+            self.min_x
+        } else {
+            self.min_y
+        }
     }
 
     /// Maximum coordinate along `axis` (0 = x, 1 = y).
     #[inline]
     pub fn max_coord(&self, axis: usize) -> f64 {
-        if axis == 0 { self.max_x } else { self.max_y }
+        if axis == 0 {
+            self.max_x
+        } else {
+            self.max_y
+        }
     }
 
     /// Smallest rectangle covering `self` and `p`.
@@ -130,7 +148,12 @@ impl Rect {
     /// A degenerate rectangle containing only `p`.
     #[inline]
     pub fn degenerate(p: Point) -> Rect {
-        Rect { min_x: p.x, min_y: p.y, max_x: p.x, max_y: p.y }
+        Rect {
+            min_x: p.x,
+            min_y: p.y,
+            max_x: p.x,
+            max_y: p.y,
+        }
     }
 }
 

@@ -124,11 +124,21 @@ impl Grid {
                     (coord.0 as f64 + 1.0) * cell_side,
                     (coord.1 as f64 + 1.0) * cell_side,
                 );
-                Cell { coord, rect, by_x, by_y }
+                Cell {
+                    coord,
+                    rect,
+                    by_x,
+                    by_y,
+                }
             })
             .collect();
 
-        Grid { cell_side, points: points.to_vec(), lookup, cells }
+        Grid {
+            cell_side,
+            points: points.to_vec(),
+            lookup,
+            cells,
+        }
     }
 
     /// Cell side length the grid was built with.
@@ -176,7 +186,9 @@ impl Grid {
     /// The cell at `coord`, if non-empty.
     #[inline]
     pub fn cell_at(&self, coord: (i32, i32)) -> Option<&Cell> {
-        self.lookup.get(&coord).map(|&slot| &self.cells[slot as usize])
+        self.lookup
+            .get(&coord)
+            .map(|&slot| &self.cells[slot as usize])
     }
 
     /// Slot index of the cell at `coord`, if non-empty. Slots index
@@ -222,11 +234,7 @@ impl Grid {
     /// Sum of `|S(c)|` over the 3×3 block around `p` — the loose
     /// upper bound `µ(r)` of KDS-rejection (Section III-B), `O(1)`.
     pub fn neighborhood_population(&self, p: Point) -> usize {
-        self.neighborhood(p)
-            .iter()
-            .flatten()
-            .map(|c| c.len())
-            .sum()
+        self.neighborhood(p).iter().flatten().map(|c| c.len()).sum()
     }
 
     /// Exact number of indexed points inside the closed rectangle `w`.
@@ -324,10 +332,7 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s == 1));
-        assert_eq!(
-            g.cells().iter().map(Cell::len).sum::<usize>(),
-            pts.len()
-        );
+        assert_eq!(g.cells().iter().map(Cell::len).sum::<usize>(), pts.len());
     }
 
     #[test]

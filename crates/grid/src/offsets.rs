@@ -58,15 +58,27 @@ pub enum CellCase {
 /// bounded by `xmin`/`ymin`, `c↗` (index 8) by `xmax`/`ymax`, etc.
 pub const fn case_of(i: usize) -> CellCase {
     match i {
-        0 => CellCase::Quadrant { x_is_min: true, y_is_min: true }, // c↙
-        1 => CellCase::YMinSided,                                   // c↓
-        2 => CellCase::Quadrant { x_is_min: false, y_is_min: true }, // c↘
-        3 => CellCase::XMinSided,                                   // c←
-        4 => CellCase::Full,                                        // c
-        5 => CellCase::XMaxSided,                                   // c→
-        6 => CellCase::Quadrant { x_is_min: true, y_is_min: false }, // c↖
-        7 => CellCase::YMaxSided,                                   // c↑
-        8 => CellCase::Quadrant { x_is_min: false, y_is_min: false }, // c↗
+        0 => CellCase::Quadrant {
+            x_is_min: true,
+            y_is_min: true,
+        }, // c↙
+        1 => CellCase::YMinSided, // c↓
+        2 => CellCase::Quadrant {
+            x_is_min: false,
+            y_is_min: true,
+        }, // c↘
+        3 => CellCase::XMinSided, // c←
+        4 => CellCase::Full,      // c
+        5 => CellCase::XMaxSided, // c→
+        6 => CellCase::Quadrant {
+            x_is_min: true,
+            y_is_min: false,
+        }, // c↖
+        7 => CellCase::YMaxSided, // c↑
+        8 => CellCase::Quadrant {
+            x_is_min: false,
+            y_is_min: false,
+        }, // c↗
         _ => panic!("neighbour index out of range"),
     }
 }
@@ -102,10 +114,34 @@ mod tests {
         assert_eq!(case_of(1), CellCase::YMinSided);
         assert_eq!(case_of(7), CellCase::YMaxSided);
         // corners carry the right boundary flags
-        assert_eq!(case_of(0), CellCase::Quadrant { x_is_min: true, y_is_min: true });
-        assert_eq!(case_of(2), CellCase::Quadrant { x_is_min: false, y_is_min: true });
-        assert_eq!(case_of(6), CellCase::Quadrant { x_is_min: true, y_is_min: false });
-        assert_eq!(case_of(8), CellCase::Quadrant { x_is_min: false, y_is_min: false });
+        assert_eq!(
+            case_of(0),
+            CellCase::Quadrant {
+                x_is_min: true,
+                y_is_min: true
+            }
+        );
+        assert_eq!(
+            case_of(2),
+            CellCase::Quadrant {
+                x_is_min: false,
+                y_is_min: true
+            }
+        );
+        assert_eq!(
+            case_of(6),
+            CellCase::Quadrant {
+                x_is_min: true,
+                y_is_min: false
+            }
+        );
+        assert_eq!(
+            case_of(8),
+            CellCase::Quadrant {
+                x_is_min: false,
+                y_is_min: false
+            }
+        );
     }
 
     #[test]

@@ -41,10 +41,10 @@ mod tests {
     fn small_example() {
         let r = vec![Point::new(5.0, 5.0)];
         let s = vec![
-            Point::new(4.0, 4.0),  // inside
-            Point::new(6.0, 6.0),  // inside
-            Point::new(5.0, 7.0),  // on edge (closed) — inside
-            Point::new(5.0, 7.1),  // outside
+            Point::new(4.0, 4.0), // inside
+            Point::new(6.0, 6.0), // inside
+            Point::new(5.0, 7.0), // on edge (closed) — inside
+            Point::new(5.0, 7.1), // outside
         ];
         let j = nested_loop_join(&r, &s, 2.0);
         assert_eq!(j, vec![(0, 0), (0, 1), (0, 2)]);

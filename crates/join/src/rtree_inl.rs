@@ -38,7 +38,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
     }
 
     #[test]
@@ -63,7 +65,11 @@ mod tests {
     #[test]
     fn boundary_points_join() {
         let r = vec![Point::new(5.0, 5.0)];
-        let s = vec![Point::new(3.0, 5.0), Point::new(7.0, 5.0), Point::new(5.0, 3.0)];
+        let s = vec![
+            Point::new(3.0, 5.0),
+            Point::new(7.0, 5.0),
+            Point::new(5.0, 3.0),
+        ];
         assert_eq!(rtree_join(&r, &s, 2.0).len(), 3);
     }
 }

@@ -17,8 +17,8 @@
 //! the textbook `O(√m + k)` range-query bound \[de Berg et al.,
 //! Computational Geometry, 2000\].
 
-mod tree;
 mod sample;
+mod tree;
 
 pub use sample::CanonicalScratch;
 pub use tree::KdTree;

@@ -110,7 +110,12 @@ impl KdTree {
             pts.push(p);
             ids.push(id);
         }
-        KdTree { pts, ids, nodes, leaf_size }
+        KdTree {
+            pts,
+            ids,
+            nodes,
+            leaf_size,
+        }
     }
 
     /// Number of indexed points.
@@ -225,9 +230,7 @@ fn build_rec(
     if entries.len() > leaf_size {
         let axis = depth & 1;
         let mid = entries.len() / 2;
-        entries.select_nth_unstable_by(mid, |a, b| {
-            a.0.coord(axis).total_cmp(&b.0.coord(axis))
-        });
+        entries.select_nth_unstable_by(mid, |a, b| a.0.coord(axis).total_cmp(&b.0.coord(axis)));
         let (l, r) = entries.split_at_mut(mid);
         let left = build_rec(l, base, depth + 1, leaf_size, nodes);
         let right = build_rec(r, base + mid as u32, depth + 1, leaf_size, nodes);

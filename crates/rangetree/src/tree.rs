@@ -54,9 +54,7 @@ impl RangeTree {
             "points must have finite coordinates"
         );
         let mut x_order: Vec<PointId> = (0..points.len() as u32).collect();
-        x_order.sort_unstable_by(|&a, &b| {
-            points[a as usize].x.total_cmp(&points[b as usize].x)
-        });
+        x_order.sort_unstable_by(|&a, &b| points[a as usize].x.total_cmp(&points[b as usize].x));
         let mut t = RangeTree {
             pts: points.to_vec(),
             x_order,
@@ -256,7 +254,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
     }
 
     #[test]

@@ -253,7 +253,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
     }
 
     #[test]
@@ -311,8 +313,15 @@ mod tests {
         let pts = pseudo_points(1_600, 7, 100.0);
         let t = RTree::with_fanout(&pts, 16);
         let leaves: Vec<&Node> = t.nodes.iter().filter(|n| n.leaf).collect();
-        let full = leaves.iter().filter(|n| (n.hi - n.lo) as usize == 16).count();
-        assert!(full >= leaves.len() - 1, "{full} of {} leaves full", leaves.len());
+        let full = leaves
+            .iter()
+            .filter(|n| (n.hi - n.lo) as usize == 16)
+            .count();
+        assert!(
+            full >= leaves.len() - 1,
+            "{full} of {} leaves full",
+            leaves.len()
+        );
     }
 
     #[test]

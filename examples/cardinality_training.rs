@@ -15,9 +15,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use srj::{
-    generate, split_rs, BbstSampler, DatasetKind, DatasetSpec, JoinSampler, SampleConfig,
-};
+use srj::{generate, split_rs, BbstSampler, DatasetKind, DatasetSpec, JoinSampler, SampleConfig};
 
 fn main() {
     let points = generate(&DatasetSpec::new(DatasetKind::TrajectoryLike, 100_000, 4));
@@ -41,7 +39,10 @@ fn main() {
         let exact = srj::join::join_count(&r, &s, l) as f64;
         let rel = (est - exact).abs() / exact;
         worst = worst.max(rel);
-        println!("{l:>6}  {exact:>12.0}  {est:>15.0}  {:>7.2}%   {elapsed:?}", rel * 100.0);
+        println!(
+            "{l:>6}  {exact:>12.0}  {est:>15.0}  {:>7.2}%   {elapsed:?}",
+            rel * 100.0
+        );
     }
     println!("worst relative error: {:.2}%", worst * 100.0);
     assert!(worst < 0.1, "cardinality estimates should be within 10%");

@@ -13,9 +13,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use srj::{
-    generate, split_rs, BbstSampler, DatasetKind, DatasetSpec, JoinSampler, SampleConfig,
-};
+use srj::{generate, split_rs, BbstSampler, DatasetKind, DatasetSpec, JoinSampler, SampleConfig};
 use srj_geom::DEFAULT_DOMAIN;
 
 const GRID: usize = 16;

@@ -14,9 +14,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use srj::{
-    generate, split_rs, BbstSampler, DatasetKind, DatasetSpec, JoinSampler, SampleConfig,
-};
+use srj::{generate, split_rs, BbstSampler, DatasetKind, DatasetSpec, JoinSampler, SampleConfig};
 
 fn main() {
     let points = generate(&DatasetSpec::new(DatasetKind::RoadLike, 150_000, 6));
@@ -35,7 +33,7 @@ fn main() {
         if in_region(&r[pair.r as usize]) {
             hits += 1;
         }
-        if n % 1_000 == 0 {
+        if n.is_multiple_of(1_000) {
             let p = hits as f64 / n as f64;
             let half_width = 1.96 * (p * (1.0 - p) / n as f64).sqrt();
             if half_width < target_half_width {
@@ -62,5 +60,8 @@ fn main() {
         "stopped after {n} samples vs |J| = {} pairs the exact path scans",
         join.len()
     );
-    assert!((estimate - exact).abs() < 0.02, "estimator outside tolerance");
+    assert!(
+        (estimate - exact).abs() < 0.02,
+        "estimator outside tolerance"
+    );
 }

@@ -49,7 +49,13 @@ fn main() {
         let rp = r[pair.r as usize];
         let sp = s[pair.s as usize];
         assert!(Rect::window(rp, config.half_extent).contains(sp));
-        println!("  ({:.1}, {:.1}) joins ({:.1}, {:.1})", rp.x, rp.y, sp.x, sp.y);
+        println!(
+            "  ({:.1}, {:.1}) joins ({:.1}, {:.1})",
+            rp.x, rp.y, sp.x, sp.y
+        );
     }
-    println!("memory footprint: {:.1} MiB", sampler.memory_bytes() as f64 / (1 << 20) as f64);
+    println!(
+        "memory footprint: {:.1} MiB",
+        sampler.memory_bytes() as f64 / (1 << 20) as f64
+    );
 }

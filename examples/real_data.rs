@@ -14,9 +14,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use srj::datagen::{read_points_file, write_points_file};
 use srj::geom::{normalize_to_domain, DEFAULT_DOMAIN};
-use srj::{
-    generate, split_rs, BbstSampler, DatasetKind, DatasetSpec, JoinSampler, SampleConfig,
-};
+use srj::{generate, split_rs, BbstSampler, DatasetKind, DatasetSpec, JoinSampler, SampleConfig};
 
 fn main() {
     let path = match std::env::args().nth(1) {
@@ -28,7 +26,10 @@ fn main() {
             let path = dir.join("points.csv");
             let pts = generate(&DatasetSpec::new(DatasetKind::PoiClusters, 100_000, 12));
             write_points_file(&path, &pts).expect("write CSV");
-            println!("no input file given; wrote a synthetic one to {}", path.display());
+            println!(
+                "no input file given; wrote a synthetic one to {}",
+                path.display()
+            );
             path
         }
     };

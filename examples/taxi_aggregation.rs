@@ -14,9 +14,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use srj::{
-    generate, split_rs, BbstSampler, DatasetKind, DatasetSpec, JoinSampler, SampleConfig,
-};
+use srj::{generate, split_rs, BbstSampler, DatasetKind, DatasetSpec, JoinSampler, SampleConfig};
 use srj_geom::DEFAULT_DOMAIN;
 
 const ZONES: usize = 4; // 4×4 zones
@@ -71,14 +69,23 @@ fn main() {
         };
         // only report zones carrying ≥ 1% of the join
         if exact_cnt >= join_size * 0.01 {
-            println!("{z:>4}  {exact_cnt:>11.0}  {est_cnt:>9.0}  {:>6.2}%", rel * 100.0);
+            println!(
+                "{z:>4}  {exact_cnt:>11.0}  {est_cnt:>9.0}  {:>6.2}%",
+                rel * 100.0
+            );
             max_rel = max_rel.max(rel);
         }
     }
-    println!("max relative error over major zones: {:.2}%", max_rel * 100.0);
+    println!(
+        "max relative error over major zones: {:.2}%",
+        max_rel * 100.0
+    );
     assert!(
         (est_join_size - join_size).abs() / join_size < 0.05,
         "join size estimate off by more than 5%"
     );
-    assert!(max_rel < 0.2, "zone aggregate estimate off by more than 20%");
+    assert!(
+        max_rel < 0.2,
+        "zone aggregate estimate off by more than 20%"
+    );
 }

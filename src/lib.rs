@@ -41,14 +41,25 @@
 //! }
 //! ```
 //!
+//! ## Serving at scale
+//!
+//! For concurrent serving, every sampler is split into an immutable
+//! `Send + Sync` index plus cheap per-thread cursors, and the
+//! [`engine`] crate wraps the split into a query service: build once
+//! with [`Engine::build`] (or let the planner pick the algorithm with
+//! [`Engine::auto`]), then hand each thread a [`SamplerHandle`] with
+//! its own RNG and statistics. See `examples/concurrent_serving.rs`.
+//!
 //! The workspace crates are re-exported under their own names
 //! ([`geom`], [`alias`], [`kdtree`], [`grid`], [`bbst`], [`join`],
-//! [`datagen`], [`core`]) and the most common types at the crate root.
+//! [`datagen`], [`core`], [`engine`]) and the most common types at the
+//! crate root.
 
 pub use srj_alias as alias;
 pub use srj_bbst as bbst;
 pub use srj_core as core;
 pub use srj_datagen as datagen;
+pub use srj_engine as engine;
 pub use srj_geom as geom;
 pub use srj_grid as grid;
 pub use srj_join as join;
@@ -57,9 +68,11 @@ pub use srj_rangetree as rangetree;
 pub use srj_rtree as rtree;
 
 pub use srj_core::{
-    BbstKdVariantSampler, BbstSampler, JoinPair, JoinSampler, JoinThenSample,
-    KdsRejectionSampler, KdsSampler, MassMode, PhaseReport, RangeTreeSampler, SampleConfig,
-    SampleError, SampleIter,
+    BbstCursor, BbstIndex, BbstKdVariantCursor, BbstKdVariantIndex, BbstKdVariantSampler,
+    BbstSampler, JoinPair, JoinSampler, JoinThenSample, KdsCursor, KdsIndex, KdsRejectionCursor,
+    KdsRejectionIndex, KdsRejectionSampler, KdsSampler, MassMode, PhaseReport, RangeTreeSampler,
+    SampleConfig, SampleError, SampleIter,
 };
 pub use srj_datagen::{generate, split_rs, DatasetKind, DatasetSpec};
+pub use srj_engine::{Algorithm, Engine, EngineCache, SamplerHandle, StatsSnapshot};
 pub use srj_geom::{Point, PointId, Rect};

@@ -5,15 +5,11 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use srj::{
-    generate, split_rs, BbstKdVariantSampler, BbstSampler, DatasetKind, DatasetSpec,
-    JoinSampler, JoinThenSample, KdsRejectionSampler, KdsSampler, Rect, SampleConfig,
+    generate, split_rs, BbstKdVariantSampler, BbstSampler, DatasetKind, DatasetSpec, JoinSampler,
+    JoinThenSample, KdsRejectionSampler, KdsSampler, Rect, SampleConfig,
 };
 
-fn build_all(
-    r: &[srj::Point],
-    s: &[srj::Point],
-    cfg: &SampleConfig,
-) -> Vec<Box<dyn JoinSampler>> {
+fn build_all(r: &[srj::Point], s: &[srj::Point], cfg: &SampleConfig) -> Vec<Box<dyn JoinSampler>> {
     vec![
         Box::new(KdsSampler::build(r, s, cfg)),
         Box::new(KdsRejectionSampler::build(r, s, cfg)),

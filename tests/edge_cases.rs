@@ -3,8 +3,8 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use srj::{
-    BbstKdVariantSampler, BbstSampler, JoinSampler, KdsRejectionSampler, KdsSampler, Point,
-    Rect, SampleConfig, SampleError,
+    BbstKdVariantSampler, BbstSampler, JoinSampler, KdsRejectionSampler, KdsSampler, Point, Rect,
+    SampleConfig, SampleError,
 };
 
 fn all_samplers(r: &[Point], s: &[Point], cfg: &SampleConfig) -> Vec<Box<dyn JoinSampler>> {
@@ -24,7 +24,11 @@ fn single_pair_join() {
     for mut sampler in all_samplers(&r, &s, &cfg) {
         let mut rng = SmallRng::seed_from_u64(1);
         let samples = sampler.sample(50, &mut rng).unwrap();
-        assert!(samples.iter().all(|p| p.r == 0 && p.s == 0), "{}", sampler.name());
+        assert!(
+            samples.iter().all(|p| p.r == 0 && p.s == 0),
+            "{}",
+            sampler.name()
+        );
     }
 }
 
@@ -47,7 +51,12 @@ fn point_exactly_on_window_edges_joins() {
         for _ in 0..600 {
             seen.insert(sampler.sample_one(&mut rng).unwrap().s);
         }
-        assert_eq!(seen.len(), s.len(), "{}: edge points must be reachable", sampler.name());
+        assert_eq!(
+            seen.len(),
+            s.len(),
+            "{}: edge points must be reachable",
+            sampler.name()
+        );
     }
 }
 
@@ -95,15 +104,23 @@ fn collinear_points_on_cell_boundaries() {
 #[test]
 fn window_larger_than_domain() {
     // l covering everything: J = R × S, weights are maximal everywhere
-    let r: Vec<Point> = (0..15).map(|i| Point::new(i as f64, (i % 5) as f64)).collect();
-    let s: Vec<Point> = (0..12).map(|i| Point::new((i % 7) as f64, i as f64)).collect();
+    let r: Vec<Point> = (0..15)
+        .map(|i| Point::new(i as f64, (i % 5) as f64))
+        .collect();
+    let s: Vec<Point> = (0..12)
+        .map(|i| Point::new((i % 7) as f64, i as f64))
+        .collect();
     let cfg = SampleConfig::new(1_000.0);
     for mut sampler in all_samplers(&r, &s, &cfg) {
         let mut rng = SmallRng::seed_from_u64(5);
         let samples = sampler.sample(3_000, &mut rng).unwrap();
-        let distinct: std::collections::HashSet<_> =
-            samples.iter().map(|p| (p.r, p.s)).collect();
-        assert_eq!(distinct.len(), 15 * 12, "{}: cross product not covered", sampler.name());
+        let distinct: std::collections::HashSet<_> = samples.iter().map(|p| (p.r, p.s)).collect();
+        assert_eq!(
+            distinct.len(),
+            15 * 12,
+            "{}: cross product not covered",
+            sampler.name()
+        );
     }
 }
 

@@ -5,8 +5,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use srj::{
-    BbstSampler, JoinSampler, KdsRejectionSampler, KdsSampler, MassMode, Point, Rect,
-    SampleConfig,
+    BbstSampler, JoinSampler, KdsRejectionSampler, KdsSampler, MassMode, Point, Rect, SampleConfig,
 };
 use srj_bbst::{bucket_capacity, CellBbsts, QuadrantQuery};
 use srj_grid::Grid;

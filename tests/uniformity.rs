@@ -9,8 +9,8 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use srj::{
-    BbstKdVariantSampler, BbstSampler, JoinPair, JoinSampler, JoinThenSample,
-    KdsRejectionSampler, KdsSampler, MassMode, Point, SampleConfig,
+    BbstKdVariantSampler, BbstSampler, JoinPair, JoinSampler, JoinThenSample, KdsRejectionSampler,
+    KdsSampler, MassMode, Point, SampleConfig,
 };
 use std::collections::HashMap;
 
@@ -22,7 +22,9 @@ fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
         state ^= state << 17;
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
-    (0..n).map(|_| Point::new(next() * extent, next() * extent)).collect()
+    (0..n)
+        .map(|_| Point::new(next() * extent, next() * extent))
+        .collect()
 }
 
 /// Draws `per_pair * |J|` samples and checks the χ² statistic against
@@ -30,10 +32,8 @@ fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
 fn assert_uniform_over_join(sampler: &mut dyn JoinSampler, r: &[Point], s: &[Point], l: f64) {
     let join = srj::join::nested_loop_join(r, s, l);
     assert!(join.len() > 10, "test join too small to be meaningful");
-    let expected_support: std::collections::HashSet<JoinPair> = join
-        .iter()
-        .map(|&(a, b)| JoinPair::new(a, b))
-        .collect();
+    let expected_support: std::collections::HashSet<JoinPair> =
+        join.iter().map(|&(a, b)| JoinPair::new(a, b)).collect();
 
     let per_pair = 60usize;
     let draws = per_pair * join.len();
@@ -76,7 +76,11 @@ fn assert_uniform_over_join(sampler: &mut dyn JoinSampler, r: &[Point], s: &[Poi
 fn test_sets() -> (Vec<Point>, Vec<Point>, f64) {
     // ~60 R × 90 S over a 60×60 domain with l = 6 gives a few hundred
     // join pairs spanning all three cell cases.
-    (pseudo_points(60, 101, 60.0), pseudo_points(90, 102, 60.0), 6.0)
+    (
+        pseudo_points(60, 101, 60.0),
+        pseudo_points(90, 102, 60.0),
+        6.0,
+    )
 }
 
 #[test]

@@ -1,0 +1,158 @@
+//! Offline stand-in for the subset of the `proptest` API this
+//! workspace's property tests use.
+//!
+//! The build container cannot reach a cargo registry, so the real
+//! `proptest` crate is unavailable. This shim keeps the `proptest!`
+//! tests running as genuine randomized property tests:
+//!
+//! * strategies for numeric ranges, tuples, `prop_map`,
+//!   `prop::collection::vec`, and `any::<bool>()`;
+//! * a deterministic per-test RNG (seeded from the test name and case
+//!   index), so failures are reproducible run-to-run;
+//! * `prop_assert!` / `prop_assert_eq!` that panic with the case's
+//!   generated-input debug dump.
+//!
+//! **Not** provided: shrinking, persisted failure files, `prop_oneof!`,
+//! recursive strategies. A failing case prints its inputs instead of a
+//! minimised counterexample.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the canonical `use proptest::prelude::*;` import brings in.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs `ProptestConfig::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(
+                        stringify!($name),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &$strat, &mut __rng,
+                        );
+                    )+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}\n"),+),
+                        $(&$arg),+
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body)
+                    );
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest case {} of {} failed with inputs:\n{}",
+                            __case + 1, __config.cases, __inputs,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u64> {
+        (0u64..100).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -2.0..9.5f64, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..9.5).contains(&y));
+            prop_assert!(usize::from(b) <= 1);
+        }
+
+        #[test]
+        fn mapped_strategy_applies(v in small_even()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0u32..5, 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for x in v {
+                prop_assert!(x < 5);
+            }
+        }
+
+        #[test]
+        fn tuples_compose(p in (0.0..1.0f64, 0.0..1.0f64)) {
+            prop_assert!(p.0 < 1.0 && p.1 < 1.0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::deterministic("x", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("x", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,122 @@
+//! Range sampling (`Rng::gen_range`) for the types the workspace uses.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Marker: `T` can be drawn uniformly from a range.
+pub trait SampleUniform: Sized {}
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps a uniform `u64` onto `[0, n)` with the widening-multiply trick
+/// (Lemire 2019, without the rejection step). The residual bias is
+/// `O(n / 2⁶⁴)` — immaterial for the workspace's range sizes, which are
+/// bounded by dataset cardinalities.
+#[inline]
+fn mul_shift(x: u64, n: u64) -> u64 {
+    ((x as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(mul_shift(rng.next_u64(), span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(mul_shift(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $t
+                    * (1.0 / (1u64 << 53) as $t);
+                let v = self.start + unit * (self.end - self.start);
+                // Guard the open upper bound against rounding.
+                if v < self.end { v } else { <$t>::max(self.start, self.end - (self.end - self.start) * 1e-16) }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $t
+                    * (1.0 / (1u64 << 53) as $t);
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..2_000 {
+            let v = rng.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&w));
+            let x = rng.gen_range(0..=3u8);
+            assert!(x <= 3);
+        }
+    }
+
+    #[test]
+    fn float_range_respects_open_bound() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..2_000 {
+            let v = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = rng.gen_range(5..5usize);
+    }
+}
