@@ -11,7 +11,8 @@ use srj_datagen::DatasetKind;
 
 use crate::datasets::{scaled_spec, ScaledDataset, DEFAULT_T};
 use crate::runner::{
-    build_bbst, build_kds, build_rejection, build_variant, run_sampler, RunOutcome,
+    build_bbst, build_bbst_with, build_kds, build_kds_with, build_rejection, build_rejection_with,
+    build_variant, run_sampler, RunOutcome,
 };
 
 /// Experiment-wide knobs (defaults mirror the paper's §V-A).
@@ -25,6 +26,11 @@ pub struct ExpConfig {
     pub l: f64,
     /// Master seed.
     pub seed: u64,
+    /// Index-build threads (`SampleConfig::build_threads`; `0` = all
+    /// cores, `1` = the paper's serial build).
+    pub threads: usize,
+    /// `R`-shard count for the sharded-engine measurements.
+    pub shards: usize,
 }
 
 impl Default for ExpConfig {
@@ -34,7 +40,16 @@ impl Default for ExpConfig {
             t: DEFAULT_T,
             l: 100.0,
             seed: 42,
+            threads: 1,
+            shards: 1,
         }
+    }
+}
+
+impl ExpConfig {
+    /// The sampler config these knobs describe.
+    pub fn sample_config(&self) -> srj_core::SampleConfig {
+        srj_core::SampleConfig::new(self.l).with_build_threads(self.threads)
     }
 }
 
@@ -58,19 +73,20 @@ pub struct DatasetRun {
 /// Runs KDS, KDS-rejection and BBST with the default setting on every
 /// paper dataset.
 pub fn default_runs(cfg: &ExpConfig) -> Vec<DatasetRun> {
+    let sc = cfg.sample_config();
     DatasetKind::PAPER_ORDER
         .iter()
         .map(|&kind| {
             let d = scaled_spec(kind, cfg.scale, 0.5, cfg.seed);
             let mut outcomes = Vec::with_capacity(3);
-            let mut kds = build_kds(&d.r, &d.s, cfg.l);
+            let mut kds = build_kds_with(&d.r, &d.s, &sc);
             let join_size = kds.join_size();
             outcomes.push(run_sampler(&mut kds, cfg.t, cfg.seed));
             drop(kds);
-            let mut rej = build_rejection(&d.r, &d.s, cfg.l);
+            let mut rej = build_rejection_with(&d.r, &d.s, &sc);
             outcomes.push(run_sampler(&mut rej, cfg.t, cfg.seed));
             drop(rej);
-            let mut bbst = build_bbst(&d.r, &d.s, cfg.l);
+            let mut bbst = build_bbst_with(&d.r, &d.s, &sc);
             let mu_total = bbst.mu_total();
             outcomes.push(run_sampler(&mut bbst, cfg.t, cfg.seed));
             DatasetRun {
@@ -517,6 +533,24 @@ mod tests {
             t: 500,
             l: 100.0,
             seed: 7,
+            threads: 1,
+            shards: 1,
+        }
+    }
+
+    #[test]
+    fn threaded_default_runs_match_serial_join_sizes() {
+        // --threads must never change results, only wall-clock.
+        let serial = tiny();
+        let threaded = ExpConfig {
+            threads: 4,
+            ..tiny()
+        };
+        let a = default_runs(&serial);
+        let b = default_runs(&threaded);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.join_size, y.join_size, "{:?}", x.kind);
+            assert_eq!(x.mu_total, y.mu_total, "{:?}", x.kind);
         }
     }
 

@@ -10,6 +10,7 @@ use srj_grid::{case_of, CellCase, Grid};
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 use crate::cursor::{Cursor, SamplerIndex};
 use crate::decompose::{case12_count, case12_run, quadrant_query};
+use crate::parallel::par_map;
 use crate::traits::JoinSampler;
 
 /// Immutable build product of the paper's proposed algorithm
@@ -127,11 +128,13 @@ impl BbstIndex {
             .collect();
         let grid_mapping = grid_time_so_far + t1.elapsed();
 
-        // Phase 2: upper bounds, per-r rows, global alias.
+        // Phase 2: upper bounds, per-r rows, global alias. The per-r
+        // loop (Lemma 4's O(n log m) — the dominant build phase) runs
+        // on `config.build_threads` threads; each element reads only
+        // the immutable grid and per-cell BBSTs, so the parallel result
+        // is bit-identical to the serial one.
         let t2 = Instant::now();
-        let mut rows = Vec::with_capacity(r.len());
-        let mut weights = Vec::with_capacity(r.len());
-        for &rp in r {
+        let (rows, par) = par_map(r, config.build_threads, |_, &rp| {
             let w = Rect::window(rp, config.half_extent);
             let slots = grid.neighborhood_slots(rp);
             let mut cell_w = [0.0f64; 9];
@@ -148,12 +151,12 @@ impl BbstIndex {
                 };
                 cell_w[i] = mu as f64;
             }
-            let row = CumulativeRow9::new(cell_w);
-            weights.push(row.total());
-            rows.push(row);
-        }
+            CumulativeRow9::new(cell_w)
+        });
+        let weights: Vec<f64> = rows.iter().map(CumulativeRow9::total).collect();
         let alias = AliasTable::new(&weights);
         let upper_bounding = t2.elapsed();
+        let upper_bounding_cpu = par.cpu + upper_bounding.saturating_sub(par.wall);
 
         BbstIndex {
             r_points: r.to_vec(),
@@ -166,6 +169,7 @@ impl BbstIndex {
                 preprocessing,
                 grid_mapping,
                 upper_bounding,
+                upper_bounding_cpu,
                 ..PhaseReport::default()
             },
         }
@@ -212,63 +216,6 @@ impl BbstIndex {
             + self.rows.capacity() * std::mem::size_of::<CumulativeRow9>()
             + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
     }
-
-    /// One uniform draw against the immutable index (`&self`; safe from
-    /// many threads).
-    fn draw(
-        &self,
-        rng: &mut dyn RngCore,
-        stats: &mut PhaseReport,
-    ) -> Result<JoinPair, SampleError> {
-        let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
-        let w_half = self.config.half_extent;
-        let mut consecutive = 0u64;
-        loop {
-            stats.iterations += 1;
-            // Line 12: r ~ A.
-            let ridx = alias.sample(rng);
-            let rp = self.r_points[ridx];
-            let w = Rect::window(rp, w_half);
-            // Line 13: cell ~ A_r (weight > 0 because µ(r) > 0).
-            let cell_idx = self.rows[ridx]
-                .sample(rng)
-                .expect("alias returned r with zero µ(r)");
-            let slot = self.grid.neighborhood_slots(rp)[cell_idx]
-                .expect("positive cell weight for an empty cell");
-            let cell = self.grid.cell(slot);
-            // Line 14: s from the cell, by case.
-            let accepted: Option<PointId> = match case_of(cell_idx) {
-                CellCase::Quadrant { x_is_min, y_is_min } => {
-                    let q = quadrant_query(x_is_min, y_is_min, &w);
-                    self.cell_structs[slot as usize]
-                        .sample_quadrant(&q, self.config.mass_mode, rng)
-                        .map(|pos| cell.by_x[pos as usize])
-                        // Line 15: accept iff w(r) ∩ s.
-                        .filter(|&sid| w.contains(self.grid.point(sid)))
-                }
-                case => {
-                    let run = case12_run(cell, self.grid.points(), case, &w)
-                        .expect("non-corner case must yield a run");
-                    // Exact cases never reject; the run is non-empty
-                    // because its UB-phase count was positive.
-                    let sid = run[rng.gen_range(0..run.len())];
-                    debug_assert!(
-                        w.contains(self.grid.point(sid)),
-                        "case-1/2 sample escaped the window"
-                    );
-                    Some(sid)
-                }
-            };
-            if let Some(sid) = accepted {
-                stats.samples += 1;
-                return Ok(JoinPair::new(ridx as u32, sid));
-            }
-            consecutive += 1;
-            if consecutive >= self.config.max_consecutive_rejections {
-                return Err(SampleError::RejectionLimit);
-            }
-        }
-    }
 }
 
 impl SamplerIndex for BbstIndex {
@@ -279,13 +226,62 @@ impl SamplerIndex for BbstIndex {
         "BBST"
     }
 
-    fn draw_with(
+    /// One iteration of Algorithm 1's sampling phase (lines 12–15).
+    fn try_draw(
         &self,
         rng: &mut dyn RngCore,
         _scratch: &mut (),
         stats: &mut PhaseReport,
-    ) -> Result<JoinPair, SampleError> {
-        self.draw(rng, stats)
+    ) -> Result<Option<JoinPair>, SampleError> {
+        let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
+        stats.iterations += 1;
+        // Line 12: r ~ A.
+        let ridx = alias.sample(rng);
+        let rp = self.r_points[ridx];
+        let w = Rect::window(rp, self.config.half_extent);
+        // Line 13: cell ~ A_r (weight > 0 because µ(r) > 0).
+        let cell_idx = self.rows[ridx]
+            .sample(rng)
+            .expect("alias returned r with zero µ(r)");
+        let slot = self.grid.neighborhood_slots(rp)[cell_idx]
+            .expect("positive cell weight for an empty cell");
+        let cell = self.grid.cell(slot);
+        // Line 14: s from the cell, by case.
+        let accepted: Option<PointId> = match case_of(cell_idx) {
+            CellCase::Quadrant { x_is_min, y_is_min } => {
+                let q = quadrant_query(x_is_min, y_is_min, &w);
+                self.cell_structs[slot as usize]
+                    .sample_quadrant(&q, self.config.mass_mode, rng)
+                    .map(|pos| cell.by_x[pos as usize])
+                    // Line 15: accept iff w(r) ∩ s.
+                    .filter(|&sid| w.contains(self.grid.point(sid)))
+            }
+            case => {
+                let run = case12_run(cell, self.grid.points(), case, &w)
+                    .expect("non-corner case must yield a run");
+                // Exact cases never reject; the run is non-empty
+                // because its UB-phase count was positive.
+                let sid = run[rng.gen_range(0..run.len())];
+                debug_assert!(
+                    w.contains(self.grid.point(sid)),
+                    "case-1/2 sample escaped the window"
+                );
+                Some(sid)
+            }
+        };
+        if let Some(sid) = accepted {
+            stats.samples += 1;
+            return Ok(Some(JoinPair::new(ridx as u32, sid)));
+        }
+        Ok(None)
+    }
+
+    fn rejection_limit(&self) -> u64 {
+        self.config.max_consecutive_rejections
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.mu_total()
     }
 
     fn index_build_report(&self) -> PhaseReport {

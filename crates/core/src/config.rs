@@ -42,6 +42,13 @@ pub struct SampleConfig {
     /// iteration count (`Σµ/|J| ≲ log m`) and exists only to convert a
     /// pathological hang into [`SampleError::RejectionLimit`].
     pub max_consecutive_rejections: u64,
+    /// Threads for the per-`r` upper-bounding loop of the index builds
+    /// (the dominant build cost — `O(n√m)` for KDS, `O(n log m)` for
+    /// BBST). `1` (the default) keeps the historical serial build; `0`
+    /// means one thread per available core. The parallel build is
+    /// bit-identical to the serial one (see [`crate::parallel`]), so
+    /// this knob changes wall-clock only, never results.
+    pub build_threads: usize,
 }
 
 impl SampleConfig {
@@ -56,6 +63,7 @@ impl SampleConfig {
             mass_mode: MassMode::Virtual,
             use_cascading: false,
             max_consecutive_rejections: 10_000_000,
+            build_threads: 1,
         }
     }
 
@@ -75,6 +83,13 @@ impl SampleConfig {
     pub fn with_rejection_limit(mut self, limit: u64) -> Self {
         assert!(limit > 0, "rejection limit must be positive");
         self.max_consecutive_rejections = limit;
+        self
+    }
+
+    /// Sets the build-phase thread count (`0` = all available cores;
+    /// see [`SampleConfig::build_threads`]).
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads;
         self
     }
 }
@@ -127,8 +142,15 @@ pub struct PhaseReport {
     pub preprocessing: Duration,
     /// Grid-mapping / structure-building time ("GM", Table III).
     pub grid_mapping: Duration,
-    /// Upper-bounding / range-counting time ("UB", Table III).
+    /// Upper-bounding / range-counting time ("UB", Table III). This is
+    /// **wall-clock**: with `build_threads > 1` it shrinks with the
+    /// achieved parallel speedup.
     pub upper_bounding: Duration,
+    /// Aggregate **CPU** time of the upper-bounding phase, summed over
+    /// the build worker threads. Equals [`PhaseReport::upper_bounding`]
+    /// for serial builds; `upper_bounding_cpu / upper_bounding` is the
+    /// achieved build speedup.
+    pub upper_bounding_cpu: Duration,
     /// Cumulative sampling time (Table IV).
     pub sampling: Duration,
     /// Sampling-loop iterations including rejections (Table IV).
@@ -162,6 +184,7 @@ impl PhaseReport {
             preprocessing: self.preprocessing,
             grid_mapping: self.grid_mapping,
             upper_bounding: self.upper_bounding,
+            upper_bounding_cpu: self.upper_bounding_cpu,
             sampling: sampling.sampling,
             iterations: sampling.iterations,
             samples: sampling.samples,
@@ -198,10 +221,12 @@ mod tests {
         let c = SampleConfig::new(5.0)
             .with_mass_mode(MassMode::Exact)
             .with_cascading()
-            .with_rejection_limit(42);
+            .with_rejection_limit(42)
+            .with_build_threads(4);
         assert_eq!(c.mass_mode, MassMode::Exact);
         assert!(c.use_cascading);
         assert_eq!(c.max_consecutive_rejections, 42);
+        assert_eq!(c.build_threads, 4);
     }
 
     #[test]
@@ -210,6 +235,7 @@ mod tests {
             preprocessing: Duration::from_millis(1),
             grid_mapping: Duration::from_millis(2),
             upper_bounding: Duration::from_millis(3),
+            upper_bounding_cpu: Duration::from_millis(3),
             sampling: Duration::from_millis(4),
             iterations: 10,
             samples: 8,

@@ -23,14 +23,67 @@ pub trait SamplerIndex: Send + Sync {
     /// Algorithm name as used in the paper's tables.
     fn algorithm_name(&self) -> &'static str;
 
-    /// One uniform draw against `&self` (many threads may call this
-    /// concurrently, each with its own scratch and stats).
+    /// **One** sampling-loop iteration against `&self` (many threads
+    /// may call this concurrently, each with its own scratch and
+    /// stats): `Ok(Some(pair))` on acceptance, `Ok(None)` on a rejected
+    /// candidate, `Err(EmptyJoin)` when the total weight is zero.
+    ///
+    /// Implementations must increment `stats.iterations` once per call
+    /// and `stats.samples` on acceptance, so that per-iteration
+    /// accounting (Table IV, the engine's rejection-rate feedback)
+    /// holds however the iterations are driven.
+    ///
+    /// Exposing the single iteration — rather than only the
+    /// accept-loop in [`SamplerIndex::draw_with`] — is what makes
+    /// composition correct: a sharded wrapper must re-pick the shard on
+    /// **every** iteration (each iteration emits any pair of `J` with
+    /// probability exactly `1/Σµ`), not merely loop inside one shard,
+    /// which would bias samples toward shards with looser bounds.
+    fn try_draw(
+        &self,
+        rng: &mut dyn RngCore,
+        scratch: &mut Self::Scratch,
+        stats: &mut PhaseReport,
+    ) -> Result<Option<JoinPair>, SampleError>;
+
+    /// Consecutive-rejection safety valve for the
+    /// [`SamplerIndex::draw_with`] accept-loop
+    /// ([`crate::SampleConfig::max_consecutive_rejections`] for
+    /// rejecting samplers; the default `u64::MAX` suits samplers that
+    /// never reject).
+    fn rejection_limit(&self) -> u64 {
+        u64::MAX
+    }
+
+    /// Total sampling weight `Σ_r µ(r)` this index draws against
+    /// (`= |J|` for exact-counting indexes, `0.0` for an empty join).
+    /// Per iteration, each pair of `J` is emitted with probability
+    /// exactly `1 / total_weight` — the invariant a sharded wrapper's
+    /// top-level alias relies on.
+    fn total_weight(&self) -> f64;
+
+    /// One uniform draw: loops [`SamplerIndex::try_draw`] until a
+    /// candidate is accepted or [`SamplerIndex::rejection_limit`]
+    /// consecutive rejections trip the safety valve.
     fn draw_with(
         &self,
         rng: &mut dyn RngCore,
         scratch: &mut Self::Scratch,
         stats: &mut PhaseReport,
-    ) -> Result<JoinPair, SampleError>;
+    ) -> Result<JoinPair, SampleError> {
+        let mut consecutive = 0u64;
+        loop {
+            match self.try_draw(rng, scratch, stats)? {
+                Some(pair) => return Ok(pair),
+                None => {
+                    consecutive += 1;
+                    if consecutive >= self.rejection_limit() {
+                        return Err(SampleError::RejectionLimit);
+                    }
+                }
+            }
+        }
+    }
 
     /// Build-phase timing recorded when the index was constructed.
     fn index_build_report(&self) -> PhaseReport;

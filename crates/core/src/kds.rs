@@ -8,6 +8,7 @@ use srj_kdtree::{CanonicalScratch, KdTree};
 
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 use crate::cursor::{Cursor, SamplerIndex};
+use crate::parallel::par_map;
 use crate::traits::JoinSampler;
 
 /// Immutable build product of Baseline 1 — **KDS** (paper Section III-A).
@@ -45,19 +46,25 @@ impl KdsIndex {
     /// Runs the build phases: kd-tree (pre-processing) + exact counts
     /// and alias (upper-bounding phase, in the paper's table terminology
     /// — for KDS the "bounds" are exact).
+    ///
+    /// The per-`r` counting loop — the baseline's `O(n√m)` bottleneck —
+    /// runs on [`SampleConfig::build_threads`] threads; results are
+    /// bit-identical at any thread count (see [`crate::parallel`]).
     pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
         let t0 = Instant::now();
         let tree = KdTree::build(s);
         let preprocessing = t0.elapsed();
 
         let t1 = Instant::now();
-        let weights: Vec<f64> = r
-            .iter()
-            .map(|&rp| tree.range_count(&Rect::window(rp, config.half_extent)) as f64)
-            .collect();
+        let (weights, par) = par_map(r, config.build_threads, |_, &rp| {
+            tree.range_count(&Rect::window(rp, config.half_extent)) as f64
+        });
         let join_size = weights.iter().sum::<f64>() as u64;
         let alias = AliasTable::new(&weights);
         let upper_bounding = t1.elapsed();
+        // Alias construction is serial; charge it to CPU too so that
+        // cpu/wall stays the honest speedup ratio.
+        let upper_bounding_cpu = par.cpu + upper_bounding.saturating_sub(par.wall);
 
         KdsIndex {
             r_points: r.to_vec(),
@@ -68,6 +75,7 @@ impl KdsIndex {
             build_report: PhaseReport {
                 preprocessing,
                 upper_bounding,
+                upper_bounding_cpu,
                 ..PhaseReport::default()
             },
         }
@@ -95,16 +103,23 @@ impl KdsIndex {
             + self.tree.memory_bytes()
             + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
     }
+}
 
-    /// One uniform draw against the immutable index, using
-    /// caller-provided mutable state (`&self` — safe to call from many
-    /// threads at once).
-    fn draw(
+impl SamplerIndex for KdsIndex {
+    type Scratch = CanonicalScratch;
+
+    fn algorithm_name(&self) -> &'static str {
+        "KDS"
+    }
+
+    /// KDS counts exactly, so every iteration accepts: `try_draw` never
+    /// returns `Ok(None)`.
+    fn try_draw(
         &self,
         rng: &mut dyn RngCore,
         scratch: &mut CanonicalScratch,
         stats: &mut PhaseReport,
-    ) -> Result<JoinPair, SampleError> {
+    ) -> Result<Option<JoinPair>, SampleError> {
         let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
         stats.iterations += 1;
         let ridx = alias.sample(rng);
@@ -116,24 +131,11 @@ impl KdsIndex {
             .sample_in_range(&w, rng, scratch)
             .expect("alias returned an r with zero range count");
         stats.samples += 1;
-        Ok(JoinPair::new(ridx as u32, sid))
-    }
-}
-
-impl SamplerIndex for KdsIndex {
-    type Scratch = CanonicalScratch;
-
-    fn algorithm_name(&self) -> &'static str {
-        "KDS"
+        Ok(Some(JoinPair::new(ridx as u32, sid)))
     }
 
-    fn draw_with(
-        &self,
-        rng: &mut dyn RngCore,
-        scratch: &mut CanonicalScratch,
-        stats: &mut PhaseReport,
-    ) -> Result<JoinPair, SampleError> {
-        self.draw(rng, scratch, stats)
+    fn total_weight(&self) -> f64 {
+        self.alias.as_ref().map_or(0.0, AliasTable::total_weight)
     }
 
     fn index_build_report(&self) -> PhaseReport {

@@ -37,7 +37,17 @@
 //! the same structures. The classic `*Sampler` types remain as
 //! single-threaded shims (owned index + one cursor) with the original
 //! API; the `srj-engine` crate builds a full concurrent serving engine
-//! — planner, index cache, latency statistics — on top of this split.
+//! — planner, index cache, `R`-sharding, latency statistics — on top
+//! of this split.
+//!
+//! ## Parallel builds
+//!
+//! The dominant build cost everywhere is the per-`r` upper-bounding
+//! loop; [`SampleConfig::build_threads`] runs it on a chunked
+//! [`std::thread::scope`] map ([`parallel`]) with **bit-identical**
+//! results at any thread count. [`PhaseReport`] records the phase's
+//! wall time and the summed worker CPU time separately, so the
+//! achieved speedup is always visible.
 
 mod bbst_alg;
 mod config;
@@ -45,6 +55,7 @@ mod cursor;
 mod decompose;
 mod kds;
 mod materialize;
+pub mod parallel;
 mod rangetree_sampler;
 mod rejection;
 mod traits;
@@ -55,6 +66,7 @@ pub use config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 pub use cursor::{Cursor, SamplerIndex};
 pub use kds::{KdsCursor, KdsIndex, KdsSampler};
 pub use materialize::JoinThenSample;
+pub use parallel::{chunk_bounds, effective_threads, par_map, ParMapReport};
 pub use rangetree_sampler::RangeTreeSampler;
 pub use rejection::{KdsRejectionCursor, KdsRejectionIndex, KdsRejectionSampler};
 pub use traits::{JoinSampler, SampleIter};

@@ -9,6 +9,7 @@ use srj_kdtree::{CanonicalScratch, KdTree};
 
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 use crate::cursor::{Cursor, SamplerIndex};
+use crate::parallel::par_map;
 use crate::traits::JoinSampler;
 
 /// Immutable build product of Baseline 2 — **KDS-rejection** (paper
@@ -86,12 +87,12 @@ impl KdsRejectionIndex {
         let preprocessing = t0.elapsed();
 
         let t2 = Instant::now();
-        let mu: Vec<f64> = r
-            .iter()
-            .map(|&rp| grid.neighborhood_population(rp) as f64)
-            .collect();
+        let (mu, par) = par_map(r, config.build_threads, |_, &rp| {
+            grid.neighborhood_population(rp) as f64
+        });
         let alias = AliasTable::new(&mu);
         let upper_bounding = t2.elapsed();
+        let upper_bounding_cpu = par.cpu + upper_bounding.saturating_sub(par.wall);
 
         KdsRejectionIndex {
             r_points: r.to_vec(),
@@ -104,6 +105,7 @@ impl KdsRejectionIndex {
                 preprocessing,
                 grid_mapping,
                 upper_bounding,
+                upper_bounding_cpu,
                 ..PhaseReport::default()
             },
         }
@@ -138,37 +140,6 @@ impl KdsRejectionIndex {
             + self.mu.capacity() * std::mem::size_of::<f64>()
             + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
     }
-
-    /// One uniform draw against the immutable index (`&self`; safe from
-    /// many threads).
-    fn draw(
-        &self,
-        rng: &mut dyn RngCore,
-        scratch: &mut CanonicalScratch,
-        stats: &mut PhaseReport,
-    ) -> Result<JoinPair, SampleError> {
-        let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
-        let mut consecutive = 0u64;
-        loop {
-            stats.iterations += 1;
-            let ridx = alias.sample(rng);
-            let w = Rect::window(self.r_points[ridx], self.config.half_extent);
-            // µ(r) > 0 does not imply the window is non-empty: the nine
-            // cells may hold points only outside w(r).
-            if let Some((sid, count)) = self.tree.sample_in_range(&w, rng, scratch) {
-                // Accept with probability |S(w(r))| / µ(r).
-                let accept = rng.gen::<f64>() * self.mu[ridx] < count as f64;
-                if accept {
-                    stats.samples += 1;
-                    return Ok(JoinPair::new(ridx as u32, sid));
-                }
-            }
-            consecutive += 1;
-            if consecutive >= self.config.max_consecutive_rejections {
-                return Err(SampleError::RejectionLimit);
-            }
-        }
-    }
 }
 
 impl SamplerIndex for KdsRejectionIndex {
@@ -178,13 +149,36 @@ impl SamplerIndex for KdsRejectionIndex {
         "KDS-rejection"
     }
 
-    fn draw_with(
+    /// One rejection-sampling iteration: draw `r ∝ µ(r)`, draw a point
+    /// of `S ∩ w(r)`, accept with probability `|S(w(r))| / µ(r)`.
+    fn try_draw(
         &self,
         rng: &mut dyn RngCore,
         scratch: &mut CanonicalScratch,
         stats: &mut PhaseReport,
-    ) -> Result<JoinPair, SampleError> {
-        self.draw(rng, scratch, stats)
+    ) -> Result<Option<JoinPair>, SampleError> {
+        let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
+        stats.iterations += 1;
+        let ridx = alias.sample(rng);
+        let w = Rect::window(self.r_points[ridx], self.config.half_extent);
+        // µ(r) > 0 does not imply the window is non-empty: the nine
+        // cells may hold points only outside w(r).
+        if let Some((sid, count)) = self.tree.sample_in_range(&w, rng, scratch) {
+            // Accept with probability |S(w(r))| / µ(r).
+            if rng.gen::<f64>() * self.mu[ridx] < count as f64 {
+                stats.samples += 1;
+                return Ok(Some(JoinPair::new(ridx as u32, sid)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn rejection_limit(&self) -> u64 {
+        self.config.max_consecutive_rejections
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.mu_total()
     }
 
     fn index_build_report(&self) -> PhaseReport {

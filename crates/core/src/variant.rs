@@ -10,6 +10,7 @@ use srj_kdtree::{CanonicalScratch, KdTree};
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 use crate::cursor::{Cursor, SamplerIndex};
 use crate::decompose::{case12_count, case12_run, quadrant_query, quadrant_rect};
+use crate::parallel::par_map;
 use crate::traits::JoinSampler;
 
 /// Immutable build product of the Fig. 9 ablation: Algorithm 1's
@@ -64,9 +65,7 @@ impl BbstKdVariantIndex {
         let grid_mapping = t1.elapsed();
 
         let t2 = Instant::now();
-        let mut rows = Vec::with_capacity(r.len());
-        let mut weights = Vec::with_capacity(r.len());
-        for &rp in r {
+        let (rows, par) = par_map(r, config.build_threads, |_, &rp| {
             let w = Rect::window(rp, config.half_extent);
             let slots = grid.neighborhood_slots(rp);
             let mut cell_w = [0.0f64; 9];
@@ -84,12 +83,12 @@ impl BbstKdVariantIndex {
                 };
                 cell_w[i] = mu as f64;
             }
-            let row = CumulativeRow9::new(cell_w);
-            weights.push(row.total());
-            rows.push(row);
-        }
+            CumulativeRow9::new(cell_w)
+        });
+        let weights: Vec<f64> = rows.iter().map(CumulativeRow9::total).collect();
         let alias = AliasTable::new(&weights);
         let upper_bounding = t2.elapsed();
+        let upper_bounding_cpu = par.cpu + upper_bounding.saturating_sub(par.wall);
 
         BbstKdVariantIndex {
             r_points: r.to_vec(),
@@ -102,6 +101,7 @@ impl BbstKdVariantIndex {
                 preprocessing,
                 grid_mapping,
                 upper_bounding,
+                upper_bounding_cpu,
                 ..PhaseReport::default()
             },
         }
@@ -131,7 +131,8 @@ impl BbstKdVariantIndex {
     }
 
     /// One uniform draw against the immutable index (`&self`; safe from
-    /// many threads).
+    /// many threads). The variant's bounds are exact, so a draw never
+    /// rejects.
     fn draw(
         &self,
         rng: &mut dyn RngCore,
@@ -180,13 +181,17 @@ impl SamplerIndex for BbstKdVariantIndex {
         "BBST-kd-variant"
     }
 
-    fn draw_with(
+    fn try_draw(
         &self,
         rng: &mut dyn RngCore,
         scratch: &mut CanonicalScratch,
         stats: &mut PhaseReport,
-    ) -> Result<JoinPair, SampleError> {
-        self.draw(rng, scratch, stats)
+    ) -> Result<Option<JoinPair>, SampleError> {
+        self.draw(rng, scratch, stats).map(Some)
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.mu_total()
     }
 
     fn index_build_report(&self) -> PhaseReport {

@@ -1,4 +1,4 @@
-//! LRU cache of built engines keyed by `(dataset id, l)`.
+//! LRU cache of built engines keyed by `(dataset id, l, shards)`.
 //!
 //! Building an index is the expensive part of serving (the whole point
 //! of the build/sample split); workloads that revisit the same window
@@ -8,19 +8,23 @@
 //! it is later evicted.
 //!
 //! Keys: a caller-chosen `u64` dataset identifier (version it when the
-//! data changes!) plus the exact bit pattern of `l`. Two `l` values
-//! that differ in the last mantissa bit are different keys — the cache
-//! never answers with an index built for a different window size.
+//! data changes!), the exact bit pattern of `l`, and the shard count.
+//! Two `l` values that differ in the last mantissa bit are different
+//! keys — the cache never answers with an index built for a different
+//! window size — and an unsharded engine is never answered for a
+//! sharded request (the shard layout changes the serving topology even
+//! though the sample distribution is identical).
 
 use std::sync::Mutex;
 
 use crate::Engine;
 
-/// Cache key: dataset id + exact `l` bits.
+/// Cache key: dataset id + exact `l` bits + shard count.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 struct CacheKey {
     dataset: u64,
     l_bits: u64,
+    shards: usize,
 }
 
 struct CacheEntry {
@@ -66,11 +70,20 @@ impl EngineCache {
         }
     }
 
-    /// The engine for `(dataset, l)` if cached, refreshing its recency.
+    /// The unsharded engine for `(dataset, l)` if cached, refreshing
+    /// its recency. Shorthand for [`EngineCache::get_sharded`] with one
+    /// shard.
     pub fn get(&self, dataset: u64, l: f64) -> Option<Engine> {
+        self.get_sharded(dataset, l, 1)
+    }
+
+    /// The engine for `(dataset, l, shards)` if cached, refreshing its
+    /// recency.
+    pub fn get_sharded(&self, dataset: u64, l: f64, shards: usize) -> Option<Engine> {
         let key = CacheKey {
             dataset,
             l_bits: l.to_bits(),
+            shards: shards.max(1),
         };
         let mut inner = self.inner.lock().expect("engine cache poisoned");
         inner.tick += 1;
@@ -86,11 +99,26 @@ impl EngineCache {
         }
     }
 
-    /// The engine for `(dataset, l)`, building it with `build` on a
-    /// miss and caching the result (evicting the least-recently-used
-    /// entry when full).
+    /// The unsharded engine for `(dataset, l)`, building it with
+    /// `build` on a miss. Shorthand for
+    /// [`EngineCache::get_or_build_sharded`] with one shard.
     pub fn get_or_build(&self, dataset: u64, l: f64, build: impl FnOnce() -> Engine) -> Engine {
-        if let Some(hit) = self.get(dataset, l) {
+        self.get_or_build_sharded(dataset, l, 1, build)
+    }
+
+    /// The engine for `(dataset, l, shards)`, building it with `build`
+    /// on a miss and caching the result (evicting the
+    /// least-recently-used entry when full). `build` must produce an
+    /// engine with the requested shard count (e.g.
+    /// [`Engine::build_sharded`] / [`Engine::auto_sharded`]).
+    pub fn get_or_build_sharded(
+        &self,
+        dataset: u64,
+        l: f64,
+        shards: usize,
+        build: impl FnOnce() -> Engine,
+    ) -> Engine {
+        if let Some(hit) = self.get_sharded(dataset, l, shards) {
             return hit;
         }
         // Build outside the lock: concurrent misses on *different* keys
@@ -99,6 +127,7 @@ impl EngineCache {
         let key = CacheKey {
             dataset,
             l_bits: l.to_bits(),
+            shards: shards.max(1),
         };
         let mut inner = self.inner.lock().expect("engine cache poisoned");
         inner.tick += 1;
@@ -197,6 +226,23 @@ mod tests {
         for e in [a, b, c] {
             assert!(e.handle_seeded(0).sample_one().is_ok());
         }
+    }
+
+    #[test]
+    fn shard_count_is_part_of_the_key() {
+        let pts: Vec<Point> = (0..200).map(|i| Point::new(i as f64, i as f64)).collect();
+        let cache = EngineCache::new(4);
+        let unsharded = cache.get_or_build(1, 5.0, || tiny_engine(5.0));
+        let sharded = cache.get_or_build_sharded(1, 5.0, 4, || {
+            Engine::build_sharded(&pts, &pts, &SampleConfig::new(5.0), Algorithm::Kds, 4)
+        });
+        assert_eq!(cache.len(), 2, "sharded and unsharded must not collide");
+        assert_eq!(unsharded.shards(), 1);
+        assert_eq!(sharded.shards(), 4);
+        // hits resolve to the matching topology
+        assert_eq!(cache.get(1, 5.0).unwrap().shards(), 1);
+        assert_eq!(cache.get_sharded(1, 5.0, 4).unwrap().shards(), 4);
+        assert!(cache.get_sharded(1, 5.0, 2).is_none());
     }
 
     #[test]

@@ -7,12 +7,13 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use srj_core::{
-    BbstCursor, BbstIndex, JoinPair, JoinSampler, KdsCursor, KdsIndex, KdsRejectionCursor,
+    BbstCursor, BbstIndex, Cursor, JoinPair, JoinSampler, KdsCursor, KdsIndex, KdsRejectionCursor,
     KdsRejectionIndex, PhaseReport, SampleConfig, SampleError,
 };
 use srj_geom::Point;
 
 use crate::planner::{plan, PlanReport};
+use crate::shard::ShardedIndex;
 use crate::stats::{EngineStats, StatsSnapshot};
 
 /// Which of the paper's samplers an [`Engine`] serves with.
@@ -36,11 +37,15 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
-/// The built index, one variant per algorithm.
+/// The built index: one variant per algorithm, unsharded or
+/// `R`-sharded (see [`crate::shard`]).
 enum IndexKind {
     Kds(Arc<KdsIndex>),
     KdsRejection(Arc<KdsRejectionIndex>),
     Bbst(Arc<BbstIndex>),
+    ShardedKds(Arc<ShardedIndex<KdsIndex>>),
+    ShardedKdsRejection(Arc<ShardedIndex<KdsRejectionIndex>>),
+    ShardedBbst(Arc<ShardedIndex<BbstIndex>>),
 }
 
 /// State shared by an engine and every handle it has issued.
@@ -98,6 +103,66 @@ impl Engine {
         Engine::build_inner(r, s, config, algorithm, None)
     }
 
+    /// Like [`Engine::build`], but partitions `R` into `shards`
+    /// contiguous shards, builds the per-shard indexes in parallel (on
+    /// [`SampleConfig::build_threads`] threads), and serves by sampling
+    /// a shard `∝ Σµ_i` then within it — statistically identical to the
+    /// unsharded engine (see [`crate::shard`]). `shards ≤ 1` is the
+    /// plain unsharded build.
+    pub fn build_sharded(
+        r: &[Point],
+        s: &[Point],
+        config: &SampleConfig,
+        algorithm: Algorithm,
+        shards: usize,
+    ) -> Engine {
+        Engine::build_sharded_inner(r, s, config, algorithm, shards, None)
+    }
+
+    fn build_sharded_inner(
+        r: &[Point],
+        s: &[Point],
+        config: &SampleConfig,
+        algorithm: Algorithm,
+        shards: usize,
+        plan: Option<PlanReport>,
+    ) -> Engine {
+        if shards <= 1 {
+            return Engine::build_inner(r, s, config, algorithm, plan);
+        }
+        // The parallelism budget is spent across shards; nested
+        // parallel per-shard builds would oversubscribe the cores.
+        let shard_cfg = SampleConfig {
+            build_threads: 1,
+            ..*config
+        };
+        let index = match algorithm {
+            Algorithm::Kds => {
+                IndexKind::ShardedKds(Arc::new(ShardedIndex::build(r, config, shards, |chunk| {
+                    KdsIndex::build(chunk, s, &shard_cfg)
+                })))
+            }
+            Algorithm::KdsRejection => IndexKind::ShardedKdsRejection(Arc::new(
+                ShardedIndex::build(r, config, shards, |chunk| {
+                    KdsRejectionIndex::build(chunk, s, &shard_cfg)
+                }),
+            )),
+            Algorithm::Bbst => {
+                IndexKind::ShardedBbst(Arc::new(ShardedIndex::build(r, config, shards, |chunk| {
+                    BbstIndex::build(chunk, s, &shard_cfg)
+                })))
+            }
+        };
+        Engine {
+            shared: Arc::new(EngineShared {
+                index,
+                stats: EngineStats::new(),
+                plan,
+                handle_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
     /// Lets the planner pick the algorithm from a cheap `O(n + m)`
     /// workload estimate (see [`crate::planner`]), then builds —
     /// donating the planner's estimation grid to the index build, so
@@ -106,7 +171,7 @@ impl Engine {
     /// The decision and its supporting estimates are kept in
     /// [`Engine::plan`].
     pub fn auto(r: &[Point], s: &[Point], config: &SampleConfig) -> Engine {
-        let (report, estimation_grid) = plan(r, s, config);
+        let (report, estimation_grid) = plan(r, s, config, 1);
         let index = match (report.algorithm, estimation_grid) {
             (Algorithm::KdsRejection, Some((grid, grid_time))) => {
                 IndexKind::KdsRejection(Arc::new(KdsRejectionIndex::build_with_grid(
@@ -126,6 +191,20 @@ impl Engine {
                 handle_seq: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Shard-aware [`Engine::auto`]: the planner picks the algorithm,
+    /// then the build is `R`-sharded into `shards` shards ([`PlanReport`]
+    /// records the shard count it planned for). The planner's grid
+    /// donation only applies to the unsharded path — per-shard indexes
+    /// each build their own `S`-side structures.
+    pub fn auto_sharded(r: &[Point], s: &[Point], config: &SampleConfig, shards: usize) -> Engine {
+        if shards <= 1 {
+            return Engine::auto(r, s, config);
+        }
+        let (report, _grid) = plan(r, s, config, shards);
+        let shards = report.num_shards;
+        Engine::build_sharded_inner(r, s, config, report.algorithm, shards, Some(report))
     }
 
     fn build_inner(
@@ -155,9 +234,21 @@ impl Engine {
     /// The algorithm this engine serves with.
     pub fn algorithm(&self) -> Algorithm {
         match &self.shared.index {
-            IndexKind::Kds(_) => Algorithm::Kds,
-            IndexKind::KdsRejection(_) => Algorithm::KdsRejection,
-            IndexKind::Bbst(_) => Algorithm::Bbst,
+            IndexKind::Kds(_) | IndexKind::ShardedKds(_) => Algorithm::Kds,
+            IndexKind::KdsRejection(_) | IndexKind::ShardedKdsRejection(_) => {
+                Algorithm::KdsRejection
+            }
+            IndexKind::Bbst(_) | IndexKind::ShardedBbst(_) => Algorithm::Bbst,
+        }
+    }
+
+    /// How many `R` shards this engine serves from (`1` when unsharded).
+    pub fn shards(&self) -> usize {
+        match &self.shared.index {
+            IndexKind::Kds(_) | IndexKind::KdsRejection(_) | IndexKind::Bbst(_) => 1,
+            IndexKind::ShardedKds(ix) => ix.shard_count(),
+            IndexKind::ShardedKdsRejection(ix) => ix.shard_count(),
+            IndexKind::ShardedBbst(ix) => ix.shard_count(),
         }
     }
 
@@ -189,6 +280,11 @@ impl Engine {
                 CursorKind::KdsRejection(KdsRejectionCursor::new(Arc::clone(ix)))
             }
             IndexKind::Bbst(ix) => CursorKind::Bbst(BbstCursor::new(Arc::clone(ix))),
+            IndexKind::ShardedKds(ix) => CursorKind::ShardedKds(Cursor::new(Arc::clone(ix))),
+            IndexKind::ShardedKdsRejection(ix) => {
+                CursorKind::ShardedKdsRejection(Cursor::new(Arc::clone(ix)))
+            }
+            IndexKind::ShardedBbst(ix) => CursorKind::ShardedBbst(Cursor::new(Arc::clone(ix))),
         };
         SamplerHandle {
             cursor,
@@ -202,21 +298,32 @@ impl Engine {
         self.shared.stats.snapshot()
     }
 
-    /// Build-phase timing of the underlying index.
+    /// Build-phase timing of the underlying index. For sharded engines
+    /// the phase decomposition is collapsed: `upper_bounding` is the
+    /// wall-clock of the whole parallel shard-build and
+    /// `upper_bounding_cpu` the summed per-shard build time.
     pub fn build_report(&self) -> PhaseReport {
+        use srj_core::SamplerIndex as _;
         match &self.shared.index {
             IndexKind::Kds(ix) => ix.build_report(),
             IndexKind::KdsRejection(ix) => ix.build_report(),
             IndexKind::Bbst(ix) => ix.build_report(),
+            IndexKind::ShardedKds(ix) => ix.index_build_report(),
+            IndexKind::ShardedKdsRejection(ix) => ix.index_build_report(),
+            IndexKind::ShardedBbst(ix) => ix.index_build_report(),
         }
     }
 
     /// Approximate heap footprint of the shared index.
     pub fn memory_bytes(&self) -> usize {
+        use srj_core::SamplerIndex as _;
         match &self.shared.index {
             IndexKind::Kds(ix) => ix.memory_bytes(),
             IndexKind::KdsRejection(ix) => ix.memory_bytes(),
             IndexKind::Bbst(ix) => ix.memory_bytes(),
+            IndexKind::ShardedKds(ix) => ix.index_memory_bytes(),
+            IndexKind::ShardedKdsRejection(ix) => ix.index_memory_bytes(),
+            IndexKind::ShardedBbst(ix) => ix.index_memory_bytes(),
         }
     }
 }
@@ -226,6 +333,9 @@ enum CursorKind {
     Kds(KdsCursor),
     KdsRejection(KdsRejectionCursor),
     Bbst(BbstCursor),
+    ShardedKds(Cursor<ShardedIndex<KdsIndex>>),
+    ShardedKdsRejection(Cursor<ShardedIndex<KdsRejectionIndex>>),
+    ShardedBbst(Cursor<ShardedIndex<BbstIndex>>),
 }
 
 impl CursorKind {
@@ -234,6 +344,9 @@ impl CursorKind {
             CursorKind::Kds(c) => c,
             CursorKind::KdsRejection(c) => c,
             CursorKind::Bbst(c) => c,
+            CursorKind::ShardedKds(c) => c,
+            CursorKind::ShardedKdsRejection(c) => c,
+            CursorKind::ShardedBbst(c) => c,
         }
     }
 
@@ -242,6 +355,9 @@ impl CursorKind {
             CursorKind::Kds(c) => c.report(),
             CursorKind::KdsRejection(c) => c.report(),
             CursorKind::Bbst(c) => c.report(),
+            CursorKind::ShardedKds(c) => c.report(),
+            CursorKind::ShardedKdsRejection(c) => c.report(),
+            CursorKind::ShardedBbst(c) => c.report(),
         }
     }
 }
@@ -266,25 +382,29 @@ const _: () = {
 impl SamplerHandle {
     /// Draws one uniform join sample.
     pub fn sample_one(&mut self) -> Result<JoinPair, SampleError> {
+        let before = self.cursor.report().iterations;
         let t = Instant::now();
         let out = self.cursor.as_sampler().sample_one(&mut self.rng);
+        let iterations = self.cursor.report().iterations - before;
         match &out {
-            Ok(_) => self.shared.stats.record_query(1, t.elapsed()),
-            Err(_) => self.shared.stats.record_error(t.elapsed()),
+            Ok(_) => self.shared.stats.record_query(1, iterations, t.elapsed()),
+            Err(_) => self.shared.stats.record_error(iterations, t.elapsed()),
         }
         out
     }
 
     /// Draws `t` uniform join samples with replacement.
     pub fn sample(&mut self, t: usize) -> Result<Vec<JoinPair>, SampleError> {
+        let before = self.cursor.report().iterations;
         let start = Instant::now();
         let out = self.cursor.as_sampler().sample(t, &mut self.rng);
+        let iterations = self.cursor.report().iterations - before;
         match &out {
             Ok(v) => self
                 .shared
                 .stats
-                .record_query(v.len() as u64, start.elapsed()),
-            Err(_) => self.shared.stats.record_error(start.elapsed()),
+                .record_query(v.len() as u64, iterations, start.elapsed()),
+            Err(_) => self.shared.stats.record_error(iterations, start.elapsed()),
         }
         out
     }
@@ -307,6 +427,7 @@ impl SamplerHandle {
             error: None,
             batch_draw_time: Duration::ZERO,
             batch_samples: 0,
+            batch_iterations: 0,
         }
     }
 
@@ -316,12 +437,24 @@ impl SamplerHandle {
         self.cursor.report()
     }
 
+    /// Observed rejection overhead of this handle so far:
+    /// `iterations / samples` (the serving-time measurement of the
+    /// planner's `Σµ/|J|` estimate; `1.0` means no rejections). `None`
+    /// before the first accepted sample. A later PR feeds this back
+    /// into the planner to re-plan when the estimate was wrong.
+    pub fn rejection_rate(&self) -> Option<f64> {
+        let rep = self.cursor.report();
+        (rep.samples > 0).then(|| rep.iterations as f64 / rep.samples as f64)
+    }
+
     /// The algorithm behind this handle.
     pub fn algorithm(&self) -> Algorithm {
         match self.cursor {
-            CursorKind::Kds(_) => Algorithm::Kds,
-            CursorKind::KdsRejection(_) => Algorithm::KdsRejection,
-            CursorKind::Bbst(_) => Algorithm::Bbst,
+            CursorKind::Kds(_) | CursorKind::ShardedKds(_) => Algorithm::Kds,
+            CursorKind::KdsRejection(_) | CursorKind::ShardedKdsRejection(_) => {
+                Algorithm::KdsRejection
+            }
+            CursorKind::Bbst(_) | CursorKind::ShardedBbst(_) => Algorithm::Bbst,
         }
     }
 }
@@ -339,6 +472,7 @@ pub struct HandleStream<'a> {
     /// between `next()` calls is deliberately excluded).
     batch_draw_time: Duration,
     batch_samples: u64,
+    batch_iterations: u64,
 }
 
 impl HandleStream<'_> {
@@ -349,11 +483,13 @@ impl HandleStream<'_> {
 
     fn flush_stats(&mut self) {
         if self.batch_samples > 0 {
-            self.handle
-                .shared
-                .stats
-                .record_query(self.batch_samples, self.batch_draw_time);
+            self.handle.shared.stats.record_query(
+                self.batch_samples,
+                self.batch_iterations,
+                self.batch_draw_time,
+            );
             self.batch_samples = 0;
+            self.batch_iterations = 0;
         }
         self.batch_draw_time = Duration::ZERO;
     }
@@ -366,6 +502,7 @@ impl Iterator for HandleStream<'_> {
         if self.error.is_some() {
             return None;
         }
+        let before = self.handle.cursor.report().iterations;
         let t = Instant::now();
         let drawn = self
             .handle
@@ -373,10 +510,12 @@ impl Iterator for HandleStream<'_> {
             .as_sampler()
             .sample_one(&mut self.handle.rng);
         let draw_time = t.elapsed();
+        let iterations = self.handle.cursor.report().iterations - before;
         match drawn {
             Ok(p) => {
                 self.batch_draw_time += draw_time;
                 self.batch_samples += 1;
+                self.batch_iterations += iterations;
                 if self.batch_samples >= STREAM_STATS_BATCH {
                     self.flush_stats();
                 }
@@ -384,7 +523,7 @@ impl Iterator for HandleStream<'_> {
             }
             Err(e) => {
                 self.flush_stats();
-                self.handle.shared.stats.record_error(draw_time);
+                self.handle.shared.stats.record_error(iterations, draw_time);
                 self.error = Some(e);
                 None
             }

@@ -12,7 +12,7 @@
 //!                 │                Engine (Arc)                │
 //!   R, S, l ───►  │  build ONCE:                               │
 //!                 │   IndexKind = KdsIndex | KdsRejectionIndex │
-//!                 │               | BbstIndex  (Send + Sync)   │
+//!                 │               | BbstIndex | ShardedIndex<·>│
 //!                 │  EngineStats (relaxed atomics)             │
 //!                 │  PlanReport  (Engine::auto only)           │
 //!                 └───────┬──────────────┬─────────────┬───────┘
@@ -49,28 +49,41 @@
 //! subset of `R` against the grid. The decision and the estimates that
 //! drove it are retained in [`PlanReport`].
 //!
+//! ## Sharding ([`Engine::build_sharded`], [`crate::shard`])
+//!
+//! `R` partitioned into `k` contiguous shards, each with its own full
+//! index (built concurrently on `SampleConfig::build_threads`
+//! threads), served through a top-level alias over per-shard `Σµ_i`.
+//! The shard is re-picked on **every** sampling iteration, so accepted
+//! samples stay exactly uniform over `J`; `k` serving threads over `k`
+//! shards contend on nothing.
+//!
 //! ## Cache ([`EngineCache`])
 //!
-//! An LRU map `(dataset id, l bits) → Engine`, so workloads that
-//! revisit a window size reuse the built index instead of paying the
-//! build again. Hits are O(1) `Arc` clones; evicted engines keep
+//! An LRU map `(dataset id, l bits, shards) → Engine`, so workloads
+//! that revisit a window size reuse the built index instead of paying
+//! the build again. Hits are O(1) `Arc` clones; evicted engines keep
 //! serving for whoever still holds them; the mutex is never held while
 //! building.
 //!
 //! ## Statistics ([`Engine::stats`])
 //!
-//! Queries served, samples drawn, errors, and mean/p50/p99 per-query
+//! Queries served, samples drawn, sampling iterations (rejections
+//! included — `StatsSnapshot::rejection_rate` is the serving-time
+//! `Σµ/|J|` feedback signal), errors, and mean/p50/p99 per-query
 //! latency from a log₂-bucketed histogram — all relaxed atomics, no
 //! locks on the serving path.
 
 mod cache;
 mod engine;
 pub mod planner;
+pub mod shard;
 mod stats;
 
 pub use cache::EngineCache;
 pub use engine::{Algorithm, Engine, HandleStream, SamplerHandle};
 pub use planner::PlanReport;
+pub use shard::ShardedIndex;
 pub use stats::{EngineStats, StatsSnapshot};
 
 #[cfg(test)]
@@ -257,6 +270,103 @@ mod tests {
         );
         assert!(plan.est_overhead.unwrap() > planner::MAX_REJECTION_OVERHEAD);
         assert!(engine.handle_seeded(1).sample(50).is_ok());
+    }
+
+    #[test]
+    fn sharded_engine_serves_valid_globally_indexed_pairs() {
+        let r = pseudo_points(200, 81, 60.0);
+        let s = pseudo_points(300, 82, 60.0);
+        let cfg = SampleConfig::new(6.0);
+        for algo in [Algorithm::Kds, Algorithm::KdsRejection, Algorithm::Bbst] {
+            let engine = Engine::build_sharded(&r, &s, &cfg, algo, 4);
+            assert_eq!(engine.algorithm(), algo);
+            assert_eq!(engine.shards(), 4);
+            let mut h = engine.handle_seeded(9);
+            let pairs = h.sample(400).unwrap();
+            assert_eq!(pairs.len(), 400);
+            for p in pairs {
+                let w = Rect::window(r[p.r as usize], 6.0);
+                assert!(w.contains(s[p.s as usize]), "{algo}: bad remap {p:?}");
+            }
+            assert!(engine.memory_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_and_unsharded_report_one_vs_k_shards() {
+        let r = pseudo_points(100, 91, 40.0);
+        let s = pseudo_points(100, 92, 40.0);
+        let cfg = SampleConfig::new(5.0);
+        assert_eq!(Engine::build(&r, &s, &cfg, Algorithm::Bbst).shards(), 1);
+        // shards = 1 falls back to the plain unsharded build
+        assert_eq!(
+            Engine::build_sharded(&r, &s, &cfg, Algorithm::Bbst, 1).shards(),
+            1
+        );
+        assert_eq!(
+            Engine::build_sharded(&r, &s, &cfg, Algorithm::Bbst, 3).shards(),
+            3
+        );
+    }
+
+    #[test]
+    fn auto_sharded_records_plan_and_shard_count() {
+        let r = pseudo_points(100, 93, 40.0);
+        let s = pseudo_points(100, 94, 40.0);
+        let engine = Engine::auto_sharded(&r, &s, &SampleConfig::new(5.0), 4);
+        let plan = engine.plan().expect("auto_sharded must record its plan");
+        assert_eq!(plan.num_shards, 4);
+        assert_eq!(engine.shards(), 4);
+        assert_eq!(plan.algorithm, engine.algorithm());
+        assert!(engine.handle_seeded(1).sample(50).is_ok());
+    }
+
+    #[test]
+    fn rejection_rate_flows_from_handles_to_engine_stats() {
+        // Near-miss workload (see auto_picks_bbst...): rejections are
+        // guaranteed, so iterations must exceed samples.
+        let l = 5.0;
+        let mut r = Vec::new();
+        let mut s = Vec::new();
+        for i in 0..500 {
+            let x = (i % 32) as f64 * 3.0 * l;
+            let y = (i / 32) as f64 * 3.0 * l;
+            r.push(Point::new(x, y));
+            s.push(Point::new(x + 1.9 * l, y + 1.9 * l));
+            if i % 7 == 0 {
+                s.push(Point::new(x + 0.5 * l, y + 0.5 * l));
+            }
+        }
+        let engine = Engine::build(&r, &s, &SampleConfig::new(l), Algorithm::KdsRejection);
+        let mut h = engine.handle_seeded(3);
+        h.sample(300).unwrap();
+
+        // per-handle rate: iterations / samples, straight off the report
+        let rep = h.report();
+        let rate = h.rejection_rate().expect("samples were drawn");
+        assert!((rate - rep.iterations as f64 / rep.samples as f64).abs() < 1e-12);
+        assert!(rate > 1.0, "near-miss workload must reject: rate = {rate}");
+
+        // aggregate rate: engine stats saw the same iterations
+        let snap = engine.stats();
+        assert_eq!(snap.samples, 300);
+        assert_eq!(snap.iterations, rep.iterations);
+        let agg = snap.rejection_rate().unwrap();
+        assert!((agg - rate).abs() < 1e-12);
+
+        // a second handle's iterations add on top
+        let mut h2 = engine.handle_seeded(4);
+        h2.sample(100).unwrap();
+        let snap = engine.stats();
+        assert_eq!(snap.samples, 400);
+        assert_eq!(snap.iterations, rep.iterations + h2.report().iterations);
+
+        // KDS never rejects: rate is exactly 1
+        let kds = Engine::build(&r, &s, &SampleConfig::new(l), Algorithm::Kds);
+        let mut hk = kds.handle_seeded(5);
+        hk.sample(200).unwrap();
+        assert_eq!(hk.rejection_rate(), Some(1.0));
+        assert_eq!(kds.stats().rejection_rate(), Some(1.0));
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub struct PlanReport {
     pub est_overhead: Option<f64>,
     /// The chosen algorithm.
     pub algorithm: Algorithm,
+    /// How many `R` shards the build was planned for (`1` =
+    /// unsharded). Sharding never changes the algorithm choice — the
+    /// per-iteration distribution is shard-oblivious — but it is
+    /// recorded here because the shard count is part of the build's
+    /// identity (the [`crate::EngineCache`] keys on it).
+    pub num_shards: usize,
     /// Human-readable decision rationale.
     pub reason: &'static str,
 }
@@ -73,9 +79,12 @@ pub(crate) fn plan(
     r: &[Point],
     s: &[Point],
     config: &SampleConfig,
+    shards: usize,
 ) -> (PlanReport, Option<(Grid, std::time::Duration)>) {
     let n = r.len();
     let m = s.len();
+    // One shard per R point is the most that can ever help.
+    let num_shards = shards.clamp(1, n.max(1));
 
     // Rule 1: tiny problems — exact counting is cheaper than estimating.
     if (n as f64) * (m as f64).sqrt() <= KDS_COST_BUDGET {
@@ -86,6 +95,7 @@ pub(crate) fn plan(
             est_join_size: None,
             est_overhead: None,
             algorithm: Algorithm::Kds,
+            num_shards,
             reason: "n·√m below the exact-counting budget: KDS's zero-rejection \
                      sampling wins and its O(n√m) build is negligible",
         };
@@ -150,6 +160,7 @@ pub(crate) fn plan(
         est_join_size: Some(est_join_size),
         est_overhead: Some(est_overhead),
         algorithm,
+        num_shards,
         reason,
     };
     (report, Some((grid, grid_build_time)))
@@ -163,13 +174,28 @@ mod tests {
     fn tiny_input_picks_kds() {
         let r: Vec<Point> = (0..50).map(|i| Point::new(i as f64, i as f64)).collect();
         let s = r.clone();
-        let (p, grid) = plan(&r, &s, &SampleConfig::new(2.0));
+        let (p, grid) = plan(&r, &s, &SampleConfig::new(2.0), 1);
         assert_eq!(p.algorithm, Algorithm::Kds);
+        assert_eq!(p.num_shards, 1);
         assert!(
             p.est_overhead.is_none(),
             "fast path must not fake estimates"
         );
         assert!(grid.is_none());
+    }
+
+    #[test]
+    fn shard_count_is_recorded_and_clamped() {
+        let r: Vec<Point> = (0..50).map(|i| Point::new(i as f64, i as f64)).collect();
+        let s = r.clone();
+        let (p, _) = plan(&r, &s, &SampleConfig::new(2.0), 8);
+        assert_eq!(p.num_shards, 8);
+        // more shards than R points is pointless
+        let (p, _) = plan(&r, &s, &SampleConfig::new(2.0), 1_000);
+        assert_eq!(p.num_shards, 50);
+        // zero normalises to unsharded
+        let (p, _) = plan(&r, &s, &SampleConfig::new(2.0), 0);
+        assert_eq!(p.num_shards, 1);
     }
 
     #[test]
@@ -181,7 +207,7 @@ mod tests {
             .collect();
         let s = r.clone();
         let cfg = SampleConfig::new(3.0);
-        let (p, grid) = plan(&r, &s, &cfg);
+        let (p, grid) = plan(&r, &s, &cfg, 1);
         assert!(grid.is_some(), "estimation grid must be donated");
         let est = p.est_join_size.unwrap();
         let true_join = srj_join::grid_join(&r, &s, 3.0).len() as f64;

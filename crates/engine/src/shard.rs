@@ -1,0 +1,303 @@
+//! `R`-sharded indexes: partition `R`, build per-shard indexes in
+//! parallel, serve through a top-level alias over per-shard `Σµ`.
+//!
+//! Weights are per-`r` in every algorithm (`µ(r)` depends only on `r`
+//! and the immutable `S`-side structures), so partitioning `R` into `k`
+//! contiguous shards decomposes the total weight exactly:
+//! `Σµ = Σ_i Σµ_i`. A [`ShardedIndex`] exploits that twice:
+//!
+//! * **Build**: the `k` shard indexes are independent, so they build
+//!   concurrently on [`srj_core::SampleConfig::build_threads`] threads
+//!   (each shard's own inner build loop stays serial to avoid
+//!   oversubscription).
+//! * **Serve**: a draw picks a shard `∝ Σµ_i` from a top-level
+//!   [`AliasTable`], then runs **one** iteration of that shard's
+//!   sampler. Per iteration the candidate pair is `(r, s)` with
+//!   probability `(Σµ_i/Σµ) · (µ(r)/Σµ_i) · …  = µ(r)/Σµ` — exactly the
+//!   unsharded per-iteration distribution, so accepted samples stay
+//!   uniform over `J` (Theorem 3's argument is shard-oblivious).
+//!
+//! The one subtlety is rejection: the shard must be **re-picked on
+//! every iteration** (this is why [`SamplerIndex::try_draw`] exists).
+//! Looping to acceptance inside one shard would instead emit pairs with
+//! probability `(Σµ_i/Σµ) · (1/|J_i|)`, biasing toward shards with
+//! looser bounds.
+//!
+//! A `ShardedIndex<I>` implements [`SamplerIndex`] itself, so the
+//! ordinary [`srj_core::Cursor`] drives it: any number of threads get
+//! their own cursor over one shared sharded index with zero
+//! synchronisation — `k` serving threads over `k` shards contend on
+//! nothing.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::RngCore;
+use srj_alias::AliasTable;
+use srj_core::parallel::par_map;
+use srj_core::{JoinPair, PhaseReport, SampleConfig, SampleError, SamplerIndex};
+use srj_geom::Point;
+
+/// Balanced contiguous partition of `R` into `k` shards — the same
+/// chunking rule the parallel build uses
+/// ([`srj_core::parallel::chunk_bounds`]), so shard layout and build
+/// chunking can never drift apart.
+pub fn shard_bounds(n: usize, k: usize) -> Vec<(usize, usize)> {
+    srj_core::parallel::chunk_bounds(n, k)
+}
+
+/// An `R`-sharded wrapper around any [`SamplerIndex`]: `k` per-shard
+/// indexes plus a top-level alias over per-shard total weights. See the
+/// module docs for the sampling argument.
+pub struct ShardedIndex<I: SamplerIndex> {
+    shards: Vec<Arc<I>>,
+    /// Global `R` offset of each shard (shard-local `r` ids are
+    /// re-based by this on every accepted draw).
+    offsets: Vec<u32>,
+    /// Top-level alias over `Σµ_i`; `None` when every shard is empty.
+    alias: Option<AliasTable>,
+    rejection_limit: u64,
+    build_report: PhaseReport,
+}
+
+impl<I: SamplerIndex> ShardedIndex<I> {
+    /// Partitions `r` into (up to) `num_shards` contiguous shards and
+    /// builds every shard index with `build_shard`, running the shard
+    /// builds on [`SampleConfig::build_threads`] threads.
+    ///
+    /// `build_shard` receives one shard's slice of `R` and must build
+    /// an index over it against the full `S` with `build_threads = 1`
+    /// (the parallelism budget is spent across shards here; a nested
+    /// parallel build would oversubscribe the cores).
+    ///
+    /// The aggregated [`PhaseReport`] collapses the per-shard phase
+    /// decomposition: `upper_bounding` holds the **wall-clock** of the
+    /// whole parallel shard-build and `upper_bounding_cpu` the summed
+    /// per-shard build totals, so `cpu / wall` is the achieved build
+    /// speedup.
+    pub fn build<F>(r: &[Point], config: &SampleConfig, num_shards: usize, build_shard: F) -> Self
+    where
+        F: Fn(&[Point]) -> I + Sync,
+    {
+        let bounds = shard_bounds(r.len(), num_shards);
+        let t0 = Instant::now();
+        let (shards, par) = par_map(&bounds, config.build_threads, |_, &(lo, hi)| {
+            Arc::new(build_shard(&r[lo..hi]))
+        });
+        let wall = t0.elapsed();
+
+        let weights: Vec<f64> = shards.iter().map(|s| s.total_weight()).collect();
+        let alias = AliasTable::new(&weights);
+        let cpu: std::time::Duration = shards
+            .iter()
+            .map(|s| {
+                let rep = s.index_build_report();
+                rep.preprocessing + rep.grid_mapping + rep.upper_bounding_cpu
+            })
+            .sum();
+        // `par.cpu` only counts time inside the map; per-shard reports
+        // are finer-grained, so prefer them but never report less CPU
+        // than the map actually measured.
+        let build_report = PhaseReport {
+            upper_bounding: wall,
+            upper_bounding_cpu: cpu.max(par.cpu),
+            ..PhaseReport::default()
+        };
+
+        ShardedIndex {
+            offsets: bounds.iter().map(|&(lo, _)| lo as u32).collect(),
+            shards,
+            alias,
+            rejection_limit: config.max_consecutive_rejections,
+            build_report,
+        }
+    }
+
+    /// Number of shards (≥ 1; a build over empty `R` keeps one empty
+    /// shard so the index still answers `EmptyJoin`).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's index (for per-shard inspection or pinned serving).
+    pub fn shard(&self, i: usize) -> &Arc<I> {
+        &self.shards[i]
+    }
+
+    /// Global `R` offset of shard `i`.
+    pub fn shard_offset(&self, i: usize) -> u32 {
+        self.offsets[i]
+    }
+
+    /// Sum of the upper bounds `Σµ = Σ_i Σµ_i` across all shards.
+    pub fn mu_total(&self) -> f64 {
+        self.alias.as_ref().map_or(0.0, AliasTable::total_weight)
+    }
+}
+
+impl<I: SamplerIndex> SamplerIndex for ShardedIndex<I> {
+    type Scratch = I::Scratch;
+
+    fn algorithm_name(&self) -> &'static str {
+        // All shards run the same algorithm; shards is never empty.
+        self.shards[0].algorithm_name()
+    }
+
+    /// One iteration: shard `∝ Σµ_i`, then one iteration of that
+    /// shard's sampler, with the accepted `r` re-based to its global
+    /// index.
+    fn try_draw(
+        &self,
+        rng: &mut dyn RngCore,
+        scratch: &mut Self::Scratch,
+        stats: &mut PhaseReport,
+    ) -> Result<Option<JoinPair>, SampleError> {
+        let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
+        let si = alias.sample(rng);
+        // The shard's own try_draw does the iteration/sample accounting.
+        Ok(self.shards[si]
+            .try_draw(rng, scratch, stats)?
+            .map(|p| JoinPair::new(p.r + self.offsets[si], p.s)))
+    }
+
+    fn rejection_limit(&self) -> u64 {
+        self.rejection_limit
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.mu_total()
+    }
+
+    fn index_build_report(&self) -> PhaseReport {
+        self.build_report
+    }
+
+    fn index_memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.index_memory_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use srj_core::{BbstIndex, Cursor, JoinSampler, KdsIndex, KdsRejectionIndex};
+    use srj_geom::Rect;
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
+    }
+
+    #[test]
+    fn bounds_are_balanced_and_exhaustive() {
+        for (n, k) in [(10, 3), (9, 3), (1, 4), (0, 2), (100, 1), (7, 7)] {
+            let b = shard_bounds(n, k);
+            assert_eq!(b.first().unwrap().0, 0);
+            assert_eq!(b.last().unwrap().1, n);
+            for w in b.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "gap in bounds for n={n} k={k}");
+            }
+            let sizes: Vec<usize> = b.iter().map(|(lo, hi)| hi - lo).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_total_weight_decomposes_exactly() {
+        let r = pseudo_points(200, 1, 60.0);
+        let s = pseudo_points(300, 2, 60.0);
+        let cfg = SampleConfig::new(5.0);
+        let whole = BbstIndex::build(&r, &s, &cfg);
+        for k in [1, 2, 3, 5] {
+            let sharded =
+                ShardedIndex::build(&r, &cfg, k, |chunk| BbstIndex::build(chunk, &s, &cfg));
+            assert_eq!(sharded.shard_count(), k);
+            // Σµ is a per-r sum, so sharding must preserve it exactly up
+            // to f64 summation order.
+            let rel = (sharded.mu_total() - whole.mu_total()).abs() / whole.mu_total();
+            assert!(
+                rel < 1e-9,
+                "k={k}: Σµ {} vs {}",
+                sharded.mu_total(),
+                whole.mu_total()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_draws_are_genuine_and_globally_indexed() {
+        let r = pseudo_points(150, 11, 50.0);
+        let s = pseudo_points(250, 12, 50.0);
+        let l = 5.0;
+        let cfg = SampleConfig::new(l);
+        let sharded = Arc::new(ShardedIndex::build(&r, &cfg, 4, |chunk| {
+            KdsRejectionIndex::build(chunk, &s, &cfg)
+        }));
+        let mut cursor = Cursor::new(Arc::clone(&sharded));
+        let mut rng = SmallRng::seed_from_u64(13);
+        let pairs = cursor.sample(500, &mut rng).unwrap();
+        for p in pairs {
+            let w = Rect::window(r[p.r as usize], l);
+            assert!(w.contains(s[p.s as usize]), "bad global remap: {p:?}");
+        }
+    }
+
+    #[test]
+    fn kds_shards_never_reject() {
+        let r = pseudo_points(100, 21, 40.0);
+        let s = pseudo_points(150, 22, 40.0);
+        let cfg = SampleConfig::new(5.0);
+        let sharded = Arc::new(ShardedIndex::build(&r, &cfg, 3, |chunk| {
+            KdsIndex::build(chunk, &s, &cfg)
+        }));
+        let mut cursor = Cursor::new(sharded);
+        let mut rng = SmallRng::seed_from_u64(3);
+        cursor.sample(400, &mut rng).unwrap();
+        let rep = cursor.report();
+        assert_eq!(rep.iterations, rep.samples);
+    }
+
+    #[test]
+    fn empty_r_yields_empty_join() {
+        let s = pseudo_points(50, 31, 30.0);
+        let cfg = SampleConfig::new(4.0);
+        let sharded = Arc::new(ShardedIndex::build(&[], &cfg, 4, |chunk| {
+            BbstIndex::build(chunk, &s, &cfg)
+        }));
+        assert_eq!(sharded.shard_count(), 1);
+        let mut cursor = Cursor::new(sharded);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(cursor.sample_one(&mut rng), Err(SampleError::EmptyJoin));
+    }
+
+    #[test]
+    fn more_shards_than_points_is_clamped() {
+        let r = pseudo_points(3, 41, 20.0);
+        let s = pseudo_points(40, 42, 20.0);
+        let cfg = SampleConfig::new(8.0);
+        let sharded = ShardedIndex::build(&r, &cfg, 16, |chunk| BbstIndex::build(chunk, &s, &cfg));
+        assert_eq!(sharded.shard_count(), 3);
+    }
+
+    #[test]
+    fn build_report_has_wall_and_cpu() {
+        let r = pseudo_points(200, 51, 40.0);
+        let s = pseudo_points(200, 52, 40.0);
+        let cfg = SampleConfig::new(5.0);
+        let sharded = ShardedIndex::build(&r, &cfg, 2, |chunk| BbstIndex::build(chunk, &s, &cfg));
+        let rep = sharded.index_build_report();
+        assert!(rep.upper_bounding > std::time::Duration::ZERO);
+        assert!(rep.upper_bounding_cpu > std::time::Duration::ZERO);
+    }
+}

@@ -22,6 +22,7 @@ const BUCKETS: usize = 64;
 pub struct EngineStats {
     queries: AtomicU64,
     samples: AtomicU64,
+    iterations: AtomicU64,
     errors: AtomicU64,
     latency_ns_total: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
@@ -39,16 +40,20 @@ impl EngineStats {
         EngineStats {
             queries: AtomicU64::new(0),
             samples: AtomicU64::new(0),
+            iterations: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             latency_ns_total: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
-    /// Records one query that produced `samples` samples in `latency`.
-    pub fn record_query(&self, samples: u64, latency: Duration) {
+    /// Records one query that produced `samples` accepted samples in
+    /// `iterations` sampling-loop iterations (`≥ samples`; the excess
+    /// is rejections) taking `latency`.
+    pub fn record_query(&self, samples: u64, iterations: u64, latency: Duration) {
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.samples.fetch_add(samples, Ordering::Relaxed);
+        self.iterations.fetch_add(iterations, Ordering::Relaxed);
         let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
         self.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
         let bucket = if ns == 0 {
@@ -59,10 +64,11 @@ impl EngineStats {
         self.latency_buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one failed query (the latency is still charged).
-    pub fn record_error(&self, latency: Duration) {
+    /// Records one failed query (latency and any iterations spent are
+    /// still charged).
+    pub fn record_error(&self, iterations: u64, latency: Duration) {
         self.errors.fetch_add(1, Ordering::Relaxed);
-        self.record_query(0, latency);
+        self.record_query(0, iterations, latency);
     }
 
     /// A point-in-time copy of every counter and derived quantile.
@@ -77,6 +83,7 @@ impl EngineStats {
         StatsSnapshot {
             queries,
             samples: self.samples.load(Ordering::Relaxed),
+            iterations: self.iterations.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             mean_latency: Duration::from_nanos(total_ns.checked_div(queries).unwrap_or(0)),
             p50_latency: quantile(&buckets, 0.50),
@@ -114,6 +121,9 @@ pub struct StatsSnapshot {
     pub queries: u64,
     /// Join samples drawn across all queries.
     pub samples: u64,
+    /// Sampling-loop iterations across all queries, rejections
+    /// included (`≥ samples`).
+    pub iterations: u64,
     /// Queries that returned a [`srj_core::SampleError`].
     pub errors: u64,
     /// Mean per-query latency.
@@ -124,6 +134,18 @@ pub struct StatsSnapshot {
     pub p99_latency: Duration,
 }
 
+impl StatsSnapshot {
+    /// Observed rejection overhead across every handle:
+    /// `iterations / samples` — the serving-time measurement of the
+    /// planner's `Σµ/|J|` estimate (`1.0` = no rejections). `None`
+    /// before the first accepted sample. This is the feedback signal a
+    /// later PR will use to re-plan when the build-time estimate was
+    /// wrong.
+    pub fn rejection_rate(&self) -> Option<f64> {
+        (self.samples > 0).then(|| self.iterations as f64 / self.samples as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,14 +153,30 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let stats = EngineStats::new();
-        stats.record_query(10, Duration::from_micros(5));
-        stats.record_query(20, Duration::from_micros(50));
-        stats.record_error(Duration::from_micros(1));
+        stats.record_query(10, 15, Duration::from_micros(5));
+        stats.record_query(20, 28, Duration::from_micros(50));
+        stats.record_error(7, Duration::from_micros(1));
         let snap = stats.snapshot();
         assert_eq!(snap.queries, 3);
         assert_eq!(snap.samples, 30);
+        assert_eq!(snap.iterations, 50);
         assert_eq!(snap.errors, 1);
         assert!(snap.mean_latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn rejection_rate_is_iterations_over_samples() {
+        let stats = EngineStats::new();
+        assert_eq!(stats.snapshot().rejection_rate(), None);
+        // 100 accepted samples over 250 iterations ⇒ overhead 2.5
+        stats.record_query(40, 100, Duration::from_micros(5));
+        stats.record_query(60, 150, Duration::from_micros(5));
+        let rate = stats.snapshot().rejection_rate().unwrap();
+        assert!((rate - 2.5).abs() < 1e-12, "rate = {rate}");
+        // an error that burned iterations still counts toward overhead
+        stats.record_error(50, Duration::from_micros(1));
+        let rate = stats.snapshot().rejection_rate().unwrap();
+        assert!((rate - 3.0).abs() < 1e-12, "rate = {rate}");
     }
 
     #[test]
@@ -146,9 +184,9 @@ mod tests {
         let stats = EngineStats::new();
         // 99 fast queries at ~1µs, one slow at ~1ms.
         for _ in 0..99 {
-            stats.record_query(1, Duration::from_micros(1));
+            stats.record_query(1, 1, Duration::from_micros(1));
         }
-        stats.record_query(1, Duration::from_millis(1));
+        stats.record_query(1, 1, Duration::from_millis(1));
         let snap = stats.snapshot();
         // p50 must sit in the microsecond bucket (within 2x).
         assert!(snap.p50_latency < Duration::from_micros(4), "{snap:?}");

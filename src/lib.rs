@@ -69,10 +69,12 @@ pub use srj_rtree as rtree;
 
 pub use srj_core::{
     BbstCursor, BbstIndex, BbstKdVariantCursor, BbstKdVariantIndex, BbstKdVariantSampler,
-    BbstSampler, JoinPair, JoinSampler, JoinThenSample, KdsCursor, KdsIndex, KdsRejectionCursor,
-    KdsRejectionIndex, KdsRejectionSampler, KdsSampler, MassMode, PhaseReport, RangeTreeSampler,
-    SampleConfig, SampleError, SampleIter,
+    BbstSampler, Cursor, JoinPair, JoinSampler, JoinThenSample, KdsCursor, KdsIndex,
+    KdsRejectionCursor, KdsRejectionIndex, KdsRejectionSampler, KdsSampler, MassMode, PhaseReport,
+    RangeTreeSampler, SampleConfig, SampleError, SampleIter, SamplerIndex,
 };
 pub use srj_datagen::{generate, split_rs, DatasetKind, DatasetSpec};
-pub use srj_engine::{Algorithm, Engine, EngineCache, SamplerHandle, StatsSnapshot};
+pub use srj_engine::{
+    Algorithm, Engine, EngineCache, PlanReport, SamplerHandle, ShardedIndex, StatsSnapshot,
+};
 pub use srj_geom::{Point, PointId, Rect};

@@ -197,6 +197,137 @@ fn engine_path_is_uniform_across_threads() {
     assert!(chi2 < threshold, "χ² = {chi2:.1} exceeds {threshold:.1}");
 }
 
+/// Chi-square uniformity through the **R-sharded** engine path: the
+/// sharded sampler (top-level alias over per-shard Σµ, shard re-picked
+/// every iteration) must produce the same uniform distribution over `J`
+/// as the unsharded engine — same support, χ² within threshold, and a
+/// per-pair frequency profile statistically indistinguishable from the
+/// unsharded run.
+#[test]
+fn sharded_engine_matches_unsharded_uniformity() {
+    let r = pseudo_points(60, 101, 60.0);
+    let s = pseudo_points(90, 102, 60.0);
+    let l = 6.0;
+
+    let join = srj::join::nested_loop_join(&r, &s, l);
+    assert!(join.len() > 10, "test join too small to be meaningful");
+    let expected_support: HashSet<JoinPair> =
+        join.iter().map(|&(a, b)| JoinPair::new(a, b)).collect();
+
+    let per_pair = 60usize;
+    let draws = per_pair * join.len();
+
+    for algo in [Algorithm::Kds, Algorithm::KdsRejection, Algorithm::Bbst] {
+        let sharded = Engine::build_sharded(&r, &s, &SampleConfig::new(l), algo, 4);
+        assert_eq!(sharded.shards(), 4);
+        let samples = sharded.handle_seeded(0xC0FFEE).sample(draws).unwrap();
+
+        let mut freq: HashMap<JoinPair, usize> = HashMap::new();
+        for p in samples {
+            assert!(
+                expected_support.contains(&p),
+                "{algo} sharded: emitted a non-join pair {p:?} (bad shard remap?)"
+            );
+            *freq.entry(p).or_default() += 1;
+        }
+        assert_eq!(
+            freq.len(),
+            join.len(),
+            "{algo} sharded: some join pairs are unreachable"
+        );
+
+        // χ² against the uniform distribution over J — the same test
+        // (same threshold) the unsharded engine path passes.
+        let expected = per_pair as f64;
+        let chi2: f64 = expected_support
+            .iter()
+            .map(|p| {
+                let obs = *freq.get(p).unwrap_or(&0) as f64;
+                (obs - expected) * (obs - expected) / expected
+            })
+            .sum();
+        let df = (join.len() - 1) as f64;
+        let threshold = df + 6.0 * (2.0 * df).sqrt();
+        assert!(
+            chi2 < threshold,
+            "{algo} sharded: χ² = {chi2:.1} exceeds {threshold:.1} (df = {df})"
+        );
+
+        // two-sample χ² sharded-vs-unsharded: both draw from uniform,
+        // so the homogeneity statistic must stay within threshold too.
+        let unsharded = Engine::build(&r, &s, &SampleConfig::new(l), algo);
+        let base_samples = unsharded.handle_seeded(0xBEEF).sample(draws).unwrap();
+        let mut base_freq: HashMap<JoinPair, usize> = HashMap::new();
+        for p in base_samples {
+            *base_freq.entry(p).or_default() += 1;
+        }
+        let chi2_homog: f64 = expected_support
+            .iter()
+            .map(|p| {
+                let a = *freq.get(p).unwrap_or(&0) as f64;
+                let b = *base_freq.get(p).unwrap_or(&0) as f64;
+                // equal sample sizes: χ² = Σ (a-b)² / (a+b)
+                if a + b > 0.0 {
+                    (a - b) * (a - b) / (a + b)
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        let df_h = (join.len() - 1) as f64;
+        let threshold_h = df_h + 6.0 * (2.0 * df_h).sqrt();
+        assert!(
+            chi2_homog < threshold_h,
+            "{algo}: sharded vs unsharded distributions differ: χ² = {chi2_homog:.1} \
+             exceeds {threshold_h:.1}"
+        );
+    }
+}
+
+/// Sharded engines under real serving threads: reproducible per-seed
+/// streams and valid pairs, mirroring `concurrent_threads_share_one_engine`.
+#[test]
+fn concurrent_threads_share_one_sharded_engine() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: usize = 1_000;
+
+    let r = pseudo_points(300, 1, 80.0);
+    let s = pseudo_points(500, 2, 80.0);
+    let l = 6.0;
+    let cfg = SampleConfig::new(l);
+
+    let engine = Arc::new(Engine::build_sharded(&r, &s, &cfg, Algorithm::Bbst, 4));
+    let run_all = |engine: &Arc<Engine>| -> Vec<Vec<JoinPair>> {
+        let mut joins = Vec::new();
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|tid| {
+                    let engine = Arc::clone(engine);
+                    scope.spawn(move || {
+                        let mut h = engine.handle_seeded(0xFEED ^ tid);
+                        h.sample(PER_THREAD).expect("non-empty join must sample")
+                    })
+                })
+                .collect();
+            joins = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+        joins
+    };
+
+    let first = run_all(&engine);
+    for pairs in &first {
+        for p in pairs {
+            let w = Rect::window(r[p.r as usize], l);
+            assert!(w.contains(s[p.s as usize]), "non-join pair {p:?}");
+        }
+    }
+    let second = run_all(&engine);
+    assert_eq!(first, second, "sharded streams not reproducible");
+    let snap = engine.stats();
+    assert_eq!(snap.samples, 2 * THREADS * PER_THREAD as u64);
+    assert!(snap.iterations >= snap.samples);
+}
+
 /// The engine cache: one build per `(dataset, l)`, hits share the
 /// index, and concurrent lookers all get a working engine.
 #[test]
