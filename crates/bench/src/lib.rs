@@ -24,4 +24,4 @@ pub use runner::{
     build_bbst, build_bbst_with, build_kds, build_kds_with, build_rejection, build_rejection_with,
     build_variant, run_sampler, RunOutcome,
 };
-pub use scaling::{bench_pr2, build_sweep, serving_throughput};
+pub use scaling::{bench_pr2, build_sweep, host_cores, percentile_sorted, serving_throughput};

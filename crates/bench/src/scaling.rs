@@ -29,6 +29,24 @@ fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Available cores on this host — recorded in every machine-readable
+/// bench summary (`BENCH_PR2.json`, `BENCH_PR3.json`) so throughput
+/// and speedup claims measured on single-core CI boxes stay honest.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample (`q` in
+/// `[0, 1]`); `0` for an empty sample. Shared by the loadgen's
+/// client-observed latency reporting.
+pub fn percentile_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// One algorithm's build measured at one `build_threads` setting.
 pub struct BuildPoint {
     /// `build_threads` used.
@@ -119,12 +137,7 @@ pub fn bench_pr2(cfg: &ExpConfig) -> String {
     let mut out = String::new();
     writeln!(out, "{{").unwrap();
     writeln!(out, "  \"pr\": 2,").unwrap();
-    writeln!(
-        out,
-        "  \"host_cores\": {},",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    )
-    .unwrap();
+    writeln!(out, "  \"host_cores\": {},", host_cores()).unwrap();
     writeln!(
         out,
         "  \"dataset\": {{\"kind\": \"{}\", \"scale\": {}, \"n\": {}, \"m\": {}, \"l\": {}}},",

@@ -44,9 +44,12 @@ use crate::traits::JoinSampler;
 /// and independent.
 pub struct BbstIndex {
     r_points: Vec<Point>,
-    grid: Grid,
+    /// `Arc`-held so a sharded engine can build the `S`-side structures
+    /// once and share them across every shard (see
+    /// [`BbstIndex::build_shared`]).
+    grid: Arc<Grid>,
     /// Per-cell BBST pairs, parallel to `grid.cells()`.
-    cell_structs: Vec<CellBbsts>,
+    cell_structs: Arc<Vec<CellBbsts>>,
     /// Per-`r` cell distributions (`A_r` in Algorithm 1).
     rows: Vec<CumulativeRow9>,
     /// Global alias over `µ(r)` (`A` in Algorithm 1).
@@ -59,6 +62,39 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<BbstIndex>();
 };
+
+/// The `S`-side of a [`BbstIndex`] (phase 1 of Algorithm 1): the grid
+/// and the per-cell BBSTs, `Arc`-held so many indexes — e.g. the shards
+/// of a sharded engine — can be built over one copy. Produced by
+/// [`BbstIndex::build_s_structures`], consumed by
+/// [`BbstIndex::build_shared`].
+pub struct BbstSStructures {
+    grid: Arc<Grid>,
+    cell_structs: Arc<Vec<CellBbsts>>,
+    /// Wall-clock of the offline x-sort.
+    pub preprocessing: std::time::Duration,
+    /// Wall-clock of grid construction + per-cell BBST builds.
+    pub grid_mapping: std::time::Duration,
+}
+
+impl BbstSStructures {
+    /// Heap bytes of the shared structures.
+    pub fn memory_bytes(&self) -> usize {
+        s_side_memory_bytes(&self.grid, &self.cell_structs)
+    }
+}
+
+/// Heap bytes of a BBST `S`-side (grid + per-cell BBSTs) — the one
+/// accounting both [`BbstSStructures::memory_bytes`] and the index's
+/// `shared_memory_bytes` report, so the sharded-engine memory dedup
+/// can't drift from the shared-structure footprint.
+fn s_side_memory_bytes(grid: &Grid, cell_structs: &[CellBbsts]) -> usize {
+    grid.memory_bytes()
+        + cell_structs
+            .iter()
+            .map(CellBbsts::memory_bytes)
+            .sum::<usize>()
+}
 
 impl BbstIndex {
     /// Runs phases 1 and 2 of Algorithm 1.
@@ -104,6 +140,81 @@ impl BbstIndex {
         Self::finish_build(r, grid, config, std::time::Duration::ZERO, grid_build_time)
     }
 
+    /// Phase 1 tail: the per-cell BBSTs, built on
+    /// `config.build_threads` threads. Each cell's pair of BBSTs
+    /// depends only on that cell's x-sorted ids and the immutable point
+    /// slice, so the parallel build is bit-identical to the serial one
+    /// ([`par_map`] re-concatenates per-chunk outputs in cell order).
+    pub fn build_cells(grid: &Grid, config: &SampleConfig) -> Vec<CellBbsts> {
+        let cap = bucket_capacity(grid.num_points());
+        let (cells, _par) = par_map(grid.cells(), config.build_threads, |_, c| {
+            if config.use_cascading {
+                CellBbsts::build_cascading(grid.points(), &c.by_x, cap)
+            } else {
+                CellBbsts::build(grid.points(), &c.by_x, cap)
+            }
+        });
+        cells
+    }
+
+    /// Builds only the `S`-side structures (grid + per-cell BBSTs) and
+    /// records what phase 1 cost. A sharded engine calls this once and
+    /// hands the result to every per-shard [`BbstIndex::build_shared`],
+    /// so the `S`-side is built — and held in memory — exactly once.
+    pub fn build_s_structures(s: &[Point], config: &SampleConfig) -> BbstSStructures {
+        let t0 = Instant::now();
+        let mut x_order: Vec<PointId> = (0..s.len() as u32).collect();
+        x_order.sort_unstable_by(|&a, &b| s[a as usize].x.total_cmp(&s[b as usize].x));
+        let preprocessing = t0.elapsed();
+
+        let t1 = Instant::now();
+        let grid = Grid::build_from_sorted(s, &x_order, config.half_extent);
+        drop(x_order);
+        let cell_structs = Self::build_cells(&grid, config);
+        BbstSStructures {
+            grid: Arc::new(grid),
+            cell_structs: Arc::new(cell_structs),
+            preprocessing,
+            grid_mapping: t1.elapsed(),
+        }
+    }
+
+    /// Like [`BbstIndex::build`], but over already-built `S`-side
+    /// structures (from [`BbstIndex::build_s_structures`]). Their build
+    /// time is charged to whoever built them, so this index's report
+    /// records zero preprocessing / grid-mapping.
+    ///
+    /// # Panics
+    /// Panics if the structures were built for a different
+    /// configuration — a grid whose cell side differs from
+    /// `config.half_extent` would silently undercount windows (the 3×3
+    /// decomposition assumes cell side = `l`), and a cascading
+    /// mismatch would bound with the wrong mass mode.
+    pub fn build_shared(r: &[Point], config: &SampleConfig, s_side: &BbstSStructures) -> Self {
+        assert!(
+            s_side.grid.cell_side().to_bits() == config.half_extent.to_bits(),
+            "shared grid cell side ({}) must equal the window half-extent ({})",
+            s_side.grid.cell_side(),
+            config.half_extent
+        );
+        assert!(
+            s_side
+                .cell_structs
+                .first()
+                .is_none_or(|c| c.is_cascading() == config.use_cascading),
+            "shared per-cell BBSTs were built with the opposite cascading mode"
+        );
+        let zero = std::time::Duration::ZERO;
+        Self::build_inner(
+            r,
+            Arc::clone(&s_side.grid),
+            Arc::clone(&s_side.cell_structs),
+            config,
+            zero,
+            zero,
+        )
+    }
+
     /// Phase 1 tail (per-cell BBSTs) + phase 2, over a ready grid.
     fn finish_build(
         r: &[Point],
@@ -114,20 +225,27 @@ impl BbstIndex {
     ) -> Self {
         // Phase 1 (remainder): per-cell BBSTs.
         let t1 = Instant::now();
-        let cap = bucket_capacity(grid.num_points());
-        let cell_structs: Vec<CellBbsts> = grid
-            .cells()
-            .iter()
-            .map(|c| {
-                if config.use_cascading {
-                    CellBbsts::build_cascading(grid.points(), &c.by_x, cap)
-                } else {
-                    CellBbsts::build(grid.points(), &c.by_x, cap)
-                }
-            })
-            .collect();
+        let cell_structs = Self::build_cells(&grid, config);
         let grid_mapping = grid_time_so_far + t1.elapsed();
+        Self::build_inner(
+            r,
+            Arc::new(grid),
+            Arc::new(cell_structs),
+            config,
+            preprocessing,
+            grid_mapping,
+        )
+    }
 
+    /// Phase 2 over ready `S`-side structures.
+    fn build_inner(
+        r: &[Point],
+        grid: Arc<Grid>,
+        cell_structs: Arc<Vec<CellBbsts>>,
+        config: &SampleConfig,
+        preprocessing: std::time::Duration,
+        grid_mapping: std::time::Duration,
+    ) -> Self {
         // Phase 2: upper bounds, per-r rows, global alias. The per-r
         // loop (Lemma 4's O(n log m) — the dominant build phase) runs
         // on `config.build_threads` threads; each element reads only
@@ -290,6 +408,17 @@ impl SamplerIndex for BbstIndex {
 
     fn index_memory_bytes(&self) -> usize {
         self.memory_bytes()
+    }
+
+    fn shared_memory_bytes(&self) -> usize {
+        s_side_memory_bytes(&self.grid, &self.cell_structs)
+    }
+
+    fn shared_memory_token(&self) -> usize {
+        // The grid and the per-cell BBSTs are always shared together
+        // (both come from `build_s_structures`), so one token covers
+        // both.
+        Arc::as_ptr(&self.grid) as usize
     }
 }
 

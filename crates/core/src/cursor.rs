@@ -90,6 +90,28 @@ pub trait SamplerIndex: Send + Sync {
 
     /// Approximate heap footprint of the retained structures.
     fn index_memory_bytes(&self) -> usize;
+
+    /// Heap bytes of the `S`-side structures this index holds through
+    /// an `Arc` and may therefore share with sibling indexes (a sharded
+    /// engine builds the kd-tree / grid / per-cell BBSTs once and
+    /// clones the `Arc` into every shard). Included in
+    /// [`SamplerIndex::index_memory_bytes`]; an aggregator subtracts it
+    /// for every index after the first that reports the same
+    /// [`SamplerIndex::shared_memory_token`]. `0` when nothing is
+    /// shareable.
+    fn shared_memory_bytes(&self) -> usize {
+        0
+    }
+
+    /// Identity of the shared `S`-side allocation (the `Arc`'s pointer
+    /// address): two indexes returning the same non-zero token hold the
+    /// *same* structures, so their [`shared_memory_bytes`] must be
+    /// counted once. `0` means "nothing shared".
+    ///
+    /// [`shared_memory_bytes`]: SamplerIndex::shared_memory_bytes
+    fn shared_memory_token(&self) -> usize {
+        0
+    }
 }
 
 /// Cheap per-thread query state over a shared index: scratch buffers

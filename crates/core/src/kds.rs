@@ -30,7 +30,9 @@ use crate::traits::JoinSampler;
 /// Total: `O((n + t)√m)` time, `O(n + m)` space.
 pub struct KdsIndex {
     r_points: Vec<Point>,
-    tree: KdTree,
+    /// `Arc`-held so a sharded engine can build the tree over `S` once
+    /// and share it across every shard (see [`KdsIndex::build_shared`]).
+    tree: Arc<KdTree>,
     alias: Option<AliasTable>,
     join_size: u64,
     config: SampleConfig,
@@ -51,10 +53,34 @@ impl KdsIndex {
     /// runs on [`SampleConfig::build_threads`] threads; results are
     /// bit-identical at any thread count (see [`crate::parallel`]).
     pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
-        let t0 = Instant::now();
-        let tree = KdTree::build(s);
-        let preprocessing = t0.elapsed();
+        let (tree, preprocessing) = Self::build_s_structure(s);
+        Self::build_inner(r, tree, config, preprocessing)
+    }
 
+    /// Builds only the `S`-side structure (the kd-tree) and reports how
+    /// long it took. A sharded engine calls this once and hands `Arc`
+    /// clones to every per-shard [`KdsIndex::build_shared`], so the
+    /// tree is built — and held in memory — exactly once.
+    pub fn build_s_structure(s: &[Point]) -> (Arc<KdTree>, std::time::Duration) {
+        let t0 = Instant::now();
+        let tree = Arc::new(KdTree::build(s));
+        (tree, t0.elapsed())
+    }
+
+    /// Like [`KdsIndex::build`], but over an already-built kd-tree
+    /// (from [`KdsIndex::build_s_structure`]). The tree's build time is
+    /// charged to whoever built it, so this index's report records zero
+    /// preprocessing.
+    pub fn build_shared(r: &[Point], tree: Arc<KdTree>, config: &SampleConfig) -> Self {
+        Self::build_inner(r, tree, config, std::time::Duration::ZERO)
+    }
+
+    fn build_inner(
+        r: &[Point],
+        tree: Arc<KdTree>,
+        config: &SampleConfig,
+        preprocessing: std::time::Duration,
+    ) -> Self {
         let t1 = Instant::now();
         let (weights, par) = par_map(r, config.build_threads, |_, &rp| {
             tree.range_count(&Rect::window(rp, config.half_extent)) as f64
@@ -144,6 +170,14 @@ impl SamplerIndex for KdsIndex {
 
     fn index_memory_bytes(&self) -> usize {
         self.memory_bytes()
+    }
+
+    fn shared_memory_bytes(&self) -> usize {
+        self.tree.memory_bytes()
+    }
+
+    fn shared_memory_token(&self) -> usize {
+        Arc::as_ptr(&self.tree) as usize
     }
 }
 

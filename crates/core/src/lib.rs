@@ -61,7 +61,7 @@ mod rejection;
 mod traits;
 mod variant;
 
-pub use bbst_alg::{BbstCursor, BbstIndex, BbstSampler};
+pub use bbst_alg::{BbstCursor, BbstIndex, BbstSStructures, BbstSampler};
 pub use config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 pub use cursor::{Cursor, SamplerIndex};
 pub use kds::{KdsCursor, KdsIndex, KdsSampler};

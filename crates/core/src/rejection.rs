@@ -31,8 +31,11 @@ use crate::traits::JoinSampler;
 /// Expected `O(n + m + n·m^1.5·t/|J|)` time, `O(n + m)` space.
 pub struct KdsRejectionIndex {
     r_points: Vec<Point>,
-    tree: KdTree,
-    grid: Grid,
+    /// `Arc`-held so a sharded engine can build the `S`-side structures
+    /// once and share them across every shard (see
+    /// [`KdsRejectionIndex::build_shared`]).
+    tree: Arc<KdTree>,
+    grid: Arc<Grid>,
     /// Per-`r` upper bounds `µ(r)` (the alias weights).
     mu: Vec<f64>,
     alias: Option<AliasTable>,
@@ -55,6 +58,54 @@ impl KdsRejectionIndex {
         Self::build_with_grid(r, s, config, grid, grid_mapping)
     }
 
+    /// Builds only the `S`-side structures (kd-tree + grid) and reports
+    /// the time each took. A sharded engine calls this once and hands
+    /// `Arc` clones to every per-shard
+    /// [`KdsRejectionIndex::build_shared`], so the `S`-side is built —
+    /// and held in memory — exactly once.
+    #[allow(clippy::type_complexity)]
+    pub fn build_s_structures(
+        s: &[Point],
+        config: &SampleConfig,
+    ) -> (
+        Arc<KdTree>,
+        Arc<Grid>,
+        std::time::Duration,
+        std::time::Duration,
+    ) {
+        let t0 = Instant::now();
+        let tree = Arc::new(KdTree::build(s));
+        let preprocessing = t0.elapsed();
+        let t1 = Instant::now();
+        let grid = Arc::new(Grid::build(s, config.half_extent));
+        (tree, grid, preprocessing, t1.elapsed())
+    }
+
+    /// Like [`KdsRejectionIndex::build`], but over already-built
+    /// `S`-side structures (from
+    /// [`KdsRejectionIndex::build_s_structures`]). Their build time is
+    /// charged to whoever built them, so this index's report records
+    /// zero preprocessing / grid-mapping.
+    ///
+    /// # Panics
+    /// Panics if the grid's cell side differs from
+    /// `config.half_extent`, or the tree and grid cover different point
+    /// counts (they must both be over the same `S`).
+    pub fn build_shared(
+        r: &[Point],
+        tree: Arc<KdTree>,
+        grid: Arc<Grid>,
+        config: &SampleConfig,
+    ) -> Self {
+        assert_eq!(
+            tree.len(),
+            grid.num_points(),
+            "kd-tree and grid must cover the same S"
+        );
+        let zero = std::time::Duration::ZERO;
+        Self::build_inner(r, tree, grid, config, zero, zero)
+    }
+
     /// Like [`KdsRejectionIndex::build`], but reuses a grid the caller
     /// already built over `s` with cell side `config.half_extent`
     /// (e.g. the planner's estimation grid — `srj-engine` uses this to
@@ -73,18 +124,34 @@ impl KdsRejectionIndex {
         grid: Grid,
         grid_build_time: std::time::Duration,
     ) -> Self {
+        assert_eq!(grid.num_points(), s.len(), "grid must cover s");
+        let t0 = Instant::now();
+        let tree = Arc::new(KdTree::build(s));
+        let preprocessing = t0.elapsed();
+        Self::build_inner(
+            r,
+            tree,
+            Arc::new(grid),
+            config,
+            preprocessing,
+            grid_build_time,
+        )
+    }
+
+    fn build_inner(
+        r: &[Point],
+        tree: Arc<KdTree>,
+        grid: Arc<Grid>,
+        config: &SampleConfig,
+        preprocessing: std::time::Duration,
+        grid_mapping: std::time::Duration,
+    ) -> Self {
         assert!(
             grid.cell_side().to_bits() == config.half_extent.to_bits(),
             "grid cell side ({}) must equal the window half-extent ({})",
             grid.cell_side(),
             config.half_extent
         );
-        assert_eq!(grid.num_points(), s.len(), "grid must cover s");
-        let grid_mapping = grid_build_time;
-
-        let t0 = Instant::now();
-        let tree = KdTree::build(s);
-        let preprocessing = t0.elapsed();
 
         let t2 = Instant::now();
         let (mu, par) = par_map(r, config.build_threads, |_, &rp| {
@@ -187,6 +254,16 @@ impl SamplerIndex for KdsRejectionIndex {
 
     fn index_memory_bytes(&self) -> usize {
         self.memory_bytes()
+    }
+
+    fn shared_memory_bytes(&self) -> usize {
+        self.tree.memory_bytes() + self.grid.memory_bytes()
+    }
+
+    fn shared_memory_token(&self) -> usize {
+        // The tree and grid are always shared together (both come from
+        // `build_s_structures`), so one token covers both.
+        Arc::as_ptr(&self.tree) as usize
     }
 }
 

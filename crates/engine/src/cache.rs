@@ -8,23 +8,34 @@
 //! it is later evicted.
 //!
 //! Keys: a caller-chosen `u64` dataset identifier (version it when the
-//! data changes!), the exact bit pattern of `l`, and the shard count.
-//! Two `l` values that differ in the last mantissa bit are different
-//! keys — the cache never answers with an index built for a different
-//! window size — and an unsharded engine is never answered for a
-//! sharded request (the shard layout changes the serving topology even
-//! though the sample distribution is identical).
+//! data changes!), the exact bit pattern of `l`, the shard count, and
+//! the requested algorithm (`None` = planner's choice). Two `l` values
+//! that differ in the last mantissa bit are different keys — the cache
+//! never answers with an index built for a different window size — an
+//! unsharded engine is never answered for a sharded request (the shard
+//! layout changes the serving topology even though the sample
+//! distribution is identical), and a forced-algorithm request (the
+//! network front-end exposes one) is never answered with a different
+//! algorithm's engine.
 
 use std::sync::Mutex;
 
-use crate::Engine;
+use crate::{Algorithm, Engine};
 
-/// Cache key: dataset id + exact `l` bits + shard count.
+/// Cache key: dataset id + exact `l` bits + shard count + requested
+/// algorithm (`None` = "let the planner pick").
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 struct CacheKey {
     dataset: u64,
     l_bits: u64,
     shards: usize,
+    /// `None` for planner-chosen (auto) engines. A forced-algorithm
+    /// request must never be answered with an engine built for a
+    /// different algorithm — the network front-end lets clients force
+    /// any of the three — so the requested algorithm is part of the
+    /// identity. Auto and forced entries are distinct even when the
+    /// planner would have picked the same algorithm.
+    algorithm: Option<Algorithm>,
 }
 
 struct CacheEntry {
@@ -78,12 +89,27 @@ impl EngineCache {
     }
 
     /// The engine for `(dataset, l, shards)` if cached, refreshing its
-    /// recency.
+    /// recency. Shorthand for [`EngineCache::get_keyed`] with no forced
+    /// algorithm.
     pub fn get_sharded(&self, dataset: u64, l: f64, shards: usize) -> Option<Engine> {
+        self.get_keyed(dataset, l, shards, None)
+    }
+
+    /// The engine for `(dataset, l, shards, algorithm)` if cached,
+    /// refreshing its recency. `algorithm: None` addresses the
+    /// planner-chosen (auto) entry for the workload.
+    pub fn get_keyed(
+        &self,
+        dataset: u64,
+        l: f64,
+        shards: usize,
+        algorithm: Option<Algorithm>,
+    ) -> Option<Engine> {
         let key = CacheKey {
             dataset,
             l_bits: l.to_bits(),
             shards: shards.max(1),
+            algorithm,
         };
         let mut inner = self.inner.lock().expect("engine cache poisoned");
         inner.tick += 1;
@@ -118,7 +144,22 @@ impl EngineCache {
         shards: usize,
         build: impl FnOnce() -> Engine,
     ) -> Engine {
-        if let Some(hit) = self.get_sharded(dataset, l, shards) {
+        self.get_or_build_keyed(dataset, l, shards, None, build)
+    }
+
+    /// The engine for `(dataset, l, shards, algorithm)`, building it
+    /// with `build` on a miss and caching the result. `build` must
+    /// produce an engine matching the key (shard count and, when
+    /// `algorithm` is `Some`, that algorithm).
+    pub fn get_or_build_keyed(
+        &self,
+        dataset: u64,
+        l: f64,
+        shards: usize,
+        algorithm: Option<Algorithm>,
+        build: impl FnOnce() -> Engine,
+    ) -> Engine {
+        if let Some(hit) = self.get_keyed(dataset, l, shards, algorithm) {
             return hit;
         }
         // Build outside the lock: concurrent misses on *different* keys
@@ -128,6 +169,7 @@ impl EngineCache {
             dataset,
             l_bits: l.to_bits(),
             shards: shards.max(1),
+            algorithm,
         };
         let mut inner = self.inner.lock().expect("engine cache poisoned");
         inner.tick += 1;
@@ -243,6 +285,34 @@ mod tests {
         assert_eq!(cache.get(1, 5.0).unwrap().shards(), 1);
         assert_eq!(cache.get_sharded(1, 5.0, 4).unwrap().shards(), 4);
         assert!(cache.get_sharded(1, 5.0, 2).is_none());
+    }
+
+    #[test]
+    fn requested_algorithm_is_part_of_the_key() {
+        let cache = EngineCache::new(4);
+        let auto = cache.get_or_build_keyed(1, 5.0, 1, None, || tiny_engine(5.0));
+        let forced = cache.get_or_build_keyed(1, 5.0, 1, Some(Algorithm::Bbst), || {
+            let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64, i as f64)).collect();
+            Engine::build(&pts, &pts, &SampleConfig::new(5.0), Algorithm::Bbst)
+        });
+        assert_eq!(cache.len(), 2, "auto and forced must not collide");
+        assert_eq!(auto.algorithm(), Algorithm::Kds);
+        assert_eq!(forced.algorithm(), Algorithm::Bbst);
+        // hits resolve to the matching request
+        assert_eq!(
+            cache.get_keyed(1, 5.0, 1, None).unwrap().algorithm(),
+            Algorithm::Kds
+        );
+        assert_eq!(
+            cache
+                .get_keyed(1, 5.0, 1, Some(Algorithm::Bbst))
+                .unwrap()
+                .algorithm(),
+            Algorithm::Bbst
+        );
+        assert!(cache.get_keyed(1, 5.0, 1, Some(Algorithm::Kds)).is_none());
+        // the plain getters address the auto entry
+        assert_eq!(cache.get(1, 5.0).unwrap().algorithm(), Algorithm::Kds);
     }
 
     #[test]

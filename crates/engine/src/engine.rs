@@ -136,21 +136,65 @@ impl Engine {
             build_threads: 1,
             ..*config
         };
+        // The S-side structures (kd-tree / grid / per-cell BBSTs)
+        // depend only on `S`, never on the shard's slice of `R`, so
+        // they are built ONCE — with the full `build_threads` budget —
+        // and Arc-shared into every shard: k shards cost one S-side,
+        // not k (`ShardedIndex::index_memory_bytes` counts the shared
+        // allocation once). The S-side build time is folded into the
+        // sharded report via `build_with_base`.
         let index = match algorithm {
             Algorithm::Kds => {
-                IndexKind::ShardedKds(Arc::new(ShardedIndex::build(r, config, shards, |chunk| {
-                    KdsIndex::build(chunk, s, &shard_cfg)
-                })))
+                let (tree, preprocessing) = KdsIndex::build_s_structure(s);
+                let base = PhaseReport {
+                    preprocessing,
+                    ..PhaseReport::default()
+                };
+                IndexKind::ShardedKds(Arc::new(ShardedIndex::build_with_base(
+                    r,
+                    config,
+                    shards,
+                    base,
+                    |chunk| KdsIndex::build_shared(chunk, Arc::clone(&tree), &shard_cfg),
+                )))
             }
-            Algorithm::KdsRejection => IndexKind::ShardedKdsRejection(Arc::new(
-                ShardedIndex::build(r, config, shards, |chunk| {
-                    KdsRejectionIndex::build(chunk, s, &shard_cfg)
-                }),
-            )),
+            Algorithm::KdsRejection => {
+                let (tree, grid, preprocessing, grid_mapping) =
+                    KdsRejectionIndex::build_s_structures(s, config);
+                let base = PhaseReport {
+                    preprocessing,
+                    grid_mapping,
+                    ..PhaseReport::default()
+                };
+                IndexKind::ShardedKdsRejection(Arc::new(ShardedIndex::build_with_base(
+                    r,
+                    config,
+                    shards,
+                    base,
+                    |chunk| {
+                        KdsRejectionIndex::build_shared(
+                            chunk,
+                            Arc::clone(&tree),
+                            Arc::clone(&grid),
+                            &shard_cfg,
+                        )
+                    },
+                )))
+            }
             Algorithm::Bbst => {
-                IndexKind::ShardedBbst(Arc::new(ShardedIndex::build(r, config, shards, |chunk| {
-                    BbstIndex::build(chunk, s, &shard_cfg)
-                })))
+                let s_side = BbstIndex::build_s_structures(s, config);
+                let base = PhaseReport {
+                    preprocessing: s_side.preprocessing,
+                    grid_mapping: s_side.grid_mapping,
+                    ..PhaseReport::default()
+                };
+                IndexKind::ShardedBbst(Arc::new(ShardedIndex::build_with_base(
+                    r,
+                    config,
+                    shards,
+                    base,
+                    |chunk| BbstIndex::build_shared(chunk, &shard_cfg, &s_side),
+                )))
             }
         };
         Engine {
@@ -196,8 +240,9 @@ impl Engine {
     /// Shard-aware [`Engine::auto`]: the planner picks the algorithm,
     /// then the build is `R`-sharded into `shards` shards ([`PlanReport`]
     /// records the shard count it planned for). The planner's grid
-    /// donation only applies to the unsharded path — per-shard indexes
-    /// each build their own `S`-side structures.
+    /// donation only applies to the unsharded path; the sharded build
+    /// still builds its `S`-side structures only once, `Arc`-shared
+    /// across all shards.
     pub fn auto_sharded(r: &[Point], s: &[Point], config: &SampleConfig, shards: usize) -> Engine {
         if shards <= 1 {
             return Engine::auto(r, s, config);

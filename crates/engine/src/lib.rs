@@ -293,6 +293,29 @@ mod tests {
     }
 
     #[test]
+    fn sharded_engines_share_one_s_side() {
+        // m ≫ n makes the S-side dominate the footprint: before the
+        // Arc-sharing, a k-shard engine paid ~k× the unsharded memory;
+        // now it pays one S-side plus k small R-sides.
+        let r = pseudo_points(200, 95, 60.0);
+        let s = pseudo_points(4_000, 96, 60.0);
+        let cfg = SampleConfig::new(5.0);
+        for algo in [Algorithm::Kds, Algorithm::KdsRejection, Algorithm::Bbst] {
+            let unsharded = Engine::build(&r, &s, &cfg, algo);
+            let sharded = Engine::build_sharded(&r, &s, &cfg, algo, 4);
+            assert!(
+                sharded.memory_bytes() < 2 * unsharded.memory_bytes(),
+                "{algo}: sharded {} vs unsharded {}",
+                sharded.memory_bytes(),
+                unsharded.memory_bytes()
+            );
+            // and the build report still covers the S-side phases
+            let rep = sharded.build_report();
+            assert!(rep.upper_bounding > std::time::Duration::ZERO);
+        }
+    }
+
+    #[test]
     fn sharded_and_unsharded_report_one_vs_k_shards() {
         let r = pseudo_points(100, 91, 40.0);
         let s = pseudo_points(100, 92, 40.0);

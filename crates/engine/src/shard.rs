@@ -79,6 +79,25 @@ impl<I: SamplerIndex> ShardedIndex<I> {
     where
         F: Fn(&[Point]) -> I + Sync,
     {
+        Self::build_with_base(r, config, num_shards, PhaseReport::default(), build_shard)
+    }
+
+    /// Like [`ShardedIndex::build`], but folds `base` — the phase
+    /// report of work the caller did up front, e.g. building the
+    /// `Arc`-shared `S`-side structures every shard reuses — into the
+    /// aggregated report, so the sharded engine's build accounting
+    /// still covers the whole build even though the shared part
+    /// happened outside this call.
+    pub fn build_with_base<F>(
+        r: &[Point],
+        config: &SampleConfig,
+        num_shards: usize,
+        base: PhaseReport,
+        build_shard: F,
+    ) -> Self
+    where
+        F: Fn(&[Point]) -> I + Sync,
+    {
         let bounds = shard_bounds(r.len(), num_shards);
         let t0 = Instant::now();
         let (shards, par) = par_map(&bounds, config.build_threads, |_, &(lo, hi)| {
@@ -99,8 +118,10 @@ impl<I: SamplerIndex> ShardedIndex<I> {
         // are finer-grained, so prefer them but never report less CPU
         // than the map actually measured.
         let build_report = PhaseReport {
-            upper_bounding: wall,
-            upper_bounding_cpu: cpu.max(par.cpu),
+            preprocessing: base.preprocessing,
+            grid_mapping: base.grid_mapping,
+            upper_bounding: base.upper_bounding + wall,
+            upper_bounding_cpu: base.upper_bounding_cpu + cpu.max(par.cpu),
             ..PhaseReport::default()
         };
 
@@ -173,7 +194,36 @@ impl<I: SamplerIndex> SamplerIndex for ShardedIndex<I> {
     }
 
     fn index_memory_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.index_memory_bytes()).sum()
+        // Shards built over Arc-shared S-side structures (one kd-tree /
+        // grid / BBST set for all of them) report the same non-zero
+        // shared-memory token; count that allocation once, not per
+        // shard.
+        let mut seen_tokens: Vec<usize> = Vec::new();
+        self.shards
+            .iter()
+            .map(|s| {
+                let token = s.shared_memory_token();
+                if token != 0 && seen_tokens.contains(&token) {
+                    s.index_memory_bytes() - s.shared_memory_bytes()
+                } else {
+                    if token != 0 {
+                        seen_tokens.push(token);
+                    }
+                    s.index_memory_bytes()
+                }
+            })
+            .sum()
+    }
+
+    fn shared_memory_bytes(&self) -> usize {
+        // A sharded index can itself be wrapped; its dedupable part is
+        // the first shard's shared S-side (all shards agree when built
+        // shared).
+        self.shards[0].shared_memory_bytes()
+    }
+
+    fn shared_memory_token(&self) -> usize {
+        self.shards[0].shared_memory_token()
     }
 }
 
@@ -288,6 +338,47 @@ mod tests {
         let cfg = SampleConfig::new(8.0);
         let sharded = ShardedIndex::build(&r, &cfg, 16, |chunk| BbstIndex::build(chunk, &s, &cfg));
         assert_eq!(sharded.shard_count(), 3);
+    }
+
+    #[test]
+    fn shared_s_side_is_counted_once_in_memory() {
+        let r = pseudo_points(300, 61, 60.0);
+        let s = pseudo_points(2_000, 62, 60.0);
+        let cfg = SampleConfig::new(5.0);
+        let k = 4;
+
+        // Baseline: every shard builds (and is charged for) its own
+        // S-side structures.
+        let duplicated =
+            ShardedIndex::build(&r, &cfg, k, |chunk| BbstIndex::build(chunk, &s, &cfg));
+
+        // Shared: one S-side, Arc-cloned into every shard.
+        let s_side = srj_core::BbstIndex::build_s_structures(&s, &cfg);
+        let shared = ShardedIndex::build(&r, &cfg, k, |chunk| {
+            BbstIndex::build_shared(chunk, &cfg, &s_side)
+        });
+
+        // Identical serving behaviour...
+        assert_eq!(shared.mu_total(), duplicated.mu_total());
+        let mut a = Cursor::new(Arc::new(shared));
+        let mut b = Cursor::new(Arc::new(duplicated));
+        let mut rng_a = SmallRng::seed_from_u64(7);
+        let mut rng_b = SmallRng::seed_from_u64(7);
+        assert_eq!(
+            a.sample(200, &mut rng_a).unwrap(),
+            b.sample(200, &mut rng_b).unwrap()
+        );
+
+        // ...but the shared build stops paying k× for the S-side: its
+        // footprint must drop by at least (k−1)/k of one S-side copy
+        // (the per-shard R-side remains).
+        let shared_bytes = a.index().index_memory_bytes();
+        let duplicated_bytes = b.index().index_memory_bytes();
+        let one_s_side = s_side.memory_bytes();
+        assert!(
+            shared_bytes + (k - 1) * one_s_side <= duplicated_bytes,
+            "shared {shared_bytes} vs duplicated {duplicated_bytes} (S-side {one_s_side}, k {k})"
+        );
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! `srj-loadgen` — concurrent load generator for `srj-serve`.
+//!
+//! ```sh
+//! srj-loadgen --addr 127.0.0.1:7878 --clients 4 --requests 8 --t 50000
+//! srj-loadgen --addr 127.0.0.1:7878 --clients 1 --shutdown   # CI smoke
+//! ```
+//!
+//! Spawns `--clients` threads, each holding one connection and issuing
+//! `--requests` sequential `SAMPLE` requests of `--t` samples; reports
+//! the achieved samples/sec and the client-observed per-request p50 /
+//! p99 latency, and writes the machine-readable `BENCH_PR3.json`
+//! (`host_cores` included, as with `BENCH_PR2.json` — single-core CI
+//! boxes cannot show parallel speedup). Exits non-zero on any
+//! non-`Ok` request status or transport error.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use srj_bench::{host_cores, percentile_sorted};
+use srj_server::{Algorithm, Client, RequestStatus, SampleRequest};
+
+const USAGE: &str = "usage: srj-loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--t N]
+                   [--dataset ID] [--l F] [--algo auto|kds|kds-rejection|bbst]
+                   [--shards N] [--out PATH] [--shutdown]
+  Defaults: --addr 127.0.0.1:7878 --clients 4 --requests 8 --t 50000
+            --dataset 1 --l 100 --algo auto --shards 1 --out BENCH_PR3.json";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+struct ClientOutcome {
+    samples: u64,
+    latencies_ns: Vec<u64>,
+    errors: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut clients: usize = 4;
+    let mut requests: usize = 8;
+    let mut t: u64 = 50_000;
+    let mut dataset: u64 = 1;
+    let mut l: f64 = 100.0;
+    let mut algo_str = "auto".to_string();
+    let mut shards: u32 = 1;
+    let mut out_path = "BENCH_PR3.json".to_string();
+    let mut shutdown = false;
+
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> String {
+        let Some(v) = args.get(*i + 1) else {
+            fail(&format!("{flag} requires a value"));
+        };
+        *i += 2;
+        v.clone()
+    };
+    macro_rules! parse_flag {
+        ($target:ident, $flag:literal, $what:literal) => {
+            $target = value(&args, &mut i, $flag)
+                .parse()
+                .unwrap_or_else(|_| fail(concat!($flag, " takes ", $what)))
+        };
+    }
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = value(&args, &mut i, "--addr"),
+            "--clients" => parse_flag!(clients, "--clients", "an integer"),
+            "--requests" => parse_flag!(requests, "--requests", "an integer"),
+            "--t" => parse_flag!(t, "--t", "an integer"),
+            "--dataset" => parse_flag!(dataset, "--dataset", "an integer"),
+            "--l" => parse_flag!(l, "--l", "a float"),
+            "--algo" => algo_str = value(&args, &mut i, "--algo"),
+            "--shards" => parse_flag!(shards, "--shards", "an integer"),
+            "--out" => out_path = value(&args, &mut i, "--out"),
+            "--shutdown" => {
+                shutdown = true;
+                i += 1;
+            }
+            "--help" | "-h" => fail("srj-loadgen"),
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    let algorithm = match algo_str.as_str() {
+        "auto" => None,
+        "kds" => Some(Algorithm::Kds),
+        "kds-rejection" => Some(Algorithm::KdsRejection),
+        "bbst" => Some(Algorithm::Bbst),
+        other => fail(&format!("unknown algorithm {other:?}")),
+    };
+    let clients_n = clients.max(1);
+
+    eprintln!(
+        "# loadgen: {clients_n} clients x {requests} requests x {t} samples \
+         (dataset {dataset}, l {l}, algo {algo_str}, shards {shards}) -> {addr}"
+    );
+    let wall_start = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let addr = &addr;
+        let handles: Vec<_> = (0..clients_n)
+            .map(|cid| {
+                scope.spawn(move || {
+                    let mut out = ClientOutcome {
+                        samples: 0,
+                        latencies_ns: Vec::with_capacity(requests),
+                        errors: 0,
+                    };
+                    let mut client = match Client::connect(addr.as_str()) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("client {cid}: connect failed: {e}");
+                            out.errors += 1;
+                            return out;
+                        }
+                    };
+                    for r in 0..requests {
+                        // Nonzero seed ⇒ reproducible per-slot streams.
+                        let seed = 1 + (cid * requests + r) as u64;
+                        let start = Instant::now();
+                        let mut received = 0u64;
+                        let outcome = client.sample_with(
+                            SampleRequest {
+                                req_id: 0,
+                                dataset,
+                                l,
+                                algorithm,
+                                shards,
+                                t,
+                                seed,
+                            },
+                            |batch| received += batch.len() as u64,
+                        );
+                        let elapsed = start.elapsed();
+                        match outcome {
+                            Ok(o) if o.status == RequestStatus::Ok && received == t => {
+                                out.samples += received;
+                                out.latencies_ns
+                                    .push(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+                            }
+                            Ok(o) => {
+                                eprintln!(
+                                    "client {cid} request {r}: status {} after {received} samples",
+                                    o.status
+                                );
+                                out.errors += 1;
+                            }
+                            Err(e) => {
+                                eprintln!("client {cid} request {r}: {e}");
+                                out.errors += 1;
+                                return out;
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = wall_start.elapsed();
+
+    let total_samples: u64 = outcomes.iter().map(|o| o.samples).sum();
+    let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let samples_per_sec = total_samples as f64 / wall.as_secs_f64().max(1e-9);
+    let mean_ns = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / latencies.len() as u64
+    };
+    let p50_ns = percentile_sorted(&latencies, 0.50);
+    let p99_ns = percentile_sorted(&latencies, 0.99);
+    let ns_to_ms = |ns: u64| ns as f64 / 1e6;
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"pr\": 3,").unwrap();
+    writeln!(json, "  \"host_cores\": {},", host_cores()).unwrap();
+    writeln!(
+        json,
+        "  \"workload\": {{\"clients\": {clients_n}, \"requests_per_client\": {requests}, \
+         \"t\": {t}, \"dataset\": {dataset}, \"l\": {l}, \"algorithm\": \"{algo_str}\", \
+         \"shards\": {shards}}},"
+    )
+    .unwrap();
+    writeln!(json, "  \"total_samples\": {total_samples},").unwrap();
+    writeln!(json, "  \"errors\": {errors},").unwrap();
+    writeln!(json, "  \"wall_s\": {:.4},", wall.as_secs_f64()).unwrap();
+    writeln!(json, "  \"samples_per_sec\": {samples_per_sec:.0},").unwrap();
+    writeln!(
+        json,
+        "  \"request_latency_ms\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p99\": {:.3}}}",
+        ns_to_ms(mean_ns),
+        ns_to_ms(p50_ns),
+        ns_to_ms(p99_ns)
+    )
+    .unwrap();
+    writeln!(json, "}}").unwrap();
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("warning: could not write {out_path}: {e}");
+    } else {
+        eprintln!("# wrote {out_path}");
+    }
+
+    if shutdown {
+        match Client::connect(addr.as_str()).and_then(|mut c| {
+            c.shutdown_server()
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        }) {
+            Ok(()) => eprintln!("# sent shutdown"),
+            Err(e) => eprintln!("warning: shutdown request failed: {e}"),
+        }
+    }
+
+    if errors > 0 || total_samples == 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,170 @@
+//! `srj-serve` — stand up a sampling server.
+//!
+//! ```sh
+//! srj-serve --addr 127.0.0.1:7878 --workers 2 \
+//!           --dataset 1=uniform:0.05 --dataset 2=taxi:0.02 \
+//!           --dataset-file 9=r_points.txt,s_points.txt
+//! ```
+//!
+//! Generated datasets use the `srj-bench` scaled stand-ins for the
+//! paper's evaluation data (`kind:scale[:seed]`, kinds: uniform, road,
+//! poi, trajectory, taxi); file datasets load the plain-text point
+//! format of `srj-datagen` (`x<sep>y` per line) and are split into
+//! `R`/`S` halves unless two paths are given. The server runs until it
+//! receives a `SHUTDOWN` frame (e.g. `srj-loadgen --shutdown`) or the
+//! process is killed.
+
+use srj_bench::scaled_spec;
+use srj_datagen::{read_points_file, split_rs, DatasetKind};
+use srj_server::{DatasetRegistry, Server, ServerConfig};
+
+const USAGE: &str = "usage: srj-serve [--addr HOST:PORT] [--workers N] [--queue-frames N]
+                 [--batch-pairs N] [--cache N]
+                 [--dataset ID=KIND:SCALE[:SEED]]... [--dataset-file ID=R_PATH[,S_PATH]]...
+  KIND: uniform | road | poi | trajectory | taxi
+  Default: --addr 127.0.0.1:7878 --dataset 1=uniform:0.05";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_kind(s: &str) -> DatasetKind {
+    match s {
+        "uniform" => DatasetKind::Uniform,
+        "road" => DatasetKind::RoadLike,
+        "poi" => DatasetKind::PoiClusters,
+        "trajectory" => DatasetKind::TrajectoryLike,
+        "taxi" => DatasetKind::TaxiHotspots,
+        other => fail(&format!("unknown dataset kind {other:?}")),
+    }
+}
+
+/// `ID=KIND:SCALE[:SEED]` → a generated-and-split dataset.
+fn register_generated(registry: &mut DatasetRegistry, spec: &str) {
+    let Some((id, rest)) = spec.split_once('=') else {
+        fail("--dataset takes ID=KIND:SCALE[:SEED]");
+    };
+    let id: u64 = id
+        .parse()
+        .unwrap_or_else(|_| fail("dataset id must be a u64"));
+    let mut parts = rest.split(':');
+    let kind = parse_kind(parts.next().unwrap_or(""));
+    let scale: f64 = parts
+        .next()
+        .unwrap_or("0.05")
+        .parse()
+        .unwrap_or_else(|_| fail("dataset scale must be a float"));
+    let seed: u64 = parts.next().map_or(42, |s| {
+        s.parse()
+            .unwrap_or_else(|_| fail("dataset seed must be a u64"))
+    });
+    let d = scaled_spec(kind, scale, 0.5, seed);
+    eprintln!(
+        "# dataset {id}: {} scale {scale} -> |R| = {}, |S| = {}",
+        kind.label(),
+        d.r.len(),
+        d.s.len()
+    );
+    registry.register(id, d.r, d.s);
+}
+
+/// `ID=R_PATH[,S_PATH]` → points loaded from files (one file is split
+/// 50/50 into `R` and `S`, the paper's assignment).
+fn register_file(registry: &mut DatasetRegistry, spec: &str) {
+    let Some((id, paths)) = spec.split_once('=') else {
+        fail("--dataset-file takes ID=R_PATH[,S_PATH]");
+    };
+    let id: u64 = id
+        .parse()
+        .unwrap_or_else(|_| fail("dataset id must be a u64"));
+    let (r, s) = match paths.split_once(',') {
+        Some((rp, sp)) => {
+            let r = read_points_file(rp).unwrap_or_else(|e| fail(&format!("{rp}: {e}")));
+            let s = read_points_file(sp).unwrap_or_else(|e| fail(&format!("{sp}: {e}")));
+            (r, s)
+        }
+        None => {
+            let all = read_points_file(paths).unwrap_or_else(|e| fail(&format!("{paths}: {e}")));
+            split_rs(&all, 0.5, id ^ 0xD15C)
+        }
+    };
+    eprintln!(
+        "# dataset {id}: |R| = {}, |S| = {} (from files)",
+        r.len(),
+        s.len()
+    );
+    registry.register(id, r, s);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServerConfig::default();
+    let mut registry = DatasetRegistry::new();
+
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> String {
+        let Some(v) = args.get(*i + 1) else {
+            fail(&format!("{flag} requires a value"));
+        };
+        *i += 2;
+        v.clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = value(&args, &mut i, "--addr"),
+            "--workers" => {
+                config.workers = value(&args, &mut i, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--workers takes an integer"));
+            }
+            "--queue-frames" => {
+                config.queue_frames = value(&args, &mut i, "--queue-frames")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--queue-frames takes an integer"));
+            }
+            "--batch-pairs" => {
+                config.batch_pairs = value(&args, &mut i, "--batch-pairs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--batch-pairs takes an integer"));
+            }
+            "--cache" => {
+                config.cache_capacity = value(&args, &mut i, "--cache")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--cache takes an integer"));
+            }
+            "--dataset" => {
+                let spec = value(&args, &mut i, "--dataset");
+                register_generated(&mut registry, &spec);
+            }
+            "--dataset-file" => {
+                let spec = value(&args, &mut i, "--dataset-file");
+                register_file(&mut registry, &spec);
+            }
+            "--help" | "-h" => fail("srj-serve"),
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    if registry.is_empty() {
+        register_generated(&mut registry, "1=uniform:0.05");
+    }
+
+    let mut server = match Server::start(addr.as_str(), registry, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Parsed by srj-loadgen scripts / the CI smoke step; keep stable.
+    println!("listening on {}", server.local_addr());
+    server.wait_shutdown();
+    eprintln!("# shutdown requested");
+    server.shutdown();
+    let stats = server.stats();
+    eprintln!(
+        "# served {} requests / {} samples ({} errors)",
+        stats.queries, stats.samples, stats.errors
+    );
+}

@@ -1,0 +1,146 @@
+//! A blocking client for the `srj-server` protocol.
+//!
+//! One [`Client`] owns one TCP connection. [`Client::sample`] issues a
+//! `SAMPLE` request and collects the whole answer;
+//! [`Client::sample_with`] hands each batch to a callback as it
+//! arrives, which is both the streaming consumption mode and — because
+//! a callback that dawdles stops reading the socket — the natural way
+//! to exercise the server's backpressure.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use srj_core::JoinPair;
+
+use crate::protocol::{
+    encode_request, read_frame, write_frame, ProtocolError, Request, RequestStats, RequestStatus,
+    Response, SampleRequest, ServerStatsFrame,
+};
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Protocol(ProtocolError),
+    /// The server answered out of protocol (wrong frame kind or an
+    /// unexpected request id).
+    Unexpected(&'static str),
+    /// The connection ended before the answer completed.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected server answer: {what}"),
+            ClientError::Disconnected => write!(f, "server closed the connection mid-answer"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// A completed `SAMPLE` answer.
+#[derive(Debug)]
+pub struct SampleOutcome {
+    /// How the server ended the request. [`RequestStatus::Ok`] means
+    /// all `t` samples arrived; any other status may come with a
+    /// partial prefix of the stream.
+    pub status: RequestStatus,
+    /// Server-side per-request statistics from the `DONE` frame.
+    pub stats: RequestStats,
+    /// Samples received (empty for [`Client::sample_with`], which
+    /// hands them to the callback instead).
+    pub pairs: Vec<JoinPair>,
+}
+
+/// One blocking connection to an `srj-server`.
+pub struct Client {
+    stream: TcpStream,
+    next_req_id: u32,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            next_req_id: 1,
+        })
+    }
+
+    /// Draws `req.t` samples, collecting every batch. `req.req_id` is
+    /// overwritten with a connection-unique id.
+    pub fn sample(&mut self, req: SampleRequest) -> Result<SampleOutcome, ClientError> {
+        let mut pairs = Vec::new();
+        let mut outcome = self.sample_with(req, |batch| pairs.extend_from_slice(batch))?;
+        outcome.pairs = pairs;
+        Ok(outcome)
+    }
+
+    /// Draws `req.t` samples, handing each batch to `on_batch` as it
+    /// arrives. The callback runs between socket reads: a slow callback
+    /// is a slow reader, and the server parks this request (only) until
+    /// the client catches up.
+    pub fn sample_with(
+        &mut self,
+        mut req: SampleRequest,
+        mut on_batch: impl FnMut(&[JoinPair]),
+    ) -> Result<SampleOutcome, ClientError> {
+        req.req_id = self.next_req_id;
+        self.next_req_id = self.next_req_id.wrapping_add(1);
+        write_frame(&mut self.stream, &encode_request(&Request::Sample(req)))?;
+        loop {
+            match self.read_response()? {
+                Response::Batch { req_id, pairs } if req_id == req.req_id => on_batch(&pairs),
+                Response::Done {
+                    req_id,
+                    status,
+                    stats,
+                } if req_id == req.req_id => {
+                    return Ok(SampleOutcome {
+                        status,
+                        stats,
+                        pairs: Vec::new(),
+                    });
+                }
+                _ => return Err(ClientError::Unexpected("frame for a different request")),
+            }
+        }
+    }
+
+    /// Fetches server-wide aggregate statistics.
+    pub fn server_stats(&mut self) -> Result<ServerStatsFrame, ClientError> {
+        write_frame(&mut self.stream, &encode_request(&Request::Stats))?;
+        match self.read_response()? {
+            Response::ServerStats(frame) => Ok(frame),
+            _ => Err(ClientError::Unexpected("expected a stats frame")),
+        }
+    }
+
+    /// Asks the server to shut down gracefully. The connection is
+    /// unusable afterwards.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &encode_request(&Request::Shutdown))?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame(&mut self.stream)?.ok_or(ClientError::Disconnected)?;
+        Ok(crate::protocol::decode_response(&payload)?)
+    }
+}

@@ -1,0 +1,111 @@
+//! `srj-server` — the networked sampling front-end over `srj-engine`.
+//!
+//! The engine (PR 1–2) serves in-process threads; this crate puts a
+//! real server boundary in front of it: a dependency-free TCP
+//! subsystem on `std::net` + `std::thread` speaking a length-prefixed
+//! binary protocol, with the properties heavy multi-user traffic
+//! needs —
+//!
+//! * **request batching**: one engine/handle acquisition per request,
+//!   amortised over all `t` samples, streamed out in `BATCH` frames
+//!   ([`ServerConfig::batch_pairs`] pairs each);
+//! * **backpressure**: a bounded per-connection response queue; a
+//!   client that stops reading parks *its own* request and frees the
+//!   worker — the pool never blocks on a slow socket;
+//! * **fair multiplexing**: a fixed worker pool serves one batch per
+//!   job step, round-robin across every in-flight request of every
+//!   connection;
+//! * **cache admission**: engines are built at most once per
+//!   `(dataset, l, shards, algorithm)` through the shared
+//!   [`srj_engine::EngineCache`];
+//! * **graceful shutdown**: a control signal (API call or `SHUTDOWN`
+//!   frame) stops the acceptor, closes every connection, and joins
+//!   every spawned thread.
+//!
+//! Binaries: `srj-serve` (register datasets, serve) and `srj-loadgen`
+//! (concurrent load generator reporting samples/sec and latency
+//! quantiles into `BENCH_PR3.json`). See the README's "Network
+//! serving" section for the quickstart and `examples/network_serving.rs`
+//! for the in-process version.
+
+pub mod client;
+pub mod protocol;
+mod server;
+
+pub use client::{Client, ClientError, SampleOutcome};
+pub use protocol::{
+    ProtocolError, Request, RequestStats, RequestStatus, Response, SampleRequest, ServerStatsFrame,
+};
+pub use server::{DatasetRegistry, Server, ServerConfig};
+/// Re-exported so protocol users don't need a direct `srj-engine` dep.
+pub use srj_engine::Algorithm;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srj_geom::Point;
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_sample_over_loopback() {
+        let r = pseudo_points(200, 1, 50.0);
+        let s = pseudo_points(300, 2, 50.0);
+        let mut registry = DatasetRegistry::new();
+        registry.register(7, r.clone(), s.clone());
+        let mut server = Server::start("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let outcome = client
+            .sample(SampleRequest {
+                req_id: 0,
+                dataset: 7,
+                l: 5.0,
+                algorithm: None,
+                shards: 1,
+                t: 1_000,
+                seed: 42,
+            })
+            .unwrap();
+        assert_eq!(outcome.status, RequestStatus::Ok);
+        assert_eq!(outcome.pairs.len(), 1_000);
+        assert_eq!(outcome.stats.samples, 1_000);
+        for p in &outcome.pairs {
+            let w = srj_geom::Rect::window(r[p.r as usize], 5.0);
+            assert!(w.contains(s[p.s as usize]));
+        }
+
+        // same seed ⇒ same stream, across a fresh connection
+        let mut client2 = Client::connect(server.local_addr()).unwrap();
+        let again = client2
+            .sample(SampleRequest {
+                req_id: 0,
+                dataset: 7,
+                l: 5.0,
+                algorithm: None,
+                shards: 1,
+                t: 1_000,
+                seed: 42,
+            })
+            .unwrap();
+        assert_eq!(again.pairs, outcome.pairs);
+
+        // server-side stats saw both requests
+        let stats = client.server_stats().unwrap();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.samples, 2_000);
+        assert_eq!(stats.cache_misses, 1, "second request must hit the cache");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,634 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload; the first payload byte is the opcode. Integers are
+//! little-endian, `l` travels as `f64` bits, and join pairs are two
+//! `u32` point ids — the same representation the engine serves, so a
+//! batch frame is one `memcpy`-shaped loop on both sides.
+//!
+//! ```text
+//! request  frames: SAMPLE  { req_id, dataset, l, algorithm, shards, t, seed }
+//!                  STATS   { }
+//!                  SHUTDOWN{ }
+//! response frames: BATCH   { req_id, count, (r, s) × count }
+//!                  DONE    { req_id, status, samples, iterations, elapsed_ns }
+//!                  STATS   { queries, samples, iterations, errors,
+//!                            mean_ns, p50_ns, p99_ns, engines_cached,
+//!                            cache_hits, cache_misses,
+//!                            connections_accepted, active_connections }
+//! ```
+//!
+//! A `SAMPLE` answer is a stream: zero or more `BATCH` frames followed
+//! by exactly one `DONE` (which also reports per-request serving
+//! statistics). `req_id` is echoed on every frame of the answer so a
+//! client may pipeline requests on one connection and demultiplex the
+//! interleaved batches.
+
+use std::io::{Read, Write};
+
+use srj_core::JoinPair;
+use srj_engine::Algorithm;
+
+/// Hard ceiling on a frame payload, enforced on both read and write: a
+/// hostile or corrupt length prefix must fail fast, not allocate
+/// gigabytes. Batches are sized well below this
+/// (`crate::ServerConfig::batch_pairs` × 8 bytes + header).
+pub const MAX_FRAME_LEN: usize = 1 << 22; // 4 MiB
+
+/// Request opcodes.
+const OP_SAMPLE: u8 = 0x01;
+const OP_STATS: u8 = 0x02;
+const OP_SHUTDOWN: u8 = 0x03;
+/// Response opcodes.
+const OP_BATCH: u8 = 0x81;
+const OP_DONE: u8 = 0x82;
+const OP_SERVER_STATS: u8 = 0x83;
+
+/// How a finished request ended, carried in the `DONE` frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// All `t` samples were delivered.
+    Ok,
+    /// The request named a dataset id the server has not registered.
+    UnknownDataset,
+    /// The join is provably empty ([`srj_core::SampleError::EmptyJoin`]).
+    EmptyJoin,
+    /// The rejection safety valve tripped
+    /// ([`srj_core::SampleError::RejectionLimit`]).
+    RejectionLimit,
+    /// The request frame could not be decoded.
+    BadRequest,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl RequestStatus {
+    fn to_byte(self) -> u8 {
+        match self {
+            RequestStatus::Ok => 0,
+            RequestStatus::UnknownDataset => 1,
+            RequestStatus::EmptyJoin => 2,
+            RequestStatus::RejectionLimit => 3,
+            RequestStatus::BadRequest => 4,
+            RequestStatus::ShuttingDown => 5,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => RequestStatus::Ok,
+            1 => RequestStatus::UnknownDataset,
+            2 => RequestStatus::EmptyJoin,
+            3 => RequestStatus::RejectionLimit,
+            4 => RequestStatus::BadRequest,
+            5 => RequestStatus::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for RequestStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RequestStatus::Ok => "ok",
+            RequestStatus::UnknownDataset => "unknown dataset id",
+            RequestStatus::EmptyJoin => "empty join",
+            RequestStatus::RejectionLimit => "rejection limit exceeded",
+            RequestStatus::BadRequest => "malformed request",
+            RequestStatus::ShuttingDown => "server shutting down",
+        })
+    }
+}
+
+/// A `SAMPLE` request: draw `t` uniform join samples from the engine
+/// for `(dataset, l, shards)` built with `algorithm` (`None` = let the
+/// planner pick).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleRequest {
+    /// Client-chosen id echoed on every response frame of the answer.
+    pub req_id: u32,
+    /// Registered dataset id (see `crate::DatasetRegistry`).
+    pub dataset: u64,
+    /// Window half-extent `l`.
+    pub l: f64,
+    /// Forced algorithm, or `None` for the planner's choice.
+    pub algorithm: Option<Algorithm>,
+    /// `R`-shard count for the engine build (`0`/`1` = unsharded).
+    pub shards: u32,
+    /// Number of samples to draw.
+    pub t: u64,
+    /// RNG seed for the serving handle; `0` = server-assigned (every
+    /// request gets an independent stream).
+    pub seed: u64,
+}
+
+/// Per-request serving statistics, carried in the `DONE` frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Samples actually delivered (may trail `t` on error).
+    pub samples: u64,
+    /// Sampling-loop iterations spent, rejections included.
+    pub iterations: u64,
+    /// Server-side wall time from dequeue to `DONE`, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Server-wide aggregate statistics, answered to a `STATS` request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatsFrame {
+    /// `SAMPLE` requests finished (any status).
+    pub queries: u64,
+    /// Join samples delivered across all requests.
+    pub samples: u64,
+    /// Sampling-loop iterations across all requests (rejection-rate
+    /// numerator, as in `srj_engine::StatsSnapshot`).
+    pub iterations: u64,
+    /// Requests that finished with a non-[`RequestStatus::Ok`] status.
+    pub errors: u64,
+    /// Mean per-request serving latency, nanoseconds.
+    pub mean_ns: u64,
+    /// Median per-request serving latency, nanoseconds (bucket
+    /// resolution).
+    pub p50_ns: u64,
+    /// 99th-percentile per-request serving latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Engines currently held by the server's `EngineCache`.
+    pub engines_cached: u64,
+    /// Engine-cache lookup hits.
+    pub cache_hits: u64,
+    /// Engine-cache lookup misses (each paid an index build).
+    pub cache_misses: u64,
+    /// Connections accepted since the server started.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+}
+
+/// Decoded request frames.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Request {
+    /// Draw samples (see [`SampleRequest`]).
+    Sample(SampleRequest),
+    /// Report server-wide statistics.
+    Stats,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// Decoded response frames.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// One batch of an in-flight `SAMPLE` answer.
+    Batch {
+        /// Echo of [`SampleRequest::req_id`].
+        req_id: u32,
+        /// The samples.
+        pairs: Vec<JoinPair>,
+    },
+    /// Terminates a `SAMPLE` answer.
+    Done {
+        /// Echo of [`SampleRequest::req_id`].
+        req_id: u32,
+        /// How the request ended.
+        status: RequestStatus,
+        /// Serving statistics for this request.
+        stats: RequestStats,
+    },
+    /// Answer to a `STATS` request.
+    ServerStats(ServerStatsFrame),
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying transport failure.
+    Io(std::io::Error),
+    /// Structurally invalid payload.
+    Malformed(&'static str),
+    /// Length prefix above [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "I/O error: {e}"),
+            ProtocolError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            ProtocolError::TooLarge(n) => write!(f, "frame length {n} exceeds {MAX_FRAME_LEN}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+// ---- primitive encoding helpers -----------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Parser<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Parser<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Parser { buf }
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        let (&b, rest) = self
+            .buf
+            .split_first()
+            .ok_or(ProtocolError::Malformed("truncated u8"))?;
+        self.buf = rest;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        let (head, rest) = self
+            .buf
+            .split_first_chunk::<4>()
+            .ok_or(ProtocolError::Malformed("truncated u32"))?;
+        self.buf = rest;
+        Ok(u32::from_le_bytes(*head))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        let (head, rest) = self
+            .buf
+            .split_first_chunk::<8>()
+            .ok_or(ProtocolError::Malformed("truncated u64"))?;
+        self.buf = rest;
+        Ok(u64::from_le_bytes(*head))
+    }
+
+    fn finish(&self) -> Result<(), ProtocolError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+fn algorithm_to_byte(a: Option<Algorithm>) -> u8 {
+    match a {
+        None => 0,
+        Some(Algorithm::Kds) => 1,
+        Some(Algorithm::KdsRejection) => 2,
+        Some(Algorithm::Bbst) => 3,
+    }
+}
+
+fn algorithm_from_byte(b: u8) -> Result<Option<Algorithm>, ProtocolError> {
+    Ok(match b {
+        0 => None,
+        1 => Some(Algorithm::Kds),
+        2 => Some(Algorithm::KdsRejection),
+        3 => Some(Algorithm::Bbst),
+        _ => return Err(ProtocolError::Malformed("unknown algorithm byte")),
+    })
+}
+
+// ---- frame encode/decode -------------------------------------------------
+
+/// Encodes a request into a complete frame (length prefix included).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    match req {
+        Request::Sample(s) => {
+            payload.push(OP_SAMPLE);
+            put_u32(&mut payload, s.req_id);
+            put_u64(&mut payload, s.dataset);
+            put_u64(&mut payload, s.l.to_bits());
+            payload.push(algorithm_to_byte(s.algorithm));
+            put_u32(&mut payload, s.shards);
+            put_u64(&mut payload, s.t);
+            put_u64(&mut payload, s.seed);
+        }
+        Request::Stats => payload.push(OP_STATS),
+        Request::Shutdown => payload.push(OP_SHUTDOWN),
+    }
+    finish_frame(payload)
+}
+
+/// Decodes a request payload (the bytes after the length prefix).
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    let mut p = Parser::new(payload);
+    let req = match p.u8()? {
+        OP_SAMPLE => {
+            let req_id = p.u32()?;
+            let dataset = p.u64()?;
+            let l = f64::from_bits(p.u64()?);
+            let algorithm = algorithm_from_byte(p.u8()?)?;
+            let shards = p.u32()?;
+            let t = p.u64()?;
+            let seed = p.u64()?;
+            if !(l.is_finite() && l > 0.0) {
+                return Err(ProtocolError::Malformed("non-positive half-extent"));
+            }
+            Request::Sample(SampleRequest {
+                req_id,
+                dataset,
+                l,
+                algorithm,
+                shards,
+                t,
+                seed,
+            })
+        }
+        OP_STATS => Request::Stats,
+        OP_SHUTDOWN => Request::Shutdown,
+        _ => return Err(ProtocolError::Malformed("unknown request opcode")),
+    };
+    p.finish()?;
+    Ok(req)
+}
+
+/// Encodes a response into a complete frame (length prefix included).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32);
+    match resp {
+        Response::Batch { req_id, pairs } => {
+            payload.reserve(pairs.len() * 8 + 9);
+            payload.push(OP_BATCH);
+            put_u32(&mut payload, *req_id);
+            put_u32(&mut payload, pairs.len() as u32);
+            for p in pairs {
+                put_u32(&mut payload, p.r);
+                put_u32(&mut payload, p.s);
+            }
+        }
+        Response::Done {
+            req_id,
+            status,
+            stats,
+        } => {
+            payload.push(OP_DONE);
+            put_u32(&mut payload, *req_id);
+            payload.push(status.to_byte());
+            put_u64(&mut payload, stats.samples);
+            put_u64(&mut payload, stats.iterations);
+            put_u64(&mut payload, stats.elapsed_ns);
+        }
+        Response::ServerStats(s) => {
+            payload.push(OP_SERVER_STATS);
+            for v in [
+                s.queries,
+                s.samples,
+                s.iterations,
+                s.errors,
+                s.mean_ns,
+                s.p50_ns,
+                s.p99_ns,
+                s.engines_cached,
+                s.cache_hits,
+                s.cache_misses,
+                s.connections_accepted,
+                s.active_connections,
+            ] {
+                put_u64(&mut payload, v);
+            }
+        }
+    }
+    finish_frame(payload)
+}
+
+/// Decodes a response payload (the bytes after the length prefix).
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
+    let mut p = Parser::new(payload);
+    let resp = match p.u8()? {
+        OP_BATCH => {
+            let req_id = p.u32()?;
+            let count = p.u32()? as usize;
+            if count * 8 != payload.len() - 9 {
+                return Err(ProtocolError::Malformed("batch count vs length mismatch"));
+            }
+            let mut pairs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let r = p.u32()?;
+                let s = p.u32()?;
+                pairs.push(JoinPair::new(r, s));
+            }
+            Response::Batch { req_id, pairs }
+        }
+        OP_DONE => {
+            let req_id = p.u32()?;
+            let status = RequestStatus::from_byte(p.u8()?)
+                .ok_or(ProtocolError::Malformed("unknown status byte"))?;
+            let stats = RequestStats {
+                samples: p.u64()?,
+                iterations: p.u64()?,
+                elapsed_ns: p.u64()?,
+            };
+            Response::Done {
+                req_id,
+                status,
+                stats,
+            }
+        }
+        OP_SERVER_STATS => {
+            let mut vals = [0u64; 12];
+            for v in &mut vals {
+                *v = p.u64()?;
+            }
+            Response::ServerStats(ServerStatsFrame {
+                queries: vals[0],
+                samples: vals[1],
+                iterations: vals[2],
+                errors: vals[3],
+                mean_ns: vals[4],
+                p50_ns: vals[5],
+                p99_ns: vals[6],
+                engines_cached: vals[7],
+                cache_hits: vals[8],
+                cache_misses: vals[9],
+                connections_accepted: vals[10],
+                active_connections: vals[11],
+            })
+        }
+        _ => return Err(ProtocolError::Malformed("unknown response opcode")),
+    };
+    p.finish()?;
+    Ok(resp)
+}
+
+/// Prepends the length prefix, turning a payload into a wire frame.
+fn finish_frame(payload: Vec<u8>) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "frame exceeds MAX_FRAME_LEN"
+    );
+    let mut frame = Vec::with_capacity(payload.len() + 4);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Writes a pre-encoded frame (as produced by the `encode_*` helpers).
+pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> std::io::Result<()> {
+    w.write_all(frame)
+}
+
+/// Reads one frame payload. `Ok(None)` on clean EOF at a frame
+/// boundary; mid-frame EOF is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "connection closed between frames" from "closed
+    // mid-frame": the first is a clean end-of-stream.
+    match r.read(&mut len_buf)? {
+        0 => return Ok(None),
+        n => r.read_exact(&mut len_buf[n..])?,
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let frame = encode_request(&req);
+        let mut cursor = std::io::Cursor::new(&frame);
+        let payload = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(decode_request(&payload).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let frame = encode_response(&resp);
+        let mut cursor = std::io::Cursor::new(&frame);
+        let payload = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for algorithm in [
+            None,
+            Some(Algorithm::Kds),
+            Some(Algorithm::KdsRejection),
+            Some(Algorithm::Bbst),
+        ] {
+            roundtrip_request(Request::Sample(SampleRequest {
+                req_id: 7,
+                dataset: 0xDEAD_BEEF,
+                l: 123.456,
+                algorithm,
+                shards: 4,
+                t: 1_000_000,
+                seed: 42,
+            }));
+        }
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Batch {
+            req_id: 3,
+            pairs: (0..1000).map(|i| JoinPair::new(i, i * 2)).collect(),
+        });
+        roundtrip_response(Response::Batch {
+            req_id: 0,
+            pairs: Vec::new(),
+        });
+        for status in [
+            RequestStatus::Ok,
+            RequestStatus::UnknownDataset,
+            RequestStatus::EmptyJoin,
+            RequestStatus::RejectionLimit,
+            RequestStatus::BadRequest,
+            RequestStatus::ShuttingDown,
+        ] {
+            roundtrip_response(Response::Done {
+                req_id: 9,
+                status,
+                stats: RequestStats {
+                    samples: 100,
+                    iterations: 250,
+                    elapsed_ns: 12_345,
+                },
+            });
+        }
+        roundtrip_response(Response::ServerStats(ServerStatsFrame {
+            queries: 1,
+            samples: 2,
+            iterations: 3,
+            errors: 4,
+            mean_ns: 5,
+            p50_ns: 6,
+            p99_ns: 7,
+            engines_cached: 8,
+            cache_hits: 9,
+            cache_misses: 10,
+            connections_accepted: 11,
+            active_connections: 12,
+        }));
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_not_panicked() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[0xFF]).is_err());
+        assert!(decode_request(&[OP_SAMPLE, 1, 2]).is_err(), "truncated");
+        // trailing garbage after a valid STATS
+        assert!(decode_request(&[OP_STATS, 0]).is_err());
+        // NaN / negative half-extent
+        let mut frame = encode_request(&Request::Sample(SampleRequest {
+            req_id: 0,
+            dataset: 1,
+            l: 1.0,
+            algorithm: None,
+            shards: 1,
+            t: 1,
+            seed: 0,
+        }));
+        // stomp the l bits (offset: 4 len + 1 op + 4 req_id + 8 dataset)
+        frame[17..25].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(decode_request(&frame[4..]).is_err());
+
+        assert!(decode_response(&[OP_BATCH, 0, 0, 0, 0, 9, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let mut cursor = std::io::Cursor::new(&bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtocolError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_none_midframe_eof_is_error() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut empty).unwrap().is_none());
+        // length says 10 bytes, stream has 2
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&10u32.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2]);
+        let mut cursor = std::io::Cursor::new(&bytes);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

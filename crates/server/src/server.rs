@@ -1,0 +1,889 @@
+//! The TCP serving subsystem: acceptor, fixed worker pool, bounded
+//! per-connection response queues.
+//!
+//! ```text
+//!             ┌──────────────────────────────────────────────────────┐
+//!             │                     Server                           │
+//!  TCP ─────► │ acceptor ──► per-conn reader ──► JobQueue (global)   │
+//!             │                  │                   │               │
+//!             │                  │             worker × W  (fixed)   │
+//!             │                  │                   │ one batch per │
+//!             │                  │                   │ step, then    │
+//!             │                  │                   ▼ requeue       │
+//!             │                  │      bounded SyncSender (per conn)│
+//!             │                  │                   │               │
+//!             │                  └───── per-conn writer ──► socket   │
+//!             └──────────────────────────────────────────────────────┘
+//! ```
+//!
+//! **Threading.** One acceptor, `workers` pool threads shared by every
+//! connection, and one reader + one writer thread per connection
+//! (blocking `std::net` sockets need a thread per blocking direction;
+//! readers and writers are idle-parked almost always, the pool does the
+//! sampling work).
+//!
+//! **Batching.** A `SAMPLE` request becomes one job holding one
+//! [`SamplerHandle`] for its whole lifetime — the engine/handle
+//! acquisition is paid once per request, not per sample. Each worker
+//! step drains one batch ([`ServerConfig::batch_pairs`] samples)
+//! through [`SamplerHandle::stream`] into one `BATCH` frame, then
+//! requeues the job at the back of the global queue, so concurrent
+//! requests interleave fairly regardless of their `t`.
+//!
+//! **Backpressure.** Each connection owns a *bounded* frame queue
+//! ([`ServerConfig::queue_frames`]) drained by its writer. Workers only
+//! ever `try_send`: when a client stops reading and its queue fills,
+//! the job *parks itself on the connection* and the worker moves on —
+//! a slow reader stalls its own stream, never the pool. The hand-back
+//! is lock-step safe: after parking, the worker nudges the queue with
+//! an empty kick frame, and the writer re-queues parked jobs after
+//! every frame it dequeues, so a parked job is re-activated on the
+//! very next free slot and cannot be lost to the park/drain race.
+//!
+//! **Shutdown.** [`Server::shutdown`] (or a client `SHUTDOWN` frame)
+//! stops the acceptor, closes the job queue, shuts every connection
+//! socket, and joins every thread the server ever spawned — no leaks,
+//! asserted by the loopback tests.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use srj_core::{JoinPair, SampleConfig, SampleError};
+use srj_engine::{Engine, EngineCache, EngineStats, SamplerHandle};
+use srj_geom::Point;
+
+use crate::protocol::{
+    decode_request, encode_response, read_frame, Request, RequestStats, RequestStatus, Response,
+    SampleRequest, ServerStatsFrame, MAX_FRAME_LEN,
+};
+
+/// Serving knobs. The defaults suit a loopback bench on a small host;
+/// production would raise `workers` to the core count.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker-pool threads doing the actual sampling. Default 2.
+    pub workers: usize,
+    /// Bounded per-connection response-queue depth, in frames — the
+    /// backpressure window. Default 8.
+    pub queue_frames: usize,
+    /// Samples per `BATCH` frame. Default 8192 (64 KiB frames).
+    pub batch_pairs: usize,
+    /// Capacity of the server's [`EngineCache`]. Default 16.
+    pub cache_capacity: usize,
+    /// `SampleConfig::build_threads` for engine builds triggered by
+    /// cache misses. Default 0 (all cores).
+    pub build_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_frames: 8,
+            batch_pairs: 8192,
+            cache_capacity: 16,
+            build_threads: 0,
+        }
+    }
+}
+
+/// One registered `(R, S)` workload.
+struct Dataset {
+    r: Vec<Point>,
+    s: Vec<Point>,
+}
+
+/// The datasets a server answers for, keyed by the `u64` ids clients
+/// put in their requests. Registration happens before
+/// [`Server::start`]; ids are the cache identity, so re-registering an
+/// id with different data requires a new server (or a new id —
+/// version your ids, as with [`EngineCache`]).
+#[derive(Default)]
+pub struct DatasetRegistry {
+    map: HashMap<u64, Arc<Dataset>>,
+}
+
+impl DatasetRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `(r, s)` under `id`, replacing any previous entry.
+    pub fn register(&mut self, id: u64, r: Vec<Point>, s: Vec<Point>) -> &mut Self {
+        self.map.insert(id, Arc::new(Dataset { r, s }));
+        self
+    }
+
+    /// Registered ids, unordered.
+    pub fn ids(&self) -> Vec<u64> {
+        self.map.keys().copied().collect()
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+// ---- jobs ----------------------------------------------------------------
+
+/// What a queued job is doing.
+enum JobState {
+    /// Engine/handle not yet acquired (first worker step does it).
+    Acquire,
+    /// Streaming batches through an acquired handle.
+    Stream(Box<SamplerHandle>),
+    /// Pre-encoded frames only (stats answers, error frames).
+    Respond,
+}
+
+/// One in-flight request. Lives in the global queue, on a worker, or
+/// parked on its connection when the response queue is full.
+struct Job {
+    req: SampleRequest,
+    tx: SyncSender<Vec<u8>>,
+    conn: Arc<ConnShared>,
+    state: JobState,
+    /// Encoded frames not yet handed to the writer (front = next).
+    outbox: VecDeque<Vec<u8>>,
+    /// Set when the final `DONE` frame is in (or past) the outbox.
+    done: Option<RequestStatus>,
+    /// Samples delivered so far.
+    sent: u64,
+    /// Whether this job counts in the server's request statistics
+    /// (stats/error answers don't).
+    record: bool,
+    started: Instant,
+}
+
+impl Job {
+    fn sample(req: SampleRequest, tx: SyncSender<Vec<u8>>, conn: Arc<ConnShared>) -> Self {
+        Job {
+            req,
+            tx,
+            conn,
+            state: JobState::Acquire,
+            outbox: VecDeque::new(),
+            done: None,
+            sent: 0,
+            record: true,
+            started: Instant::now(),
+        }
+    }
+
+    /// A job that only delivers pre-encoded frames (stats, errors).
+    fn respond(
+        frame: Vec<u8>,
+        status: RequestStatus,
+        tx: SyncSender<Vec<u8>>,
+        conn: Arc<ConnShared>,
+    ) -> Self {
+        let mut outbox = VecDeque::with_capacity(1);
+        outbox.push_back(frame);
+        Job {
+            req: SampleRequest {
+                req_id: 0,
+                dataset: 0,
+                l: 1.0,
+                algorithm: None,
+                shards: 1,
+                t: 0,
+                seed: 0,
+            },
+            tx,
+            conn,
+            state: JobState::Respond,
+            outbox,
+            done: Some(status),
+            sent: 0,
+            record: false,
+            started: Instant::now(),
+        }
+    }
+
+    fn iterations(&self) -> u64 {
+        match &self.state {
+            JobState::Stream(handle) => handle.report().iterations,
+            _ => 0,
+        }
+    }
+}
+
+// ---- per-connection state ------------------------------------------------
+
+/// State shared by a connection's reader, writer, and jobs.
+struct ConnShared {
+    /// Clone of the socket, used only to `shutdown(2)` it.
+    stream: TcpStream,
+    /// Jobs waiting for a free slot in the response queue (the
+    /// backpressure parking lot).
+    parked: Mutex<Vec<Job>>,
+    /// Set by the writer on exit and by server shutdown; parked/new
+    /// frames for a closed connection are dropped.
+    closed: AtomicBool,
+}
+
+// ---- global job queue ----------------------------------------------------
+
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    closed: AtomicBool,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues a job; a closed queue (shutdown in progress) refuses
+    /// and hands the job back so the caller can answer it.
+    fn push(&self, job: Job) -> Option<Job> {
+        if self.closed.load(Ordering::Acquire) {
+            return Some(job);
+        }
+        self.jobs.lock().expect("job queue poisoned").push_back(job);
+        self.cv.notify_one();
+        None
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed.
+    fn pop(&self) -> Option<Job> {
+        let mut jobs = self.jobs.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            jobs = self.cv.wait(jobs).expect("job queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    fn drain(&self) -> Vec<Job> {
+        self.jobs
+            .lock()
+            .expect("job queue poisoned")
+            .drain(..)
+            .collect()
+    }
+}
+
+// ---- shared server state -------------------------------------------------
+
+struct Shared {
+    config: ServerConfig,
+    registry: HashMap<u64, Arc<Dataset>>,
+    cache: EngineCache,
+    queue: JobQueue,
+    /// Per-request serving statistics (latency histogram reused from
+    /// the engine crate — one `record_query` per finished request).
+    request_stats: EngineStats,
+    accepted: AtomicU64,
+    active: AtomicU64,
+    conns: Mutex<Vec<Arc<ConnShared>>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    shutdown_flag: Mutex<bool>,
+    shutdown_cv: Condvar,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn is_shutting_down(&self) -> bool {
+        *self.shutdown_flag.lock().expect("shutdown flag poisoned")
+    }
+
+    /// Flips the server into shutdown: idempotent, callable from any
+    /// thread (including a connection reader serving a `SHUTDOWN`
+    /// frame). Thread joining is [`Server::shutdown`]'s half.
+    fn begin_shutdown(&self) {
+        {
+            let mut flag = self.shutdown_flag.lock().expect("shutdown flag poisoned");
+            if *flag {
+                return;
+            }
+            *flag = true;
+            self.shutdown_cv.notify_all();
+        }
+        self.queue.close();
+        for conn in self.conns.lock().expect("conn list poisoned").iter() {
+            conn.closed.store(true, Ordering::Release);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn stats_frame(&self) -> ServerStatsFrame {
+        let snap = self.request_stats.snapshot();
+        ServerStatsFrame {
+            queries: snap.queries,
+            samples: snap.samples,
+            iterations: snap.iterations,
+            errors: snap.errors,
+            mean_ns: snap.mean_latency.as_nanos().min(u128::from(u64::MAX)) as u64,
+            p50_ns: snap.p50_latency.as_nanos().min(u128::from(u64::MAX)) as u64,
+            p99_ns: snap.p99_latency.as_nanos().min(u128::from(u64::MAX)) as u64,
+            engines_cached: self.cache.len() as u64,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            connections_accepted: self.accepted.load(Ordering::Relaxed),
+            active_connections: self.active.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---- the server ----------------------------------------------------------
+
+/// A running sampling server. Dropping it shuts it down cleanly (all
+/// threads joined).
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an OS-assigned port) and
+    /// starts serving `registry` with `config`.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        registry: DatasetRegistry,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        assert!(config.cache_capacity > 0, "cache capacity must be positive");
+        assert!(config.queue_frames > 0, "queue depth must be positive");
+        let batch_cap = (MAX_FRAME_LEN - 16) / 8;
+        let config = ServerConfig {
+            workers: config.workers.max(1),
+            batch_pairs: config.batch_pairs.clamp(1, batch_cap),
+            ..config
+        };
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            config,
+            registry: registry.map,
+            cache: EngineCache::new(config.cache_capacity),
+            queue: JobQueue::new(),
+            request_stats: EngineStats::new(),
+            accepted: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            conn_threads: Mutex::new(Vec::new()),
+            shutdown_flag: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            addr: listener.local_addr()?,
+        });
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("srj-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("srj-acceptor".into())
+                .spawn(move || acceptor_loop(listener, &shared))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Server-wide aggregate statistics (same numbers a `STATS` request
+    /// returns).
+    pub fn stats(&self) -> ServerStatsFrame {
+        self.shared.stats_frame()
+    }
+
+    /// Blocks until shutdown is requested (by [`Server::shutdown`] or a
+    /// client `SHUTDOWN` frame).
+    pub fn wait_shutdown(&self) {
+        let mut flag = self
+            .shared
+            .shutdown_flag
+            .lock()
+            .expect("shutdown flag poisoned");
+        while !*flag {
+            flag = self
+                .shared
+                .shutdown_cv
+                .wait(flag)
+                .expect("shutdown flag poisoned");
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, close every connection, and
+    /// join every thread the server spawned. Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The acceptor is joined, so the connection list is final —
+        // re-close every socket. This catches a connection that raced
+        // begin_shutdown (accepted before the flag flipped, registered
+        // after the close pass), whose reader would otherwise block in
+        // read_frame() forever and hang the join below.
+        for conn in self.shared.conns.lock().expect("conn list poisoned").iter() {
+            conn.closed.store(true, Ordering::Release);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Workers are gone: drop every job still queued or parked so
+        // the per-connection channels disconnect and the writers exit.
+        drop(self.shared.queue.drain());
+        for conn in self.shared.conns.lock().expect("conn list poisoned").iter() {
+            conn.parked.lock().expect("parked list poisoned").clear();
+        }
+        // Connection threads exit on the closed sockets / disconnected
+        // channels; new handles cannot appear (the acceptor is joined).
+        let handles: Vec<JoinHandle<()>> = self
+            .shared
+            .conn_threads
+            .lock()
+            .expect("conn threads poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---- acceptor ------------------------------------------------------------
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.is_shutting_down() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.is_shutting_down() {
+            return; // the stream may be the shutdown wake-up; drop it
+        }
+        // Opportunistically forget connections that already closed —
+        // and join their finished reader/writer threads — so a
+        // long-lived server's bookkeeping doesn't grow without bound.
+        shared
+            .conns
+            .lock()
+            .expect("conn list poisoned")
+            .retain(|c| !c.closed.load(Ordering::Acquire));
+        {
+            let mut threads = shared.conn_threads.lock().expect("conn threads poisoned");
+            let mut live = Vec::with_capacity(threads.len());
+            for handle in threads.drain(..) {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                } else {
+                    live.push(handle);
+                }
+            }
+            *threads = live;
+        }
+        spawn_connection(shared, stream);
+    }
+}
+
+fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let (write_stream, shutdown_clone) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(w), Ok(s)) => (w, s),
+        _ => return, // clone failure: drop the connection
+    };
+    shared.accepted.fetch_add(1, Ordering::Relaxed);
+    shared.active.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(shared.config.queue_frames);
+    let conn = Arc::new(ConnShared {
+        stream: shutdown_clone,
+        parked: Mutex::new(Vec::new()),
+        closed: AtomicBool::new(false),
+    });
+
+    let reader = {
+        let shared = Arc::clone(shared);
+        let conn = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name("srj-conn-reader".into())
+            .spawn(move || reader_loop(stream, tx, conn, &shared))
+            .expect("spawn reader")
+    };
+    let writer = {
+        let shared = Arc::clone(shared);
+        let conn = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name("srj-conn-writer".into())
+            .spawn(move || writer_loop(rx, write_stream, conn, &shared))
+            .expect("spawn writer")
+    };
+
+    let mut threads = shared.conn_threads.lock().expect("conn threads poisoned");
+    threads.push(reader);
+    threads.push(writer);
+    shared.conns.lock().expect("conn list poisoned").push(conn);
+}
+
+// ---- reader --------------------------------------------------------------
+
+/// Decodes request frames into jobs. Never writes to the socket or
+/// blocks on the response queue — every answer, including errors and
+/// stats, flows through a job so backpressure has exactly one path.
+fn reader_loop(
+    mut stream: TcpStream,
+    tx: SyncSender<Vec<u8>>,
+    conn: Arc<ConnShared>,
+    shared: &Arc<Shared>,
+) {
+    // Non-matching reads (clean EOF, socket error, shutdown) end the loop.
+    while let Ok(Some(payload)) = read_frame(&mut stream) {
+        if shared.is_shutting_down() {
+            break;
+        }
+        match decode_request(&payload) {
+            Ok(Request::Sample(req)) => {
+                enqueue(shared, Job::sample(req, tx.clone(), Arc::clone(&conn)));
+            }
+            Ok(Request::Stats) => {
+                let frame = encode_response(&Response::ServerStats(shared.stats_frame()));
+                enqueue(
+                    shared,
+                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(&conn)),
+                );
+            }
+            Ok(Request::Shutdown) => {
+                shared.begin_shutdown();
+                break;
+            }
+            Err(_) => {
+                // Can't trust any field of a malformed frame, so the
+                // echoed id is 0; close after answering.
+                let frame = encode_response(&Response::Done {
+                    req_id: 0,
+                    status: RequestStatus::BadRequest,
+                    stats: RequestStats::default(),
+                });
+                enqueue(
+                    shared,
+                    Job::respond(
+                        frame,
+                        RequestStatus::BadRequest,
+                        tx.clone(),
+                        Arc::clone(&conn),
+                    ),
+                );
+                break;
+            }
+        }
+    }
+    shared.active.fetch_sub(1, Ordering::Relaxed);
+}
+
+// ---- writer --------------------------------------------------------------
+
+/// Drains the bounded response queue to the socket, and re-activates
+/// parked jobs after every dequeue — the other half of the
+/// backpressure handshake (see the module docs).
+fn writer_loop(
+    rx: Receiver<Vec<u8>>,
+    mut stream: TcpStream,
+    conn: Arc<ConnShared>,
+    shared: &Arc<Shared>,
+) {
+    while let Ok(frame) = rx.recv() {
+        // Empty frames are park kicks: nothing to write, but parked
+        // jobs must be re-examined.
+        if !frame.is_empty() && stream.write_all(&frame).is_err() {
+            break;
+        }
+        let parked: Vec<Job> = conn
+            .parked
+            .lock()
+            .expect("parked list poisoned")
+            .drain(..)
+            .collect();
+        for job in parked {
+            enqueue(shared, job);
+        }
+    }
+    // The socket is gone or the last sender hung up: anything still
+    // parked can never be delivered.
+    conn.closed.store(true, Ordering::Release);
+    let abandoned: Vec<Job> = conn
+        .parked
+        .lock()
+        .expect("parked list poisoned")
+        .drain(..)
+        .collect();
+    for job in &abandoned {
+        finish(shared, job, false);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Enqueues a job; when shutdown has already closed the queue, answers
+/// the request with a best-effort `DONE{ShuttingDown}` instead (the
+/// connection is being torn down, so a full queue just drops it).
+fn enqueue(shared: &Arc<Shared>, job: Job) {
+    let Some(mut job) = shared.queue.push(job) else {
+        return;
+    };
+    if job.done.is_none() {
+        let frame = encode_response(&Response::Done {
+            req_id: job.req.req_id,
+            status: RequestStatus::ShuttingDown,
+            stats: RequestStats {
+                samples: job.sent,
+                iterations: job.iterations(),
+                elapsed_ns: job.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            },
+        });
+        let _ = job.tx.try_send(frame);
+        job.done = Some(RequestStatus::ShuttingDown);
+    }
+    finish(shared, &job, false);
+}
+
+// ---- workers -------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        step(shared, job);
+    }
+}
+
+/// Outcome of flushing a job's outbox.
+enum Flushed {
+    /// Everything sent; the job continues.
+    Clear(Job),
+    /// The job parked, finished, or was dropped — it left this worker.
+    Gone,
+}
+
+/// Sends queued frames until the outbox is empty or the connection's
+/// queue is full. Full ⇒ park on the connection (with a kick so the
+/// writer always notices); disconnected ⇒ drop; empty + done ⇒ finish.
+fn flush_outbox(shared: &Arc<Shared>, mut job: Job) -> Flushed {
+    while let Some(frame) = job.outbox.pop_front() {
+        match job.tx.try_send(frame) {
+            Ok(()) => {}
+            Err(TrySendError::Full(frame)) => {
+                job.outbox.push_front(frame);
+                if job.conn.closed.load(Ordering::Acquire) {
+                    finish(shared, &job, false);
+                    return Flushed::Gone;
+                }
+                let kick_tx = job.tx.clone();
+                let conn = Arc::clone(&job.conn);
+                conn.parked.lock().expect("parked list poisoned").push(job);
+                // The park happens-before this kick; the writer checks
+                // the parking lot after every dequeue, so either the
+                // kick lands (writer will see the job) or the queue is
+                // still non-empty (writer will dequeue something and
+                // see the job).
+                let _ = kick_tx.try_send(Vec::new());
+                if conn.closed.load(Ordering::Acquire) {
+                    // The writer exited (and drained the lot) between
+                    // our closed-check above and the park: nobody will
+                    // ever re-queue what we just parked — reclaim it.
+                    let stranded: Vec<Job> = conn
+                        .parked
+                        .lock()
+                        .expect("parked list poisoned")
+                        .drain(..)
+                        .collect();
+                    for job in &stranded {
+                        finish(shared, job, false);
+                    }
+                }
+                return Flushed::Gone;
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                finish(shared, &job, false);
+                return Flushed::Gone;
+            }
+        }
+    }
+    if job.done.is_some() {
+        finish(shared, &job, true);
+        return Flushed::Gone;
+    }
+    Flushed::Clear(job)
+}
+
+/// Records an *abandoned* request (client gone before its `DONE` was
+/// produced) into the server stats. Normally finished requests are
+/// recorded in [`push_done`] instead — before their `DONE` frame can
+/// reach the client — so a `STATS` request issued right after a `DONE`
+/// always observes the request it followed.
+fn finish(shared: &Arc<Shared>, job: &Job, _delivered: bool) {
+    if !job.record {
+        return;
+    }
+    shared
+        .request_stats
+        .record_error(job.iterations(), job.started.elapsed());
+}
+
+/// One worker step: flush, produce at most one batch, flush, requeue.
+fn step(shared: &Arc<Shared>, job: Job) {
+    let mut job = match flush_outbox(shared, job) {
+        Flushed::Clear(job) => job,
+        Flushed::Gone => return,
+    };
+
+    match &mut job.state {
+        JobState::Acquire => match acquire_handle(shared, &job.req) {
+            Ok(handle) => {
+                job.state = JobState::Stream(Box::new(handle));
+                produce_batch(shared, &mut job);
+            }
+            Err(status) => push_done(shared, &mut job, status),
+        },
+        JobState::Stream(_) => produce_batch(shared, &mut job),
+        // Respond jobs carry only pre-encoded frames; with the outbox
+        // clear they are finished by flush_outbox, never reach here.
+        JobState::Respond => {}
+    }
+
+    if let Flushed::Clear(job) = flush_outbox(shared, job) {
+        enqueue(shared, job);
+    }
+}
+
+/// Engine acquisition via the cache: the expensive index build happens
+/// at most once per `(dataset, l, shards, algorithm)` across all
+/// requests and connections; every request then gets its own O(1)
+/// serving handle.
+fn acquire_handle(
+    shared: &Arc<Shared>,
+    req: &SampleRequest,
+) -> Result<SamplerHandle, RequestStatus> {
+    let dataset = shared
+        .registry
+        .get(&req.dataset)
+        .ok_or(RequestStatus::UnknownDataset)?;
+    let shards = (req.shards.max(1) as usize).min(srj_core::parallel::MAX_THREADS);
+    let config = SampleConfig::new(req.l).with_build_threads(shared.config.build_threads);
+    let engine = shared
+        .cache
+        .get_or_build_keyed(req.dataset, req.l, shards, req.algorithm, || {
+            let dataset = Arc::clone(dataset);
+            match req.algorithm {
+                Some(algorithm) => {
+                    Engine::build_sharded(&dataset.r, &dataset.s, &config, algorithm, shards)
+                }
+                None => Engine::auto_sharded(&dataset.r, &dataset.s, &config, shards),
+            }
+        });
+    Ok(if req.seed != 0 {
+        engine.handle_seeded(req.seed)
+    } else {
+        engine.handle()
+    })
+}
+
+/// Draws one batch through the job's handle into a `BATCH` frame, plus
+/// the `DONE` frame when the request completes or errors.
+fn produce_batch(shared: &Arc<Shared>, job: &mut Job) {
+    let JobState::Stream(handle) = &mut job.state else {
+        unreachable!("produce_batch on a non-streaming job");
+    };
+    let remaining = job.req.t.saturating_sub(job.sent);
+    let batch = remaining.min(shared.config.batch_pairs as u64) as usize;
+    let mut stream = handle.stream();
+    let pairs: Vec<JoinPair> = stream.by_ref().take(batch).collect();
+    let error = stream.error();
+    drop(stream);
+    job.sent += pairs.len() as u64;
+    if !pairs.is_empty() {
+        job.outbox.push_back(encode_response(&Response::Batch {
+            req_id: job.req.req_id,
+            pairs,
+        }));
+    }
+    match error {
+        Some(SampleError::EmptyJoin) => push_done(shared, job, RequestStatus::EmptyJoin),
+        Some(SampleError::RejectionLimit) => push_done(shared, job, RequestStatus::RejectionLimit),
+        None if job.sent >= job.req.t => push_done(shared, job, RequestStatus::Ok),
+        None => {} // more batches to come
+    }
+}
+
+fn push_done(shared: &Arc<Shared>, job: &mut Job, status: RequestStatus) {
+    let iterations = job.iterations();
+    let elapsed = job.started.elapsed();
+    if job.record {
+        // Record now, not at delivery: the DONE frame below reaches the
+        // client strictly after this, so a follow-up STATS request can
+        // never miss the request it chases.
+        if status == RequestStatus::Ok {
+            shared
+                .request_stats
+                .record_query(job.sent, iterations, elapsed);
+        } else {
+            shared.request_stats.record_error(iterations, elapsed);
+        }
+        job.record = false;
+    }
+    job.outbox.push_back(encode_response(&Response::Done {
+        req_id: job.req.req_id,
+        status,
+        stats: RequestStats {
+            samples: job.sent,
+            iterations,
+            elapsed_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+        },
+    }));
+    job.done = Some(status);
+}

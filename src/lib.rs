@@ -50,10 +50,15 @@
 //! [`Engine::auto`]), then hand each thread a [`SamplerHandle`] with
 //! its own RNG and statistics. See `examples/concurrent_serving.rs`.
 //!
+//! For serving over the network, the [`server`] crate wraps the engine
+//! in a TCP front-end with request batching and per-connection
+//! backpressure (binaries `srj-serve` / `srj-loadgen`; see
+//! `examples/network_serving.rs`).
+//!
 //! The workspace crates are re-exported under their own names
 //! ([`geom`], [`alias`], [`kdtree`], [`grid`], [`bbst`], [`join`],
-//! [`datagen`], [`core`], [`engine`]) and the most common types at the
-//! crate root.
+//! [`datagen`], [`core`], [`engine`], [`server`]) and the most common
+//! types at the crate root.
 
 pub use srj_alias as alias;
 pub use srj_bbst as bbst;
@@ -66,6 +71,7 @@ pub use srj_join as join;
 pub use srj_kdtree as kdtree;
 pub use srj_rangetree as rangetree;
 pub use srj_rtree as rtree;
+pub use srj_server as server;
 
 pub use srj_core::{
     BbstCursor, BbstIndex, BbstKdVariantCursor, BbstKdVariantIndex, BbstKdVariantSampler,
@@ -78,3 +84,6 @@ pub use srj_engine::{
     Algorithm, Engine, EngineCache, PlanReport, SamplerHandle, ShardedIndex, StatsSnapshot,
 };
 pub use srj_geom::{Point, PointId, Rect};
+pub use srj_server::{
+    Client, DatasetRegistry, RequestStatus, SampleOutcome, SampleRequest, Server, ServerConfig,
+};
