@@ -312,6 +312,21 @@ impl BbstIndex {
         self.cell_structs.first().map_or(1, CellBbsts::capacity)
     }
 
+    /// The `Arc`-shared `S`-side structures (grid + per-cell BBSTs), for
+    /// rebuilding an index over a mutated `R` without re-paying the
+    /// `S`-side build (epoch-based rebuilds hand these straight back to
+    /// [`BbstIndex::build_shared`] when only `R` changed). The returned
+    /// structure's phase durations are zero: the build cost was charged
+    /// to this index's report.
+    pub fn s_structures(&self) -> BbstSStructures {
+        BbstSStructures {
+            grid: Arc::clone(&self.grid),
+            cell_structs: Arc::clone(&self.cell_structs),
+            preprocessing: std::time::Duration::ZERO,
+            grid_mapping: std::time::Duration::ZERO,
+        }
+    }
+
     /// The configuration the index was built with.
     pub fn config(&self) -> &SampleConfig {
         &self.config

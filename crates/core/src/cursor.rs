@@ -114,6 +114,56 @@ pub trait SamplerIndex: Send + Sync {
     }
 }
 
+/// Object-safe view of a [`SamplerIndex`]: erases the per-cursor
+/// scratch type so heterogeneous indexes — in particular
+/// [`crate::OverlayIndex`]-wrapped ones, whose concrete type depends on
+/// the base algorithm — can stand behind one `Arc<dyn
+/// AnySamplerIndex>` (e.g. in an engine's epoch-swap cell).
+///
+/// Blanket-implemented for every `SamplerIndex`; [`any_cursor`] hands
+/// out a boxed [`Cursor`] so the timing/accounting logic still exists
+/// exactly once.
+///
+/// [`any_cursor`]: AnySamplerIndex::any_cursor
+pub trait AnySamplerIndex: Send + Sync {
+    /// Algorithm name as used in the paper's tables.
+    fn any_name(&self) -> &'static str;
+
+    /// A fresh boxed cursor over this shared index (O(1)).
+    fn any_cursor(self: Arc<Self>) -> Box<dyn JoinSampler + Send>;
+
+    /// Build-phase timing recorded at construction.
+    fn any_build_report(&self) -> PhaseReport;
+
+    /// Approximate heap footprint of the retained structures.
+    fn any_memory_bytes(&self) -> usize;
+
+    /// Total sampling weight `Σµ` (see [`SamplerIndex::total_weight`]).
+    fn any_total_weight(&self) -> f64;
+}
+
+impl<I: SamplerIndex + 'static> AnySamplerIndex for I {
+    fn any_name(&self) -> &'static str {
+        self.algorithm_name()
+    }
+
+    fn any_cursor(self: Arc<Self>) -> Box<dyn JoinSampler + Send> {
+        Box::new(Cursor::new(self))
+    }
+
+    fn any_build_report(&self) -> PhaseReport {
+        self.index_build_report()
+    }
+
+    fn any_memory_bytes(&self) -> usize {
+        self.index_memory_bytes()
+    }
+
+    fn any_total_weight(&self) -> f64 {
+        self.total_weight()
+    }
+}
+
 /// Cheap per-thread query state over a shared index: scratch buffers
 /// plus this cursor's own sampling-phase statistics. Construction is
 /// O(1); clone the `Arc` and make one cursor per serving thread.

@@ -107,6 +107,14 @@ impl KdsIndex {
         }
     }
 
+    /// The `Arc`-shared kd-tree over `S`, for rebuilding an index over
+    /// a mutated `R` without re-paying the `S`-side build (epoch-based
+    /// rebuilds hand this straight back to [`KdsIndex::build_shared`]
+    /// when only `R` changed).
+    pub fn s_tree(&self) -> Arc<KdTree> {
+        Arc::clone(&self.tree)
+    }
+
     /// Exact join cardinality `|J| = Σ_r |S(w(r))|` (free by-product of
     /// the counting step — one of KDS's few advantages).
     pub fn join_size(&self) -> u64 {

@@ -40,6 +40,15 @@
 //! — planner, index cache, `R`-sharding, latency statistics — on top
 //! of this split.
 //!
+//! ## Dynamic datasets
+//!
+//! Mutations never touch a built index: pending inserts/deletes live
+//! in a [`DeltaSet`] and an [`OverlayIndex`] composes any base index
+//! with them — three disjoint pair sources behind one per-iteration
+//! alias — so samples stay exactly uniform over the *current* join
+//! between full rebuilds (see [`overlay`](OverlayIndex)). The
+//! `srj-engine` crate drives this through its epoch-swap cell.
+//!
 //! ## Parallel builds
 //!
 //! The dominant build cost everywhere is the per-`r` upper-bounding
@@ -55,6 +64,7 @@ mod cursor;
 mod decompose;
 mod kds;
 mod materialize;
+mod overlay;
 pub mod parallel;
 mod rangetree_sampler;
 mod rejection;
@@ -63,9 +73,10 @@ mod variant;
 
 pub use bbst_alg::{BbstCursor, BbstIndex, BbstSStructures, BbstSampler};
 pub use config::{JoinPair, PhaseReport, SampleConfig, SampleError};
-pub use cursor::{Cursor, SamplerIndex};
+pub use cursor::{AnySamplerIndex, Cursor, SamplerIndex};
 pub use kds::{KdsCursor, KdsIndex, KdsSampler};
 pub use materialize::JoinThenSample;
+pub use overlay::{DeltaSet, OverlayIndex, OverlaySupport};
 pub use parallel::{chunk_bounds, effective_threads, par_map, ParMapReport};
 pub use rangetree_sampler::RangeTreeSampler;
 pub use rejection::{KdsRejectionCursor, KdsRejectionIndex, KdsRejectionSampler};

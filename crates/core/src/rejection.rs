@@ -178,6 +178,14 @@ impl KdsRejectionIndex {
         }
     }
 
+    /// The `Arc`-shared `S`-side structures (kd-tree + grid), for
+    /// rebuilding an index over a mutated `R` without re-paying the
+    /// `S`-side build (epoch-based rebuilds hand these straight back to
+    /// [`KdsRejectionIndex::build_shared`] when only `R` changed).
+    pub fn s_structures(&self) -> (Arc<KdTree>, Arc<Grid>) {
+        (Arc::clone(&self.tree), Arc::clone(&self.grid))
+    }
+
     /// Sum of the upper bounds `Σ_r µ(r)` (the rejection-rate
     /// denominator: expected iterations per sample is `Σµ / |J|`).
     pub fn mu_total(&self) -> f64 {

@@ -7,9 +7,13 @@
 //! so a cache hit is O(1) and the returned engine keeps working even if
 //! it is later evicted.
 //!
-//! Keys: a caller-chosen `u64` dataset identifier (version it when the
-//! data changes!), the exact bit pattern of `l`, the shard count, and
-//! the requested algorithm (`None` = planner's choice). Two `l` values
+//! Keys: a caller-chosen `u64` dataset identifier, the dataset
+//! **generation** (bump it when the data mutates — the `*_versioned`
+//! entry points; a mutated dataset must never be answered by an engine
+//! built over the old points, and [`EngineCache::invalidate_dataset`]
+//! eagerly drops every entry of a dataset), the exact bit pattern of
+//! `l`, the shard count, and the requested algorithm (`None` =
+//! planner's choice). Two `l` values
 //! that differ in the last mantissa bit are different keys — the cache
 //! never answers with an index built for a different window size — an
 //! unsharded engine is never answered for a sharded request (the shard
@@ -22,11 +26,16 @@ use std::sync::Mutex;
 
 use crate::{Algorithm, Engine};
 
-/// Cache key: dataset id + exact `l` bits + shard count + requested
-/// algorithm (`None` = "let the planner pick").
+/// Cache key: dataset id + dataset generation + exact `l` bits +
+/// shard count + requested algorithm (`None` = "let the planner pick").
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 struct CacheKey {
     dataset: u64,
+    /// Dataset **generation**: bumped by the owner whenever the data
+    /// mutates (an epoch-based store uses its rebuild epoch), so an
+    /// engine built over stale points can never answer for the mutated
+    /// dataset. `0` for the legacy unversioned entry points.
+    generation: u64,
     l_bits: u64,
     shards: usize,
     /// `None` for planner-chosen (auto) engines. A forced-algorithm
@@ -97,7 +106,9 @@ impl EngineCache {
 
     /// The engine for `(dataset, l, shards, algorithm)` if cached,
     /// refreshing its recency. `algorithm: None` addresses the
-    /// planner-chosen (auto) entry for the workload.
+    /// planner-chosen (auto) entry for the workload. Shorthand for
+    /// [`EngineCache::get_versioned`] at generation 0 (static
+    /// datasets).
     pub fn get_keyed(
         &self,
         dataset: u64,
@@ -105,8 +116,27 @@ impl EngineCache {
         shards: usize,
         algorithm: Option<Algorithm>,
     ) -> Option<Engine> {
+        self.get_versioned(dataset, 0, l, shards, algorithm)
+    }
+
+    /// The engine for `(dataset, generation, l, shards, algorithm)` if
+    /// cached, refreshing its recency. The generation is the dataset's
+    /// mutation epoch: callers serving a mutable dataset key every
+    /// lookup with the store's current generation, so engines built
+    /// over a previous generation's points are unreachable the moment
+    /// the data changes (they age out via LRU or
+    /// [`EngineCache::invalidate_dataset`]).
+    pub fn get_versioned(
+        &self,
+        dataset: u64,
+        generation: u64,
+        l: f64,
+        shards: usize,
+        algorithm: Option<Algorithm>,
+    ) -> Option<Engine> {
         let key = CacheKey {
             dataset,
+            generation,
             l_bits: l.to_bits(),
             shards: shards.max(1),
             algorithm,
@@ -150,7 +180,8 @@ impl EngineCache {
     /// The engine for `(dataset, l, shards, algorithm)`, building it
     /// with `build` on a miss and caching the result. `build` must
     /// produce an engine matching the key (shard count and, when
-    /// `algorithm` is `Some`, that algorithm).
+    /// `algorithm` is `Some`, that algorithm). Shorthand for
+    /// [`EngineCache::get_or_build_versioned`] at generation 0.
     pub fn get_or_build_keyed(
         &self,
         dataset: u64,
@@ -159,7 +190,22 @@ impl EngineCache {
         algorithm: Option<Algorithm>,
         build: impl FnOnce() -> Engine,
     ) -> Engine {
-        if let Some(hit) = self.get_keyed(dataset, l, shards, algorithm) {
+        self.get_or_build_versioned(dataset, 0, l, shards, algorithm, build)
+    }
+
+    /// The engine for `(dataset, generation, l, shards, algorithm)`,
+    /// building it with `build` on a miss and caching the result (see
+    /// [`EngineCache::get_versioned`] for the generation semantics).
+    pub fn get_or_build_versioned(
+        &self,
+        dataset: u64,
+        generation: u64,
+        l: f64,
+        shards: usize,
+        algorithm: Option<Algorithm>,
+        build: impl FnOnce() -> Engine,
+    ) -> Engine {
+        if let Some(hit) = self.get_versioned(dataset, generation, l, shards, algorithm) {
             return hit;
         }
         // Build outside the lock: concurrent misses on *different* keys
@@ -167,6 +213,7 @@ impl EngineCache {
         let engine = build();
         let key = CacheKey {
             dataset,
+            generation,
             l_bits: l.to_bits(),
             shards: shards.max(1),
             algorithm,
@@ -196,6 +243,22 @@ impl EngineCache {
             last_used: tick,
         });
         engine
+    }
+
+    /// Drops **every** cached engine for `dataset`, across all
+    /// generations, window sizes, shard counts, and algorithms;
+    /// returns how many entries were evicted.
+    ///
+    /// Generation-keyed lookups already make stale engines
+    /// unreachable; this additionally releases their memory eagerly —
+    /// call it when a dataset mutates (or is unregistered) instead of
+    /// waiting for LRU pressure. Engines still held by callers keep
+    /// serving (eviction never invalidates a clone).
+    pub fn invalidate_dataset(&self, dataset: u64) -> usize {
+        let mut inner = self.inner.lock().expect("engine cache poisoned");
+        let before = inner.entries.len();
+        inner.entries.retain(|e| e.key.dataset != dataset);
+        before - inner.entries.len()
     }
 
     /// Number of engines currently cached.
@@ -313,6 +376,50 @@ mod tests {
         assert!(cache.get_keyed(1, 5.0, 1, Some(Algorithm::Kds)).is_none());
         // the plain getters address the auto entry
         assert_eq!(cache.get(1, 5.0).unwrap().algorithm(), Algorithm::Kds);
+    }
+
+    #[test]
+    fn generation_is_part_of_the_key() {
+        let cache = EngineCache::new(4);
+        let mut builds = 0;
+        let g0 = cache.get_or_build_versioned(1, 0, 5.0, 1, None, || {
+            builds += 1;
+            tiny_engine(5.0)
+        });
+        // same dataset, new generation: the old engine must never answer
+        let g1 = cache.get_or_build_versioned(1, 1, 5.0, 1, None, || {
+            builds += 1;
+            tiny_engine(5.0)
+        });
+        assert_eq!(builds, 2, "a new generation must rebuild");
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get_versioned(1, 0, 5.0, 1, None).is_some());
+        assert!(cache.get_versioned(1, 2, 5.0, 1, None).is_none());
+        // the legacy unversioned getters address generation 0
+        assert!(cache.get(1, 5.0).is_some());
+        for e in [g0, g1] {
+            assert!(e.handle_seeded(0).sample_one().is_ok());
+        }
+    }
+
+    #[test]
+    fn invalidate_dataset_drops_every_generation_and_shape() {
+        let pts: Vec<Point> = (0..200).map(|i| Point::new(i as f64, i as f64)).collect();
+        let cache = EngineCache::new(8);
+        cache.get_or_build_versioned(1, 0, 5.0, 1, None, || tiny_engine(5.0));
+        cache.get_or_build_versioned(1, 3, 5.0, 1, None, || tiny_engine(5.0));
+        cache.get_or_build_versioned(1, 3, 6.0, 1, Some(Algorithm::Kds), || tiny_engine(6.0));
+        let survivor = cache.get_or_build_sharded(2, 5.0, 4, || {
+            Engine::build_sharded(&pts, &pts, &SampleConfig::new(5.0), Algorithm::Kds, 4)
+        });
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.invalidate_dataset(1), 3);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get_versioned(1, 3, 5.0, 1, None).is_none());
+        // other datasets untouched; evicted clones keep serving
+        assert!(cache.get_sharded(2, 5.0, 4).is_some());
+        assert!(survivor.handle_seeded(0).sample_one().is_ok());
+        assert_eq!(cache.invalidate_dataset(99), 0);
     }
 
     #[test]

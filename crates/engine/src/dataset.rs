@@ -1,0 +1,523 @@
+//! A versioned, mutable `(R, S)` point store — the source of truth the
+//! epoch-swap machinery serves from.
+//!
+//! The paper's structures are static; the serving system makes the
+//! *dataset* dynamic instead of the structures. A [`DatasetStore`]
+//! holds an immutable **base snapshot** (`Arc`-shared with every index
+//! built over it) plus a [`DeltaSet`] of pending mutations, and two
+//! counters:
+//!
+//! * **version** — bumped on every mutation. Engines compare it to
+//!   decide when to refresh their overlay snapshot.
+//! * **epoch** — bumped on every [`DatasetStore::compact`] (full
+//!   rebuild): the pending deltas are folded into a fresh base snapshot
+//!   and **point ids are renumbered** (live base points first, in id
+//!   order, then live inserted points, in insertion order). Sample
+//!   pairs are therefore only meaningful relative to the epoch they
+//!   were drawn in; [`DatasetSnapshot`] pins one epoch's view.
+//!
+//! Id assignment within an epoch is stable: base points keep
+//! `0..base_len`, the `i`-th insert since the last compaction gets
+//! `base_len + i`, and deletes tombstone ids without reuse.
+
+use std::sync::{Arc, RwLock};
+
+use srj_core::DeltaSet;
+use srj_geom::{Point, PointId};
+
+/// One epoch's consistent view of a [`DatasetStore`]: the base arrays
+/// (`Arc`-shared, never copied) plus a clone of the pending delta.
+#[derive(Clone)]
+pub struct DatasetSnapshot {
+    /// Base `R` points of the epoch (ids `0..base_r_len`).
+    pub base_r: Arc<Vec<Point>>,
+    /// Base `S` points of the epoch.
+    pub base_s: Arc<Vec<Point>>,
+    /// Mutations pending against the base at snapshot time.
+    pub delta: DeltaSet,
+    /// The epoch this snapshot belongs to.
+    pub epoch: u64,
+    /// The mutation version this snapshot reflects.
+    pub version: u64,
+}
+
+impl DatasetSnapshot {
+    /// Resolves `R` id `id` (base or inserted; live or tombstoned).
+    pub fn r_point(&self, id: PointId) -> Option<Point> {
+        self.delta.r_point(&self.base_r, id)
+    }
+
+    /// Resolves `S` id `id`.
+    pub fn s_point(&self, id: PointId) -> Option<Point> {
+        self.delta.s_point(&self.base_s, id)
+    }
+
+    /// Live `(id, point)` pairs of `R'` at this snapshot.
+    pub fn live_r(&self) -> Vec<(PointId, Point)> {
+        let mut out = Vec::with_capacity(self.delta.live_r_len());
+        for (i, &p) in self.base_r.iter().enumerate() {
+            let id = i as PointId;
+            if !self.delta.r_deleted.contains(&id) {
+                out.push((id, p));
+            }
+        }
+        for (i, &p) in self.delta.r_inserted.iter().enumerate() {
+            let id = (self.delta.base_r_len + i) as PointId;
+            if !self.delta.r_deleted.contains(&id) {
+                out.push((id, p));
+            }
+        }
+        out
+    }
+
+    /// Live `(id, point)` pairs of `S'` at this snapshot.
+    pub fn live_s(&self) -> Vec<(PointId, Point)> {
+        let mut out = Vec::with_capacity(self.delta.live_s_len());
+        for (j, &p) in self.base_s.iter().enumerate() {
+            let id = j as PointId;
+            if !self.delta.s_deleted.contains(&id) {
+                out.push((id, p));
+            }
+        }
+        for (j, &p) in self.delta.s_inserted.iter().enumerate() {
+            let id = (self.delta.base_s_len + j) as PointId;
+            if !self.delta.s_deleted.contains(&id) {
+                out.push((id, p));
+            }
+        }
+        out
+    }
+}
+
+/// Outcome of a batch mutation, read atomically with the mutation
+/// itself (one write lock covers the whole batch and the counters).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchApplied {
+    /// First id of the contiguous range assigned to an insert batch
+    /// (`0` for deletes; the would-be next id for an empty insert).
+    pub first_id: PointId,
+    /// Operations that took effect.
+    pub applied: u32,
+    /// Epoch the batch landed in.
+    pub epoch: u64,
+    /// Version after the batch.
+    pub version: u64,
+}
+
+struct StoreInner {
+    base_r: Arc<Vec<Point>>,
+    base_s: Arc<Vec<Point>>,
+    delta: DeltaSet,
+    epoch: u64,
+    version: u64,
+}
+
+/// A thread-safe, mutable `(R, S)` dataset with epoch-based
+/// compaction. Mutations are O(1) buffer appends / tombstones under a
+/// short write lock; readers take consistent [`DatasetSnapshot`]s.
+/// `EpochEngine` layers the serving side (overlay snapshots, rebuild
+/// threshold, planner feedback) on top.
+pub struct DatasetStore {
+    inner: RwLock<StoreInner>,
+}
+
+impl DatasetStore {
+    /// A store whose first epoch's base snapshot is `(r, s)`.
+    pub fn new(r: Vec<Point>, s: Vec<Point>) -> Self {
+        let delta = DeltaSet::for_base(r.len(), s.len());
+        DatasetStore {
+            inner: RwLock::new(StoreInner {
+                base_r: Arc::new(r),
+                base_s: Arc::new(s),
+                delta,
+                epoch: 0,
+                version: 0,
+            }),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, StoreInner> {
+        self.inner.read().expect("dataset store poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, StoreInner> {
+        self.inner.write().expect("dataset store poisoned")
+    }
+
+    /// Current epoch (bumped by [`DatasetStore::compact`]).
+    pub fn epoch(&self) -> u64 {
+        self.read().epoch
+    }
+
+    /// Current mutation version (bumped by every insert/delete and by
+    /// compaction).
+    pub fn version(&self) -> u64 {
+        self.read().version
+    }
+
+    /// Live `|R'|`.
+    pub fn live_r_len(&self) -> usize {
+        self.read().delta.live_r_len()
+    }
+
+    /// Live `|S'|`.
+    pub fn live_s_len(&self) -> usize {
+        self.read().delta.live_s_len()
+    }
+
+    /// Pending mutation count (inserts + tombstones since the last
+    /// compaction).
+    pub fn pending_ops(&self) -> usize {
+        self.read().delta.pending_ops()
+    }
+
+    /// Pending mutations as a fraction of the base snapshot size — the
+    /// quantity `EpochEngine` compares against its rebuild threshold.
+    pub fn delta_fraction(&self) -> f64 {
+        let inner = self.read();
+        let base = (inner.delta.base_r_len + inner.delta.base_s_len).max(1);
+        inner.delta.pending_ops() as f64 / base as f64
+    }
+
+    /// A consistent view of the current epoch (base arrays `Arc`-shared,
+    /// delta cloned).
+    pub fn snapshot(&self) -> DatasetSnapshot {
+        let inner = self.read();
+        DatasetSnapshot {
+            base_r: Arc::clone(&inner.base_r),
+            base_s: Arc::clone(&inner.base_s),
+            delta: inner.delta.clone(),
+            epoch: inner.epoch,
+            version: inner.version,
+        }
+    }
+
+    /// Inserts an `R` point, returning its id (stable until the next
+    /// compaction renumbers ids).
+    pub fn insert_r(&self, p: Point) -> PointId {
+        let mut inner = self.write();
+        let id = (inner.delta.base_r_len + inner.delta.r_inserted.len()) as PointId;
+        inner.delta.r_inserted.push(p);
+        inner.version += 1;
+        id
+    }
+
+    /// Inserts an `S` point, returning its id.
+    pub fn insert_s(&self, p: Point) -> PointId {
+        let mut inner = self.write();
+        let id = (inner.delta.base_s_len + inner.delta.s_inserted.len()) as PointId;
+        inner.delta.s_inserted.push(p);
+        inner.version += 1;
+        id
+    }
+
+    /// Tombstones `R` id `id`; `false` if the id is unknown or already
+    /// deleted (no version bump then).
+    pub fn delete_r(&self, id: PointId) -> bool {
+        let mut inner = self.write();
+        if (id as usize) >= inner.delta.base_r_len + inner.delta.r_inserted.len()
+            || !inner.delta.r_deleted.insert(id)
+        {
+            return false;
+        }
+        inner.version += 1;
+        true
+    }
+
+    /// Tombstones `S` id `id`; `false` if unknown or already deleted.
+    pub fn delete_s(&self, id: PointId) -> bool {
+        let mut inner = self.write();
+        if (id as usize) >= inner.delta.base_s_len + inner.delta.s_inserted.len()
+            || !inner.delta.s_deleted.insert(id)
+        {
+            return false;
+        }
+        inner.version += 1;
+        true
+    }
+
+    /// Inserts a whole batch of `R` points under **one** write lock,
+    /// returning the contiguous id range start and the epoch/version
+    /// the batch landed in. Per-point [`DatasetStore::insert_r`] calls
+    /// cannot promise contiguity under concurrency (another writer —
+    /// or a compaction — may interleave), and the network `UPDATE`
+    /// frame's `first_id + k` contract depends on it.
+    ///
+    /// An empty batch reports the would-be next id and the current
+    /// counters without bumping anything.
+    pub fn insert_r_batch(&self, points: &[Point]) -> BatchApplied {
+        let mut inner = self.write();
+        let first_id = (inner.delta.base_r_len + inner.delta.r_inserted.len()) as PointId;
+        inner.delta.r_inserted.extend_from_slice(points);
+        if !points.is_empty() {
+            inner.version += 1;
+        }
+        BatchApplied {
+            first_id,
+            applied: points.len() as u32,
+            epoch: inner.epoch,
+            version: inner.version,
+        }
+    }
+
+    /// Batch [`DatasetStore::insert_s`]; see
+    /// [`DatasetStore::insert_r_batch`] for the atomicity contract.
+    pub fn insert_s_batch(&self, points: &[Point]) -> BatchApplied {
+        let mut inner = self.write();
+        let first_id = (inner.delta.base_s_len + inner.delta.s_inserted.len()) as PointId;
+        inner.delta.s_inserted.extend_from_slice(points);
+        if !points.is_empty() {
+            inner.version += 1;
+        }
+        BatchApplied {
+            first_id,
+            applied: points.len() as u32,
+            epoch: inner.epoch,
+            version: inner.version,
+        }
+    }
+
+    /// Tombstones a batch of `R` ids under one write lock (unknown and
+    /// already-deleted ids are skipped — `applied` counts the ones
+    /// that took effect), with the epoch/version read atomically with
+    /// the mutation.
+    pub fn delete_r_batch(&self, ids: &[PointId]) -> BatchApplied {
+        let mut inner = self.write();
+        let known = inner.delta.base_r_len + inner.delta.r_inserted.len();
+        let mut applied = 0u32;
+        for &id in ids {
+            if (id as usize) < known && inner.delta.r_deleted.insert(id) {
+                applied += 1;
+            }
+        }
+        if applied > 0 {
+            inner.version += 1;
+        }
+        BatchApplied {
+            first_id: 0,
+            applied,
+            epoch: inner.epoch,
+            version: inner.version,
+        }
+    }
+
+    /// Batch [`DatasetStore::delete_s`]; see
+    /// [`DatasetStore::delete_r_batch`].
+    pub fn delete_s_batch(&self, ids: &[PointId]) -> BatchApplied {
+        let mut inner = self.write();
+        let known = inner.delta.base_s_len + inner.delta.s_inserted.len();
+        let mut applied = 0u32;
+        for &id in ids {
+            if (id as usize) < known && inner.delta.s_deleted.insert(id) {
+                applied += 1;
+            }
+        }
+        if applied > 0 {
+            inner.version += 1;
+        }
+        BatchApplied {
+            first_id: 0,
+            applied,
+            epoch: inner.epoch,
+            version: inner.version,
+        }
+    }
+
+    /// Folds the pending delta into a fresh base snapshot, bumping the
+    /// epoch and **renumbering ids** (live base points first, then live
+    /// inserts). No-op — and no epoch bump — when nothing is pending.
+    /// Returns the snapshot engines should rebuild from, and whether
+    /// `S` changed (an unchanged `S` lets the rebuild reuse the
+    /// previous epoch's `Arc`-shared `S`-side structures).
+    pub fn compact(&self) -> (DatasetSnapshot, bool) {
+        let mut inner = self.write();
+        if inner.delta.is_empty() {
+            let snap = DatasetSnapshot {
+                base_r: Arc::clone(&inner.base_r),
+                base_s: Arc::clone(&inner.base_s),
+                delta: inner.delta.clone(),
+                epoch: inner.epoch,
+                version: inner.version,
+            };
+            return (snap, false);
+        }
+        let s_changed = !inner.delta.s_inserted.is_empty() || !inner.delta.s_deleted.is_empty();
+        let new_r: Vec<Point> = {
+            let mut v = Vec::with_capacity(inner.delta.live_r_len());
+            for (i, &p) in inner.base_r.iter().enumerate() {
+                if !inner.delta.r_deleted.contains(&(i as PointId)) {
+                    v.push(p);
+                }
+            }
+            for (i, &p) in inner.delta.r_inserted.iter().enumerate() {
+                if !inner
+                    .delta
+                    .r_deleted
+                    .contains(&((inner.delta.base_r_len + i) as PointId))
+                {
+                    v.push(p);
+                }
+            }
+            v
+        };
+        let new_s: Arc<Vec<Point>> = if s_changed {
+            let mut v = Vec::with_capacity(inner.delta.live_s_len());
+            for (j, &p) in inner.base_s.iter().enumerate() {
+                if !inner.delta.s_deleted.contains(&(j as PointId)) {
+                    v.push(p);
+                }
+            }
+            for (j, &p) in inner.delta.s_inserted.iter().enumerate() {
+                if !inner
+                    .delta
+                    .s_deleted
+                    .contains(&((inner.delta.base_s_len + j) as PointId))
+                {
+                    v.push(p);
+                }
+            }
+            Arc::new(v)
+        } else {
+            // S untouched: the new epoch shares the very same allocation.
+            Arc::clone(&inner.base_s)
+        };
+        inner.base_r = Arc::new(new_r);
+        inner.base_s = new_s;
+        inner.delta = DeltaSet::for_base(inner.base_r.len(), inner.base_s.len());
+        inner.epoch += 1;
+        inner.version += 1;
+        let snap = DatasetSnapshot {
+            base_r: Arc::clone(&inner.base_r),
+            base_s: Arc::clone(&inner.base_s),
+            delta: inner.delta.clone(),
+            epoch: inner.epoch,
+            version: inner.version,
+        };
+        (snap, s_changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn ids_are_stable_within_an_epoch() {
+        let store = DatasetStore::new(vec![p(0.0, 0.0), p(1.0, 1.0)], vec![p(5.0, 5.0)]);
+        assert_eq!(store.insert_r(p(2.0, 2.0)), 2);
+        assert_eq!(store.insert_r(p(3.0, 3.0)), 3);
+        assert_eq!(store.insert_s(p(6.0, 6.0)), 1);
+        assert!(store.delete_r(0));
+        assert!(!store.delete_r(0), "double delete refused");
+        assert!(!store.delete_r(99), "unknown id refused");
+        assert_eq!(store.version(), 4);
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.live_r_len(), 3);
+        let snap = store.snapshot();
+        assert_eq!(snap.r_point(3), Some(p(3.0, 3.0)));
+        assert_eq!(snap.r_point(0), Some(p(0.0, 0.0)), "tombstoned resolves");
+        assert!(!snap.delta.is_r_live(0));
+        assert_eq!(snap.live_r().len(), 3);
+    }
+
+    #[test]
+    fn compact_folds_deltas_and_renumbers() {
+        let store = DatasetStore::new(vec![p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)], vec![]);
+        store.insert_r(p(3.0, 3.0));
+        store.delete_r(1);
+        let (snap, s_changed) = store.compact();
+        assert!(!s_changed, "S never mutated");
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(
+            snap.base_r.as_slice(),
+            &[p(0.0, 0.0), p(2.0, 2.0), p(3.0, 3.0)]
+        );
+        assert!(snap.delta.is_empty());
+        // next insert continues from the compacted length
+        assert_eq!(store.insert_r(p(9.0, 9.0)), 3);
+    }
+
+    #[test]
+    fn compact_is_a_noop_when_clean() {
+        let store = DatasetStore::new(vec![p(0.0, 0.0)], vec![p(1.0, 1.0)]);
+        let (snap, s_changed) = store.compact();
+        assert_eq!(snap.epoch, 0);
+        assert_eq!(store.epoch(), 0);
+        assert!(!s_changed);
+    }
+
+    #[test]
+    fn unchanged_s_shares_the_allocation_across_epochs() {
+        let store = DatasetStore::new(vec![p(0.0, 0.0)], vec![p(1.0, 1.0)]);
+        let before = store.snapshot();
+        store.insert_r(p(2.0, 2.0));
+        let (after, s_changed) = store.compact();
+        assert!(!s_changed);
+        assert!(Arc::ptr_eq(&before.base_s, &after.base_s));
+        assert!(!Arc::ptr_eq(&before.base_r, &after.base_r));
+    }
+
+    #[test]
+    fn batch_mutations_are_atomic_and_contiguous() {
+        // Interleaved writers: every batch must still get a contiguous
+        // id range, disjoint from every other batch (the wire UPDATE
+        // frame's first_id + k contract).
+        let store = Arc::new(DatasetStore::new(Vec::new(), Vec::new()));
+        let ranges: Vec<(u32, u32)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let store = Arc::clone(&store);
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for b in 0..50 {
+                            let pts = vec![p(w as f64, b as f64); 16];
+                            let applied = store.insert_r_batch(&pts);
+                            assert_eq!(applied.applied, 16);
+                            out.push((applied.first_id, applied.applied));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut covered = vec![false; 4 * 50 * 16];
+        for (first, applied) in ranges {
+            for id in first..first + applied {
+                assert!(!covered[id as usize], "id {id} claimed twice");
+                covered[id as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "id space has holes");
+        // one version bump per batch, not per point
+        assert_eq!(store.version(), 4 * 50);
+        // empty batches bump nothing and report the next id
+        let v = store.version();
+        let applied = store.insert_s_batch(&[]);
+        assert_eq!((applied.first_id, applied.applied), (0, 0));
+        assert_eq!(store.version(), v);
+        // batch deletes: applied counts only effective tombstones
+        let applied = store.delete_r_batch(&[0, 1, 0, 999_999]);
+        assert_eq!(applied.applied, 2);
+        assert_eq!(store.live_r_len(), 4 * 50 * 16 - 2);
+    }
+
+    #[test]
+    fn delta_fraction_tracks_pending_ops() {
+        let store = DatasetStore::new(vec![p(0.0, 0.0); 10], vec![p(0.0, 0.0); 10]);
+        assert_eq!(store.delta_fraction(), 0.0);
+        store.insert_s(p(1.0, 1.0));
+        store.delete_s(0);
+        assert!((store.delta_fraction() - 0.1).abs() < 1e-12);
+        store.compact();
+        assert_eq!(store.delta_fraction(), 0.0);
+    }
+}

@@ -7,8 +7,9 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use srj_core::{
-    BbstCursor, BbstIndex, Cursor, JoinPair, JoinSampler, KdsCursor, KdsIndex, KdsRejectionCursor,
-    KdsRejectionIndex, PhaseReport, SampleConfig, SampleError,
+    AnySamplerIndex, BbstCursor, BbstIndex, Cursor, DeltaSet, JoinPair, JoinSampler, KdsCursor,
+    KdsIndex, KdsRejectionCursor, KdsRejectionIndex, OverlayIndex, OverlaySupport, PhaseReport,
+    SampleConfig, SampleError,
 };
 use srj_geom::Point;
 
@@ -46,6 +47,16 @@ enum IndexKind {
     ShardedKds(Arc<ShardedIndex<KdsIndex>>),
     ShardedKdsRejection(Arc<ShardedIndex<KdsRejectionIndex>>),
     ShardedBbst(Arc<ShardedIndex<BbstIndex>>),
+    /// Type-erased index — a delta [`OverlayIndex`] over any of the
+    /// above (the overlay's concrete type depends on the base
+    /// algorithm, so the enum would otherwise double). The algorithm
+    /// and shard topology are recorded alongside because they can no
+    /// longer be pattern-matched out.
+    Dyn {
+        index: Arc<dyn AnySamplerIndex>,
+        algorithm: Algorithm,
+        shards: usize,
+    },
 }
 
 /// State shared by an engine and every handle it has issued.
@@ -276,6 +287,148 @@ impl Engine {
         }
     }
 
+    /// Wraps this engine's index in a delta [`OverlayIndex`], producing
+    /// a new engine that answers uniformly over the **mutated** dataset
+    /// (`base ∖ tombstones ∪ inserts`) while sharing the base build.
+    ///
+    /// The returned engine has fresh statistics and a fresh handle
+    /// sequence; the base engine — and every handle it already issued —
+    /// keeps serving the pre-mutation epoch untouched. This is the
+    /// minor-epoch half of `EpochEngine`'s swap mechanism.
+    ///
+    /// # Panics
+    /// Panics if `self` is itself an overlay engine: overlay snapshots
+    /// always stack on the epoch's *full* build, never on each other
+    /// (stacking would re-filter tombstones at every level and the
+    /// delta bookkeeping would no longer be O(|delta|)).
+    pub fn with_overlay(
+        &self,
+        delta: DeltaSet,
+        support: &OverlaySupport,
+        config: &SampleConfig,
+    ) -> Engine {
+        let algorithm = self.algorithm();
+        let shards = self.shards();
+        let index: Arc<dyn AnySamplerIndex> = match &self.shared.index {
+            IndexKind::Kds(ix) => {
+                Arc::new(OverlayIndex::new(Arc::clone(ix), delta, support, config))
+            }
+            IndexKind::KdsRejection(ix) => {
+                Arc::new(OverlayIndex::new(Arc::clone(ix), delta, support, config))
+            }
+            IndexKind::Bbst(ix) => {
+                Arc::new(OverlayIndex::new(Arc::clone(ix), delta, support, config))
+            }
+            IndexKind::ShardedKds(ix) => {
+                Arc::new(OverlayIndex::new(Arc::clone(ix), delta, support, config))
+            }
+            IndexKind::ShardedKdsRejection(ix) => {
+                Arc::new(OverlayIndex::new(Arc::clone(ix), delta, support, config))
+            }
+            IndexKind::ShardedBbst(ix) => {
+                Arc::new(OverlayIndex::new(Arc::clone(ix), delta, support, config))
+            }
+            IndexKind::Dyn { .. } => {
+                panic!("overlay engines must wrap the epoch's full build, not another overlay")
+            }
+        };
+        Engine {
+            shared: Arc::new(EngineShared {
+                index: IndexKind::Dyn {
+                    index,
+                    algorithm,
+                    shards,
+                },
+                stats: EngineStats::new(),
+                plan: self.shared.plan,
+                handle_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Rebuilds this engine over a new `R` while **reusing** its
+    /// `Arc`-shared `S`-side structures (kd-tree / grid / per-cell
+    /// BBSTs) — the cheap major-epoch swap when only `R` mutated.
+    /// Algorithm and shard topology are preserved; the `S`-side is
+    /// neither rebuilt nor copied.
+    ///
+    /// Returns `None` for overlay engines (rebuild from the epoch base
+    /// instead). The caller must guarantee `S` is unchanged and
+    /// `config` matches the original build (`build_shared` asserts the
+    /// structural parts).
+    pub fn rebuild_r_only(&self, r: &[Point], config: &SampleConfig) -> Option<Engine> {
+        let shard_cfg = SampleConfig {
+            build_threads: 1,
+            ..*config
+        };
+        let index = match &self.shared.index {
+            IndexKind::Kds(ix) => {
+                IndexKind::Kds(Arc::new(KdsIndex::build_shared(r, ix.s_tree(), config)))
+            }
+            IndexKind::KdsRejection(ix) => {
+                let (tree, grid) = ix.s_structures();
+                IndexKind::KdsRejection(Arc::new(KdsRejectionIndex::build_shared(
+                    r, tree, grid, config,
+                )))
+            }
+            IndexKind::Bbst(ix) => IndexKind::Bbst(Arc::new(BbstIndex::build_shared(
+                r,
+                config,
+                &ix.s_structures(),
+            ))),
+            IndexKind::ShardedKds(sx) => {
+                let tree = sx.shard(0).s_tree();
+                IndexKind::ShardedKds(Arc::new(ShardedIndex::build(
+                    r,
+                    config,
+                    sx.shard_count(),
+                    |chunk| KdsIndex::build_shared(chunk, Arc::clone(&tree), &shard_cfg),
+                )))
+            }
+            IndexKind::ShardedKdsRejection(sx) => {
+                let (tree, grid) = sx.shard(0).s_structures();
+                IndexKind::ShardedKdsRejection(Arc::new(ShardedIndex::build(
+                    r,
+                    config,
+                    sx.shard_count(),
+                    |chunk| {
+                        KdsRejectionIndex::build_shared(
+                            chunk,
+                            Arc::clone(&tree),
+                            Arc::clone(&grid),
+                            &shard_cfg,
+                        )
+                    },
+                )))
+            }
+            IndexKind::ShardedBbst(sx) => {
+                let s_side = sx.shard(0).s_structures();
+                IndexKind::ShardedBbst(Arc::new(ShardedIndex::build(
+                    r,
+                    config,
+                    sx.shard_count(),
+                    |chunk| BbstIndex::build_shared(chunk, &shard_cfg, &s_side),
+                )))
+            }
+            IndexKind::Dyn { .. } => return None,
+        };
+        Some(Engine {
+            shared: Arc::new(EngineShared {
+                index,
+                stats: EngineStats::new(),
+                // The old plan described the pre-mutation workload.
+                plan: None,
+                handle_seq: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Whether this engine serves through a delta overlay (pending
+    /// mutations present) rather than a full build.
+    pub fn is_overlay(&self) -> bool {
+        matches!(self.shared.index, IndexKind::Dyn { .. })
+    }
+
     /// The algorithm this engine serves with.
     pub fn algorithm(&self) -> Algorithm {
         match &self.shared.index {
@@ -284,6 +437,7 @@ impl Engine {
                 Algorithm::KdsRejection
             }
             IndexKind::Bbst(_) | IndexKind::ShardedBbst(_) => Algorithm::Bbst,
+            IndexKind::Dyn { algorithm, .. } => *algorithm,
         }
     }
 
@@ -294,6 +448,7 @@ impl Engine {
             IndexKind::ShardedKds(ix) => ix.shard_count(),
             IndexKind::ShardedKdsRejection(ix) => ix.shard_count(),
             IndexKind::ShardedBbst(ix) => ix.shard_count(),
+            IndexKind::Dyn { shards, .. } => *shards,
         }
     }
 
@@ -330,6 +485,7 @@ impl Engine {
                 CursorKind::ShardedKdsRejection(Cursor::new(Arc::clone(ix)))
             }
             IndexKind::ShardedBbst(ix) => CursorKind::ShardedBbst(Cursor::new(Arc::clone(ix))),
+            IndexKind::Dyn { index, .. } => CursorKind::Dyn(Arc::clone(index).any_cursor()),
         };
         SamplerHandle {
             cursor,
@@ -341,6 +497,14 @@ impl Engine {
     /// Aggregate statistics across every handle this engine has issued.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Just `(samples, iterations)` — the rejection-rate pair as two
+    /// relaxed atomic loads, for callers (the epoch re-plan check runs
+    /// per handle acquisition) that must not pay for a full
+    /// histogram-walking [`Engine::stats`] snapshot.
+    pub fn sample_counters(&self) -> (u64, u64) {
+        self.shared.stats.sample_counters()
     }
 
     /// Build-phase timing of the underlying index. For sharded engines
@@ -356,6 +520,7 @@ impl Engine {
             IndexKind::ShardedKds(ix) => ix.index_build_report(),
             IndexKind::ShardedKdsRejection(ix) => ix.index_build_report(),
             IndexKind::ShardedBbst(ix) => ix.index_build_report(),
+            IndexKind::Dyn { index, .. } => index.any_build_report(),
         }
     }
 
@@ -369,6 +534,7 @@ impl Engine {
             IndexKind::ShardedKds(ix) => ix.index_memory_bytes(),
             IndexKind::ShardedKdsRejection(ix) => ix.index_memory_bytes(),
             IndexKind::ShardedBbst(ix) => ix.index_memory_bytes(),
+            IndexKind::Dyn { index, .. } => index.any_memory_bytes(),
         }
     }
 }
@@ -381,6 +547,8 @@ enum CursorKind {
     ShardedKds(Cursor<ShardedIndex<KdsIndex>>),
     ShardedKdsRejection(Cursor<ShardedIndex<KdsRejectionIndex>>),
     ShardedBbst(Cursor<ShardedIndex<BbstIndex>>),
+    /// Boxed cursor over a type-erased ([`IndexKind::Dyn`]) index.
+    Dyn(Box<dyn JoinSampler + Send>),
 }
 
 impl CursorKind {
@@ -392,6 +560,7 @@ impl CursorKind {
             CursorKind::ShardedKds(c) => c,
             CursorKind::ShardedKdsRejection(c) => c,
             CursorKind::ShardedBbst(c) => c,
+            CursorKind::Dyn(c) => &mut **c,
         }
     }
 
@@ -403,6 +572,7 @@ impl CursorKind {
             CursorKind::ShardedKds(c) => c.report(),
             CursorKind::ShardedKdsRejection(c) => c.report(),
             CursorKind::ShardedBbst(c) => c.report(),
+            CursorKind::Dyn(c) => c.report(),
         }
     }
 }
@@ -494,12 +664,13 @@ impl SamplerHandle {
 
     /// The algorithm behind this handle.
     pub fn algorithm(&self) -> Algorithm {
-        match self.cursor {
-            CursorKind::Kds(_) | CursorKind::ShardedKds(_) => Algorithm::Kds,
-            CursorKind::KdsRejection(_) | CursorKind::ShardedKdsRejection(_) => {
+        match &self.shared.index {
+            IndexKind::Kds(_) | IndexKind::ShardedKds(_) => Algorithm::Kds,
+            IndexKind::KdsRejection(_) | IndexKind::ShardedKdsRejection(_) => {
                 Algorithm::KdsRejection
             }
-            CursorKind::Bbst(_) | CursorKind::ShardedBbst(_) => Algorithm::Bbst,
+            IndexKind::Bbst(_) | IndexKind::ShardedBbst(_) => Algorithm::Bbst,
+            IndexKind::Dyn { algorithm, .. } => *algorithm,
         }
     }
 }

@@ -1,0 +1,663 @@
+//! Epoch-versioned serving over a mutable dataset, with
+//! rejection-rate-driven re-planning.
+//!
+//! An [`EpochEngine`] wraps the immutable-engine machinery in an
+//! atomic-swap cell over a [`DatasetStore`]:
+//!
+//! ```text
+//!   DatasetStore (mutable R/S + DeltaSet + epoch/version counters)
+//!        │ insert/delete (O(1) buffered)
+//!        ▼
+//!   EpochEngine ── swap cell ──► Engine (epoch e, full build)
+//!        │                         ▲            │
+//!        │ minor swap: delta       │            └─ in-flight
+//!        │ overlay snapshot        │               SamplerHandles pin
+//!        │ (O(|delta|))            │               their epoch via Arc
+//!        │ major swap: compact + rebuild
+//!        │ (S-side Arc-reused when only R changed)
+//!        └─ re-plan swap: observed rejection_rate diverged from
+//!           PlanReport::est_overhead → planner::replan_for_observed
+//!           picks a new algorithm, hot-swapped through the same path
+//! ```
+//!
+//! **Swap semantics.** Handles pin their engine through an `Arc`: a
+//! swap never interrupts an in-flight handle — it finishes (and keeps
+//! recording stats) against the epoch it started on, while every
+//! *new* handle sees the freshly swapped engine. Refresh is **lazy**:
+//! mutations only buffer into the store; the first
+//! [`EpochEngine::handle`] after a mutation pays the swap (an
+//! `O(|delta|)` overlay snapshot, or a rebuild once the pending delta
+//! exceeds [`EpochConfig::rebuild_fraction`] of the base).
+//!
+//! **Re-planning.** The serving-time rejection overhead
+//! (`iterations / samples`, accumulated across the epoch's overlay
+//! snapshots) is compared against the build-time estimate
+//! `PlanReport::est_overhead`. When the observation exceeds the
+//! estimate by [`EpochConfig::replan_factor`] — the §III-B bounds
+//! turned out loose, e.g. after skewed inserts — the engine re-plans
+//! via [`crate::planner::replan_for_observed`] and hot-swaps the new
+//! algorithm through a major epoch swap. Zero-sample engines never
+//! trigger (the rate accessors return `None`, not NaN).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use srj_core::{OverlaySupport, SampleConfig};
+use srj_geom::{Point, PointId};
+
+use crate::dataset::{DatasetSnapshot, DatasetStore};
+use crate::planner::{self, replan_for_observed};
+use crate::stats::StatsSnapshot;
+use crate::{Algorithm, Engine, SamplerHandle};
+
+/// Knobs for the epoch/re-plan machinery.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochConfig {
+    /// Major-rebuild threshold: compact and rebuild once pending
+    /// mutations exceed this fraction of the base snapshot size.
+    /// Default 0.25.
+    pub rebuild_fraction: f64,
+    /// Re-plan when the observed rejection overhead exceeds the
+    /// planned estimate by this factor. Default 2.0.
+    pub replan_factor: f64,
+    /// Minimum accepted samples (per epoch) before the re-plan trigger
+    /// is considered — avoids deciding on noise. Default 1024.
+    pub replan_min_samples: u64,
+    /// `R`-shard count for every build (see [`Engine::build_sharded`]).
+    /// Default 1.
+    pub shards: usize,
+    /// Pinned algorithm, or `None` for planner choice + adaptive
+    /// re-planning (a pinned algorithm is never re-planned away).
+    pub algorithm: Option<Algorithm>,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        EpochConfig {
+            rebuild_fraction: 0.25,
+            replan_factor: 2.0,
+            replan_min_samples: 1024,
+            shards: 1,
+            algorithm: None,
+        }
+    }
+}
+
+impl EpochConfig {
+    /// Overrides the rebuild threshold.
+    pub fn with_rebuild_fraction(mut self, fraction: f64) -> Self {
+        assert!(fraction > 0.0, "rebuild fraction must be positive");
+        self.rebuild_fraction = fraction;
+        self
+    }
+
+    /// Overrides the re-plan divergence factor.
+    pub fn with_replan_factor(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "replan factor must be >= 1");
+        self.replan_factor = factor;
+        self
+    }
+
+    /// Overrides the re-plan warm-up sample count.
+    pub fn with_replan_min_samples(mut self, samples: u64) -> Self {
+        self.replan_min_samples = samples;
+        self
+    }
+
+    /// Sets the shard topology.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Pins the serving algorithm (disables re-planning).
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+}
+
+/// What the swap cell currently serves.
+struct EpochState {
+    /// The epoch's full (non-overlay) build — overlay snapshots stack
+    /// on this, and R-only rebuilds harvest its `S`-side structures.
+    base: Engine,
+    /// The exact `S` allocation `base` was built over. A rebuild may
+    /// only reuse `base`'s `S`-side structures when the store still
+    /// serves this very allocation ([`DatasetStore::compact`] keeps
+    /// the `Arc` whenever `S` is untouched) — a version/flag check is
+    /// not enough, because a sibling engine sharing the store may have
+    /// compacted an `S` mutation in between.
+    base_s: Arc<Vec<Point>>,
+    /// What new handles get: `base`, or an overlay snapshot over it.
+    current: Engine,
+    /// Per-epoch overlay support grids, built lazily on the first
+    /// mutation of the epoch and shared by all its snapshots.
+    support: Option<Arc<OverlaySupport>>,
+    built_epoch: u64,
+    built_version: u64,
+    /// The planner's `Σµ/|Ĵ|` estimate for this epoch (`None` after a
+    /// forced/re-planned/R-only build — the absolute
+    /// [`planner::MAX_REJECTION_OVERHEAD`] baseline applies then).
+    planned_overhead: f64,
+    has_plan: bool,
+    /// Stats carried over from this epoch's superseded overlay
+    /// snapshots (their engines got fresh counters), so the re-plan
+    /// signal sees the whole epoch.
+    acc_samples: u64,
+    acc_iterations: u64,
+}
+
+enum Maintenance {
+    /// Store drifted: refresh the snapshot (minor or major per the
+    /// rebuild threshold).
+    Drift,
+    /// Observed rejection overhead diverged: hot-swap to this
+    /// algorithm.
+    Replan(Algorithm),
+}
+
+/// Epoch-versioned engine over a [`DatasetStore`]: lazy overlay/rebuild
+/// swaps plus rejection-rate-driven re-planning. See the module docs.
+///
+/// `Send + Sync`; share one behind an `Arc`. Reads (issuing handles)
+/// take a short read lock; a needed swap is serialised on a
+/// maintenance mutex and paid by the first caller that observes the
+/// drift.
+pub struct EpochEngine {
+    store: Arc<DatasetStore>,
+    config: SampleConfig,
+    cfg: EpochConfig,
+    state: RwLock<EpochState>,
+    maintain: Mutex<()>,
+    minor_swaps: AtomicU64,
+    major_swaps: AtomicU64,
+    replans: AtomicU64,
+    last_swap_ns: AtomicU64,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EpochEngine>();
+};
+
+impl EpochEngine {
+    /// Builds the first epoch over a fresh store holding `(r, s)`.
+    pub fn new(r: Vec<Point>, s: Vec<Point>, config: &SampleConfig, cfg: EpochConfig) -> Self {
+        Self::with_store(Arc::new(DatasetStore::new(r, s)), config, cfg)
+    }
+
+    /// Builds the first epoch over an existing (possibly shared and
+    /// already mutated) store. Multiple epoch engines — e.g. one per
+    /// window size `l` — may share one store; each maintains its own
+    /// swap cell and refreshes independently.
+    pub fn with_store(store: Arc<DatasetStore>, config: &SampleConfig, cfg: EpochConfig) -> Self {
+        let snap = store.snapshot();
+        let (base, planned) = Self::build_base(&snap, config, &cfg, cfg.algorithm);
+        let mut state = EpochState {
+            current: base.clone(),
+            base,
+            base_s: Arc::clone(&snap.base_s),
+            support: None,
+            built_epoch: snap.epoch,
+            built_version: snap.version,
+            planned_overhead: planned.unwrap_or(planner::MAX_REJECTION_OVERHEAD),
+            has_plan: planned.is_some(),
+            acc_samples: 0,
+            acc_iterations: 0,
+        };
+        if !snap.delta.is_empty() {
+            // The store already carried mutations: serve them through
+            // an overlay from the start.
+            let support = Arc::new(OverlaySupport::build(
+                &snap.base_r,
+                &snap.base_s,
+                config.half_extent,
+            ));
+            state.current = state
+                .base
+                .with_overlay(snap.delta.clone(), &support, config);
+            state.support = Some(support);
+        }
+        EpochEngine {
+            store,
+            config: *config,
+            cfg,
+            state: RwLock::new(state),
+            maintain: Mutex::new(()),
+            minor_swaps: AtomicU64::new(0),
+            major_swaps: AtomicU64::new(0),
+            replans: AtomicU64::new(0),
+            last_swap_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn build_base(
+        snap: &DatasetSnapshot,
+        config: &SampleConfig,
+        cfg: &EpochConfig,
+        forced: Option<Algorithm>,
+    ) -> (Engine, Option<f64>) {
+        match forced {
+            Some(a) => (
+                Engine::build_sharded(&snap.base_r, &snap.base_s, config, a, cfg.shards),
+                None,
+            ),
+            None => {
+                let e = Engine::auto_sharded(&snap.base_r, &snap.base_s, config, cfg.shards);
+                let planned = e.plan().and_then(|p| p.est_overhead);
+                (e, planned)
+            }
+        }
+    }
+
+    /// The shared mutable dataset.
+    pub fn store(&self) -> &Arc<DatasetStore> {
+        &self.store
+    }
+
+    /// Inserts an `R` point (buffered; served by the next refresh).
+    pub fn insert_r(&self, p: Point) -> PointId {
+        self.store.insert_r(p)
+    }
+
+    /// Inserts an `S` point.
+    pub fn insert_s(&self, p: Point) -> PointId {
+        self.store.insert_s(p)
+    }
+
+    /// Tombstones an `R` point by id.
+    pub fn delete_r(&self, id: PointId) -> bool {
+        self.store.delete_r(id)
+    }
+
+    /// Tombstones an `S` point by id.
+    pub fn delete_s(&self, id: PointId) -> bool {
+        self.store.delete_s(id)
+    }
+
+    /// A serving handle over the **current** dataset state (refreshing
+    /// the swap cell first if mutations or a re-plan are due). The
+    /// handle pins its epoch: later swaps never interrupt it.
+    pub fn handle(&self) -> SamplerHandle {
+        self.refresh();
+        self.state
+            .read()
+            .expect("epoch state poisoned")
+            .current
+            .handle()
+    }
+
+    /// Like [`EpochEngine::handle`] with a fixed RNG seed.
+    pub fn handle_seeded(&self, seed: u64) -> SamplerHandle {
+        self.refresh();
+        self.state
+            .read()
+            .expect("epoch state poisoned")
+            .current
+            .handle_seeded(seed)
+    }
+
+    /// The engine currently in the swap cell (O(1) `Arc` clone; does
+    /// **not** refresh first — pair with [`EpochEngine::refresh`] when
+    /// pending mutations must be visible).
+    pub fn engine(&self) -> Engine {
+        self.state
+            .read()
+            .expect("epoch state poisoned")
+            .current
+            .clone()
+    }
+
+    /// The algorithm currently serving.
+    pub fn algorithm(&self) -> Algorithm {
+        self.state
+            .read()
+            .expect("epoch state poisoned")
+            .current
+            .algorithm()
+    }
+
+    /// The epoch the swap cell serves (trails
+    /// [`DatasetStore::epoch`] until the next refresh).
+    pub fn epoch(&self) -> u64 {
+        self.state.read().expect("epoch state poisoned").built_epoch
+    }
+
+    /// Statistics of the current engine (per overlay snapshot; see
+    /// [`EpochEngine::observed_rejection_rate`] for the epoch-wide
+    /// signal).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.state
+            .read()
+            .expect("epoch state poisoned")
+            .current
+            .stats()
+    }
+
+    /// Epoch-wide observed rejection overhead `iterations / samples`,
+    /// accumulated across the epoch's overlay snapshots. `None` until
+    /// a sample is accepted — zero-sample engines must never feed NaN
+    /// into the re-plan trigger.
+    pub fn observed_rejection_rate(&self) -> Option<f64> {
+        let st = self.state.read().expect("epoch state poisoned");
+        let (cur_samples, cur_iterations) = st.current.sample_counters();
+        let samples = st.acc_samples + cur_samples;
+        let iterations = st.acc_iterations + cur_iterations;
+        (samples > 0).then(|| iterations as f64 / samples as f64)
+    }
+
+    /// The planner's rejection-overhead estimate for this epoch, when
+    /// the epoch was planner-built.
+    pub fn planned_overhead(&self) -> Option<f64> {
+        let st = self.state.read().expect("epoch state poisoned");
+        st.has_plan.then_some(st.planned_overhead)
+    }
+
+    /// Minor swaps so far (overlay snapshot replaced).
+    pub fn minor_swaps(&self) -> u64 {
+        self.minor_swaps.load(Ordering::Relaxed)
+    }
+
+    /// Major swaps so far (epoch rebuilt: threshold, external
+    /// compaction, or re-plan).
+    pub fn major_swaps(&self) -> u64 {
+        self.major_swaps.load(Ordering::Relaxed)
+    }
+
+    /// Re-plan hot-swaps so far.
+    pub fn replans(&self) -> u64 {
+        self.replans.load(Ordering::Relaxed)
+    }
+
+    /// Duration of the most recent swap (minor or major).
+    pub fn last_swap(&self) -> Duration {
+        Duration::from_nanos(self.last_swap_ns.load(Ordering::Relaxed))
+    }
+
+    /// What maintenance the cell needs, if any.
+    fn pending_maintenance(&self, st: &EpochState) -> Option<Maintenance> {
+        if st.built_epoch != self.store.epoch() || st.built_version != self.store.version() {
+            return Some(Maintenance::Drift);
+        }
+        self.replan_target(st).map(Maintenance::Replan)
+    }
+
+    /// The algorithm a re-plan would switch to, when the observed
+    /// rejection overhead has diverged far enough to justify one.
+    fn replan_target(&self, st: &EpochState) -> Option<Algorithm> {
+        if self.cfg.algorithm.is_some() {
+            return None; // pinned
+        }
+        // Two relaxed loads, not a full stats snapshot: this runs on
+        // every handle acquisition.
+        let (cur_samples, cur_iterations) = st.current.sample_counters();
+        let samples = st.acc_samples + cur_samples;
+        let iterations = st.acc_iterations + cur_iterations;
+        // Guard: a zero-sample epoch has no observation (the accessors
+        // return None, never NaN) and must not trigger anything.
+        if samples == 0 || samples < self.cfg.replan_min_samples.max(1) {
+            return None;
+        }
+        let observed = iterations as f64 / samples as f64;
+        if observed <= st.planned_overhead * self.cfg.replan_factor {
+            return None;
+        }
+        let (algorithm, _) =
+            replan_for_observed(self.store.live_r_len(), self.store.live_s_len(), observed);
+        (algorithm != st.current.algorithm()).then_some(algorithm)
+    }
+
+    /// Brings the swap cell up to date with the store and the re-plan
+    /// signal. Called automatically by [`EpochEngine::handle`]; cheap
+    /// (two counter loads) when nothing is pending.
+    pub fn refresh(&self) {
+        {
+            let st = self.state.read().expect("epoch state poisoned");
+            if self.pending_maintenance(&st).is_none() {
+                return;
+            }
+        }
+        let _g = self.maintain.lock().expect("maintenance lock poisoned");
+        // Re-check under the maintenance lock: another thread may have
+        // already performed the swap.
+        let work = {
+            let st = self.state.read().expect("epoch state poisoned");
+            match self.pending_maintenance(&st) {
+                None => return,
+                Some(w) => w,
+            }
+        };
+        let t0 = Instant::now();
+        match work {
+            Maintenance::Replan(algorithm) => self.major_swap(Some(algorithm), true),
+            Maintenance::Drift => {
+                let epoch_changed = self.store.epoch()
+                    != self.state.read().expect("epoch state poisoned").built_epoch;
+                if epoch_changed || self.store.delta_fraction() >= self.cfg.rebuild_fraction {
+                    self.major_swap(self.cfg.algorithm, false);
+                } else {
+                    self.minor_swap();
+                }
+            }
+        }
+        self.last_swap_ns.store(
+            t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Major swap: compact the store (folding the delta, bumping the
+    /// epoch) and rebuild — through [`Engine::rebuild_r_only`] when `S`
+    /// is untouched and the algorithm is kept, so the `Arc`-shared
+    /// `S`-side structures of the previous epoch carry over and the
+    /// swap costs only the `R`-side build.
+    fn major_swap(&self, forced: Option<Algorithm>, is_replan: bool) {
+        let (snap, _) = self.store.compact();
+        let (prev_base, prev_algorithm, prev_base_s) = {
+            let st = self.state.read().expect("epoch state poisoned");
+            (st.base.clone(), st.base.algorithm(), Arc::clone(&st.base_s))
+        };
+        // Reuse is sound only if the store still serves the exact S
+        // allocation the previous base was built over (see the
+        // `EpochState::base_s` docs for why the compact's own flag is
+        // not enough).
+        let reuse_s_side =
+            Arc::ptr_eq(&snap.base_s, &prev_base_s) && forced.is_none_or(|a| a == prev_algorithm);
+        let (engine, planned) = if reuse_s_side {
+            match prev_base.rebuild_r_only(&snap.base_r, &self.config) {
+                Some(e) => (e, None),
+                None => Self::build_base(&snap, &self.config, &self.cfg, forced),
+            }
+        } else {
+            Self::build_base(&snap, &self.config, &self.cfg, forced)
+        };
+        let mut st = self.state.write().expect("epoch state poisoned");
+        st.base = engine.clone();
+        st.base_s = Arc::clone(&snap.base_s);
+        st.current = engine;
+        st.support = None;
+        st.built_epoch = snap.epoch;
+        st.built_version = snap.version;
+        st.planned_overhead = planned.unwrap_or(planner::MAX_REJECTION_OVERHEAD);
+        st.has_plan = planned.is_some();
+        st.acc_samples = 0;
+        st.acc_iterations = 0;
+        drop(st);
+        self.major_swaps.fetch_add(1, Ordering::Relaxed);
+        if is_replan {
+            self.replans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Minor swap: a fresh `O(|delta|)` overlay snapshot over the
+    /// epoch's unchanged base build.
+    fn minor_swap(&self) {
+        let snap = self.store.snapshot();
+        let (base, support, built_epoch) = {
+            let st = self.state.read().expect("epoch state poisoned");
+            (st.base.clone(), st.support.clone(), st.built_epoch)
+        };
+        if snap.epoch != built_epoch {
+            // The store was compacted between decision and snapshot
+            // (e.g. by a sibling engine sharing the store).
+            return self.major_swap(self.cfg.algorithm, false);
+        }
+        let support = support.unwrap_or_else(|| {
+            Arc::new(OverlaySupport::build(
+                &snap.base_r,
+                &snap.base_s,
+                self.config.half_extent,
+            ))
+        });
+        let engine = if snap.delta.is_empty() {
+            base.clone()
+        } else {
+            base.with_overlay(snap.delta.clone(), &support, &self.config)
+        };
+        let mut st = self.state.write().expect("epoch state poisoned");
+        // Carry the superseded snapshot's counters into the epoch
+        // accumulator so the re-plan signal keeps its history.
+        let (old_samples, old_iterations) = st.current.sample_counters();
+        st.acc_samples += old_samples;
+        st.acc_iterations += old_iterations;
+        st.current = engine;
+        st.support = Some(support);
+        st.built_version = snap.version;
+        drop(st);
+        self.minor_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srj_geom::Rect;
+
+    fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * extent, next() * extent))
+            .collect()
+    }
+
+    #[test]
+    fn inserts_become_sampleable_without_a_rebuild() {
+        let r = pseudo_points(60, 1, 50.0);
+        let s = pseudo_points(80, 2, 50.0);
+        let l = 5.0;
+        let engine = EpochEngine::new(r, s, &SampleConfig::new(l), EpochConfig::default());
+        assert_eq!(engine.epoch(), 0);
+
+        // A far-away cluster only reachable through the new points.
+        let rid = engine.insert_r(Point::new(500.0, 500.0));
+        let sid = engine.insert_s(Point::new(501.0, 501.0));
+        let mut h = engine.handle_seeded(7);
+        assert_eq!(engine.epoch(), 0, "small delta must not rebuild");
+        assert!(engine.engine().is_overlay());
+        assert_eq!(engine.minor_swaps(), 1);
+
+        let snap = engine.store().snapshot();
+        let mut saw_new = false;
+        for _ in 0..3_000 {
+            let p = h.sample_one().unwrap();
+            let rp = snap.r_point(p.r).unwrap();
+            let sp = snap.s_point(p.s).unwrap();
+            assert!(Rect::window(rp, l).contains(sp));
+            saw_new |= p.r == rid && p.s == sid;
+        }
+        assert!(saw_new, "inserted pair never sampled");
+    }
+
+    #[test]
+    fn deletes_stop_being_sampled_immediately() {
+        let r = pseudo_points(40, 11, 30.0);
+        let s = pseudo_points(60, 12, 30.0);
+        let engine = EpochEngine::new(r, s, &SampleConfig::new(4.0), EpochConfig::default());
+        assert!(engine.delete_r(0));
+        assert!(engine.delete_s(3));
+        let mut h = engine.handle_seeded(3);
+        for _ in 0..2_000 {
+            match h.sample_one() {
+                Ok(p) => {
+                    assert_ne!(p.r, 0, "tombstoned R point sampled");
+                    assert_ne!(p.s, 3, "tombstoned S point sampled");
+                }
+                Err(_) => break, // join may be sparse; errors are fine here
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_triggers_a_major_swap_and_compaction() {
+        let r = pseudo_points(40, 21, 30.0);
+        let s = pseudo_points(40, 22, 30.0);
+        let cfg = EpochConfig::default().with_rebuild_fraction(0.1);
+        let engine = EpochEngine::new(r, s, &SampleConfig::new(4.0), cfg);
+        for p in pseudo_points(20, 23, 30.0) {
+            engine.insert_r(p);
+        }
+        engine.refresh();
+        assert_eq!(engine.epoch(), 1, "threshold crossed: epoch must bump");
+        assert_eq!(engine.major_swaps(), 1);
+        assert!(!engine.engine().is_overlay(), "delta was folded in");
+        assert_eq!(engine.store().pending_ops(), 0);
+        assert_eq!(engine.store().live_r_len(), 60);
+        // and it still serves
+        assert!(engine.handle_seeded(1).sample(100).is_ok());
+    }
+
+    #[test]
+    fn r_only_rebuild_reuses_the_s_side_arc() {
+        let r = pseudo_points(60, 31, 40.0);
+        let s = pseudo_points(2_000, 32, 40.0);
+        let cfg = EpochConfig::default()
+            .with_rebuild_fraction(1e-4) // one insert over the 2060-point base crosses it
+            .with_algorithm(Algorithm::Bbst);
+        let engine = EpochEngine::new(r, s.clone(), &SampleConfig::new(5.0), cfg);
+        let before = engine.store().snapshot();
+        engine.insert_r(Point::new(1.0, 1.0));
+        engine.refresh();
+        assert_eq!(engine.major_swaps(), 1);
+        let after = engine.store().snapshot();
+        // S untouched ⇒ the very same allocation crossed the epoch.
+        assert!(Arc::ptr_eq(&before.base_s, &after.base_s));
+        assert!(engine.handle_seeded(2).sample(50).is_ok());
+    }
+
+    #[test]
+    fn zero_sample_engines_never_replan() {
+        let r = pseudo_points(30, 41, 30.0);
+        let s = pseudo_points(30, 42, 30.0);
+        let engine = EpochEngine::new(
+            r,
+            s,
+            &SampleConfig::new(4.0),
+            EpochConfig::default().with_replan_min_samples(0),
+        );
+        assert_eq!(engine.observed_rejection_rate(), None);
+        engine.refresh();
+        assert_eq!(engine.replans(), 0);
+    }
+
+    #[test]
+    fn pinned_algorithm_is_never_replanned() {
+        let r = pseudo_points(50, 51, 30.0);
+        let s = pseudo_points(50, 52, 30.0);
+        let cfg = EpochConfig::default()
+            .with_algorithm(Algorithm::KdsRejection)
+            .with_replan_min_samples(1);
+        let engine = EpochEngine::new(r, s, &SampleConfig::new(4.0), cfg);
+        engine.handle_seeded(1).sample(200).unwrap();
+        engine.refresh();
+        assert_eq!(engine.algorithm(), Algorithm::KdsRejection);
+        assert_eq!(engine.replans(), 0);
+    }
+}

@@ -66,6 +66,18 @@
 //! serving for whoever still holds them; the mutex is never held while
 //! building.
 //!
+//! ## Dynamic datasets ([`EpochEngine`], [`DatasetStore`])
+//!
+//! The dataset is mutable even though every index is immutable: a
+//! [`DatasetStore`] buffers inserts/deletes as deltas with
+//! version/epoch counters, and an [`EpochEngine`] serves it through an
+//! atomic-swap cell — `O(|delta|)` overlay snapshots
+//! ([`srj_core::OverlayIndex`], uniformity-preserving) between
+//! rebuilds, epoch swaps (reusing the `Arc`-shared `S`-side when only
+//! `R` changed) once the pending delta crosses a threshold, and a
+//! re-plan hot-swap when the *observed* rejection overhead diverges
+//! from the planner's estimate. In-flight handles pin their epoch.
+//!
 //! ## Statistics ([`Engine::stats`])
 //!
 //! Queries served, samples drawn, sampling iterations (rejections
@@ -75,13 +87,17 @@
 //! locks on the serving path.
 
 mod cache;
+mod dataset;
 mod engine;
+mod epoch;
 pub mod planner;
 pub mod shard;
 mod stats;
 
 pub use cache::EngineCache;
+pub use dataset::{BatchApplied, DatasetSnapshot, DatasetStore};
 pub use engine::{Algorithm, Engine, HandleStream, SamplerHandle};
+pub use epoch::{EpochConfig, EpochEngine};
 pub use planner::PlanReport;
 pub use shard::ShardedIndex;
 pub use stats::{EngineStats, StatsSnapshot};

@@ -166,9 +166,63 @@ pub(crate) fn plan(
     (report, Some((grid, grid_build_time)))
 }
 
+/// Re-plans from a **serving-time** observation instead of a build-time
+/// estimate: the feedback half of the adaptive planner.
+///
+/// `observed_overhead` is the measured `iterations / samples` of the
+/// running engine (`SamplerHandle::rejection_rate` /
+/// `StatsSnapshot::rejection_rate`) — the ground truth the build-time
+/// `Σµ/|Ĵ|` estimate tried to predict. The decision rules are the same
+/// as [`plan`]'s, with the observation replacing the estimate:
+///
+/// 1. `n·√m ≤` [`KDS_COST_BUDGET`] → **KDS**;
+/// 2. observed overhead within [`MAX_REJECTION_OVERHEAD`] →
+///    **KDS-rejection**;
+/// 3. otherwise → **BBST** (per-sample cost insensitive to the
+///    overhead).
+///
+/// `EpochEngine` calls this when the observation diverges from
+/// `PlanReport::est_overhead` and hot-swaps the algorithm through its
+/// epoch mechanism if the answer differs from the running one.
+pub fn replan_for_observed(
+    n: usize,
+    m: usize,
+    observed_overhead: f64,
+) -> (Algorithm, &'static str) {
+    if (n as f64) * (m as f64).sqrt() <= KDS_COST_BUDGET {
+        (
+            Algorithm::Kds,
+            "n·√m below the exact-counting budget: KDS's zero-rejection \
+             sampling wins regardless of the observed overhead",
+        )
+    } else if observed_overhead <= MAX_REJECTION_OVERHEAD {
+        (
+            Algorithm::KdsRejection,
+            "observed rejection overhead within budget: rejection \
+             sampling's cheap build wins",
+        )
+    } else {
+        (
+            Algorithm::Bbst,
+            "observed rejection overhead over budget: BBST's bounded \
+             per-sample cost beats rejection's measured retries",
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn replan_follows_the_observed_overhead() {
+        // big enough to clear the KDS budget
+        let (n, m) = (100_000, 100_000);
+        assert_eq!(replan_for_observed(n, m, 1.5).0, Algorithm::KdsRejection);
+        assert_eq!(replan_for_observed(n, m, 40.0).0, Algorithm::Bbst);
+        // tiny input: KDS regardless of the observation
+        assert_eq!(replan_for_observed(50, 50, 40.0).0, Algorithm::Kds);
+    }
 
     #[test]
     fn tiny_input_picks_kds() {

@@ -71,6 +71,17 @@ impl EngineStats {
         self.record_query(0, iterations, latency);
     }
 
+    /// Just `(samples, iterations)` as two relaxed loads — the
+    /// rejection-rate feedback pair, cheap enough for a per-request
+    /// check (a full [`EngineStats::snapshot`] walks the latency
+    /// histogram and computes quantiles).
+    pub fn sample_counters(&self) -> (u64, u64) {
+        (
+            self.samples.load(Ordering::Relaxed),
+            self.iterations.load(Ordering::Relaxed),
+        )
+    }
+
     /// A point-in-time copy of every counter and derived quantile.
     pub fn snapshot(&self) -> StatsSnapshot {
         let buckets: Vec<u64> = self

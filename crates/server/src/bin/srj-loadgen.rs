@@ -3,37 +3,263 @@
 //! ```sh
 //! srj-loadgen --addr 127.0.0.1:7878 --clients 4 --requests 8 --t 50000
 //! srj-loadgen --addr 127.0.0.1:7878 --clients 1 --shutdown   # CI smoke
+//! srj-loadgen --addr 127.0.0.1:7878 --update-fraction 0.1 \
+//!             --out BENCH_PR4.json                           # mixed 90/10
 //! ```
 //!
 //! Spawns `--clients` threads, each holding one connection and issuing
-//! `--requests` sequential `SAMPLE` requests of `--t` samples; reports
-//! the achieved samples/sec and the client-observed per-request p50 /
-//! p99 latency, and writes the machine-readable `BENCH_PR3.json`
-//! (`host_cores` included, as with `BENCH_PR2.json` — single-core CI
-//! boxes cannot show parallel speedup). Exits non-zero on any
-//! non-`Ok` request status or transport error.
+//! `--requests` sequential operations. By default every operation is a
+//! `SAMPLE` request of `--t` samples; with `--update-fraction f > 0`
+//! every ⌈1/f⌉-th operation is instead an `INSERT` or `DELETE` batch
+//! (`--update-batch` points, alternating sides, deletes recycling
+//! previously inserted ids) — the mixed read/update workload the
+//! dynamic-dataset path is benchmarked under. Reports achieved
+//! samples/sec, client-observed request latency quantiles, update
+//! latency quantiles, and the served dataset's epoch counters (swap
+//! count + last swap latency via the `EPOCH` frame), machine-readable
+//! into `--out` (`BENCH_PR3.json` shape, `"pr": 4` fields added when
+//! updates ran; `host_cores` included — single-core CI boxes cannot
+//! show parallel speedup). Exits non-zero on any non-`Ok` status or
+//! transport error.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use srj_bench::{host_cores, percentile_sorted};
-use srj_server::{Algorithm, Client, RequestStatus, SampleRequest};
+use srj_geom::Point;
+use srj_server::{Algorithm, Client, RequestStatus, SampleRequest, Side};
 
 const USAGE: &str = "usage: srj-loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--t N]
                    [--dataset ID] [--l F] [--algo auto|kds|kds-rejection|bbst]
-                   [--shards N] [--out PATH] [--shutdown]
+                   [--shards N] [--update-fraction F] [--update-batch N]
+                   [--domain F] [--out PATH] [--shutdown]
   Defaults: --addr 127.0.0.1:7878 --clients 4 --requests 8 --t 50000
-            --dataset 1 --l 100 --algo auto --shards 1 --out BENCH_PR3.json";
+            --dataset 1 --l 100 --algo auto --shards 1
+            --update-fraction 0 --update-batch 256 --domain 10000
+            --out BENCH_PR3.json";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
     std::process::exit(2);
 }
 
+#[derive(Default)]
 struct ClientOutcome {
     samples: u64,
     latencies_ns: Vec<u64>,
+    update_latencies_ns: Vec<u64>,
+    inserted_points: u64,
+    deleted_points: u64,
+    /// DELETE frames actually sent (points *applied* can legitimately
+    /// be zero when an epoch swap invalidated the ids mid-flight).
+    delete_frames: u64,
     errors: u64,
+}
+
+/// Deterministic xorshift point stream for inserts (same generator as
+/// the test helpers; no `rand` dependency in the bins).
+struct PointGen {
+    state: u64,
+    domain: f64,
+}
+
+impl PointGen {
+    fn new(seed: u64, domain: f64) -> Self {
+        PointGen {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            domain,
+        }
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        (self.state >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn point(&mut self) -> Point {
+        Point::new(
+            self.next_unit() * self.domain,
+            self.next_unit() * self.domain,
+        )
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    cid: usize,
+    addr: &str,
+    requests: usize,
+    t: u64,
+    dataset: u64,
+    l: f64,
+    algorithm: Option<Algorithm>,
+    shards: u32,
+    update_every: usize,
+    update_batch: usize,
+    domain: f64,
+) -> ClientOutcome {
+    let mut out = ClientOutcome::default();
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("client {cid}: connect failed: {e}");
+            out.errors += 1;
+            return out;
+        }
+    };
+    let mut gen = PointGen::new(0xC11E_4400 + cid as u64, domain);
+    // Ids this client inserted and may later delete, tagged with the
+    // epoch they were assigned in (a rebuild renumbers ids, so stale
+    // epochs are discarded rather than deleting arbitrary points).
+    let mut pending_deletes: Vec<(Side, u32, u64)> = Vec::new();
+    let mut update_no = 0usize;
+    for r in 0..requests {
+        let is_update = update_every > 0 && (r + 1) % update_every == 0;
+        if is_update {
+            update_no += 1;
+            let side = if update_no.is_multiple_of(2) {
+                Side::S
+            } else {
+                Side::R
+            };
+            let start = Instant::now();
+            // Alternate insert/delete once enough inserted ids are
+            // banked, so the dataset size stays roughly stable.
+            let result = if update_no.is_multiple_of(4) {
+                // Confirm the banked ids are still addressable before
+                // sending: a concurrent client's inserts may have
+                // crossed the rebuild threshold (or tripped a re-plan)
+                // and renumbered everything, in which case the banked
+                // ids would tombstone arbitrary points.
+                let current_epoch = match client.epoch(dataset) {
+                    Ok((RequestStatus::Ok, info)) => info.epoch,
+                    _ => u64::MAX, // discard everything below
+                };
+                pending_deletes.retain(|(_, _, e)| *e == current_epoch);
+                if pending_deletes.len() < update_batch {
+                    // Not enough surviving ids (e.g. an epoch swap just
+                    // discarded the bank): insert a fresh batch in the
+                    // current epoch so the delete always has valid
+                    // targets and the DELETE path is always exercised.
+                    let points: Vec<Point> = (0..update_batch).map(|_| gen.point()).collect();
+                    if let Ok(o) = client.insert(dataset, side, &points) {
+                        if o.status == RequestStatus::Ok {
+                            out.inserted_points += o.applied as u64;
+                            pending_deletes.retain(|(_, _, e)| *e == o.epoch);
+                            for k in 0..o.applied {
+                                pending_deletes.push((side, o.first_id + k, o.epoch));
+                            }
+                        }
+                    }
+                }
+                let take = pending_deletes.len().min(update_batch);
+                let batch: Vec<(Side, u32, u64)> = pending_deletes.drain(..take).collect();
+                out.delete_frames += u64::from(batch.iter().any(|(s, _, _)| *s == Side::R))
+                    + u64::from(batch.iter().any(|(s, _, _)| *s == Side::S));
+                let mut applied = 0;
+                let mut failed = false;
+                for del_side in [Side::R, Side::S] {
+                    let ids: Vec<u32> = batch
+                        .iter()
+                        .filter(|(s, _, _)| *s == del_side)
+                        .map(|(_, id, _)| *id)
+                        .collect();
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    match client.delete(dataset, del_side, &ids) {
+                        Ok(o) if o.status == RequestStatus::Ok => {
+                            applied += o.applied as u64;
+                            // A bumped epoch invalidates banked ids —
+                            // including the not-yet-sent other side of
+                            // this very batch (the server skipped the
+                            // now-stale ids anyway; `applied` tells us).
+                            pending_deletes.retain(|(_, _, e)| *e == o.epoch);
+                            if o.epoch != current_epoch {
+                                break;
+                            }
+                        }
+                        Ok(o) => {
+                            eprintln!("client {cid} delete: status {}", o.status);
+                            failed = true;
+                        }
+                        Err(e) => {
+                            eprintln!("client {cid} delete: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+                out.deleted_points += applied;
+                !failed
+            } else {
+                let points: Vec<Point> = (0..update_batch).map(|_| gen.point()).collect();
+                match client.insert(dataset, side, &points) {
+                    Ok(o) if o.status == RequestStatus::Ok => {
+                        pending_deletes.retain(|(_, _, e)| *e == o.epoch);
+                        for k in 0..o.applied {
+                            pending_deletes.push((side, o.first_id + k, o.epoch));
+                        }
+                        out.inserted_points += o.applied as u64;
+                        true
+                    }
+                    Ok(o) => {
+                        eprintln!("client {cid} insert: status {}", o.status);
+                        false
+                    }
+                    Err(e) => {
+                        eprintln!("client {cid} insert: {e}");
+                        false
+                    }
+                }
+            };
+            if result {
+                out.update_latencies_ns
+                    .push(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            } else {
+                out.errors += 1;
+            }
+            continue;
+        }
+        // Nonzero seed ⇒ reproducible per-slot streams.
+        let seed = 1 + (cid * requests + r) as u64;
+        let start = Instant::now();
+        let mut received = 0u64;
+        let outcome = client.sample_with(
+            SampleRequest {
+                req_id: 0,
+                dataset,
+                l,
+                algorithm,
+                shards,
+                t,
+                seed,
+            },
+            |batch| received += batch.len() as u64,
+        );
+        let elapsed = start.elapsed();
+        match outcome {
+            Ok(o) if o.status == RequestStatus::Ok && received == t => {
+                out.samples += received;
+                out.latencies_ns
+                    .push(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+            }
+            Ok(o) => {
+                eprintln!(
+                    "client {cid} request {r}: status {} after {received} samples",
+                    o.status
+                );
+                out.errors += 1;
+            }
+            Err(e) => {
+                eprintln!("client {cid} request {r}: {e}");
+                out.errors += 1;
+                return out;
+            }
+        }
+    }
+    out
 }
 
 fn main() {
@@ -46,6 +272,9 @@ fn main() {
     let mut l: f64 = 100.0;
     let mut algo_str = "auto".to_string();
     let mut shards: u32 = 1;
+    let mut update_fraction: f64 = 0.0;
+    let mut update_batch: usize = 256;
+    let mut domain: f64 = 10_000.0;
     let mut out_path = "BENCH_PR3.json".to_string();
     let mut shutdown = false;
 
@@ -74,6 +303,11 @@ fn main() {
             "--l" => parse_flag!(l, "--l", "a float"),
             "--algo" => algo_str = value(&args, &mut i, "--algo"),
             "--shards" => parse_flag!(shards, "--shards", "an integer"),
+            "--update-fraction" => {
+                parse_flag!(update_fraction, "--update-fraction", "a float")
+            }
+            "--update-batch" => parse_flag!(update_batch, "--update-batch", "an integer"),
+            "--domain" => parse_flag!(domain, "--domain", "a float"),
             "--out" => out_path = value(&args, &mut i, "--out"),
             "--shutdown" => {
                 shutdown = true;
@@ -90,115 +324,151 @@ fn main() {
         "bbst" => Some(Algorithm::Bbst),
         other => fail(&format!("unknown algorithm {other:?}")),
     };
+    if !(0.0..=1.0).contains(&update_fraction) {
+        fail("--update-fraction takes a fraction in [0, 1]");
+    }
+    let update_batch = update_batch.max(1);
     let clients_n = clients.max(1);
+    // Every k-th operation is an update ⇒ update share ≈ 1/k.
+    let update_every = if update_fraction > 0.0 {
+        (1.0 / update_fraction).round().max(1.0) as usize
+    } else {
+        0
+    };
 
     eprintln!(
-        "# loadgen: {clients_n} clients x {requests} requests x {t} samples \
-         (dataset {dataset}, l {l}, algo {algo_str}, shards {shards}) -> {addr}"
+        "# loadgen: {clients_n} clients x {requests} ops x {t} samples \
+         (dataset {dataset}, l {l}, algo {algo_str}, shards {shards}, \
+         update-fraction {update_fraction}) -> {addr}"
     );
+    // Epoch probes only matter for the mixed-workload JSON branch;
+    // pure-read runs must not pay the extra connections.
+    let epoch_before = (update_every > 0)
+        .then(|| {
+            Client::connect(addr.as_str())
+                .ok()
+                .and_then(|mut c| c.epoch(dataset).ok())
+                .map(|(_, info)| info)
+        })
+        .flatten();
     let wall_start = Instant::now();
     let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
         let addr = &addr;
         let handles: Vec<_> = (0..clients_n)
             .map(|cid| {
                 scope.spawn(move || {
-                    let mut out = ClientOutcome {
-                        samples: 0,
-                        latencies_ns: Vec::with_capacity(requests),
-                        errors: 0,
-                    };
-                    let mut client = match Client::connect(addr.as_str()) {
-                        Ok(c) => c,
-                        Err(e) => {
-                            eprintln!("client {cid}: connect failed: {e}");
-                            out.errors += 1;
-                            return out;
-                        }
-                    };
-                    for r in 0..requests {
-                        // Nonzero seed ⇒ reproducible per-slot streams.
-                        let seed = 1 + (cid * requests + r) as u64;
-                        let start = Instant::now();
-                        let mut received = 0u64;
-                        let outcome = client.sample_with(
-                            SampleRequest {
-                                req_id: 0,
-                                dataset,
-                                l,
-                                algorithm,
-                                shards,
-                                t,
-                                seed,
-                            },
-                            |batch| received += batch.len() as u64,
-                        );
-                        let elapsed = start.elapsed();
-                        match outcome {
-                            Ok(o) if o.status == RequestStatus::Ok && received == t => {
-                                out.samples += received;
-                                out.latencies_ns
-                                    .push(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
-                            }
-                            Ok(o) => {
-                                eprintln!(
-                                    "client {cid} request {r}: status {} after {received} samples",
-                                    o.status
-                                );
-                                out.errors += 1;
-                            }
-                            Err(e) => {
-                                eprintln!("client {cid} request {r}: {e}");
-                                out.errors += 1;
-                                return out;
-                            }
-                        }
-                    }
-                    out
+                    run_client(
+                        cid,
+                        addr,
+                        requests,
+                        t,
+                        dataset,
+                        l,
+                        algorithm,
+                        shards,
+                        update_every,
+                        update_batch,
+                        domain,
+                    )
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let wall = wall_start.elapsed();
+    // One read after the mixed run forces any still-pending delta to be
+    // folded in, so the epoch probe below reports a current swap.
+    let epoch_after = (update_every > 0)
+        .then(|| {
+            Client::connect(addr.as_str()).ok().and_then(|mut c| {
+                let _ = c.sample(SampleRequest {
+                    req_id: 0,
+                    dataset,
+                    l,
+                    algorithm,
+                    shards,
+                    t: 1,
+                    seed: 1,
+                });
+                c.epoch(dataset).ok().map(|(_, info)| info)
+            })
+        })
+        .flatten();
 
     let total_samples: u64 = outcomes.iter().map(|o| o.samples).sum();
     let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
+    let inserted: u64 = outcomes.iter().map(|o| o.inserted_points).sum();
+    let deleted: u64 = outcomes.iter().map(|o| o.deleted_points).sum();
+    let delete_frames: u64 = outcomes.iter().map(|o| o.delete_frames).sum();
     let mut latencies: Vec<u64> = outcomes
         .iter()
         .flat_map(|o| o.latencies_ns.iter().copied())
         .collect();
     latencies.sort_unstable();
+    let mut update_latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.update_latencies_ns.iter().copied())
+        .collect();
+    update_latencies.sort_unstable();
     let samples_per_sec = total_samples as f64 / wall.as_secs_f64().max(1e-9);
-    let mean_ns = if latencies.is_empty() {
-        0
-    } else {
-        latencies.iter().sum::<u64>() / latencies.len() as u64
+    let mean = |v: &[u64]| {
+        if v.is_empty() {
+            0
+        } else {
+            v.iter().sum::<u64>() / v.len() as u64
+        }
     };
-    let p50_ns = percentile_sorted(&latencies, 0.50);
-    let p99_ns = percentile_sorted(&latencies, 0.99);
     let ns_to_ms = |ns: u64| ns as f64 / 1e6;
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"pr\": 3,").unwrap();
+    writeln!(json, "  \"pr\": {},", if update_every > 0 { 4 } else { 3 }).unwrap();
     writeln!(json, "  \"host_cores\": {},", host_cores()).unwrap();
     writeln!(
         json,
         "  \"workload\": {{\"clients\": {clients_n}, \"requests_per_client\": {requests}, \
          \"t\": {t}, \"dataset\": {dataset}, \"l\": {l}, \"algorithm\": \"{algo_str}\", \
-         \"shards\": {shards}}},"
+         \"shards\": {shards}, \"update_fraction\": {update_fraction}, \
+         \"update_batch\": {update_batch}}},"
     )
     .unwrap();
     writeln!(json, "  \"total_samples\": {total_samples},").unwrap();
     writeln!(json, "  \"errors\": {errors},").unwrap();
     writeln!(json, "  \"wall_s\": {:.4},", wall.as_secs_f64()).unwrap();
     writeln!(json, "  \"samples_per_sec\": {samples_per_sec:.0},").unwrap();
+    if update_every > 0 {
+        writeln!(
+            json,
+            "  \"updates\": {{\"ops\": {}, \"inserted_points\": {inserted}, \
+             \"deleted_points\": {deleted}, \"delete_frames\": {delete_frames}, \
+             \"latency_ms\": {{\"mean\": {:.3}, \
+             \"p50\": {:.3}, \"p99\": {:.3}}}}},",
+            update_latencies.len(),
+            ns_to_ms(mean(&update_latencies)),
+            ns_to_ms(percentile_sorted(&update_latencies, 0.50)),
+            ns_to_ms(percentile_sorted(&update_latencies, 0.99)),
+        )
+        .unwrap();
+        let (e0, e1) = (
+            epoch_before.map_or(0, |i| i.epoch),
+            epoch_after.map_or(0, |i| i.epoch),
+        );
+        writeln!(
+            json,
+            "  \"epochs\": {{\"before\": {e0}, \"after\": {e1}, \"swaps\": {}, \
+             \"pending_ops_after\": {}, \"last_swap_ms\": {:.3}}},",
+            e1.saturating_sub(e0),
+            epoch_after.map_or(0, |i| i.pending_ops),
+            ns_to_ms(epoch_after.map_or(0, |i| i.last_swap_ns)),
+        )
+        .unwrap();
+    }
     writeln!(
         json,
         "  \"request_latency_ms\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p99\": {:.3}}}",
-        ns_to_ms(mean_ns),
-        ns_to_ms(p50_ns),
-        ns_to_ms(p99_ns)
+        ns_to_ms(mean(&latencies)),
+        ns_to_ms(percentile_sorted(&latencies, 0.50)),
+        ns_to_ms(percentile_sorted(&latencies, 0.99))
     )
     .unwrap();
     writeln!(json, "}}").unwrap();

@@ -20,6 +20,7 @@ use srj_server::{DatasetRegistry, Server, ServerConfig};
 
 const USAGE: &str = "usage: srj-serve [--addr HOST:PORT] [--workers N] [--queue-frames N]
                  [--batch-pairs N] [--cache N]
+                 [--rebuild-fraction F] [--replan-factor F]
                  [--dataset ID=KIND:SCALE[:SEED]]... [--dataset-file ID=R_PATH[,S_PATH]]...
   KIND: uniform | road | poi | trajectory | taxi
   Default: --addr 127.0.0.1:7878 --dataset 1=uniform:0.05";
@@ -133,6 +134,24 @@ fn main() {
                 config.cache_capacity = value(&args, &mut i, "--cache")
                     .parse()
                     .unwrap_or_else(|_| fail("--cache takes an integer"));
+            }
+            "--rebuild-fraction" => {
+                let f: f64 = value(&args, &mut i, "--rebuild-fraction")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--rebuild-fraction takes a float"));
+                if f.is_nan() || f <= 0.0 {
+                    fail("--rebuild-fraction must be a positive fraction");
+                }
+                config.epoch = config.epoch.with_rebuild_fraction(f);
+            }
+            "--replan-factor" => {
+                let f: f64 = value(&args, &mut i, "--replan-factor")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--replan-factor takes a float"));
+                if f.is_nan() || f < 1.0 {
+                    fail("--replan-factor must be >= 1");
+                }
+                config.epoch = config.epoch.with_replan_factor(f);
             }
             "--dataset" => {
                 let spec = value(&args, &mut i, "--dataset");

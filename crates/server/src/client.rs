@@ -10,10 +10,11 @@
 use std::net::{TcpStream, ToSocketAddrs};
 
 use srj_core::JoinPair;
+use srj_geom::Point;
 
 use crate::protocol::{
-    encode_request, read_frame, write_frame, ProtocolError, Request, RequestStats, RequestStatus,
-    Response, SampleRequest, ServerStatsFrame,
+    encode_request, read_frame, write_frame, EpochInfo, ProtocolError, Request, RequestStats,
+    RequestStatus, Response, SampleRequest, ServerStatsFrame, Side,
 };
 
 /// Client-side failure modes.
@@ -64,6 +65,22 @@ pub struct SampleOutcome {
     /// Samples received (empty for [`Client::sample_with`], which
     /// hands them to the callback instead).
     pub pairs: Vec<JoinPair>,
+}
+
+/// A completed `INSERT`/`DELETE` answer (see
+/// [`crate::protocol::UpdateStats`] for the field semantics).
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateOutcome {
+    /// How the mutation ended.
+    pub status: RequestStatus,
+    /// First assigned id (inserts; contiguous per call).
+    pub first_id: u32,
+    /// Operations actually applied.
+    pub applied: u32,
+    /// Dataset epoch after the mutation.
+    pub epoch: u64,
+    /// Dataset version after the mutation.
+    pub version: u64,
 }
 
 /// One blocking connection to an `srj-server`.
@@ -120,6 +137,92 @@ impl Client {
                 }
                 _ => return Err(ClientError::Unexpected("frame for a different request")),
             }
+        }
+    }
+
+    /// Inserts `points` into one side of a dataset. On
+    /// [`RequestStatus::Ok`] the points were assigned the contiguous id
+    /// range starting at [`UpdateOutcome::first_id`] (epoch-relative —
+    /// a later rebuild renumbers ids; watch [`UpdateOutcome::epoch`] /
+    /// [`Client::epoch`]).
+    pub fn insert(
+        &mut self,
+        dataset: u64,
+        side: Side,
+        points: &[Point],
+    ) -> Result<UpdateOutcome, ClientError> {
+        let req_id = self.next_id();
+        write_frame(
+            &mut self.stream,
+            &encode_request(&Request::Insert {
+                req_id,
+                dataset,
+                side,
+                points: points.to_vec(),
+            }),
+        )?;
+        self.read_update(req_id)
+    }
+
+    /// Tombstones points of one side of a dataset by id. Unknown or
+    /// already-deleted ids are skipped; [`UpdateOutcome::applied`]
+    /// counts the ids that actually took effect.
+    pub fn delete(
+        &mut self,
+        dataset: u64,
+        side: Side,
+        ids: &[u32],
+    ) -> Result<UpdateOutcome, ClientError> {
+        let req_id = self.next_id();
+        write_frame(
+            &mut self.stream,
+            &encode_request(&Request::Delete {
+                req_id,
+                dataset,
+                side,
+                ids: ids.to_vec(),
+            }),
+        )?;
+        self.read_update(req_id)
+    }
+
+    /// Queries a dataset's epoch/version state.
+    pub fn epoch(&mut self, dataset: u64) -> Result<(RequestStatus, EpochInfo), ClientError> {
+        let req_id = self.next_id();
+        write_frame(
+            &mut self.stream,
+            &encode_request(&Request::Epoch { req_id, dataset }),
+        )?;
+        match self.read_response()? {
+            Response::Epoch {
+                req_id: rid,
+                status,
+                info,
+            } if rid == req_id => Ok((status, info)),
+            _ => Err(ClientError::Unexpected("expected an epoch frame")),
+        }
+    }
+
+    fn next_id(&mut self) -> u32 {
+        let id = self.next_req_id;
+        self.next_req_id = self.next_req_id.wrapping_add(1);
+        id
+    }
+
+    fn read_update(&mut self, req_id: u32) -> Result<UpdateOutcome, ClientError> {
+        match self.read_response()? {
+            Response::Update {
+                req_id: rid,
+                status,
+                stats,
+            } if rid == req_id => Ok(UpdateOutcome {
+                status,
+                first_id: stats.first_id,
+                applied: stats.applied,
+                epoch: stats.epoch,
+                version: stats.version,
+            }),
+            _ => Err(ClientError::Unexpected("expected an update frame")),
         }
     }
 

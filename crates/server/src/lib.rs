@@ -15,26 +15,35 @@
 //! * **fair multiplexing**: a fixed worker pool serves one batch per
 //!   job step, round-robin across every in-flight request of every
 //!   connection;
-//! * **cache admission**: engines are built at most once per
-//!   `(dataset, l, shards, algorithm)` through the shared
-//!   [`srj_engine::EngineCache`];
+//! * **cache admission**: serving engines are built at most once per
+//!   `(dataset, l, shards, algorithm)` shape, shared across requests
+//!   and connections;
+//! * **dynamic datasets**: `INSERT`/`DELETE` frames mutate a served
+//!   dataset's point store; every serving engine is an
+//!   [`srj_engine::EpochEngine`] that folds pending deltas in on its
+//!   next handle acquisition (overlay snapshots between rebuilds,
+//!   epoch swaps past the rebuild threshold, rejection-rate-driven
+//!   re-planning) — in-flight requests keep streaming their pinned
+//!   epoch; the `EPOCH` frame exposes the epoch/version counters;
 //! * **graceful shutdown**: a control signal (API call or `SHUTDOWN`
 //!   frame) stops the acceptor, closes every connection, and joins
 //!   every spawned thread.
 //!
 //! Binaries: `srj-serve` (register datasets, serve) and `srj-loadgen`
 //! (concurrent load generator reporting samples/sec and latency
-//! quantiles into `BENCH_PR3.json`). See the README's "Network
-//! serving" section for the quickstart and `examples/network_serving.rs`
-//! for the in-process version.
+//! quantiles into `BENCH_PR3.json`, plus a mixed read/update mode
+//! writing `BENCH_PR4.json`). See the README's "Network serving" and
+//! "Dynamic updates & re-planning" sections for the quickstart and
+//! `examples/network_serving.rs` for the in-process version.
 
 pub mod client;
 pub mod protocol;
 mod server;
 
-pub use client::{Client, ClientError, SampleOutcome};
+pub use client::{Client, ClientError, SampleOutcome, UpdateOutcome};
 pub use protocol::{
-    ProtocolError, Request, RequestStats, RequestStatus, Response, SampleRequest, ServerStatsFrame,
+    EpochInfo, ProtocolError, Request, RequestStats, RequestStatus, Response, SampleRequest,
+    ServerStatsFrame, Side, UpdateStats,
 };
 pub use server::{DatasetRegistry, Server, ServerConfig};
 /// Re-exported so protocol users don't need a direct `srj-engine` dep.

@@ -10,12 +10,18 @@
 //! request  frames: SAMPLE  { req_id, dataset, l, algorithm, shards, t, seed }
 //!                  STATS   { }
 //!                  SHUTDOWN{ }
+//!                  INSERT  { req_id, dataset, side, count, (x, y) × count }
+//!                  DELETE  { req_id, dataset, side, count, id × count }
+//!                  EPOCH   { req_id, dataset }
 //! response frames: BATCH   { req_id, count, (r, s) × count }
 //!                  DONE    { req_id, status, samples, iterations, elapsed_ns }
 //!                  STATS   { queries, samples, iterations, errors,
 //!                            mean_ns, p50_ns, p99_ns, engines_cached,
 //!                            cache_hits, cache_misses,
 //!                            connections_accepted, active_connections }
+//!                  UPDATE  { req_id, status, first_id, applied, epoch, version }
+//!                  EPOCH   { req_id, status, epoch, version, live_r, live_s,
+//!                            pending_ops, last_swap_ns }
 //! ```
 //!
 //! A `SAMPLE` answer is a stream: zero or more `BATCH` frames followed
@@ -23,11 +29,19 @@
 //! statistics). `req_id` is echoed on every frame of the answer so a
 //! client may pipeline requests on one connection and demultiplex the
 //! interleaved batches.
+//!
+//! `INSERT`/`DELETE` mutate a dataset's point sets (side `0` = `R`,
+//! `1` = `S`); the `UPDATE` answer carries the first assigned id (for
+//! inserts — ids are contiguous per frame), how many operations
+//! applied, and the dataset's epoch/version after the mutation. Ids
+//! are **epoch-relative**: a rebuild (observable via the `EPOCH`
+//! request, or `UPDATE.epoch` bumping) renumbers them.
 
 use std::io::{Read, Write};
 
 use srj_core::JoinPair;
 use srj_engine::Algorithm;
+use srj_geom::Point;
 
 /// Hard ceiling on a frame payload, enforced on both read and write: a
 /// hostile or corrupt length prefix must fail fast, not allocate
@@ -39,10 +53,50 @@ pub const MAX_FRAME_LEN: usize = 1 << 22; // 4 MiB
 const OP_SAMPLE: u8 = 0x01;
 const OP_STATS: u8 = 0x02;
 const OP_SHUTDOWN: u8 = 0x03;
+const OP_INSERT: u8 = 0x04;
+const OP_DELETE: u8 = 0x05;
+const OP_EPOCH: u8 = 0x06;
 /// Response opcodes.
 const OP_BATCH: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
 const OP_SERVER_STATS: u8 = 0x83;
+const OP_UPDATE: u8 = 0x84;
+const OP_EPOCH_INFO: u8 = 0x85;
+
+/// Which point set a mutation targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The query set `R`.
+    R,
+    /// The data set `S`.
+    S,
+}
+
+impl Side {
+    fn to_byte(self) -> u8 {
+        match self {
+            Side::R => 0,
+            Side::S => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtocolError> {
+        match b {
+            0 => Ok(Side::R),
+            1 => Ok(Side::S),
+            _ => Err(ProtocolError::Malformed("unknown side byte")),
+        }
+    }
+}
+
+impl std::fmt::Display for Side {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Side::R => "R",
+            Side::S => "S",
+        })
+    }
+}
 
 /// How a finished request ended, carried in the `DONE` frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -152,11 +206,12 @@ pub struct ServerStatsFrame {
     pub p50_ns: u64,
     /// 99th-percentile per-request serving latency, nanoseconds.
     pub p99_ns: u64,
-    /// Engines currently held by the server's `EngineCache`.
+    /// Serving engines currently retained, summed over every dataset's
+    /// per-`(l, shards, algorithm)` engine map.
     pub engines_cached: u64,
-    /// Engine-cache lookup hits.
+    /// Serving-engine lookup hits.
     pub cache_hits: u64,
-    /// Engine-cache lookup misses (each paid an index build).
+    /// Serving-engine lookup misses (each paid an index build).
     pub cache_misses: u64,
     /// Connections accepted since the server started.
     pub connections_accepted: u64,
@@ -164,8 +219,42 @@ pub struct ServerStatsFrame {
     pub active_connections: u64,
 }
 
+/// A mutation outcome, carried in the `UPDATE` frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Id assigned to the first inserted point (inserts get contiguous
+    /// ids per frame); `0` for deletes.
+    pub first_id: u32,
+    /// Operations actually applied (deletes skip unknown/tombstoned
+    /// ids).
+    pub applied: u32,
+    /// Dataset epoch after the mutation (rebuilds renumber ids).
+    pub epoch: u64,
+    /// Dataset mutation version after the mutation.
+    pub version: u64,
+}
+
+/// A dataset's epoch/version state, answered to an `EPOCH` request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochInfo {
+    /// Rebuild epoch (bumps when pending deltas are folded into a
+    /// fresh base snapshot — ids are relative to it).
+    pub epoch: u64,
+    /// Mutation version (bumps on every applied insert/delete).
+    pub version: u64,
+    /// Live `|R'|`.
+    pub live_r: u64,
+    /// Live `|S'|`.
+    pub live_s: u64,
+    /// Mutations pending since the last rebuild.
+    pub pending_ops: u64,
+    /// Duration of the most recent engine swap for this dataset
+    /// (maximum across its serving engines), nanoseconds.
+    pub last_swap_ns: u64,
+}
+
 /// Decoded request frames.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Draw samples (see [`SampleRequest`]).
     Sample(SampleRequest),
@@ -173,6 +262,35 @@ pub enum Request {
     Stats,
     /// Ask the server to shut down gracefully.
     Shutdown,
+    /// Insert points into one side of a dataset.
+    Insert {
+        /// Client-chosen id echoed on the `UPDATE` answer.
+        req_id: u32,
+        /// Registered dataset id.
+        dataset: u64,
+        /// Which point set to extend.
+        side: Side,
+        /// The points.
+        points: Vec<Point>,
+    },
+    /// Tombstone points of one side of a dataset by id.
+    Delete {
+        /// Client-chosen id echoed on the `UPDATE` answer.
+        req_id: u32,
+        /// Registered dataset id.
+        dataset: u64,
+        /// Which point set to shrink.
+        side: Side,
+        /// Epoch-relative point ids.
+        ids: Vec<u32>,
+    },
+    /// Query a dataset's epoch/version state.
+    Epoch {
+        /// Client-chosen id echoed on the `EPOCH` answer.
+        req_id: u32,
+        /// Registered dataset id.
+        dataset: u64,
+    },
 }
 
 /// Decoded response frames.
@@ -196,6 +314,25 @@ pub enum Response {
     },
     /// Answer to a `STATS` request.
     ServerStats(ServerStatsFrame),
+    /// Answer to an `INSERT`/`DELETE` request.
+    Update {
+        /// Echo of the request id.
+        req_id: u32,
+        /// How the mutation ended.
+        status: RequestStatus,
+        /// The mutation outcome.
+        stats: UpdateStats,
+    },
+    /// Answer to an `EPOCH` request.
+    Epoch {
+        /// Echo of the request id.
+        req_id: u32,
+        /// How the query ended.
+        status: RequestStatus,
+        /// The dataset's epoch state (zeroed unless `status` is
+        /// [`RequestStatus::Ok`]).
+        info: EpochInfo,
+    },
 }
 
 /// Why a frame could not be decoded.
@@ -319,6 +456,44 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => payload.push(OP_STATS),
         Request::Shutdown => payload.push(OP_SHUTDOWN),
+        Request::Insert {
+            req_id,
+            dataset,
+            side,
+            points,
+        } => {
+            payload.reserve(points.len() * 16 + 18);
+            payload.push(OP_INSERT);
+            put_u32(&mut payload, *req_id);
+            put_u64(&mut payload, *dataset);
+            payload.push(side.to_byte());
+            put_u32(&mut payload, points.len() as u32);
+            for p in points {
+                put_u64(&mut payload, p.x.to_bits());
+                put_u64(&mut payload, p.y.to_bits());
+            }
+        }
+        Request::Delete {
+            req_id,
+            dataset,
+            side,
+            ids,
+        } => {
+            payload.reserve(ids.len() * 4 + 18);
+            payload.push(OP_DELETE);
+            put_u32(&mut payload, *req_id);
+            put_u64(&mut payload, *dataset);
+            payload.push(side.to_byte());
+            put_u32(&mut payload, ids.len() as u32);
+            for &id in ids {
+                put_u32(&mut payload, id);
+            }
+        }
+        Request::Epoch { req_id, dataset } => {
+            payload.push(OP_EPOCH);
+            put_u32(&mut payload, *req_id);
+            put_u64(&mut payload, *dataset);
+        }
     }
     finish_frame(payload)
 }
@@ -350,6 +525,53 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         }
         OP_STATS => Request::Stats,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_INSERT => {
+            let req_id = p.u32()?;
+            let dataset = p.u64()?;
+            let side = Side::from_byte(p.u8()?)?;
+            let count = p.u32()? as usize;
+            if count * 16 != payload.len() - 18 {
+                return Err(ProtocolError::Malformed("insert count vs length mismatch"));
+            }
+            let mut points = Vec::with_capacity(count);
+            for _ in 0..count {
+                let x = f64::from_bits(p.u64()?);
+                let y = f64::from_bits(p.u64()?);
+                if !(x.is_finite() && y.is_finite()) {
+                    return Err(ProtocolError::Malformed("non-finite point coordinate"));
+                }
+                points.push(Point::new(x, y));
+            }
+            Request::Insert {
+                req_id,
+                dataset,
+                side,
+                points,
+            }
+        }
+        OP_DELETE => {
+            let req_id = p.u32()?;
+            let dataset = p.u64()?;
+            let side = Side::from_byte(p.u8()?)?;
+            let count = p.u32()? as usize;
+            if count * 4 != payload.len() - 18 {
+                return Err(ProtocolError::Malformed("delete count vs length mismatch"));
+            }
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(p.u32()?);
+            }
+            Request::Delete {
+                req_id,
+                dataset,
+                side,
+                ids,
+            }
+        }
+        OP_EPOCH => Request::Epoch {
+            req_id: p.u32()?,
+            dataset: p.u64()?,
+        },
         _ => return Err(ProtocolError::Malformed("unknown request opcode")),
     };
     p.finish()?;
@@ -397,6 +619,38 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.cache_misses,
                 s.connections_accepted,
                 s.active_connections,
+            ] {
+                put_u64(&mut payload, v);
+            }
+        }
+        Response::Update {
+            req_id,
+            status,
+            stats,
+        } => {
+            payload.push(OP_UPDATE);
+            put_u32(&mut payload, *req_id);
+            payload.push(status.to_byte());
+            put_u32(&mut payload, stats.first_id);
+            put_u32(&mut payload, stats.applied);
+            put_u64(&mut payload, stats.epoch);
+            put_u64(&mut payload, stats.version);
+        }
+        Response::Epoch {
+            req_id,
+            status,
+            info,
+        } => {
+            payload.push(OP_EPOCH_INFO);
+            put_u32(&mut payload, *req_id);
+            payload.push(status.to_byte());
+            for v in [
+                info.epoch,
+                info.version,
+                info.live_r,
+                info.live_s,
+                info.pending_ops,
+                info.last_swap_ns,
             ] {
                 put_u64(&mut payload, v);
             }
@@ -457,6 +711,40 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
                 connections_accepted: vals[10],
                 active_connections: vals[11],
             })
+        }
+        OP_UPDATE => {
+            let req_id = p.u32()?;
+            let status = RequestStatus::from_byte(p.u8()?)
+                .ok_or(ProtocolError::Malformed("unknown status byte"))?;
+            let stats = UpdateStats {
+                first_id: p.u32()?,
+                applied: p.u32()?,
+                epoch: p.u64()?,
+                version: p.u64()?,
+            };
+            Response::Update {
+                req_id,
+                status,
+                stats,
+            }
+        }
+        OP_EPOCH_INFO => {
+            let req_id = p.u32()?;
+            let status = RequestStatus::from_byte(p.u8()?)
+                .ok_or(ProtocolError::Malformed("unknown status byte"))?;
+            let info = EpochInfo {
+                epoch: p.u64()?,
+                version: p.u64()?,
+                live_r: p.u64()?,
+                live_s: p.u64()?,
+                pending_ops: p.u64()?,
+                last_swap_ns: p.u64()?,
+            };
+            Response::Epoch {
+                req_id,
+                status,
+                info,
+            }
         }
         _ => return Err(ProtocolError::Malformed("unknown response opcode")),
     };
@@ -538,6 +826,98 @@ mod tests {
         }
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn update_requests_roundtrip() {
+        for side in [Side::R, Side::S] {
+            roundtrip_request(Request::Insert {
+                req_id: 11,
+                dataset: 7,
+                side,
+                points: vec![Point::new(1.5, -2.5), Point::new(0.0, 9999.0)],
+            });
+            roundtrip_request(Request::Insert {
+                req_id: 12,
+                dataset: 7,
+                side,
+                points: Vec::new(),
+            });
+            roundtrip_request(Request::Delete {
+                req_id: 13,
+                dataset: 7,
+                side,
+                ids: vec![0, 42, u32::MAX],
+            });
+        }
+        roundtrip_request(Request::Epoch {
+            req_id: 14,
+            dataset: 7,
+        });
+    }
+
+    #[test]
+    fn update_responses_roundtrip() {
+        roundtrip_response(Response::Update {
+            req_id: 21,
+            status: RequestStatus::Ok,
+            stats: UpdateStats {
+                first_id: 100,
+                applied: 3,
+                epoch: 2,
+                version: 17,
+            },
+        });
+        roundtrip_response(Response::Update {
+            req_id: 22,
+            status: RequestStatus::UnknownDataset,
+            stats: UpdateStats::default(),
+        });
+        roundtrip_response(Response::Epoch {
+            req_id: 23,
+            status: RequestStatus::Ok,
+            info: EpochInfo {
+                epoch: 3,
+                version: 99,
+                live_r: 1000,
+                live_s: 2000,
+                pending_ops: 12,
+                last_swap_ns: 1_234_567,
+            },
+        });
+    }
+
+    #[test]
+    fn malformed_update_frames_are_rejected() {
+        // count says 2 points but payload holds 1
+        let frame = encode_request(&Request::Insert {
+            req_id: 0,
+            dataset: 1,
+            side: Side::R,
+            points: vec![Point::new(1.0, 2.0)],
+        });
+        let mut payload = frame[4..].to_vec();
+        payload[14..18].copy_from_slice(&2u32.to_le_bytes());
+        assert!(decode_request(&payload).is_err());
+        // NaN coordinate
+        let mut frame = encode_request(&Request::Insert {
+            req_id: 0,
+            dataset: 1,
+            side: Side::R,
+            points: vec![Point::new(1.0, 2.0)],
+        });
+        let off = frame.len() - 8;
+        frame[off..].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(decode_request(&frame[4..]).is_err());
+        // unknown side byte
+        let mut frame = encode_request(&Request::Delete {
+            req_id: 0,
+            dataset: 1,
+            side: Side::S,
+            ids: vec![1],
+        });
+        frame[17] = 9;
+        assert!(decode_request(&frame[4..]).is_err());
     }
 
     #[test]

@@ -55,12 +55,12 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use srj_core::{JoinPair, SampleConfig, SampleError};
-use srj_engine::{Engine, EngineCache, EngineStats, SamplerHandle};
+use srj_engine::{DatasetStore, EngineStats, EpochConfig, EpochEngine, SamplerHandle};
 use srj_geom::Point;
 
 use crate::protocol::{
-    decode_request, encode_response, read_frame, Request, RequestStats, RequestStatus, Response,
-    SampleRequest, ServerStatsFrame, MAX_FRAME_LEN,
+    decode_request, encode_response, read_frame, EpochInfo, Request, RequestStats, RequestStatus,
+    Response, SampleRequest, ServerStatsFrame, Side, UpdateStats, MAX_FRAME_LEN,
 };
 
 /// Serving knobs. The defaults suit a loopback bench on a small host;
@@ -74,11 +74,16 @@ pub struct ServerConfig {
     pub queue_frames: usize,
     /// Samples per `BATCH` frame. Default 8192 (64 KiB frames).
     pub batch_pairs: usize,
-    /// Capacity of the server's [`EngineCache`]. Default 16.
+    /// Retained serving engines per dataset (one per requested
+    /// `(l, shards, algorithm)` shape). Default 16.
     pub cache_capacity: usize,
     /// `SampleConfig::build_threads` for engine builds triggered by
     /// cache misses. Default 0 (all cores).
     pub build_threads: usize,
+    /// Epoch/re-plan knobs for every served dataset (rebuild
+    /// threshold, re-plan divergence factor; the per-request shard
+    /// count and forced algorithm override the corresponding fields).
+    pub epoch: EpochConfig,
 }
 
 impl Default for ServerConfig {
@@ -89,24 +94,104 @@ impl Default for ServerConfig {
             batch_pairs: 8192,
             cache_capacity: 16,
             build_threads: 0,
+            epoch: EpochConfig::default(),
         }
     }
 }
 
-/// One registered `(R, S)` workload.
-struct Dataset {
-    r: Vec<Point>,
-    s: Vec<Point>,
+/// Identity of one serving engine of a dataset: the request shape.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct EngineKey {
+    l_bits: u64,
+    shards: usize,
+    algorithm: Option<srj_engine::Algorithm>,
+}
+
+/// One registered workload: the mutable point store plus its serving
+/// engines, one [`EpochEngine`] per requested `(l, shards, algorithm)`
+/// shape. Updates mutate the store; every engine of the dataset
+/// refreshes lazily on its next handle acquisition — a mutated dataset
+/// is never answered from a stale index.
+struct ServedDataset {
+    store: Arc<DatasetStore>,
+    engines: Mutex<Vec<(EngineKey, Arc<EpochEngine>)>>,
+}
+
+impl ServedDataset {
+    fn new(store: Arc<DatasetStore>) -> Self {
+        ServedDataset {
+            store,
+            engines: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The engine for `key`, building it on a miss (outside the map
+    /// lock, as with the engine cache: concurrent misses on different
+    /// shapes must not serialise on one mutex for a whole build). The
+    /// vector is kept in recency order — a hit moves its entry to the
+    /// back — so eviction at capacity drops the least-recently-used
+    /// shape, never a hot one; in-flight handles of an evicted engine
+    /// keep serving through their `Arc`s.
+    fn engine_for(
+        &self,
+        key: EngineKey,
+        capacity: usize,
+        build: impl FnOnce() -> EpochEngine,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+    ) -> Arc<EpochEngine> {
+        {
+            let mut engines = self.engines.lock().expect("engine map poisoned");
+            if let Some(i) = engines.iter().position(|(k, _)| *k == key) {
+                hits.fetch_add(1, Ordering::Relaxed);
+                let entry = engines.remove(i);
+                let engine = Arc::clone(&entry.1);
+                engines.push(entry);
+                return engine;
+            }
+        }
+        misses.fetch_add(1, Ordering::Relaxed);
+        let engine = Arc::new(build());
+        let mut engines = self.engines.lock().expect("engine map poisoned");
+        if let Some(i) = engines.iter().position(|(k, _)| *k == key) {
+            // Another thread built the same shape first; share its
+            // engine (and swap cell) so epochs stay consistent.
+            let entry = engines.remove(i);
+            let shared = Arc::clone(&entry.1);
+            engines.push(entry);
+            return shared;
+        }
+        if engines.len() >= capacity.max(1) {
+            engines.remove(0);
+        }
+        engines.push((key, Arc::clone(&engine)));
+        engine
+    }
+
+    /// Longest recent swap across this dataset's engines.
+    fn last_swap_ns(&self) -> u64 {
+        self.engines
+            .lock()
+            .expect("engine map poisoned")
+            .iter()
+            .map(|(_, e)| e.last_swap().as_nanos().min(u128::from(u64::MAX)) as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn engine_count(&self) -> usize {
+        self.engines.lock().expect("engine map poisoned").len()
+    }
 }
 
 /// The datasets a server answers for, keyed by the `u64` ids clients
 /// put in their requests. Registration happens before
-/// [`Server::start`]; ids are the cache identity, so re-registering an
-/// id with different data requires a new server (or a new id —
-/// version your ids, as with [`EngineCache`]).
+/// [`Server::start`]; after that, clients mutate the registered
+/// datasets over the wire (`INSERT`/`DELETE` frames) — the epoch
+/// machinery keeps every serving engine consistent with the store.
 #[derive(Default)]
 pub struct DatasetRegistry {
-    map: HashMap<u64, Arc<Dataset>>,
+    map: HashMap<u64, Arc<ServedDataset>>,
 }
 
 impl DatasetRegistry {
@@ -115,9 +200,17 @@ impl DatasetRegistry {
         Self::default()
     }
 
-    /// Registers `(r, s)` under `id`, replacing any previous entry.
+    /// Registers `(r, s)` under `id` as a fresh mutable store,
+    /// replacing any previous entry.
     pub fn register(&mut self, id: u64, r: Vec<Point>, s: Vec<Point>) -> &mut Self {
-        self.map.insert(id, Arc::new(Dataset { r, s }));
+        self.register_store(id, Arc::new(DatasetStore::new(r, s)))
+    }
+
+    /// Registers an existing store under `id` — e.g. one shared with
+    /// in-process [`EpochEngine`]s, so local and remote mutations see
+    /// one epoch history.
+    pub fn register_store(&mut self, id: u64, store: Arc<DatasetStore>) -> &mut Self {
+        self.map.insert(id, Arc::new(ServedDataset::new(store)));
         self
     }
 
@@ -295,8 +388,10 @@ impl JobQueue {
 
 struct Shared {
     config: ServerConfig,
-    registry: HashMap<u64, Arc<Dataset>>,
-    cache: EngineCache,
+    registry: HashMap<u64, Arc<ServedDataset>>,
+    /// Serving-engine lookup hits/misses (a miss pays an index build).
+    engine_hits: AtomicU64,
+    engine_misses: AtomicU64,
     queue: JobQueue,
     /// Per-request serving statistics (latency histogram reused from
     /// the engine crate — one `record_query` per finished request).
@@ -346,9 +441,13 @@ impl Shared {
             mean_ns: snap.mean_latency.as_nanos().min(u128::from(u64::MAX)) as u64,
             p50_ns: snap.p50_latency.as_nanos().min(u128::from(u64::MAX)) as u64,
             p99_ns: snap.p99_latency.as_nanos().min(u128::from(u64::MAX)) as u64,
-            engines_cached: self.cache.len() as u64,
-            cache_hits: self.cache.hits(),
-            cache_misses: self.cache.misses(),
+            engines_cached: self
+                .registry
+                .values()
+                .map(|d| d.engine_count() as u64)
+                .sum(),
+            cache_hits: self.engine_hits.load(Ordering::Relaxed),
+            cache_misses: self.engine_misses.load(Ordering::Relaxed),
             connections_accepted: self.accepted.load(Ordering::Relaxed),
             active_connections: self.active.load(Ordering::Relaxed),
         }
@@ -385,7 +484,8 @@ impl Server {
         let shared = Arc::new(Shared {
             config,
             registry: registry.map,
-            cache: EngineCache::new(config.cache_capacity),
+            engine_hits: AtomicU64::new(0),
+            engine_misses: AtomicU64::new(0),
             queue: JobQueue::new(),
             request_stats: EngineStats::new(),
             accepted: AtomicU64::new(0),
@@ -601,6 +701,66 @@ fn reader_loop(
                     Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(&conn)),
                 );
             }
+            // Mutations are applied here, on the reader: they are O(|frame|)
+            // buffer writes against the store (no index work — engines fold
+            // the delta in lazily), so they never occupy a sampling worker,
+            // and applying before the next frame is read gives each
+            // connection read-your-writes ordering.
+            Ok(Request::Insert {
+                req_id,
+                dataset,
+                side,
+                points,
+            }) => {
+                let (status, stats) = match apply_insert(shared, dataset, side, &points) {
+                    Ok(stats) => (RequestStatus::Ok, stats),
+                    Err(status) => (status, UpdateStats::default()),
+                };
+                let frame = encode_response(&Response::Update {
+                    req_id,
+                    status,
+                    stats,
+                });
+                enqueue(
+                    shared,
+                    Job::respond(frame, status, tx.clone(), Arc::clone(&conn)),
+                );
+            }
+            Ok(Request::Delete {
+                req_id,
+                dataset,
+                side,
+                ids,
+            }) => {
+                let (status, stats) = match apply_delete(shared, dataset, side, &ids) {
+                    Ok(stats) => (RequestStatus::Ok, stats),
+                    Err(status) => (status, UpdateStats::default()),
+                };
+                let frame = encode_response(&Response::Update {
+                    req_id,
+                    status,
+                    stats,
+                });
+                enqueue(
+                    shared,
+                    Job::respond(frame, status, tx.clone(), Arc::clone(&conn)),
+                );
+            }
+            Ok(Request::Epoch { req_id, dataset }) => {
+                let (status, info) = match epoch_info(shared, dataset) {
+                    Ok(info) => (RequestStatus::Ok, info),
+                    Err(status) => (status, EpochInfo::default()),
+                };
+                let frame = encode_response(&Response::Epoch {
+                    req_id,
+                    status,
+                    info,
+                });
+                enqueue(
+                    shared,
+                    Job::respond(frame, status, tx.clone(), Arc::clone(&conn)),
+                );
+            }
             Ok(Request::Shutdown) => {
                 shared.begin_shutdown();
                 break;
@@ -801,35 +961,116 @@ fn step(shared: &Arc<Shared>, job: Job) {
     }
 }
 
-/// Engine acquisition via the cache: the expensive index build happens
-/// at most once per `(dataset, l, shards, algorithm)` across all
-/// requests and connections; every request then gets its own O(1)
-/// serving handle.
+/// Engine acquisition via the per-dataset epoch-engine map: the
+/// expensive index build happens at most once per
+/// `(dataset, l, shards, algorithm)` shape across all requests and
+/// connections; every request then gets its own O(1) serving handle.
+/// The handle acquisition is also where pending mutations are folded
+/// in — `EpochEngine::handle` refreshes the swap cell first, so a
+/// mutated dataset is never served from a stale index, while requests
+/// already streaming keep their pinned epoch.
 fn acquire_handle(
     shared: &Arc<Shared>,
     req: &SampleRequest,
 ) -> Result<SamplerHandle, RequestStatus> {
-    let dataset = shared
+    let served = shared
         .registry
         .get(&req.dataset)
         .ok_or(RequestStatus::UnknownDataset)?;
     let shards = (req.shards.max(1) as usize).min(srj_core::parallel::MAX_THREADS);
     let config = SampleConfig::new(req.l).with_build_threads(shared.config.build_threads);
-    let engine = shared
-        .cache
-        .get_or_build_keyed(req.dataset, req.l, shards, req.algorithm, || {
-            let dataset = Arc::clone(dataset);
-            match req.algorithm {
-                Some(algorithm) => {
-                    Engine::build_sharded(&dataset.r, &dataset.s, &config, algorithm, shards)
-                }
-                None => Engine::auto_sharded(&dataset.r, &dataset.s, &config, shards),
-            }
-        });
+    let key = EngineKey {
+        l_bits: req.l.to_bits(),
+        shards,
+        algorithm: req.algorithm,
+    };
+    let engine = served.engine_for(
+        key,
+        shared.config.cache_capacity,
+        || {
+            let epoch_cfg = EpochConfig {
+                shards,
+                algorithm: req.algorithm,
+                ..shared.config.epoch
+            };
+            EpochEngine::with_store(Arc::clone(&served.store), &config, epoch_cfg)
+        },
+        &shared.engine_hits,
+        &shared.engine_misses,
+    );
     Ok(if req.seed != 0 {
         engine.handle_seeded(req.seed)
     } else {
         engine.handle()
+    })
+}
+
+/// Applies an `INSERT` to the dataset's store — one atomic batch, so
+/// the answered `first_id..first_id+applied` range and epoch are
+/// consistent even while other connections mutate (or a refresh
+/// compacts) concurrently. O(|points|); the serving engines fold the
+/// new delta in on their next handle acquisition.
+fn apply_insert(
+    shared: &Arc<Shared>,
+    dataset: u64,
+    side: Side,
+    points: &[Point],
+) -> Result<UpdateStats, RequestStatus> {
+    let served = shared
+        .registry
+        .get(&dataset)
+        .ok_or(RequestStatus::UnknownDataset)?;
+    let applied = match side {
+        Side::R => served.store.insert_r_batch(points),
+        Side::S => served.store.insert_s_batch(points),
+    };
+    Ok(UpdateStats {
+        first_id: applied.first_id,
+        applied: applied.applied,
+        epoch: applied.epoch,
+        version: applied.version,
+    })
+}
+
+/// Applies a `DELETE` as one atomic batch; unknown or
+/// already-tombstoned ids are skipped (not counted in `applied`), so
+/// deletes are idempotent over the wire.
+fn apply_delete(
+    shared: &Arc<Shared>,
+    dataset: u64,
+    side: Side,
+    ids: &[u32],
+) -> Result<UpdateStats, RequestStatus> {
+    let served = shared
+        .registry
+        .get(&dataset)
+        .ok_or(RequestStatus::UnknownDataset)?;
+    let applied = match side {
+        Side::R => served.store.delete_r_batch(ids),
+        Side::S => served.store.delete_s_batch(ids),
+    };
+    Ok(UpdateStats {
+        first_id: 0,
+        applied: applied.applied,
+        epoch: applied.epoch,
+        version: applied.version,
+    })
+}
+
+/// Answers an `EPOCH` query from the store's counters.
+fn epoch_info(shared: &Arc<Shared>, dataset: u64) -> Result<EpochInfo, RequestStatus> {
+    let served = shared
+        .registry
+        .get(&dataset)
+        .ok_or(RequestStatus::UnknownDataset)?;
+    let store = &served.store;
+    Ok(EpochInfo {
+        epoch: store.epoch(),
+        version: store.version(),
+        live_r: store.live_r_len() as u64,
+        live_s: store.live_s_len() as u64,
+        pending_ops: store.pending_ops() as u64,
+        last_swap_ns: served.last_swap_ns(),
     })
 }
 

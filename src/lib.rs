@@ -74,16 +74,19 @@ pub use srj_rtree as rtree;
 pub use srj_server as server;
 
 pub use srj_core::{
-    BbstCursor, BbstIndex, BbstKdVariantCursor, BbstKdVariantIndex, BbstKdVariantSampler,
-    BbstSampler, Cursor, JoinPair, JoinSampler, JoinThenSample, KdsCursor, KdsIndex,
-    KdsRejectionCursor, KdsRejectionIndex, KdsRejectionSampler, KdsSampler, MassMode, PhaseReport,
-    RangeTreeSampler, SampleConfig, SampleError, SampleIter, SamplerIndex,
+    AnySamplerIndex, BbstCursor, BbstIndex, BbstKdVariantCursor, BbstKdVariantIndex,
+    BbstKdVariantSampler, BbstSampler, Cursor, DeltaSet, JoinPair, JoinSampler, JoinThenSample,
+    KdsCursor, KdsIndex, KdsRejectionCursor, KdsRejectionIndex, KdsRejectionSampler, KdsSampler,
+    MassMode, OverlayIndex, OverlaySupport, PhaseReport, RangeTreeSampler, SampleConfig,
+    SampleError, SampleIter, SamplerIndex,
 };
 pub use srj_datagen::{generate, split_rs, DatasetKind, DatasetSpec};
 pub use srj_engine::{
-    Algorithm, Engine, EngineCache, PlanReport, SamplerHandle, ShardedIndex, StatsSnapshot,
+    Algorithm, DatasetSnapshot, DatasetStore, Engine, EngineCache, EpochConfig, EpochEngine,
+    PlanReport, SamplerHandle, ShardedIndex, StatsSnapshot,
 };
 pub use srj_geom::{Point, PointId, Rect};
 pub use srj_server::{
     Client, DatasetRegistry, RequestStatus, SampleOutcome, SampleRequest, Server, ServerConfig,
+    Side, UpdateOutcome,
 };

@@ -1,0 +1,319 @@
+//! Integration tests for epoch-versioned dynamic datasets: statistical
+//! uniformity with pending deltas (between rebuilds) and after epoch
+//! swaps, in-flight handles surviving swaps, and the
+//! rejection-rate-driven re-planning hot-swap.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use srj::{
+    Algorithm, DatasetSnapshot, EpochConfig, EpochEngine, JoinPair, Point, Rect, SampleConfig,
+};
+
+fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| Point::new(next() * extent, next() * extent))
+        .collect()
+}
+
+/// Brute-force live join of a snapshot, by (epoch-relative) ids.
+fn live_join(snap: &DatasetSnapshot, l: f64) -> Vec<JoinPair> {
+    let mut out = Vec::new();
+    for (rid, rp) in snap.live_r() {
+        let w = Rect::window(rp, l);
+        for (sid, sp) in snap.live_s() {
+            if w.contains(sp) {
+                out.push(JoinPair::new(rid, sid));
+            }
+        }
+    }
+    out
+}
+
+/// Chi-squared uniformity over the exact pair space (the same
+/// Wilson–Hilferty p ≈ 0.001 cutoff as tests/uniformity.rs).
+fn assert_uniform(counts: &HashMap<JoinPair, u64>, join: &[JoinPair], draws: u64, what: &str) {
+    let k = join.len() as f64;
+    let expected = draws as f64 / k;
+    assert!(expected >= 5.0, "{what}: test underpowered ({expected})");
+    let chi2: f64 = join
+        .iter()
+        .map(|p| {
+            let o = *counts.get(p).unwrap_or(&0) as f64;
+            (o - expected) * (o - expected) / expected
+        })
+        .sum();
+    let dof = k - 1.0;
+    let z = 3.09;
+    let cut = dof * (1.0 - 2.0 / (9.0 * dof) + z * (2.0 / (9.0 * dof)).sqrt()).powi(3);
+    assert!(
+        chi2 < cut,
+        "{what}: chi2 {chi2:.1} over cutoff {cut:.1} (dof {dof})"
+    );
+}
+
+fn draw_and_check(engine: &EpochEngine, l: f64, seed: u64, what: &str) {
+    let snap = engine.store().snapshot();
+    let join = live_join(&snap, l);
+    assert!(
+        join.len() > 30,
+        "{what}: workload too sparse ({})",
+        join.len()
+    );
+    let join_set: std::collections::HashSet<JoinPair> = join.iter().copied().collect();
+    let draws = (join.len() as u64 * 60).max(20_000);
+    let mut h = engine.handle_seeded(seed);
+    let mut counts: HashMap<JoinPair, u64> = HashMap::new();
+    for _ in 0..draws {
+        let p = h.sample_one().unwrap();
+        assert!(
+            join_set.contains(&p),
+            "{what}: emitted dead or non-join pair {p:?}"
+        );
+        *counts.entry(p).or_insert(0) += 1;
+    }
+    assert_uniform(&counts, &join, draws, what);
+}
+
+/// Uniformity must hold with pending deltas (served through the
+/// overlay, *between* rebuilds) and again after the epoch swap folds
+/// them in — for every algorithm.
+#[test]
+fn uniform_with_pending_deltas_and_after_epoch_swap() {
+    let l = 6.0;
+    let cfg = SampleConfig::new(l);
+    for (i, algo) in [Algorithm::Kds, Algorithm::KdsRejection, Algorithm::Bbst]
+        .into_iter()
+        .enumerate()
+    {
+        let seed = 1000 + i as u64 * 10;
+        let r = pseudo_points(60, seed, 50.0);
+        let s = pseudo_points(80, seed + 1, 50.0);
+        // Threshold high enough that the interleaved batches below stay
+        // pending (overlay-served) until we force the swap.
+        let engine = EpochEngine::new(
+            r,
+            s,
+            &cfg,
+            EpochConfig::default()
+                .with_algorithm(algo)
+                .with_rebuild_fraction(0.9),
+        );
+
+        // Interleaved insert/delete batches on both sides.
+        for (j, p) in pseudo_points(20, seed + 2, 50.0).into_iter().enumerate() {
+            let rid = engine.insert_r(p);
+            if j % 5 == 0 {
+                assert!(engine.delete_r(rid), "fresh insert must be deletable");
+            }
+        }
+        for p in pseudo_points(25, seed + 3, 50.0) {
+            engine.insert_s(p);
+        }
+        for id in (0..60u32).step_by(9) {
+            assert!(engine.delete_r(id));
+        }
+        for id in (0..80u32).step_by(11) {
+            assert!(engine.delete_s(id));
+        }
+
+        engine.refresh();
+        assert_eq!(engine.epoch(), 0, "{algo}: deltas must stay pending");
+        assert!(engine.engine().is_overlay(), "{algo}: expected overlay");
+        draw_and_check(&engine, l, 7 + seed, &format!("{algo} pre-rebuild"));
+
+        // Fold the deltas in: compact + rebuild = major epoch swap.
+        engine.store().compact();
+        engine.refresh();
+        assert_eq!(engine.epoch(), 1, "{algo}: swap must bump the epoch");
+        assert!(!engine.engine().is_overlay());
+        assert_eq!(engine.algorithm(), algo, "pinned algorithm must survive");
+        draw_and_check(&engine, l, 8 + seed, &format!("{algo} post-rebuild"));
+    }
+}
+
+/// In-flight handles pinned to an old epoch must complete cleanly —
+/// and stay correct against *their* epoch's id space — while inserts,
+/// overlay swaps, and a full rebuild happen underneath them.
+#[test]
+fn in_flight_handles_survive_epoch_swaps() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 20_000;
+    let l = 5.0;
+    let r = pseudo_points(80, 21, 40.0);
+    let s = pseudo_points(120, 22, 40.0);
+    let engine = Arc::new(EpochEngine::new(
+        r,
+        s,
+        &SampleConfig::new(l),
+        EpochConfig::default().with_rebuild_fraction(0.05),
+    ));
+
+    let start = Arc::new(Barrier::new(THREADS + 1));
+    let swapped = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let start = Arc::clone(&start);
+            let swapped = Arc::clone(&swapped);
+            thread::spawn(move || {
+                // Pin a handle + its epoch's snapshot before any mutation.
+                let snap = engine.store().snapshot();
+                let mut h = engine.handle_seeded(100 + t as u64);
+                start.wait();
+                let mut drawn = 0usize;
+                while drawn < PER_THREAD || !swapped.load(Ordering::Acquire) {
+                    let p = h.sample_one().expect("pinned handle must keep serving");
+                    let rp = snap.r_point(p.r).expect("id outside pinned epoch");
+                    let sp = snap.s_point(p.s).expect("id outside pinned epoch");
+                    assert!(Rect::window(rp, l).contains(sp));
+                    drawn += 1;
+                    if drawn > PER_THREAD * 100 {
+                        panic!("swap flag never arrived");
+                    }
+                }
+                drawn
+            })
+        })
+        .collect();
+
+    start.wait();
+    // Mutate past the rebuild threshold while the workers sample.
+    let before = engine.epoch();
+    for p in pseudo_points(30, 23, 40.0) {
+        engine.insert_r(p);
+        engine.insert_s(Point::new(p.x * 0.9, p.y * 0.9));
+    }
+    engine.refresh(); // major swap: compaction renumbers ids
+    assert!(engine.epoch() > before, "rebuild threshold must have fired");
+    swapped.store(true, Ordering::Release);
+
+    for w in workers {
+        let drawn = w.join().expect("worker panicked");
+        assert!(drawn >= PER_THREAD);
+    }
+
+    // New handles see the new epoch and its renumbered ids.
+    let snap = engine.store().snapshot();
+    let mut h = engine.handle_seeded(999);
+    for _ in 0..2_000 {
+        let p = h.sample_one().unwrap();
+        let rp = snap.r_point(p.r).unwrap();
+        let sp = snap.s_point(p.s).unwrap();
+        assert!(Rect::window(rp, l).contains(sp));
+    }
+}
+
+/// A forced rejection-rate divergence must hot-swap the algorithm
+/// (KDS-rejection → BBST) through the epoch mechanism, without
+/// interrupting a handle that was in flight when the swap happened.
+#[test]
+fn rejection_divergence_replans_the_algorithm() {
+    // Dense uniform workload with tight 9-cell bounds: the planner
+    // picks KDS-rejection (est. overhead ≈ 2.25).
+    let l = 10.0;
+    let r = pseudo_points(4_000, 61, 100.0);
+    let s = pseudo_points(4_000, 62, 100.0);
+    let engine = EpochEngine::new(
+        r,
+        s,
+        &SampleConfig::new(l),
+        EpochConfig::default()
+            .with_rebuild_fraction(0.8) // keep the poison delta pending
+            .with_replan_min_samples(500),
+    );
+    assert_eq!(engine.algorithm(), Algorithm::KdsRejection);
+    let planned = engine
+        .planned_overhead()
+        .expect("auto epoch must record the estimate");
+
+    // A handle in flight across everything that follows.
+    let pinned_snap = engine.store().snapshot();
+    let mut pinned = engine.handle_seeded(3);
+    pinned.sample(100).unwrap();
+
+    // Poison the workload: a far-away near-miss cluster. Every
+    // inserted S point sits diagonally 1.9l from its R partner —
+    // inside the 3×3 block, outside every window — so the overlay's
+    // delta bounds are maximally loose and the *observed* overhead
+    // blows past the planned estimate.
+    for i in 0..3_000u64 {
+        let x = 1_000.0 + (i % 50) as f64 * 3.0 * l;
+        let y = 1_000.0 + (i / 50) as f64 * 3.0 * l;
+        engine.insert_r(Point::new(x, y));
+        engine.insert_s(Point::new(x + 1.9 * l, y + 1.9 * l));
+    }
+
+    // Sampling through the overlay measures the divergence.
+    let mut h = engine.handle_seeded(4);
+    h.sample(2_000).unwrap();
+    assert!(engine.engine().is_overlay());
+    let observed = engine
+        .observed_rejection_rate()
+        .expect("samples were drawn");
+    assert!(
+        observed > planned * 2.0,
+        "poison failed: observed {observed:.2} vs planned {planned:.2}"
+    );
+
+    // The next refresh acts on the observation: re-plan + hot-swap.
+    let epoch_before = engine.epoch();
+    engine.refresh();
+    assert_eq!(engine.replans(), 1, "divergence must trigger a re-plan");
+    assert_eq!(
+        engine.algorithm(),
+        Algorithm::Bbst,
+        "observed overhead {observed:.1} must swap KDS-rejection -> BBST"
+    );
+    assert!(engine.epoch() > epoch_before, "re-plan rides an epoch swap");
+    assert_eq!(engine.engine().algorithm(), Algorithm::Bbst);
+
+    // The pinned handle was never interrupted: still the old
+    // algorithm, still serving its epoch's ids.
+    assert_eq!(pinned.algorithm(), Algorithm::KdsRejection);
+    for p in pinned.sample(500).unwrap() {
+        let rp = pinned_snap.r_point(p.r).unwrap();
+        let sp = pinned_snap.s_point(p.s).unwrap();
+        assert!(Rect::window(rp, l).contains(sp));
+    }
+
+    // And the re-planned engine serves the folded-in dataset.
+    let snap = engine.store().snapshot();
+    assert!(snap.delta.is_empty(), "re-plan compacts the delta");
+    let mut h2 = engine.handle_seeded(5);
+    for p in h2.sample(1_000).unwrap() {
+        let rp = snap.r_point(p.r).unwrap();
+        let sp = snap.s_point(p.s).unwrap();
+        assert!(Rect::window(rp, l).contains(sp));
+    }
+    // BBST's observed overhead is bounded again; no flip-flop.
+    engine.refresh();
+    assert_eq!(engine.replans(), 1);
+    assert_eq!(engine.algorithm(), Algorithm::Bbst);
+}
+
+/// Zero-sample and zero-iteration accessors return `None`, never NaN —
+/// and never feed the re-plan trigger.
+#[test]
+fn rejection_rate_accessors_guard_zero_samples() {
+    let r = pseudo_points(50, 71, 30.0);
+    let s = pseudo_points(50, 72, 30.0);
+    let engine = srj::Engine::auto(&r, &s, &SampleConfig::new(4.0));
+    let h = engine.handle_seeded(0);
+    assert_eq!(h.rejection_rate(), None, "zero-sample handle");
+    assert_eq!(engine.stats().rejection_rate(), None, "zero-sample engine");
+
+    let epoch = EpochEngine::new(r, s, &SampleConfig::new(4.0), EpochConfig::default());
+    assert_eq!(epoch.observed_rejection_rate(), None);
+    epoch.refresh();
+    assert_eq!(epoch.replans(), 0);
+}

@@ -1,0 +1,231 @@
+//! Loopback integration tests for the dynamic-dataset protocol:
+//! `INSERT`/`DELETE`/`EPOCH` frames end to end, mutation visibility in
+//! subsequent `SAMPLE` answers, epoch-swap observability, and error
+//! frames for unknown datasets.
+
+use srj::{
+    Client, DatasetRegistry, Point, Rect, RequestStatus, SampleRequest, Server, ServerConfig, Side,
+};
+
+fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| Point::new(next() * extent, next() * extent))
+        .collect()
+}
+
+fn request(dataset: u64, l: f64, t: u64, seed: u64) -> SampleRequest {
+    SampleRequest {
+        req_id: 0,
+        dataset,
+        l,
+        algorithm: None,
+        shards: 1,
+        t,
+        seed,
+    }
+}
+
+fn start_server() -> Server {
+    let mut registry = DatasetRegistry::new();
+    registry.register(1, pseudo_points(60, 1, 40.0), pseudo_points(90, 2, 40.0));
+    Server::start("127.0.0.1:0", registry, ServerConfig::default()).expect("bind loopback")
+}
+
+/// Inserted points must show up in subsequent samples — without a
+/// server restart — and deletes must stop showing up. The epoch frame
+/// tracks the mutation counters throughout.
+#[test]
+fn updates_flow_over_tcp_and_reach_the_samples() {
+    let mut server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let l = 5.0;
+
+    let (status, info0) = client.epoch(1).unwrap();
+    assert_eq!(status, RequestStatus::Ok);
+    assert_eq!((info0.epoch, info0.version, info0.pending_ops), (0, 0, 0));
+    assert_eq!((info0.live_r, info0.live_s), (60, 90));
+
+    // A far-away cluster only reachable through the inserted points.
+    let r_ins = client
+        .insert(1, Side::R, &[Point::new(500.0, 500.0)])
+        .unwrap();
+    assert_eq!(r_ins.status, RequestStatus::Ok);
+    assert_eq!(r_ins.applied, 1);
+    assert_eq!(r_ins.first_id, 60, "R ids continue after the base");
+    let s_ins = client
+        .insert(
+            1,
+            Side::S,
+            &[Point::new(501.0, 501.0), Point::new(499.0, 499.0)],
+        )
+        .unwrap();
+    assert_eq!(s_ins.status, RequestStatus::Ok);
+    assert_eq!(s_ins.first_id, 90);
+    assert_eq!(s_ins.applied, 2);
+
+    let (_, info1) = client.epoch(1).unwrap();
+    assert_eq!(info1.version, 2, "one version bump per update batch");
+    assert_eq!(info1.pending_ops, 3);
+    assert_eq!((info1.live_r, info1.live_s), (61, 92));
+
+    // The new cluster must be sampleable now.
+    let outcome = client.sample(request(1, l, 4_000, 7)).unwrap();
+    assert_eq!(outcome.status, RequestStatus::Ok);
+    let cluster_hits = outcome
+        .pairs
+        .iter()
+        .filter(|p| p.r == r_ins.first_id)
+        .count();
+    assert!(cluster_hits > 0, "inserted pair never sampled over TCP");
+    for p in &outcome.pairs {
+        if p.r == r_ins.first_id {
+            assert!(p.s == 90 || p.s == 91, "cluster r joined a far s: {p:?}");
+        }
+    }
+
+    // Delete the inserted R point: the cluster must vanish.
+    let del = client.delete(1, Side::R, &[r_ins.first_id]).unwrap();
+    assert_eq!(del.status, RequestStatus::Ok);
+    assert_eq!(del.applied, 1);
+    // Idempotent over the wire: a second delete applies nothing.
+    let del2 = client.delete(1, Side::R, &[r_ins.first_id]).unwrap();
+    assert_eq!(del2.status, RequestStatus::Ok);
+    assert_eq!(del2.applied, 0);
+
+    let outcome = client.sample(request(1, l, 4_000, 8)).unwrap();
+    assert_eq!(outcome.status, RequestStatus::Ok);
+    assert!(
+        outcome.pairs.iter().all(|p| p.r != r_ins.first_id),
+        "tombstoned point still sampled"
+    );
+
+    server.shutdown();
+}
+
+/// Enough mutations cross the rebuild threshold: the epoch bumps, ids
+/// renumber, and samples stay valid against the compacted dataset.
+#[test]
+fn rebuild_threshold_bumps_the_epoch_over_tcp() {
+    let r = pseudo_points(40, 11, 30.0);
+    let s = pseudo_points(40, 12, 30.0);
+    let mut registry = DatasetRegistry::new();
+    registry.register(1, r.clone(), s.clone());
+    let config = ServerConfig {
+        epoch: srj::EpochConfig::default().with_rebuild_fraction(0.1),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::start("127.0.0.1:0", registry, config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let l = 4.0;
+
+    // Prime an engine so the swap below is observable as a swap.
+    assert_eq!(
+        client.sample(request(1, l, 500, 3)).unwrap().status,
+        RequestStatus::Ok
+    );
+
+    let extra = pseudo_points(20, 13, 30.0);
+    let ins = client.insert(1, Side::R, &extra).unwrap();
+    assert_eq!(ins.status, RequestStatus::Ok);
+    assert_eq!(ins.epoch, 0, "mutation alone must not rebuild");
+
+    // The next sample folds the delta in (lazy swap) — past the 10%
+    // threshold that means compaction.
+    let outcome = client.sample(request(1, l, 2_000, 4)).unwrap();
+    assert_eq!(outcome.status, RequestStatus::Ok);
+    let (_, info) = client.epoch(1).unwrap();
+    assert_eq!(info.epoch, 1, "threshold crossed: epoch must bump");
+    assert_eq!(info.pending_ops, 0, "compaction folds the delta");
+    assert_eq!(info.live_r, 60);
+
+    // Post-swap ids address the compacted arrays.
+    let mut all: Vec<Point> = r;
+    all.extend_from_slice(&extra);
+    let outcome = client.sample(request(1, l, 2_000, 5)).unwrap();
+    for p in &outcome.pairs {
+        let rp = all[p.r as usize];
+        let sp = s[p.s as usize];
+        assert!(Rect::window(rp, l).contains(sp), "bad post-swap pair {p:?}");
+    }
+
+    server.shutdown();
+}
+
+/// Unknown datasets answer clean error frames for every update opcode;
+/// the connection stays usable.
+#[test]
+fn unknown_dataset_update_error_frames() {
+    let mut server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let ins = client.insert(99, Side::R, &[Point::new(0.0, 0.0)]).unwrap();
+    assert_eq!(ins.status, RequestStatus::UnknownDataset);
+    let del = client.delete(99, Side::S, &[0]).unwrap();
+    assert_eq!(del.status, RequestStatus::UnknownDataset);
+    let (status, _) = client.epoch(99).unwrap();
+    assert_eq!(status, RequestStatus::UnknownDataset);
+
+    // Still serving afterwards.
+    let outcome = client.sample(request(1, 5.0, 100, 1)).unwrap();
+    assert_eq!(outcome.status, RequestStatus::Ok);
+    server.shutdown();
+}
+
+/// Mixed concurrent readers and writers: no request may fail, every
+/// pair must be valid for some epoch's id space, and the server's
+/// stats stay coherent.
+#[test]
+fn concurrent_updates_and_reads_stay_consistent() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        // Two writer connections inserting disjoint far-away clusters.
+        for w in 0..2u64 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..20 {
+                    let base = 1_000.0 * (w + 1) as f64 + i as f64 * 10.0;
+                    let ins = client
+                        .insert(1, Side::R, &[Point::new(base, base)])
+                        .unwrap();
+                    assert_eq!(ins.status, RequestStatus::Ok);
+                    let ins = client
+                        .insert(1, Side::S, &[Point::new(base + 1.0, base + 1.0)])
+                        .unwrap();
+                    assert_eq!(ins.status, RequestStatus::Ok);
+                }
+            });
+        }
+        // Two reader connections sampling throughout.
+        for rdr in 0..2u64 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..10 {
+                    let outcome = client
+                        .sample(request(1, 5.0, 1_000, rdr * 100 + i))
+                        .unwrap();
+                    assert_eq!(outcome.status, RequestStatus::Ok);
+                    assert_eq!(outcome.pairs.len(), 1_000);
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    let (status, info) = client.epoch(1).unwrap();
+    assert_eq!(status, RequestStatus::Ok);
+    assert_eq!(info.live_r, 60 + 40);
+    assert_eq!(info.live_s, 90 + 40);
+    let stats = client.server_stats().unwrap();
+    assert_eq!(stats.errors, 0);
+    assert!(stats.queries >= 20);
+    server.shutdown();
+}
