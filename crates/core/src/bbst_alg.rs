@@ -1,12 +1,14 @@
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
 use rand::{Rng, RngCore};
 use srj_alias::{AliasTable, CumulativeRow9};
-use srj_bbst::{bucket_capacity, CellBbsts};
+use srj_bbst::{bucket_capacity, CellBbsts, MassMode};
 use srj_geom::{Point, PointId, Rect};
 use srj_grid::{case_of, CellCase, Grid};
 
+use crate::cellstore::{BbstCellCtx, CellStore, PatchReport};
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 use crate::cursor::{Cursor, SamplerIndex};
 use crate::decompose::{case12_count, case12_run, quadrant_query};
@@ -44,12 +46,18 @@ use crate::traits::JoinSampler;
 /// and independent.
 pub struct BbstIndex {
     r_points: Vec<Point>,
-    /// `Arc`-held so a sharded engine can build the `S`-side structures
-    /// once and share them across every shard (see
-    /// [`BbstIndex::build_shared`]).
-    grid: Arc<Grid>,
-    /// Per-cell BBST pairs, parallel to `grid.cells()`.
-    cell_structs: Arc<Vec<CellBbsts>>,
+    /// The `S`-side: grid + per-cell BBST pairs behind one `Arc`-shared,
+    /// cell-granular [`CellStore`]. A sharded engine builds it once and
+    /// shares it across every shard ([`BbstIndex::build_shared`]); an
+    /// epoch engine patches it cell by cell across rebuilds.
+    store: Arc<CellStore<CellBbsts>>,
+    /// Per-cell mass mode, parallel to the store's cells. All cells
+    /// start at the build config's mode; the repair path
+    /// ([`BbstIndex::with_exact_cells`]) tightens individual loose
+    /// cells to [`MassMode::Exact`]. The UB rows and the draw use the
+    /// same per-cell mode, so Theorem 3's `1/µ(r,c)` accounting — and
+    /// with it exact uniformity — is preserved per cell.
+    modes: Vec<MassMode>,
     /// Per-`r` cell distributions (`A_r` in Algorithm 1).
     rows: Vec<CumulativeRow9>,
     /// Global alias over `µ(r)` (`A` in Algorithm 1).
@@ -64,13 +72,13 @@ const _: () = {
 };
 
 /// The `S`-side of a [`BbstIndex`] (phase 1 of Algorithm 1): the grid
-/// and the per-cell BBSTs, `Arc`-held so many indexes — e.g. the shards
-/// of a sharded engine — can be built over one copy. Produced by
+/// and the per-cell BBSTs behind one [`CellStore`], `Arc`-held so many
+/// indexes — e.g. the shards of a sharded engine — can be built over
+/// one copy, and patchable cell by cell across epochs. Produced by
 /// [`BbstIndex::build_s_structures`], consumed by
 /// [`BbstIndex::build_shared`].
 pub struct BbstSStructures {
-    grid: Arc<Grid>,
-    cell_structs: Arc<Vec<CellBbsts>>,
+    store: Arc<CellStore<CellBbsts>>,
     /// Wall-clock of the offline x-sort.
     pub preprocessing: std::time::Duration,
     /// Wall-clock of grid construction + per-cell BBST builds.
@@ -78,39 +86,49 @@ pub struct BbstSStructures {
 }
 
 impl BbstSStructures {
+    /// The cell store underneath.
+    pub fn store(&self) -> &Arc<CellStore<CellBbsts>> {
+        &self.store
+    }
+
     /// Heap bytes of the shared structures.
     pub fn memory_bytes(&self) -> usize {
-        s_side_memory_bytes(&self.grid, &self.cell_structs)
+        self.store.memory_bytes()
     }
-}
 
-/// Heap bytes of a BBST `S`-side (grid + per-cell BBSTs) — the one
-/// accounting both [`BbstSStructures::memory_bytes`] and the index's
-/// `shared_memory_bytes` report, so the sharded-engine memory dedup
-/// can't drift from the shared-structure footprint.
-fn s_side_memory_bytes(grid: &Grid, cell_structs: &[CellBbsts]) -> usize {
-    grid.memory_bytes()
-        + cell_structs
-            .iter()
-            .map(CellBbsts::memory_bytes)
-            .sum::<usize>()
+    /// Rebuilds only the cells touched by `inserted`/`deleted`,
+    /// structurally sharing every clean cell with this `S`-side (see
+    /// [`CellStore::patch`]). The patch cost is charged to the returned
+    /// structure's `grid_mapping`.
+    pub fn patch(
+        &self,
+        inserted: &[Point],
+        deleted: &HashSet<PointId>,
+    ) -> (BbstSStructures, PatchReport) {
+        let t0 = Instant::now();
+        let (store, report) = self.store.patch(inserted, deleted);
+        (
+            BbstSStructures {
+                store: Arc::new(store),
+                preprocessing: std::time::Duration::ZERO,
+                grid_mapping: t0.elapsed(),
+            },
+            report,
+        )
+    }
 }
 
 impl BbstIndex {
     /// Runs phases 1 and 2 of Algorithm 1.
     pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
-        // Offline pre-processing: sort S by x (footnote 2 / Table II —
-        // the only offline work BBST needs).
-        let t0 = Instant::now();
-        let mut x_order: Vec<PointId> = (0..s.len() as u32).collect();
-        x_order.sort_unstable_by(|&a, &b| s[a as usize].x.total_cmp(&s[b as usize].x));
-        let preprocessing = t0.elapsed();
-
-        let t1 = Instant::now();
-        let grid = Grid::build_from_sorted(s, &x_order, config.half_extent);
-        drop(x_order);
-        let grid_time = t1.elapsed();
-        Self::finish_build(r, grid, config, preprocessing, grid_time)
+        let s_side = Self::build_s_structures(s, config);
+        Self::build_inner(
+            r,
+            Arc::clone(&s_side.store),
+            config,
+            s_side.preprocessing,
+            s_side.grid_mapping,
+        )
     }
 
     /// Like [`BbstIndex::build`], but reuses a grid the caller already
@@ -137,30 +155,30 @@ impl BbstIndex {
             grid.cell_side(),
             config.half_extent
         );
-        Self::finish_build(r, grid, config, std::time::Duration::ZERO, grid_build_time)
+        let t1 = Instant::now();
+        let ctx = BbstCellCtx {
+            cap: bucket_capacity(grid.num_points()),
+            cascading: config.use_cascading,
+        };
+        let store = Arc::new(CellStore::from_grid(
+            Arc::new(grid),
+            ctx,
+            config.build_threads,
+        ));
+        let grid_mapping = grid_build_time + t1.elapsed();
+        Self::build_inner(r, store, config, std::time::Duration::ZERO, grid_mapping)
     }
 
-    /// Phase 1 tail: the per-cell BBSTs, built on
-    /// `config.build_threads` threads. Each cell's pair of BBSTs
-    /// depends only on that cell's x-sorted ids and the immutable point
-    /// slice, so the parallel build is bit-identical to the serial one
-    /// ([`par_map`] re-concatenates per-chunk outputs in cell order).
-    pub fn build_cells(grid: &Grid, config: &SampleConfig) -> Vec<CellBbsts> {
-        let cap = bucket_capacity(grid.num_points());
-        let (cells, _par) = par_map(grid.cells(), config.build_threads, |_, c| {
-            if config.use_cascading {
-                CellBbsts::build_cascading(grid.points(), &c.by_x, cap)
-            } else {
-                CellBbsts::build(grid.points(), &c.by_x, cap)
-            }
-        });
-        cells
-    }
-
-    /// Builds only the `S`-side structures (grid + per-cell BBSTs) and
-    /// records what phase 1 cost. A sharded engine calls this once and
-    /// hands the result to every per-shard [`BbstIndex::build_shared`],
-    /// so the `S`-side is built — and held in memory — exactly once.
+    /// Builds only the `S`-side structures (grid + per-cell BBSTs,
+    /// behind one patchable [`CellStore`]) and records what phase 1
+    /// cost. A sharded engine calls this once and hands the result to
+    /// every per-shard [`BbstIndex::build_shared`], so the `S`-side is
+    /// built — and held in memory — exactly once; an epoch engine
+    /// patches it cell by cell instead of rebuilding.
+    ///
+    /// The per-cell BBSTs build on `config.build_threads` threads; each
+    /// cell depends only on its own x-sorted ids and the immutable
+    /// point slice, so the parallel build is bit-identical to serial.
     pub fn build_s_structures(s: &[Point], config: &SampleConfig) -> BbstSStructures {
         let t0 = Instant::now();
         let mut x_order: Vec<PointId> = (0..s.len() as u32).collect();
@@ -170,10 +188,13 @@ impl BbstIndex {
         let t1 = Instant::now();
         let grid = Grid::build_from_sorted(s, &x_order, config.half_extent);
         drop(x_order);
-        let cell_structs = Self::build_cells(&grid, config);
+        let ctx = BbstCellCtx {
+            cap: bucket_capacity(grid.num_points()),
+            cascading: config.use_cascading,
+        };
+        let store = CellStore::from_grid(Arc::new(grid), ctx, config.build_threads);
         BbstSStructures {
-            grid: Arc::new(grid),
-            cell_structs: Arc::new(cell_structs),
+            store: Arc::new(store),
             preprocessing,
             grid_mapping: t1.elapsed(),
         }
@@ -191,66 +212,67 @@ impl BbstIndex {
     /// decomposition assumes cell side = `l`), and a cascading
     /// mismatch would bound with the wrong mass mode.
     pub fn build_shared(r: &[Point], config: &SampleConfig, s_side: &BbstSStructures) -> Self {
-        assert!(
-            s_side.grid.cell_side().to_bits() == config.half_extent.to_bits(),
-            "shared grid cell side ({}) must equal the window half-extent ({})",
-            s_side.grid.cell_side(),
-            config.half_extent
-        );
-        assert!(
-            s_side
-                .cell_structs
-                .first()
-                .is_none_or(|c| c.is_cascading() == config.use_cascading),
-            "shared per-cell BBSTs were built with the opposite cascading mode"
-        );
         let zero = std::time::Duration::ZERO;
-        Self::build_inner(
-            r,
-            Arc::clone(&s_side.grid),
-            Arc::clone(&s_side.cell_structs),
-            config,
-            zero,
-            zero,
-        )
+        Self::build_inner(r, Arc::clone(&s_side.store), config, zero, zero)
     }
 
-    /// Phase 1 tail (per-cell BBSTs) + phase 2, over a ready grid.
-    fn finish_build(
-        r: &[Point],
-        grid: Grid,
-        config: &SampleConfig,
-        preprocessing: std::time::Duration,
-        grid_time_so_far: std::time::Duration,
-    ) -> Self {
-        // Phase 1 (remainder): per-cell BBSTs.
-        let t1 = Instant::now();
-        let cell_structs = Self::build_cells(&grid, config);
-        let grid_mapping = grid_time_so_far + t1.elapsed();
-        Self::build_inner(
-            r,
-            Arc::new(grid),
-            Arc::new(cell_structs),
-            config,
-            preprocessing,
-            grid_mapping,
-        )
-    }
-
-    /// Phase 2 over ready `S`-side structures.
+    /// Phase 2 over a ready `S`-side store.
     fn build_inner(
         r: &[Point],
-        grid: Arc<Grid>,
-        cell_structs: Arc<Vec<CellBbsts>>,
+        store: Arc<CellStore<CellBbsts>>,
         config: &SampleConfig,
         preprocessing: std::time::Duration,
         grid_mapping: std::time::Duration,
     ) -> Self {
-        // Phase 2: upper bounds, per-r rows, global alias. The per-r
-        // loop (Lemma 4's O(n log m) — the dominant build phase) runs
-        // on `config.build_threads` threads; each element reads only
-        // the immutable grid and per-cell BBSTs, so the parallel result
-        // is bit-identical to the serial one.
+        assert!(
+            store.grid().cell_side().to_bits() == config.half_extent.to_bits(),
+            "shared grid cell side ({}) must equal the window half-extent ({})",
+            store.grid().cell_side(),
+            config.half_extent
+        );
+        assert!(
+            store.ctx().cascading == config.use_cascading,
+            "shared per-cell BBSTs were built with the opposite cascading mode"
+        );
+        let modes = vec![config.mass_mode; store.num_cells()];
+        let (rows, alias, upper_bounding, upper_bounding_cpu) =
+            Self::build_rows(r, &store, &modes, config);
+        BbstIndex {
+            r_points: r.to_vec(),
+            store,
+            modes,
+            rows,
+            alias,
+            config: *config,
+            build_report: PhaseReport {
+                preprocessing,
+                grid_mapping,
+                upper_bounding,
+                upper_bounding_cpu,
+                ..PhaseReport::default()
+            },
+        }
+    }
+
+    /// Phase 2 proper: upper bounds, per-`r` rows, global alias, with
+    /// each corner cell bounded under **its own** mass mode. The per-r
+    /// loop (Lemma 4's `O(n log m)` — the dominant build phase) runs on
+    /// `config.build_threads` threads; each element reads only the
+    /// immutable store, so the parallel result is bit-identical to the
+    /// serial one.
+    #[allow(clippy::type_complexity)]
+    fn build_rows(
+        r: &[Point],
+        store: &CellStore<CellBbsts>,
+        modes: &[MassMode],
+        config: &SampleConfig,
+    ) -> (
+        Vec<CumulativeRow9>,
+        Option<AliasTable>,
+        std::time::Duration,
+        std::time::Duration,
+    ) {
+        let grid = store.grid();
         let t2 = Instant::now();
         let (rows, par) = par_map(r, config.build_threads, |_, &rp| {
             let w = Rect::window(rp, config.half_extent);
@@ -262,7 +284,7 @@ impl BbstIndex {
                 let mu = match case_of(i) {
                     CellCase::Quadrant { x_is_min, y_is_min } => {
                         let q = quadrant_query(x_is_min, y_is_min, &w);
-                        cell_structs[slot as usize].count_quadrant(&q, config.mass_mode)
+                        store.unit(slot).count_quadrant(&q, modes[slot as usize])
                     }
                     case => case12_count(cell, grid.points(), case, &w)
                         .expect("non-corner case must yield an exact count"),
@@ -275,22 +297,57 @@ impl BbstIndex {
         let alias = AliasTable::new(&weights);
         let upper_bounding = t2.elapsed();
         let upper_bounding_cpu = par.cpu + upper_bounding.saturating_sub(par.wall);
+        (rows, alias, upper_bounding, upper_bounding_cpu)
+    }
 
-        BbstIndex {
-            r_points: r.to_vec(),
-            grid,
-            cell_structs,
+    /// Re-tightens the given cells to [`MassMode::Exact`] bounds — the
+    /// targeted repair for cells whose Virtual-mass bound turned out
+    /// loose (measured per-cell rejections) — and recomputes the UB
+    /// rows against the unchanged, fully shared `S`-side. `None` when
+    /// every named cell is already exact (nothing would change).
+    ///
+    /// Uniformity is preserved: rows and draws both read the per-cell
+    /// mode, so every pair keeps per-iteration probability `1/Σµ` with
+    /// the new (smaller) `Σµ`.
+    pub fn with_exact_cells(&self, slots: &[u32]) -> Option<BbstIndex> {
+        let mut modes = self.modes.clone();
+        let mut changed = false;
+        for &slot in slots {
+            if let Some(m) = modes.get_mut(slot as usize) {
+                if *m != MassMode::Exact {
+                    *m = MassMode::Exact;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return None;
+        }
+        let (rows, alias, upper_bounding, upper_bounding_cpu) =
+            Self::build_rows(&self.r_points, &self.store, &modes, &self.config);
+        Some(BbstIndex {
+            r_points: self.r_points.clone(),
+            store: Arc::clone(&self.store),
+            modes,
             rows,
             alias,
-            config: *config,
+            config: self.config,
             build_report: PhaseReport {
-                preprocessing,
-                grid_mapping,
+                // The S-side is untouched; the repair pays only a UB
+                // pass, charged here.
+                preprocessing: std::time::Duration::ZERO,
+                grid_mapping: std::time::Duration::ZERO,
                 upper_bounding,
                 upper_bounding_cpu,
                 ..PhaseReport::default()
             },
-        }
+        })
+    }
+
+    /// How many cells are still bounded with the Virtual mass (repair
+    /// candidates).
+    pub fn virtual_cells(&self) -> usize {
+        self.modes.iter().filter(|m| **m != MassMode::Exact).count()
     }
 
     /// Sum of the upper bounds `Σ_r µ(r)`.
@@ -309,19 +366,20 @@ impl BbstIndex {
 
     /// The bucket capacity `⌈log₂ m⌉` in use.
     pub fn bucket_cap(&self) -> u32 {
-        self.cell_structs.first().map_or(1, CellBbsts::capacity)
+        self.store.ctx().cap
     }
 
-    /// The `Arc`-shared `S`-side structures (grid + per-cell BBSTs), for
-    /// rebuilding an index over a mutated `R` without re-paying the
-    /// `S`-side build (epoch-based rebuilds hand these straight back to
-    /// [`BbstIndex::build_shared`] when only `R` changed). The returned
-    /// structure's phase durations are zero: the build cost was charged
-    /// to this index's report.
+    /// The `Arc`-shared `S`-side structures (grid + per-cell BBSTs),
+    /// for rebuilding an index over a mutated `R` without re-paying the
+    /// `S`-side build, or for patching cell by cell when `S` mutated
+    /// (epoch-based rebuilds hand these — or their
+    /// [`BbstSStructures::patch`] — straight back to
+    /// [`BbstIndex::build_shared`]). The returned structure's phase
+    /// durations are zero: the build cost was charged to this index's
+    /// report.
     pub fn s_structures(&self) -> BbstSStructures {
         BbstSStructures {
-            grid: Arc::clone(&self.grid),
-            cell_structs: Arc::clone(&self.cell_structs),
+            store: Arc::clone(&self.store),
             preprocessing: std::time::Duration::ZERO,
             grid_mapping: std::time::Duration::ZERO,
         }
@@ -340,20 +398,24 @@ impl BbstIndex {
     /// Approximate heap footprint of the retained structures.
     pub fn memory_bytes(&self) -> usize {
         self.r_points.capacity() * std::mem::size_of::<Point>()
-            + self.grid.memory_bytes()
-            + self
-                .cell_structs
-                .iter()
-                .map(CellBbsts::memory_bytes)
-                .sum::<usize>()
+            + self.store.memory_bytes()
+            + self.modes.capacity() * std::mem::size_of::<MassMode>()
             + self.rows.capacity() * std::mem::size_of::<CumulativeRow9>()
             + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
     }
 }
 
+/// Per-cursor scratch of the BBST draw: the per-cell rejection records
+/// this cursor accumulated (drained by the serving layer into shared
+/// per-cell counters — the signal behind targeted cell repairs).
+#[derive(Default)]
+pub struct BbstScratch {
+    rejected_cells: Vec<u32>,
+}
+
 impl SamplerIndex for BbstIndex {
-    /// The BBST draw needs no scratch memory.
-    type Scratch = ();
+    /// Per-cell rejection records; the draw needs no other scratch.
+    type Scratch = BbstScratch;
 
     fn algorithm_name(&self) -> &'static str {
         "BBST"
@@ -363,11 +425,12 @@ impl SamplerIndex for BbstIndex {
     fn try_draw(
         &self,
         rng: &mut dyn RngCore,
-        _scratch: &mut (),
+        scratch: &mut BbstScratch,
         stats: &mut PhaseReport,
     ) -> Result<Option<JoinPair>, SampleError> {
         let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
         stats.iterations += 1;
+        let grid = self.store.grid();
         // Line 12: r ~ A.
         let ridx = alias.sample(rng);
         let rp = self.r_points[ridx];
@@ -376,27 +439,28 @@ impl SamplerIndex for BbstIndex {
         let cell_idx = self.rows[ridx]
             .sample(rng)
             .expect("alias returned r with zero µ(r)");
-        let slot = self.grid.neighborhood_slots(rp)[cell_idx]
-            .expect("positive cell weight for an empty cell");
-        let cell = self.grid.cell(slot);
+        let slot =
+            grid.neighborhood_slots(rp)[cell_idx].expect("positive cell weight for an empty cell");
+        let cell = grid.cell(slot);
         // Line 14: s from the cell, by case.
         let accepted: Option<PointId> = match case_of(cell_idx) {
             CellCase::Quadrant { x_is_min, y_is_min } => {
                 let q = quadrant_query(x_is_min, y_is_min, &w);
-                self.cell_structs[slot as usize]
-                    .sample_quadrant(&q, self.config.mass_mode, rng)
+                self.store
+                    .unit(slot)
+                    .sample_quadrant(&q, self.modes[slot as usize], rng)
                     .map(|pos| cell.by_x[pos as usize])
                     // Line 15: accept iff w(r) ∩ s.
-                    .filter(|&sid| w.contains(self.grid.point(sid)))
+                    .filter(|&sid| w.contains(grid.point(sid)))
             }
             case => {
-                let run = case12_run(cell, self.grid.points(), case, &w)
+                let run = case12_run(cell, grid.points(), case, &w)
                     .expect("non-corner case must yield a run");
                 // Exact cases never reject; the run is non-empty
                 // because its UB-phase count was positive.
                 let sid = run[rng.gen_range(0..run.len())];
                 debug_assert!(
-                    w.contains(self.grid.point(sid)),
+                    w.contains(grid.point(sid)),
                     "case-1/2 sample escaped the window"
                 );
                 Some(sid)
@@ -406,6 +470,11 @@ impl SamplerIndex for BbstIndex {
             stats.samples += 1;
             return Ok(Some(JoinPair::new(ridx as u32, sid)));
         }
+        // Rejections happen only in the corner (case-3) cells — a dud
+        // virtual slot or a candidate outside the window — so the
+        // rejected slot identifies exactly the cell whose bound was
+        // loose: the per-cell feedback driving targeted repairs.
+        scratch.rejected_cells.push(slot);
         Ok(None)
     }
 
@@ -417,6 +486,14 @@ impl SamplerIndex for BbstIndex {
         self.mu_total()
     }
 
+    fn cell_count(&self) -> usize {
+        self.store.num_cells()
+    }
+
+    fn drain_cell_rejections(scratch: &mut BbstScratch, out: &mut Vec<u32>) {
+        out.append(&mut scratch.rejected_cells);
+    }
+
     fn index_build_report(&self) -> PhaseReport {
         self.build_report
     }
@@ -426,14 +503,13 @@ impl SamplerIndex for BbstIndex {
     }
 
     fn shared_memory_bytes(&self) -> usize {
-        s_side_memory_bytes(&self.grid, &self.cell_structs)
+        self.store.memory_bytes()
     }
 
     fn shared_memory_token(&self) -> usize {
-        // The grid and the per-cell BBSTs are always shared together
-        // (both come from `build_s_structures`), so one token covers
-        // both.
-        Arc::as_ptr(&self.grid) as usize
+        // The grid and the per-cell BBSTs live behind one store Arc, so
+        // one token covers both.
+        Arc::as_ptr(&self.store) as usize
     }
 }
 

@@ -62,6 +62,19 @@ pub trait SamplerIndex: Send + Sync {
     /// top-level alias relies on.
     fn total_weight(&self) -> f64;
 
+    /// Number of `S`-side cells this index draws from, when its
+    /// structure is cell-granular (`0` otherwise). Sizes the engine's
+    /// per-cell rejection counters.
+    fn cell_count(&self) -> usize {
+        0
+    }
+
+    /// Moves the per-cell rejection records accumulated in `scratch`
+    /// into `out` (one slot entry per rejected iteration). Indexes
+    /// whose draws attribute rejections to a cell record them in their
+    /// scratch; the default is a no-op for everything else.
+    fn drain_cell_rejections(_scratch: &mut Self::Scratch, _out: &mut Vec<u32>) {}
+
     /// One uniform draw: loops [`SamplerIndex::try_draw`] until a
     /// candidate is accepted or [`SamplerIndex::rejection_limit`]
     /// consecutive rejections trip the safety valve.
@@ -140,6 +153,9 @@ pub trait AnySamplerIndex: Send + Sync {
 
     /// Total sampling weight `Σµ` (see [`SamplerIndex::total_weight`]).
     fn any_total_weight(&self) -> f64;
+
+    /// Number of `S`-side cells (see [`SamplerIndex::cell_count`]).
+    fn any_cell_count(&self) -> usize;
 }
 
 impl<I: SamplerIndex + 'static> AnySamplerIndex for I {
@@ -161,6 +177,10 @@ impl<I: SamplerIndex + 'static> AnySamplerIndex for I {
 
     fn any_total_weight(&self) -> f64 {
         self.total_weight()
+    }
+
+    fn any_cell_count(&self) -> usize {
+        self.cell_count()
     }
 }
 
@@ -197,6 +217,10 @@ impl<I: SamplerIndex> Cursor<I> {
 impl<I: SamplerIndex> JoinSampler for Cursor<I> {
     fn name(&self) -> &'static str {
         self.index.algorithm_name()
+    }
+
+    fn take_cell_rejections(&mut self, out: &mut Vec<u32>) {
+        I::drain_cell_rejections(&mut self.scratch, out);
     }
 
     fn sample_one(&mut self, rng: &mut dyn RngCore) -> Result<JoinPair, SampleError> {

@@ -4,8 +4,9 @@ use std::time::Instant;
 use rand::RngCore;
 use srj_alias::AliasTable;
 use srj_geom::{Point, Rect};
-use srj_kdtree::{CanonicalScratch, KdTree};
+use srj_kdtree::CanonicalScratch;
 
+use crate::cellstore::KdCellStore;
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 use crate::cursor::{Cursor, SamplerIndex};
 use crate::parallel::par_map;
@@ -13,7 +14,11 @@ use crate::traits::JoinSampler;
 
 /// Immutable build product of Baseline 1 — **KDS** (paper Section III-A).
 ///
-/// 1. Build a kd-tree over `S` offline.
+/// 1. Build the `S`-side structure offline: per-cell kd-trees behind a
+///    cell-granular [`KdCellStore`] (cell side = `l`, so a window
+///    overlaps ≤ 9 cells — the `O(√m)` query bound of the monolithic
+///    kd-tree is preserved, and the structure becomes patchable cell by
+///    cell).
 /// 2. Run an exact range count `|S(w(r))|` for every `r ∈ R`
 ///    (`O(n√m)` — this is the baseline's bottleneck).
 /// 3. Build a Walker alias over the counts; the alias picks `r` with
@@ -30,9 +35,10 @@ use crate::traits::JoinSampler;
 /// Total: `O((n + t)√m)` time, `O(n + m)` space.
 pub struct KdsIndex {
     r_points: Vec<Point>,
-    /// `Arc`-held so a sharded engine can build the tree over `S` once
-    /// and share it across every shard (see [`KdsIndex::build_shared`]).
-    tree: Arc<KdTree>,
+    /// `Arc`-held so a sharded engine can build the `S`-side once and
+    /// share it across every shard (see [`KdsIndex::build_shared`]),
+    /// and an epoch engine can patch it cell by cell.
+    s_cells: Arc<KdCellStore>,
     alias: Option<AliasTable>,
     join_size: u64,
     config: SampleConfig,
@@ -53,37 +59,51 @@ impl KdsIndex {
     /// runs on [`SampleConfig::build_threads`] threads; results are
     /// bit-identical at any thread count (see [`crate::parallel`]).
     pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
-        let (tree, preprocessing) = Self::build_s_structure(s);
-        Self::build_inner(r, tree, config, preprocessing)
+        let (s_cells, preprocessing) = Self::build_s_structure(s, config);
+        Self::build_inner(r, s_cells, config, preprocessing)
     }
 
-    /// Builds only the `S`-side structure (the kd-tree) and reports how
-    /// long it took. A sharded engine calls this once and hands `Arc`
-    /// clones to every per-shard [`KdsIndex::build_shared`], so the
-    /// tree is built — and held in memory — exactly once.
-    pub fn build_s_structure(s: &[Point]) -> (Arc<KdTree>, std::time::Duration) {
+    /// Builds only the `S`-side structure (the per-cell kd-trees) and
+    /// reports how long it took. A sharded engine calls this once and
+    /// hands `Arc` clones to every per-shard [`KdsIndex::build_shared`],
+    /// so the structure is built — and held in memory — exactly once.
+    pub fn build_s_structure(
+        s: &[Point],
+        config: &SampleConfig,
+    ) -> (Arc<KdCellStore>, std::time::Duration) {
         let t0 = Instant::now();
-        let tree = Arc::new(KdTree::build(s));
-        (tree, t0.elapsed())
+        let s_cells = Arc::new(KdCellStore::build(
+            s,
+            config.half_extent,
+            config.build_threads,
+        ));
+        (s_cells, t0.elapsed())
     }
 
-    /// Like [`KdsIndex::build`], but over an already-built kd-tree
-    /// (from [`KdsIndex::build_s_structure`]). The tree's build time is
-    /// charged to whoever built it, so this index's report records zero
+    /// Like [`KdsIndex::build`], but over an already-built `S`-side
+    /// (from [`KdsIndex::build_s_structure`], or a
+    /// [`KdCellStore::patch`] of one). Its build time is charged to
+    /// whoever built it, so this index's report records zero
     /// preprocessing.
-    pub fn build_shared(r: &[Point], tree: Arc<KdTree>, config: &SampleConfig) -> Self {
-        Self::build_inner(r, tree, config, std::time::Duration::ZERO)
+    pub fn build_shared(r: &[Point], s_cells: Arc<KdCellStore>, config: &SampleConfig) -> Self {
+        Self::build_inner(r, s_cells, config, std::time::Duration::ZERO)
     }
 
     fn build_inner(
         r: &[Point],
-        tree: Arc<KdTree>,
+        s_cells: Arc<KdCellStore>,
         config: &SampleConfig,
         preprocessing: std::time::Duration,
     ) -> Self {
+        assert!(
+            s_cells.grid().cell_side().to_bits() == config.half_extent.to_bits(),
+            "S-side cell side ({}) must equal the window half-extent ({})",
+            s_cells.grid().cell_side(),
+            config.half_extent
+        );
         let t1 = Instant::now();
         let (weights, par) = par_map(r, config.build_threads, |_, &rp| {
-            tree.range_count(&Rect::window(rp, config.half_extent)) as f64
+            s_cells.count_window(&Rect::window(rp, config.half_extent)) as f64
         });
         let join_size = weights.iter().sum::<f64>() as u64;
         let alias = AliasTable::new(&weights);
@@ -94,7 +114,7 @@ impl KdsIndex {
 
         KdsIndex {
             r_points: r.to_vec(),
-            tree,
+            s_cells,
             alias,
             join_size,
             config: *config,
@@ -107,12 +127,13 @@ impl KdsIndex {
         }
     }
 
-    /// The `Arc`-shared kd-tree over `S`, for rebuilding an index over
-    /// a mutated `R` without re-paying the `S`-side build (epoch-based
-    /// rebuilds hand this straight back to [`KdsIndex::build_shared`]
-    /// when only `R` changed).
-    pub fn s_tree(&self) -> Arc<KdTree> {
-        Arc::clone(&self.tree)
+    /// The `Arc`-shared `S`-side over `S`, for rebuilding an index over
+    /// a mutated `R` without re-paying the `S`-side build, or for
+    /// patching cell by cell when `S` mutated (epoch-based rebuilds
+    /// hand this — or its [`KdCellStore::patch`] — straight back to
+    /// [`KdsIndex::build_shared`]).
+    pub fn s_cells(&self) -> Arc<KdCellStore> {
+        Arc::clone(&self.s_cells)
     }
 
     /// Exact join cardinality `|J| = Σ_r |S(w(r))|` (free by-product of
@@ -134,7 +155,7 @@ impl KdsIndex {
     /// Approximate heap footprint of the retained structures.
     pub fn memory_bytes(&self) -> usize {
         self.r_points.capacity() * std::mem::size_of::<Point>()
-            + self.tree.memory_bytes()
+            + self.s_cells.memory_bytes()
             + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
     }
 }
@@ -161,8 +182,8 @@ impl SamplerIndex for KdsIndex {
         // The alias only returns r with a positive count, so the window
         // is non-empty and the draw cannot fail.
         let (sid, _count) = self
-            .tree
-            .sample_in_range(&w, rng, scratch)
+            .s_cells
+            .sample_in_window(&w, rng, scratch)
             .expect("alias returned an r with zero range count");
         stats.samples += 1;
         Ok(Some(JoinPair::new(ridx as u32, sid)))
@@ -170,6 +191,10 @@ impl SamplerIndex for KdsIndex {
 
     fn total_weight(&self) -> f64 {
         self.alias.as_ref().map_or(0.0, AliasTable::total_weight)
+    }
+
+    fn cell_count(&self) -> usize {
+        self.s_cells.store().num_cells()
     }
 
     fn index_build_report(&self) -> PhaseReport {
@@ -181,11 +206,11 @@ impl SamplerIndex for KdsIndex {
     }
 
     fn shared_memory_bytes(&self) -> usize {
-        self.tree.memory_bytes()
+        self.s_cells.memory_bytes()
     }
 
     fn shared_memory_token(&self) -> usize {
-        Arc::as_ptr(&self.tree) as usize
+        Arc::as_ptr(&self.s_cells) as usize
     }
 }
 

@@ -59,6 +59,7 @@
 //! achieved speedup is always visible.
 
 mod bbst_alg;
+pub mod cellstore;
 mod config;
 mod cursor;
 mod decompose;
@@ -72,6 +73,9 @@ mod traits;
 mod variant;
 
 pub use bbst_alg::{BbstCursor, BbstIndex, BbstSStructures, BbstSampler};
+pub use cellstore::{
+    BbstCellCtx, CellStore, CellUnit, KdCellStore, PatchReport as CellPatchReport,
+};
 pub use config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 pub use cursor::{AnySamplerIndex, Cursor, SamplerIndex};
 pub use kds::{KdsCursor, KdsIndex, KdsSampler};

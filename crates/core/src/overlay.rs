@@ -151,6 +151,49 @@ impl DeltaSet {
         (self.r_inserted.capacity() + self.s_inserted.capacity()) * std::mem::size_of::<Point>()
             + (self.r_deleted.capacity() + self.s_deleted.capacity()) * set_entry
     }
+
+    /// Pending tombstones (deletes only, both sides). Tombstone-heavy
+    /// deltas degrade the base source's acceptance rate *and* keep `Σµ`
+    /// inflated, so the engine tracks them against a separate (lower)
+    /// rebuild threshold than the total pending fraction.
+    pub fn tombstone_ops(&self) -> usize {
+        self.r_deleted.len() + self.s_deleted.len()
+    }
+
+    /// The dirty-cell map of the pending `S`-side mutations: the
+    /// coordinates (cell side = `cell_side`) of every inserted or
+    /// tombstoned `S` point, resolved against `base_s`. This is exactly
+    /// the set of cells a [`crate::CellStore::patch`] would rebuild —
+    /// the engine compares its size against the total cell count to
+    /// decide between a cell patch and a full rebuild.
+    pub fn dirty_s_cells(&self, base_s: &[Point], cell_side: f64) -> HashSet<(i32, i32)> {
+        let coord = |p: Point| {
+            (
+                (p.x / cell_side).floor() as i32,
+                (p.y / cell_side).floor() as i32,
+            )
+        };
+        let mut dirty: HashSet<(i32, i32)> = HashSet::new();
+        for (j, &p) in self.s_inserted.iter().enumerate() {
+            if !self.s_deleted.contains(&((self.base_s_len + j) as PointId)) {
+                dirty.insert(coord(p));
+            }
+        }
+        for &id in &self.s_deleted {
+            // Only deletes of *base* points dirty a cell; an
+            // inserted-then-deleted point never materialises, so a
+            // patch never touches its would-be cell (mirrors
+            // `Grid::patch`'s dirty computation exactly — overcounting
+            // here would make the engine's patch budget refuse patches
+            // it could afford).
+            if (id as usize) < self.base_s_len {
+                if let Some(p) = self.s_point(base_s, id) {
+                    dirty.insert(coord(p));
+                }
+            }
+        }
+        dirty
+    }
 }
 
 /// Per-epoch support structures for [`OverlayIndex`]: one hash grid
@@ -168,8 +211,24 @@ pub struct OverlaySupport {
 impl OverlaySupport {
     /// Builds both grids over the epoch's base snapshot; `O(n + m)`.
     pub fn build(base_r: &[Point], base_s: &[Point], half_extent: f64) -> Self {
+        Self::build_filtered(base_r, base_s, &HashSet::new(), half_extent)
+    }
+
+    /// Like [`OverlaySupport::build`], but the `S`-side grid indexes
+    /// only the ids **not** in `s_dead` — the dead ids an incremental
+    /// (cell-patch) compaction left in the base without renumbering.
+    /// Dead points then never enter a neighborhood population (so the
+    /// inserted-`R` weights `µ(r⁺)` count live candidates only) and are
+    /// never drawn as candidates, keeping the overlay sources exactly
+    /// uniform over the live join.
+    pub fn build_filtered(
+        base_r: &[Point],
+        base_s: &[Point],
+        s_dead: &HashSet<PointId>,
+        half_extent: f64,
+    ) -> Self {
         let t0 = Instant::now();
-        let s_grid = Arc::new(Grid::build(base_s, half_extent));
+        let s_grid = Arc::new(Grid::build_subset(base_s, s_dead, half_extent));
         let r_grid = Arc::new(Grid::build(base_r, half_extent));
         OverlaySupport {
             s_grid,
@@ -440,6 +499,17 @@ impl<I: SamplerIndex> SamplerIndex for OverlayIndex<I> {
         self.total_weight
     }
 
+    fn cell_count(&self) -> usize {
+        // The overlay's scratch IS the base's scratch, so base draws
+        // keep attributing rejections to their cells through the
+        // overlay; size the counters accordingly.
+        self.base.cell_count()
+    }
+
+    fn drain_cell_rejections(scratch: &mut Self::Scratch, out: &mut Vec<u32>) {
+        I::drain_cell_rejections(scratch, out);
+    }
+
     fn index_build_report(&self) -> PhaseReport {
         self.build_report
     }
@@ -650,6 +720,27 @@ mod tests {
             let p = cursor.sample_one(&mut rng).unwrap();
             assert!(join_set.contains(&p));
         }
+    }
+
+    #[test]
+    fn dirty_s_cells_match_what_a_patch_would_touch() {
+        let base_s = vec![Point::new(5.0, 5.0), Point::new(25.0, 25.0)];
+        let mut delta = DeltaSet::for_base(0, base_s.len());
+        // Insert into an empty coordinate, delete a base point, and
+        // insert-then-delete into a third coordinate (which a patch
+        // never materialises and must NOT count as dirty).
+        delta.s_inserted.push(Point::new(45.0, 45.0)); // id 2
+        delta.s_inserted.push(Point::new(95.0, 95.0)); // id 3
+        delta.s_deleted.insert(0); // base delete: dirties (0,0)
+        delta.s_deleted.insert(3); // insert-then-delete: no cell touched
+        let dirty = delta.dirty_s_cells(&base_s, 10.0);
+        assert!(dirty.contains(&(4, 4)), "live insert's cell is dirty");
+        assert!(dirty.contains(&(0, 0)), "base delete's cell is dirty");
+        assert!(
+            !dirty.contains(&(9, 9)),
+            "insert-then-delete must not dirty its would-be cell"
+        );
+        assert_eq!(dirty.len(), 2);
     }
 
     #[test]

@@ -5,8 +5,9 @@ use rand::{Rng, RngCore};
 use srj_alias::AliasTable;
 use srj_geom::{Point, Rect};
 use srj_grid::Grid;
-use srj_kdtree::{CanonicalScratch, KdTree};
+use srj_kdtree::CanonicalScratch;
 
+use crate::cellstore::KdCellStore;
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 use crate::cursor::{Cursor, SamplerIndex};
 use crate::parallel::par_map;
@@ -31,11 +32,13 @@ use crate::traits::JoinSampler;
 /// Expected `O(n + m + n·m^1.5·t/|J|)` time, `O(n + m)` space.
 pub struct KdsRejectionIndex {
     r_points: Vec<Point>,
-    /// `Arc`-held so a sharded engine can build the `S`-side structures
-    /// once and share them across every shard (see
-    /// [`KdsRejectionIndex::build_shared`]).
-    tree: Arc<KdTree>,
-    grid: Arc<Grid>,
+    /// The `S`-side — the grid (for the 9-cell bounds) plus per-cell
+    /// kd-trees (for the in-window draws) behind one cell-granular
+    /// [`KdCellStore`] — `Arc`-held so a sharded engine can build it
+    /// once and share it across every shard (see
+    /// [`KdsRejectionIndex::build_shared`]), and an epoch engine can
+    /// patch it cell by cell.
+    s_cells: Arc<KdCellStore>,
     /// Per-`r` upper bounds `µ(r)` (the alias weights).
     mu: Vec<f64>,
     alias: Option<AliasTable>,
@@ -49,61 +52,42 @@ const _: () = {
 };
 
 impl KdsRejectionIndex {
-    /// Runs the build phases: kd-tree (pre-processing), grid (GM),
-    /// bounds + alias (UB).
+    /// Runs the build phases: grid (GM), per-cell kd-trees
+    /// (pre-processing), bounds + alias (UB).
     pub fn build(r: &[Point], s: &[Point], config: &SampleConfig) -> Self {
-        let t1 = Instant::now();
-        let grid = Grid::build(s, config.half_extent);
-        let grid_mapping = t1.elapsed();
-        Self::build_with_grid(r, s, config, grid, grid_mapping)
+        let (s_cells, preprocessing, grid_mapping) = Self::build_s_structures(s, config);
+        Self::build_inner(r, s_cells, config, preprocessing, grid_mapping)
     }
 
-    /// Builds only the `S`-side structures (kd-tree + grid) and reports
-    /// the time each took. A sharded engine calls this once and hands
-    /// `Arc` clones to every per-shard
-    /// [`KdsRejectionIndex::build_shared`], so the `S`-side is built —
-    /// and held in memory — exactly once.
-    #[allow(clippy::type_complexity)]
+    /// Builds only the `S`-side structures (grid + per-cell kd-trees)
+    /// and reports the time each phase took (tree builds, grid build).
+    /// A sharded engine calls this once and hands `Arc` clones to every
+    /// per-shard [`KdsRejectionIndex::build_shared`], so the `S`-side
+    /// is built — and held in memory — exactly once.
     pub fn build_s_structures(
         s: &[Point],
         config: &SampleConfig,
-    ) -> (
-        Arc<KdTree>,
-        Arc<Grid>,
-        std::time::Duration,
-        std::time::Duration,
-    ) {
-        let t0 = Instant::now();
-        let tree = Arc::new(KdTree::build(s));
-        let preprocessing = t0.elapsed();
+    ) -> (Arc<KdCellStore>, std::time::Duration, std::time::Duration) {
         let t1 = Instant::now();
         let grid = Arc::new(Grid::build(s, config.half_extent));
-        (tree, grid, preprocessing, t1.elapsed())
+        let grid_mapping = t1.elapsed();
+        let t0 = Instant::now();
+        let s_cells = Arc::new(KdCellStore::from_grid(grid, config.build_threads));
+        (s_cells, t0.elapsed(), grid_mapping)
     }
 
-    /// Like [`KdsRejectionIndex::build`], but over already-built
-    /// `S`-side structures (from
-    /// [`KdsRejectionIndex::build_s_structures`]). Their build time is
-    /// charged to whoever built them, so this index's report records
-    /// zero preprocessing / grid-mapping.
+    /// Like [`KdsRejectionIndex::build`], but over an already-built
+    /// `S`-side (from [`KdsRejectionIndex::build_s_structures`], or a
+    /// [`KdCellStore::patch`] of one). Its build time is charged to
+    /// whoever built it, so this index's report records zero
+    /// preprocessing / grid-mapping.
     ///
     /// # Panics
-    /// Panics if the grid's cell side differs from
-    /// `config.half_extent`, or the tree and grid cover different point
-    /// counts (they must both be over the same `S`).
-    pub fn build_shared(
-        r: &[Point],
-        tree: Arc<KdTree>,
-        grid: Arc<Grid>,
-        config: &SampleConfig,
-    ) -> Self {
-        assert_eq!(
-            tree.len(),
-            grid.num_points(),
-            "kd-tree and grid must cover the same S"
-        );
+    /// Panics if the store's cell side differs from
+    /// `config.half_extent`.
+    pub fn build_shared(r: &[Point], s_cells: Arc<KdCellStore>, config: &SampleConfig) -> Self {
         let zero = std::time::Duration::ZERO;
-        Self::build_inner(r, tree, grid, config, zero, zero)
+        Self::build_inner(r, s_cells, config, zero, zero)
     }
 
     /// Like [`KdsRejectionIndex::build`], but reuses a grid the caller
@@ -126,34 +110,27 @@ impl KdsRejectionIndex {
     ) -> Self {
         assert_eq!(grid.num_points(), s.len(), "grid must cover s");
         let t0 = Instant::now();
-        let tree = Arc::new(KdTree::build(s));
+        let s_cells = Arc::new(KdCellStore::from_grid(Arc::new(grid), config.build_threads));
         let preprocessing = t0.elapsed();
-        Self::build_inner(
-            r,
-            tree,
-            Arc::new(grid),
-            config,
-            preprocessing,
-            grid_build_time,
-        )
+        Self::build_inner(r, s_cells, config, preprocessing, grid_build_time)
     }
 
     fn build_inner(
         r: &[Point],
-        tree: Arc<KdTree>,
-        grid: Arc<Grid>,
+        s_cells: Arc<KdCellStore>,
         config: &SampleConfig,
         preprocessing: std::time::Duration,
         grid_mapping: std::time::Duration,
     ) -> Self {
         assert!(
-            grid.cell_side().to_bits() == config.half_extent.to_bits(),
+            s_cells.grid().cell_side().to_bits() == config.half_extent.to_bits(),
             "grid cell side ({}) must equal the window half-extent ({})",
-            grid.cell_side(),
+            s_cells.grid().cell_side(),
             config.half_extent
         );
 
         let t2 = Instant::now();
+        let grid = s_cells.grid();
         let (mu, par) = par_map(r, config.build_threads, |_, &rp| {
             grid.neighborhood_population(rp) as f64
         });
@@ -163,8 +140,7 @@ impl KdsRejectionIndex {
 
         KdsRejectionIndex {
             r_points: r.to_vec(),
-            tree,
-            grid,
+            s_cells,
             mu,
             alias,
             config: *config,
@@ -178,12 +154,13 @@ impl KdsRejectionIndex {
         }
     }
 
-    /// The `Arc`-shared `S`-side structures (kd-tree + grid), for
+    /// The `Arc`-shared `S`-side (grid + per-cell kd-trees), for
     /// rebuilding an index over a mutated `R` without re-paying the
-    /// `S`-side build (epoch-based rebuilds hand these straight back to
-    /// [`KdsRejectionIndex::build_shared`] when only `R` changed).
-    pub fn s_structures(&self) -> (Arc<KdTree>, Arc<Grid>) {
-        (Arc::clone(&self.tree), Arc::clone(&self.grid))
+    /// `S`-side build, or for patching cell by cell when `S` mutated
+    /// (epoch-based rebuilds hand this — or its [`KdCellStore::patch`]
+    /// — straight back to [`KdsRejectionIndex::build_shared`]).
+    pub fn s_structures(&self) -> Arc<KdCellStore> {
+        Arc::clone(&self.s_cells)
     }
 
     /// Sum of the upper bounds `Σ_r µ(r)` (the rejection-rate
@@ -210,8 +187,7 @@ impl KdsRejectionIndex {
     /// Approximate heap footprint of the retained structures.
     pub fn memory_bytes(&self) -> usize {
         self.r_points.capacity() * std::mem::size_of::<Point>()
-            + self.tree.memory_bytes()
-            + self.grid.memory_bytes()
+            + self.s_cells.memory_bytes()
             + self.mu.capacity() * std::mem::size_of::<f64>()
             + self.alias.as_ref().map_or(0, AliasTable::memory_bytes)
     }
@@ -238,7 +214,7 @@ impl SamplerIndex for KdsRejectionIndex {
         let w = Rect::window(self.r_points[ridx], self.config.half_extent);
         // µ(r) > 0 does not imply the window is non-empty: the nine
         // cells may hold points only outside w(r).
-        if let Some((sid, count)) = self.tree.sample_in_range(&w, rng, scratch) {
+        if let Some((sid, count)) = self.s_cells.sample_in_window(&w, rng, scratch) {
             // Accept with probability |S(w(r))| / µ(r).
             if rng.gen::<f64>() * self.mu[ridx] < count as f64 {
                 stats.samples += 1;
@@ -256,6 +232,10 @@ impl SamplerIndex for KdsRejectionIndex {
         self.mu_total()
     }
 
+    fn cell_count(&self) -> usize {
+        self.s_cells.store().num_cells()
+    }
+
     fn index_build_report(&self) -> PhaseReport {
         self.build_report
     }
@@ -265,13 +245,13 @@ impl SamplerIndex for KdsRejectionIndex {
     }
 
     fn shared_memory_bytes(&self) -> usize {
-        self.tree.memory_bytes() + self.grid.memory_bytes()
+        self.s_cells.memory_bytes()
     }
 
     fn shared_memory_token(&self) -> usize {
-        // The tree and grid are always shared together (both come from
-        // `build_s_structures`), so one token covers both.
-        Arc::as_ptr(&self.tree) as usize
+        // The grid and the per-cell trees live behind one store Arc,
+        // so one token covers both.
+        Arc::as_ptr(&self.s_cells) as usize
     }
 }
 

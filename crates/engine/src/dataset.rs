@@ -20,6 +20,7 @@
 //! `0..base_len`, the `i`-th insert since the last compaction gets
 //! `base_len + i`, and deletes tombstone ids without reuse.
 
+use std::collections::HashSet;
 use std::sync::{Arc, RwLock};
 
 use srj_core::DeltaSet;
@@ -33,12 +34,41 @@ pub struct DatasetSnapshot {
     pub base_r: Arc<Vec<Point>>,
     /// Base `S` points of the epoch.
     pub base_s: Arc<Vec<Point>>,
+    /// **Dead** base `S` ids: tombstones folded by an incremental
+    /// (cell-patch) compaction without renumbering. Dead points stay
+    /// resolvable in `base_s` but are indexed by no structure and must
+    /// never be sampled; a full [`DatasetStore::compact`] purges them.
+    /// Empty unless incremental compactions ran this epoch chain.
+    pub s_dead: Arc<HashSet<PointId>>,
     /// Mutations pending against the base at snapshot time.
     pub delta: DeltaSet,
     /// The epoch this snapshot belongs to.
     pub epoch: u64,
     /// The mutation version this snapshot reflects.
     pub version: u64,
+}
+
+/// The `S`-side of one incremental compaction
+/// ([`DatasetStore::compact_incremental`]): exactly the arguments a
+/// cell-granular `patch` needs, plus the identity of the base `S` the
+/// delta was relative to (so an engine can verify its own `S`-side is
+/// the patch's valid starting point — a sibling engine sharing the
+/// store may have compacted in between).
+pub struct SPatchDelta {
+    /// The base `S` allocation the folded delta was relative to.
+    pub prev_base_s: Arc<Vec<Point>>,
+    /// `S` points appended by the compaction (ids continue from
+    /// `prev_base_s.len()`, matching the delta's insert numbering).
+    pub inserted: Vec<Point>,
+    /// `S` ids tombstoned by the compaction (now dead in the base).
+    pub deleted: HashSet<PointId>,
+}
+
+impl SPatchDelta {
+    /// `true` iff the compaction changed `S` at all.
+    pub fn s_changed(&self) -> bool {
+        !self.inserted.is_empty() || !self.deleted.is_empty()
+    }
 }
 
 impl DatasetSnapshot {
@@ -70,12 +100,13 @@ impl DatasetSnapshot {
         out
     }
 
-    /// Live `(id, point)` pairs of `S'` at this snapshot.
+    /// Live `(id, point)` pairs of `S'` at this snapshot (dead base ids
+    /// excluded).
     pub fn live_s(&self) -> Vec<(PointId, Point)> {
         let mut out = Vec::with_capacity(self.delta.live_s_len());
         for (j, &p) in self.base_s.iter().enumerate() {
             let id = j as PointId;
-            if !self.delta.s_deleted.contains(&id) {
+            if !self.delta.s_deleted.contains(&id) && !self.s_dead.contains(&id) {
                 out.push((id, p));
             }
         }
@@ -107,9 +138,25 @@ pub struct BatchApplied {
 struct StoreInner {
     base_r: Arc<Vec<Point>>,
     base_s: Arc<Vec<Point>>,
+    /// Dead base `S` ids accumulated by incremental compactions (see
+    /// [`DatasetSnapshot::s_dead`]); purged by a full compaction.
+    s_dead: Arc<HashSet<PointId>>,
     delta: DeltaSet,
     epoch: u64,
     version: u64,
+}
+
+impl StoreInner {
+    fn snapshot(&self) -> DatasetSnapshot {
+        DatasetSnapshot {
+            base_r: Arc::clone(&self.base_r),
+            base_s: Arc::clone(&self.base_s),
+            s_dead: Arc::clone(&self.s_dead),
+            delta: self.delta.clone(),
+            epoch: self.epoch,
+            version: self.version,
+        }
+    }
 }
 
 /// A thread-safe, mutable `(R, S)` dataset with epoch-based
@@ -129,6 +176,7 @@ impl DatasetStore {
             inner: RwLock::new(StoreInner {
                 base_r: Arc::new(r),
                 base_s: Arc::new(s),
+                s_dead: Arc::new(HashSet::new()),
                 delta,
                 epoch: 0,
                 version: 0,
@@ -160,9 +208,16 @@ impl DatasetStore {
         self.read().delta.live_r_len()
     }
 
-    /// Live `|S'|`.
+    /// Live `|S'|` (dead base ids excluded).
     pub fn live_s_len(&self) -> usize {
-        self.read().delta.live_s_len()
+        let inner = self.read();
+        inner.delta.live_s_len() - inner.s_dead.len()
+    }
+
+    /// Dead base `S` ids (folded tombstones awaiting a full
+    /// compaction; see [`DatasetSnapshot::s_dead`]).
+    pub fn s_dead_len(&self) -> usize {
+        self.read().s_dead.len()
     }
 
     /// Pending mutation count (inserts + tombstones since the last
@@ -179,17 +234,23 @@ impl DatasetStore {
         inner.delta.pending_ops() as f64 / base as f64
     }
 
+    /// Pending **tombstones** (deletes only) as a fraction of the base
+    /// snapshot size. Tracked separately from [`delta_fraction`] so a
+    /// tombstone-heavy delta can force a (now-cheap, cell-granular)
+    /// rebuild that actually shrinks `Σµ` even while the total pending
+    /// fraction is still below the general rebuild threshold.
+    ///
+    /// [`delta_fraction`]: DatasetStore::delta_fraction
+    pub fn tombstone_fraction(&self) -> f64 {
+        let inner = self.read();
+        let base = (inner.delta.base_r_len + inner.delta.base_s_len).max(1);
+        inner.delta.tombstone_ops() as f64 / base as f64
+    }
+
     /// A consistent view of the current epoch (base arrays `Arc`-shared,
     /// delta cloned).
     pub fn snapshot(&self) -> DatasetSnapshot {
-        let inner = self.read();
-        DatasetSnapshot {
-            base_r: Arc::clone(&inner.base_r),
-            base_s: Arc::clone(&inner.base_s),
-            delta: inner.delta.clone(),
-            epoch: inner.epoch,
-            version: inner.version,
-        }
+        self.read().snapshot()
     }
 
     /// Inserts an `R` point, returning its id (stable until the next
@@ -224,10 +285,12 @@ impl DatasetStore {
         true
     }
 
-    /// Tombstones `S` id `id`; `false` if unknown or already deleted.
+    /// Tombstones `S` id `id`; `false` if unknown, already deleted, or
+    /// dead from an earlier incremental compaction.
     pub fn delete_s(&self, id: PointId) -> bool {
         let mut inner = self.write();
         if (id as usize) >= inner.delta.base_s_len + inner.delta.s_inserted.len()
+            || inner.s_dead.contains(&id)
             || !inner.delta.s_deleted.insert(id)
         {
             return false;
@@ -308,7 +371,10 @@ impl DatasetStore {
         let known = inner.delta.base_s_len + inner.delta.s_inserted.len();
         let mut applied = 0u32;
         for &id in ids {
-            if (id as usize) < known && inner.delta.s_deleted.insert(id) {
+            if (id as usize) < known
+                && !inner.s_dead.contains(&id)
+                && inner.delta.s_deleted.insert(id)
+            {
                 applied += 1;
             }
         }
@@ -325,45 +391,25 @@ impl DatasetStore {
 
     /// Folds the pending delta into a fresh base snapshot, bumping the
     /// epoch and **renumbering ids** (live base points first, then live
-    /// inserts). No-op — and no epoch bump — when nothing is pending.
-    /// Returns the snapshot engines should rebuild from, and whether
-    /// `S` changed (an unchanged `S` lets the rebuild reuse the
-    /// previous epoch's `Arc`-shared `S`-side structures).
+    /// inserts); dead ids left behind by incremental compactions are
+    /// purged too. No-op — and no epoch bump — when nothing is pending
+    /// and nothing is dead. Returns the snapshot engines should rebuild
+    /// from, and whether `S` changed (an unchanged `S` lets the rebuild
+    /// reuse the previous epoch's `Arc`-shared `S`-side structures).
     pub fn compact(&self) -> (DatasetSnapshot, bool) {
         let mut inner = self.write();
-        if inner.delta.is_empty() {
-            let snap = DatasetSnapshot {
-                base_r: Arc::clone(&inner.base_r),
-                base_s: Arc::clone(&inner.base_s),
-                delta: inner.delta.clone(),
-                epoch: inner.epoch,
-                version: inner.version,
-            };
-            return (snap, false);
+        if inner.delta.is_empty() && inner.s_dead.is_empty() {
+            return (inner.snapshot(), false);
         }
-        let s_changed = !inner.delta.s_inserted.is_empty() || !inner.delta.s_deleted.is_empty();
-        let new_r: Vec<Point> = {
-            let mut v = Vec::with_capacity(inner.delta.live_r_len());
-            for (i, &p) in inner.base_r.iter().enumerate() {
-                if !inner.delta.r_deleted.contains(&(i as PointId)) {
-                    v.push(p);
-                }
-            }
-            for (i, &p) in inner.delta.r_inserted.iter().enumerate() {
-                if !inner
-                    .delta
-                    .r_deleted
-                    .contains(&((inner.delta.base_r_len + i) as PointId))
-                {
-                    v.push(p);
-                }
-            }
-            v
-        };
+        let s_changed = !inner.delta.s_inserted.is_empty()
+            || !inner.delta.s_deleted.is_empty()
+            || !inner.s_dead.is_empty();
+        let new_r = Self::fold_r(&inner);
         let new_s: Arc<Vec<Point>> = if s_changed {
-            let mut v = Vec::with_capacity(inner.delta.live_s_len());
+            let mut v = Vec::with_capacity(inner.delta.live_s_len() - inner.s_dead.len());
             for (j, &p) in inner.base_s.iter().enumerate() {
-                if !inner.delta.s_deleted.contains(&(j as PointId)) {
+                let id = j as PointId;
+                if !inner.delta.s_deleted.contains(&id) && !inner.s_dead.contains(&id) {
                     v.push(p);
                 }
             }
@@ -383,17 +429,84 @@ impl DatasetStore {
         };
         inner.base_r = Arc::new(new_r);
         inner.base_s = new_s;
+        inner.s_dead = Arc::new(HashSet::new());
         inner.delta = DeltaSet::for_base(inner.base_r.len(), inner.base_s.len());
         inner.epoch += 1;
         inner.version += 1;
-        let snap = DatasetSnapshot {
-            base_r: Arc::clone(&inner.base_r),
-            base_s: Arc::clone(&inner.base_s),
-            delta: inner.delta.clone(),
-            epoch: inner.epoch,
-            version: inner.version,
+        (inner.snapshot(), s_changed)
+    }
+
+    /// Folds the pending delta **without renumbering `S`**: the
+    /// cell-patch compaction. `R` is folded and renumbered as usual
+    /// (the `R`-side index is rebuilt wholesale on every major swap
+    /// anyway), but `S` keeps stable ids — pending inserts are appended
+    /// (their delta ids carry over exactly) and pending deletes become
+    /// *dead* base ids ([`DatasetSnapshot::s_dead`]). The returned
+    /// [`SPatchDelta`] is precisely what a cell-granular `patch` of the
+    /// previous epoch's `S`-side structures needs; its `prev_base_s`
+    /// lets the engine verify the patch applies to the `S` allocation
+    /// it actually built over.
+    ///
+    /// Bumps the epoch (ids of `R` renumber; `S` ids survive). No-op
+    /// when nothing is pending.
+    pub fn compact_incremental(&self) -> (DatasetSnapshot, SPatchDelta) {
+        let mut inner = self.write();
+        let prev_base_s = Arc::clone(&inner.base_s);
+        if inner.delta.is_empty() {
+            let patch = SPatchDelta {
+                prev_base_s,
+                inserted: Vec::new(),
+                deleted: HashSet::new(),
+            };
+            return (inner.snapshot(), patch);
+        }
+        let new_r = Self::fold_r(&inner);
+        let s_inserted = std::mem::take(&mut inner.delta.s_inserted);
+        let s_deleted = std::mem::take(&mut inner.delta.s_deleted);
+        let new_s: Arc<Vec<Point>> = if s_inserted.is_empty() {
+            Arc::clone(&inner.base_s)
+        } else {
+            let mut v = Vec::with_capacity(inner.base_s.len() + s_inserted.len());
+            v.extend_from_slice(&inner.base_s);
+            v.extend_from_slice(&s_inserted);
+            Arc::new(v)
         };
-        (snap, s_changed)
+        if !s_deleted.is_empty() {
+            let mut dead = (*inner.s_dead).clone();
+            dead.extend(s_deleted.iter().copied());
+            inner.s_dead = Arc::new(dead);
+        }
+        inner.base_r = Arc::new(new_r);
+        inner.base_s = new_s;
+        inner.delta = DeltaSet::for_base(inner.base_r.len(), inner.base_s.len());
+        inner.epoch += 1;
+        inner.version += 1;
+        let patch = SPatchDelta {
+            prev_base_s,
+            inserted: s_inserted,
+            deleted: s_deleted,
+        };
+        (inner.snapshot(), patch)
+    }
+
+    /// Live `R` fold: base survivors in id order, then live inserts.
+    fn fold_r(inner: &StoreInner) -> Vec<Point> {
+        let mut v = Vec::with_capacity(inner.delta.live_r_len());
+        for (i, &p) in inner.base_r.iter().enumerate() {
+            if !inner.delta.r_deleted.contains(&(i as PointId)) {
+                v.push(p);
+            }
+        }
+        for (i, &p) in inner.delta.r_inserted.iter().enumerate() {
+            if !inner
+                .delta
+                .r_deleted
+                .contains(&((inner.delta.base_r_len + i) as PointId))
+            {
+                v.push(p);
+            }
+        }
+        v
     }
 }
 
@@ -508,6 +621,89 @@ mod tests {
         let applied = store.delete_r_batch(&[0, 1, 0, 999_999]);
         assert_eq!(applied.applied, 2);
         assert_eq!(store.live_r_len(), 4 * 50 * 16 - 2);
+    }
+
+    #[test]
+    fn incremental_compaction_keeps_s_ids_stable() {
+        let store = DatasetStore::new(
+            vec![p(0.0, 0.0), p(1.0, 1.0)],
+            vec![p(10.0, 10.0), p(11.0, 11.0), p(12.0, 12.0)],
+        );
+        let sid = store.insert_s(p(13.0, 13.0));
+        assert_eq!(sid, 3);
+        assert!(store.delete_s(1));
+        store.insert_r(p(2.0, 2.0));
+        assert!(store.delete_r(0));
+
+        let before = store.snapshot();
+        let (snap, patch) = store.compact_incremental();
+        assert_eq!(snap.epoch, 1);
+        assert!(patch.s_changed());
+        assert!(Arc::ptr_eq(&patch.prev_base_s, &before.base_s));
+        assert_eq!(patch.inserted, vec![p(13.0, 13.0)]);
+        assert!(patch.deleted.contains(&1));
+
+        // R renumbered (live base then live inserts)…
+        assert_eq!(snap.base_r.as_slice(), &[p(1.0, 1.0), p(2.0, 2.0)]);
+        // …but S appended with stable ids: id 3 still resolves to the
+        // inserted point, id 1 is dead but still resolvable.
+        assert_eq!(snap.base_s.as_slice()[3], p(13.0, 13.0));
+        assert_eq!(snap.base_s.as_slice()[1], p(11.0, 11.0));
+        assert!(snap.s_dead.contains(&1));
+        assert_eq!(store.live_s_len(), 3);
+        assert_eq!(store.s_dead_len(), 1);
+        assert_eq!(snap.live_s().len(), 3);
+        assert!(snap.live_s().iter().all(|&(id, _)| id != 1));
+
+        // A dead id can never be deleted again.
+        assert!(!store.delete_s(1));
+        let applied = store.delete_s_batch(&[1, 2]);
+        assert_eq!(applied.applied, 1);
+
+        // A later *full* compaction purges the dead ids and renumbers.
+        let (snap2, s_changed) = store.compact();
+        assert!(s_changed);
+        assert_eq!(snap2.base_s.len(), 2); // ids {0,1,2,3} − dead 1 − deleted 2
+        assert!(snap2.s_dead.is_empty());
+        assert_eq!(store.s_dead_len(), 0);
+    }
+
+    #[test]
+    fn incremental_compaction_with_r_only_delta_shares_s() {
+        let store = DatasetStore::new(vec![p(0.0, 0.0)], vec![p(1.0, 1.0)]);
+        store.insert_r(p(2.0, 2.0));
+        let before = store.snapshot();
+        let (snap, patch) = store.compact_incremental();
+        assert!(!patch.s_changed());
+        assert!(Arc::ptr_eq(&before.base_s, &snap.base_s));
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(store.live_r_len(), 2);
+    }
+
+    #[test]
+    fn full_compaction_purges_dead_even_with_empty_delta() {
+        let store = DatasetStore::new(Vec::new(), vec![p(0.0, 0.0), p(1.0, 1.0)]);
+        store.delete_s(0);
+        store.compact_incremental();
+        assert_eq!(store.s_dead_len(), 1);
+        assert_eq!(store.pending_ops(), 0);
+        // Delta is empty, but the dead id still forces a purge.
+        let (snap, s_changed) = store.compact();
+        assert!(s_changed);
+        assert_eq!(snap.base_s.as_slice(), &[p(1.0, 1.0)]);
+        assert_eq!(snap.epoch, 2);
+    }
+
+    #[test]
+    fn tombstone_fraction_counts_deletes_only() {
+        let store = DatasetStore::new(vec![p(0.0, 0.0); 10], vec![p(0.0, 0.0); 10]);
+        store.insert_r(p(1.0, 1.0));
+        store.insert_s(p(2.0, 2.0));
+        assert_eq!(store.tombstone_fraction(), 0.0);
+        store.delete_r(0);
+        store.delete_s(0);
+        assert!((store.tombstone_fraction() - 0.1).abs() < 1e-12);
+        assert!((store.delta_fraction() - 0.2).abs() < 1e-12);
     }
 
     #[test]

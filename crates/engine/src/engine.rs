@@ -7,15 +7,15 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use srj_core::{
-    AnySamplerIndex, BbstCursor, BbstIndex, Cursor, DeltaSet, JoinPair, JoinSampler, KdsCursor,
-    KdsIndex, KdsRejectionCursor, KdsRejectionIndex, OverlayIndex, OverlaySupport, PhaseReport,
-    SampleConfig, SampleError,
+    AnySamplerIndex, BbstCursor, BbstIndex, CellPatchReport, Cursor, DeltaSet, JoinPair,
+    JoinSampler, KdsCursor, KdsIndex, KdsRejectionCursor, KdsRejectionIndex, OverlayIndex,
+    OverlaySupport, PhaseReport, SampleConfig, SampleError, SamplerIndex as _,
 };
 use srj_geom::Point;
 
 use crate::planner::{plan, PlanReport};
 use crate::shard::ShardedIndex;
-use crate::stats::{EngineStats, StatsSnapshot};
+use crate::stats::{CellRejectionStats, EngineStats, StatsSnapshot};
 
 /// Which of the paper's samplers an [`Engine`] serves with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -63,9 +63,27 @@ enum IndexKind {
 struct EngineShared {
     index: IndexKind,
     stats: EngineStats,
+    /// Per-`S`-cell rejection counters (present when the index is
+    /// cell-granular). Handles drain their cursors' per-cell rejection
+    /// records here; the epoch machinery reads them to pick cells for
+    /// targeted repair.
+    cell_rejections: Option<CellRejectionStats>,
     plan: Option<PlanReport>,
     /// Sequence number for auto-seeded handles.
     handle_seq: AtomicU64,
+}
+
+/// `S`-cell count of an index (0 = not cell-granular).
+fn index_cell_count(index: &IndexKind) -> usize {
+    match index {
+        IndexKind::Kds(ix) => ix.cell_count(),
+        IndexKind::KdsRejection(ix) => ix.cell_count(),
+        IndexKind::Bbst(ix) => ix.cell_count(),
+        IndexKind::ShardedKds(ix) => ix.cell_count(),
+        IndexKind::ShardedKdsRejection(ix) => ix.cell_count(),
+        IndexKind::ShardedBbst(ix) => ix.cell_count(),
+        IndexKind::Dyn { index, .. } => index.any_cell_count(),
+    }
 }
 
 /// A build-once / serve-many join-sampling service over one `(R, S, l)`
@@ -156,7 +174,7 @@ impl Engine {
         // sharded report via `build_with_base`.
         let index = match algorithm {
             Algorithm::Kds => {
-                let (tree, preprocessing) = KdsIndex::build_s_structure(s);
+                let (s_cells, preprocessing) = KdsIndex::build_s_structure(s, config);
                 let base = PhaseReport {
                     preprocessing,
                     ..PhaseReport::default()
@@ -166,11 +184,11 @@ impl Engine {
                     config,
                     shards,
                     base,
-                    |chunk| KdsIndex::build_shared(chunk, Arc::clone(&tree), &shard_cfg),
+                    |chunk| KdsIndex::build_shared(chunk, Arc::clone(&s_cells), &shard_cfg),
                 )))
             }
             Algorithm::KdsRejection => {
-                let (tree, grid, preprocessing, grid_mapping) =
+                let (s_cells, preprocessing, grid_mapping) =
                     KdsRejectionIndex::build_s_structures(s, config);
                 let base = PhaseReport {
                     preprocessing,
@@ -183,12 +201,7 @@ impl Engine {
                     shards,
                     base,
                     |chunk| {
-                        KdsRejectionIndex::build_shared(
-                            chunk,
-                            Arc::clone(&tree),
-                            Arc::clone(&grid),
-                            &shard_cfg,
-                        )
+                        KdsRejectionIndex::build_shared(chunk, Arc::clone(&s_cells), &shard_cfg)
                     },
                 )))
             }
@@ -208,14 +221,7 @@ impl Engine {
                 )))
             }
         };
-        Engine {
-            shared: Arc::new(EngineShared {
-                index,
-                stats: EngineStats::new(),
-                plan,
-                handle_seq: AtomicU64::new(0),
-            }),
-        }
+        Engine::from_index(index, plan)
     }
 
     /// Lets the planner pick the algorithm from a cheap `O(n + m)`
@@ -238,14 +244,7 @@ impl Engine {
             )),
             (algorithm, _) => return Engine::build_inner(r, s, config, algorithm, Some(report)),
         };
-        Engine {
-            shared: Arc::new(EngineShared {
-                index,
-                stats: EngineStats::new(),
-                plan: Some(report),
-                handle_seq: AtomicU64::new(0),
-            }),
-        }
+        Engine::from_index(index, Some(report))
     }
 
     /// Shard-aware [`Engine::auto`]: the planner picks the algorithm,
@@ -277,14 +276,7 @@ impl Engine {
             }
             Algorithm::Bbst => IndexKind::Bbst(Arc::new(BbstIndex::build(r, s, config))),
         };
-        Engine {
-            shared: Arc::new(EngineShared {
-                index,
-                stats: EngineStats::new(),
-                plan,
-                handle_seq: AtomicU64::new(0),
-            }),
-        }
+        Engine::from_index(index, plan)
     }
 
     /// Wraps this engine's index in a delta [`OverlayIndex`], producing
@@ -332,18 +324,14 @@ impl Engine {
                 panic!("overlay engines must wrap the epoch's full build, not another overlay")
             }
         };
-        Engine {
-            shared: Arc::new(EngineShared {
-                index: IndexKind::Dyn {
-                    index,
-                    algorithm,
-                    shards,
-                },
-                stats: EngineStats::new(),
-                plan: self.shared.plan,
-                handle_seq: AtomicU64::new(0),
-            }),
-        }
+        Engine::from_index(
+            IndexKind::Dyn {
+                index,
+                algorithm,
+                shards,
+            },
+            self.shared.plan,
+        )
     }
 
     /// Rebuilds this engine over a new `R` while **reusing** its
@@ -363,41 +351,33 @@ impl Engine {
         };
         let index = match &self.shared.index {
             IndexKind::Kds(ix) => {
-                IndexKind::Kds(Arc::new(KdsIndex::build_shared(r, ix.s_tree(), config)))
+                IndexKind::Kds(Arc::new(KdsIndex::build_shared(r, ix.s_cells(), config)))
             }
-            IndexKind::KdsRejection(ix) => {
-                let (tree, grid) = ix.s_structures();
-                IndexKind::KdsRejection(Arc::new(KdsRejectionIndex::build_shared(
-                    r, tree, grid, config,
-                )))
-            }
+            IndexKind::KdsRejection(ix) => IndexKind::KdsRejection(Arc::new(
+                KdsRejectionIndex::build_shared(r, ix.s_structures(), config),
+            )),
             IndexKind::Bbst(ix) => IndexKind::Bbst(Arc::new(BbstIndex::build_shared(
                 r,
                 config,
                 &ix.s_structures(),
             ))),
             IndexKind::ShardedKds(sx) => {
-                let tree = sx.shard(0).s_tree();
+                let s_cells = sx.shard(0).s_cells();
                 IndexKind::ShardedKds(Arc::new(ShardedIndex::build(
                     r,
                     config,
                     sx.shard_count(),
-                    |chunk| KdsIndex::build_shared(chunk, Arc::clone(&tree), &shard_cfg),
+                    |chunk| KdsIndex::build_shared(chunk, Arc::clone(&s_cells), &shard_cfg),
                 )))
             }
             IndexKind::ShardedKdsRejection(sx) => {
-                let (tree, grid) = sx.shard(0).s_structures();
+                let s_cells = sx.shard(0).s_structures();
                 IndexKind::ShardedKdsRejection(Arc::new(ShardedIndex::build(
                     r,
                     config,
                     sx.shard_count(),
                     |chunk| {
-                        KdsRejectionIndex::build_shared(
-                            chunk,
-                            Arc::clone(&tree),
-                            Arc::clone(&grid),
-                            &shard_cfg,
-                        )
+                        KdsRejectionIndex::build_shared(chunk, Arc::clone(&s_cells), &shard_cfg)
                     },
                 )))
             }
@@ -412,15 +392,139 @@ impl Engine {
             }
             IndexKind::Dyn { .. } => return None,
         };
-        Some(Engine {
+        // The old plan described the pre-mutation workload.
+        Some(Engine::from_index(index, None))
+    }
+
+    /// Rebuilds this engine over a new `R` while **patching** its
+    /// `S`-side cell by cell for the given `S` mutations: only the
+    /// cells touched by `inserted_s`/`deleted_s` are rebuilt; every
+    /// clean cell's structure is `Arc`-shared with this engine's
+    /// (asserted by [`Engine::s_cell_tokens`] in the tests). Inserted
+    /// points get appended ids, deleted ids become dead — id-stable,
+    /// which is what makes the sharing sound. Algorithm and shard
+    /// topology are preserved.
+    ///
+    /// Returns `None` for overlay engines (patch from the epoch base
+    /// instead). This is the cell-granular major-epoch swap: `O(dirty
+    /// cells)` S-side work instead of `O(|S|)`.
+    pub fn rebuild_with_s_patch(
+        &self,
+        r: &[Point],
+        config: &SampleConfig,
+        inserted_s: &[Point],
+        deleted_s: &std::collections::HashSet<srj_geom::PointId>,
+    ) -> Option<(Engine, CellPatchReport)> {
+        let shard_cfg = SampleConfig {
+            build_threads: 1,
+            ..*config
+        };
+        let (index, report) = match &self.shared.index {
+            IndexKind::Kds(ix) => {
+                let (s_cells, rep) = ix.s_cells().patch(inserted_s, deleted_s);
+                (
+                    IndexKind::Kds(Arc::new(KdsIndex::build_shared(
+                        r,
+                        Arc::new(s_cells),
+                        config,
+                    ))),
+                    rep,
+                )
+            }
+            IndexKind::KdsRejection(ix) => {
+                let (s_cells, rep) = ix.s_structures().patch(inserted_s, deleted_s);
+                (
+                    IndexKind::KdsRejection(Arc::new(KdsRejectionIndex::build_shared(
+                        r,
+                        Arc::new(s_cells),
+                        config,
+                    ))),
+                    rep,
+                )
+            }
+            IndexKind::Bbst(ix) => {
+                let (s_side, rep) = ix.s_structures().patch(inserted_s, deleted_s);
+                (
+                    IndexKind::Bbst(Arc::new(BbstIndex::build_shared(r, config, &s_side))),
+                    rep,
+                )
+            }
+            IndexKind::ShardedKds(sx) => {
+                let (s_cells, rep) = sx.shard(0).s_cells().patch(inserted_s, deleted_s);
+                let s_cells = Arc::new(s_cells);
+                (
+                    IndexKind::ShardedKds(Arc::new(ShardedIndex::build(
+                        r,
+                        config,
+                        sx.shard_count(),
+                        |chunk| KdsIndex::build_shared(chunk, Arc::clone(&s_cells), &shard_cfg),
+                    ))),
+                    rep,
+                )
+            }
+            IndexKind::ShardedKdsRejection(sx) => {
+                let (s_cells, rep) = sx.shard(0).s_structures().patch(inserted_s, deleted_s);
+                let s_cells = Arc::new(s_cells);
+                (
+                    IndexKind::ShardedKdsRejection(Arc::new(ShardedIndex::build(
+                        r,
+                        config,
+                        sx.shard_count(),
+                        |chunk| {
+                            KdsRejectionIndex::build_shared(chunk, Arc::clone(&s_cells), &shard_cfg)
+                        },
+                    ))),
+                    rep,
+                )
+            }
+            IndexKind::ShardedBbst(sx) => {
+                let (s_side, rep) = sx.shard(0).s_structures().patch(inserted_s, deleted_s);
+                (
+                    IndexKind::ShardedBbst(Arc::new(ShardedIndex::build(
+                        r,
+                        config,
+                        sx.shard_count(),
+                        |chunk| BbstIndex::build_shared(chunk, &shard_cfg, &s_side),
+                    ))),
+                    rep,
+                )
+            }
+            IndexKind::Dyn { .. } => return None,
+        };
+        Some((Engine::from_index(index, None), report))
+    }
+
+    /// Re-tightens the named `S`-cells to exact (per-bucket-mass)
+    /// bounds and recomputes the per-`r` rows over the unchanged,
+    /// fully shared `S`-side — the targeted repair for cells whose
+    /// measured rejection rate shows a loose Virtual-mass bound. Only
+    /// the BBST family has a per-cell knob to turn; other algorithms
+    /// (and overlay engines) return `None`, as does a repair that
+    /// would change nothing (every named cell already exact).
+    pub fn repair_cells(&self, slots: &[u32]) -> Option<Engine> {
+        let index = match &self.shared.index {
+            IndexKind::Bbst(ix) => IndexKind::Bbst(Arc::new(ix.with_exact_cells(slots)?)),
+            IndexKind::ShardedBbst(sx) => IndexKind::ShardedBbst(Arc::new(
+                sx.try_map_shards(|shard| shard.with_exact_cells(slots))?,
+            )),
+            _ => return None,
+        };
+        Some(Engine::from_index(index, self.shared.plan))
+    }
+
+    /// Wraps a built index with fresh stats / handle sequence /
+    /// per-cell rejection counters.
+    fn from_index(index: IndexKind, plan: Option<PlanReport>) -> Engine {
+        let cells = index_cell_count(&index);
+        Engine {
             shared: Arc::new(EngineShared {
                 index,
                 stats: EngineStats::new(),
-                // The old plan described the pre-mutation workload.
-                plan: None,
+                cell_rejections: (cells > 0).then(|| CellRejectionStats::new(cells)),
+                plan,
                 handle_seq: AtomicU64::new(0),
             }),
-        })
+        }
     }
 
     /// Whether this engine serves through a delta overlay (pending
@@ -491,6 +595,7 @@ impl Engine {
             cursor,
             rng: SmallRng::seed_from_u64(seed),
             shared: Arc::clone(&self.shared),
+            reject_buf: Vec::new(),
         }
     }
 
@@ -526,7 +631,6 @@ impl Engine {
 
     /// Approximate heap footprint of the shared index.
     pub fn memory_bytes(&self) -> usize {
-        use srj_core::SamplerIndex as _;
         match &self.shared.index {
             IndexKind::Kds(ix) => ix.memory_bytes(),
             IndexKind::KdsRejection(ix) => ix.memory_bytes(),
@@ -535,6 +639,57 @@ impl Engine {
             IndexKind::ShardedKdsRejection(ix) => ix.index_memory_bytes(),
             IndexKind::ShardedBbst(ix) => ix.index_memory_bytes(),
             IndexKind::Dyn { index, .. } => index.any_memory_bytes(),
+        }
+    }
+
+    /// Total sampling weight `Σµ` the engine draws against (`= |J|` for
+    /// exact-counting indexes). This is the quantity a delete-heavy
+    /// workload must see **shrink** across rebuilds — the serving stats
+    /// export it for exactly that check.
+    pub fn total_weight(&self) -> f64 {
+        match &self.shared.index {
+            IndexKind::Kds(ix) => ix.total_weight(),
+            IndexKind::KdsRejection(ix) => ix.total_weight(),
+            IndexKind::Bbst(ix) => ix.total_weight(),
+            IndexKind::ShardedKds(ix) => ix.total_weight(),
+            IndexKind::ShardedKdsRejection(ix) => ix.total_weight(),
+            IndexKind::ShardedBbst(ix) => ix.total_weight(),
+            IndexKind::Dyn { index, .. } => index.any_total_weight(),
+        }
+    }
+
+    /// Number of `S`-side cells the index draws from (0 when the index
+    /// is not cell-granular, e.g. a type-erased overlay's counters live
+    /// on its base engine).
+    pub fn cell_count(&self) -> usize {
+        index_cell_count(&self.shared.index)
+    }
+
+    /// Snapshot of the per-cell rejection counters (slot → rejected
+    /// iterations attributed to that cell), or `None` when the index
+    /// has no cell structure. The epoch machinery feeds this into
+    /// `planner::repair_candidates` to pick cells for targeted repair.
+    pub fn cell_rejections(&self) -> Option<Vec<u64>> {
+        self.shared.cell_rejections.as_ref().map(|c| c.snapshot())
+    }
+
+    /// Per-cell sharing tokens of the `S`-side — each cell's grid
+    /// coordinate paired with the `Arc` pointer of its per-cell
+    /// structure. Two engines reporting the same token for a coordinate
+    /// share that cell's structure; a patch-based rebuild must keep the
+    /// token of every clean cell (asserted in the cell-patching tests).
+    /// `None` for overlay engines.
+    pub fn s_cell_tokens(&self) -> Option<Vec<((i32, i32), usize)>> {
+        match &self.shared.index {
+            IndexKind::Kds(ix) => Some(ix.s_cells().store().cell_tokens()),
+            IndexKind::KdsRejection(ix) => Some(ix.s_structures().store().cell_tokens()),
+            IndexKind::Bbst(ix) => Some(ix.s_structures().store().cell_tokens()),
+            IndexKind::ShardedKds(sx) => Some(sx.shard(0).s_cells().store().cell_tokens()),
+            IndexKind::ShardedKdsRejection(sx) => {
+                Some(sx.shard(0).s_structures().store().cell_tokens())
+            }
+            IndexKind::ShardedBbst(sx) => Some(sx.shard(0).s_structures().store().cell_tokens()),
+            IndexKind::Dyn { .. } => None,
         }
     }
 }
@@ -587,6 +742,8 @@ pub struct SamplerHandle {
     cursor: CursorKind,
     rng: SmallRng,
     shared: Arc<EngineShared>,
+    /// Reused drain buffer for per-cell rejection records.
+    reject_buf: Vec<u32>,
 }
 
 const _: () = {
@@ -595,6 +752,18 @@ const _: () = {
 };
 
 impl SamplerHandle {
+    /// Drains the cursor's per-cell rejection records into the shared
+    /// counters (no-op when the index has none; typically 0–1 entries
+    /// per draw).
+    fn flush_cell_rejections(&mut self) {
+        if let Some(cells) = &self.shared.cell_rejections {
+            self.cursor
+                .as_sampler()
+                .take_cell_rejections(&mut self.reject_buf);
+            cells.record_all(self.reject_buf.drain(..));
+        }
+    }
+
     /// Draws one uniform join sample.
     pub fn sample_one(&mut self) -> Result<JoinPair, SampleError> {
         let before = self.cursor.report().iterations;
@@ -605,6 +774,7 @@ impl SamplerHandle {
             Ok(_) => self.shared.stats.record_query(1, iterations, t.elapsed()),
             Err(_) => self.shared.stats.record_error(iterations, t.elapsed()),
         }
+        self.flush_cell_rejections();
         out
     }
 
@@ -621,6 +791,7 @@ impl SamplerHandle {
                 .record_query(v.len() as u64, iterations, start.elapsed()),
             Err(_) => self.shared.stats.record_error(iterations, start.elapsed()),
         }
+        self.flush_cell_rejections();
         out
     }
 
@@ -708,6 +879,7 @@ impl HandleStream<'_> {
             self.batch_iterations = 0;
         }
         self.batch_draw_time = Duration::ZERO;
+        self.handle.flush_cell_rejections();
     }
 }
 

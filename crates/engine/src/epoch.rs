@@ -1,23 +1,32 @@
-//! Epoch-versioned serving over a mutable dataset, with
-//! rejection-rate-driven re-planning.
+//! Epoch-versioned serving over a mutable dataset, with cell-granular
+//! incremental rebuilds and rejection-rate-driven repair/re-planning.
 //!
 //! An [`EpochEngine`] wraps the immutable-engine machinery in an
-//! atomic-swap cell over a [`DatasetStore`]:
+//! atomic-swap cell over a [`DatasetStore`]. Maintenance escalates
+//! through a fixed ladder, cheapest step first:
 //!
 //! ```text
-//!   DatasetStore (mutable R/S + DeltaSet + epoch/version counters)
+//!   DatasetStore (mutable R/S + DeltaSet + epoch/version + s_dead)
 //!        │ insert/delete (O(1) buffered)
 //!        ▼
-//!   EpochEngine ── swap cell ──► Engine (epoch e, full build)
-//!        │                         ▲            │
-//!        │ minor swap: delta       │            └─ in-flight
-//!        │ overlay snapshot        │               SamplerHandles pin
-//!        │ (O(|delta|))            │               their epoch via Arc
-//!        │ major swap: compact + rebuild
-//!        │ (S-side Arc-reused when only R changed)
-//!        └─ re-plan swap: observed rejection_rate diverged from
-//!           PlanReport::est_overhead → planner::replan_for_observed
-//!           picks a new algorithm, hot-swapped through the same path
+//!   EpochEngine ── swap cell ──► Engine (epoch e)
+//!        │
+//!        │ 1. minor swap      — O(|delta|) overlay snapshot; no
+//!        │                      structures touched
+//!        │ 2. cell patch      — compact_incremental(): R-side rebuilt,
+//!        │                      S-side patched cell by cell (clean
+//!        │                      cells Arc-shared; deletes shrink Σµ)
+//!        │ 3. full rebuild    — compact(): purge dead ids, renumber,
+//!        │                      rebuild everything (dirty-cell
+//!        │                      fraction over the patch budget)
+//!        │ 4. cell repair     — per-cell rejection counters name the
+//!        │                      loose cells; re-tighten only those
+//!        │                      (BBST Exact mass) over the shared
+//!        │                      S-side
+//!        │ 5. re-plan         — observed overhead still diverged:
+//!        │                      planner::replan_for_observed picks a
+//!        │                      new algorithm, hot-swapped
+//!        └─ in-flight SamplerHandles pin their epoch via Arc
 //! ```
 //!
 //! **Swap semantics.** Handles pin their engine through an `Arc`: a
@@ -25,19 +34,29 @@
 //! recording stats) against the epoch it started on, while every
 //! *new* handle sees the freshly swapped engine. Refresh is **lazy**:
 //! mutations only buffer into the store; the first
-//! [`EpochEngine::handle`] after a mutation pays the swap (an
-//! `O(|delta|)` overlay snapshot, or a rebuild once the pending delta
-//! exceeds [`EpochConfig::rebuild_fraction`] of the base).
+//! [`EpochEngine::handle`] after a mutation pays the swap.
 //!
-//! **Re-planning.** The serving-time rejection overhead
+//! **Rebuild triggers.** A major (patch or full) rebuild fires when the
+//! total pending fraction exceeds [`EpochConfig::rebuild_fraction`]
+//! **or** the tombstone-only fraction exceeds
+//! [`EpochConfig::tombstone_rebuild_fraction`] — tombstones both
+//! degrade the overlay's acceptance rate and keep `Σµ` inflated, so
+//! delete-heavy deltas rebuild sooner (the rebuild is cell-granular
+//! and therefore cheap), and `Σµ` actually shrinks between rebuilds.
+//!
+//! **Repair and re-planning.** The serving-time rejection overhead
 //! (`iterations / samples`, accumulated across the epoch's overlay
 //! snapshots) is compared against the build-time estimate
-//! `PlanReport::est_overhead`. When the observation exceeds the
-//! estimate by [`EpochConfig::replan_factor`] — the §III-B bounds
-//! turned out loose, e.g. after skewed inserts — the engine re-plans
-//! via [`crate::planner::replan_for_observed`] and hot-swaps the new
-//! algorithm through a major epoch swap. Zero-sample engines never
-//! trigger (the rate accessors return `None`, not NaN).
+//! `PlanReport::est_overhead`. Past
+//! [`EpochConfig::repair_factor`] × estimate, the per-cell rejection
+//! counters name the loose cells and [`crate::Engine::repair_cells`]
+//! re-tightens only those (sharing the whole S-side); only when no
+//! repair is possible (or it didn't help) does the engine escalate to
+//! [`crate::planner::replan_for_observed`] past
+//! [`EpochConfig::replan_factor`] × estimate and hot-swap the
+//! algorithm. Zero-sample engines never trigger either (the rate
+//! accessors return `None`, not NaN); pinned algorithms may still be
+//! repaired (repair never changes the algorithm) but never re-planned.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -47,28 +66,49 @@ use srj_core::{OverlaySupport, SampleConfig};
 use srj_geom::{Point, PointId};
 
 use crate::dataset::{DatasetSnapshot, DatasetStore};
-use crate::planner::{self, replan_for_observed};
+use crate::planner::{self, repair_candidates, replan_for_observed};
 use crate::stats::StatsSnapshot;
 use crate::{Algorithm, Engine, SamplerHandle};
 
-/// Knobs for the epoch/re-plan machinery.
+/// Knobs for the epoch/patch/repair/re-plan machinery.
 #[derive(Clone, Copy, Debug)]
 pub struct EpochConfig {
     /// Major-rebuild threshold: compact and rebuild once pending
     /// mutations exceed this fraction of the base snapshot size.
     /// Default 0.25.
     pub rebuild_fraction: f64,
+    /// Tombstone-only rebuild threshold: rebuild once pending
+    /// **deletes** alone exceed this fraction of the base, even while
+    /// the total pending fraction is below `rebuild_fraction` — the
+    /// rebuild is cell-granular, and it is the only way `Σµ` shrinks.
+    /// Default 0.125.
+    pub tombstone_rebuild_fraction: f64,
+    /// Cell-patch budget: an S-mutating rebuild goes through the
+    /// cell-granular patch path while the dirty cells are at most this
+    /// fraction of the S-side cells, and falls back to a full rebuild
+    /// (purging dead ids, renumbering) beyond it. Default 0.5.
+    pub max_patch_fraction: f64,
+    /// Repair when the observed rejection overhead exceeds the planned
+    /// estimate by this factor (and per-cell counters name loose
+    /// cells). Must not exceed `replan_factor` — repair is the cheaper
+    /// rung. Default 1.5.
+    pub repair_factor: f64,
+    /// Minimum rejections attributed to one cell before it is
+    /// considered loose enough to repair. Default 64.
+    pub repair_min_cell_rejections: u64,
     /// Re-plan when the observed rejection overhead exceeds the
     /// planned estimate by this factor. Default 2.0.
     pub replan_factor: f64,
-    /// Minimum accepted samples (per epoch) before the re-plan trigger
-    /// is considered — avoids deciding on noise. Default 1024.
+    /// Minimum accepted samples (per epoch) before the repair/re-plan
+    /// triggers are considered — avoids deciding on noise. Default
+    /// 1024.
     pub replan_min_samples: u64,
     /// `R`-shard count for every build (see [`Engine::build_sharded`]).
     /// Default 1.
     pub shards: usize,
     /// Pinned algorithm, or `None` for planner choice + adaptive
-    /// re-planning (a pinned algorithm is never re-planned away).
+    /// re-planning (a pinned algorithm is never re-planned away, but
+    /// may still be cell-repaired).
     pub algorithm: Option<Algorithm>,
 }
 
@@ -76,6 +116,10 @@ impl Default for EpochConfig {
     fn default() -> Self {
         EpochConfig {
             rebuild_fraction: 0.25,
+            tombstone_rebuild_fraction: 0.125,
+            max_patch_fraction: 0.5,
+            repair_factor: 1.5,
+            repair_min_cell_rejections: 64,
             replan_factor: 2.0,
             replan_min_samples: 1024,
             shards: 1,
@@ -89,6 +133,40 @@ impl EpochConfig {
     pub fn with_rebuild_fraction(mut self, fraction: f64) -> Self {
         assert!(fraction > 0.0, "rebuild fraction must be positive");
         self.rebuild_fraction = fraction;
+        self
+    }
+
+    /// Overrides the tombstone-only rebuild threshold.
+    pub fn with_tombstone_rebuild_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0,
+            "tombstone rebuild fraction must be positive"
+        );
+        self.tombstone_rebuild_fraction = fraction;
+        self
+    }
+
+    /// Overrides the cell-patch budget (dirty-cell fraction above which
+    /// a rebuild goes full instead of patching).
+    pub fn with_max_patch_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "patch fraction must be in [0, 1]"
+        );
+        self.max_patch_fraction = fraction;
+        self
+    }
+
+    /// Overrides the repair divergence factor.
+    pub fn with_repair_factor(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "repair factor must be >= 1");
+        self.repair_factor = factor;
+        self
+    }
+
+    /// Overrides the per-cell rejection floor for repairs.
+    pub fn with_repair_min_cell_rejections(mut self, rejections: u64) -> Self {
+        self.repair_min_cell_rejections = rejections;
         self
     }
 
@@ -111,7 +189,8 @@ impl EpochConfig {
         self
     }
 
-    /// Pins the serving algorithm (disables re-planning).
+    /// Pins the serving algorithm (disables re-planning; repairs stay
+    /// enabled).
     pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = Some(algorithm);
         self
@@ -121,13 +200,13 @@ impl EpochConfig {
 /// What the swap cell currently serves.
 struct EpochState {
     /// The epoch's full (non-overlay) build — overlay snapshots stack
-    /// on this, and R-only rebuilds harvest its `S`-side structures.
+    /// on this, and patch/R-only rebuilds harvest its `S`-side
+    /// structures.
     base: Engine,
     /// The exact `S` allocation `base` was built over. A rebuild may
-    /// only reuse `base`'s `S`-side structures when the store still
-    /// serves this very allocation ([`DatasetStore::compact`] keeps
-    /// the `Arc` whenever `S` is untouched) — a version/flag check is
-    /// not enough, because a sibling engine sharing the store may have
+    /// only reuse or patch `base`'s `S`-side structures when the store
+    /// still serves this very allocation — a version/flag check is not
+    /// enough, because a sibling engine sharing the store may have
     /// compacted an `S` mutation in between.
     base_s: Arc<Vec<Point>>,
     /// What new handles get: `base`, or an overlay snapshot over it.
@@ -138,28 +217,39 @@ struct EpochState {
     built_epoch: u64,
     built_version: u64,
     /// The planner's `Σµ/|Ĵ|` estimate for this epoch (`None` after a
-    /// forced/re-planned/R-only build — the absolute
+    /// forced/re-planned/patched build — the absolute
     /// [`planner::MAX_REJECTION_OVERHEAD`] baseline applies then).
     planned_overhead: f64,
     has_plan: bool,
     /// Stats carried over from this epoch's superseded overlay
-    /// snapshots (their engines got fresh counters), so the re-plan
-    /// signal sees the whole epoch.
+    /// snapshots (their engines got fresh counters), so the
+    /// repair/re-plan signals see the whole epoch.
     acc_samples: u64,
     acc_iterations: u64,
+    /// Per-cell rejection counters carried over from superseded
+    /// snapshots, parallel to the engine's cell slots.
+    acc_cell_rejections: Vec<u64>,
+    /// Set once a repair attempt could not improve anything (no
+    /// repairable cells left, or the algorithm has no per-cell knob);
+    /// gates the repair rung so the ladder escalates to re-planning
+    /// instead of retrying forever. Reset on every epoch commit.
+    repair_exhausted: bool,
 }
 
 enum Maintenance {
     /// Store drifted: refresh the snapshot (minor or major per the
-    /// rebuild threshold).
+    /// rebuild thresholds).
     Drift,
-    /// Observed rejection overhead diverged: hot-swap to this
-    /// algorithm.
+    /// Loose cells measured: re-tighten exactly these slots.
+    Repair(Vec<u32>),
+    /// Observed rejection overhead diverged beyond repair: hot-swap to
+    /// this algorithm.
     Replan(Algorithm),
 }
 
-/// Epoch-versioned engine over a [`DatasetStore`]: lazy overlay/rebuild
-/// swaps plus rejection-rate-driven re-planning. See the module docs.
+/// Epoch-versioned engine over a [`DatasetStore`]: lazy overlay swaps,
+/// cell-granular patch rebuilds, targeted cell repairs, and
+/// rejection-rate-driven re-planning. See the module docs.
 ///
 /// `Send + Sync`; share one behind an `Arc`. Reads (issuing handles)
 /// take a short read lock; a needed swap is serialised on a
@@ -173,6 +263,9 @@ pub struct EpochEngine {
     maintain: Mutex<()>,
     minor_swaps: AtomicU64,
     major_swaps: AtomicU64,
+    patch_swaps: AtomicU64,
+    cells_patched: AtomicU64,
+    repairs: AtomicU64,
     replans: AtomicU64,
     last_swap_ns: AtomicU64,
 }
@@ -193,8 +286,21 @@ impl EpochEngine {
     /// window size `l` — may share one store; each maintains its own
     /// swap cell and refreshes independently.
     pub fn with_store(store: Arc<DatasetStore>, config: &SampleConfig, cfg: EpochConfig) -> Self {
+        assert!(
+            cfg.repair_factor <= cfg.replan_factor,
+            "repair must be the cheaper rung: repair_factor ({}) > replan_factor ({})",
+            cfg.repair_factor,
+            cfg.replan_factor
+        );
+        // A full build must never run over a base with dead ids (a
+        // sibling engine's incremental compaction may have left some):
+        // purge first — the compaction is a no-op otherwise.
+        if store.s_dead_len() > 0 {
+            let _ = store.compact();
+        }
         let snap = store.snapshot();
         let (base, planned) = Self::build_base(&snap, config, &cfg, cfg.algorithm);
+        let cells = base.cell_count();
         let mut state = EpochState {
             current: base.clone(),
             base,
@@ -206,13 +312,16 @@ impl EpochEngine {
             has_plan: planned.is_some(),
             acc_samples: 0,
             acc_iterations: 0,
+            acc_cell_rejections: vec![0; cells],
+            repair_exhausted: false,
         };
         if !snap.delta.is_empty() {
             // The store already carried mutations: serve them through
             // an overlay from the start.
-            let support = Arc::new(OverlaySupport::build(
+            let support = Arc::new(OverlaySupport::build_filtered(
                 &snap.base_r,
                 &snap.base_s,
+                &snap.s_dead,
                 config.half_extent,
             ));
             state.current = state
@@ -228,6 +337,9 @@ impl EpochEngine {
             maintain: Mutex::new(()),
             minor_swaps: AtomicU64::new(0),
             major_swaps: AtomicU64::new(0),
+            patch_swaps: AtomicU64::new(0),
+            cells_patched: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
             replans: AtomicU64::new(0),
             last_swap_ns: AtomicU64::new(0),
         }
@@ -239,6 +351,10 @@ impl EpochEngine {
         cfg: &EpochConfig,
         forced: Option<Algorithm>,
     ) -> (Engine, Option<f64>) {
+        debug_assert!(
+            snap.s_dead.is_empty(),
+            "full builds must run over a purged base"
+        );
         match forced {
             Some(a) => (
                 Engine::build_sharded(&snap.base_r, &snap.base_s, config, a, cfg.shards),
@@ -278,8 +394,8 @@ impl EpochEngine {
     }
 
     /// A serving handle over the **current** dataset state (refreshing
-    /// the swap cell first if mutations or a re-plan are due). The
-    /// handle pins its epoch: later swaps never interrupt it.
+    /// the swap cell first if mutations, a repair, or a re-plan are
+    /// due). The handle pins its epoch: later swaps never interrupt it.
     pub fn handle(&self) -> SamplerHandle {
         self.refresh();
         self.state
@@ -339,7 +455,7 @@ impl EpochEngine {
     /// Epoch-wide observed rejection overhead `iterations / samples`,
     /// accumulated across the epoch's overlay snapshots. `None` until
     /// a sample is accepted — zero-sample engines must never feed NaN
-    /// into the re-plan trigger.
+    /// into the repair/re-plan triggers.
     pub fn observed_rejection_rate(&self) -> Option<f64> {
         let st = self.state.read().expect("epoch state poisoned");
         let (cur_samples, cur_iterations) = st.current.sample_counters();
@@ -355,15 +471,59 @@ impl EpochEngine {
         st.has_plan.then_some(st.planned_overhead)
     }
 
+    /// Epoch-wide per-cell rejection counters (accumulated across the
+    /// epoch's overlay snapshots), or `None` when the serving index has
+    /// no cell structure.
+    pub fn cell_rejections(&self) -> Option<Vec<u64>> {
+        let st = self.state.read().expect("epoch state poisoned");
+        Self::merged_cell_rejections(&st)
+    }
+
+    fn merged_cell_rejections(st: &EpochState) -> Option<Vec<u64>> {
+        let mut cur = st.current.cell_rejections()?;
+        if cur.len() == st.acc_cell_rejections.len() {
+            for (c, a) in cur.iter_mut().zip(&st.acc_cell_rejections) {
+                *c += a;
+            }
+        }
+        Some(cur)
+    }
+
+    /// `Σµ` of the engine currently serving.
+    pub fn total_weight(&self) -> f64 {
+        self.state
+            .read()
+            .expect("epoch state poisoned")
+            .current
+            .total_weight()
+    }
+
     /// Minor swaps so far (overlay snapshot replaced).
     pub fn minor_swaps(&self) -> u64 {
         self.minor_swaps.load(Ordering::Relaxed)
     }
 
     /// Major swaps so far (epoch rebuilt: threshold, external
-    /// compaction, or re-plan).
+    /// compaction, or re-plan; includes patch-based swaps).
     pub fn major_swaps(&self) -> u64 {
         self.major_swaps.load(Ordering::Relaxed)
+    }
+
+    /// Major swaps that went through the cell-granular patch path (a
+    /// strict subset of [`EpochEngine::major_swaps`]).
+    pub fn patch_swaps(&self) -> u64 {
+        self.patch_swaps.load(Ordering::Relaxed)
+    }
+
+    /// Total `S`-cells rebuilt by patch-based swaps (clean cells were
+    /// `Arc`-shared and cost nothing).
+    pub fn cells_patched(&self) -> u64 {
+        self.cells_patched.load(Ordering::Relaxed)
+    }
+
+    /// Targeted cell repairs so far.
+    pub fn repairs(&self) -> u64 {
+        self.repairs.load(Ordering::Relaxed)
     }
 
     /// Re-plan hot-swaps so far.
@@ -371,30 +531,64 @@ impl EpochEngine {
         self.replans.load(Ordering::Relaxed)
     }
 
-    /// Duration of the most recent swap (minor or major).
+    /// Duration of the most recent swap (minor, patch, or full).
     pub fn last_swap(&self) -> Duration {
         Duration::from_nanos(self.last_swap_ns.load(Ordering::Relaxed))
     }
 
-    /// What maintenance the cell needs, if any.
+    /// What maintenance the cell needs, if any. Ladder order: drift
+    /// first (cheapest correct answer), then repair, then re-plan.
     fn pending_maintenance(&self, st: &EpochState) -> Option<Maintenance> {
         if st.built_epoch != self.store.epoch() || st.built_version != self.store.version() {
             return Some(Maintenance::Drift);
         }
+        if let Some(slots) = self.repair_target(st) {
+            return Some(Maintenance::Repair(slots));
+        }
         self.replan_target(st).map(Maintenance::Replan)
     }
 
+    /// The epoch-wide `(samples, iterations)` pair (two relaxed loads
+    /// plus the accumulators; runs on every handle acquisition).
+    fn epoch_counters(st: &EpochState) -> (u64, u64) {
+        let (cur_samples, cur_iterations) = st.current.sample_counters();
+        (
+            st.acc_samples + cur_samples,
+            st.acc_iterations + cur_iterations,
+        )
+    }
+
+    /// The loose cells a repair would re-tighten, when the observed
+    /// overhead has diverged past the repair rung and the per-cell
+    /// counters name concrete culprits.
+    fn repair_target(&self, st: &EpochState) -> Option<Vec<u32>> {
+        if st.repair_exhausted || st.current.is_overlay() {
+            // Repairs apply to the epoch base; wait until pending
+            // deltas fold (an overlay's rejections partly come from
+            // tombstone filtering, not loose bounds).
+            return None;
+        }
+        let (samples, iterations) = Self::epoch_counters(st);
+        if samples == 0 || samples < self.cfg.replan_min_samples.max(1) {
+            return None;
+        }
+        let observed = iterations as f64 / samples as f64;
+        if observed <= st.planned_overhead * self.cfg.repair_factor {
+            return None;
+        }
+        let rejections = Self::merged_cell_rejections(st)?;
+        let slots = repair_candidates(&rejections, self.cfg.repair_min_cell_rejections);
+        (!slots.is_empty()).then_some(slots)
+    }
+
     /// The algorithm a re-plan would switch to, when the observed
-    /// rejection overhead has diverged far enough to justify one.
+    /// rejection overhead has diverged far enough to justify one and
+    /// the repair rung is spent.
     fn replan_target(&self, st: &EpochState) -> Option<Algorithm> {
         if self.cfg.algorithm.is_some() {
             return None; // pinned
         }
-        // Two relaxed loads, not a full stats snapshot: this runs on
-        // every handle acquisition.
-        let (cur_samples, cur_iterations) = st.current.sample_counters();
-        let samples = st.acc_samples + cur_samples;
-        let iterations = st.acc_iterations + cur_iterations;
+        let (samples, iterations) = Self::epoch_counters(st);
         // Guard: a zero-sample epoch has no observation (the accessors
         // return None, never NaN) and must not trigger anything.
         if samples == 0 || samples < self.cfg.replan_min_samples.max(1) {
@@ -409,9 +603,10 @@ impl EpochEngine {
         (algorithm != st.current.algorithm()).then_some(algorithm)
     }
 
-    /// Brings the swap cell up to date with the store and the re-plan
-    /// signal. Called automatically by [`EpochEngine::handle`]; cheap
-    /// (two counter loads) when nothing is pending.
+    /// Brings the swap cell up to date with the store and the
+    /// repair/re-plan signals. Called automatically by
+    /// [`EpochEngine::handle`]; cheap (a few counter loads) when
+    /// nothing is pending.
     pub fn refresh(&self) {
         {
             let st = self.state.read().expect("epoch state poisoned");
@@ -432,10 +627,14 @@ impl EpochEngine {
         let t0 = Instant::now();
         match work {
             Maintenance::Replan(algorithm) => self.major_swap(Some(algorithm), true),
+            Maintenance::Repair(slots) => self.repair_swap(&slots),
             Maintenance::Drift => {
                 let epoch_changed = self.store.epoch()
                     != self.state.read().expect("epoch state poisoned").built_epoch;
-                if epoch_changed || self.store.delta_fraction() >= self.cfg.rebuild_fraction {
+                let rebuild = epoch_changed
+                    || self.store.delta_fraction() >= self.cfg.rebuild_fraction
+                    || self.store.tombstone_fraction() >= self.cfg.tombstone_rebuild_fraction;
+                if rebuild {
                     self.major_swap(self.cfg.algorithm, false);
                 } else {
                     self.minor_swap();
@@ -448,31 +647,10 @@ impl EpochEngine {
         );
     }
 
-    /// Major swap: compact the store (folding the delta, bumping the
-    /// epoch) and rebuild — through [`Engine::rebuild_r_only`] when `S`
-    /// is untouched and the algorithm is kept, so the `Arc`-shared
-    /// `S`-side structures of the previous epoch carry over and the
-    /// swap costs only the `R`-side build.
-    fn major_swap(&self, forced: Option<Algorithm>, is_replan: bool) {
-        let (snap, _) = self.store.compact();
-        let (prev_base, prev_algorithm, prev_base_s) = {
-            let st = self.state.read().expect("epoch state poisoned");
-            (st.base.clone(), st.base.algorithm(), Arc::clone(&st.base_s))
-        };
-        // Reuse is sound only if the store still serves the exact S
-        // allocation the previous base was built over (see the
-        // `EpochState::base_s` docs for why the compact's own flag is
-        // not enough).
-        let reuse_s_side =
-            Arc::ptr_eq(&snap.base_s, &prev_base_s) && forced.is_none_or(|a| a == prev_algorithm);
-        let (engine, planned) = if reuse_s_side {
-            match prev_base.rebuild_r_only(&snap.base_r, &self.config) {
-                Some(e) => (e, None),
-                None => Self::build_base(&snap, &self.config, &self.cfg, forced),
-            }
-        } else {
-            Self::build_base(&snap, &self.config, &self.cfg, forced)
-        };
+    /// Installs a freshly built epoch: base == current, accumulators
+    /// reset, repair rung re-armed.
+    fn commit_epoch(&self, engine: Engine, snap: &DatasetSnapshot, planned: Option<f64>) {
+        let cells = engine.cell_count();
         let mut st = self.state.write().expect("epoch state poisoned");
         st.base = engine.clone();
         st.base_s = Arc::clone(&snap.base_s);
@@ -484,10 +662,144 @@ impl EpochEngine {
         st.has_plan = planned.is_some();
         st.acc_samples = 0;
         st.acc_iterations = 0;
-        drop(st);
+        st.acc_cell_rejections = vec![0; cells];
+        st.repair_exhausted = false;
+    }
+
+    /// Major swap. When the algorithm is kept and the dirty-cell
+    /// fraction fits the patch budget, the store folds **without
+    /// renumbering `S`** ([`DatasetStore::compact_incremental`]) and
+    /// the previous base's `S`-side is patched cell by cell (or
+    /// `Arc`-reused outright when only `R` changed). Otherwise — or
+    /// when a sibling engine compacted the store in between — the store
+    /// fully compacts (purging dead ids) and everything rebuilds.
+    fn major_swap(&self, forced: Option<Algorithm>, is_replan: bool) {
+        let (prev_base, prev_algorithm, prev_base_s) = {
+            let st = self.state.read().expect("epoch state poisoned");
+            (st.base.clone(), st.base.algorithm(), Arc::clone(&st.base_s))
+        };
+        let keep_algorithm = !is_replan && forced.is_none_or(|a| a == prev_algorithm);
+        if keep_algorithm && self.try_patch_swap(&prev_base, &prev_base_s) {
+            self.major_swaps.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Full path: purge dead ids, renumber, rebuild from scratch.
+        let (snap, _) = self.store.compact();
+        let (engine, planned) = Self::build_base(&snap, &self.config, &self.cfg, forced);
+        self.commit_epoch(engine, &snap, planned);
         self.major_swaps.fetch_add(1, Ordering::Relaxed);
         if is_replan {
             self.replans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The incremental half of [`EpochEngine::major_swap`]: `true` when
+    /// the patch (or R-only) rebuild committed, `false` when the caller
+    /// must fall back to the full path.
+    fn try_patch_swap(&self, prev_base: &Engine, prev_base_s: &Arc<Vec<Point>>) -> bool {
+        if prev_base.is_overlay() {
+            return false;
+        }
+        // Budget pre-check against the *current* pending delta.
+        {
+            let snap = self.store.snapshot();
+            if !Arc::ptr_eq(&snap.base_s, prev_base_s) {
+                return false; // sibling engine compacted underneath us
+            }
+            // Dead-id budget: every patch leaves its tombstones behind
+            // as dead ids that only a full compaction purges. Without
+            // this cap, a sustained churn workload would grow `base_s`
+            // and the dead set without bound (and every later patch
+            // would re-copy the ever-larger point array). Past the
+            // budget, fall through to the full path — it purges.
+            if snap.s_dead.len() as f64
+                > self.cfg.max_patch_fraction * snap.base_s.len().max(1) as f64
+            {
+                return false;
+            }
+            let s_ops = !snap.delta.s_inserted.is_empty() || !snap.delta.s_deleted.is_empty();
+            if s_ops {
+                let total = prev_base.cell_count();
+                if total == 0 {
+                    return false;
+                }
+                let dirty = snap
+                    .delta
+                    .dirty_s_cells(&snap.base_s, self.config.half_extent)
+                    .len();
+                if dirty as f64 > self.cfg.max_patch_fraction * total as f64 {
+                    return false; // too dirty: a full rebuild is cheaper
+                }
+            }
+        }
+        let (snap, spatch) = self.store.compact_incremental();
+        if !Arc::ptr_eq(&spatch.prev_base_s, prev_base_s) {
+            // Lost a race to a sibling's compaction between the check
+            // and the fold; our S-side is not the patch's valid start.
+            return false;
+        }
+        let built = if !spatch.s_changed() {
+            // Only R changed: reuse the S-side allocation outright.
+            prev_base
+                .rebuild_r_only(&snap.base_r, &self.config)
+                .map(|e| (e, None))
+        } else {
+            prev_base
+                .rebuild_with_s_patch(
+                    &snap.base_r,
+                    &self.config,
+                    &spatch.inserted,
+                    &spatch.deleted,
+                )
+                .map(|(e, rep)| (e, Some(rep)))
+        };
+        let Some((engine, patch_report)) = built else {
+            return false;
+        };
+        self.commit_epoch(engine, &snap, None);
+        if let Some(rep) = patch_report {
+            self.patch_swaps.fetch_add(1, Ordering::Relaxed);
+            self.cells_patched
+                .fetch_add(rep.cells_rebuilt as u64, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Repair swap: re-tighten exactly the named cells over the fully
+    /// shared `S`-side, swapping the re-bounded engine in place (same
+    /// epoch, fresh observation window). A fruitless attempt retires
+    /// the repair rung for this epoch so the ladder can escalate.
+    fn repair_swap(&self, slots: &[u32]) {
+        let current = self
+            .state
+            .read()
+            .expect("epoch state poisoned")
+            .current
+            .clone();
+        match current.repair_cells(slots) {
+            Some(engine) => {
+                let cells = engine.cell_count();
+                let mut st = self.state.write().expect("epoch state poisoned");
+                st.base = engine.clone();
+                st.current = engine;
+                st.support = None;
+                // Fresh observation window: the repair changed the
+                // rejection profile, so the old counters no longer
+                // describe the serving engine.
+                st.acc_samples = 0;
+                st.acc_iterations = 0;
+                st.acc_cell_rejections = vec![0; cells];
+                drop(st);
+                self.repairs.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                // Nothing to tighten (wrong family, or all named cells
+                // already exact): retire the rung for this epoch.
+                self.state
+                    .write()
+                    .expect("epoch state poisoned")
+                    .repair_exhausted = true;
+            }
         }
     }
 
@@ -505,9 +817,10 @@ impl EpochEngine {
             return self.major_swap(self.cfg.algorithm, false);
         }
         let support = support.unwrap_or_else(|| {
-            Arc::new(OverlaySupport::build(
+            Arc::new(OverlaySupport::build_filtered(
                 &snap.base_r,
                 &snap.base_s,
+                &snap.s_dead,
                 self.config.half_extent,
             ))
         });
@@ -518,10 +831,18 @@ impl EpochEngine {
         };
         let mut st = self.state.write().expect("epoch state poisoned");
         // Carry the superseded snapshot's counters into the epoch
-        // accumulator so the re-plan signal keeps its history.
+        // accumulators so the repair/re-plan signals keep their
+        // history.
         let (old_samples, old_iterations) = st.current.sample_counters();
         st.acc_samples += old_samples;
         st.acc_iterations += old_iterations;
+        if let Some(old_cells) = st.current.cell_rejections() {
+            if old_cells.len() == st.acc_cell_rejections.len() {
+                for (a, c) in st.acc_cell_rejections.iter_mut().zip(&old_cells) {
+                    *a += c;
+                }
+            }
+        }
         st.current = engine;
         st.support = Some(support);
         st.built_version = snap.version;
@@ -633,6 +954,79 @@ mod tests {
     }
 
     #[test]
+    fn tombstone_fraction_forces_a_shrinking_rebuild() {
+        // Delete-only delta: the total pending fraction stays below the
+        // general rebuild threshold, but the tombstone threshold fires
+        // — and the rebuild strictly shrinks Σµ.
+        let r = pseudo_points(100, 41, 30.0);
+        let s = pseudo_points(100, 42, 30.0);
+        let cfg = EpochConfig::default()
+            .with_rebuild_fraction(0.5)
+            .with_tombstone_rebuild_fraction(0.05)
+            .with_algorithm(Algorithm::Bbst);
+        let engine = EpochEngine::new(r, s, &SampleConfig::new(4.0), cfg);
+        let mu_before = engine.total_weight();
+        assert!(mu_before > 0.0);
+        for id in 0..15u32 {
+            assert!(engine.delete_s(id));
+        }
+        // 15 tombstones / 200 base = 0.075: above the tombstone
+        // threshold, far below the 0.5 general one.
+        engine.refresh();
+        assert_eq!(engine.epoch(), 1, "tombstone threshold must rebuild");
+        assert_eq!(engine.major_swaps(), 1);
+        let mu_after = engine.total_weight();
+        assert!(
+            mu_after < mu_before,
+            "Σµ must shrink across a delete-only rebuild: {mu_before} -> {mu_after}"
+        );
+        // The rebuild went through the cell patch path.
+        assert_eq!(engine.patch_swaps(), 1);
+        assert!(engine.cells_patched() > 0);
+    }
+
+    #[test]
+    fn sustained_deletes_eventually_purge_dead_ids() {
+        // Patch swaps leave dead ids behind; once they exceed the
+        // patch budget's share of the base, the next major swap must
+        // take the full path and purge them — otherwise churn grows
+        // the base without bound.
+        let r = pseudo_points(50, 81, 30.0);
+        let s = pseudo_points(100, 82, 30.0);
+        let cfg = EpochConfig::default()
+            .with_tombstone_rebuild_fraction(0.02)
+            .with_max_patch_fraction(0.5)
+            .with_algorithm(Algorithm::Bbst);
+        let engine = EpochEngine::new(r, s, &SampleConfig::new(4.0), cfg);
+        let mut purged = false;
+        for _round in 0..12 {
+            // Tombstone 10 live S ids (skipping dead ones).
+            let mut deleted = 0;
+            let mut id = 0u32;
+            while deleted < 10 && id < 200 {
+                if engine.delete_s(id) {
+                    deleted += 1;
+                }
+                id += 1;
+            }
+            if deleted == 0 {
+                break; // S exhausted
+            }
+            engine.refresh();
+            if engine.store().s_dead_len() == 0 && engine.major_swaps() > engine.patch_swaps() {
+                purged = true;
+                break;
+            }
+        }
+        assert!(purged, "dead ids were never purged by a full swap");
+        // The store shrank to the live set.
+        assert_eq!(
+            engine.store().snapshot().base_s.len(),
+            engine.store().live_s_len()
+        );
+    }
+
+    #[test]
     fn zero_sample_engines_never_replan() {
         let r = pseudo_points(30, 41, 30.0);
         let s = pseudo_points(30, 42, 30.0);
@@ -645,6 +1039,7 @@ mod tests {
         assert_eq!(engine.observed_rejection_rate(), None);
         engine.refresh();
         assert_eq!(engine.replans(), 0);
+        assert_eq!(engine.repairs(), 0);
     }
 
     #[test]

@@ -95,12 +95,12 @@ pub mod shard;
 mod stats;
 
 pub use cache::EngineCache;
-pub use dataset::{BatchApplied, DatasetSnapshot, DatasetStore};
+pub use dataset::{BatchApplied, DatasetSnapshot, DatasetStore, SPatchDelta};
 pub use engine::{Algorithm, Engine, HandleStream, SamplerHandle};
 pub use epoch::{EpochConfig, EpochEngine};
 pub use planner::PlanReport;
 pub use shard::ShardedIndex;
-pub use stats::{EngineStats, StatsSnapshot};
+pub use stats::{CellRejectionStats, EngineStats, StatsSnapshot};
 
 #[cfg(test)]
 mod tests {

@@ -210,9 +210,47 @@ pub fn replan_for_observed(
     }
 }
 
+/// How many loose cells one repair pass will re-tighten at most — a
+/// repair pays one UB pass regardless, so repairing a handful of the
+/// worst offenders per pass keeps each decision measurable.
+pub const MAX_REPAIR_CELLS: usize = 32;
+
+/// Picks the cells a targeted repair should re-tighten from the
+/// measured per-cell rejection counters: every slot with at least
+/// `min_rejections` attributed rejections, worst first, capped at
+/// [`MAX_REPAIR_CELLS`]. Empty when no cell clears the floor — the
+/// caller escalates to [`replan_for_observed`] then.
+pub fn repair_candidates(cell_rejections: &[u64], min_rejections: u64) -> Vec<u32> {
+    let mut slots: Vec<u32> = cell_rejections
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c >= min_rejections.max(1))
+        .map(|(i, _)| i as u32)
+        .collect();
+    slots.sort_unstable_by_key(|&i| std::cmp::Reverse(cell_rejections[i as usize]));
+    slots.truncate(MAX_REPAIR_CELLS);
+    slots
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn repair_candidates_are_floored_ranked_and_capped() {
+        let mut rejections = vec![0u64; 100];
+        rejections[7] = 500;
+        rejections[3] = 900;
+        rejections[42] = 10;
+        assert_eq!(repair_candidates(&rejections, 64), vec![3, 7]);
+        assert_eq!(repair_candidates(&rejections, 5), vec![3, 7, 42]);
+        assert!(repair_candidates(&rejections, 1_000).is_empty());
+        // a zero floor still requires at least one rejection
+        assert_eq!(repair_candidates(&rejections, 0).len(), 3);
+        // cap
+        let many = vec![100u64; 200];
+        assert_eq!(repair_candidates(&many, 1).len(), MAX_REPAIR_CELLS);
+    }
 
     #[test]
     fn replan_follows_the_observed_overhead() {

@@ -154,6 +154,25 @@ impl<I: SamplerIndex> ShardedIndex<I> {
     pub fn mu_total(&self) -> f64 {
         self.alias.as_ref().map_or(0.0, AliasTable::total_weight)
     }
+
+    /// Rebuilds every shard through `f` — preserving the shard layout
+    /// and re-deriving the top-level alias — or returns `None` if `f`
+    /// returns `None` for any shard. Used by the per-cell repair path:
+    /// each shard re-tightens the same cells against the one shared
+    /// `S`-side, so `f` is cheap (`O(n_i log m)` per shard) and the
+    /// offsets never change.
+    pub fn try_map_shards(&self, f: impl Fn(&I) -> Option<I>) -> Option<Self> {
+        let shards: Option<Vec<Arc<I>>> = self.shards.iter().map(|s| f(s).map(Arc::new)).collect();
+        let shards = shards?;
+        let weights: Vec<f64> = shards.iter().map(|s| s.total_weight()).collect();
+        Some(ShardedIndex {
+            offsets: self.offsets.clone(),
+            alias: AliasTable::new(&weights),
+            rejection_limit: self.rejection_limit,
+            build_report: self.build_report,
+            shards,
+        })
+    }
 }
 
 impl<I: SamplerIndex> SamplerIndex for ShardedIndex<I> {
@@ -187,6 +206,17 @@ impl<I: SamplerIndex> SamplerIndex for ShardedIndex<I> {
 
     fn total_weight(&self) -> f64 {
         self.mu_total()
+    }
+
+    fn cell_count(&self) -> usize {
+        // All shards draw from the one shared S-side, so their cell
+        // slots coincide; rejections from any shard feed one counter
+        // set.
+        self.shards[0].cell_count()
+    }
+
+    fn drain_cell_rejections(scratch: &mut Self::Scratch, out: &mut Vec<u32>) {
+        I::drain_cell_rejections(scratch, out);
     }
 
     fn index_build_report(&self) -> PhaseReport {

@@ -125,6 +125,58 @@ fn quantile(buckets: &[u64], q: f64) -> Duration {
     Duration::ZERO
 }
 
+/// Shared, lock-free per-`S`-cell rejection counters — the
+/// per-region feedback signal behind targeted cell repairs. One slot
+/// per grid cell of the engine's `S`-side; handles drain their
+/// cursors' rejection records here with relaxed adds, so the hot path
+/// stays lock-free.
+#[derive(Debug)]
+pub struct CellRejectionStats {
+    counters: Vec<AtomicU64>,
+}
+
+impl CellRejectionStats {
+    /// Zeroed counters for `cells` cell slots.
+    pub fn new(cells: usize) -> Self {
+        CellRejectionStats {
+            counters: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of cell slots tracked.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether any slots are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Records one rejected iteration attributed to `slot` (ignores
+    /// out-of-range slots defensively).
+    pub fn record(&self, slot: u32) {
+        if let Some(c) = self.counters.get(slot as usize) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a drained batch of per-rejection slot entries.
+    pub fn record_all(&self, slots: impl Iterator<Item = u32>) {
+        for slot in slots {
+            self.record(slot);
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
 /// A point-in-time view of an engine's aggregate statistics.
 #[derive(Clone, Copy, Debug)]
 pub struct StatsSnapshot {

@@ -1,8 +1,27 @@
+use std::collections::HashSet;
+use std::sync::Arc;
+
 use srj_geom::{Point, PointId, Rect};
 
 use crate::cell::Cell;
 use crate::fx::FxHashMap;
 use crate::offsets::NEIGHBOR_OFFSETS;
+
+/// What a [`Grid::patch`] did: which cells of the patched grid were
+/// structurally shared with the pre-patch grid and which were rebuilt.
+#[derive(Clone, Debug, Default)]
+pub struct GridPatch {
+    /// For each slot of the patched grid: the pre-patch slot whose
+    /// [`Cell`] was `Arc`-shared into it, or `None` when the cell was
+    /// rebuilt (dirty) or is brand new.
+    pub shared_from: Vec<Option<u32>>,
+    /// Cells rebuilt or newly created — the work the patch actually
+    /// paid for (includes cells that vanished because every member was
+    /// deleted).
+    pub cells_rebuilt: usize,
+    /// Cells carried over by `Arc` clone (zero rebuild cost).
+    pub cells_shared: usize,
+}
 
 /// Non-empty hash grid over a point set (`GRID-MAPPING(S, l)`).
 ///
@@ -28,7 +47,9 @@ pub struct Grid {
     cell_side: f64,
     points: Vec<Point>,
     lookup: FxHashMap<(i32, i32), u32>,
-    cells: Vec<Cell>,
+    /// `Arc`-held so [`Grid::patch`] can carry clean cells into the
+    /// patched grid by reference instead of copying them.
+    cells: Vec<Arc<Cell>>,
 }
 
 impl Grid {
@@ -43,7 +64,17 @@ impl Grid {
     /// coordinate divided by `cell_side` overflows `i32` (cannot happen
     /// for the paper's normalised `[0, 10000]²` domain with any sane `l`).
     pub fn build(points: &[Point], cell_side: f64) -> Self {
-        Self::build_inner(points, None, cell_side)
+        Self::build_inner(points, None, None, cell_side)
+    }
+
+    /// Builds the grid over `points` but **indexes only** the ids not in
+    /// `skip`. The skipped points stay in the grid's point array (ids
+    /// keep their meaning — `Grid::point(id)` still resolves them) but
+    /// belong to no cell, so they are invisible to every count, run, and
+    /// neighborhood query. This is how structures over an epoch base
+    /// with tombstoned ("dead") ids are built without renumbering.
+    pub fn build_subset(points: &[Point], skip: &HashSet<PointId>, cell_side: f64) -> Self {
+        Self::build_inner(points, None, Some(skip), cell_side)
     }
 
     /// Builds the grid from a **pre-sorted** x-order of the points (the
@@ -67,10 +98,15 @@ impl Grid {
                 .all(|w| points[w[0] as usize].x <= points[w[1] as usize].x),
             "x_order must be sorted by x"
         );
-        Self::build_inner(points, Some(x_order), cell_side)
+        Self::build_inner(points, Some(x_order), None, cell_side)
     }
 
-    fn build_inner(points: &[Point], x_order: Option<&[PointId]>, cell_side: f64) -> Self {
+    fn build_inner(
+        points: &[Point],
+        x_order: Option<&[PointId]>,
+        skip: Option<&HashSet<PointId>>,
+        cell_side: f64,
+    ) -> Self {
         assert!(
             cell_side.is_finite() && cell_side > 0.0,
             "cell_side must be positive and finite, got {cell_side}"
@@ -84,6 +120,9 @@ impl Grid {
         let mut lookup: FxHashMap<(i32, i32), u32> = FxHashMap::default();
         let mut members: Vec<Vec<PointId>> = Vec::new();
         let mut insert = |id: PointId| {
+            if skip.is_some_and(|s| s.contains(&id)) {
+                return;
+            }
             let coord = coord_of_raw(points[id as usize], cell_side);
             let slot = *lookup.entry(coord).or_insert_with(|| {
                 members.push(Vec::new());
@@ -104,32 +143,16 @@ impl Grid {
             coords[slot as usize] = coord;
         }
 
-        let cells: Vec<Cell> = members
+        let cells: Vec<Arc<Cell>> = members
             .into_iter()
             .zip(coords)
-            .map(|(ids, coord)| {
-                let mut by_x = ids;
-                let mut by_y = by_x.clone();
+            .map(|(mut ids, coord)| {
                 if !presorted {
-                    by_x.sort_unstable_by(|&a, &b| {
+                    ids.sort_unstable_by(|&a, &b| {
                         points[a as usize].x.total_cmp(&points[b as usize].x)
                     });
                 }
-                by_y.sort_unstable_by(|&a, &b| {
-                    points[a as usize].y.total_cmp(&points[b as usize].y)
-                });
-                let rect = Rect::new(
-                    coord.0 as f64 * cell_side,
-                    coord.1 as f64 * cell_side,
-                    (coord.0 as f64 + 1.0) * cell_side,
-                    (coord.1 as f64 + 1.0) * cell_side,
-                );
-                Cell {
-                    coord,
-                    rect,
-                    by_x,
-                    by_y,
-                }
+                Arc::new(make_cell(points, coord, ids, cell_side))
             })
             .collect();
 
@@ -139,6 +162,110 @@ impl Grid {
             lookup,
             cells,
         }
+    }
+
+    /// Rebuilds **only the dirty cells** for a set of point mutations,
+    /// structurally sharing every clean cell's `Arc` with this grid.
+    ///
+    /// `inserted` points are appended to the point array and get ids
+    /// `self.points().len()..`; `deleted` ids (base or just-inserted)
+    /// are removed from their cells but stay resolvable through
+    /// [`Grid::point`] — ids are **stable** across a patch, which is
+    /// exactly what lets clean cells be shared verbatim. A cell is
+    /// dirty iff it gains or loses at least one member; everything else
+    /// is carried over by `Arc` clone. Cost: one flat copy of the point
+    /// array plus `O(|c| log |c|)` per dirty cell.
+    pub fn patch(&self, inserted: &[Point], deleted: &HashSet<PointId>) -> (Grid, GridPatch) {
+        let base_len = self.points.len();
+        assert!(
+            base_len + inserted.len() <= u32::MAX as usize,
+            "too many points"
+        );
+        assert!(
+            inserted.iter().all(|p| p.x.is_finite() && p.y.is_finite()),
+            "points must have finite coordinates"
+        );
+        let mut points = Vec::with_capacity(base_len + inserted.len());
+        points.extend_from_slice(&self.points);
+        points.extend_from_slice(inserted);
+
+        // Live inserted ids grouped by destination cell coordinate
+        // (an id inserted and deleted within the same patch never
+        // materialises).
+        let mut added: FxHashMap<(i32, i32), Vec<PointId>> = FxHashMap::default();
+        for (i, &p) in inserted.iter().enumerate() {
+            let id = (base_len + i) as PointId;
+            if deleted.contains(&id) {
+                continue;
+            }
+            added
+                .entry(coord_of_raw(p, self.cell_side))
+                .or_default()
+                .push(id);
+        }
+        // Dirty coordinates: every cell that gains or loses a member.
+        let mut dirty: HashSet<(i32, i32)> = added.keys().copied().collect();
+        for &id in deleted {
+            if (id as usize) < base_len {
+                dirty.insert(coord_of_raw(self.points[id as usize], self.cell_side));
+            }
+        }
+
+        let mut lookup: FxHashMap<(i32, i32), u32> = FxHashMap::default();
+        let mut cells: Vec<Arc<Cell>> = Vec::with_capacity(self.cells.len() + added.len());
+        let mut shared_from: Vec<Option<u32>> = Vec::new();
+        let mut cells_rebuilt = 0usize;
+        for (old_slot, cell) in self.cells.iter().enumerate() {
+            let coord = cell.coord;
+            if !dirty.contains(&coord) {
+                lookup.insert(coord, cells.len() as u32);
+                shared_from.push(Some(old_slot as u32));
+                cells.push(Arc::clone(cell));
+                continue;
+            }
+            cells_rebuilt += 1;
+            let mut ids: Vec<PointId> = cell
+                .by_x
+                .iter()
+                .copied()
+                .filter(|id| !deleted.contains(id))
+                .collect();
+            if let Some(mut extra) = added.remove(&coord) {
+                ids.append(&mut extra);
+            }
+            if ids.is_empty() {
+                continue; // every member deleted: the cell vanishes
+            }
+            lookup.insert(coord, cells.len() as u32);
+            shared_from.push(None);
+            ids.sort_unstable_by(|&a, &b| points[a as usize].x.total_cmp(&points[b as usize].x));
+            cells.push(Arc::new(make_cell(&points, coord, ids, self.cell_side)));
+        }
+        // Brand-new cells: inserts into previously empty coordinates
+        // (sorted for a deterministic slot order).
+        let mut fresh: Vec<((i32, i32), Vec<PointId>)> = added.into_iter().collect();
+        fresh.sort_unstable_by_key(|&(c, _)| c);
+        for (coord, mut ids) in fresh {
+            cells_rebuilt += 1;
+            lookup.insert(coord, cells.len() as u32);
+            shared_from.push(None);
+            ids.sort_unstable_by(|&a, &b| points[a as usize].x.total_cmp(&points[b as usize].x));
+            cells.push(Arc::new(make_cell(&points, coord, ids, self.cell_side)));
+        }
+        let cells_shared = shared_from.iter().filter(|s| s.is_some()).count();
+        (
+            Grid {
+                cell_side: self.cell_side,
+                points,
+                lookup,
+                cells,
+            },
+            GridPatch {
+                shared_from,
+                cells_rebuilt,
+                cells_shared,
+            },
+        )
     }
 
     /// Cell side length the grid was built with.
@@ -172,9 +299,20 @@ impl Grid {
     }
 
     /// All non-empty cells (iteration order is unspecified but stable).
+    /// The `Arc` wrappers are the unit of structural sharing across
+    /// [`Grid::patch`]es: `Arc::ptr_eq` on two grids' cells proves a
+    /// cell was carried over untouched.
     #[inline]
-    pub fn cells(&self) -> &[Cell] {
+    pub fn cells(&self) -> &[Arc<Cell>] {
         &self.cells
+    }
+
+    /// Number of points currently indexed by some cell. Equal to
+    /// [`Grid::num_points`] for a plain build; smaller when the grid
+    /// was built with [`Grid::build_subset`] or [`Grid::patch`] left
+    /// dead ids behind.
+    pub fn live_points(&self) -> usize {
+        self.cells.iter().map(|c| c.len()).sum()
     }
 
     /// Discrete cell coordinate containing `p`.
@@ -188,7 +326,7 @@ impl Grid {
     pub fn cell_at(&self, coord: (i32, i32)) -> Option<&Cell> {
         self.lookup
             .get(&coord)
-            .map(|&slot| &self.cells[slot as usize])
+            .map(|&slot| &*self.cells[slot as usize])
     }
 
     /// Slot index of the cell at `coord`, if non-empty. Slots index
@@ -202,6 +340,13 @@ impl Grid {
     /// The cell stored at `slot` (see [`Grid::cell_slot_at`]).
     #[inline]
     pub fn cell(&self, slot: u32) -> &Cell {
+        &self.cells[slot as usize]
+    }
+
+    /// The `Arc` holding the cell at `slot` — the sharing token a
+    /// cell-granular store compares across epochs.
+    #[inline]
+    pub fn cell_arc(&self, slot: u32) -> &Arc<Cell> {
         &self.cells[slot as usize]
     }
 
@@ -280,8 +425,33 @@ impl Grid {
         let map_entry = std::mem::size_of::<((i32, i32), u32)>() + 1;
         self.points.capacity() * std::mem::size_of::<Point>()
             + self.lookup.capacity() * map_entry
-            + self.cells.capacity() * std::mem::size_of::<Cell>()
-            + self.cells.iter().map(Cell::memory_bytes).sum::<usize>()
+            + self.cells.capacity() * std::mem::size_of::<Arc<Cell>>()
+            + self
+                .cells
+                .iter()
+                .map(|c| std::mem::size_of::<Cell>() + c.memory_bytes())
+                .sum::<usize>()
+    }
+}
+
+/// Assembles one cell from its member ids, **already sorted by x**.
+fn make_cell(points: &[Point], coord: (i32, i32), by_x: Vec<PointId>, cell_side: f64) -> Cell {
+    debug_assert!(by_x
+        .windows(2)
+        .all(|w| points[w[0] as usize].x <= points[w[1] as usize].x));
+    let mut by_y = by_x.clone();
+    by_y.sort_unstable_by(|&a, &b| points[a as usize].y.total_cmp(&points[b as usize].y));
+    let rect = Rect::new(
+        coord.0 as f64 * cell_side,
+        coord.1 as f64 * cell_side,
+        (coord.0 as f64 + 1.0) * cell_side,
+        (coord.1 as f64 + 1.0) * cell_side,
+    );
+    Cell {
+        coord,
+        rect,
+        by_x,
+        by_y,
     }
 }
 
@@ -332,7 +502,7 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s == 1));
-        assert_eq!(g.cells().iter().map(Cell::len).sum::<usize>(), pts.len());
+        assert_eq!(g.cells().iter().map(|c| c.len()).sum::<usize>(), pts.len());
     }
 
     #[test]
@@ -485,5 +655,108 @@ mod tests {
     fn build_from_sorted_rejects_short_order() {
         let pts = cluster(10, 1);
         Grid::build_from_sorted(&pts, &[0, 1], 5.0);
+    }
+
+    #[test]
+    fn build_subset_hides_skipped_ids_without_renumbering() {
+        let pts = cluster(200, 37);
+        let skip: HashSet<PointId> = (0..200).step_by(5).collect();
+        let g = Grid::build_subset(&pts, &skip, 10.0);
+        assert_eq!(g.num_points(), 200, "point array keeps every id");
+        assert_eq!(g.live_points(), 200 - skip.len());
+        for c in g.cells() {
+            for &id in &c.by_x {
+                assert!(!skip.contains(&id), "skipped id {id} indexed");
+            }
+        }
+        // Skipped points still resolve by id.
+        assert_eq!(g.point(0), pts[0]);
+        let w = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let live = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| !skip.contains(&(*i as u32)) && w.contains(**p))
+            .count();
+        assert_eq!(g.exact_window_count(&w), live);
+    }
+
+    #[test]
+    fn patch_rebuilds_only_dirty_cells_and_shares_the_rest() {
+        let pts = cluster(600, 41);
+        let g = Grid::build(&pts, 10.0);
+        // One insert and one delete, far apart.
+        let ins = vec![Point::new(5.0, 5.0)];
+        let del_id = pts.iter().position(|p| p.x > 80.0 && p.y > 80.0).unwrap() as PointId;
+        let deleted: HashSet<PointId> = [del_id].into_iter().collect();
+        let (p, rep) = g.patch(&ins, &deleted);
+
+        // Ids: stable base ids, appended insert id.
+        assert_eq!(p.num_points(), 601);
+        assert_eq!(p.point(600), ins[0]);
+        assert_eq!(p.live_points(), 600); // +1 insert, −1 delete
+        assert_eq!(rep.shared_from.len(), p.num_cells());
+        // rebuilt counts vanished cells too, so shared + rebuilt covers
+        // at least every surviving cell.
+        assert!(rep.cells_shared + rep.cells_rebuilt >= p.num_cells());
+
+        // Exactly the two touched coordinates were rebuilt.
+        let dirty_a = g.coord_of(ins[0]);
+        let dirty_b = g.coord_of(pts[del_id as usize]);
+        for (slot, from) in rep.shared_from.iter().enumerate() {
+            let cell = p.cell(slot as u32);
+            if cell.coord == dirty_a || cell.coord == dirty_b {
+                assert!(from.is_none(), "dirty cell {:?} was shared", cell.coord);
+            } else {
+                let old_slot = from.expect("clean cell not shared");
+                assert!(
+                    Arc::ptr_eq(p.cell_arc(slot as u32), g.cell_arc(old_slot)),
+                    "clean cell {:?} not Arc-shared",
+                    cell.coord
+                );
+            }
+        }
+        assert!(rep.cells_rebuilt <= 2);
+        assert!(rep.cells_shared >= g.num_cells() - 2);
+
+        // Deleted id is out of every cell; membership is otherwise intact.
+        for c in p.cells() {
+            assert!(!c.by_x.contains(&del_id));
+            assert!(c
+                .by_x
+                .windows(2)
+                .all(|w| p.points()[w[0] as usize].x <= p.points()[w[1] as usize].x));
+        }
+        // Window counts agree with a brute force over the live set.
+        let w = Rect::new(20.0, 20.0, 70.0, 90.0);
+        let live = (0..601u32)
+            .filter(|&id| id != del_id)
+            .filter(|&id| w.contains(p.point(id)))
+            .count();
+        assert_eq!(p.exact_window_count(&w), live);
+    }
+
+    #[test]
+    fn patch_drops_emptied_cells_and_creates_fresh_ones() {
+        let pts = vec![Point::new(1.0, 1.0), Point::new(55.0, 55.0)];
+        let g = Grid::build(&pts, 10.0);
+        assert_eq!(g.num_cells(), 2);
+        // Delete the only member of cell (0,0); insert into empty (9,9).
+        let deleted: HashSet<PointId> = [0u32].into_iter().collect();
+        let (p, rep) = g.patch(&[Point::new(95.0, 95.0)], &deleted);
+        assert_eq!(p.num_cells(), 2);
+        assert!(p.cell_at((0, 0)).is_none(), "emptied cell survived");
+        assert!(p.cell_at((9, 9)).is_some(), "fresh cell missing");
+        assert!(Arc::ptr_eq(
+            p.cell_arc(p.cell_slot_at((5, 5)).unwrap()),
+            g.cell_arc(g.cell_slot_at((5, 5)).unwrap())
+        ));
+        assert_eq!(rep.cells_shared, 1);
+        // Both the emptied and the fresh cell count as rebuilt work.
+        assert_eq!(rep.cells_rebuilt, 2);
+        // Insert-then-delete within one patch never materialises (the
+        // new point's id is p.num_points() == 3).
+        let deleted: HashSet<PointId> = [3u32].into_iter().collect();
+        let (q, _) = p.patch(&[Point::new(15.0, 15.0)], &deleted);
+        assert!(q.cell_at((1, 1)).is_none());
     }
 }

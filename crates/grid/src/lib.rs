@@ -27,5 +27,5 @@ mod grid_map;
 mod offsets;
 
 pub use cell::Cell;
-pub use grid_map::Grid;
+pub use grid_map::{Grid, GridPatch};
 pub use offsets::{case_of, CellCase, NeighborOffset, CENTER_IDX, NEIGHBOR_OFFSETS};

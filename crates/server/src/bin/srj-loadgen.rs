@@ -32,11 +32,15 @@ use srj_server::{Algorithm, Client, RequestStatus, SampleRequest, Side};
 const USAGE: &str = "usage: srj-loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--t N]
                    [--dataset ID] [--l F] [--algo auto|kds|kds-rejection|bbst]
                    [--shards N] [--update-fraction F] [--update-batch N]
-                   [--domain F] [--out PATH] [--shutdown]
+                   [--delete-heavy] [--domain F] [--out PATH] [--shutdown]
   Defaults: --addr 127.0.0.1:7878 --clients 4 --requests 8 --t 50000
             --dataset 1 --l 100 --algo auto --shards 1
             --update-fraction 0 --update-batch 256 --domain 10000
-            --out BENCH_PR3.json";
+            --out BENCH_PR3.json (BENCH_PR5.json with --delete-heavy)
+  --delete-heavy: every request is preceded by a DELETE batch of S ids
+                  (no inserts); asserts the served Σµ strictly shrinks
+                  across the resulting epoch swap and writes the PR5
+                  bench JSON.";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -84,6 +88,106 @@ impl PointGen {
             self.next_unit() * self.domain,
         )
     }
+}
+
+/// One delete-heavy client: each round tombstones a batch of currently
+/// live `S` ids (validated against the current epoch via an `EPOCH`
+/// probe, like the mixed-mode delete path) and then samples, so the
+/// tombstone-threshold rebuild — and its `Σµ` shrink — happens under
+/// read load.
+#[allow(clippy::too_many_arguments)]
+fn run_delete_heavy_client(
+    cid: usize,
+    addr: &str,
+    requests: usize,
+    t: u64,
+    dataset: u64,
+    l: f64,
+    algorithm: Option<Algorithm>,
+    shards: u32,
+    delete_batch: usize,
+) -> ClientOutcome {
+    let mut out = ClientOutcome::default();
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("client {cid}: connect failed: {e}");
+            out.errors += 1;
+            return out;
+        }
+    };
+    for r in 0..requests {
+        // Pick a deterministic, per-(client, round) segment of the
+        // currently live id space. Already-tombstoned ids are skipped
+        // server-side (`applied` counts the effective ones).
+        let live_s = match client.epoch(dataset) {
+            Ok((RequestStatus::Ok, info)) => info.live_s,
+            _ => 0,
+        };
+        if live_s > delete_batch as u64 * 2 {
+            let span = live_s - delete_batch as u64;
+            let start = ((cid as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(r as u64 * 2_654_435_761))
+                % span;
+            let ids: Vec<u32> = (0..delete_batch as u64)
+                .map(|k| (start + k) as u32)
+                .collect();
+            let del_start = Instant::now();
+            match client.delete(dataset, Side::S, &ids) {
+                Ok(o) if o.status == RequestStatus::Ok => {
+                    out.deleted_points += o.applied as u64;
+                    out.delete_frames += 1;
+                    out.update_latencies_ns
+                        .push(del_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                }
+                Ok(o) => {
+                    eprintln!("client {cid} delete: status {}", o.status);
+                    out.errors += 1;
+                }
+                Err(e) => {
+                    eprintln!("client {cid} delete: {e}");
+                    out.errors += 1;
+                    return out;
+                }
+            }
+        }
+        let seed = 1 + (cid * requests + r) as u64;
+        let start = Instant::now();
+        let mut received = 0u64;
+        let outcome = client.sample_with(
+            SampleRequest {
+                req_id: 0,
+                dataset,
+                l,
+                algorithm,
+                shards,
+                t,
+                seed,
+            },
+            |batch| received += batch.len() as u64,
+        );
+        match outcome {
+            Ok(o) if o.status == RequestStatus::Ok && received == t => {
+                out.samples += received;
+                out.latencies_ns
+                    .push(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            }
+            Ok(o) => {
+                eprintln!(
+                    "client {cid} request {r}: status {} after {received} samples",
+                    o.status
+                );
+                out.errors += 1;
+            }
+            Err(e) => {
+                eprintln!("client {cid} request {r}: {e}");
+                out.errors += 1;
+                return out;
+            }
+        }
+    }
+    out
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -274,8 +378,9 @@ fn main() {
     let mut shards: u32 = 1;
     let mut update_fraction: f64 = 0.0;
     let mut update_batch: usize = 256;
+    let mut delete_heavy = false;
     let mut domain: f64 = 10_000.0;
-    let mut out_path = "BENCH_PR3.json".to_string();
+    let mut out_path: Option<String> = None;
     let mut shutdown = false;
 
     let mut i = 0;
@@ -307,8 +412,12 @@ fn main() {
                 parse_flag!(update_fraction, "--update-fraction", "a float")
             }
             "--update-batch" => parse_flag!(update_batch, "--update-batch", "an integer"),
+            "--delete-heavy" => {
+                delete_heavy = true;
+                i += 1;
+            }
             "--domain" => parse_flag!(domain, "--domain", "a float"),
-            "--out" => out_path = value(&args, &mut i, "--out"),
+            "--out" => out_path = Some(value(&args, &mut i, "--out")),
             "--shutdown" => {
                 shutdown = true;
                 i += 1;
@@ -327,6 +436,16 @@ fn main() {
     if !(0.0..=1.0).contains(&update_fraction) {
         fail("--update-fraction takes a fraction in [0, 1]");
     }
+    if delete_heavy && update_fraction > 0.0 {
+        fail("--delete-heavy and --update-fraction are mutually exclusive");
+    }
+    let out_path = out_path.unwrap_or_else(|| {
+        if delete_heavy {
+            "BENCH_PR5.json".to_string()
+        } else {
+            "BENCH_PR3.json".to_string()
+        }
+    });
     let update_batch = update_batch.max(1);
     let clients_n = clients.max(1);
     // Every k-th operation is an update ⇒ update share ≈ 1/k.
@@ -339,48 +458,32 @@ fn main() {
     eprintln!(
         "# loadgen: {clients_n} clients x {requests} ops x {t} samples \
          (dataset {dataset}, l {l}, algo {algo_str}, shards {shards}, \
-         update-fraction {update_fraction}) -> {addr}"
+         update-fraction {update_fraction}, delete-heavy {delete_heavy}) -> {addr}"
     );
-    // Epoch probes only matter for the mixed-workload JSON branch;
-    // pure-read runs must not pay the extra connections.
-    let epoch_before = (update_every > 0)
-        .then(|| {
-            Client::connect(addr.as_str())
-                .ok()
-                .and_then(|mut c| c.epoch(dataset).ok())
-                .map(|(_, info)| info)
-        })
-        .flatten();
-    let wall_start = Instant::now();
-    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
-        let addr = &addr;
-        let handles: Vec<_> = (0..clients_n)
-            .map(|cid| {
-                scope.spawn(move || {
-                    run_client(
-                        cid,
-                        addr,
-                        requests,
-                        t,
-                        dataset,
-                        l,
-                        algorithm,
-                        shards,
-                        update_every,
-                        update_batch,
-                        domain,
-                    )
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let wall = wall_start.elapsed();
-    // One read after the mixed run forces any still-pending delta to be
-    // folded in, so the epoch probe below reports a current swap.
-    let epoch_after = (update_every > 0)
-        .then(|| {
-            Client::connect(addr.as_str()).ok().and_then(|mut c| {
+    let probes = update_every > 0 || delete_heavy;
+    // Delete-heavy runs compare Σµ across the swap, so the serving
+    // engine must exist (and register its Σµ) *before* the first
+    // delete: warm it up with one tiny sample request.
+    if delete_heavy {
+        if let Ok(mut c) = Client::connect(addr.as_str()) {
+            let _ = c.sample(SampleRequest {
+                req_id: 0,
+                dataset,
+                l,
+                algorithm,
+                shards,
+                t: 1,
+                seed: 1,
+            });
+        }
+    }
+    // Epoch/stats probes only matter for the update-mode JSON
+    // branches; pure-read runs must not pay the extra connections.
+    let probe = |fold_first: bool| {
+        Client::connect(addr.as_str()).ok().and_then(|mut c| {
+            if fold_first {
+                // One read forces any still-pending delta to be folded
+                // in, so the probe reports a current swap.
                 let _ = c.sample(SampleRequest {
                     req_id: 0,
                     dataset,
@@ -390,10 +493,55 @@ fn main() {
                     t: 1,
                     seed: 1,
                 });
-                c.epoch(dataset).ok().map(|(_, info)| info)
-            })
+            }
+            let info = c.epoch(dataset).ok().map(|(_, info)| info)?;
+            let stats = c.server_stats().ok()?;
+            Some((info, stats))
         })
-        .flatten();
+    };
+    let before = probes.then(|| probe(false)).flatten();
+    let wall_start = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let addr = &addr;
+        let handles: Vec<_> = (0..clients_n)
+            .map(|cid| {
+                scope.spawn(move || {
+                    if delete_heavy {
+                        run_delete_heavy_client(
+                            cid,
+                            addr,
+                            requests,
+                            t,
+                            dataset,
+                            l,
+                            algorithm,
+                            shards,
+                            update_batch,
+                        )
+                    } else {
+                        run_client(
+                            cid,
+                            addr,
+                            requests,
+                            t,
+                            dataset,
+                            l,
+                            algorithm,
+                            shards,
+                            update_every,
+                            update_batch,
+                            domain,
+                        )
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = wall_start.elapsed();
+    let after = probes.then(|| probe(true)).flatten();
+    let epoch_before = before.as_ref().map(|(info, _)| *info);
+    let epoch_after = after.as_ref().map(|(info, _)| *info);
 
     let total_samples: u64 = outcomes.iter().map(|o| o.samples).sum();
     let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
@@ -422,7 +570,14 @@ fn main() {
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"pr\": {},", if update_every > 0 { 4 } else { 3 }).unwrap();
+    let pr = if delete_heavy {
+        5
+    } else if update_every > 0 {
+        4
+    } else {
+        3
+    };
+    writeln!(json, "  \"pr\": {pr},").unwrap();
     writeln!(json, "  \"host_cores\": {},", host_cores()).unwrap();
     writeln!(
         json,
@@ -436,7 +591,7 @@ fn main() {
     writeln!(json, "  \"errors\": {errors},").unwrap();
     writeln!(json, "  \"wall_s\": {:.4},", wall.as_secs_f64()).unwrap();
     writeln!(json, "  \"samples_per_sec\": {samples_per_sec:.0},").unwrap();
-    if update_every > 0 {
+    if probes {
         writeln!(
             json,
             "  \"updates\": {{\"ops\": {}, \"inserted_points\": {inserted}, \
@@ -462,6 +617,24 @@ fn main() {
             ns_to_ms(epoch_after.map_or(0, |i| i.last_swap_ns)),
         )
         .unwrap();
+        // Cell-granular maintenance counters (the PR5 acceptance
+        // signal): Σµ before/after and how much of the S-side each
+        // swap actually rebuilt.
+        if let (Some((_, sb)), Some((_, sa))) = (&before, &after) {
+            writeln!(
+                json,
+                "  \"cell_maintenance\": {{\"mu_before\": {:.1}, \"mu_after\": {:.1}, \
+                 \"patch_swaps\": {}, \"cells_patched\": {}, \"repairs\": {}, \
+                 \"epoch_swap_cost_ms\": {:.3}}},",
+                sb.mu_total,
+                sa.mu_total,
+                sa.patch_swaps.saturating_sub(sb.patch_swaps),
+                sa.cells_patched.saturating_sub(sb.cells_patched),
+                sa.repairs.saturating_sub(sb.repairs),
+                ns_to_ms(sa.last_swap_ns),
+            )
+            .unwrap();
+        }
     }
     writeln!(
         json,
@@ -491,5 +664,37 @@ fn main() {
 
     if errors > 0 || total_samples == 0 {
         std::process::exit(1);
+    }
+    if delete_heavy {
+        // The whole point of the delete-heavy smoke: deletes must flow,
+        // the tombstone threshold must fire, and the swap must shrink
+        // Σµ (tombstone rejection alone never does).
+        // Saturating: a failed after-probe reports 0 while the before
+        // epoch may be positive.
+        let swaps = epoch_after
+            .map_or(0, |i| i.epoch)
+            .saturating_sub(epoch_before.map_or(0, |i| i.epoch));
+        if deleted == 0 {
+            eprintln!("delete-heavy run deleted nothing");
+            std::process::exit(1);
+        }
+        if swaps == 0 {
+            eprintln!("delete-heavy run never crossed the tombstone rebuild threshold");
+            std::process::exit(1);
+        }
+        match (&before, &after) {
+            (Some((_, sb)), Some((_, sa))) if sa.mu_total < sb.mu_total => {}
+            (Some((_, sb)), Some((_, sa))) => {
+                eprintln!(
+                    "delete-only swap did not shrink Σµ: {} -> {}",
+                    sb.mu_total, sa.mu_total
+                );
+                std::process::exit(1);
+            }
+            _ => {
+                eprintln!("delete-heavy run could not probe server stats");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -20,7 +20,8 @@ use srj_server::{DatasetRegistry, Server, ServerConfig};
 
 const USAGE: &str = "usage: srj-serve [--addr HOST:PORT] [--workers N] [--queue-frames N]
                  [--batch-pairs N] [--cache N]
-                 [--rebuild-fraction F] [--replan-factor F]
+                 [--rebuild-fraction F] [--tombstone-rebuild-fraction F]
+                 [--max-patch-fraction F] [--repair-factor F] [--replan-factor F]
                  [--dataset ID=KIND:SCALE[:SEED]]... [--dataset-file ID=R_PATH[,S_PATH]]...
   KIND: uniform | road | poi | trajectory | taxi
   Default: --addr 127.0.0.1:7878 --dataset 1=uniform:0.05";
@@ -153,6 +154,33 @@ fn main() {
                 }
                 config.epoch = config.epoch.with_replan_factor(f);
             }
+            "--tombstone-rebuild-fraction" => {
+                let f: f64 = value(&args, &mut i, "--tombstone-rebuild-fraction")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--tombstone-rebuild-fraction takes a float"));
+                if f.is_nan() || f <= 0.0 {
+                    fail("--tombstone-rebuild-fraction must be a positive fraction");
+                }
+                config.epoch = config.epoch.with_tombstone_rebuild_fraction(f);
+            }
+            "--max-patch-fraction" => {
+                let f: f64 = value(&args, &mut i, "--max-patch-fraction")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-patch-fraction takes a float"));
+                if f.is_nan() || !(0.0..=1.0).contains(&f) {
+                    fail("--max-patch-fraction must be in [0, 1]");
+                }
+                config.epoch = config.epoch.with_max_patch_fraction(f);
+            }
+            "--repair-factor" => {
+                let f: f64 = value(&args, &mut i, "--repair-factor")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--repair-factor takes a float"));
+                if f.is_nan() || f < 1.0 {
+                    fail("--repair-factor must be >= 1");
+                }
+                config.epoch = config.epoch.with_repair_factor(f);
+            }
             "--dataset" => {
                 let spec = value(&args, &mut i, "--dataset");
                 register_generated(&mut registry, &spec);
@@ -164,6 +192,9 @@ fn main() {
             "--help" | "-h" => fail("srj-serve"),
             other => fail(&format!("unknown flag {other}")),
         }
+    }
+    if config.epoch.repair_factor > config.epoch.replan_factor {
+        fail("--repair-factor must not exceed --replan-factor");
     }
     if registry.is_empty() {
         register_generated(&mut registry, "1=uniform:0.05");

@@ -188,7 +188,7 @@ pub struct RequestStats {
 }
 
 /// Server-wide aggregate statistics, answered to a `STATS` request.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ServerStatsFrame {
     /// `SAMPLE` requests finished (any status).
     pub queries: u64,
@@ -217,6 +217,21 @@ pub struct ServerStatsFrame {
     pub connections_accepted: u64,
     /// Connections currently open.
     pub active_connections: u64,
+    /// Major swaps that went through the cell-granular patch path,
+    /// summed over every serving engine.
+    pub patch_swaps: u64,
+    /// `S`-cells rebuilt by patch-based swaps (clean cells were
+    /// `Arc`-shared across the swap and cost nothing), summed over
+    /// every serving engine.
+    pub cells_patched: u64,
+    /// Targeted per-cell repairs, summed over every serving engine.
+    pub repairs: u64,
+    /// Duration of the most recent epoch swap, nanoseconds (maximum
+    /// across all serving engines) — the epoch-swap-cost signal.
+    pub last_swap_ns: u64,
+    /// `Σµ` summed over every serving engine — the quantity a
+    /// delete-heavy workload must see shrink across an epoch swap.
+    pub mu_total: f64,
 }
 
 /// A mutation outcome, carried in the `UPDATE` frame.
@@ -619,6 +634,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.cache_misses,
                 s.connections_accepted,
                 s.active_connections,
+                s.patch_swaps,
+                s.cells_patched,
+                s.repairs,
+                s.last_swap_ns,
+                s.mu_total.to_bits(),
             ] {
                 put_u64(&mut payload, v);
             }
@@ -693,7 +713,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             }
         }
         OP_SERVER_STATS => {
-            let mut vals = [0u64; 12];
+            let mut vals = [0u64; 17];
             for v in &mut vals {
                 *v = p.u64()?;
             }
@@ -710,6 +730,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
                 cache_misses: vals[9],
                 connections_accepted: vals[10],
                 active_connections: vals[11],
+                patch_swaps: vals[12],
+                cells_patched: vals[13],
+                repairs: vals[14],
+                last_swap_ns: vals[15],
+                mu_total: f64::from_bits(vals[16]),
             })
         }
         OP_UPDATE => {
@@ -961,7 +986,20 @@ mod tests {
             cache_misses: 10,
             connections_accepted: 11,
             active_connections: 12,
+            patch_swaps: 13,
+            cells_patched: 14,
+            repairs: 15,
+            last_swap_ns: 16,
+            mu_total: 1234.5,
         }));
+    }
+
+    #[test]
+    fn truncated_stats_frame_is_rejected() {
+        let frame = encode_response(&Response::ServerStats(ServerStatsFrame::default()));
+        // Drop the trailing mu_total field: the old 12-counter layout
+        // must no longer parse.
+        assert!(decode_response(&frame[4..frame.len() - 8]).is_err());
     }
 
     #[test]

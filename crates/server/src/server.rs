@@ -182,6 +182,27 @@ impl ServedDataset {
     fn engine_count(&self) -> usize {
         self.engines.lock().expect("engine map poisoned").len()
     }
+
+    /// Cell-maintenance counters aggregated over this dataset's
+    /// engines: `(patch_swaps, cells_patched, repairs, max last_swap_ns,
+    /// Σµ)`.
+    fn cell_stats(&self) -> (u64, u64, u64, u64, f64) {
+        let engines = self.engines.lock().expect("engine map poisoned");
+        let mut patch_swaps = 0u64;
+        let mut cells_patched = 0u64;
+        let mut repairs = 0u64;
+        let mut last_swap_ns = 0u64;
+        let mut mu_total = 0.0f64;
+        for (_, e) in engines.iter() {
+            patch_swaps += e.patch_swaps();
+            cells_patched += e.cells_patched();
+            repairs += e.repairs();
+            last_swap_ns =
+                last_swap_ns.max(e.last_swap().as_nanos().min(u128::from(u64::MAX)) as u64);
+            mu_total += e.total_weight();
+        }
+        (patch_swaps, cells_patched, repairs, last_swap_ns, mu_total)
+    }
 }
 
 /// The datasets a server answers for, keyed by the `u64` ids clients
@@ -433,6 +454,19 @@ impl Shared {
 
     fn stats_frame(&self) -> ServerStatsFrame {
         let snap = self.request_stats.snapshot();
+        let mut patch_swaps = 0u64;
+        let mut cells_patched = 0u64;
+        let mut repairs = 0u64;
+        let mut last_swap_ns = 0u64;
+        let mut mu_total = 0.0f64;
+        for d in self.registry.values() {
+            let (p, c, rep, swap, mu) = d.cell_stats();
+            patch_swaps += p;
+            cells_patched += c;
+            repairs += rep;
+            last_swap_ns = last_swap_ns.max(swap);
+            mu_total += mu;
+        }
         ServerStatsFrame {
             queries: snap.queries,
             samples: snap.samples,
@@ -450,6 +484,11 @@ impl Shared {
             cache_misses: self.engine_misses.load(Ordering::Relaxed),
             connections_accepted: self.accepted.load(Ordering::Relaxed),
             active_connections: self.active.load(Ordering::Relaxed),
+            patch_swaps,
+            cells_patched,
+            repairs,
+            last_swap_ns,
+            mu_total,
         }
     }
 }

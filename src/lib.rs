@@ -74,16 +74,16 @@ pub use srj_rtree as rtree;
 pub use srj_server as server;
 
 pub use srj_core::{
-    AnySamplerIndex, BbstCursor, BbstIndex, BbstKdVariantCursor, BbstKdVariantIndex,
-    BbstKdVariantSampler, BbstSampler, Cursor, DeltaSet, JoinPair, JoinSampler, JoinThenSample,
-    KdsCursor, KdsIndex, KdsRejectionCursor, KdsRejectionIndex, KdsRejectionSampler, KdsSampler,
-    MassMode, OverlayIndex, OverlaySupport, PhaseReport, RangeTreeSampler, SampleConfig,
-    SampleError, SampleIter, SamplerIndex,
+    AnySamplerIndex, BbstCellCtx, BbstCursor, BbstIndex, BbstKdVariantCursor, BbstKdVariantIndex,
+    BbstKdVariantSampler, BbstSampler, CellPatchReport, CellStore, CellUnit, Cursor, DeltaSet,
+    JoinPair, JoinSampler, JoinThenSample, KdCellStore, KdsCursor, KdsIndex, KdsRejectionCursor,
+    KdsRejectionIndex, KdsRejectionSampler, KdsSampler, MassMode, OverlayIndex, OverlaySupport,
+    PhaseReport, RangeTreeSampler, SampleConfig, SampleError, SampleIter, SamplerIndex,
 };
 pub use srj_datagen::{generate, split_rs, DatasetKind, DatasetSpec};
 pub use srj_engine::{
     Algorithm, DatasetSnapshot, DatasetStore, Engine, EngineCache, EpochConfig, EpochEngine,
-    PlanReport, SamplerHandle, ShardedIndex, StatsSnapshot,
+    PlanReport, SPatchDelta, SamplerHandle, ShardedIndex, StatsSnapshot,
 };
 pub use srj_geom::{Point, PointId, Rect};
 pub use srj_server::{

@@ -1,0 +1,120 @@
+//! Regression: `DatasetStore::compact()` renumbers ids, so an
+//! [`EngineCache`] keyed on the store's epoch (generation) must never
+//! answer a post-compaction lookup with an engine built over the
+//! pre-compaction id space — and eager invalidation must drop the
+//! stale generations outright.
+
+use std::sync::Arc;
+
+use srj::{Algorithm, DatasetStore, Engine, EngineCache, Point, SampleConfig};
+
+fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| Point::new(next() * extent, next() * extent))
+        .collect()
+}
+
+fn build_from(store: &DatasetStore, l: f64) -> Engine {
+    let snap = store.snapshot();
+    Engine::build(
+        &snap.base_r,
+        &snap.base_s,
+        &SampleConfig::new(l),
+        Algorithm::Bbst,
+    )
+}
+
+/// The core regression: after a compaction bumps the store's epoch, a
+/// caller that keys its lookup with the *current* epoch can never be
+/// served the engine built over the renumbered-away id space, because
+/// the generation is part of the cache key and epochs never repeat.
+#[test]
+fn compaction_never_aliases_generations() {
+    let l = 5.0;
+    let store = DatasetStore::new(pseudo_points(80, 1, 50.0), pseudo_points(120, 2, 50.0));
+    let cache = EngineCache::new(8);
+    let dataset = 42u64;
+
+    let mut builds = 0usize;
+    let g0 = store.epoch();
+    let old = cache.get_or_build_versioned(dataset, g0, l, 1, None, || {
+        builds += 1;
+        build_from(&store, l)
+    });
+    let old_live_r = store.live_r_len();
+
+    // Mutate and compact: ids renumber, epoch bumps (monotonically —
+    // generations can never repeat, so no future lookup can collide
+    // with a stale entry).
+    for id in 0..40u32 {
+        assert!(store.delete_r(id));
+    }
+    store.insert_s(Point::new(1.0, 1.0));
+    let (_, s_changed) = store.compact();
+    assert!(s_changed);
+    let g1 = store.epoch();
+    assert!(g1 > g0, "epochs must be strictly monotonic");
+
+    // A current-generation lookup must MISS (and rebuild), never
+    // answer with the stale engine.
+    assert!(
+        cache.get_versioned(dataset, g1, l, 1, None).is_none(),
+        "stale engine served for the new generation"
+    );
+    let fresh = cache.get_or_build_versioned(dataset, g1, l, 1, None, || {
+        builds += 1;
+        build_from(&store, l)
+    });
+    assert_eq!(builds, 2, "the new generation must rebuild");
+
+    // The two engines really cover different id spaces: the stale one
+    // can emit r ids ≥ the compacted live size; the fresh one cannot.
+    let live_r = store.live_r_len();
+    assert!(live_r < old_live_r);
+    let mut h = fresh.handle_seeded(7);
+    for _ in 0..2_000 {
+        let p = h.sample_one().unwrap();
+        assert!(
+            (p.r as usize) < live_r,
+            "fresh engine emitted a renumbered-away id {}",
+            p.r
+        );
+    }
+    drop(old);
+
+    // Eager invalidation drops every generation of the dataset.
+    assert_eq!(cache.invalidate_dataset(dataset), 2);
+    assert!(cache.get_versioned(dataset, g0, l, 1, None).is_none());
+    assert!(cache.get_versioned(dataset, g1, l, 1, None).is_none());
+}
+
+/// Same guarantee through incremental (cell-patch) compaction: the
+/// epoch bumps there too, so patched epochs get their own generation
+/// keys and the pre-patch engine is unreachable for current lookups.
+#[test]
+fn incremental_compaction_bumps_the_generation_too() {
+    let l = 4.0;
+    let store = Arc::new(DatasetStore::new(
+        pseudo_points(40, 11, 40.0),
+        pseudo_points(60, 12, 40.0),
+    ));
+    let cache = EngineCache::new(4);
+    let g0 = store.epoch();
+    cache.get_or_build_versioned(7, g0, l, 1, None, || build_from(&store, l));
+
+    store.delete_s(3);
+    let (snap, patch) = store.compact_incremental();
+    assert!(patch.s_changed());
+    assert!(snap.epoch > g0);
+    assert!(
+        cache.get_versioned(7, snap.epoch, l, 1, None).is_none(),
+        "patched epoch must not be answered by the pre-patch engine"
+    );
+}

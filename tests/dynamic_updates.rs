@@ -98,15 +98,18 @@ fn uniform_with_pending_deltas_and_after_epoch_swap() {
         let seed = 1000 + i as u64 * 10;
         let r = pseudo_points(60, seed, 50.0);
         let s = pseudo_points(80, seed + 1, 50.0);
-        // Threshold high enough that the interleaved batches below stay
-        // pending (overlay-served) until we force the swap.
+        // Thresholds high enough that the interleaved batches below
+        // stay pending (overlay-served) until we force the swap — the
+        // tombstone-only trigger would otherwise fire on the delete
+        // batches.
         let engine = EpochEngine::new(
             r,
             s,
             &cfg,
             EpochConfig::default()
                 .with_algorithm(algo)
-                .with_rebuild_fraction(0.9),
+                .with_rebuild_fraction(0.9)
+                .with_tombstone_rebuild_fraction(0.9),
         );
 
         // Interleaved insert/delete batches on both sides.
