@@ -21,10 +21,13 @@
 //! `base_len + i`, and deletes tombstone ids without reuse.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 use srj_core::DeltaSet;
 use srj_geom::{Point, PointId};
+use srj_obs::journal::{event, EventKind};
 
 /// One epoch's consistent view of a [`DatasetStore`]: the base arrays
 /// (`Arc`-shared, never copied) plus a clone of the pending delta.
@@ -166,7 +169,14 @@ impl StoreInner {
 /// threshold, planner feedback) on top.
 pub struct DatasetStore {
     inner: RwLock<StoreInner>,
+    /// Observability label: the registered dataset id this store
+    /// serves, carried on every lifecycle event it (and the engines
+    /// over it) emits. `u64::MAX` = unlabelled.
+    obs_label: AtomicU64,
 }
+
+/// Sentinel for "no observability label set".
+const NO_LABEL: u64 = u64::MAX;
 
 impl DatasetStore {
     /// A store whose first epoch's base snapshot is `(r, s)`.
@@ -181,6 +191,23 @@ impl DatasetStore {
                 epoch: 0,
                 version: 0,
             }),
+            obs_label: AtomicU64::new(NO_LABEL),
+        }
+    }
+
+    /// Labels this store with the dataset id it serves; lifecycle
+    /// events emitted for the store (compactions, epoch swaps of
+    /// engines over it) carry the label so the journal can be
+    /// filtered per dataset. `u64::MAX` is reserved as "unlabelled".
+    pub fn set_obs_label(&self, dataset: u64) {
+        self.obs_label.store(dataset, Ordering::Relaxed);
+    }
+
+    /// The observability label, if one was set.
+    pub fn obs_label(&self) -> Option<u64> {
+        match self.obs_label.load(Ordering::Relaxed) {
+            NO_LABEL => None,
+            d => Some(d),
         }
     }
 
@@ -397,6 +424,7 @@ impl DatasetStore {
     /// from, and whether `S` changed (an unchanged `S` lets the rebuild
     /// reuse the previous epoch's `Arc`-shared `S`-side structures).
     pub fn compact(&self) -> (DatasetSnapshot, bool) {
+        let t0 = Instant::now();
         let mut inner = self.write();
         if inner.delta.is_empty() && inner.s_dead.is_empty() {
             return (inner.snapshot(), false);
@@ -433,7 +461,15 @@ impl DatasetStore {
         inner.delta = DeltaSet::for_base(inner.base_r.len(), inner.base_s.len());
         inner.epoch += 1;
         inner.version += 1;
-        (inner.snapshot(), s_changed)
+        let result = (inner.snapshot(), s_changed);
+        let epoch = inner.epoch;
+        drop(inner);
+        event(EventKind::Compaction)
+            .dataset(self.obs_label())
+            .epoch(epoch)
+            .duration_ns(t0.elapsed().as_nanos() as u64)
+            .emit();
+        result
     }
 
     /// Folds the pending delta **without renumbering `S`**: the
@@ -450,6 +486,7 @@ impl DatasetStore {
     /// Bumps the epoch (ids of `R` renumber; `S` ids survive). No-op
     /// when nothing is pending.
     pub fn compact_incremental(&self) -> (DatasetSnapshot, SPatchDelta) {
+        let t0 = Instant::now();
         let mut inner = self.write();
         let prev_base_s = Arc::clone(&inner.base_s);
         if inner.delta.is_empty() {
@@ -486,7 +523,15 @@ impl DatasetStore {
             inserted: s_inserted,
             deleted: s_deleted,
         };
-        (inner.snapshot(), patch)
+        let result = (inner.snapshot(), patch);
+        let epoch = inner.epoch;
+        drop(inner);
+        event(EventKind::Compaction)
+            .dataset(self.obs_label())
+            .epoch(epoch)
+            .duration_ns(t0.elapsed().as_nanos() as u64)
+            .emit();
+        result
     }
 
     /// Live `R` fold: base survivors in id order, then live inserts.

@@ -766,6 +766,7 @@ impl SamplerHandle {
 
     /// Draws one uniform join sample.
     pub fn sample_one(&mut self) -> Result<JoinPair, SampleError> {
+        srj_obs::trace::event("engine_query", "sample_one");
         let before = self.cursor.report().iterations;
         let t = Instant::now();
         let out = self.cursor.as_sampler().sample_one(&mut self.rng);
@@ -780,6 +781,7 @@ impl SamplerHandle {
 
     /// Draws `t` uniform join samples with replacement.
     pub fn sample(&mut self, t: usize) -> Result<Vec<JoinPair>, SampleError> {
+        srj_obs::trace::event("engine_query", "sample_batch");
         let before = self.cursor.report().iterations;
         let start = Instant::now();
         let out = self.cursor.as_sampler().sample(t, &mut self.rng);
@@ -869,6 +871,7 @@ impl HandleStream<'_> {
     }
 
     fn flush_stats(&mut self) {
+        srj_obs::trace::event("draw_loop", "stats_flush");
         if self.batch_samples > 0 {
             self.handle.shared.stats.record_query(
                 self.batch_samples,

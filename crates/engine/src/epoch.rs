@@ -64,6 +64,7 @@ use std::time::{Duration, Instant};
 
 use srj_core::{OverlaySupport, SampleConfig};
 use srj_geom::{Point, PointId};
+use srj_obs::journal::{event, EventKind};
 
 use crate::dataset::{DatasetSnapshot, DatasetStore};
 use crate::planner::{self, repair_candidates, replan_for_observed};
@@ -674,6 +675,7 @@ impl EpochEngine {
     /// when a sibling engine compacted the store in between — the store
     /// fully compacts (purging dead ids) and everything rebuilds.
     fn major_swap(&self, forced: Option<Algorithm>, is_replan: bool) {
+        let t0 = Instant::now();
         let (prev_base, prev_algorithm, prev_base_s) = {
             let st = self.state.read().expect("epoch state poisoned");
             (st.base.clone(), st.base.algorithm(), Arc::clone(&st.base_s))
@@ -684,19 +686,32 @@ impl EpochEngine {
             return;
         }
         // Full path: purge dead ids, renumber, rebuild from scratch.
+        let mu_before = prev_base.total_weight();
         let (snap, _) = self.store.compact();
         let (engine, planned) = Self::build_base(&snap, &self.config, &self.cfg, forced);
+        let mu_after = engine.total_weight();
         self.commit_epoch(engine, &snap, planned);
         self.major_swaps.fetch_add(1, Ordering::Relaxed);
         if is_replan {
             self.replans.fetch_add(1, Ordering::Relaxed);
         }
+        event(if is_replan {
+            EventKind::Replan
+        } else {
+            EventKind::FullRebuild
+        })
+        .dataset(self.store.obs_label())
+        .epoch(snap.epoch)
+        .duration_ns(t0.elapsed().as_nanos() as u64)
+        .mu(mu_before, mu_after)
+        .emit();
     }
 
     /// The incremental half of [`EpochEngine::major_swap`]: `true` when
     /// the patch (or R-only) rebuild committed, `false` when the caller
     /// must fall back to the full path.
     fn try_patch_swap(&self, prev_base: &Engine, prev_base_s: &Arc<Vec<Point>>) -> bool {
+        let t0 = Instant::now();
         if prev_base.is_overlay() {
             return false;
         }
@@ -756,12 +771,22 @@ impl EpochEngine {
         let Some((engine, patch_report)) = built else {
             return false;
         };
+        let mu_before = prev_base.total_weight();
+        let mu_after = engine.total_weight();
+        let cells_rebuilt = patch_report.as_ref().map_or(0, |rep| rep.cells_rebuilt);
         self.commit_epoch(engine, &snap, None);
         if let Some(rep) = patch_report {
             self.patch_swaps.fetch_add(1, Ordering::Relaxed);
             self.cells_patched
                 .fetch_add(rep.cells_rebuilt as u64, Ordering::Relaxed);
         }
+        event(EventKind::CellPatch)
+            .dataset(self.store.obs_label())
+            .epoch(snap.epoch)
+            .dirty_cells(cells_rebuilt as u64)
+            .duration_ns(t0.elapsed().as_nanos() as u64)
+            .mu(mu_before, mu_after)
+            .emit();
         true
     }
 
@@ -770,6 +795,7 @@ impl EpochEngine {
     /// epoch, fresh observation window). A fruitless attempt retires
     /// the repair rung for this epoch so the ladder can escalate.
     fn repair_swap(&self, slots: &[u32]) {
+        let t0 = Instant::now();
         let current = self
             .state
             .read()
@@ -778,8 +804,11 @@ impl EpochEngine {
             .clone();
         match current.repair_cells(slots) {
             Some(engine) => {
+                let mu_before = current.total_weight();
+                let mu_after = engine.total_weight();
                 let cells = engine.cell_count();
                 let mut st = self.state.write().expect("epoch state poisoned");
+                let built_epoch = st.built_epoch;
                 st.base = engine.clone();
                 st.current = engine;
                 st.support = None;
@@ -791,6 +820,13 @@ impl EpochEngine {
                 st.acc_cell_rejections = vec![0; cells];
                 drop(st);
                 self.repairs.fetch_add(1, Ordering::Relaxed);
+                event(EventKind::Repair)
+                    .dataset(self.store.obs_label())
+                    .epoch(built_epoch)
+                    .dirty_cells(slots.len() as u64)
+                    .duration_ns(t0.elapsed().as_nanos() as u64)
+                    .mu(mu_before, mu_after)
+                    .emit();
             }
             None => {
                 // Nothing to tighten (wrong family, or all named cells
@@ -806,6 +842,7 @@ impl EpochEngine {
     /// Minor swap: a fresh `O(|delta|)` overlay snapshot over the
     /// epoch's unchanged base build.
     fn minor_swap(&self) {
+        let t0 = Instant::now();
         let snap = self.store.snapshot();
         let (base, support, built_epoch) = {
             let st = self.state.read().expect("epoch state poisoned");
@@ -843,11 +880,19 @@ impl EpochEngine {
                 }
             }
         }
+        let mu_before = st.current.total_weight();
+        let mu_after = engine.total_weight();
         st.current = engine;
         st.support = Some(support);
         st.built_version = snap.version;
         drop(st);
         self.minor_swaps.fetch_add(1, Ordering::Relaxed);
+        event(EventKind::MinorSwap)
+            .dataset(self.store.obs_label())
+            .epoch(snap.epoch)
+            .duration_ns(t0.elapsed().as_nanos() as u64)
+            .mu(mu_before, mu_after)
+            .emit();
     }
 }
 

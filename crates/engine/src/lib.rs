@@ -390,7 +390,7 @@ mod tests {
         let snap = engine.stats();
         assert_eq!(snap.samples, 300);
         assert_eq!(snap.iterations, rep.iterations);
-        let agg = snap.rejection_rate().unwrap();
+        let agg = snap.rejection_rate();
         assert!((agg - rate).abs() < 1e-12);
 
         // a second handle's iterations add on top
@@ -405,7 +405,7 @@ mod tests {
         let mut hk = kds.handle_seeded(5);
         hk.sample(200).unwrap();
         assert_eq!(hk.rejection_rate(), Some(1.0));
-        assert_eq!(kds.stats().rejection_rate(), Some(1.0));
+        assert_eq!(kds.stats().rejection_rate(), 1.0);
     }
 
     #[test]

@@ -3,71 +3,49 @@
 //! Every handle records each query (one `sample_one` or one batched
 //! `sample(t)` call) into the engine's shared [`EngineStats`]:
 //! a query counter, a sample counter, an error counter, and a
-//! log₂-bucketed latency histogram. Everything is plain relaxed atomics
-//! — recording is a handful of `fetch_add`s, so the serving hot path
-//! never takes a lock — and quantiles are answered from the histogram
-//! (bucket-resolution accurate, i.e. within a factor of 2, which is the
-//! standard trade-off for serving-side p99 tracking).
+//! log₂-bucketed latency histogram. The primitives are the
+//! [`srj_obs`] metrics cells — plain relaxed atomics, so recording is
+//! a handful of `fetch_add`s and the serving hot path never takes a
+//! lock — and quantiles are answered from the histogram
+//! (bucket-resolution accurate, i.e. within a factor of 2, which is
+//! the standard trade-off for serving-side p99 tracking).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Number of log₂ latency buckets: bucket `i` holds latencies in
-/// `[2^i, 2^(i+1))` nanoseconds; bucket 63 is the overflow bucket.
-const BUCKETS: usize = 64;
+use srj_obs::{Counter, Histogram};
 
 /// Shared, lock-free statistics aggregated across every handle of an
 /// engine.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct EngineStats {
-    queries: AtomicU64,
-    samples: AtomicU64,
-    iterations: AtomicU64,
-    errors: AtomicU64,
-    latency_ns_total: AtomicU64,
-    latency_buckets: [AtomicU64; BUCKETS],
-}
-
-impl Default for EngineStats {
-    fn default() -> Self {
-        Self::new()
-    }
+    queries: Counter,
+    samples: Counter,
+    iterations: Counter,
+    errors: Counter,
+    latency: Histogram,
 }
 
 impl EngineStats {
     /// Fresh zeroed statistics.
     pub fn new() -> Self {
-        EngineStats {
-            queries: AtomicU64::new(0),
-            samples: AtomicU64::new(0),
-            iterations: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            latency_ns_total: AtomicU64::new(0),
-            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
+        Self::default()
     }
 
     /// Records one query that produced `samples` accepted samples in
     /// `iterations` sampling-loop iterations (`≥ samples`; the excess
     /// is rejections) taking `latency`.
     pub fn record_query(&self, samples: u64, iterations: u64, latency: Duration) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        self.samples.fetch_add(samples, Ordering::Relaxed);
-        self.iterations.fetch_add(iterations, Ordering::Relaxed);
-        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
-        let bucket = if ns == 0 {
-            0
-        } else {
-            63 - ns.leading_zeros() as usize
-        };
-        self.latency_buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.queries.inc();
+        self.samples.add(samples);
+        self.iterations.add(iterations);
+        self.latency.observe_duration(latency);
     }
 
     /// Records one failed query (latency and any iterations spent are
     /// still charged).
     pub fn record_error(&self, iterations: u64, latency: Duration) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
         self.record_query(0, iterations, latency);
     }
 
@@ -76,53 +54,28 @@ impl EngineStats {
     /// check (a full [`EngineStats::snapshot`] walks the latency
     /// histogram and computes quantiles).
     pub fn sample_counters(&self) -> (u64, u64) {
-        (
-            self.samples.load(Ordering::Relaxed),
-            self.iterations.load(Ordering::Relaxed),
-        )
+        (self.samples.get(), self.iterations.get())
+    }
+
+    /// A shared handle to the latency histogram — for export layers
+    /// (the server's `METRICS` frame) that want the raw buckets
+    /// without re-binning.
+    pub fn latency_histogram(&self) -> Histogram {
+        self.latency.clone()
     }
 
     /// A point-in-time copy of every counter and derived quantile.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let buckets: Vec<u64> = self
-            .latency_buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let queries = self.queries.load(Ordering::Relaxed);
-        let total_ns = self.latency_ns_total.load(Ordering::Relaxed);
         StatsSnapshot {
-            queries,
-            samples: self.samples.load(Ordering::Relaxed),
-            iterations: self.iterations.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            mean_latency: Duration::from_nanos(total_ns.checked_div(queries).unwrap_or(0)),
-            p50_latency: quantile(&buckets, 0.50),
-            p99_latency: quantile(&buckets, 0.99),
+            queries: self.queries.get(),
+            samples: self.samples.get(),
+            iterations: self.iterations.get(),
+            errors: self.errors.get(),
+            mean_latency: Duration::from_nanos(self.latency.mean()),
+            p50_latency: Duration::from_nanos(self.latency.quantile(0.50)),
+            p99_latency: Duration::from_nanos(self.latency.quantile(0.99)),
         }
     }
-}
-
-/// Bucket-resolution quantile: the geometric midpoint of the bucket
-/// containing the q-th ranked observation.
-fn quantile(buckets: &[u64], q: f64) -> Duration {
-    let total: u64 = buckets.iter().sum();
-    if total == 0 {
-        return Duration::ZERO;
-    }
-    // Rank so that quantile q covers the slowest (1−q) fraction: with
-    // 100 observations, p99 is the 100th-ranked (max), p50 the 51st.
-    let rank = ((total as f64 * q).floor() as u64 + 1).clamp(1, total);
-    let mut seen = 0u64;
-    for (i, &count) in buckets.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            // Bucket i spans [2^i, 2^(i+1)); report its geometric mean.
-            let lo = 1u64 << i;
-            return Duration::from_nanos((lo as f64 * std::f64::consts::SQRT_2) as u64);
-        }
-    }
-    Duration::ZERO
 }
 
 /// Shared, lock-free per-`S`-cell rejection counters — the
@@ -200,12 +153,18 @@ pub struct StatsSnapshot {
 impl StatsSnapshot {
     /// Observed rejection overhead across every handle:
     /// `iterations / samples` — the serving-time measurement of the
-    /// planner's `Σµ/|J|` estimate (`1.0` = no rejections). `None`
-    /// before the first accepted sample. This is the feedback signal a
-    /// later PR will use to re-plan when the build-time estimate was
-    /// wrong.
-    pub fn rejection_rate(&self) -> Option<f64> {
-        (self.samples > 0).then(|| self.iterations as f64 / self.samples as f64)
+    /// planner's `Σµ/|J|` estimate (`1.0` = no rejections). `0.0` on
+    /// a freshly built engine (no division by a zero sample count —
+    /// never NaN). Re-plan triggers that must distinguish "no signal
+    /// yet" from a real rate use
+    /// [`crate::EpochEngine::observed_rejection_rate`], which stays
+    /// `Option`-valued.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.samples as f64
+        }
     }
 }
 
@@ -230,16 +189,31 @@ mod tests {
     #[test]
     fn rejection_rate_is_iterations_over_samples() {
         let stats = EngineStats::new();
-        assert_eq!(stats.snapshot().rejection_rate(), None);
         // 100 accepted samples over 250 iterations ⇒ overhead 2.5
         stats.record_query(40, 100, Duration::from_micros(5));
         stats.record_query(60, 150, Duration::from_micros(5));
-        let rate = stats.snapshot().rejection_rate().unwrap();
+        let rate = stats.snapshot().rejection_rate();
         assert!((rate - 2.5).abs() < 1e-12, "rate = {rate}");
         // an error that burned iterations still counts toward overhead
         stats.record_error(50, Duration::from_micros(1));
-        let rate = stats.snapshot().rejection_rate().unwrap();
+        let rate = stats.snapshot().rejection_rate();
         assert!((rate - 3.0).abs() < 1e-12, "rate = {rate}");
+    }
+
+    #[test]
+    fn zero_sample_rejection_rate_is_zero_not_nan() {
+        // Regression: a freshly built engine has samples == 0; the
+        // rate must come back exactly 0.0, not NaN from 0/0.
+        let snap = EngineStats::new().snapshot();
+        assert_eq!(snap.samples, 0);
+        let rate = snap.rejection_rate();
+        assert!(!rate.is_nan());
+        assert_eq!(rate, 0.0);
+        // Iterations with zero samples (every query errored before
+        // accepting) must also stay finite.
+        let stats = EngineStats::new();
+        stats.record_error(25, Duration::from_micros(1));
+        assert_eq!(stats.snapshot().rejection_rate(), 0.0);
     }
 
     #[test]

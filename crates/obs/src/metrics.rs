@@ -1,0 +1,498 @@
+//! A metrics registry: named counters, gauges, and log₂-bucketed
+//! histograms behind relaxed atomics.
+//!
+//! The intended shape: the embedding layer registers each metric
+//! **once** and caches the returned typed handle ([`Counter`],
+//! [`Gauge`], [`Histogram`]) at the call site — handles are `Arc`
+//! clones, so recording is a single relaxed `fetch_add` with no lock
+//! and no name lookup on the hot path. The [`Registry`] itself is a
+//! value (not a global): the server owns one, tests own their own,
+//! and nothing leaks between them.
+//!
+//! [`Registry::render`] produces the Prometheus text exposition
+//! format, which is what the `METRICS` wire frame and `srj-top`
+//! consume.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of log₂ histogram buckets: bucket `i` holds observations in
+/// `[2^i, 2^(i+1))`; bucket 63 is the overflow bucket. Matches the
+/// engine's historical latency histogram resolution.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for an observation: `floor(log2(v))`, clamped.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (63 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// A monotone counter. `Clone` shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh standalone counter (usable outside any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — for mirroring an externally maintained
+    /// monotone counter (e.g. an engine-internal atomic) into the
+    /// registry at scrape time. Not for hot-path use.
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An `f64` gauge (stored as bits). `Clone` shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh standalone gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log₂-bucketed histogram. `Clone` shares the underlying cells.
+///
+/// Quantiles are bucket-resolution accurate (within a factor of 2) —
+/// the standard trade-off for lock-free serving-side p99 tracking.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh standalone histogram (usable outside any registry).
+    pub fn new() -> Self {
+        Histogram(Arc::new(HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation (three relaxed adds).
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Bucket-resolution quantile: the geometric midpoint of the
+    /// bucket containing the q-th ranked observation (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_of(&self.bucket_counts(), q)
+    }
+}
+
+/// Bucket-resolution quantile over raw log₂ bucket counts. The rank
+/// covers the slowest `(1−q)` fraction: with 100 observations, p99 is
+/// the 100th-ranked (max), p50 the 51st.
+pub fn quantile_of(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64 * q).floor() as u64 + 1).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            // Bucket i spans [2^i, 2^(i+1)); report its geometric mean.
+            let lo = 1u64 << i.min(63);
+            return (lo as f64 * std::f64::consts::SQRT_2) as u64;
+        }
+    }
+    0
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Family {
+    kind: Kind,
+    // Keyed by the rendered label string (`dataset="7"`), so render
+    // output is deterministic and get-or-create is one BTreeMap probe.
+    entries: BTreeMap<String, Metric>,
+}
+
+/// A registry of named metrics with Prometheus text exposition.
+///
+/// Registration (`counter` / `gauge` / `histogram`) is get-or-create:
+/// the same `(name, labels)` always yields a handle to the same
+/// underlying cells. Registering one name with two different metric
+/// kinds is a programming error and panics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    parts.sort();
+    parts.join(",")
+}
+
+impl Registry {
+    /// A fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_create(&self, name: &str, labels: &[(&str, &str)], kind: Kind) -> Metric {
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            entries: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} registered as {} and {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        family
+            .entries
+            .entry(label_key(labels))
+            .or_insert_with(|| match kind {
+                Kind::Counter => Metric::Counter(Counter::new()),
+                Kind::Gauge => Metric::Gauge(Gauge::new()),
+                Kind::Histogram => Metric::Histogram(Histogram::new()),
+            })
+            .clone()
+    }
+
+    /// Get-or-create a counter for `(name, labels)`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_create(name, labels, Kind::Counter) {
+            Metric::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get-or-create a gauge for `(name, labels)`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_create(name, labels, Kind::Gauge) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get-or-create a histogram for `(name, labels)`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_create(name, labels, Kind::Histogram) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Renders the Prometheus text exposition format: a `# TYPE` line
+    /// per family, one sample line per metric, histograms expanded
+    /// into cumulative `_bucket{le=...}` lines (up to the highest
+    /// non-empty bucket, then `+Inf`) plus `_sum` and `_count`.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap();
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(family.kind.as_str());
+            out.push('\n');
+            for (labels, metric) in family.entries.iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        sample_line(&mut out, name, "", labels, None, &c.get().to_string());
+                    }
+                    Metric::Gauge(g) => {
+                        sample_line(&mut out, name, "", labels, None, &format!("{}", g.get()));
+                    }
+                    Metric::Histogram(h) => {
+                        let buckets = h.bucket_counts();
+                        let last = buckets.iter().rposition(|&c| c != 0);
+                        let mut cumulative = 0u64;
+                        if let Some(last) = last {
+                            for (i, &count) in buckets.iter().enumerate().take(last + 1) {
+                                cumulative += count;
+                                // Bucket i upper bound is 2^(i+1); the
+                                // overflow bucket folds into +Inf below.
+                                if i >= BUCKETS - 1 {
+                                    break;
+                                }
+                                let le = (1u128 << (i + 1)).to_string();
+                                sample_line(
+                                    &mut out,
+                                    name,
+                                    "_bucket",
+                                    labels,
+                                    Some(&le),
+                                    &cumulative.to_string(),
+                                );
+                            }
+                        }
+                        let count = h.count();
+                        sample_line(
+                            &mut out,
+                            name,
+                            "_bucket",
+                            labels,
+                            Some("+Inf"),
+                            &count.to_string(),
+                        );
+                        sample_line(&mut out, name, "_sum", labels, None, &h.sum().to_string());
+                        sample_line(&mut out, name, "_count", labels, None, &count.to_string());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn sample_line(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &str,
+    le: Option<&str>,
+    value: &str,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    let le_part = le.map(|le| format!("le=\"{le}\""));
+    match (labels.is_empty(), le_part) {
+        (true, None) => {}
+        (true, Some(le)) => {
+            out.push('{');
+            out.push_str(&le);
+            out.push('}');
+        }
+        (false, None) => {
+            out.push('{');
+            out.push_str(labels);
+            out.push('}');
+        }
+        (false, Some(le)) => {
+            out.push('{');
+            out.push_str(labels);
+            out.push(',');
+            out.push_str(&le);
+            out.push('}');
+        }
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_cells_by_name_and_labels() {
+        let reg = Registry::new();
+        let a = reg.counter("srj_requests_total", &[("dataset", "7")]);
+        let b = reg.counter("srj_requests_total", &[("dataset", "7")]);
+        let other = reg.counter("srj_requests_total", &[("dataset", "8")]);
+        a.inc();
+        b.add(2);
+        other.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(other.get(), 1);
+    }
+
+    #[test]
+    fn gauge_roundtrips_f64() {
+        let reg = Registry::new();
+        let g = reg.gauge("srj_mu_total", &[]);
+        g.set(1234.5);
+        assert_eq!(g.get(), 1234.5);
+    }
+
+    #[test]
+    fn histogram_quantiles_match_engine_semantics() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(1_000); // ~1µs
+        }
+        h.observe(1_000_000); // ~1ms
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 99 * 1_000 + 1_000_000);
+        // p50 sits in the microsecond bucket (within 2x).
+        assert!(h.quantile(0.50) < 4_000, "p50 = {}", h.quantile(0.50));
+        // p99 is the max-ranked observation here: the millisecond bucket.
+        assert!(h.quantile(0.99) > 50 * h.quantile(0.50));
+        // empty histogram answers zero
+        assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn zero_observation_lands_in_bucket_zero() {
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        assert_eq!(h.bucket_counts()[0], 2);
+    }
+
+    #[test]
+    fn render_emits_prometheus_text() {
+        let reg = Registry::new();
+        reg.counter("srj_requests_total", &[("dataset", "7")])
+            .add(5);
+        reg.gauge("srj_rejection_rate", &[]).set(1.5);
+        let h = reg.histogram("srj_request_latency_ns", &[("dataset", "7")]);
+        h.observe(3); // bucket 1: [2,4)
+        h.observe(1000);
+        let text = reg.render();
+        assert!(text.contains("# TYPE srj_requests_total counter"), "{text}");
+        assert!(
+            text.contains("srj_requests_total{dataset=\"7\"} 5"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE srj_rejection_rate gauge"), "{text}");
+        assert!(text.contains("srj_rejection_rate 1.5"), "{text}");
+        assert!(
+            text.contains("# TYPE srj_request_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("srj_request_latency_ns_bucket{dataset=\"7\",le=\"4\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("srj_request_latency_ns_bucket{dataset=\"7\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("srj_request_latency_ns_sum{dataset=\"7\"} 1003"),
+            "{text}"
+        );
+        assert!(
+            text.contains("srj_request_latency_ns_count{dataset=\"7\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn bucket_lines_are_cumulative() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", &[]);
+        h.observe(2); // bucket 1, le 4
+        h.observe(3); // bucket 1
+        h.observe(5); // bucket 2, le 8
+        let text = reg.render();
+        assert!(text.contains("h_bucket{le=\"4\"} 2"), "{text}");
+        assert!(text.contains("h_bucket{le=\"8\"} 3"), "{text}");
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 3"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_conflict_panics() {
+        let reg = Registry::new();
+        reg.counter("srj_x", &[]);
+        reg.gauge("srj_x", &[]);
+    }
+}

@@ -27,20 +27,29 @@ use std::time::Instant;
 
 use srj_bench::{host_cores, percentile_sorted};
 use srj_geom::Point;
-use srj_server::{Algorithm, Client, RequestStatus, SampleRequest, Side};
+use srj_server::{
+    Algorithm, Client, DatasetRegistry, RequestStatus, SampleRequest, Server, ServerConfig, Side,
+};
 
 const USAGE: &str = "usage: srj-loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--t N]
                    [--dataset ID] [--l F] [--algo auto|kds|kds-rejection|bbst]
                    [--shards N] [--update-fraction F] [--update-batch N]
-                   [--delete-heavy] [--domain F] [--out PATH] [--shutdown]
+                   [--delete-heavy] [--obs-bench] [--domain F] [--out PATH]
+                   [--shutdown]
   Defaults: --addr 127.0.0.1:7878 --clients 4 --requests 8 --t 50000
             --dataset 1 --l 100 --algo auto --shards 1
             --update-fraction 0 --update-batch 256 --domain 10000
-            --out BENCH_PR3.json (BENCH_PR5.json with --delete-heavy)
+            --out BENCH_PR3.json (BENCH_PR5.json with --delete-heavy,
+            BENCH_PR6.json with --obs-bench)
   --delete-heavy: every request is preceded by a DELETE batch of S ids
                   (no inserts); asserts the served Σµ strictly shrinks
                   across the resulting epoch swap and writes the PR5
-                  bench JSON.";
+                  bench JSON.
+  --obs-bench: ignore --addr; start two identical in-process servers —
+               observability cold (tracing off) and hot (every request
+               traced) — run the same read load against both, and
+               record the throughput ratio as \"measured_ratio\" in the
+               PR6 bench JSON.";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -188,6 +197,144 @@ fn run_delete_heavy_client(
         }
     }
     out
+}
+
+/// The `--obs-bench` harness: the same read-only load, twice, against
+/// two freshly started in-process servers — one with observability
+/// cold (tracing disabled; the metrics counters still run, as they
+/// always do), one hot (`trace_sample_rate` 1.0, so *every* request
+/// records spans through the whole pipeline). The achieved
+/// samples/sec ratio is the measured end-to-end overhead of the
+/// instrumentation. Exits the process with the bench outcome.
+#[allow(clippy::too_many_arguments)]
+fn run_obs_bench(
+    clients_n: usize,
+    requests: usize,
+    t: u64,
+    l: f64,
+    algorithm: Option<Algorithm>,
+    algo_str: &str,
+    shards: u32,
+    domain: f64,
+    out_path: &str,
+) -> ! {
+    let dataset = 1u64;
+    let phase = |trace_sample_rate: f64| -> (f64, u64) {
+        // Identical dataset per phase (same generator seeds).
+        let mut gen = PointGen::new(0x0B5_BE7C4, domain);
+        let r: Vec<Point> = (0..20_000).map(|_| gen.point()).collect();
+        let s: Vec<Point> = (0..20_000).map(|_| gen.point()).collect();
+        let mut registry = DatasetRegistry::new();
+        registry.register(dataset, r, s);
+        let config = ServerConfig {
+            trace_sample_rate,
+            ..ServerConfig::default()
+        };
+        let mut server =
+            Server::start("127.0.0.1:0", registry, config).expect("bind obs-bench server");
+        let addr = server.local_addr().to_string();
+        // Warm the engine cache so neither phase times the index build.
+        if let Ok(mut c) = Client::connect(addr.as_str()) {
+            let _ = c.sample(SampleRequest {
+                req_id: 0,
+                dataset,
+                l,
+                algorithm,
+                shards,
+                t: 1,
+                seed: 1,
+            });
+        }
+        let wall_start = Instant::now();
+        let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+            let addr = &addr;
+            let handles: Vec<_> = (0..clients_n)
+                .map(|cid| {
+                    scope.spawn(move || {
+                        run_client(
+                            cid, addr, requests, t, dataset, l, algorithm, shards, 0, 1, domain,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall = wall_start.elapsed();
+        if trace_sample_rate > 0.0 {
+            // Exercise the export surfaces once while hot, so the bench
+            // also covers the scrape path end to end.
+            if let Ok(mut c) = Client::connect(addr.as_str()) {
+                if let Ok(text) = c.metrics() {
+                    assert!(
+                        text.contains("srj_requests_total"),
+                        "hot-phase METRICS exposition is missing request counters"
+                    );
+                }
+            }
+        }
+        server.shutdown();
+        let total: u64 = outcomes.iter().map(|o| o.samples).sum();
+        let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
+        if errors > 0 || total == 0 {
+            eprintln!("obs-bench phase failed: {errors} errors, {total} samples");
+            std::process::exit(1);
+        }
+        (total as f64 / wall.as_secs_f64().max(1e-9), total)
+    };
+
+    eprintln!(
+        "# obs-bench: {clients_n} clients x {requests} reqs x {t} samples, \
+         observability off vs on (trace rate 1.0)"
+    );
+    // Three alternating off/on phase pairs, best rate per side: the
+    // phases are short and the interesting signal (instrumentation
+    // cost) is a *floor* effect, so peak-vs-peak cancels the scheduler
+    // and frequency noise that dominates single-run deltas on a
+    // shared 1-core box.
+    const ROUNDS: usize = 3;
+    let mut off_rate = 0.0f64;
+    let mut on_rate = 0.0f64;
+    let mut total = 0u64;
+    for round in 0..ROUNDS {
+        let (off, n) = phase(0.0);
+        let (on, _) = phase(1.0);
+        eprintln!("# round {round}: off {off:.0} samples/s, on {on:.0} samples/s");
+        off_rate = off_rate.max(off);
+        on_rate = on_rate.max(on);
+        total = n;
+    }
+    // on/off throughput: 1.0 = free, 0.95 = 5% overhead.
+    let measured_ratio = on_rate / off_rate.max(1e-9);
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"pr\": 6,").unwrap();
+    writeln!(json, "  \"host_cores\": {},", host_cores()).unwrap();
+    writeln!(
+        json,
+        "  \"workload\": {{\"clients\": {clients_n}, \"requests_per_client\": {requests}, \
+         \"t\": {t}, \"dataset\": {dataset}, \"l\": {l}, \"algorithm\": \"{algo_str}\", \
+         \"shards\": {shards}, \"trace_sample_rate_hot\": 1.0}},"
+    )
+    .unwrap();
+    writeln!(json, "  \"total_samples_per_phase\": {total},").unwrap();
+    writeln!(json, "  \"samples_per_sec_off\": {off_rate:.0},").unwrap();
+    writeln!(json, "  \"samples_per_sec_on\": {on_rate:.0},").unwrap();
+    writeln!(
+        json,
+        "  \"overhead_pct\": {:.2},",
+        (1.0 - measured_ratio) * 100.0
+    )
+    .unwrap();
+    writeln!(json, "  \"measured_ratio\": {measured_ratio:.4}").unwrap();
+    writeln!(json, "}}").unwrap();
+    print!("{json}");
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("warning: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {out_path}");
+    std::process::exit(0);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -379,6 +526,7 @@ fn main() {
     let mut update_fraction: f64 = 0.0;
     let mut update_batch: usize = 256;
     let mut delete_heavy = false;
+    let mut obs_bench = false;
     let mut domain: f64 = 10_000.0;
     let mut out_path: Option<String> = None;
     let mut shutdown = false;
@@ -416,6 +564,10 @@ fn main() {
                 delete_heavy = true;
                 i += 1;
             }
+            "--obs-bench" => {
+                obs_bench = true;
+                i += 1;
+            }
             "--domain" => parse_flag!(domain, "--domain", "a float"),
             "--out" => out_path = Some(value(&args, &mut i, "--out")),
             "--shutdown" => {
@@ -439,13 +591,31 @@ fn main() {
     if delete_heavy && update_fraction > 0.0 {
         fail("--delete-heavy and --update-fraction are mutually exclusive");
     }
+    if obs_bench && (delete_heavy || update_fraction > 0.0) {
+        fail("--obs-bench runs a pure read workload (no updates)");
+    }
     let out_path = out_path.unwrap_or_else(|| {
-        if delete_heavy {
+        if obs_bench {
+            "BENCH_PR6.json".to_string()
+        } else if delete_heavy {
             "BENCH_PR5.json".to_string()
         } else {
             "BENCH_PR3.json".to_string()
         }
     });
+    if obs_bench {
+        run_obs_bench(
+            clients.max(1),
+            requests,
+            t,
+            l,
+            algorithm,
+            &algo_str,
+            shards,
+            domain,
+            &out_path,
+        );
+    }
     let update_batch = update_batch.max(1);
     let clients_n = clients.max(1);
     // Every k-th operation is an update ⇒ update share ≈ 1/k.

@@ -22,8 +22,14 @@ const USAGE: &str = "usage: srj-serve [--addr HOST:PORT] [--workers N] [--queue-
                  [--batch-pairs N] [--cache N]
                  [--rebuild-fraction F] [--tombstone-rebuild-fraction F]
                  [--max-patch-fraction F] [--repair-factor F] [--replan-factor F]
+                 [--trace-sample-rate F] [--log-json]
                  [--dataset ID=KIND:SCALE[:SEED]]... [--dataset-file ID=R_PATH[,S_PATH]]...
   KIND: uniform | road | poi | trajectory | taxi
+  --trace-sample-rate: fraction of SAMPLE requests recording trace
+                       spans (0 disables tracing; fetch with TRACE)
+  --log-json: print every lifecycle event (swaps, patches, repairs,
+              re-plans, compactions, backpressure parks) to stderr as
+              one JSON object per line
   Default: --addr 127.0.0.1:7878 --dataset 1=uniform:0.05";
 
 fn fail(msg: &str) -> ! {
@@ -104,6 +110,7 @@ fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = ServerConfig::default();
     let mut registry = DatasetRegistry::new();
+    let mut log_json = false;
 
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -181,6 +188,19 @@ fn main() {
                 }
                 config.epoch = config.epoch.with_repair_factor(f);
             }
+            "--trace-sample-rate" => {
+                let f: f64 = value(&args, &mut i, "--trace-sample-rate")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--trace-sample-rate takes a float"));
+                if f.is_nan() || !(0.0..=1.0).contains(&f) {
+                    fail("--trace-sample-rate must be in [0, 1]");
+                }
+                config.trace_sample_rate = f;
+            }
+            "--log-json" => {
+                log_json = true;
+                i += 1;
+            }
             "--dataset" => {
                 let spec = value(&args, &mut i, "--dataset");
                 register_generated(&mut registry, &spec);
@@ -198,6 +218,13 @@ fn main() {
     }
     if registry.is_empty() {
         register_generated(&mut registry, "1=uniform:0.05");
+    }
+    if log_json {
+        // One JSON object per line on stderr, so stdout stays pure
+        // protocol chatter ("listening on ...") for scripts.
+        srj_obs::journal::journal().add_listener(|e| {
+            eprintln!("{}", e.to_json());
+        });
     }
 
     let mut server = match Server::start(addr.as_str(), registry, config) {

@@ -1,0 +1,284 @@
+//! `srj-top` — a live terminal dashboard over a server's `METRICS`
+//! exposition.
+//!
+//! ```sh
+//! srj-top --addr 127.0.0.1:7878 --interval-ms 1000
+//! ```
+//!
+//! Polls the `METRICS` frame on an interval and renders, per dataset:
+//! request/sample throughput (rates are deltas between polls), error
+//! counts, latency p50/p99 reconstructed from the histogram buckets,
+//! the observed rejection rate, and the five maintenance-rung
+//! counters. `--once` prints a single snapshot and exits; `--raw`
+//! dumps the exposition text verbatim (what the CI smoke step greps).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use srj_server::Client;
+
+const USAGE: &str = "usage: srj-top [--addr HOST:PORT] [--interval-ms N] [--once] [--raw]
+  --once: print one snapshot and exit
+  --raw:  print the raw Prometheus exposition instead of the dashboard
+  Default: --addr 127.0.0.1:7878 --interval-ms 1000";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// One parsed exposition sample: metric name, sorted labels, value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+impl Sample {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses the Prometheus text format subset the server emits
+/// (`name{k="v",...} value`; `# TYPE` comments skipped).
+fn parse_exposition(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => continue,
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        let (name, labels) = match head.split_once('{') {
+            Some((name, rest)) => {
+                let rest = rest.trim_end_matches('}');
+                let mut labels = Vec::new();
+                for part in rest.split(',') {
+                    if let Some((k, v)) = part.split_once('=') {
+                        labels.push((k.to_string(), v.trim_matches('"').to_string()));
+                    }
+                }
+                (name.to_string(), labels)
+            }
+            None => (head.to_string(), Vec::new()),
+        };
+        out.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    out
+}
+
+/// Quantile from cumulative `_bucket{le=...}` samples of one series:
+/// the `le` upper bound of the first bucket whose cumulative count
+/// reaches the q-th rank.
+fn bucket_quantile(buckets: &[(f64, f64)], q: f64) -> f64 {
+    let total = buckets
+        .iter()
+        .filter(|(le, _)| le.is_infinite())
+        .map(|(_, c)| *c)
+        .next()
+        .unwrap_or(0.0);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let rank = (total * q).floor() + 1.0;
+    let mut sorted: Vec<(f64, f64)> = buckets.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    for (le, cumulative) in sorted {
+        if cumulative >= rank.min(total) {
+            return le;
+        }
+    }
+    0.0
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "inf".to_string()
+    } else if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Everything the dashboard shows for one dataset, pulled out of one
+/// exposition snapshot.
+#[derive(Default, Clone)]
+struct DatasetRow {
+    requests: f64,
+    samples: f64,
+    errors: f64,
+    rejection_rate: f64,
+    mu_total: f64,
+    epoch: f64,
+    rungs: BTreeMap<String, f64>,
+    latency_buckets: Vec<(f64, f64)>,
+}
+
+fn snapshot_rows(samples: &[Sample]) -> BTreeMap<u64, DatasetRow> {
+    let mut rows: BTreeMap<u64, DatasetRow> = BTreeMap::new();
+    for s in samples {
+        let Some(dataset) = s.label("dataset").and_then(|d| d.parse::<u64>().ok()) else {
+            continue;
+        };
+        let row = rows.entry(dataset).or_default();
+        match s.name.as_str() {
+            "srj_requests_total" => row.requests = s.value,
+            "srj_samples_total" => row.samples = s.value,
+            "srj_request_errors_total" => row.errors = s.value,
+            "srj_rejection_rate" => row.rejection_rate = s.value,
+            "srj_mu_total" => row.mu_total = s.value,
+            "srj_epoch" => row.epoch = s.value,
+            "srj_maintenance_total" => {
+                if let Some(rung) = s.label("rung") {
+                    row.rungs.insert(rung.to_string(), s.value);
+                }
+            }
+            "srj_request_latency_ns_bucket" => {
+                let le = match s.label("le") {
+                    Some("+Inf") => f64::INFINITY,
+                    Some(le) => le.parse().unwrap_or(f64::INFINITY),
+                    None => continue,
+                };
+                row.latency_buckets.push((le, s.value));
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+fn render(
+    rows: &BTreeMap<u64, DatasetRow>,
+    prev: &BTreeMap<u64, DatasetRow>,
+    dt: Duration,
+    clear: bool,
+) {
+    if clear {
+        // ANSI clear + home, so the dashboard repaints in place.
+        print!("\x1b[2J\x1b[H");
+    }
+    println!(
+        "{:>8} {:>9} {:>11} {:>7} {:>9} {:>9} {:>7} {:>32}",
+        "dataset", "req/s", "samples/s", "errors", "p50", "p99", "rej", "rungs m/c/f/r/p"
+    );
+    let dt_s = dt.as_secs_f64().max(1e-9);
+    for (id, row) in rows {
+        let prev_row = prev.get(id).cloned().unwrap_or_default();
+        let req_rate = (row.requests - prev_row.requests).max(0.0) / dt_s;
+        let sample_rate = (row.samples - prev_row.samples).max(0.0) / dt_s;
+        let p50 = bucket_quantile(&row.latency_buckets, 0.50);
+        let p99 = bucket_quantile(&row.latency_buckets, 0.99);
+        let rung = |name: &str| row.rungs.get(name).copied().unwrap_or(0.0) as u64;
+        println!(
+            "{:>8} {:>9.1} {:>11.0} {:>7.0} {:>9} {:>9} {:>7.2} {:>32}",
+            id,
+            req_rate,
+            sample_rate,
+            row.errors,
+            fmt_ns(p50),
+            fmt_ns(p99),
+            row.rejection_rate,
+            format!(
+                "{}/{}/{}/{}/{}",
+                rung("minor_swap"),
+                rung("cell_patch"),
+                rung("full_rebuild"),
+                rung("repair"),
+                rung("replan")
+            ),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut interval = Duration::from_millis(1000);
+    let mut once = false;
+    let mut raw = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                let Some(v) = args.get(i + 1) else {
+                    fail("--addr requires a value");
+                };
+                addr = v.clone();
+                i += 2;
+            }
+            "--interval-ms" => {
+                let Some(v) = args.get(i + 1) else {
+                    fail("--interval-ms requires a value");
+                };
+                let ms: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--interval-ms takes an integer"));
+                interval = Duration::from_millis(ms.max(1));
+                i += 2;
+            }
+            "--once" => {
+                once = true;
+                i += 1;
+            }
+            "--raw" => {
+                raw = true;
+                i += 1;
+            }
+            "--help" | "-h" => fail("srj-top"),
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut prev: BTreeMap<u64, DatasetRow> = BTreeMap::new();
+    let mut last_poll = Instant::now();
+    loop {
+        let text = match client.metrics() {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("metrics fetch failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if raw {
+            print!("{text}");
+        } else {
+            let rows = snapshot_rows(&parse_exposition(&text));
+            let dt = last_poll.elapsed().max(interval);
+            render(&rows, &prev, dt, !once);
+            prev = rows;
+        }
+        if once {
+            return;
+        }
+        last_poll = Instant::now();
+        std::thread::sleep(interval);
+    }
+}

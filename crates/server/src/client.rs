@@ -14,7 +14,7 @@ use srj_geom::Point;
 
 use crate::protocol::{
     encode_request, read_frame, write_frame, EpochInfo, ProtocolError, Request, RequestStats,
-    RequestStatus, Response, SampleRequest, ServerStatsFrame, Side,
+    RequestStatus, Response, SampleRequest, ServerStatsFrame, Side, TraceSpan,
 };
 
 /// Client-side failure modes.
@@ -232,6 +232,35 @@ impl Client {
         match self.read_response()? {
             Response::ServerStats(frame) => Ok(frame),
             _ => Err(ClientError::Unexpected("expected a stats frame")),
+        }
+    }
+
+    /// Fetches the server's metrics in the Prometheus text exposition
+    /// format (the `METRICS` frame; what `srj-top` polls).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        write_frame(&mut self.stream, &encode_request(&Request::Metrics))?;
+        match self.read_response()? {
+            Response::Metrics { text } => Ok(text),
+            _ => Err(ClientError::Unexpected("expected a metrics frame")),
+        }
+    }
+
+    /// Fetches the still-buffered spans of a trace, oldest first. Feed
+    /// it the nonzero [`RequestStats::trace_id`] a traced `SAMPLE`'s
+    /// `DONE` frame carried; an untraced or already-overwritten trace
+    /// comes back empty.
+    pub fn trace(&mut self, trace_id: u64) -> Result<Vec<TraceSpan>, ClientError> {
+        write_frame(
+            &mut self.stream,
+            &encode_request(&Request::Trace { trace_id }),
+        )?;
+        match self.read_response()? {
+            Response::Trace {
+                trace_id: tid,
+                spans,
+            } if tid == trace_id => Ok(spans),
+            Response::Trace { .. } => Err(ClientError::Unexpected("trace for a different id")),
+            _ => Err(ClientError::Unexpected("expected a trace frame")),
         }
     }
 

@@ -43,7 +43,7 @@ mod server;
 pub use client::{Client, ClientError, SampleOutcome, UpdateOutcome};
 pub use protocol::{
     EpochInfo, ProtocolError, Request, RequestStats, RequestStatus, Response, SampleRequest,
-    ServerStatsFrame, Side, UpdateStats,
+    ServerStatsFrame, Side, TraceSpan, UpdateStats,
 };
 pub use server::{DatasetRegistry, Server, ServerConfig};
 /// Re-exported so protocol users don't need a direct `srj-engine` dep.
@@ -53,6 +53,14 @@ pub use srj_engine::Algorithm;
 mod tests {
     use super::*;
     use srj_geom::Point;
+
+    /// `Server::start` applies its `trace_sample_rate` process-wide,
+    /// so tests that start servers must not interleave.
+    static LOOPBACK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        LOOPBACK_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     fn pseudo_points(n: usize, seed: u64, extent: f64) -> Vec<Point> {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -69,6 +77,7 @@ mod tests {
 
     #[test]
     fn end_to_end_sample_over_loopback() {
+        let _serial = serial();
         let r = pseudo_points(200, 1, 50.0);
         let s = pseudo_points(300, 2, 50.0);
         let mut registry = DatasetRegistry::new();
@@ -115,6 +124,89 @@ mod tests {
         assert_eq!(stats.queries, 2);
         assert_eq!(stats.samples, 2_000);
         assert_eq!(stats.cache_misses, 1, "second request must hit the cache");
+        server.shutdown();
+    }
+
+    /// The PR6 acceptance loop: a live server's `METRICS` exposition
+    /// carries the per-dataset request, latency, rejection, and all
+    /// five maintenance-rung series, and a traced `SAMPLE` yields at
+    /// least four distinct spans through the `TRACE` frame.
+    #[test]
+    fn metrics_and_trace_over_loopback() {
+        let _serial = serial();
+        let r = pseudo_points(200, 3, 50.0);
+        let s = pseudo_points(300, 4, 50.0);
+        let mut registry = DatasetRegistry::new();
+        registry.register(9, r, s);
+        let config = ServerConfig {
+            trace_sample_rate: 1.0,
+            ..ServerConfig::default()
+        };
+        let mut server = Server::start("127.0.0.1:0", registry, config).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        let outcome = client
+            .sample(SampleRequest {
+                req_id: 0,
+                dataset: 9,
+                l: 5.0,
+                algorithm: None,
+                shards: 1,
+                t: 500,
+                seed: 7,
+            })
+            .unwrap();
+        assert_eq!(outcome.status, RequestStatus::Ok);
+        assert_ne!(
+            outcome.stats.trace_id, 0,
+            "rate 1.0 must trace every request"
+        );
+
+        let text = client.metrics().unwrap();
+        for required in [
+            "srj_requests_total{dataset=\"9\"} 1",
+            "srj_samples_total{dataset=\"9\"} 500",
+            "# TYPE srj_request_latency_ns histogram",
+            "srj_request_latency_ns_count{dataset=\"9\"} 1",
+            "srj_request_latency_ns_bucket{dataset=\"9\",le=\"+Inf\"} 1",
+            "srj_rejection_rate{dataset=\"9\"}",
+            "srj_rejection_iterations_total{dataset=\"9\"}",
+            "srj_mu_total{dataset=\"9\"}",
+            "srj_connections_accepted_total 1",
+        ] {
+            assert!(text.contains(required), "missing {required:?} in:\n{text}");
+        }
+        for rung in [
+            "minor_swap",
+            "cell_patch",
+            "full_rebuild",
+            "repair",
+            "replan",
+        ] {
+            let series = format!("srj_maintenance_total{{dataset=\"9\",rung=\"{rung}\"}}");
+            assert!(text.contains(&series), "missing {series:?} in:\n{text}");
+        }
+
+        let spans = client.trace(outcome.stats.trace_id).unwrap();
+        let distinct: std::collections::HashSet<&str> =
+            spans.iter().map(|s| s.span.as_str()).collect();
+        assert!(
+            distinct.len() >= 4,
+            "expected >= 4 distinct spans, got {distinct:?}"
+        );
+        for span in ["frame_decode", "acquire", "draw_loop", "batch_write"] {
+            assert!(
+                distinct.contains(span),
+                "missing span {span:?}: {distinct:?}"
+            );
+        }
+        assert!(
+            spans.windows(2).all(|w| w[0].ns <= w[1].ns),
+            "spans must come back oldest first"
+        );
+
+        // An untraced id answers an empty span list, not an error.
+        assert!(client.trace(u64::MAX - 1).unwrap().is_empty());
         server.shutdown();
     }
 }

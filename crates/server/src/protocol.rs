@@ -13,8 +13,11 @@
 //!                  INSERT  { req_id, dataset, side, count, (x, y) × count }
 //!                  DELETE  { req_id, dataset, side, count, id × count }
 //!                  EPOCH   { req_id, dataset }
+//!                  METRICS { }
+//!                  TRACE   { trace_id }
 //! response frames: BATCH   { req_id, count, (r, s) × count }
-//!                  DONE    { req_id, status, samples, iterations, elapsed_ns }
+//!                  DONE    { req_id, status, samples, iterations,
+//!                            elapsed_ns, trace_id }
 //!                  STATS   { queries, samples, iterations, errors,
 //!                            mean_ns, p50_ns, p99_ns, engines_cached,
 //!                            cache_hits, cache_misses,
@@ -22,6 +25,9 @@
 //!                  UPDATE  { req_id, status, first_id, applied, epoch, version }
 //!                  EPOCH   { req_id, status, epoch, version, live_r, live_s,
 //!                            pending_ops, last_swap_ns }
+//!                  METRICS { len, utf8 text (Prometheus exposition) }
+//!                  TRACE   { trace_id, count,
+//!                            (ns, span_len, span, event_len, event) × count }
 //! ```
 //!
 //! A `SAMPLE` answer is a stream: zero or more `BATCH` frames followed
@@ -56,12 +62,16 @@ const OP_SHUTDOWN: u8 = 0x03;
 const OP_INSERT: u8 = 0x04;
 const OP_DELETE: u8 = 0x05;
 const OP_EPOCH: u8 = 0x06;
+const OP_METRICS: u8 = 0x07;
+const OP_TRACE: u8 = 0x08;
 /// Response opcodes.
 const OP_BATCH: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
 const OP_SERVER_STATS: u8 = 0x83;
 const OP_UPDATE: u8 = 0x84;
 const OP_EPOCH_INFO: u8 = 0x85;
+const OP_METRICS_TEXT: u8 = 0x86;
+const OP_TRACE_SPANS: u8 = 0x87;
 
 /// Which point set a mutation targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -185,6 +195,10 @@ pub struct RequestStats {
     pub iterations: u64,
     /// Server-side wall time from dequeue to `DONE`, in nanoseconds.
     pub elapsed_ns: u64,
+    /// Server-assigned trace id when the request was sampled for
+    /// tracing (`0` = untraced); feed it to a `TRACE` request to pull
+    /// the request's span records.
+    pub trace_id: u64,
 }
 
 /// Server-wide aggregate statistics, answered to a `STATS` request.
@@ -306,6 +320,15 @@ pub enum Request {
         /// Registered dataset id.
         dataset: u64,
     },
+    /// Fetch the server's metrics registry as Prometheus text
+    /// exposition.
+    Metrics,
+    /// Fetch the buffered trace spans for a trace id (as returned in
+    /// [`RequestStats::trace_id`]).
+    Trace {
+        /// The trace to dump.
+        trace_id: u64,
+    },
 }
 
 /// Decoded response frames.
@@ -348,6 +371,31 @@ pub enum Response {
         /// [`RequestStatus::Ok`]).
         info: EpochInfo,
     },
+    /// Answer to a `METRICS` request.
+    Metrics {
+        /// Prometheus text exposition of the server's registry.
+        text: String,
+    },
+    /// Answer to a `TRACE` request.
+    Trace {
+        /// Echo of the requested trace id.
+        trace_id: u64,
+        /// Buffered span records, oldest first (empty for an unknown
+        /// or already-overwritten trace).
+        spans: Vec<TraceSpan>,
+    },
+}
+
+/// One span record of a traced request, as carried by the `TRACE`
+/// response frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Server-process-monotone timestamp, nanoseconds.
+    pub ns: u64,
+    /// Instrumented stage (e.g. `draw_loop`).
+    pub span: String,
+    /// What happened in the stage (e.g. `begin`).
+    pub event: String,
 }
 
 /// Why a frame could not be decoded.
@@ -389,6 +437,10 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
 struct Parser<'a> {
     buf: &'a [u8],
 }
@@ -407,6 +459,15 @@ impl<'a> Parser<'a> {
         Ok(b)
     }
 
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        let (head, rest) = self
+            .buf
+            .split_first_chunk::<2>()
+            .ok_or(ProtocolError::Malformed("truncated u16"))?;
+        self.buf = rest;
+        Ok(u16::from_le_bytes(*head))
+    }
+
     fn u32(&mut self) -> Result<u32, ProtocolError> {
         let (head, rest) = self
             .buf
@@ -423,6 +484,19 @@ impl<'a> Parser<'a> {
             .ok_or(ProtocolError::Malformed("truncated u64"))?;
         self.buf = rest;
         Ok(u64::from_le_bytes(*head))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.buf.len() < n {
+            return Err(ProtocolError::Malformed("truncated bytes"));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn str(&mut self, n: usize) -> Result<&'a str, ProtocolError> {
+        std::str::from_utf8(self.bytes(n)?).map_err(|_| ProtocolError::Malformed("invalid utf-8"))
     }
 
     fn finish(&self) -> Result<(), ProtocolError> {
@@ -509,6 +583,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u32(&mut payload, *req_id);
             put_u64(&mut payload, *dataset);
         }
+        Request::Metrics => payload.push(OP_METRICS),
+        Request::Trace { trace_id } => {
+            payload.push(OP_TRACE);
+            put_u64(&mut payload, *trace_id);
+        }
     }
     finish_frame(payload)
 }
@@ -587,6 +666,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
             req_id: p.u32()?,
             dataset: p.u64()?,
         },
+        OP_METRICS => Request::Metrics,
+        OP_TRACE => Request::Trace { trace_id: p.u64()? },
         _ => return Err(ProtocolError::Malformed("unknown request opcode")),
     };
     p.finish()?;
@@ -618,6 +699,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u64(&mut payload, stats.samples);
             put_u64(&mut payload, stats.iterations);
             put_u64(&mut payload, stats.elapsed_ns);
+            put_u64(&mut payload, stats.trace_id);
         }
         Response::ServerStats(s) => {
             payload.push(OP_SERVER_STATS);
@@ -638,7 +720,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.cells_patched,
                 s.repairs,
                 s.last_swap_ns,
-                s.mu_total.to_bits(),
+                // Canonicalize: a non-finite Σµ (which a healthy
+                // server never produces) must not leak arbitrary NaN
+                // bit patterns onto the wire.
+                if s.mu_total.is_finite() {
+                    s.mu_total.to_bits()
+                } else {
+                    0.0f64.to_bits()
+                },
             ] {
                 put_u64(&mut payload, v);
             }
@@ -655,6 +744,24 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u32(&mut payload, stats.applied);
             put_u64(&mut payload, stats.epoch);
             put_u64(&mut payload, stats.version);
+        }
+        Response::Metrics { text } => {
+            payload.reserve(text.len() + 5);
+            payload.push(OP_METRICS_TEXT);
+            put_u32(&mut payload, text.len() as u32);
+            payload.extend_from_slice(text.as_bytes());
+        }
+        Response::Trace { trace_id, spans } => {
+            payload.push(OP_TRACE_SPANS);
+            put_u64(&mut payload, *trace_id);
+            put_u32(&mut payload, spans.len() as u32);
+            for s in spans {
+                put_u64(&mut payload, s.ns);
+                put_u16(&mut payload, s.span.len() as u16);
+                payload.extend_from_slice(s.span.as_bytes());
+                put_u16(&mut payload, s.event.len() as u16);
+                payload.extend_from_slice(s.event.as_bytes());
+            }
         }
         Response::Epoch {
             req_id,
@@ -705,6 +812,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
                 samples: p.u64()?,
                 iterations: p.u64()?,
                 elapsed_ns: p.u64()?,
+                trace_id: p.u64()?,
             };
             Response::Done {
                 req_id,
@@ -734,7 +842,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
                 cells_patched: vals[13],
                 repairs: vals[14],
                 last_swap_ns: vals[15],
-                mu_total: f64::from_bits(vals[16]),
+                mu_total: {
+                    let mu = f64::from_bits(vals[16]);
+                    if !mu.is_finite() {
+                        return Err(ProtocolError::Malformed("non-finite mu_total"));
+                    }
+                    mu
+                },
             })
         }
         OP_UPDATE => {
@@ -770,6 +884,30 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
                 status,
                 info,
             }
+        }
+        OP_METRICS_TEXT => {
+            let len = p.u32()? as usize;
+            let text = p.str(len)?.to_string();
+            Response::Metrics { text }
+        }
+        OP_TRACE_SPANS => {
+            let trace_id = p.u64()?;
+            let count = p.u32()? as usize;
+            // Each span is at least 12 bytes (ns + two empty strings);
+            // bound the allocation before trusting the count.
+            if count * 12 > payload.len() {
+                return Err(ProtocolError::Malformed("trace count vs length mismatch"));
+            }
+            let mut spans = Vec::with_capacity(count);
+            for _ in 0..count {
+                let ns = p.u64()?;
+                let span_len = p.u16()? as usize;
+                let span = p.str(span_len)?.to_string();
+                let event_len = p.u16()? as usize;
+                let event = p.str(event_len)?.to_string();
+                spans.push(TraceSpan { ns, span, event });
+            }
+            Response::Trace { trace_id, spans }
         }
         _ => return Err(ProtocolError::Malformed("unknown response opcode")),
     };
@@ -851,6 +989,79 @@ mod tests {
         }
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Trace { trace_id: 0xFEED });
+    }
+
+    #[test]
+    fn observability_responses_roundtrip() {
+        roundtrip_response(Response::Metrics {
+            text: String::new(),
+        });
+        roundtrip_response(Response::Metrics {
+            text: "# TYPE srj_requests_total counter\nsrj_requests_total 5\n".to_string(),
+        });
+        roundtrip_response(Response::Trace {
+            trace_id: 42,
+            spans: Vec::new(),
+        });
+        roundtrip_response(Response::Trace {
+            trace_id: 42,
+            spans: vec![
+                TraceSpan {
+                    ns: 1_000,
+                    span: "frame_decode".to_string(),
+                    event: "begin".to_string(),
+                },
+                TraceSpan {
+                    ns: 2_000,
+                    span: "draw_loop".to_string(),
+                    event: "end".to_string(),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn trace_span_count_mismatch_is_rejected() {
+        let frame = encode_response(&Response::Trace {
+            trace_id: 1,
+            spans: vec![TraceSpan {
+                ns: 5,
+                span: "a".to_string(),
+                event: "b".to_string(),
+            }],
+        });
+        let mut payload = frame[4..].to_vec();
+        // claim 1000 spans: must fail the pre-allocation bound check
+        payload[9..13].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(decode_response(&payload).is_err());
+    }
+
+    #[test]
+    fn non_finite_mu_total_is_canonicalized_and_rejected() {
+        // Encode canonicalizes a NaN Σµ to 0.0 — no arbitrary NaN bit
+        // patterns on the wire.
+        let frame = encode_response(&Response::ServerStats(ServerStatsFrame {
+            mu_total: f64::NAN,
+            ..ServerStatsFrame::default()
+        }));
+        match decode_response(&frame[4..]).unwrap() {
+            Response::ServerStats(s) => assert_eq!(s.mu_total, 0.0),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        // A frame carrying non-finite bits anyway (hostile or corrupt
+        // peer) is rejected as malformed, for every non-finite class.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let frame = encode_response(&Response::ServerStats(ServerStatsFrame::default()));
+            let mut payload = frame[4..].to_vec();
+            let off = payload.len() - 8;
+            payload[off..].copy_from_slice(&bad.to_bits().to_le_bytes());
+            assert!(
+                matches!(decode_response(&payload), Err(ProtocolError::Malformed(_))),
+                "{bad} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -970,6 +1181,7 @@ mod tests {
                     samples: 100,
                     iterations: 250,
                     elapsed_ns: 12_345,
+                    trace_id: 77,
                 },
             });
         }

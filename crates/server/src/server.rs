@@ -57,10 +57,12 @@ use std::time::Instant;
 use srj_core::{JoinPair, SampleConfig, SampleError};
 use srj_engine::{DatasetStore, EngineStats, EpochConfig, EpochEngine, SamplerHandle};
 use srj_geom::Point;
+use srj_obs::journal::EventKind;
+use srj_obs::{trace, Counter, Gauge, Histogram, Registry};
 
 use crate::protocol::{
     decode_request, encode_response, read_frame, EpochInfo, Request, RequestStats, RequestStatus,
-    Response, SampleRequest, ServerStatsFrame, Side, UpdateStats, MAX_FRAME_LEN,
+    Response, SampleRequest, ServerStatsFrame, Side, TraceSpan, UpdateStats, MAX_FRAME_LEN,
 };
 
 /// Serving knobs. The defaults suit a loopback bench on a small host;
@@ -84,6 +86,11 @@ pub struct ServerConfig {
     /// threshold, re-plan divergence factor; the per-request shard
     /// count and forced algorithm override the corresponding fields).
     pub epoch: EpochConfig,
+    /// Fraction of `SAMPLE` requests that get a trace id and record
+    /// spans ([`srj_obs::trace`]). `0.0` (default) disables tracing —
+    /// the instrumented call sites cost one relaxed load each.
+    /// Applied process-wide by [`Server::start`].
+    pub trace_sample_rate: f64,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +102,7 @@ impl Default for ServerConfig {
             cache_capacity: 16,
             build_threads: 0,
             epoch: EpochConfig::default(),
+            trace_sample_rate: 0.0,
         }
     }
 }
@@ -203,6 +211,41 @@ impl ServedDataset {
         }
         (patch_swaps, cells_patched, repairs, last_swap_ns, mu_total)
     }
+
+    /// Everything the `METRICS` exposition needs from this dataset's
+    /// engines in one pass under the map lock.
+    fn maintenance_stats(&self) -> MaintenanceStats {
+        let engines = self.engines.lock().expect("engine map poisoned");
+        let mut out = MaintenanceStats::default();
+        for (_, e) in engines.iter() {
+            out.minor_swaps += e.minor_swaps();
+            out.major_swaps += e.major_swaps();
+            out.patch_swaps += e.patch_swaps();
+            out.cells_patched += e.cells_patched();
+            out.repairs += e.repairs();
+            out.replans += e.replans();
+            out.mu_total += e.total_weight();
+            let snap = e.stats();
+            out.samples += snap.samples;
+            out.iterations += snap.iterations;
+        }
+        out
+    }
+}
+
+/// Aggregated per-dataset maintenance/rejection counters, summed over
+/// the dataset's serving engines at scrape time.
+#[derive(Default)]
+struct MaintenanceStats {
+    minor_swaps: u64,
+    major_swaps: u64,
+    patch_swaps: u64,
+    cells_patched: u64,
+    repairs: u64,
+    replans: u64,
+    mu_total: f64,
+    samples: u64,
+    iterations: u64,
 }
 
 /// The datasets a server answers for, keyed by the `u64` ids clients
@@ -279,11 +322,20 @@ struct Job {
     /// Whether this job counts in the server's request statistics
     /// (stats/error answers don't).
     record: bool,
+    /// Nonzero when this request won the trace-sampling coin flip; the
+    /// id is made current on whichever worker thread steps the job and
+    /// echoed in the `DONE` frame so the client can fetch the spans.
+    trace_id: u64,
     started: Instant,
 }
 
 impl Job {
-    fn sample(req: SampleRequest, tx: SyncSender<Vec<u8>>, conn: Arc<ConnShared>) -> Self {
+    fn sample(
+        req: SampleRequest,
+        trace_id: u64,
+        tx: SyncSender<Vec<u8>>,
+        conn: Arc<ConnShared>,
+    ) -> Self {
         Job {
             req,
             tx,
@@ -293,6 +345,7 @@ impl Job {
             done: None,
             sent: 0,
             record: true,
+            trace_id,
             started: Instant::now(),
         }
     }
@@ -323,6 +376,7 @@ impl Job {
             done: Some(status),
             sent: 0,
             record: false,
+            trace_id: 0,
             started: Instant::now(),
         }
     }
@@ -405,6 +459,96 @@ impl JobQueue {
     }
 }
 
+// ---- metrics --------------------------------------------------------------
+
+/// The five maintenance rungs, in escalation order — the `rung` label
+/// values of `srj_maintenance_total`.
+const RUNGS: [&str; 5] = [
+    "minor_swap",
+    "cell_patch",
+    "full_rebuild",
+    "repair",
+    "replan",
+];
+
+/// Typed handles into the server's [`Registry`] for one dataset,
+/// registered once at startup so recording is lock-free `fetch_add`s
+/// (hot-path handles) or relaxed stores at scrape time (mirrors).
+struct DatasetMetrics {
+    /// `srj_requests_total` — finished `SAMPLE` requests (hot path).
+    requests: Counter,
+    /// `srj_samples_total` — join samples delivered (hot path).
+    samples: Counter,
+    /// `srj_request_errors_total` — non-`Ok` finishes (hot path).
+    errors: Counter,
+    /// `srj_request_latency_ns` — per-request wall time (hot path).
+    latency: Histogram,
+    /// `srj_rejection_iterations_total` — engine mirror at scrape.
+    rejection_iterations: Counter,
+    /// `srj_rejection_rate` — iterations/samples at scrape.
+    rejection_rate: Gauge,
+    /// `srj_mu_total` — Σµ across serving engines at scrape.
+    mu_total: Gauge,
+    /// `srj_epoch` — store epoch at scrape.
+    epoch: Gauge,
+    /// `srj_maintenance_total{rung=...}` in [`RUNGS`] order, mirrored
+    /// from the engines at scrape.
+    rungs: [Counter; 5],
+    /// `srj_cells_patched_total` — cells rebuilt by patch swaps.
+    cells_patched: Counter,
+}
+
+impl DatasetMetrics {
+    fn register(reg: &Registry, dataset: u64) -> Self {
+        let id = dataset.to_string();
+        let labels: [(&str, &str); 1] = [("dataset", &id)];
+        DatasetMetrics {
+            requests: reg.counter("srj_requests_total", &labels),
+            samples: reg.counter("srj_samples_total", &labels),
+            errors: reg.counter("srj_request_errors_total", &labels),
+            latency: reg.histogram("srj_request_latency_ns", &labels),
+            rejection_iterations: reg.counter("srj_rejection_iterations_total", &labels),
+            rejection_rate: reg.gauge("srj_rejection_rate", &labels),
+            mu_total: reg.gauge("srj_mu_total", &labels),
+            epoch: reg.gauge("srj_epoch", &labels),
+            rungs: std::array::from_fn(|i| {
+                reg.counter(
+                    "srj_maintenance_total",
+                    &[("dataset", &id), ("rung", RUNGS[i])],
+                )
+            }),
+            cells_patched: reg.counter("srj_cells_patched_total", &labels),
+        }
+    }
+}
+
+/// Server-wide metric handles (no `dataset` label).
+struct ServerMetrics {
+    /// `srj_connections_accepted_total` — mirror at scrape.
+    connections_accepted: Counter,
+    /// `srj_active_connections` gauge — mirror at scrape.
+    active_connections: Gauge,
+    /// `srj_engine_cache_hits_total` / `srj_engine_cache_misses_total`
+    /// — mirrors at scrape.
+    cache_hits: Counter,
+    cache_misses: Counter,
+    /// `srj_backpressure_parks_total` — jobs parked on a full
+    /// connection queue (hot-path increment, rare event).
+    backpressure_parks: Counter,
+}
+
+impl ServerMetrics {
+    fn register(reg: &Registry) -> Self {
+        ServerMetrics {
+            connections_accepted: reg.counter("srj_connections_accepted_total", &[]),
+            active_connections: reg.gauge("srj_active_connections", &[]),
+            cache_hits: reg.counter("srj_engine_cache_hits_total", &[]),
+            cache_misses: reg.counter("srj_engine_cache_misses_total", &[]),
+            backpressure_parks: reg.counter("srj_backpressure_parks_total", &[]),
+        }
+    }
+}
+
 // ---- shared server state -------------------------------------------------
 
 struct Shared {
@@ -417,6 +561,12 @@ struct Shared {
     /// Per-request serving statistics (latency histogram reused from
     /// the engine crate — one `record_query` per finished request).
     request_stats: EngineStats,
+    /// This server's metrics registry (a value, not a global — tests
+    /// and embedded servers never share exposition state) plus the
+    /// cached typed handles.
+    metrics: Registry,
+    server_metrics: ServerMetrics,
+    dataset_metrics: HashMap<u64, DatasetMetrics>,
     accepted: AtomicU64,
     active: AtomicU64,
     conns: Mutex<Vec<Arc<ConnShared>>>,
@@ -491,6 +641,46 @@ impl Shared {
             mu_total,
         }
     }
+
+    /// The Prometheus text exposition behind the `METRICS` frame:
+    /// mirrors the engine-internal counters (maintenance rungs,
+    /// rejection feedback, Σµ, epochs, connection counters) into the
+    /// registry, then renders. The hot-path metrics (requests,
+    /// samples, errors, latency) are already current — they are
+    /// recorded directly at request completion.
+    fn metrics_text(&self) -> String {
+        let sm = &self.server_metrics;
+        sm.connections_accepted
+            .store(self.accepted.load(Ordering::Relaxed));
+        sm.active_connections
+            .set(self.active.load(Ordering::Relaxed) as f64);
+        sm.cache_hits
+            .store(self.engine_hits.load(Ordering::Relaxed));
+        sm.cache_misses
+            .store(self.engine_misses.load(Ordering::Relaxed));
+        for (id, served) in self.registry.iter() {
+            let Some(m) = self.dataset_metrics.get(id) else {
+                continue;
+            };
+            let agg = served.maintenance_stats();
+            m.rungs[0].store(agg.minor_swaps);
+            m.rungs[1].store(agg.patch_swaps);
+            // Major swaps split into patch swaps and full rebuilds.
+            m.rungs[2].store(agg.major_swaps.saturating_sub(agg.patch_swaps));
+            m.rungs[3].store(agg.repairs);
+            m.rungs[4].store(agg.replans);
+            m.cells_patched.store(agg.cells_patched);
+            m.rejection_iterations.store(agg.iterations);
+            m.rejection_rate.set(if agg.samples == 0 {
+                0.0
+            } else {
+                agg.iterations as f64 / agg.samples as f64
+            });
+            m.mu_total.set(agg.mu_total);
+            m.epoch.set(served.store.epoch() as f64);
+        }
+        self.metrics.render()
+    }
 }
 
 // ---- the server ----------------------------------------------------------
@@ -520,6 +710,24 @@ impl Server {
             ..config
         };
         let listener = TcpListener::bind(addr)?;
+        // Tracing is a process-wide switch (the engine's instrumented
+        // call sites have no server reference); the last-started
+        // server's rate wins, which in practice is one server per
+        // process.
+        trace::set_sample_rate(config.trace_sample_rate);
+        // Label every store with its wire id so engine-internal
+        // lifecycle events (swaps, patches, repairs, re-plans,
+        // compactions) carry the dataset id clients know.
+        for (id, served) in registry.map.iter() {
+            served.store.set_obs_label(*id);
+        }
+        let metrics = Registry::new();
+        let server_metrics = ServerMetrics::register(&metrics);
+        let dataset_metrics = registry
+            .map
+            .keys()
+            .map(|&id| (id, DatasetMetrics::register(&metrics, id)))
+            .collect();
         let shared = Arc::new(Shared {
             config,
             registry: registry.map,
@@ -527,6 +735,9 @@ impl Server {
             engine_misses: AtomicU64::new(0),
             queue: JobQueue::new(),
             request_stats: EngineStats::new(),
+            metrics,
+            server_metrics,
+            dataset_metrics,
             accepted: AtomicU64::new(0),
             active: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
@@ -569,6 +780,12 @@ impl Server {
     /// returns).
     pub fn stats(&self) -> ServerStatsFrame {
         self.shared.stats_frame()
+    }
+
+    /// The Prometheus text exposition (same text a `METRICS` request
+    /// returns) — for embedded servers and the loadgen overhead bench.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
     }
 
     /// Blocks until shutdown is requested (by [`Server::shutdown`] or a
@@ -731,10 +948,47 @@ fn reader_loop(
         }
         match decode_request(&payload) {
             Ok(Request::Sample(req)) => {
-                enqueue(shared, Job::sample(req, tx.clone(), Arc::clone(&conn)));
+                // The sampling decision is made here, at frame decode,
+                // so the trace covers the request's whole server-side
+                // life; the id rides on the job and comes back to the
+                // client in the DONE frame.
+                let trace_id = trace::try_start_trace();
+                trace::event_for(trace_id, "frame_decode", "sample_request");
+                enqueue(
+                    shared,
+                    Job::sample(req, trace_id, tx.clone(), Arc::clone(&conn)),
+                );
             }
             Ok(Request::Stats) => {
                 let frame = encode_response(&Response::ServerStats(shared.stats_frame()));
+                enqueue(
+                    shared,
+                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(&conn)),
+                );
+            }
+            // Observability answers are rendered inline on the reader
+            // (pure snapshot work, no engine/handle involvement) and
+            // still delivered through a job so backpressure has
+            // exactly one path.
+            Ok(Request::Metrics) => {
+                let frame = encode_response(&Response::Metrics {
+                    text: shared.metrics_text(),
+                });
+                enqueue(
+                    shared,
+                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(&conn)),
+                );
+            }
+            Ok(Request::Trace { trace_id }) => {
+                let spans = trace::spans_for(trace_id)
+                    .into_iter()
+                    .map(|r| TraceSpan {
+                        ns: r.ns,
+                        span: r.span.to_string(),
+                        event: r.event.to_string(),
+                    })
+                    .collect();
+                let frame = encode_response(&Response::Trace { trace_id, spans });
                 enqueue(
                     shared,
                     Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(&conn)),
@@ -885,6 +1139,7 @@ fn enqueue(shared: &Arc<Shared>, job: Job) {
                 samples: job.sent,
                 iterations: job.iterations(),
                 elapsed_ns: job.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                trace_id: job.trace_id,
             },
         });
         let _ = job.tx.try_send(frame);
@@ -922,6 +1177,15 @@ fn flush_outbox(shared: &Arc<Shared>, mut job: Job) -> Flushed {
                     finish(shared, &job, false);
                     return Flushed::Gone;
                 }
+                // The client stopped reading and its window filled:
+                // the request parks on its connection. A rare
+                // control-plane condition, so it goes to the journal
+                // (and the park counter) rather than the trace ring.
+                shared.server_metrics.backpressure_parks.inc();
+                srj_obs::journal::event(EventKind::BackpressurePark)
+                    .dataset(job.record.then_some(job.req.dataset))
+                    .emit();
+                trace::event("batch_write", "park");
                 let kick_tx = job.tx.clone();
                 let conn = Arc::clone(&job.conn);
                 conn.parked.lock().expect("parked list poisoned").push(job);
@@ -972,23 +1236,39 @@ fn finish(shared: &Arc<Shared>, job: &Job, _delivered: bool) {
     shared
         .request_stats
         .record_error(job.iterations(), job.started.elapsed());
+    if let Some(m) = shared.dataset_metrics.get(&job.req.dataset) {
+        m.requests.inc();
+        m.errors.inc();
+        m.latency.observe_duration(job.started.elapsed());
+    }
 }
 
 /// One worker step: flush, produce at most one batch, flush, requeue.
 fn step(shared: &Arc<Shared>, job: Job) {
+    // Make the job's trace current for everything this step does —
+    // including the engine-internal draw-loop events, which only see
+    // the thread-local id.
+    let _trace = trace::set_current(job.trace_id);
     let mut job = match flush_outbox(shared, job) {
         Flushed::Clear(job) => job,
         Flushed::Gone => return,
     };
 
     match &mut job.state {
-        JobState::Acquire => match acquire_handle(shared, &job.req) {
-            Ok(handle) => {
-                job.state = JobState::Stream(Box::new(handle));
-                produce_batch(shared, &mut job);
+        JobState::Acquire => {
+            trace::event("acquire", "begin");
+            match acquire_handle(shared, &job.req) {
+                Ok(handle) => {
+                    trace::event("acquire", "handle_ready");
+                    job.state = JobState::Stream(Box::new(handle));
+                    produce_batch(shared, &mut job);
+                }
+                Err(status) => {
+                    trace::event("acquire", "failed");
+                    push_done(shared, &mut job, status);
+                }
             }
-            Err(status) => push_done(shared, &mut job, status),
-        },
+        }
         JobState::Stream(_) => produce_batch(shared, &mut job),
         // Respond jobs carry only pre-encoded frames; with the outbox
         // clear they are finished by flush_outbox, never reach here.
@@ -1121,16 +1401,19 @@ fn produce_batch(shared: &Arc<Shared>, job: &mut Job) {
     };
     let remaining = job.req.t.saturating_sub(job.sent);
     let batch = remaining.min(shared.config.batch_pairs as u64) as usize;
+    trace::event("draw_loop", "batch_begin");
     let mut stream = handle.stream();
     let pairs: Vec<JoinPair> = stream.by_ref().take(batch).collect();
     let error = stream.error();
     drop(stream);
+    trace::event("draw_loop", "batch_end");
     job.sent += pairs.len() as u64;
     if !pairs.is_empty() {
         job.outbox.push_back(encode_response(&Response::Batch {
             req_id: job.req.req_id,
             pairs,
         }));
+        trace::event("batch_write", "batch_enqueued");
     }
     match error {
         Some(SampleError::EmptyJoin) => push_done(shared, job, RequestStatus::EmptyJoin),
@@ -1154,6 +1437,16 @@ fn push_done(shared: &Arc<Shared>, job: &mut Job, status: RequestStatus) {
         } else {
             shared.request_stats.record_error(iterations, elapsed);
         }
+        // The per-dataset exposition counters (cached typed handles —
+        // a few relaxed fetch_adds).
+        if let Some(m) = shared.dataset_metrics.get(&job.req.dataset) {
+            m.requests.inc();
+            m.samples.add(job.sent);
+            if status != RequestStatus::Ok {
+                m.errors.inc();
+            }
+            m.latency.observe_duration(elapsed);
+        }
         job.record = false;
     }
     job.outbox.push_back(encode_response(&Response::Done {
@@ -1163,7 +1456,9 @@ fn push_done(shared: &Arc<Shared>, job: &mut Job, status: RequestStatus) {
             samples: job.sent,
             iterations,
             elapsed_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+            trace_id: job.trace_id,
         },
     }));
     job.done = Some(status);
+    trace::event("batch_write", "done_enqueued");
 }

@@ -55,10 +55,20 @@
 //! backpressure (binaries `srj-serve` / `srj-loadgen`; see
 //! `examples/network_serving.rs`).
 //!
+//! ## Observability
+//!
+//! The [`obs`] crate threads a metrics registry, sampled span tracing,
+//! and a lifecycle event journal through every layer: the server
+//! exposes Prometheus text over the `METRICS` frame (live dashboard:
+//! `srj-top`), traced `SAMPLE` requests return their spans via the
+//! `TRACE` frame, and every epoch swap / cell patch / repair /
+//! re-plan / compaction / backpressure park lands in the journal
+//! (`srj-serve --log-json`). See the README's "Observability" section.
+//!
 //! The workspace crates are re-exported under their own names
 //! ([`geom`], [`alias`], [`kdtree`], [`grid`], [`bbst`], [`join`],
-//! [`datagen`], [`core`], [`engine`], [`server`]) and the most common
-//! types at the crate root.
+//! [`datagen`], [`core`], [`engine`], [`server`], [`obs`]) and the
+//! most common types at the crate root.
 
 pub use srj_alias as alias;
 pub use srj_bbst as bbst;
@@ -69,6 +79,7 @@ pub use srj_geom as geom;
 pub use srj_grid as grid;
 pub use srj_join as join;
 pub use srj_kdtree as kdtree;
+pub use srj_obs as obs;
 pub use srj_rangetree as rangetree;
 pub use srj_rtree as rtree;
 pub use srj_server as server;
@@ -86,7 +97,8 @@ pub use srj_engine::{
     PlanReport, SPatchDelta, SamplerHandle, ShardedIndex, StatsSnapshot,
 };
 pub use srj_geom::{Point, PointId, Rect};
+pub use srj_obs::{EventKind, LifecycleEvent, Registry};
 pub use srj_server::{
     Client, DatasetRegistry, RequestStatus, SampleOutcome, SampleRequest, Server, ServerConfig,
-    Side, UpdateOutcome,
+    Side, TraceSpan, UpdateOutcome,
 };

@@ -313,7 +313,9 @@ fn rejection_rate_accessors_guard_zero_samples() {
     let engine = srj::Engine::auto(&r, &s, &SampleConfig::new(4.0));
     let h = engine.handle_seeded(0);
     assert_eq!(h.rejection_rate(), None, "zero-sample handle");
-    assert_eq!(engine.stats().rejection_rate(), None, "zero-sample engine");
+    let rate = engine.stats().rejection_rate();
+    assert!(!rate.is_nan(), "zero-sample engine rate must not be NaN");
+    assert_eq!(rate, 0.0, "zero-sample engine");
 
     let epoch = EpochEngine::new(r, s, &SampleConfig::new(4.0), EpochConfig::default());
     assert_eq!(epoch.observed_rejection_rate(), None);
