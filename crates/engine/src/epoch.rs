@@ -237,6 +237,32 @@ struct EpochState {
     repair_exhausted: bool,
 }
 
+/// A mutually consistent maintenance-state snapshot of an
+/// [`EpochEngine`], as returned by
+/// [`EpochEngine::maintenance_snapshot`]: every field describes the
+/// same committed engine state.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MaintenanceSnapshot {
+    /// The epoch the swap cell serves.
+    pub epoch: u64,
+    /// `Σµ` of the engine currently serving.
+    pub mu_total: f64,
+    /// Minor swaps so far.
+    pub minor_swaps: u64,
+    /// Major swaps so far (patch-based included).
+    pub major_swaps: u64,
+    /// Major swaps that went through the cell-granular patch path.
+    pub patch_swaps: u64,
+    /// Total `S`-cells rebuilt by patch-based swaps.
+    pub cells_patched: u64,
+    /// Targeted cell repairs so far.
+    pub repairs: u64,
+    /// Re-plan hot-swaps so far.
+    pub replans: u64,
+    /// Duration of the most recent swap, nanoseconds.
+    pub last_swap_ns: u64,
+}
+
 enum Maintenance {
     /// Store drifted: refresh the snapshot (minor or major per the
     /// rebuild thresholds).
@@ -499,6 +525,31 @@ impl EpochEngine {
             .total_weight()
     }
 
+    /// One mutually consistent maintenance snapshot, taken under a
+    /// single state read lock.
+    ///
+    /// The per-field accessors ([`EpochEngine::total_weight`],
+    /// [`EpochEngine::epoch`], [`EpochEngine::patch_swaps`], …) each
+    /// take their own lock or atomic load, so a stats reader racing a
+    /// swap could pair the *new* `Σµ` with the *old* swap counters
+    /// (or vice versa). Swap commits bump their counters while still
+    /// holding the state **write** lock, so everything read here under
+    /// the read lock describes the same committed engine.
+    pub fn maintenance_snapshot(&self) -> MaintenanceSnapshot {
+        let st = self.state.read().expect("epoch state poisoned");
+        MaintenanceSnapshot {
+            epoch: st.built_epoch,
+            mu_total: st.current.total_weight(),
+            minor_swaps: self.minor_swaps.load(Ordering::Relaxed),
+            major_swaps: self.major_swaps.load(Ordering::Relaxed),
+            patch_swaps: self.patch_swaps.load(Ordering::Relaxed),
+            cells_patched: self.cells_patched.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+            replans: self.replans.load(Ordering::Relaxed),
+            last_swap_ns: self.last_swap_ns.load(Ordering::Relaxed),
+        }
+    }
+
     /// Minor swaps so far (overlay snapshot replaced).
     pub fn minor_swaps(&self) -> u64 {
         self.minor_swaps.load(Ordering::Relaxed)
@@ -649,8 +700,17 @@ impl EpochEngine {
     }
 
     /// Installs a freshly built epoch: base == current, accumulators
-    /// reset, repair rung re-armed.
-    fn commit_epoch(&self, engine: Engine, snap: &DatasetSnapshot, planned: Option<f64>) {
+    /// reset, repair rung re-armed. Returns the still-held write
+    /// guard so the caller can bump its swap counters before readers
+    /// (e.g. [`EpochEngine::maintenance_snapshot`]) can observe the
+    /// new state — a stats reader must never pair the new `Σµ` with
+    /// the old counters.
+    fn commit_epoch(
+        &self,
+        engine: Engine,
+        snap: &DatasetSnapshot,
+        planned: Option<f64>,
+    ) -> std::sync::RwLockWriteGuard<'_, EpochState> {
         let cells = engine.cell_count();
         let mut st = self.state.write().expect("epoch state poisoned");
         st.base = engine.clone();
@@ -665,6 +725,7 @@ impl EpochEngine {
         st.acc_iterations = 0;
         st.acc_cell_rejections = vec![0; cells];
         st.repair_exhausted = false;
+        st
     }
 
     /// Major swap. When the algorithm is kept and the dirty-cell
@@ -682,7 +743,6 @@ impl EpochEngine {
         };
         let keep_algorithm = !is_replan && forced.is_none_or(|a| a == prev_algorithm);
         if keep_algorithm && self.try_patch_swap(&prev_base, &prev_base_s) {
-            self.major_swaps.fetch_add(1, Ordering::Relaxed);
             return;
         }
         // Full path: purge dead ids, renumber, rebuild from scratch.
@@ -690,11 +750,12 @@ impl EpochEngine {
         let (snap, _) = self.store.compact();
         let (engine, planned) = Self::build_base(&snap, &self.config, &self.cfg, forced);
         let mu_after = engine.total_weight();
-        self.commit_epoch(engine, &snap, planned);
+        let st = self.commit_epoch(engine, &snap, planned);
         self.major_swaps.fetch_add(1, Ordering::Relaxed);
         if is_replan {
             self.replans.fetch_add(1, Ordering::Relaxed);
         }
+        drop(st);
         event(if is_replan {
             EventKind::Replan
         } else {
@@ -774,12 +835,14 @@ impl EpochEngine {
         let mu_before = prev_base.total_weight();
         let mu_after = engine.total_weight();
         let cells_rebuilt = patch_report.as_ref().map_or(0, |rep| rep.cells_rebuilt);
-        self.commit_epoch(engine, &snap, None);
+        let st = self.commit_epoch(engine, &snap, None);
+        self.major_swaps.fetch_add(1, Ordering::Relaxed);
         if let Some(rep) = patch_report {
             self.patch_swaps.fetch_add(1, Ordering::Relaxed);
             self.cells_patched
                 .fetch_add(rep.cells_rebuilt as u64, Ordering::Relaxed);
         }
+        drop(st);
         event(EventKind::CellPatch)
             .dataset(self.store.obs_label())
             .epoch(snap.epoch)
@@ -818,8 +881,8 @@ impl EpochEngine {
                 st.acc_samples = 0;
                 st.acc_iterations = 0;
                 st.acc_cell_rejections = vec![0; cells];
-                drop(st);
                 self.repairs.fetch_add(1, Ordering::Relaxed);
+                drop(st);
                 event(EventKind::Repair)
                     .dataset(self.store.obs_label())
                     .epoch(built_epoch)
@@ -885,8 +948,8 @@ impl EpochEngine {
         st.current = engine;
         st.support = Some(support);
         st.built_version = snap.version;
-        drop(st);
         self.minor_swaps.fetch_add(1, Ordering::Relaxed);
+        drop(st);
         event(EventKind::MinorSwap)
             .dataset(self.store.obs_label())
             .epoch(snap.epoch)
@@ -978,6 +1041,53 @@ mod tests {
         assert_eq!(engine.store().live_r_len(), 60);
         // and it still serves
         assert!(engine.handle_seeded(1).sample(100).is_ok());
+    }
+
+    /// The one-lock snapshot pairs `Σµ` with the counters of the same
+    /// committed state — racing swaps from another thread must never
+    /// let a snapshot show a rebuilt epoch with pre-rebuild counters.
+    #[test]
+    fn maintenance_snapshot_is_mutually_consistent() {
+        let r = pseudo_points(80, 51, 40.0);
+        let s = pseudo_points(120, 52, 40.0);
+        let cfg = EpochConfig::default()
+            .with_rebuild_fraction(1e-4)
+            .with_algorithm(Algorithm::Bbst);
+        let engine = Arc::new(EpochEngine::new(r, s, &SampleConfig::new(5.0), cfg));
+        assert_eq!(engine.maintenance_snapshot().major_swaps, 0);
+
+        let mutator = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for i in 0..40 {
+                    engine.insert_s(Point::new(i as f64 * 0.7, 3.0));
+                    engine.refresh(); // every insert crosses the rebuild threshold
+                }
+            })
+        };
+        // Every observed snapshot whose epoch advanced must carry
+        // advanced swap counters with it — the swap commit bumps them
+        // under the same write lock that installs the new state.
+        let mut last = engine.maintenance_snapshot();
+        while !mutator.is_finished() {
+            let snap = engine.maintenance_snapshot();
+            assert!(snap.epoch >= last.epoch);
+            assert!(snap.major_swaps >= last.major_swaps);
+            if snap.epoch > last.epoch {
+                assert!(
+                    snap.major_swaps > last.major_swaps,
+                    "epoch advanced {} -> {} without a counted swap",
+                    last.epoch,
+                    snap.epoch
+                );
+            }
+            last = snap;
+        }
+        mutator.join().unwrap();
+        let snap = engine.maintenance_snapshot();
+        assert!(snap.major_swaps >= 1);
+        assert_eq!(snap.epoch, engine.epoch());
+        assert!((snap.mu_total - engine.total_weight()).abs() < 1e-9);
     }
 
     #[test]

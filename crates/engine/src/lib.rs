@@ -97,7 +97,7 @@ mod stats;
 pub use cache::EngineCache;
 pub use dataset::{BatchApplied, DatasetSnapshot, DatasetStore, SPatchDelta};
 pub use engine::{Algorithm, Engine, HandleStream, SamplerHandle};
-pub use epoch::{EpochConfig, EpochEngine};
+pub use epoch::{EpochConfig, EpochEngine, MaintenanceSnapshot};
 pub use planner::PlanReport;
 pub use shard::ShardedIndex;
 pub use stats::{CellRejectionStats, EngineStats, StatsSnapshot};

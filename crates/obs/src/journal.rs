@@ -40,6 +40,13 @@ pub enum EventKind {
     /// A connection's send queue filled and parked its in-flight
     /// request.
     BackpressurePark,
+    /// The server declined a request with `BUSY` because the worker
+    /// queue (or the connection itself) was saturated past the shed
+    /// high-water mark.
+    LoadShed,
+    /// The maintainer closed a connection that sat idle past its
+    /// deadline with no in-flight work.
+    ConnReaped,
 }
 
 impl EventKind {
@@ -53,6 +60,8 @@ impl EventKind {
             EventKind::Replan => "replan",
             EventKind::Compaction => "compaction",
             EventKind::BackpressurePark => "backpressure_park",
+            EventKind::LoadShed => "load_shed",
+            EventKind::ConnReaped => "conn_reaped",
         }
     }
 }

@@ -23,24 +23,27 @@
 //! transport error.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use srj_bench::{host_cores, percentile_sorted};
 use srj_geom::Point;
 use srj_server::{
-    Algorithm, Client, DatasetRegistry, RequestStatus, SampleRequest, Server, ServerConfig, Side,
+    Algorithm, Client, ClientConfig, ClientError, DatasetRegistry, FaultPlan, RequestStatus,
+    SampleRequest, Server, ServerConfig, Side,
 };
 
 const USAGE: &str = "usage: srj-loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--t N]
                    [--dataset ID] [--l F] [--algo auto|kds|kds-rejection|bbst]
                    [--shards N] [--update-fraction F] [--update-batch N]
-                   [--delete-heavy] [--obs-bench] [--domain F] [--out PATH]
-                   [--shutdown]
+                   [--delete-heavy] [--obs-bench] [--chaos] [--fault-seed N]
+                   [--connect-timeout-ms N] [--no-nodelay]
+                   [--domain F] [--out PATH] [--shutdown]
   Defaults: --addr 127.0.0.1:7878 --clients 4 --requests 8 --t 50000
             --dataset 1 --l 100 --algo auto --shards 1
             --update-fraction 0 --update-batch 256 --domain 10000
+            --connect-timeout-ms 5000 --fault-seed 7
             --out BENCH_PR3.json (BENCH_PR5.json with --delete-heavy,
-            BENCH_PR6.json with --obs-bench)
+            BENCH_PR6.json with --obs-bench, BENCH_PR7.json with --chaos)
   --delete-heavy: every request is preceded by a DELETE batch of S ids
                   (no inserts); asserts the served Σµ strictly shrinks
                   across the resulting epoch swap and writes the PR5
@@ -49,7 +52,19 @@ const USAGE: &str = "usage: srj-loadgen [--addr HOST:PORT] [--clients N] [--requ
                observability cold (tracing off) and hot (every request
                traced) — run the same read load against both, and
                record the throughput ratio as \"measured_ratio\" in the
-               PR6 bench JSON.";
+               PR6 bench JSON.
+  --chaos: ignore --addr; run the fault-injection soak — the same
+           mutating workload against a clean in-process server and one
+           injecting dropped connections, truncated/partial frames,
+           delayed reads, and forced BUSY (seeded by --fault-seed).
+           Exits non-zero unless every client converges with zero lost
+           mutations, a chi-squared uniformity test passes under
+           faults, and the hardening paths (retries, BUSY answers,
+           idle-connection reaping) demonstrably fired. Writes the PR7
+           bench JSON.
+  --connect-timeout-ms / --no-nodelay: client socket knobs (all modes);
+           0 disables the connect deadline, --no-nodelay leaves Nagle
+           batching on.";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -108,6 +123,7 @@ impl PointGen {
 fn run_delete_heavy_client(
     cid: usize,
     addr: &str,
+    cfg: ClientConfig,
     requests: usize,
     t: u64,
     dataset: u64,
@@ -117,7 +133,7 @@ fn run_delete_heavy_client(
     delete_batch: usize,
 ) -> ClientOutcome {
     let mut out = ClientOutcome::default();
-    let mut client = match Client::connect(addr) {
+    let mut client = match Client::connect_with(addr, cfg) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("client {cid}: connect failed: {e}");
@@ -208,6 +224,7 @@ fn run_delete_heavy_client(
 /// instrumentation. Exits the process with the bench outcome.
 #[allow(clippy::too_many_arguments)]
 fn run_obs_bench(
+    cfg: ClientConfig,
     clients_n: usize,
     requests: usize,
     t: u64,
@@ -234,7 +251,7 @@ fn run_obs_bench(
             Server::start("127.0.0.1:0", registry, config).expect("bind obs-bench server");
         let addr = server.local_addr().to_string();
         // Warm the engine cache so neither phase times the index build.
-        if let Ok(mut c) = Client::connect(addr.as_str()) {
+        if let Ok(mut c) = Client::connect_with(addr.as_str(), cfg) {
             let _ = c.sample(SampleRequest {
                 req_id: 0,
                 dataset,
@@ -252,7 +269,8 @@ fn run_obs_bench(
                 .map(|cid| {
                     scope.spawn(move || {
                         run_client(
-                            cid, addr, requests, t, dataset, l, algorithm, shards, 0, 1, domain,
+                            cid, addr, cfg, requests, t, dataset, l, algorithm, shards, 0, 1,
+                            domain,
                         )
                     })
                 })
@@ -263,7 +281,7 @@ fn run_obs_bench(
         if trace_sample_rate > 0.0 {
             // Exercise the export surfaces once while hot, so the bench
             // also covers the scrape path end to end.
-            if let Ok(mut c) = Client::connect(addr.as_str()) {
+            if let Ok(mut c) = Client::connect_with(addr.as_str(), cfg) {
                 if let Ok(text) = c.metrics() {
                     assert!(
                         text.contains("srj_requests_total"),
@@ -341,6 +359,7 @@ fn run_obs_bench(
 fn run_client(
     cid: usize,
     addr: &str,
+    cfg: ClientConfig,
     requests: usize,
     t: u64,
     dataset: u64,
@@ -352,7 +371,7 @@ fn run_client(
     domain: f64,
 ) -> ClientOutcome {
     let mut out = ClientOutcome::default();
-    let mut client = match Client::connect(addr) {
+    let mut client = match Client::connect_with(addr, cfg) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("client {cid}: connect failed: {e}");
@@ -513,6 +532,516 @@ fn run_client(
     out
 }
 
+/// Read-only control dataset for the chaos soak's chi-squared check:
+/// small enough to brute-force the exact join client-side, dense
+/// enough that every joinable pair expects well over five draws.
+const CTL_DATASET: u64 = 1_000;
+const CTL_L: f64 = 25.0;
+
+fn control_points() -> (Vec<Point>, Vec<Point>) {
+    let mut gen = PointGen::new(0xC7_1000, 100.0);
+    let r: Vec<Point> = (0..50).map(|_| gen.point()).collect();
+    let s: Vec<Point> = (0..50).map(|_| gen.point()).collect();
+    (r, s)
+}
+
+/// The value of an unlabeled `name value` series in a Prometheus text
+/// exposition (0 when absent).
+fn metric_value(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix(name)?;
+            rest.strip_prefix(' ')?.trim().parse::<f64>().ok()
+        })
+        .unwrap_or(0.0)
+}
+
+/// Current live `|S'|` of a dataset, via a (retried) `EPOCH` probe.
+fn probe_live(client: &mut Client, dataset: u64) -> Option<u64> {
+    match client.epoch(dataset) {
+        Ok((RequestStatus::Ok, info)) => Some(info.live_s),
+        _ => None,
+    }
+}
+
+#[derive(Default)]
+struct ChaosOutcome {
+    samples: u64,
+    retries: u64,
+    busy: u64,
+    errors: u64,
+    /// Ledger disagreements: the server's live count ended up somewhere
+    /// the client's mutation history cannot explain — a mutation was
+    /// lost or applied twice.
+    lost: u64,
+}
+
+/// One chaos client: sole mutator of its own dataset, alternating
+/// insert/delete batches with reads, keeping a ledger of the live `S`
+/// count the server *must* report. `AmbiguousMutation` (a retry the
+/// client could not prove safe) is resolved the way a real
+/// application-level protocol would: probe the authoritative count and
+/// accept only the two states the ambiguous op can explain.
+fn run_chaos_client(
+    cid: usize,
+    addr: &str,
+    cfg: ClientConfig,
+    rounds: usize,
+    t: u64,
+) -> ChaosOutcome {
+    const BATCH: usize = 32;
+    let dataset = cid as u64 + 1;
+    let mut out = ChaosOutcome::default();
+    let mut client = match Client::connect_with(addr, cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("chaos client {cid}: connect failed: {e}");
+            out.errors += 1;
+            return out;
+        }
+    };
+    let mut expected = match probe_live(&mut client, dataset) {
+        Some(v) => v,
+        None => {
+            eprintln!("chaos client {cid}: initial EPOCH probe failed");
+            out.errors += 1;
+            return out;
+        }
+    };
+    let mut gen = PointGen::new(0x50A4_D00D + cid as u64, 10_000.0);
+    for r in 0..rounds {
+        if r % 3 == 2 && expected > 2 * BATCH as u64 {
+            // Delete a batch of currently live ids. `applied` can fall
+            // short of the batch when a concurrent fold renumbered the
+            // id space — the ledger tracks applied, not attempted.
+            match probe_live(&mut client, dataset) {
+                Some(live) if live > BATCH as u64 => {
+                    let start = (r as u64 * 97) % (live - BATCH as u64);
+                    let ids: Vec<u32> = (0..BATCH as u64).map(|k| (start + k) as u32).collect();
+                    match client.delete(dataset, Side::S, &ids) {
+                        Ok(o) if o.status == RequestStatus::Ok => {
+                            expected -= u64::from(o.applied);
+                        }
+                        Ok(o) => {
+                            eprintln!("chaos client {cid} delete: status {}", o.status);
+                            out.errors += 1;
+                        }
+                        Err(ClientError::AmbiguousMutation) => {
+                            match probe_live(&mut client, dataset) {
+                                // Anywhere in [expected - BATCH, expected]
+                                // is explained by a partially-stale batch
+                                // applied zero or one times; resync.
+                                Some(live)
+                                    if live <= expected && live + BATCH as u64 >= expected =>
+                                {
+                                    expected = live;
+                                }
+                                Some(live) => {
+                                    eprintln!(
+                                        "chaos client {cid}: ambiguous delete left live {live}, \
+                                         ledger {expected}"
+                                    );
+                                    out.lost += 1;
+                                }
+                                None => out.errors += 1,
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("chaos client {cid} delete: {e}");
+                            out.errors += 1;
+                        }
+                    }
+                }
+                Some(_) => {}
+                None => out.errors += 1,
+            }
+        } else {
+            let points: Vec<Point> = (0..BATCH).map(|_| gen.point()).collect();
+            match client.insert(dataset, Side::S, &points) {
+                Ok(o) if o.status == RequestStatus::Ok => {
+                    expected += u64::from(o.applied);
+                }
+                Ok(o) => {
+                    eprintln!("chaos client {cid} insert: status {}", o.status);
+                    out.errors += 1;
+                }
+                Err(ClientError::AmbiguousMutation) => match probe_live(&mut client, dataset) {
+                    // Inserts apply atomically: applied once or not at
+                    // all — any other count is a lost/doubled mutation.
+                    Some(live) if live == expected + BATCH as u64 || live == expected => {
+                        expected = live;
+                    }
+                    Some(live) => {
+                        eprintln!(
+                            "chaos client {cid}: ambiguous insert left live {live}, \
+                             ledger {expected}"
+                        );
+                        out.lost += 1;
+                    }
+                    None => out.errors += 1,
+                },
+                Err(e) => {
+                    eprintln!("chaos client {cid} insert: {e}");
+                    out.errors += 1;
+                }
+            }
+        }
+        // A read between every mutation — full-buffer `sample` retries
+        // freely (idempotent), so faults cost latency, not correctness.
+        let seed = 1 + (cid * rounds + r) as u64;
+        match client.sample(SampleRequest {
+            req_id: 0,
+            dataset,
+            l: 100.0,
+            algorithm: None,
+            shards: 1,
+            t,
+            seed,
+        }) {
+            Ok(o) if o.status == RequestStatus::Ok => out.samples += o.pairs.len() as u64,
+            Ok(o) => {
+                eprintln!("chaos client {cid} round {r}: status {}", o.status);
+                out.errors += 1;
+            }
+            Err(e) => {
+                eprintln!("chaos client {cid} round {r}: {e}");
+                out.errors += 1;
+            }
+        }
+    }
+    // Final convergence check: the server must agree exactly with the
+    // sole mutator's ledger once all ambiguity has been resolved.
+    match probe_live(&mut client, dataset) {
+        Some(live) if live == expected => {}
+        Some(live) => {
+            eprintln!("chaos client {cid}: final live {live} != ledger {expected}");
+            out.lost += 1;
+        }
+        None => {
+            eprintln!("chaos client {cid}: final EPOCH probe failed");
+            out.errors += 1;
+        }
+    }
+    out.retries = client.retries();
+    out.busy = client.busy_answers();
+    out
+}
+
+struct ChaosPhase {
+    samples_per_sec: f64,
+    samples: u64,
+    retries: u64,
+    busy: u64,
+    errors: u64,
+    lost: u64,
+    shed: u64,
+    rate_limited: u64,
+    reaped: u64,
+    /// `(pairs, draws, statistic, threshold, pass)` when the phase ran
+    /// the chi-squared uniformity check.
+    chi2: Option<(usize, u64, f64, f64, bool)>,
+}
+
+/// The `--chaos` soak (see USAGE). Runs the identical mutating
+/// workload twice — faults off, then the seeded fault plan — and holds
+/// the faulted run to the same correctness bar plus evidence that the
+/// hardening machinery actually fired.
+fn run_chaos(
+    base_cfg: ClientConfig,
+    clients: usize,
+    requests: usize,
+    t: u64,
+    fault_seed: u64,
+    out_path: &str,
+) -> ! {
+    let clients_n = clients.clamp(2, 8);
+    let rounds = requests.max(40);
+    let t = t.clamp(200, 2_000);
+    // Aggressive retry posture: the soak's job is to converge through
+    // faults, not to report them.
+    let chaos_cfg = ClientConfig {
+        retries: 20,
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(50),
+        ..base_cfg
+    };
+
+    let phase = |plan: FaultPlan, idle_timeout_ms: u64, shed_hw: usize| -> ChaosPhase {
+        // Identical datasets per phase: one private dataset per client
+        // (ids 1..=clients) plus the read-only chi-squared control.
+        let mut registry = DatasetRegistry::new();
+        for cid in 0..clients_n {
+            let mut gen = PointGen::new(0xC4A0_5000 + cid as u64, 10_000.0);
+            let r: Vec<Point> = (0..4_000).map(|_| gen.point()).collect();
+            let s: Vec<Point> = (0..4_000).map(|_| gen.point()).collect();
+            registry.register(cid as u64 + 1, r, s);
+        }
+        let (ctl_r, ctl_s) = control_points();
+        registry.register(CTL_DATASET, ctl_r.clone(), ctl_s.clone());
+        let faulted = plan.is_active();
+        let config = ServerConfig {
+            fault_plan: plan,
+            idle_timeout: Duration::from_millis(idle_timeout_ms),
+            shed_high_water: shed_hw,
+            ..ServerConfig::default()
+        };
+        let mut server = Server::start("127.0.0.1:0", registry, config).expect("bind chaos server");
+        let addr = server.local_addr().to_string();
+        // A connection that speaks once and then goes quiet: under an
+        // idle deadline the maintainer must reap it (srj_conn_reaped).
+        let mut idle_client = Client::connect_with(addr.as_str(), chaos_cfg).ok();
+        if let Some(c) = idle_client.as_mut() {
+            let _ = c.ping();
+        }
+        let idle_since = Instant::now();
+
+        let wall_start = Instant::now();
+        let outcomes: Vec<ChaosOutcome> = std::thread::scope(|scope| {
+            let addr = &addr;
+            let handles: Vec<_> = (0..clients_n)
+                .map(|cid| {
+                    let cfg = ClientConfig {
+                        jitter_seed: cid as u64 + 1,
+                        ..chaos_cfg
+                    };
+                    scope.spawn(move || run_chaos_client(cid, addr, cfg, rounds, t))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall = wall_start.elapsed();
+
+        // Chi-squared uniformity of the sample stream *under faults*:
+        // retries and reassembly must not bias which pairs come back.
+        let chi2 = faulted.then(|| {
+            let mut pair_index = std::collections::HashMap::new();
+            for (ri, rp) in ctl_r.iter().enumerate() {
+                let w = srj_geom::Rect::window(*rp, CTL_L);
+                for (si, sp) in ctl_s.iter().enumerate() {
+                    if w.contains(*sp) {
+                        let k = pair_index.len();
+                        pair_index.insert((ri as u32, si as u32), k);
+                    }
+                }
+            }
+            let j = pair_index.len();
+            assert!(j > 20, "degenerate control join ({j} pairs)");
+            let target = (60 * j as u64).clamp(20_000, 200_000);
+            let mut counts = vec![0u64; j];
+            let mut drawn = 0u64;
+            let mut sound = true;
+            let mut c = Client::connect_with(addr.as_str(), chaos_cfg).expect("chi2 client");
+            for round in 0.. {
+                if drawn >= target || round > 400 {
+                    break;
+                }
+                let want = (target - drawn).min(2_000);
+                match c.sample(SampleRequest {
+                    req_id: 0,
+                    dataset: CTL_DATASET,
+                    l: CTL_L,
+                    algorithm: None,
+                    shards: 1,
+                    t: want,
+                    seed: 0xC210 + round,
+                }) {
+                    Ok(o) if o.status == RequestStatus::Ok => {
+                        for p in &o.pairs {
+                            match pair_index.get(&(p.r, p.s)) {
+                                Some(&k) => counts[k] += 1,
+                                // A pair outside the exact join is a
+                                // correctness failure, not noise.
+                                None => sound = false,
+                            }
+                        }
+                        drawn += o.pairs.len() as u64;
+                    }
+                    _ => {
+                        sound = false;
+                        break;
+                    }
+                }
+            }
+            let e = drawn as f64 / j as f64;
+            let stat: f64 = counts
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - e;
+                    d * d / e
+                })
+                .sum();
+            let df = (j - 1) as f64;
+            // ~6 sigma above the chi-squared mean: essentially never
+            // trips on a uniform sampler, catches gross bias.
+            let threshold = df + 6.0 * (2.0 * df).sqrt();
+            (
+                j,
+                drawn,
+                stat,
+                threshold,
+                sound && drawn >= target && stat <= threshold,
+            )
+        });
+
+        // Give the maintainer room to reap the idle connection: the
+        // acceptance bound is 2x the idle deadline.
+        if idle_timeout_ms > 0 {
+            let deadline = Duration::from_millis(idle_timeout_ms * 2);
+            let since = idle_since.elapsed();
+            if since < deadline {
+                std::thread::sleep(deadline - since);
+            }
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        let metrics = server.metrics_text();
+        drop(idle_client);
+        server.shutdown();
+
+        ChaosPhase {
+            samples_per_sec: outcomes.iter().map(|o| o.samples).sum::<u64>() as f64
+                / wall.as_secs_f64().max(1e-9),
+            samples: outcomes.iter().map(|o| o.samples).sum(),
+            retries: outcomes.iter().map(|o| o.retries).sum(),
+            busy: outcomes.iter().map(|o| o.busy).sum(),
+            errors: outcomes.iter().map(|o| o.errors).sum(),
+            lost: outcomes.iter().map(|o| o.lost).sum(),
+            shed: metric_value(&metrics, "srj_requests_shed") as u64,
+            rate_limited: metric_value(&metrics, "srj_rate_limited") as u64,
+            reaped: metric_value(&metrics, "srj_conn_reaped") as u64,
+            chi2,
+        }
+    };
+
+    eprintln!(
+        "# chaos: {clients_n} clients x {rounds} rounds x {t} samples, \
+         faults off then on (seed {fault_seed})"
+    );
+    let off = phase(FaultPlan::inert(), 0, 0);
+    eprintln!(
+        "# faults off: {:.0} samples/s, {} errors",
+        off.samples_per_sec, off.errors
+    );
+    let plan = FaultPlan {
+        seed: fault_seed,
+        delay_read_prob: 0.05,
+        delay_read_ms: 2,
+        partial_write_prob: 0.03,
+        truncate_frame_prob: 0.015,
+        drop_conn_prob: 0.015,
+        busy_prob: 0.05,
+        busy_retry_after_ms: 5,
+    };
+    let on = phase(plan, 300, 2);
+    let ratio = on.samples_per_sec / off.samples_per_sec.max(1e-9);
+    eprintln!(
+        "# faults on: {:.0} samples/s (ratio {ratio:.2}), {} retries, {} busy, \
+         {} shed, {} reaped, {} errors, {} lost",
+        on.samples_per_sec, on.retries, on.busy, on.shed, on.reaped, on.errors, on.lost
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    for (label, p) in [("faults_off", &off), ("faults_on", &on)] {
+        if p.lost > 0 {
+            failures.push(format!("{label}: {} lost mutations", p.lost));
+        }
+        if p.errors > 0 {
+            failures.push(format!("{label}: {} unconverged operations", p.errors));
+        }
+        if p.samples == 0 {
+            failures.push(format!("{label}: no samples delivered"));
+        }
+    }
+    if ratio < 0.35 {
+        failures.push(format!(
+            "faulted throughput collapsed: ratio {ratio:.2} < 0.35"
+        ));
+    }
+    if on.reaped == 0 {
+        failures.push("no idle connection was reaped under the idle deadline".into());
+    }
+    if on.retries + on.busy == 0 {
+        failures.push("fault plan produced zero retry/BUSY activity".into());
+    }
+    match on.chi2 {
+        Some((_, _, stat, threshold, pass)) if !pass => {
+            failures.push(format!(
+                "chi-squared uniformity failed under faults: {stat:.1} > {threshold:.1} \
+                 (or non-join pairs / short draw)"
+            ));
+        }
+        None => failures.push("chi-squared check did not run".into()),
+        _ => {}
+    }
+
+    let (chi_pairs, chi_draws, chi_stat, chi_threshold, chi_pass) =
+        on.chi2.unwrap_or((0, 0, 0.0, 0.0, false));
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"pr\": 7,").unwrap();
+    writeln!(json, "  \"host_cores\": {},", host_cores()).unwrap();
+    writeln!(
+        json,
+        "  \"workload\": {{\"clients\": {clients_n}, \"rounds_per_client\": {rounds}, \
+         \"t\": {t}, \"insert_batch\": 32, \"fault_seed\": {fault_seed}}},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"fault_plan\": {{\"delay_read_prob\": {}, \"delay_read_ms\": {}, \
+         \"partial_write_prob\": {}, \"truncate_frame_prob\": {}, \"drop_conn_prob\": {}, \
+         \"busy_prob\": {}, \"busy_retry_after_ms\": {}}},",
+        plan.delay_read_prob,
+        plan.delay_read_ms,
+        plan.partial_write_prob,
+        plan.truncate_frame_prob,
+        plan.drop_conn_prob,
+        plan.busy_prob,
+        plan.busy_retry_after_ms
+    )
+    .unwrap();
+    for (label, p) in [("faults_off", &off), ("faults_on", &on)] {
+        writeln!(
+            json,
+            "  \"{label}\": {{\"samples_per_sec\": {:.0}, \"samples\": {}, \"retries\": {}, \
+             \"busy_answers\": {}, \"requests_shed\": {}, \"rate_limited\": {}, \
+             \"conns_reaped\": {}, \"errors\": {}, \"lost_mutations\": {}}},",
+            p.samples_per_sec,
+            p.samples,
+            p.retries,
+            p.busy,
+            p.shed,
+            p.rate_limited,
+            p.reaped,
+            p.errors,
+            p.lost
+        )
+        .unwrap();
+    }
+    writeln!(json, "  \"throughput_ratio\": {ratio:.4},").unwrap();
+    writeln!(
+        json,
+        "  \"chi2\": {{\"pairs\": {chi_pairs}, \"draws\": {chi_draws}, \
+         \"statistic\": {chi_stat:.2}, \"threshold\": {chi_threshold:.2}, \
+         \"pass\": {chi_pass}}},"
+    )
+    .unwrap();
+    writeln!(json, "  \"pass\": {}", failures.is_empty()).unwrap();
+    writeln!(json, "}}").unwrap();
+    print!("{json}");
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("warning: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {out_path}");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("chaos soak failed: {f}");
+        }
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7878".to_string();
@@ -527,6 +1056,10 @@ fn main() {
     let mut update_batch: usize = 256;
     let mut delete_heavy = false;
     let mut obs_bench = false;
+    let mut chaos = false;
+    let mut fault_seed: u64 = 7;
+    let mut connect_timeout_ms: u64 = 5_000;
+    let mut nodelay = true;
     let mut domain: f64 = 10_000.0;
     let mut out_path: Option<String> = None;
     let mut shutdown = false;
@@ -568,6 +1101,18 @@ fn main() {
                 obs_bench = true;
                 i += 1;
             }
+            "--chaos" => {
+                chaos = true;
+                i += 1;
+            }
+            "--fault-seed" => parse_flag!(fault_seed, "--fault-seed", "an integer"),
+            "--connect-timeout-ms" => {
+                parse_flag!(connect_timeout_ms, "--connect-timeout-ms", "an integer")
+            }
+            "--no-nodelay" => {
+                nodelay = false;
+                i += 1;
+            }
             "--domain" => parse_flag!(domain, "--domain", "a float"),
             "--out" => out_path = Some(value(&args, &mut i, "--out")),
             "--shutdown" => {
@@ -594,8 +1139,18 @@ fn main() {
     if obs_bench && (delete_heavy || update_fraction > 0.0) {
         fail("--obs-bench runs a pure read workload (no updates)");
     }
+    if chaos && (obs_bench || delete_heavy || update_fraction > 0.0) {
+        fail("--chaos is its own workload (no --obs-bench/--delete-heavy/--update-fraction)");
+    }
+    let cfg = ClientConfig {
+        connect_timeout: Duration::from_millis(connect_timeout_ms),
+        nodelay,
+        ..ClientConfig::default()
+    };
     let out_path = out_path.unwrap_or_else(|| {
-        if obs_bench {
+        if chaos {
+            "BENCH_PR7.json".to_string()
+        } else if obs_bench {
             "BENCH_PR6.json".to_string()
         } else if delete_heavy {
             "BENCH_PR5.json".to_string()
@@ -603,8 +1158,12 @@ fn main() {
             "BENCH_PR3.json".to_string()
         }
     });
+    if chaos {
+        run_chaos(cfg, clients, requests, t, fault_seed, &out_path);
+    }
     if obs_bench {
         run_obs_bench(
+            cfg,
             clients.max(1),
             requests,
             t,
@@ -635,7 +1194,7 @@ fn main() {
     // engine must exist (and register its Σµ) *before* the first
     // delete: warm it up with one tiny sample request.
     if delete_heavy {
-        if let Ok(mut c) = Client::connect(addr.as_str()) {
+        if let Ok(mut c) = Client::connect_with(addr.as_str(), cfg) {
             let _ = c.sample(SampleRequest {
                 req_id: 0,
                 dataset,
@@ -650,24 +1209,26 @@ fn main() {
     // Epoch/stats probes only matter for the update-mode JSON
     // branches; pure-read runs must not pay the extra connections.
     let probe = |fold_first: bool| {
-        Client::connect(addr.as_str()).ok().and_then(|mut c| {
-            if fold_first {
-                // One read forces any still-pending delta to be folded
-                // in, so the probe reports a current swap.
-                let _ = c.sample(SampleRequest {
-                    req_id: 0,
-                    dataset,
-                    l,
-                    algorithm,
-                    shards,
-                    t: 1,
-                    seed: 1,
-                });
-            }
-            let info = c.epoch(dataset).ok().map(|(_, info)| info)?;
-            let stats = c.server_stats().ok()?;
-            Some((info, stats))
-        })
+        Client::connect_with(addr.as_str(), cfg)
+            .ok()
+            .and_then(|mut c| {
+                if fold_first {
+                    // One read forces any still-pending delta to be folded
+                    // in, so the probe reports a current swap.
+                    let _ = c.sample(SampleRequest {
+                        req_id: 0,
+                        dataset,
+                        l,
+                        algorithm,
+                        shards,
+                        t: 1,
+                        seed: 1,
+                    });
+                }
+                let info = c.epoch(dataset).ok().map(|(_, info)| info)?;
+                let stats = c.server_stats().ok()?;
+                Some((info, stats))
+            })
     };
     let before = probes.then(|| probe(false)).flatten();
     let wall_start = Instant::now();
@@ -680,6 +1241,7 @@ fn main() {
                         run_delete_heavy_client(
                             cid,
                             addr,
+                            cfg,
                             requests,
                             t,
                             dataset,
@@ -692,6 +1254,7 @@ fn main() {
                         run_client(
                             cid,
                             addr,
+                            cfg,
                             requests,
                             t,
                             dataset,
@@ -823,10 +1386,7 @@ fn main() {
     }
 
     if shutdown {
-        match Client::connect(addr.as_str()).and_then(|mut c| {
-            c.shutdown_server()
-                .map_err(|e| std::io::Error::other(e.to_string()))
-        }) {
+        match Client::connect_with(addr.as_str(), cfg).and_then(|mut c| c.shutdown_server()) {
             Ok(()) => eprintln!("# sent shutdown"),
             Err(e) => eprintln!("warning: shutdown request failed: {e}"),
         }

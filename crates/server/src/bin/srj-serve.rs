@@ -23,13 +23,24 @@ const USAGE: &str = "usage: srj-serve [--addr HOST:PORT] [--workers N] [--queue-
                  [--rebuild-fraction F] [--tombstone-rebuild-fraction F]
                  [--max-patch-fraction F] [--repair-factor F] [--replan-factor F]
                  [--trace-sample-rate F] [--log-json]
+                 [--handshake-timeout-ms N] [--read-timeout-ms N]
+                 [--write-timeout-ms N] [--idle-timeout-ms N]
+                 [--rate-limit-rps N] [--mutation-rate-limit-rps N]
+                 [--shed-high-water N]
                  [--dataset ID=KIND:SCALE[:SEED]]... [--dataset-file ID=R_PATH[,S_PATH]]...
   KIND: uniform | road | poi | trajectory | taxi
   --trace-sample-rate: fraction of SAMPLE requests recording trace
                        spans (0 disables tracing; fetch with TRACE)
   --log-json: print every lifecycle event (swaps, patches, repairs,
-              re-plans, compactions, backpressure parks) to stderr as
-              one JSON object per line
+              re-plans, compactions, backpressure parks, load sheds,
+              reaped connections) to stderr as one JSON object per line
+  --handshake/read/write/idle-timeout-ms: connection deadlines
+              (0 disables; defaults 10000/30000/30000/300000)
+  --rate-limit-rps / --mutation-rate-limit-rps: per-connection token
+              buckets, frames/second (0 = unlimited); exceeded budgets
+              answer BUSY{retry_after_ms}
+  --shed-high-water: job-queue depth past which SAMPLEs are answered
+              BUSY instead of queued (0 disables; default 256)
   Default: --addr 127.0.0.1:7878 --dataset 1=uniform:0.05";
 
 fn fail(msg: &str) -> ! {
@@ -196,6 +207,45 @@ fn main() {
                     fail("--trace-sample-rate must be in [0, 1]");
                 }
                 config.trace_sample_rate = f;
+            }
+            "--handshake-timeout-ms" => {
+                let ms: u64 = value(&args, &mut i, "--handshake-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--handshake-timeout-ms takes an integer"));
+                config.handshake_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value(&args, &mut i, "--read-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--read-timeout-ms takes an integer"));
+                config.read_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = value(&args, &mut i, "--write-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--write-timeout-ms takes an integer"));
+                config.write_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = value(&args, &mut i, "--idle-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--idle-timeout-ms takes an integer"));
+                config.idle_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--rate-limit-rps" => {
+                config.rate_limit_rps = value(&args, &mut i, "--rate-limit-rps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--rate-limit-rps takes an integer"));
+            }
+            "--mutation-rate-limit-rps" => {
+                config.mutation_rate_limit_rps = value(&args, &mut i, "--mutation-rate-limit-rps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--mutation-rate-limit-rps takes an integer"));
+            }
+            "--shed-high-water" => {
+                config.shed_high_water = value(&args, &mut i, "--shed-high-water")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--shed-high-water takes an integer"));
             }
             "--log-json" => {
                 log_json = true;

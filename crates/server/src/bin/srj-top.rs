@@ -5,22 +5,27 @@
 //! srj-top --addr 127.0.0.1:7878 --interval-ms 1000
 //! ```
 //!
-//! Polls the `METRICS` frame on an interval and renders, per dataset:
-//! request/sample throughput (rates are deltas between polls), error
-//! counts, latency p50/p99 reconstructed from the histogram buckets,
-//! the observed rejection rate, and the five maintenance-rung
-//! counters. `--once` prints a single snapshot and exits; `--raw`
-//! dumps the exposition text verbatim (what the CI smoke step greps).
+//! Polls the `METRICS` frame on an interval and renders a server
+//! health line (connections, load sheds, rate limits, reaped idle
+//! connections, handshake rejects) plus, per dataset: request/sample
+//! throughput (rates are deltas between polls), error counts, latency
+//! p50/p99 reconstructed from the histogram buckets, the observed
+//! rejection rate, and the five maintenance-rung counters. `--once`
+//! prints a single snapshot and exits; `--raw` dumps the exposition
+//! text verbatim (what the CI smoke step greps).
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use srj_server::Client;
+use srj_server::{Client, ClientConfig};
 
-const USAGE: &str = "usage: srj-top [--addr HOST:PORT] [--interval-ms N] [--once] [--raw]
+const USAGE: &str = "usage: srj-top [--addr HOST:PORT] [--interval-ms N]
+               [--connect-timeout-ms N] [--once] [--raw]
   --once: print one snapshot and exit
   --raw:  print the raw Prometheus exposition instead of the dashboard
-  Default: --addr 127.0.0.1:7878 --interval-ms 1000";
+  --connect-timeout-ms: dial deadline (0 blocks indefinitely)
+  Default: --addr 127.0.0.1:7878 --interval-ms 1000
+           --connect-timeout-ms 5000";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -166,9 +171,37 @@ fn snapshot_rows(samples: &[Sample]) -> BTreeMap<u64, DatasetRow> {
     rows
 }
 
+/// Unlabeled server-wide series the health line shows.
+#[derive(Default, Clone, Copy)]
+struct HealthRow {
+    connections: f64,
+    shed: f64,
+    rate_limited: f64,
+    reaped: f64,
+    handshake_rejects: f64,
+    parks: f64,
+}
+
+fn snapshot_health(samples: &[Sample]) -> HealthRow {
+    let mut h = HealthRow::default();
+    for s in samples {
+        match s.name.as_str() {
+            "srj_connections_accepted_total" => h.connections = s.value,
+            "srj_requests_shed" => h.shed = s.value,
+            "srj_rate_limited" => h.rate_limited = s.value,
+            "srj_conn_reaped" => h.reaped = s.value,
+            "srj_handshake_rejects_total" => h.handshake_rejects = s.value,
+            "srj_backpressure_parks_total" => h.parks = s.value,
+            _ => {}
+        }
+    }
+    h
+}
+
 fn render(
     rows: &BTreeMap<u64, DatasetRow>,
     prev: &BTreeMap<u64, DatasetRow>,
+    health: HealthRow,
     dt: Duration,
     clear: bool,
 ) {
@@ -176,6 +209,16 @@ fn render(
         // ANSI clear + home, so the dashboard repaints in place.
         print!("\x1b[2J\x1b[H");
     }
+    println!(
+        "conns {:.0}  shed {:.0}  rate-limited {:.0}  reaped {:.0}  \
+         handshake-rejects {:.0}  parks {:.0}",
+        health.connections,
+        health.shed,
+        health.rate_limited,
+        health.reaped,
+        health.handshake_rejects,
+        health.parks,
+    );
     println!(
         "{:>8} {:>9} {:>11} {:>7} {:>9} {:>9} {:>7} {:>32}",
         "dataset", "req/s", "samples/s", "errors", "p50", "p99", "rej", "rungs m/c/f/r/p"
@@ -215,6 +258,7 @@ fn main() {
     let mut interval = Duration::from_millis(1000);
     let mut once = false;
     let mut raw = false;
+    let mut connect_timeout = Duration::from_millis(5_000);
 
     let mut i = 0;
     while i < args.len() {
@@ -236,6 +280,16 @@ fn main() {
                 interval = Duration::from_millis(ms.max(1));
                 i += 2;
             }
+            "--connect-timeout-ms" => {
+                let Some(v) = args.get(i + 1) else {
+                    fail("--connect-timeout-ms requires a value");
+                };
+                let ms: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--connect-timeout-ms takes an integer"));
+                connect_timeout = Duration::from_millis(ms);
+                i += 2;
+            }
             "--once" => {
                 once = true;
                 i += 1;
@@ -249,7 +303,11 @@ fn main() {
         }
     }
 
-    let mut client = match Client::connect(addr.as_str()) {
+    let config = ClientConfig {
+        connect_timeout,
+        ..ClientConfig::default()
+    };
+    let mut client = match Client::connect_with(addr.as_str(), config) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cannot connect to {addr}: {e}");
@@ -270,9 +328,11 @@ fn main() {
         if raw {
             print!("{text}");
         } else {
-            let rows = snapshot_rows(&parse_exposition(&text));
+            let samples = parse_exposition(&text);
+            let rows = snapshot_rows(&samples);
+            let health = snapshot_health(&samples);
             let dt = last_poll.elapsed().max(interval);
-            render(&rows, &prev, dt, !once);
+            render(&rows, &prev, health, dt, !once);
             prev = rows;
         }
         if once {

@@ -1,21 +1,96 @@
-//! A blocking client for the `srj-server` protocol.
+//! A blocking, fault-tolerant client for the `srj-server` protocol.
 //!
-//! One [`Client`] owns one TCP connection. [`Client::sample`] issues a
-//! `SAMPLE` request and collects the whole answer;
-//! [`Client::sample_with`] hands each batch to a callback as it
-//! arrives, which is both the streaming consumption mode and — because
-//! a callback that dawdles stops reading the socket — the natural way
-//! to exercise the server's backpressure.
+//! One [`Client`] owns one TCP connection, opened under
+//! [`ClientConfig::connect_timeout`] and versioned by the mandatory
+//! `HELLO`/`WELCOME` handshake. [`Client::sample`] issues a `SAMPLE`
+//! request and collects the whole answer; [`Client::sample_with`]
+//! hands each batch to a callback as it arrives, which is both the
+//! streaming consumption mode and — because a callback that dawdles
+//! stops reading the socket — the natural way to exercise the server's
+//! backpressure.
+//!
+//! **Retry semantics.** Every request honours
+//! [`ClientConfig::retries`] with jittered exponential backoff, and a
+//! `BUSY{retry_after_ms}` answer never waits less than the server's
+//! hint. What is safe to resend differs by request:
+//!
+//! * reads (`SAMPLE`, `STATS`, `METRICS`, `EPOCH`, `TRACE`, `PING`)
+//!   are idempotent — transport failures reconnect and resend freely
+//!   ([`Client::sample`] restarts with a fresh buffer;
+//!   [`Client::sample_with`] only resends while *zero* batches have
+//!   reached the callback, since delivered pairs cannot be recalled);
+//! * mutations (`INSERT`/`DELETE`) are **not** idempotent over a lost
+//!   answer. The client probes the dataset's `EPOCH` counters before
+//!   sending; after a transport failure it reconnects, re-probes, and
+//!   resends only when the counters are unchanged (the mutation
+//!   provably did not apply). A changed counter surfaces as
+//!   [`ClientError::AmbiguousMutation`] — with this client as the
+//!   dataset's sole mutator that means "applied, answer lost", and
+//!   callers holding a ledger (e.g. the chaos harness) can resolve it
+//!   from the live counts. `BUSY` answers to mutations are always safe
+//!   to retry: the server declined before applying anything.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::cell::Cell;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use srj_core::JoinPair;
 use srj_geom::Point;
 
+use crate::fault::FaultRng;
 use crate::protocol::{
-    encode_request, read_frame, write_frame, EpochInfo, ProtocolError, Request, RequestStats,
-    RequestStatus, Response, SampleRequest, ServerStatsFrame, Side, TraceSpan,
+    encode_request, read_frame, write_frame, EpochInfo, ErrorCode, ProtocolError, Request,
+    RequestStats, RequestStatus, Response, SampleRequest, ServerStatsFrame, Side, TraceSpan,
+    FEAT_BUSY, FEAT_KEEPALIVE, FEAT_MUTATIONS, PROTOCOL_VERSION,
 };
+
+/// Connection and retry knobs. The defaults suit an interactive client
+/// on a healthy network; a chaos harness raises `retries`.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Deadline for the TCP connect itself. Default 5 s. Zero blocks
+    /// indefinitely (plain `connect`).
+    pub connect_timeout: Duration,
+    /// Socket read deadline; an answer stalled past it counts as a
+    /// transport failure (and retries, when the request allows).
+    /// Default 30 s. Zero disables.
+    pub read_timeout: Duration,
+    /// Socket write deadline. Default 30 s. Zero disables.
+    pub write_timeout: Duration,
+    /// `TCP_NODELAY` on the connection. Default `true` — the protocol
+    /// is request/response, Nagle only adds latency.
+    pub nodelay: bool,
+    /// Resends allowed per request after `BUSY` answers or transport
+    /// failures. Default 3. Zero also skips the pre-mutation `EPOCH`
+    /// probe (no retry, nothing to classify).
+    pub retries: u32,
+    /// First backoff step; doubles each retry. Default 50 ms.
+    pub backoff_base: Duration,
+    /// Backoff ceiling. Default 2 s.
+    pub backoff_max: Duration,
+    /// Seed for the backoff jitter stream (any value works; two
+    /// clients with different seeds desynchronise their retry storms).
+    pub jitter_seed: u64,
+    /// Feature bits advertised in `HELLO`. Default: everything this
+    /// client implements.
+    pub features: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            nodelay: true,
+            retries: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            jitter_seed: 0,
+            features: FEAT_KEEPALIVE | FEAT_BUSY | FEAT_MUTATIONS,
+        }
+    }
+}
 
 /// Client-side failure modes.
 #[derive(Debug)]
@@ -27,6 +102,25 @@ pub enum ClientError {
     Unexpected(&'static str),
     /// The connection ended before the answer completed.
     Disconnected,
+    /// The server answered `BUSY` and the retry budget is exhausted;
+    /// carries the server's last `retry_after_ms` hint.
+    Busy {
+        /// The server's suggested wait before re-offering.
+        retry_after_ms: u32,
+    },
+    /// The server refused the connection or request with an `ERROR`
+    /// frame (version mismatch, missing handshake, …).
+    Rejected {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// A mutation's answer was lost and the dataset's epoch/version
+    /// moved meanwhile, so the client cannot prove the mutation did
+    /// not apply. Sole-mutator callers can resolve this from the
+    /// dataset's live counts ([`Client::epoch`]).
+    AmbiguousMutation,
 }
 
 impl std::fmt::Display for ClientError {
@@ -35,6 +129,18 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Unexpected(what) => write!(f, "unexpected server answer: {what}"),
             ClientError::Disconnected => write!(f, "server closed the connection mid-answer"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy (retry after {retry_after_ms} ms)")
+            }
+            ClientError::Rejected { code, message } => {
+                write!(f, "server rejected the connection ({code}): {message}")
+            }
+            ClientError::AmbiguousMutation => {
+                write!(
+                    f,
+                    "mutation answer lost; server state moved, cannot prove non-application"
+                )
+            }
         }
     }
 }
@@ -51,6 +157,15 @@ impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Protocol(ProtocolError::Io(e))
     }
+}
+
+/// Whether an error is a transport failure (reconnect + resend might
+/// help) rather than a semantic answer.
+fn is_transport(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Protocol(ProtocolError::Io(_)) | ClientError::Disconnected
+    )
 }
 
 /// A completed `SAMPLE` answer.
@@ -83,43 +198,164 @@ pub struct UpdateOutcome {
     pub version: u64,
 }
 
-/// One blocking connection to an `srj-server`.
+/// One blocking connection to an `srj-server`, with reconnect/retry
+/// state (see the module docs for what is safe to resend).
 pub struct Client {
     stream: TcpStream,
+    /// Resolved server addresses, kept for reconnects.
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
     next_req_id: u32,
+    /// Feature bits the server advertised in `WELCOME`.
+    server_features: u32,
+    /// Resends performed (both `BUSY`- and transport-triggered).
+    retries_total: u64,
+    /// `BUSY` answers received.
+    busy_answers: u64,
+    jitter: FaultRng,
 }
 
 impl Client {
-    /// Connects to a server.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        Ok(Client {
+    /// Connects with the default [`ClientConfig`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects (under `config.connect_timeout`) and performs the
+    /// `HELLO`/`WELCOME` handshake. A server speaking another protocol
+    /// version answers a clean `ERROR` frame, surfaced as
+    /// [`ClientError::Rejected`].
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        config: ClientConfig,
+    ) -> Result<Client, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Unexpected("address resolved to nothing"));
+        }
+        let stream = dial(&addrs, &config)?;
+        let mut client = Client {
             stream,
+            addrs,
+            config,
             next_req_id: 1,
-        })
+            server_features: 0,
+            retries_total: 0,
+            busy_answers: 0,
+            jitter: FaultRng::new(config.jitter_seed ^ 0x6A17_7E5E_ED5E_ED00),
+        };
+        client.handshake()?;
+        Ok(client)
+    }
+
+    /// Feature bits the server advertised in `WELCOME`.
+    pub fn server_features(&self) -> u32 {
+        self.server_features
+    }
+
+    /// Resends this client has performed (after `BUSY` answers or
+    /// transport failures).
+    pub fn retries(&self) -> u64 {
+        self.retries_total
+    }
+
+    /// `BUSY` answers this client has received.
+    pub fn busy_answers(&self) -> u64 {
+        self.busy_answers
+    }
+
+    /// Round-trips a keepalive `PING` (retried like any idempotent
+    /// read).
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let token = u64::from(self.next_id()) | 0x5157_0000_0000_0000;
+        match self.exchange(&Request::Ping { token })? {
+            Response::Pong { token: t } if t == token => Ok(()),
+            _ => Err(ClientError::Unexpected("expected a pong frame")),
+        }
     }
 
     /// Draws `req.t` samples, collecting every batch. `req.req_id` is
-    /// overwritten with a connection-unique id.
+    /// overwritten with a connection-unique id. Retries freely: every
+    /// attempt restarts with a fresh buffer, so a mid-stream transport
+    /// failure costs time, never correctness.
     pub fn sample(&mut self, req: SampleRequest) -> Result<SampleOutcome, ClientError> {
-        let mut pairs = Vec::new();
-        let mut outcome = self.sample_with(req, |batch| pairs.extend_from_slice(batch))?;
-        outcome.pairs = pairs;
-        Ok(outcome)
+        let mut attempt = 0u32;
+        loop {
+            let mut pairs = Vec::new();
+            match self.try_sample(req, |batch| pairs.extend_from_slice(batch)) {
+                Ok(mut outcome) => {
+                    outcome.pairs = pairs;
+                    return Ok(outcome);
+                }
+                Err(ClientError::Busy { retry_after_ms }) => {
+                    self.busy_answers += 1;
+                    if attempt >= self.config.retries {
+                        return Err(ClientError::Busy { retry_after_ms });
+                    }
+                    self.backoff(attempt, retry_after_ms);
+                }
+                Err(e) if is_transport(&e) => {
+                    if attempt >= self.config.retries {
+                        return Err(e);
+                    }
+                    self.backoff(attempt, 0);
+                    self.reconnect()?;
+                }
+                Err(e) => return Err(e),
+            }
+            self.retries_total += 1;
+            attempt += 1;
+        }
     }
 
     /// Draws `req.t` samples, handing each batch to `on_batch` as it
     /// arrives. The callback runs between socket reads: a slow callback
     /// is a slow reader, and the server parks this request (only) until
-    /// the client catches up.
+    /// the client catches up. Transport failures are retried only while
+    /// zero batches have reached the callback — delivered pairs cannot
+    /// be recalled, so a mid-stream failure surfaces as an error.
     pub fn sample_with(
+        &mut self,
+        req: SampleRequest,
+        mut on_batch: impl FnMut(&[JoinPair]),
+    ) -> Result<SampleOutcome, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let delivered = Cell::new(false);
+            let result = self.try_sample(req, |batch| {
+                delivered.set(true);
+                on_batch(batch);
+            });
+            match result {
+                Ok(outcome) => return Ok(outcome),
+                Err(ClientError::Busy { retry_after_ms }) => {
+                    self.busy_answers += 1;
+                    if attempt >= self.config.retries {
+                        return Err(ClientError::Busy { retry_after_ms });
+                    }
+                    self.backoff(attempt, retry_after_ms);
+                }
+                Err(e) if is_transport(&e) && !delivered.get() => {
+                    if attempt >= self.config.retries {
+                        return Err(e);
+                    }
+                    self.backoff(attempt, 0);
+                    self.reconnect()?;
+                }
+                Err(e) => return Err(e),
+            }
+            self.retries_total += 1;
+            attempt += 1;
+        }
+    }
+
+    /// One `SAMPLE` attempt on the current connection.
+    fn try_sample(
         &mut self,
         mut req: SampleRequest,
         mut on_batch: impl FnMut(&[JoinPair]),
     ) -> Result<SampleOutcome, ClientError> {
-        req.req_id = self.next_req_id;
-        self.next_req_id = self.next_req_id.wrapping_add(1);
+        req.req_id = self.next_id();
         write_frame(&mut self.stream, &encode_request(&Request::Sample(req)))?;
         loop {
             match self.read_response()? {
@@ -135,6 +371,15 @@ impl Client {
                         pairs: Vec::new(),
                     });
                 }
+                Response::Busy {
+                    req_id,
+                    retry_after_ms,
+                } if req_id == req.req_id => {
+                    return Err(ClientError::Busy { retry_after_ms });
+                }
+                Response::Error { code, message } => {
+                    return Err(ClientError::Rejected { code, message });
+                }
                 _ => return Err(ClientError::Unexpected("frame for a different request")),
             }
         }
@@ -144,56 +389,127 @@ impl Client {
     /// [`RequestStatus::Ok`] the points were assigned the contiguous id
     /// range starting at [`UpdateOutcome::first_id`] (epoch-relative —
     /// a later rebuild renumbers ids; watch [`UpdateOutcome::epoch`] /
-    /// [`Client::epoch`]).
+    /// [`Client::epoch`]). See the module docs for the retry contract.
     pub fn insert(
         &mut self,
         dataset: u64,
         side: Side,
         points: &[Point],
     ) -> Result<UpdateOutcome, ClientError> {
-        let req_id = self.next_id();
-        write_frame(
-            &mut self.stream,
-            &encode_request(&Request::Insert {
-                req_id,
-                dataset,
-                side,
-                points: points.to_vec(),
-            }),
-        )?;
-        self.read_update(req_id)
+        let req = Request::Insert {
+            req_id: 0,
+            dataset,
+            side,
+            points: points.to_vec(),
+        };
+        self.mutate(dataset, req)
     }
 
     /// Tombstones points of one side of a dataset by id. Unknown or
     /// already-deleted ids are skipped; [`UpdateOutcome::applied`]
-    /// counts the ids that actually took effect.
+    /// counts the ids that actually took effect. See the module docs
+    /// for the retry contract.
     pub fn delete(
         &mut self,
         dataset: u64,
         side: Side,
         ids: &[u32],
     ) -> Result<UpdateOutcome, ClientError> {
-        let req_id = self.next_id();
-        write_frame(
-            &mut self.stream,
-            &encode_request(&Request::Delete {
-                req_id,
-                dataset,
-                side,
-                ids: ids.to_vec(),
-            }),
-        )?;
-        self.read_update(req_id)
+        let req = Request::Delete {
+            req_id: 0,
+            dataset,
+            side,
+            ids: ids.to_vec(),
+        };
+        self.mutate(dataset, req)
+    }
+
+    /// The shared mutation path: probe, send, and classify failures so
+    /// a mutation is only ever resent when it provably did not apply.
+    fn mutate(&mut self, dataset: u64, mut req: Request) -> Result<UpdateOutcome, ClientError> {
+        // The baseline the non-application proof compares against. Not
+        // probed when retries are off — there would be nothing to
+        // classify — and absent when the server refuses the probe
+        // (unknown dataset: the mutation below earns the same refusal
+        // as its own clean UPDATE status).
+        let baseline = if self.config.retries > 0 {
+            self.baseline_counters(dataset)?
+        } else {
+            None
+        };
+        let mut attempt = 0u32;
+        loop {
+            let req_id = self.next_id();
+            match &mut req {
+                Request::Insert { req_id: id, .. } | Request::Delete { req_id: id, .. } => {
+                    *id = req_id;
+                }
+                _ => unreachable!("mutate() only takes mutation requests"),
+            }
+            let result = (|| {
+                write_frame(&mut self.stream, &encode_request(&req))?;
+                self.read_response()
+            })();
+            match result {
+                Ok(Response::Update {
+                    req_id: rid,
+                    status,
+                    stats,
+                }) if rid == req_id => {
+                    return Ok(UpdateOutcome {
+                        status,
+                        first_id: stats.first_id,
+                        applied: stats.applied,
+                        epoch: stats.epoch,
+                        version: stats.version,
+                    });
+                }
+                Ok(Response::Busy {
+                    req_id: rid,
+                    retry_after_ms,
+                }) if rid == req_id => {
+                    // BUSY is an admission-control answer: the server
+                    // declined before touching the store, so resending
+                    // is always safe.
+                    self.busy_answers += 1;
+                    if attempt >= self.config.retries {
+                        return Err(ClientError::Busy { retry_after_ms });
+                    }
+                    self.backoff(attempt, retry_after_ms);
+                }
+                Ok(Response::Error { code, message }) => {
+                    return Err(ClientError::Rejected { code, message });
+                }
+                Ok(_) => return Err(ClientError::Unexpected("expected an update frame")),
+                Err(e) if is_transport(&e) => {
+                    let Some((epoch, version)) = baseline else {
+                        return Err(e);
+                    };
+                    if attempt >= self.config.retries {
+                        return Err(e);
+                    }
+                    self.backoff(attempt, 0);
+                    self.reconnect()?;
+                    // Resend only on proof of non-application: both
+                    // counters unchanged since the pre-send probe. A
+                    // moved counter means *some* mutation (with a sole
+                    // mutator: ours) or a compaction landed — resending
+                    // could double-apply, so surface the ambiguity.
+                    if self.probe_counters(dataset)? != (epoch, version) {
+                        return Err(ClientError::AmbiguousMutation);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+            self.retries_total += 1;
+            attempt += 1;
+        }
     }
 
     /// Queries a dataset's epoch/version state.
     pub fn epoch(&mut self, dataset: u64) -> Result<(RequestStatus, EpochInfo), ClientError> {
         let req_id = self.next_id();
-        write_frame(
-            &mut self.stream,
-            &encode_request(&Request::Epoch { req_id, dataset }),
-        )?;
-        match self.read_response()? {
+        match self.exchange(&Request::Epoch { req_id, dataset })? {
             Response::Epoch {
                 req_id: rid,
                 status,
@@ -203,33 +519,33 @@ impl Client {
         }
     }
 
+    /// `(epoch, version)` of a dataset, for mutation-retry proofs.
+    fn probe_counters(&mut self, dataset: u64) -> Result<(u64, u64), ClientError> {
+        let (status, info) = self.epoch(dataset)?;
+        if status != RequestStatus::Ok {
+            return Err(ClientError::Unexpected("epoch probe refused"));
+        }
+        Ok((info.epoch, info.version))
+    }
+
+    /// Pre-mutation baseline: like [`Self::probe_counters`], but a
+    /// refused probe is `None` rather than an error, so a mutation
+    /// against an unknown dataset still reaches the server and comes
+    /// back with its proper `UNKNOWN_DATASET` status.
+    fn baseline_counters(&mut self, dataset: u64) -> Result<Option<(u64, u64)>, ClientError> {
+        let (status, info) = self.epoch(dataset)?;
+        Ok((status == RequestStatus::Ok).then_some((info.epoch, info.version)))
+    }
+
     fn next_id(&mut self) -> u32 {
         let id = self.next_req_id;
         self.next_req_id = self.next_req_id.wrapping_add(1);
         id
     }
 
-    fn read_update(&mut self, req_id: u32) -> Result<UpdateOutcome, ClientError> {
-        match self.read_response()? {
-            Response::Update {
-                req_id: rid,
-                status,
-                stats,
-            } if rid == req_id => Ok(UpdateOutcome {
-                status,
-                first_id: stats.first_id,
-                applied: stats.applied,
-                epoch: stats.epoch,
-                version: stats.version,
-            }),
-            _ => Err(ClientError::Unexpected("expected an update frame")),
-        }
-    }
-
     /// Fetches server-wide aggregate statistics.
     pub fn server_stats(&mut self) -> Result<ServerStatsFrame, ClientError> {
-        write_frame(&mut self.stream, &encode_request(&Request::Stats))?;
-        match self.read_response()? {
+        match self.exchange(&Request::Stats)? {
             Response::ServerStats(frame) => Ok(frame),
             _ => Err(ClientError::Unexpected("expected a stats frame")),
         }
@@ -238,8 +554,7 @@ impl Client {
     /// Fetches the server's metrics in the Prometheus text exposition
     /// format (the `METRICS` frame; what `srj-top` polls).
     pub fn metrics(&mut self) -> Result<String, ClientError> {
-        write_frame(&mut self.stream, &encode_request(&Request::Metrics))?;
-        match self.read_response()? {
+        match self.exchange(&Request::Metrics)? {
             Response::Metrics { text } => Ok(text),
             _ => Err(ClientError::Unexpected("expected a metrics frame")),
         }
@@ -250,11 +565,7 @@ impl Client {
     /// `DONE` frame carried; an untraced or already-overwritten trace
     /// comes back empty.
     pub fn trace(&mut self, trace_id: u64) -> Result<Vec<TraceSpan>, ClientError> {
-        write_frame(
-            &mut self.stream,
-            &encode_request(&Request::Trace { trace_id }),
-        )?;
-        match self.read_response()? {
+        match self.exchange(&Request::Trace { trace_id })? {
             Response::Trace {
                 trace_id: tid,
                 spans,
@@ -271,8 +582,121 @@ impl Client {
         Ok(())
     }
 
+    /// One idempotent request/answer exchange with the full retry
+    /// treatment: `BUSY` backs off and resends, transport failures
+    /// reconnect and resend. Only used for requests that are safe to
+    /// replay.
+    fn exchange(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = (|| {
+                write_frame(&mut self.stream, &encode_request(req))?;
+                self.read_response()
+            })();
+            match result {
+                Ok(Response::Busy { retry_after_ms, .. }) => {
+                    self.busy_answers += 1;
+                    if attempt >= self.config.retries {
+                        return Err(ClientError::Busy { retry_after_ms });
+                    }
+                    self.backoff(attempt, retry_after_ms);
+                }
+                Ok(Response::Error { code, message }) => {
+                    return Err(ClientError::Rejected { code, message });
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) if is_transport(&e) => {
+                    if attempt >= self.config.retries {
+                        return Err(e);
+                    }
+                    self.backoff(attempt, 0);
+                    self.reconnect()?;
+                }
+                Err(e) => return Err(e),
+            }
+            self.retries_total += 1;
+            attempt += 1;
+        }
+    }
+
+    /// Sleeps the jittered exponential backoff for `attempt`, never
+    /// less than the server's `retry_after_ms` hint.
+    fn backoff(&mut self, attempt: u32, retry_after_ms: u32) {
+        let step = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(16));
+        let capped = step
+            .min(self.config.backoff_max)
+            .max(Duration::from_millis(1));
+        // Half deterministic, half jitter: concurrent clients shed at
+        // the same instant spread their re-offers apart.
+        let half_ns = (capped.as_nanos() / 2).min(u128::from(u64::MAX)) as u64;
+        let wait = Duration::from_nanos(half_ns)
+            + Duration::from_nanos(self.jitter.next_u64() % half_ns.max(1));
+        let hint = Duration::from_millis(u64::from(retry_after_ms));
+        std::thread::sleep(wait.max(hint));
+    }
+
+    /// Re-dials and re-handshakes after a transport failure.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.stream = dial(&self.addrs, &self.config)?;
+        self.handshake()
+    }
+
+    /// The client half of the mandatory handshake.
+    fn handshake(&mut self) -> Result<(), ClientError> {
+        write_frame(
+            &mut self.stream,
+            &encode_request(&Request::Hello {
+                version: PROTOCOL_VERSION,
+                features: self.config.features,
+            }),
+        )?;
+        match self.read_response()? {
+            Response::Welcome { features, .. } => {
+                self.server_features = features;
+                Ok(())
+            }
+            Response::Error { code, message } => Err(ClientError::Rejected { code, message }),
+            _ => Err(ClientError::Unexpected("expected a welcome frame")),
+        }
+    }
+
     fn read_response(&mut self) -> Result<Response, ClientError> {
         let payload = read_frame(&mut self.stream)?.ok_or(ClientError::Disconnected)?;
         Ok(crate::protocol::decode_response(&payload)?)
     }
+}
+
+/// Dials the first reachable address under the configured connect
+/// timeout and applies the socket options.
+fn dial(addrs: &[SocketAddr], config: &ClientConfig) -> Result<TcpStream, ClientError> {
+    let mut last: Option<std::io::Error> = None;
+    for addr in addrs {
+        let dialed = if config.connect_timeout.is_zero() {
+            TcpStream::connect(addr)
+        } else {
+            TcpStream::connect_timeout(addr, config.connect_timeout)
+        };
+        match dialed {
+            Ok(stream) => {
+                if config.nodelay {
+                    let _ = stream.set_nodelay(true);
+                }
+                let _ = stream.set_read_timeout(opt(config.read_timeout));
+                let _ = stream.set_write_timeout(opt(config.write_timeout));
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last
+        .unwrap_or_else(|| std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address"))
+        .into())
+}
+
+/// Zero means "no deadline" (the std setters reject `Some(ZERO)`).
+fn opt(d: Duration) -> Option<Duration> {
+    (!d.is_zero()).then_some(d)
 }

@@ -1,0 +1,184 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] rides on `crate::ServerConfig` and is consulted by
+//! the per-connection reader and writer threads. The default plan is
+//! **inert**: every probability is zero and the injection sites cost
+//! one branch on an [`FaultPlan::is_active`] flag. An active plan
+//! derives one deterministic [`FaultRng`] per `(connection, role)`
+//! from its seed, so a chaos soak with a fixed seed injects the same
+//! fault schedule on every run — failures found under chaos reproduce.
+//!
+//! What can be injected (each with its own probability, evaluated per
+//! frame):
+//!
+//! * **delayed reads** — the reader sleeps before processing a frame,
+//!   simulating a stalled peer or congested path;
+//! * **forced `BUSY`** — the reader answers a request with `BUSY`
+//!   instead of executing it, simulating load shedding;
+//! * **partial writes** — the writer splits a response frame into two
+//!   delayed `write(2)`s, exercising client-side reassembly;
+//! * **truncated frames** — the writer emits a prefix of a frame and
+//!   drops the connection, leaving the client mid-frame;
+//! * **dropped connections** — the reader shuts the socket down
+//!   before processing a frame.
+
+/// Per-frame fault probabilities plus the seed their schedule derives
+/// from. The [`Default`] (all zeros) is inert.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-connection fault schedules; two servers with
+    /// the same plan and connection order inject identically.
+    pub seed: u64,
+    /// Probability a received frame's processing is delayed by
+    /// [`FaultPlan::delay_read_ms`].
+    pub delay_read_prob: f64,
+    /// Delay applied when a delayed read fires, milliseconds.
+    pub delay_read_ms: u64,
+    /// Probability a response frame is written as two delayed halves.
+    pub partial_write_prob: f64,
+    /// Probability a response frame is truncated mid-frame and the
+    /// connection dropped.
+    pub truncate_frame_prob: f64,
+    /// Probability the connection is dropped before processing a
+    /// received frame.
+    pub drop_conn_prob: f64,
+    /// Probability a request is answered `BUSY` instead of executed.
+    pub busy_prob: f64,
+    /// `retry_after_ms` carried on forced `BUSY` answers.
+    pub busy_retry_after_ms: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::inert()
+    }
+}
+
+impl FaultPlan {
+    /// The all-zeros plan: compiled in, injects nothing.
+    pub fn inert() -> Self {
+        FaultPlan {
+            seed: 0,
+            delay_read_prob: 0.0,
+            delay_read_ms: 0,
+            partial_write_prob: 0.0,
+            truncate_frame_prob: 0.0,
+            drop_conn_prob: 0.0,
+            busy_prob: 0.0,
+            busy_retry_after_ms: 0,
+        }
+    }
+
+    /// Whether any fault can ever fire. The injection sites gate on
+    /// this so an inert plan costs one branch per frame.
+    pub fn is_active(&self) -> bool {
+        self.delay_read_prob > 0.0
+            || self.partial_write_prob > 0.0
+            || self.truncate_frame_prob > 0.0
+            || self.drop_conn_prob > 0.0
+            || self.busy_prob > 0.0
+    }
+
+    /// The deterministic fault schedule for one `(connection, role)`
+    /// pair — reader and writer of the same connection get independent
+    /// streams, and so does every connection.
+    pub fn rng_for(&self, conn_id: u64, role: u64) -> FaultRng {
+        FaultRng::new(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(conn_id.wrapping_mul(0xA24B_AED4_963E_E407))
+                .wrapping_add(role.wrapping_mul(0x5851_F42D_4C95_7F2D)),
+        )
+    }
+}
+
+/// A seeded xorshift64* stream of fault decisions.
+#[derive(Clone, Debug)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// A stream from an explicit seed (zero is mapped to a fixed
+    /// non-zero state — xorshift has no zero orbit).
+    pub fn new(seed: u64) -> Self {
+        FaultRng {
+            state: if seed == 0 {
+                0x853C_49E6_748F_EA9B
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// The next raw draw — also used for client backoff jitter.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// One Bernoulli draw: `true` with probability `p`.
+    pub fn fires(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_never_fires() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        let mut rng = plan.rng_for(0, 0);
+        for _ in 0..10_000 {
+            assert!(!rng.fires(plan.drop_conn_prob));
+            assert!(!rng.fires(plan.busy_prob));
+        }
+    }
+
+    #[test]
+    fn certain_fault_always_fires() {
+        let mut rng = FaultRng::new(42);
+        for _ in 0..1_000 {
+            assert!(rng.fires(1.0));
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_role_independent() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_conn_prob: 0.3,
+            ..FaultPlan::inert()
+        };
+        assert!(plan.is_active());
+        let draw = |mut rng: FaultRng| -> Vec<bool> {
+            (0..256).map(|_| rng.fires(plan.drop_conn_prob)).collect()
+        };
+        // Same (conn, role) ⇒ same schedule.
+        assert_eq!(draw(plan.rng_for(3, 1)), draw(plan.rng_for(3, 1)));
+        // Different conn or role ⇒ a different schedule.
+        assert_ne!(draw(plan.rng_for(3, 1)), draw(plan.rng_for(4, 1)));
+        assert_ne!(draw(plan.rng_for(3, 1)), draw(plan.rng_for(3, 2)));
+    }
+
+    #[test]
+    fn fire_rate_tracks_probability() {
+        let mut rng = FaultRng::new(99);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.fires(0.1)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "observed rate {rate}");
+    }
+}

@@ -27,23 +27,36 @@
 //!   epoch; the `EPOCH` frame exposes the epoch/version counters;
 //! * **graceful shutdown**: a control signal (API call or `SHUTDOWN`
 //!   frame) stops the acceptor, closes every connection, and joins
-//!   every spawned thread.
+//!   every spawned thread;
+//! * **fault tolerance**: a mandatory versioned `HELLO`/`WELCOME`
+//!   handshake (mismatched peers get a clean `ERROR`, never consume a
+//!   worker slot), `PING`/`PONG` keepalives, per-connection
+//!   read/write/idle deadlines with maintainer-thread reaping,
+//!   token-bucket rate limiting and queue-depth load shedding answered
+//!   with `BUSY { retry_after_ms }`, a client that retries with
+//!   jittered backoff and keeps mutations exactly-once via `EPOCH`
+//!   probes, and a seeded [`FaultPlan`] (inert by default) driving the
+//!   `srj-loadgen --chaos` soak — see the README's "Failure semantics".
 //!
-//! Binaries: `srj-serve` (register datasets, serve) and `srj-loadgen`
+//! Binaries: `srj-serve` (register datasets, serve), `srj-loadgen`
 //! (concurrent load generator reporting samples/sec and latency
-//! quantiles into `BENCH_PR3.json`, plus a mixed read/update mode
-//! writing `BENCH_PR4.json`). See the README's "Network serving" and
+//! quantiles into `BENCH_PR3.json`, a mixed read/update mode writing
+//! `BENCH_PR4.json`, and the `--chaos` fault-injection soak writing
+//! `BENCH_PR7.json`), and `srj-top` (live metrics dashboard with a
+//! server-health line). See the README's "Network serving" and
 //! "Dynamic updates & re-planning" sections for the quickstart and
 //! `examples/network_serving.rs` for the in-process version.
 
 pub mod client;
+pub mod fault;
 pub mod protocol;
 mod server;
 
-pub use client::{Client, ClientError, SampleOutcome, UpdateOutcome};
+pub use client::{Client, ClientConfig, ClientError, SampleOutcome, UpdateOutcome};
+pub use fault::{FaultPlan, FaultRng};
 pub use protocol::{
-    EpochInfo, ProtocolError, Request, RequestStats, RequestStatus, Response, SampleRequest,
-    ServerStatsFrame, Side, TraceSpan, UpdateStats,
+    EpochInfo, ErrorCode, ProtocolError, Request, RequestStats, RequestStatus, Response,
+    SampleRequest, ServerStatsFrame, Side, TraceSpan, UpdateStats,
 };
 pub use server::{DatasetRegistry, Server, ServerConfig};
 /// Re-exported so protocol users don't need a direct `srj-engine` dep.

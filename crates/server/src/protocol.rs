@@ -7,7 +7,8 @@
 //! batch frame is one `memcpy`-shaped loop on both sides.
 //!
 //! ```text
-//! request  frames: SAMPLE  { req_id, dataset, l, algorithm, shards, t, seed }
+//! request  frames: HELLO   { version, features }
+//!                  SAMPLE  { req_id, dataset, l, algorithm, shards, t, seed }
 //!                  STATS   { }
 //!                  SHUTDOWN{ }
 //!                  INSERT  { req_id, dataset, side, count, (x, y) × count }
@@ -15,7 +16,9 @@
 //!                  EPOCH   { req_id, dataset }
 //!                  METRICS { }
 //!                  TRACE   { trace_id }
-//! response frames: BATCH   { req_id, count, (r, s) × count }
+//!                  PING    { token }
+//! response frames: WELCOME { version, features }
+//!                  BATCH   { req_id, count, (r, s) × count }
 //!                  DONE    { req_id, status, samples, iterations,
 //!                            elapsed_ns, trace_id }
 //!                  STATS   { queries, samples, iterations, errors,
@@ -28,7 +31,21 @@
 //!                  METRICS { len, utf8 text (Prometheus exposition) }
 //!                  TRACE   { trace_id, count,
 //!                            (ns, span_len, span, event_len, event) × count }
+//!                  PONG    { token }
+//!                  BUSY    { req_id, retry_after_ms }
+//!                  ERROR   { code, msg_len, utf8 msg }
 //! ```
+//!
+//! A connection opens with a mandatory handshake: the client's first
+//! frame must be `HELLO` carrying [`PROTOCOL_VERSION`] and its feature
+//! bits; the server answers `WELCOME` (version + the feature bits it
+//! supports) or a terminal `ERROR` frame (version mismatch, or a
+//! legacy peer that sent any other frame first) and closes. `PING` is
+//! answered with `PONG` directly from the connection's reader thread —
+//! a keepalive that never queues behind worker jobs. `BUSY` answers a
+//! request the server chose not to serve (rate limit or load shed);
+//! the request was **not** executed and may be retried after
+//! `retry_after_ms`.
 //!
 //! A `SAMPLE` answer is a stream: zero or more `BATCH` frames followed
 //! by exactly one `DONE` (which also reports per-request serving
@@ -55,6 +72,25 @@ use srj_geom::Point;
 /// (`crate::ServerConfig::batch_pairs` × 8 bytes + header).
 pub const MAX_FRAME_LEN: usize = 1 << 22; // 4 MiB
 
+/// The protocol version this build speaks, carried in `HELLO` and
+/// `WELCOME`. A server rejects any other version with a clean `ERROR`
+/// frame — never a hang or a silently-garbled stream.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Feature bit: the peer answers `PING` with `PONG`.
+pub const FEAT_KEEPALIVE: u32 = 1 << 0;
+/// Feature bit: the peer may answer any request with `BUSY` (rate
+/// limiting / load shedding) instead of executing it.
+pub const FEAT_BUSY: u32 = 1 << 1;
+/// Feature bit: the peer serves `INSERT`/`DELETE`/`EPOCH` mutations.
+pub const FEAT_MUTATIONS: u32 = 1 << 2;
+
+/// Every feature bit this build implements.
+pub const SERVER_FEATURES: u32 = FEAT_KEEPALIVE | FEAT_BUSY | FEAT_MUTATIONS;
+
+/// Longest `ERROR` message the encoder emits / the decoder accepts.
+pub const MAX_ERROR_MSG_LEN: usize = 512;
+
 /// Request opcodes.
 const OP_SAMPLE: u8 = 0x01;
 const OP_STATS: u8 = 0x02;
@@ -64,6 +100,8 @@ const OP_DELETE: u8 = 0x05;
 const OP_EPOCH: u8 = 0x06;
 const OP_METRICS: u8 = 0x07;
 const OP_TRACE: u8 = 0x08;
+const OP_HELLO: u8 = 0x09;
+const OP_PING: u8 = 0x0A;
 /// Response opcodes.
 const OP_BATCH: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
@@ -72,6 +110,51 @@ const OP_UPDATE: u8 = 0x84;
 const OP_EPOCH_INFO: u8 = 0x85;
 const OP_METRICS_TEXT: u8 = 0x86;
 const OP_TRACE_SPANS: u8 = 0x87;
+const OP_WELCOME: u8 = 0x88;
+const OP_PONG: u8 = 0x89;
+const OP_BUSY: u8 = 0x8A;
+const OP_ERROR: u8 = 0x8B;
+
+/// Why the server terminated a connection with an `ERROR` frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The `HELLO` carried a protocol version this server does not
+    /// speak.
+    VersionMismatch,
+    /// The first frame on the connection was not `HELLO`.
+    HandshakeRequired,
+    /// The server rejected the frame for another terminal reason.
+    Rejected,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::VersionMismatch => 1,
+            ErrorCode::HandshakeRequired => 2,
+            ErrorCode::Rejected => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtocolError> {
+        match b {
+            1 => Ok(ErrorCode::VersionMismatch),
+            2 => Ok(ErrorCode::HandshakeRequired),
+            3 => Ok(ErrorCode::Rejected),
+            _ => Err(ProtocolError::Malformed("unknown error code byte")),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorCode::VersionMismatch => "version mismatch",
+            ErrorCode::HandshakeRequired => "handshake required",
+            ErrorCode::Rejected => "rejected",
+        })
+    }
+}
 
 /// Which point set a mutation targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -285,6 +368,18 @@ pub struct EpochInfo {
 /// Decoded request frames.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
+    /// Mandatory first frame: protocol version + client feature bits.
+    Hello {
+        /// The protocol version the client speaks.
+        version: u16,
+        /// The client's feature bits (informational today).
+        features: u32,
+    },
+    /// Keepalive probe, answered with `PONG` from the reader thread.
+    Ping {
+        /// Opaque token echoed back in the `PONG`.
+        token: u64,
+    },
     /// Draw samples (see [`SampleRequest`]).
     Sample(SampleRequest),
     /// Report server-wide statistics.
@@ -334,6 +429,37 @@ pub enum Request {
 /// Decoded response frames.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
+    /// Successful handshake answer to `HELLO`.
+    Welcome {
+        /// The protocol version the server speaks.
+        version: u16,
+        /// The server's feature bits (see [`SERVER_FEATURES`]).
+        features: u32,
+    },
+    /// Keepalive answer to `PING`.
+    Pong {
+        /// Echo of the `PING` token.
+        token: u64,
+    },
+    /// The server declined to execute a request (rate limit or load
+    /// shed). The request did **not** run; retry after
+    /// `retry_after_ms`.
+    Busy {
+        /// Echo of the declined request's id (`0` for frames that
+        /// carry none).
+        req_id: u32,
+        /// Suggested minimum backoff before retrying, milliseconds.
+        retry_after_ms: u32,
+    },
+    /// Terminal connection error (handshake rejection); the server
+    /// closes the connection after sending it.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail (at most [`MAX_ERROR_MSG_LEN`]
+        /// bytes).
+        message: String,
+    },
     /// One batch of an in-flight `SAMPLE` answer.
     Batch {
         /// Echo of [`SampleRequest::req_id`].
@@ -508,6 +634,19 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Truncates to at most `max` bytes without splitting a UTF-8
+/// scalar.
+fn truncate_utf8(s: &str, max: usize) -> &str {
+    if s.len() <= max {
+        return s;
+    }
+    let mut end = max;
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
+}
+
 fn algorithm_to_byte(a: Option<Algorithm>) -> u8 {
     match a {
         None => 0,
@@ -587,6 +726,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Trace { trace_id } => {
             payload.push(OP_TRACE);
             put_u64(&mut payload, *trace_id);
+        }
+        Request::Hello { version, features } => {
+            payload.push(OP_HELLO);
+            put_u16(&mut payload, *version);
+            put_u32(&mut payload, *features);
+        }
+        Request::Ping { token } => {
+            payload.push(OP_PING);
+            put_u64(&mut payload, *token);
         }
     }
     finish_frame(payload)
@@ -668,6 +816,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         },
         OP_METRICS => Request::Metrics,
         OP_TRACE => Request::Trace { trace_id: p.u64()? },
+        OP_HELLO => Request::Hello {
+            version: p.u16()?,
+            features: p.u32()?,
+        },
+        OP_PING => Request::Ping { token: p.u64()? },
         _ => return Err(ProtocolError::Malformed("unknown request opcode")),
     };
     p.finish()?;
@@ -762,6 +915,30 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_u16(&mut payload, s.event.len() as u16);
                 payload.extend_from_slice(s.event.as_bytes());
             }
+        }
+        Response::Welcome { version, features } => {
+            payload.push(OP_WELCOME);
+            put_u16(&mut payload, *version);
+            put_u32(&mut payload, *features);
+        }
+        Response::Pong { token } => {
+            payload.push(OP_PONG);
+            put_u64(&mut payload, *token);
+        }
+        Response::Busy {
+            req_id,
+            retry_after_ms,
+        } => {
+            payload.push(OP_BUSY);
+            put_u32(&mut payload, *req_id);
+            put_u32(&mut payload, *retry_after_ms);
+        }
+        Response::Error { code, message } => {
+            let msg = truncate_utf8(message, MAX_ERROR_MSG_LEN);
+            payload.push(OP_ERROR);
+            payload.push(code.to_byte());
+            put_u16(&mut payload, msg.len() as u16);
+            payload.extend_from_slice(msg.as_bytes());
         }
         Response::Epoch {
             req_id,
@@ -909,6 +1086,24 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             }
             Response::Trace { trace_id, spans }
         }
+        OP_WELCOME => Response::Welcome {
+            version: p.u16()?,
+            features: p.u32()?,
+        },
+        OP_PONG => Response::Pong { token: p.u64()? },
+        OP_BUSY => Response::Busy {
+            req_id: p.u32()?,
+            retry_after_ms: p.u32()?,
+        },
+        OP_ERROR => {
+            let code = ErrorCode::from_byte(p.u8()?)?;
+            let len = p.u16()? as usize;
+            if len > MAX_ERROR_MSG_LEN {
+                return Err(ProtocolError::Malformed("error message too long"));
+            }
+            let message = p.str(len)?.to_string();
+            Response::Error { code, message }
+        }
         _ => return Err(ProtocolError::Malformed("unknown response opcode")),
     };
     p.finish()?;
@@ -949,6 +1144,51 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ProtocolError> 
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// Outcome of a deadline-aware frame read
+/// ([`read_frame_or_idle`]).
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean end-of-stream at a frame boundary.
+    Eof,
+    /// The socket's read timeout expired with **zero** bytes received
+    /// — the peer is idle at a frame boundary, not broken. (A timeout
+    /// after partial bytes is a mid-frame stall and surfaces as
+    /// [`ProtocolError::Io`].)
+    Idle,
+}
+
+/// Reads one frame from a stream that has a read timeout set
+/// (`TcpStream::set_read_timeout`). A timeout before the first byte
+/// of the length prefix is reported as [`FrameRead::Idle`] so the
+/// caller can check liveness/shutdown flags and keep waiting; a
+/// timeout anywhere inside a frame means the peer stalled mid-frame
+/// and is an error.
+pub fn read_frame_or_idle<R: Read>(r: &mut R) -> Result<FrameRead, ProtocolError> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(FrameRead::Eof),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            return Ok(FrameRead::Idle);
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(FrameRead::Frame(payload))
 }
 
 #[cfg(test)]
@@ -1236,6 +1476,114 @@ mod tests {
         assert!(decode_request(&frame[4..]).is_err());
 
         assert!(decode_response(&[OP_BATCH, 0, 0, 0, 0, 9, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn handshake_and_control_frames_roundtrip() {
+        roundtrip_request(Request::Hello {
+            version: PROTOCOL_VERSION,
+            features: SERVER_FEATURES,
+        });
+        roundtrip_request(Request::Hello {
+            version: 0,
+            features: 0,
+        });
+        roundtrip_request(Request::Ping { token: u64::MAX });
+        roundtrip_response(Response::Welcome {
+            version: PROTOCOL_VERSION,
+            features: SERVER_FEATURES,
+        });
+        roundtrip_response(Response::Pong { token: 0xDEAD });
+        roundtrip_response(Response::Busy {
+            req_id: 7,
+            retry_after_ms: 125,
+        });
+        for code in [
+            ErrorCode::VersionMismatch,
+            ErrorCode::HandshakeRequired,
+            ErrorCode::Rejected,
+        ] {
+            roundtrip_response(Response::Error {
+                code,
+                message: format!("{code}"),
+            });
+        }
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Rejected,
+            message: String::new(),
+        });
+    }
+
+    #[test]
+    fn oversized_error_message_is_truncated_on_encode_rejected_on_decode() {
+        // Encode truncates to MAX_ERROR_MSG_LEN without splitting a
+        // UTF-8 scalar...
+        let long = "é".repeat(MAX_ERROR_MSG_LEN); // 2 bytes each
+        let frame = encode_response(&Response::Error {
+            code: ErrorCode::Rejected,
+            message: long,
+        });
+        match decode_response(&frame[4..]).unwrap() {
+            Response::Error { message, .. } => {
+                assert!(message.len() <= MAX_ERROR_MSG_LEN);
+                assert!(!message.is_empty());
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        // ...and a hostile frame claiming a longer message is
+        // rejected before any allocation happens.
+        let mut payload = vec![OP_ERROR, 3];
+        payload.extend_from_slice(&((MAX_ERROR_MSG_LEN as u16) + 1).to_le_bytes());
+        payload.extend(std::iter::repeat_n(b'x', MAX_ERROR_MSG_LEN + 1));
+        assert!(decode_response(&payload).is_err());
+        // Unknown error-code byte.
+        let payload = vec![OP_ERROR, 99, 0, 0];
+        assert!(decode_response(&payload).is_err());
+    }
+
+    /// `Idle` only at a frame boundary: a timeout mid-frame is a
+    /// broken peer, not an idle one.
+    #[test]
+    fn read_frame_or_idle_distinguishes_idle_eof_and_stall() {
+        struct Script(Vec<std::io::Result<Vec<u8>>>);
+        impl Read for Script {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.0.pop() {
+                    None => Ok(0),
+                    Some(Ok(bytes)) => {
+                        buf[..bytes.len()].copy_from_slice(&bytes);
+                        Ok(bytes.len())
+                    }
+                    Some(Err(e)) => Err(e),
+                }
+            }
+        }
+        let timeout = || std::io::Error::from(std::io::ErrorKind::WouldBlock);
+
+        // Timeout before any byte: Idle.
+        let mut r = Script(vec![Err(timeout())]);
+        assert!(matches!(read_frame_or_idle(&mut r), Ok(FrameRead::Idle)));
+        // EOF at the boundary: Eof.
+        let mut r = Script(vec![]);
+        assert!(matches!(read_frame_or_idle(&mut r), Ok(FrameRead::Eof)));
+        // Two length bytes then a timeout: mid-frame stall, error.
+        let mut r = Script(vec![Err(timeout()), Ok(vec![2, 0])]);
+        assert!(matches!(
+            read_frame_or_idle(&mut r),
+            Err(ProtocolError::Io(_))
+        ));
+        // A whole frame delivered byte-wise still parses.
+        let frame = encode_request(&Request::Ping { token: 9 });
+        let mut r = Script(frame.iter().rev().map(|&b| Ok(vec![b])).collect());
+        match read_frame_or_idle(&mut r) {
+            Ok(FrameRead::Frame(payload)) => {
+                assert_eq!(
+                    decode_request(&payload).unwrap(),
+                    Request::Ping { token: 9 }
+                );
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use srj_core::{JoinPair, SampleConfig, SampleError};
 use srj_engine::{DatasetStore, EngineStats, EpochConfig, EpochEngine, SamplerHandle};
@@ -60,10 +60,22 @@ use srj_geom::Point;
 use srj_obs::journal::EventKind;
 use srj_obs::{trace, Counter, Gauge, Histogram, Registry};
 
+use crate::fault::FaultPlan;
 use crate::protocol::{
-    decode_request, encode_response, read_frame, EpochInfo, Request, RequestStats, RequestStatus,
-    Response, SampleRequest, ServerStatsFrame, Side, TraceSpan, UpdateStats, MAX_FRAME_LEN,
+    decode_request, encode_response, read_frame_or_idle, EpochInfo, ErrorCode, FrameRead, Request,
+    RequestStats, RequestStatus, Response, SampleRequest, ServerStatsFrame, Side, TraceSpan,
+    UpdateStats, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_FEATURES,
 };
+
+/// `retry_after_ms` suggested on load-shed `BUSY` answers: long enough
+/// for a worker step to drain queue headroom, short enough that a
+/// shed client re-offers while the burst is still being absorbed.
+const SHED_RETRY_MS: u32 = 50;
+
+/// Fault-schedule roles: the reader and writer of one connection draw
+/// from independent deterministic streams.
+const FAULT_ROLE_READER: u64 = 1;
+const FAULT_ROLE_WRITER: u64 = 2;
 
 /// Serving knobs. The defaults suit a loopback bench on a small host;
 /// production would raise `workers` to the core count.
@@ -91,6 +103,42 @@ pub struct ServerConfig {
     /// the instrumented call sites cost one relaxed load each.
     /// Applied process-wide by [`Server::start`].
     pub trace_sample_rate: f64,
+    /// Deadline for the mandatory `HELLO` to arrive on a fresh
+    /// connection; a peer that sends nothing inside it is dropped
+    /// without a handshake answer. Default 10 s. Zero disables.
+    pub handshake_timeout: Duration,
+    /// Mid-frame read deadline: a peer that stalls *inside* a frame
+    /// for this long is disconnected (a connection idle *between*
+    /// frames is governed by `idle_timeout` instead). Default 30 s.
+    /// Zero disables.
+    pub read_timeout: Duration,
+    /// Per-`write(2)` deadline on the response socket; a peer whose
+    /// receive window stays closed this long is disconnected. Default
+    /// 30 s. Zero disables.
+    pub write_timeout: Duration,
+    /// Idle-connection reap deadline: a connection with no received
+    /// frame and no in-flight work for this long is closed by the
+    /// maintainer thread (journaled as `ConnReaped`). The maintainer
+    /// sweeps at half this interval, so reaping happens within 1.5×
+    /// the deadline. Default 300 s. Zero disables.
+    pub idle_timeout: Duration,
+    /// Per-connection request-frame budget, frames/second (token
+    /// bucket, burst = one second's budget); an exceeded budget
+    /// answers `BUSY` without executing. `0` (default) = unlimited.
+    pub rate_limit_rps: u32,
+    /// Per-connection mutation-frame (`INSERT`/`DELETE`) budget,
+    /// frames/second, applied on top of `rate_limit_rps`. `0`
+    /// (default) = unlimited.
+    pub mutation_rate_limit_rps: u32,
+    /// Load-shed high-water mark: when the global job queue holds at
+    /// least this many jobs — or the connection itself already has a
+    /// parked (backpressured) request — new `SAMPLE` requests are
+    /// answered `BUSY` instead of queued. `0` disables shedding.
+    /// Default 256.
+    pub shed_high_water: usize,
+    /// Fault-injection plan for the chaos harness. The default is
+    /// inert: nothing fires, the sites cost one branch per frame.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -103,8 +151,22 @@ impl Default for ServerConfig {
             build_threads: 0,
             epoch: EpochConfig::default(),
             trace_sample_rate: 0.0,
+            handshake_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(300),
+            rate_limit_rps: 0,
+            mutation_rate_limit_rps: 0,
+            shed_high_water: 256,
+            fault_plan: FaultPlan::inert(),
         }
     }
+}
+
+/// `set_read_timeout`/`set_write_timeout` reject `Some(ZERO)`; zero
+/// means "no deadline" throughout the config.
+fn timeout_opt(d: Duration) -> Option<Duration> {
+    (!d.is_zero()).then_some(d)
 }
 
 /// Identity of one serving engine of a dataset: the request shape.
@@ -202,29 +264,38 @@ impl ServedDataset {
         let mut last_swap_ns = 0u64;
         let mut mu_total = 0.0f64;
         for (_, e) in engines.iter() {
-            patch_swaps += e.patch_swaps();
-            cells_patched += e.cells_patched();
-            repairs += e.repairs();
-            last_swap_ns =
-                last_swap_ns.max(e.last_swap().as_nanos().min(u128::from(u64::MAX)) as u64);
-            mu_total += e.total_weight();
+            // One consistent snapshot per engine: a request racing a
+            // compaction must never pair the post-swap Σµ with the
+            // pre-swap counters (or vice versa).
+            let s = e.maintenance_snapshot();
+            patch_swaps += s.patch_swaps;
+            cells_patched += s.cells_patched;
+            repairs += s.repairs;
+            last_swap_ns = last_swap_ns.max(s.last_swap_ns);
+            mu_total += s.mu_total;
         }
         (patch_swaps, cells_patched, repairs, last_swap_ns, mu_total)
     }
 
     /// Everything the `METRICS` exposition needs from this dataset's
-    /// engines in one pass under the map lock.
+    /// engines in one pass under the map lock, each engine read as one
+    /// consistent [`srj_engine::MaintenanceSnapshot`].
     fn maintenance_stats(&self) -> MaintenanceStats {
         let engines = self.engines.lock().expect("engine map poisoned");
-        let mut out = MaintenanceStats::default();
+        let mut out = MaintenanceStats {
+            engines: engines.len(),
+            ..MaintenanceStats::default()
+        };
         for (_, e) in engines.iter() {
-            out.minor_swaps += e.minor_swaps();
-            out.major_swaps += e.major_swaps();
-            out.patch_swaps += e.patch_swaps();
-            out.cells_patched += e.cells_patched();
-            out.repairs += e.repairs();
-            out.replans += e.replans();
-            out.mu_total += e.total_weight();
+            let s = e.maintenance_snapshot();
+            out.minor_swaps += s.minor_swaps;
+            out.major_swaps += s.major_swaps;
+            out.patch_swaps += s.patch_swaps;
+            out.cells_patched += s.cells_patched;
+            out.repairs += s.repairs;
+            out.replans += s.replans;
+            out.mu_total += s.mu_total;
+            out.epoch = out.epoch.max(s.epoch);
             let snap = e.stats();
             out.samples += snap.samples;
             out.iterations += snap.iterations;
@@ -246,6 +317,11 @@ struct MaintenanceStats {
     mu_total: f64,
     samples: u64,
     iterations: u64,
+    /// Serving epoch (max across engines), consistent with `mu_total`.
+    epoch: u64,
+    /// How many engines were aggregated (0 ⇒ fall back to the store's
+    /// epoch for the `srj_epoch` gauge).
+    engines: usize,
 }
 
 /// The datasets a server answers for, keyed by the `u64` ids clients
@@ -336,6 +412,7 @@ impl Job {
         tx: SyncSender<Vec<u8>>,
         conn: Arc<ConnShared>,
     ) -> Self {
+        conn.inflight.fetch_add(1, Ordering::AcqRel);
         Job {
             req,
             tx,
@@ -357,6 +434,7 @@ impl Job {
         tx: SyncSender<Vec<u8>>,
         conn: Arc<ConnShared>,
     ) -> Self {
+        conn.inflight.fetch_add(1, Ordering::AcqRel);
         let mut outbox = VecDeque::with_capacity(1);
         outbox.push_back(frame);
         Job {
@@ -389,18 +467,56 @@ impl Job {
     }
 }
 
+impl Drop for Job {
+    /// A job is in flight from construction until it is dropped —
+    /// finished, abandoned, or drained at shutdown. The balanced
+    /// counter is what keeps the reaper away from connections with
+    /// pending work.
+    fn drop(&mut self) {
+        self.conn.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 // ---- per-connection state ------------------------------------------------
 
 /// State shared by a connection's reader, writer, and jobs.
 struct ConnShared {
+    /// Accept-order id, unique per server — seeds the connection's
+    /// deterministic fault schedules.
+    id: u64,
     /// Clone of the socket, used only to `shutdown(2)` it.
     stream: TcpStream,
+    /// When the connection was accepted; the reference point for
+    /// `last_activity_ns`.
+    t0: Instant,
+    /// Nanoseconds since `t0` of the last received frame (updated by
+    /// the reader); the maintainer reaps connections idle past
+    /// [`ServerConfig::idle_timeout`].
+    last_activity_ns: AtomicU64,
+    /// Requests alive on this connection (queued, on a worker, or
+    /// parked) — the maintainer never reaps a connection with work in
+    /// flight, however long its socket has been quiet.
+    inflight: AtomicU64,
     /// Jobs waiting for a free slot in the response queue (the
     /// backpressure parking lot).
     parked: Mutex<Vec<Job>>,
-    /// Set by the writer on exit and by server shutdown; parked/new
-    /// frames for a closed connection are dropped.
+    /// Set by the writer on exit, by the reaper, and by server
+    /// shutdown; parked/new frames for a closed connection are dropped.
     closed: AtomicBool,
+}
+
+impl ConnShared {
+    /// Marks the connection active now.
+    fn touch(&self) {
+        let ns = self.t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.last_activity_ns.store(ns, Ordering::Release);
+    }
+
+    /// Nanoseconds the connection has been idle.
+    fn idle_ns(&self) -> u64 {
+        let now = self.t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        now.saturating_sub(self.last_activity_ns.load(Ordering::Acquire))
+    }
 }
 
 // ---- global job queue ----------------------------------------------------
@@ -456,6 +572,50 @@ impl JobQueue {
             .expect("job queue poisoned")
             .drain(..)
             .collect()
+    }
+
+    /// Queue depth right now — the load-shed signal.
+    fn len(&self) -> usize {
+        self.jobs.lock().expect("job queue poisoned").len()
+    }
+}
+
+// ---- per-connection rate limiting -----------------------------------------
+
+/// A token bucket: `rate` tokens/second, burst capacity of one
+/// second's budget, starting full.
+struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// `None` when `rps` is zero (unlimited).
+    fn new(rps: u32) -> Option<TokenBucket> {
+        (rps > 0).then(|| TokenBucket {
+            rate: f64::from(rps),
+            burst: f64::from(rps),
+            tokens: f64::from(rps),
+            last: Instant::now(),
+        })
+    }
+
+    /// `None` = admitted (one token consumed); `Some(ms)` = declined,
+    /// with the time until a token accrues — the `retry_after_ms` for
+    /// the `BUSY` answer.
+    fn admit(&mut self) -> Option<u32> {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return None;
+        }
+        let ms = ((1.0 - self.tokens) / self.rate * 1000.0).ceil().max(1.0);
+        Some(ms.min(f64::from(u32::MAX)) as u32)
     }
 }
 
@@ -535,6 +695,17 @@ struct ServerMetrics {
     /// `srj_backpressure_parks_total` — jobs parked on a full
     /// connection queue (hot-path increment, rare event).
     backpressure_parks: Counter,
+    /// `srj_requests_shed` — `SAMPLE`s answered `BUSY` because the job
+    /// queue was past the high-water mark (hot-path increment).
+    requests_shed: Counter,
+    /// `srj_rate_limited` — requests answered `BUSY` by a token bucket
+    /// (hot-path increment).
+    rate_limited: Counter,
+    /// `srj_conn_reaped` — idle connections closed by the maintainer.
+    conn_reaped: Counter,
+    /// `srj_handshake_rejects_total` — connections refused at the
+    /// handshake (bad version, or a request before `HELLO`).
+    handshake_rejects: Counter,
 }
 
 impl ServerMetrics {
@@ -545,6 +716,10 @@ impl ServerMetrics {
             cache_hits: reg.counter("srj_engine_cache_hits_total", &[]),
             cache_misses: reg.counter("srj_engine_cache_misses_total", &[]),
             backpressure_parks: reg.counter("srj_backpressure_parks_total", &[]),
+            requests_shed: reg.counter("srj_requests_shed", &[]),
+            rate_limited: reg.counter("srj_rate_limited", &[]),
+            conn_reaped: reg.counter("srj_conn_reaped", &[]),
+            handshake_rejects: reg.counter("srj_handshake_rejects_total", &[]),
         }
     }
 }
@@ -677,7 +852,14 @@ impl Shared {
                 agg.iterations as f64 / agg.samples as f64
             });
             m.mu_total.set(agg.mu_total);
-            m.epoch.set(served.store.epoch() as f64);
+            // Prefer the engine-consistent epoch (taken under the same
+            // snapshot as mu_total); a dataset no engine serves yet has
+            // only the store's epoch to report.
+            m.epoch.set(if agg.engines > 0 {
+                agg.epoch as f64
+            } else {
+                served.store.epoch() as f64
+            });
         }
         self.metrics.render()
     }
@@ -690,6 +872,7 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    maintainer: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -763,10 +946,20 @@ impl Server {
                 .spawn(move || acceptor_loop(listener, &shared))
                 .expect("spawn acceptor")
         };
+        // The idle reaper only exists when there is a deadline to
+        // enforce.
+        let maintainer = (!config.idle_timeout.is_zero()).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("srj-maintainer".into())
+                .spawn(move || maintainer_loop(&shared))
+                .expect("spawn maintainer")
+        });
 
         Ok(Server {
             shared,
             acceptor: Some(acceptor),
+            maintainer,
             workers,
         })
     }
@@ -812,6 +1005,9 @@ impl Server {
         self.shared.begin_shutdown();
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        if let Some(maintainer) = self.maintainer.take() {
+            let _ = maintainer.join();
         }
         // The acceptor is joined, so the connection list is final —
         // re-close every socket. This catches a connection that raced
@@ -898,11 +1094,16 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
         (Ok(w), Ok(s)) => (w, s),
         _ => return, // clone failure: drop the connection
     };
-    shared.accepted.fetch_add(1, Ordering::Relaxed);
+    let _ = write_stream.set_write_timeout(timeout_opt(shared.config.write_timeout));
+    let id = shared.accepted.fetch_add(1, Ordering::Relaxed);
     shared.active.fetch_add(1, Ordering::Relaxed);
     let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(shared.config.queue_frames);
     let conn = Arc::new(ConnShared {
+        id,
         stream: shutdown_clone,
+        t0: Instant::now(),
+        last_activity_ns: AtomicU64::new(0),
+        inflight: AtomicU64::new(0),
         parked: Mutex::new(Vec::new()),
         closed: AtomicBool::new(false),
     });
@@ -932,22 +1133,173 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
 
 // ---- reader --------------------------------------------------------------
 
-/// Decodes request frames into jobs. Never writes to the socket or
-/// blocks on the response queue — every answer, including errors and
-/// stats, flows through a job so backpressure has exactly one path.
+/// Runs the mandatory handshake, then decodes request frames into
+/// jobs. Never writes to the socket itself — handshake and control
+/// answers go through the writer's channel, everything else through a
+/// job, so backpressure has exactly one path per direction.
 fn reader_loop(
     mut stream: TcpStream,
     tx: SyncSender<Vec<u8>>,
     conn: Arc<ConnShared>,
     shared: &Arc<Shared>,
 ) {
-    // Non-matching reads (clean EOF, socket error, shutdown) end the loop.
-    while let Ok(Some(payload)) = read_frame(&mut stream) {
+    if handshake(&mut stream, &tx, &conn, shared).is_ok() {
+        serve_frames(&mut stream, &tx, &conn, shared);
+    }
+    shared.active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// The mandatory `HELLO`/`WELCOME` exchange, under its own (usually
+/// shorter) deadline. A v0 peer — one that opens with a request frame,
+/// or a `HELLO` carrying a version this server does not speak — gets a
+/// well-formed `ERROR` frame and a close; it never reaches the job
+/// queue, so a rejected peer costs no worker time. The answer flows
+/// through the writer's channel like every other frame.
+fn handshake(
+    stream: &mut TcpStream,
+    tx: &SyncSender<Vec<u8>>,
+    conn: &ConnShared,
+    shared: &Arc<Shared>,
+) -> Result<(), ()> {
+    let _ = stream.set_read_timeout(timeout_opt(shared.config.handshake_timeout));
+    let payload = match read_frame_or_idle(stream) {
+        Ok(FrameRead::Frame(payload)) => payload,
+        // Silent close on EOF, deadline expiry, or a garbage length
+        // prefix — there is no peer worth answering.
+        _ => return Err(()),
+    };
+    let reject = |code: ErrorCode, message: String| {
+        shared.server_metrics.handshake_rejects.inc();
+        let _ = tx.send(encode_response(&Response::Error { code, message }));
+        Err(())
+    };
+    match decode_request(&payload) {
+        Ok(Request::Hello { version, .. }) if version == PROTOCOL_VERSION => {
+            conn.touch();
+            let frame = encode_response(&Response::Welcome {
+                version: PROTOCOL_VERSION,
+                features: SERVER_FEATURES,
+            });
+            if tx.send(frame).is_err() {
+                return Err(());
+            }
+            let _ = stream.set_read_timeout(timeout_opt(shared.config.read_timeout));
+            Ok(())
+        }
+        Ok(Request::Hello { version, .. }) => reject(
+            ErrorCode::VersionMismatch,
+            format!("peer speaks protocol version {version}, server speaks {PROTOCOL_VERSION}"),
+        ),
+        Ok(_) => reject(
+            ErrorCode::HandshakeRequired,
+            "first frame on a connection must be HELLO".to_string(),
+        ),
+        Err(e) => reject(ErrorCode::HandshakeRequired, format!("bad handshake: {e}")),
+    }
+}
+
+/// The post-handshake frame loop: admission control (token buckets,
+/// load shedding), fault injection, and dispatch.
+fn serve_frames(
+    stream: &mut TcpStream,
+    tx: &SyncSender<Vec<u8>>,
+    conn: &Arc<ConnShared>,
+    shared: &Arc<Shared>,
+) {
+    let plan = shared.config.fault_plan;
+    let mut faults = plan
+        .is_active()
+        .then(|| plan.rng_for(conn.id, FAULT_ROLE_READER));
+    let mut req_bucket = TokenBucket::new(shared.config.rate_limit_rps);
+    let mut mut_bucket = TokenBucket::new(shared.config.mutation_rate_limit_rps);
+    // Answers `BUSY` through the writer channel; an Err means the
+    // writer is gone and the loop should end.
+    let send_busy = |req_id: u32, retry_after_ms: u32| {
+        tx.send(encode_response(&Response::Busy {
+            req_id,
+            retry_after_ms,
+        }))
+    };
+    // Declined by a token bucket? Bumps the metric so the check reads
+    // as one expression at each admission point.
+    let throttled = |bucket: &mut Option<TokenBucket>| -> Option<u32> {
+        let ms = bucket.as_mut()?.admit()?;
+        shared.server_metrics.rate_limited.inc();
+        Some(ms)
+    };
+    loop {
+        let payload = match read_frame_or_idle(stream) {
+            Ok(FrameRead::Frame(payload)) => payload,
+            // The socket deadline expired between frames: not an
+            // error — idleness is the maintainer's business (it reaps
+            // by closing the socket, which lands here as Eof/Err).
+            Ok(FrameRead::Idle) => {
+                if conn.closed.load(Ordering::Acquire) || shared.is_shutting_down() {
+                    return;
+                }
+                continue;
+            }
+            // Clean EOF, a mid-frame stall past the read deadline, or
+            // a socket error.
+            Ok(FrameRead::Eof) | Err(_) => return,
+        };
         if shared.is_shutting_down() {
-            break;
+            return;
+        }
+        conn.touch();
+        if let Some(rng) = faults.as_mut() {
+            if rng.fires(plan.delay_read_prob) {
+                std::thread::sleep(Duration::from_millis(plan.delay_read_ms));
+            }
+            if rng.fires(plan.drop_conn_prob) {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
         }
         match decode_request(&payload) {
+            Ok(Request::Hello { .. }) => {
+                // A repeated HELLO is harmless; re-answer it so a
+                // client that re-syncs after a partial read converges.
+                let frame = encode_response(&Response::Welcome {
+                    version: PROTOCOL_VERSION,
+                    features: SERVER_FEATURES,
+                });
+                if tx.send(frame).is_err() {
+                    return;
+                }
+            }
+            Ok(Request::Ping { token }) => {
+                // Keepalives are never shed, limited, or queued: their
+                // job is to answer even (especially) under load.
+                if tx.send(encode_response(&Response::Pong { token })).is_err() {
+                    return;
+                }
+            }
             Ok(Request::Sample(req)) => {
+                if let Some(ms) = throttled(&mut req_bucket) {
+                    if send_busy(req.req_id, ms).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                if let Some(rng) = faults.as_mut() {
+                    if rng.fires(plan.busy_prob) {
+                        if send_busy(req.req_id, plan.busy_retry_after_ms).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+                if should_shed(shared, conn) {
+                    shared.server_metrics.requests_shed.inc();
+                    srj_obs::journal::event(EventKind::LoadShed)
+                        .dataset(Some(req.dataset))
+                        .emit();
+                    if send_busy(req.req_id, SHED_RETRY_MS).is_err() {
+                        return;
+                    }
+                    continue;
+                }
                 // The sampling decision is made here, at frame decode,
                 // so the trace covers the request's whole server-side
                 // life; the id rides on the job and comes back to the
@@ -956,14 +1308,20 @@ fn reader_loop(
                 trace::event_for(trace_id, "frame_decode", "sample_request");
                 enqueue(
                     shared,
-                    Job::sample(req, trace_id, tx.clone(), Arc::clone(&conn)),
+                    Job::sample(req, trace_id, tx.clone(), Arc::clone(conn)),
                 );
             }
             Ok(Request::Stats) => {
+                if let Some(ms) = throttled(&mut req_bucket) {
+                    if send_busy(0, ms).is_err() {
+                        return;
+                    }
+                    continue;
+                }
                 let frame = encode_response(&Response::ServerStats(shared.stats_frame()));
                 enqueue(
                     shared,
-                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(&conn)),
+                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(conn)),
                 );
             }
             // Observability answers are rendered inline on the reader
@@ -971,15 +1329,27 @@ fn reader_loop(
             // still delivered through a job so backpressure has
             // exactly one path.
             Ok(Request::Metrics) => {
+                if let Some(ms) = throttled(&mut req_bucket) {
+                    if send_busy(0, ms).is_err() {
+                        return;
+                    }
+                    continue;
+                }
                 let frame = encode_response(&Response::Metrics {
                     text: shared.metrics_text(),
                 });
                 enqueue(
                     shared,
-                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(&conn)),
+                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(conn)),
                 );
             }
             Ok(Request::Trace { trace_id }) => {
+                if let Some(ms) = throttled(&mut req_bucket) {
+                    if send_busy(0, ms).is_err() {
+                        return;
+                    }
+                    continue;
+                }
                 let spans = trace::spans_for(trace_id)
                     .into_iter()
                     .map(|r| TraceSpan {
@@ -991,7 +1361,7 @@ fn reader_loop(
                 let frame = encode_response(&Response::Trace { trace_id, spans });
                 enqueue(
                     shared,
-                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(&conn)),
+                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(conn)),
                 );
             }
             // Mutations are applied here, on the reader: they are O(|frame|)
@@ -1005,6 +1375,23 @@ fn reader_loop(
                 side,
                 points,
             }) => {
+                // Mutations pay both budgets: the shared request bucket
+                // and the (usually tighter) mutation bucket.
+                if let Some(ms) = throttled(&mut req_bucket).or_else(|| throttled(&mut mut_bucket))
+                {
+                    if send_busy(req_id, ms).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                if let Some(rng) = faults.as_mut() {
+                    if rng.fires(plan.busy_prob) {
+                        if send_busy(req_id, plan.busy_retry_after_ms).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                }
                 let (status, stats) = match apply_insert(shared, dataset, side, &points) {
                     Ok(stats) => (RequestStatus::Ok, stats),
                     Err(status) => (status, UpdateStats::default()),
@@ -1016,7 +1403,7 @@ fn reader_loop(
                 });
                 enqueue(
                     shared,
-                    Job::respond(frame, status, tx.clone(), Arc::clone(&conn)),
+                    Job::respond(frame, status, tx.clone(), Arc::clone(conn)),
                 );
             }
             Ok(Request::Delete {
@@ -1025,6 +1412,21 @@ fn reader_loop(
                 side,
                 ids,
             }) => {
+                if let Some(ms) = throttled(&mut req_bucket).or_else(|| throttled(&mut mut_bucket))
+                {
+                    if send_busy(req_id, ms).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                if let Some(rng) = faults.as_mut() {
+                    if rng.fires(plan.busy_prob) {
+                        if send_busy(req_id, plan.busy_retry_after_ms).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                }
                 let (status, stats) = match apply_delete(shared, dataset, side, &ids) {
                     Ok(stats) => (RequestStatus::Ok, stats),
                     Err(status) => (status, UpdateStats::default()),
@@ -1036,10 +1438,16 @@ fn reader_loop(
                 });
                 enqueue(
                     shared,
-                    Job::respond(frame, status, tx.clone(), Arc::clone(&conn)),
+                    Job::respond(frame, status, tx.clone(), Arc::clone(conn)),
                 );
             }
             Ok(Request::Epoch { req_id, dataset }) => {
+                if let Some(ms) = throttled(&mut req_bucket) {
+                    if send_busy(req_id, ms).is_err() {
+                        return;
+                    }
+                    continue;
+                }
                 let (status, info) = match epoch_info(shared, dataset) {
                     Ok(info) => (RequestStatus::Ok, info),
                     Err(status) => (status, EpochInfo::default()),
@@ -1051,12 +1459,12 @@ fn reader_loop(
                 });
                 enqueue(
                     shared,
-                    Job::respond(frame, status, tx.clone(), Arc::clone(&conn)),
+                    Job::respond(frame, status, tx.clone(), Arc::clone(conn)),
                 );
             }
             Ok(Request::Shutdown) => {
                 shared.begin_shutdown();
-                break;
+                return;
             }
             Err(_) => {
                 // Can't trust any field of a malformed frame, so the
@@ -1072,14 +1480,82 @@ fn reader_loop(
                         frame,
                         RequestStatus::BadRequest,
                         tx.clone(),
-                        Arc::clone(&conn),
+                        Arc::clone(conn),
                     ),
                 );
-                break;
+                return;
             }
         }
     }
-    shared.active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Whether a new `SAMPLE` should be declined with `BUSY` instead of
+/// queued: the global queue is past the high-water mark, or this
+/// connection already has a request parked on a full response queue
+/// (more concurrent streams cannot help a client that isn't reading).
+fn should_shed(shared: &Arc<Shared>, conn: &Arc<ConnShared>) -> bool {
+    let hw = shared.config.shed_high_water;
+    if hw == 0 {
+        return false;
+    }
+    if !conn.parked.lock().expect("parked list poisoned").is_empty() {
+        return true;
+    }
+    shared.queue.len() >= hw
+}
+
+// ---- maintainer ------------------------------------------------------------
+
+/// Sweeps for idle connections at half the idle deadline (so a
+/// connection is reaped within 1.5× the deadline), clamped to
+/// [10 ms, 500 ms]; exits when shutdown flips.
+fn maintainer_loop(shared: &Arc<Shared>) {
+    let idle = shared.config.idle_timeout;
+    let sweep = (idle / 2).clamp(Duration::from_millis(10), Duration::from_millis(500));
+    let mut flag = shared.shutdown_flag.lock().expect("shutdown flag poisoned");
+    while !*flag {
+        let (guard, _) = shared
+            .shutdown_cv
+            .wait_timeout(flag, sweep)
+            .expect("shutdown flag poisoned");
+        flag = guard;
+        if *flag {
+            return;
+        }
+        drop(flag);
+        reap_idle(shared, idle);
+        flag = shared.shutdown_flag.lock().expect("shutdown flag poisoned");
+    }
+}
+
+/// Closes every connection that has been quiet past `idle` with no
+/// work in flight. The close is a socket `shutdown(2)`: the reader
+/// unblocks with EOF and exits, dropping its channel sender, which in
+/// turn ends the writer — the same teardown path as a peer hangup.
+fn reap_idle(shared: &Arc<Shared>, idle: Duration) {
+    let conns: Vec<Arc<ConnShared>> = shared
+        .conns
+        .lock()
+        .expect("conn list poisoned")
+        .iter()
+        .map(Arc::clone)
+        .collect();
+    let idle_ns = idle.as_nanos().min(u128::from(u64::MAX)) as u64;
+    for conn in conns {
+        if conn.closed.load(Ordering::Acquire) || conn.inflight.load(Ordering::Acquire) != 0 {
+            continue;
+        }
+        let quiet_ns = conn.idle_ns();
+        if quiet_ns < idle_ns {
+            continue;
+        }
+        conn.closed.store(true, Ordering::Release);
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        shared.server_metrics.conn_reaped.inc();
+        srj_obs::journal::event(EventKind::ConnReaped)
+            .duration_ns(quiet_ns)
+            .emit();
+    }
 }
 
 // ---- writer --------------------------------------------------------------
@@ -1093,10 +1569,14 @@ fn writer_loop(
     conn: Arc<ConnShared>,
     shared: &Arc<Shared>,
 ) {
+    let plan = shared.config.fault_plan;
+    let mut faults = plan
+        .is_active()
+        .then(|| plan.rng_for(conn.id, FAULT_ROLE_WRITER));
     while let Ok(frame) = rx.recv() {
         // Empty frames are park kicks: nothing to write, but parked
         // jobs must be re-examined.
-        if !frame.is_empty() && stream.write_all(&frame).is_err() {
+        if !frame.is_empty() && !write_frame_faulty(&mut stream, &frame, &plan, faults.as_mut()) {
             break;
         }
         let parked: Vec<Job> = conn
@@ -1122,6 +1602,37 @@ fn writer_loop(
         finish(shared, job, false);
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Writes one response frame, possibly injecting a writer-side fault.
+/// Returns `false` when the connection should be torn down (write
+/// error, or an injected truncation — which deliberately leaves the
+/// peer mid-frame).
+fn write_frame_faulty(
+    stream: &mut TcpStream,
+    frame: &[u8],
+    plan: &FaultPlan,
+    faults: Option<&mut crate::fault::FaultRng>,
+) -> bool {
+    if let Some(rng) = faults {
+        // Only frames with room to split meaningfully are candidates;
+        // tiny control frames pass through.
+        if frame.len() > 8 {
+            if rng.fires(plan.truncate_frame_prob) {
+                let _ = stream.write_all(&frame[..frame.len() / 2]);
+                return false;
+            }
+            if rng.fires(plan.partial_write_prob) {
+                let (head, tail) = frame.split_at(frame.len() / 2);
+                if stream.write_all(head).is_err() {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                return stream.write_all(tail).is_ok();
+            }
+        }
+    }
+    stream.write_all(frame).is_ok()
 }
 
 /// Enqueues a job; when shutdown has already closed the queue, answers

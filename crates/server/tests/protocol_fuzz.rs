@@ -1,0 +1,416 @@
+//! Property-based and adversarial wire-format tests: every frame type
+//! must round-trip exactly, and no byte sequence an attacker or a
+//! truncating network can produce may panic, over-allocate, or decode
+//! into something a well-formed encoder could not have produced —
+//! malformed input always surfaces as a clean `Err`.
+
+use proptest::prelude::*;
+use srj_core::JoinPair;
+use srj_geom::Point;
+use srj_server::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, EpochInfo,
+    ErrorCode, ProtocolError, Request, RequestStats, RequestStatus, Response, SampleRequest,
+    ServerStatsFrame, Side, TraceSpan, UpdateStats, MAX_ERROR_MSG_LEN, MAX_FRAME_LEN,
+    PROTOCOL_VERSION, SERVER_FEATURES,
+};
+use srj_server::Algorithm;
+
+/// Splits a wire frame into its length prefix and payload, checking
+/// the prefix is consistent.
+fn payload_of(frame: &[u8]) -> &[u8] {
+    assert!(frame.len() >= 4, "frame shorter than its length prefix");
+    let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+    assert_eq!(len, frame.len() - 4, "length prefix disagrees with frame");
+    &frame[4..]
+}
+
+fn roundtrip_request(req: Request) {
+    let payload = payload_of(&encode_request(&req)).to_vec();
+    assert_eq!(decode_request(&payload).unwrap(), req);
+    assert_prefixes_fail_request(&payload);
+}
+
+fn roundtrip_response(resp: Response) {
+    let payload = payload_of(&encode_response(&resp)).to_vec();
+    assert_eq!(decode_response(&payload).unwrap(), resp);
+    assert_prefixes_fail_response(&payload);
+}
+
+/// The decoder consumes exactly the payload it was given, so every
+/// strict prefix of a valid payload must fail cleanly — there is no
+/// byte position where a truncated frame silently parses.
+fn assert_prefixes_fail_request(payload: &[u8]) {
+    for cut in 0..payload.len() {
+        assert!(
+            decode_request(&payload[..cut]).is_err(),
+            "request prefix of {cut}/{} bytes decoded",
+            payload.len()
+        );
+    }
+}
+
+fn assert_prefixes_fail_response(payload: &[u8]) {
+    for cut in 0..payload.len() {
+        assert!(
+            decode_response(&payload[..cut]).is_err(),
+            "response prefix of {cut}/{} bytes decoded",
+            payload.len()
+        );
+    }
+}
+
+fn algorithm_from_index(i: u8) -> Option<Algorithm> {
+    match i % 4 {
+        0 => None,
+        1 => Some(Algorithm::Kds),
+        2 => Some(Algorithm::KdsRejection),
+        _ => Some(Algorithm::Bbst),
+    }
+}
+
+fn status_from_index(i: u8) -> RequestStatus {
+    [
+        RequestStatus::Ok,
+        RequestStatus::UnknownDataset,
+        RequestStatus::EmptyJoin,
+        RequestStatus::RejectionLimit,
+        RequestStatus::BadRequest,
+        RequestStatus::ShuttingDown,
+    ][i as usize % 6]
+}
+
+fn side_from(b: bool) -> Side {
+    if b {
+        Side::S
+    } else {
+        Side::R
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hello_roundtrips(version in 0u16..=u16::MAX, features in any::<u32>()) {
+        roundtrip_request(Request::Hello { version, features });
+    }
+
+    #[test]
+    fn ping_roundtrips(token in any::<u64>()) {
+        roundtrip_request(Request::Ping { token });
+    }
+
+    #[test]
+    fn sample_roundtrips(
+        ids in (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        l in 1e-6..1e9f64,
+        algo in any::<u8>(),
+        shards in any::<u32>(),
+    ) {
+        roundtrip_request(Request::Sample(SampleRequest {
+            req_id: ids.0,
+            dataset: ids.1,
+            l,
+            algorithm: algorithm_from_index(algo),
+            shards,
+            t: ids.2,
+            seed: ids.3,
+        }));
+    }
+
+    #[test]
+    fn insert_roundtrips(
+        req_id in any::<u32>(),
+        dataset in any::<u64>(),
+        s_side in any::<bool>(),
+        coords in prop::collection::vec((-1e9..1e9f64, -1e9..1e9f64), 0..40),
+    ) {
+        roundtrip_request(Request::Insert {
+            req_id,
+            dataset,
+            side: side_from(s_side),
+            points: coords.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
+        });
+    }
+
+    #[test]
+    fn delete_roundtrips(
+        req_id in any::<u32>(),
+        dataset in any::<u64>(),
+        s_side in any::<bool>(),
+        ids in prop::collection::vec(any::<u32>(), 0..40),
+    ) {
+        roundtrip_request(Request::Delete {
+            req_id,
+            dataset,
+            side: side_from(s_side),
+            ids,
+        });
+    }
+
+    #[test]
+    fn epoch_and_trace_roundtrip(req_id in any::<u32>(), id in any::<u64>()) {
+        roundtrip_request(Request::Epoch { req_id, dataset: id });
+        roundtrip_request(Request::Trace { trace_id: id });
+    }
+
+    #[test]
+    fn welcome_pong_busy_roundtrip(
+        version in 0u16..=u16::MAX,
+        features in any::<u32>(),
+        token in any::<u64>(),
+        req_id in any::<u32>(),
+        retry_after_ms in any::<u32>(),
+    ) {
+        roundtrip_response(Response::Welcome { version, features });
+        roundtrip_response(Response::Pong { token });
+        roundtrip_response(Response::Busy { req_id, retry_after_ms });
+    }
+
+    #[test]
+    fn error_roundtrips(code in 0u8..3, msg_len in 0usize..MAX_ERROR_MSG_LEN) {
+        let code = [
+            ErrorCode::VersionMismatch,
+            ErrorCode::HandshakeRequired,
+            ErrorCode::Rejected,
+        ][code as usize];
+        roundtrip_response(Response::Error {
+            code,
+            message: "e".repeat(msg_len),
+        });
+    }
+
+    #[test]
+    fn batch_and_done_roundtrip(
+        req_id in any::<u32>(),
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 0..60),
+        status in any::<u8>(),
+        stats in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    ) {
+        roundtrip_response(Response::Batch {
+            req_id,
+            pairs: pairs.into_iter().map(|(r, s)| JoinPair::new(r, s)).collect(),
+        });
+        roundtrip_response(Response::Done {
+            req_id,
+            status: status_from_index(status),
+            stats: RequestStats {
+                samples: stats.0,
+                iterations: stats.1,
+                elapsed_ns: stats.2,
+                trace_id: stats.3,
+            },
+        });
+    }
+
+    #[test]
+    fn update_and_epoch_info_roundtrip(
+        req_id in any::<u32>(),
+        status in any::<u8>(),
+        small in (any::<u32>(), any::<u32>()),
+        wide in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    ) {
+        roundtrip_response(Response::Update {
+            req_id,
+            status: status_from_index(status),
+            stats: UpdateStats {
+                first_id: small.0,
+                applied: small.1,
+                epoch: wide.0,
+                version: wide.1,
+            },
+        });
+        roundtrip_response(Response::Epoch {
+            req_id,
+            status: status_from_index(status),
+            info: EpochInfo {
+                epoch: wide.0,
+                version: wide.1,
+                live_r: wide.2,
+                live_s: wide.3,
+                pending_ops: wide.4,
+                last_swap_ns: wide.5,
+            },
+        });
+    }
+
+    #[test]
+    fn server_stats_roundtrips(
+        a in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        b in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        c in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        mu in 0.0..1e12f64,
+    ) {
+        roundtrip_response(Response::ServerStats(ServerStatsFrame {
+            queries: a.0,
+            samples: a.1,
+            iterations: a.2,
+            errors: a.3,
+            mean_ns: a.4,
+            p50_ns: a.5,
+            p99_ns: b.0,
+            engines_cached: b.1,
+            cache_hits: b.2,
+            cache_misses: b.3,
+            connections_accepted: b.4,
+            active_connections: b.5,
+            patch_swaps: c.0,
+            cells_patched: c.1,
+            repairs: c.2,
+            last_swap_ns: c.3,
+            mu_total: mu,
+        }));
+    }
+
+    #[test]
+    fn metrics_and_trace_responses_roundtrip(
+        text_len in 0usize..512,
+        trace_id in any::<u64>(),
+        spans in prop::collection::vec((any::<u64>(), 0usize..24, 0usize..24), 0..16),
+    ) {
+        roundtrip_response(Response::Metrics {
+            text: "m".repeat(text_len),
+        });
+        roundtrip_response(Response::Trace {
+            trace_id,
+            spans: spans
+                .into_iter()
+                .map(|(ns, a, b)| TraceSpan {
+                    ns,
+                    span: "s".repeat(a),
+                    event: "v".repeat(b),
+                })
+                .collect(),
+        });
+    }
+
+    /// Arbitrary bytes never panic the decoders — every outcome is a
+    /// clean `Ok`/`Err`, even for garbage that happens to start with a
+    /// valid opcode.
+    #[test]
+    fn random_bytes_decode_cleanly(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    /// Single-byte corruptions of valid frames never panic either —
+    /// they decode to an error or to some other well-formed frame.
+    #[test]
+    fn flipped_bytes_decode_cleanly(
+        pos in any::<usize>(),
+        bit in 0u8..8,
+        token in any::<u64>(),
+        ids in prop::collection::vec(any::<u32>(), 0..20),
+    ) {
+        for payload in [
+            payload_of(&encode_request(&Request::Ping { token })).to_vec(),
+            payload_of(&encode_request(&Request::Delete {
+                req_id: 1,
+                dataset: 2,
+                side: Side::S,
+                ids,
+            }))
+            .to_vec(),
+        ] {
+            let mut corrupted = payload.clone();
+            let at = pos % corrupted.len();
+            corrupted[at] ^= 1 << bit;
+            let _ = decode_request(&corrupted);
+        }
+    }
+
+    /// Adversarial `count` fields (the length-prefixed vector sizes)
+    /// must be rejected by the count-vs-payload cross-check before any
+    /// allocation trusts them.
+    #[test]
+    fn inflated_counts_rejected(count in 50u32..=u32::MAX) {
+        // DELETE with 2 real ids but a claimed count of `count`.
+        let mut payload = payload_of(&encode_request(&Request::Delete {
+            req_id: 9,
+            dataset: 9,
+            side: Side::R,
+            ids: vec![1, 2],
+        }))
+        .to_vec();
+        let fixed_prefix = 1 + 4 + 8 + 1; // opcode + req_id + dataset + side
+        payload[fixed_prefix..fixed_prefix + 4].copy_from_slice(&count.to_le_bytes());
+        assert!(decode_request(&payload).is_err());
+    }
+}
+
+#[test]
+fn wrong_version_hello_still_decodes() {
+    // Version negotiation is semantic, not syntactic: a HELLO carrying
+    // a version this server will reject must still *decode*, so the
+    // server can answer with a well-formed ERROR instead of a hang.
+    let payload = payload_of(&encode_request(&Request::Hello {
+        version: PROTOCOL_VERSION + 41,
+        features: SERVER_FEATURES,
+    }))
+    .to_vec();
+    match decode_request(&payload).unwrap() {
+        Request::Hello { version, .. } => assert_eq!(version, PROTOCOL_VERSION + 41),
+        other => panic!("decoded {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_too_large_not_oom() {
+    // A length prefix just past the cap must be rejected *before* the
+    // payload allocation. (If it allocated first, a 4 GiB claim would
+    // be an OOM attack.)
+    for claim in [MAX_FRAME_LEN as u32 + 1, u32::MAX] {
+        let mut wire = claim.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut cursor = std::io::Cursor::new(wire);
+        match read_frame(&mut cursor) {
+            Err(ProtocolError::TooLarge(len)) => assert_eq!(len, claim as usize),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn max_length_prefix_with_short_body_is_io_error() {
+    // A length prefix at exactly the cap is structurally legal; when
+    // the peer then hangs up mid-frame, the reader reports a transport
+    // error — never a partial frame.
+    let mut wire = (MAX_FRAME_LEN as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&[0u8; 64]); // far short of MAX_FRAME_LEN
+    let mut cursor = std::io::Cursor::new(wire);
+    match read_frame(&mut cursor) {
+        Err(ProtocolError::Io(_)) => {}
+        other => panic!("expected Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn mid_frame_eof_is_error_and_boundary_eof_is_clean() {
+    let frame = encode_request(&Request::Ping { token: 7 });
+    // Clean EOF at a frame boundary.
+    let mut empty = std::io::Cursor::new(Vec::new());
+    assert!(matches!(read_frame(&mut empty), Ok(None)));
+    // EOF anywhere inside a frame (even inside the length prefix) is
+    // an error, not a silent truncation.
+    for cut in 1..frame.len() {
+        let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+        assert!(
+            read_frame(&mut cursor).is_err(),
+            "EOF after {cut}/{} bytes was not an error",
+            frame.len()
+        );
+    }
+}
+
+#[test]
+fn error_message_is_capped_on_encode() {
+    let resp = Response::Error {
+        code: ErrorCode::Rejected,
+        message: "x".repeat(MAX_ERROR_MSG_LEN * 4),
+    };
+    let payload = payload_of(&encode_response(&resp)).to_vec();
+    match decode_response(&payload).unwrap() {
+        Response::Error { message, .. } => assert_eq!(message.len(), MAX_ERROR_MSG_LEN),
+        other => panic!("decoded {other:?}"),
+    }
+}
