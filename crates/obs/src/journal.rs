@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 use std::sync::{Mutex, OnceLock, RwLock};
 
 use crate::clock;
+use crate::json;
 
 /// Events the journal retains before dropping the oldest.
 const CAPACITY: usize = 4096;
@@ -73,7 +74,7 @@ impl std::fmt::Display for EventKind {
 }
 
 /// One structured lifecycle event.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LifecycleEvent {
     /// Journal-assigned sequence number, strictly monotone.
     pub seq: u64,
@@ -84,6 +85,9 @@ pub struct LifecycleEvent {
     /// The dataset's registered id, when the emitter knows it (engine
     /// internals see only the store, which carries an optional label).
     pub dataset: Option<u64>,
+    /// Free-form context string (peer address, dataset display label).
+    /// Untrusted: JSON rendering escapes it.
+    pub label: Option<String>,
     /// Dataset/store epoch after the action.
     pub epoch: u64,
     /// Cells rebuilt or repaired (0 when not applicable).
@@ -97,23 +101,29 @@ pub struct LifecycleEvent {
 }
 
 impl LifecycleEvent {
-    /// One-line JSON rendering (stable key order, no escaping needed —
-    /// every field is numeric or a fixed identifier).
+    /// One-line JSON rendering (stable key order). Every field is
+    /// numeric or a fixed identifier except `label`, which is
+    /// untrusted and therefore escaped.
     pub fn to_json(&self) -> String {
         let dataset = match self.dataset {
             Some(d) => d.to_string(),
             None => "null".to_string(),
         };
+        let label = match &self.label {
+            Some(l) => json::escape(l),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\"seq\":{},\"ns\":{},\"kind\":\"{}\",\"dataset\":{},",
-                "\"epoch\":{},\"dirty_cells\":{},\"duration_ns\":{},",
-                "\"mu_before\":{},\"mu_after\":{}}}"
+                "\"label\":{},\"epoch\":{},\"dirty_cells\":{},",
+                "\"duration_ns\":{},\"mu_before\":{},\"mu_after\":{}}}"
             ),
             self.seq,
             self.ns,
             self.kind.as_str(),
             dataset,
+            label,
             self.epoch,
             self.dirty_cells,
             self.duration_ns,
@@ -140,6 +150,7 @@ fn fmt_f64(v: f64) -> String {
 pub struct EventBuilder {
     kind: EventKind,
     dataset: Option<u64>,
+    label: Option<String>,
     epoch: u64,
     dirty_cells: u64,
     duration_ns: u64,
@@ -151,6 +162,13 @@ impl EventBuilder {
     /// The dataset label, if the emitter knows one.
     pub fn dataset(mut self, dataset: Option<u64>) -> Self {
         self.dataset = dataset;
+        self
+    }
+
+    /// Free-form context string (peer address, display label). Stored
+    /// verbatim; JSON rendering escapes it.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
         self
     }
 
@@ -191,6 +209,7 @@ pub fn event(kind: EventKind) -> EventBuilder {
     EventBuilder {
         kind,
         dataset: None,
+        label: None,
         epoch: 0,
         dirty_cells: 0,
         duration_ns: 0,
@@ -234,6 +253,7 @@ impl Journal {
                 ns: clock::now_ns(),
                 kind: b.kind,
                 dataset: b.dataset,
+                label: b.label,
                 epoch: b.epoch,
                 dirty_cells: b.dirty_cells,
                 duration_ns: b.duration_ns,
@@ -244,7 +264,7 @@ impl Journal {
             if inner.buf.len() == CAPACITY {
                 inner.buf.pop_front();
             }
-            inner.buf.push_back(event);
+            inner.buf.push_back(event.clone());
             event
         };
         for listener in self.listeners.read().unwrap().iter() {
@@ -256,7 +276,7 @@ impl Journal {
     pub fn recent(&self, n: usize) -> Vec<LifecycleEvent> {
         let inner = self.inner.lock().unwrap();
         let skip = inner.buf.len().saturating_sub(n);
-        inner.buf.iter().skip(skip).copied().collect()
+        inner.buf.iter().skip(skip).cloned().collect()
     }
 
     /// Every retained event labelled with `dataset`, oldest first.
@@ -266,7 +286,7 @@ impl Journal {
             .buf
             .iter()
             .filter(|e| e.dataset == Some(dataset))
-            .copied()
+            .cloned()
             .collect()
     }
 
@@ -319,6 +339,7 @@ mod tests {
             ns: 123,
             kind: EventKind::Replan,
             dataset: Some(7),
+            label: None,
             epoch: 2,
             dirty_cells: 0,
             duration_ns: 456,
@@ -328,8 +349,8 @@ mod tests {
         assert_eq!(
             e.to_json(),
             "{\"seq\":5,\"ns\":123,\"kind\":\"replan\",\"dataset\":7,\
-             \"epoch\":2,\"dirty_cells\":0,\"duration_ns\":456,\
-             \"mu_before\":10.5,\"mu_after\":9}"
+             \"label\":null,\"epoch\":2,\"dirty_cells\":0,\
+             \"duration_ns\":456,\"mu_before\":10.5,\"mu_after\":9}"
         );
         let unlabelled = LifecycleEvent {
             dataset: None,
@@ -339,6 +360,33 @@ mod tests {
         let json = unlabelled.to_json();
         assert!(json.contains("\"dataset\":null"), "{json}");
         assert!(json.contains("\"mu_before\":null"), "{json}");
+    }
+
+    #[test]
+    fn hostile_labels_are_json_escaped() {
+        // Regression: a label with quotes, backslashes, and control
+        // characters must not be interpolated raw — it would break out
+        // of the JSON string and corrupt the `--log-json` stream.
+        let e = LifecycleEvent {
+            seq: 1,
+            ns: 1,
+            kind: EventKind::LoadShed,
+            dataset: Some(1),
+            label: Some("evil\"},{\"seq\":999\\\n\u{1}".to_string()),
+            epoch: 0,
+            dirty_cells: 0,
+            duration_ns: 0,
+            mu_before: 0.0,
+            mu_after: 0.0,
+        };
+        let json = e.to_json();
+        assert!(
+            json.contains("\"label\":\"evil\\\"},{\\\"seq\\\":999\\\\\\n\\u0001\""),
+            "{json}"
+        );
+        // The breakout sequence the raw interpolation would have
+        // produced (an unescaped quote closing the string) is absent.
+        assert!(!json.contains("\"},{\""), "{json}");
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Minimal JSON string escaping shared by every JSON-producing
+//! surface in the stack (journal `to_json`, the server's `/vars`
+//! endpoint, slow-log dumps). Only the escaping rules of RFC 8259
+//! §7 are implemented — quotes, backslashes, and control characters —
+//! because that is the entire attack surface of interpolating an
+//! untrusted label into an otherwise numeric document.
+
+/// Appends `s` to `out` with JSON string escaping (no surrounding
+/// quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `s` as a quoted, escaped JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(escape("uniform:0.02"), "\"uniform:0.02\"");
+    }
+
+    #[test]
+    fn quotes_backslashes_and_controls_escape() {
+        assert_eq!(
+            escape("a\"b\\c\nd\re\tf\u{1}"),
+            "\"a\\\"b\\\\c\\nd\\re\\tf\\u0001\""
+        );
+    }
+
+    #[test]
+    fn unicode_is_preserved_verbatim() {
+        assert_eq!(escape("µ-Σ"), "\"µ-Σ\"");
+    }
+}

@@ -21,6 +21,22 @@
 //!   (dataset, epoch, rung, dirty cells, duration, Σµ before/after)
 //!   with process-monotone sequence numbers and timestamps.
 //!
+//! On top of the live layer sit the history-and-analysis pieces:
+//!
+//! * [`timeseries`] — an in-process TSDB: a background [`Recorder`]
+//!   snapshots every registered metric on a cadence into bounded
+//!   per-series rings (counters become rates), with windowed raw and
+//!   min/max/avg/last rollup queries for sparklines.
+//! * [`slowlog`] — tail-based slow-request capture: always-on span
+//!   rings (see [`trace::set_always_record`]) plus a bounded
+//!   [`SlowLog`] that retains full span trees and request context
+//!   only for requests that finished over a latency threshold.
+//! * [`profiler`] — a sampling worker-state profiler: threads publish
+//!   a relaxed [`WorkerState`] tag, a sampler turns the tags into
+//!   per-state counters.
+//! * [`json`] — the shared JSON string-escaping helper every
+//!   JSON-producing surface uses for untrusted labels.
+//!
 //! The trace sink and the journal are process-global singletons —
 //! engine-internal code cannot be plumbed an instance — while the
 //! metrics [`Registry`] is a value the embedding layer (the server)
@@ -29,9 +45,16 @@
 
 pub mod clock;
 pub mod journal;
+pub mod json;
 pub mod metrics;
+pub mod profiler;
+pub mod slowlog;
+pub mod timeseries;
 pub mod trace;
 
 pub use journal::{journal, EventBuilder, EventKind, Journal, LifecycleEvent};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot, Registry, ValueSnapshot};
+pub use profiler::{Profiler, StateTag, WorkerState};
+pub use slowlog::{SlowEntry, SlowLog, SlowSpan};
+pub use timeseries::{Recorder, Rollup, SeriesStore};
 pub use trace::{SpanRecord, TraceGuard};

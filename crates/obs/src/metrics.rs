@@ -185,6 +185,36 @@ pub fn quantile_of(buckets: &[u64], q: f64) -> u64 {
     0
 }
 
+/// One metric's value at snapshot time (see [`Registry::snapshot`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ValueSnapshot {
+    /// Monotone counter value.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(f64),
+    /// Histogram totals; the recorder derives rate and recent mean
+    /// from consecutive `count`/`sum` deltas.
+    Histogram {
+        /// Observations so far.
+        count: u64,
+        /// Sum of observed values so far.
+        sum: u64,
+    },
+}
+
+/// One `(name, labels, value)` triple from [`Registry::snapshot`].
+/// `labels` is the canonical sorted label key (`dataset="7"`), the
+/// same string the text exposition renders.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// Family name (e.g. `srj_requests_total`).
+    pub name: String,
+    /// Canonical rendered label key; empty for unlabelled metrics.
+    pub labels: String,
+    /// The value at snapshot time.
+    pub value: ValueSnapshot,
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Kind {
     Counter,
@@ -285,6 +315,32 @@ impl Registry {
             Metric::Histogram(h) => h,
             _ => unreachable!(),
         }
+    }
+
+    /// A point-in-time snapshot of every registered metric, in render
+    /// order (family name, then label key). This is the enumeration
+    /// surface the time-series recorder feeds on.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let families = self.families.lock().unwrap();
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, metric) in family.entries.iter() {
+                let value = match metric {
+                    Metric::Counter(c) => ValueSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => ValueSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => ValueSnapshot::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                };
+                out.push(MetricSnapshot {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value,
+                });
+            }
+        }
+        out
     }
 
     /// Renders the Prometheus text exposition format: a `# TYPE` line
@@ -494,5 +550,87 @@ mod tests {
         let reg = Registry::new();
         reg.counter("srj_x", &[]);
         reg.gauge("srj_x", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn histogram_counter_conflict_panics() {
+        let reg = Registry::new();
+        reg.histogram("srj_y", &[("dataset", "1")]);
+        reg.counter("srj_y", &[("dataset", "1")]);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        // The same label set in a different declaration order must
+        // resolve to the same series — otherwise two call sites would
+        // silently double-register and split their counts.
+        let reg = Registry::new();
+        let a = reg.counter("srj_m", &[("dataset", "7"), ("rung", "repair")]);
+        let b = reg.counter("srj_m", &[("rung", "repair"), ("dataset", "7")]);
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 5);
+        // Exactly one rendered sample line carries the merged total.
+        let text = reg.render();
+        assert!(
+            text.contains("srj_m{dataset=\"7\",rung=\"repair\"} 5"),
+            "{text}"
+        );
+        assert_eq!(text.matches("srj_m{").count(), 1, "{text}");
+        // Different label *values* stay distinct series.
+        let c = reg.counter("srj_m", &[("rung", "replan"), ("dataset", "7")]);
+        c.inc();
+        assert_eq!(a.get(), 5);
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_at_exact_powers_of_two() {
+        // Bucket i spans [2^i, 2^(i+1)): an observation of exactly 2^k
+        // is the *lower* edge of bucket k, and 2^k - 1 belongs to
+        // bucket k-1.
+        for k in 1..=62usize {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), k, "2^{k}");
+            assert_eq!(bucket_index(v - 1), k - 1, "2^{k} - 1");
+            assert_eq!(bucket_index(v + 1), k, "2^{k} + 1");
+        }
+        // Degenerate edges: 0 and 1 share bucket 0; the top bucket
+        // clamps.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 63), BUCKETS - 1);
+        // And the cumulative render reflects the same edges: exactly
+        // the observations < 2^k fall under le="2^k".
+        let h = Histogram::new();
+        h.observe(4095); // bucket 11, le 4096
+        h.observe(4096); // bucket 12, le 8192
+        h.observe(4097); // bucket 12
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[11], 1);
+        assert_eq!(buckets[12], 2);
+    }
+
+    #[test]
+    fn snapshot_enumerates_every_metric() {
+        let reg = Registry::new();
+        reg.counter("srj_a_total", &[("dataset", "1")]).add(4);
+        reg.gauge("srj_b", &[]).set(2.5);
+        let h = reg.histogram("srj_c_ns", &[("dataset", "1")]);
+        h.observe(10);
+        h.observe(30);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].name, "srj_a_total");
+        assert_eq!(snap[0].labels, "dataset=\"1\"");
+        assert_eq!(snap[0].value, ValueSnapshot::Counter(4));
+        assert_eq!(snap[1].value, ValueSnapshot::Gauge(2.5));
+        assert_eq!(
+            snap[2].value,
+            ValueSnapshot::Histogram { count: 2, sum: 40 }
+        );
     }
 }

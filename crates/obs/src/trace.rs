@@ -36,8 +36,15 @@ const SLOTS: usize = 512;
 
 /// `f64` bits of the sample rate; bits 0 ⇔ rate 0.0 ⇔ disabled.
 static SAMPLE_RATE_BITS: AtomicU64 = AtomicU64::new(0);
-/// Trace-id allocator (also drives deterministic 1-in-N sampling).
+/// Nonzero ⇔ record spans for every request with a current trace id,
+/// regardless of the sampling rate (the slow-log's always-on rings).
+static ALWAYS_RECORD: AtomicU64 = AtomicU64::new(0);
+/// Trace-id allocator (ids only; see `ARRIVALS` for sampling).
 static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+/// Sampled-request arrival counter — drives deterministic 1-in-N
+/// sampling. Separate from the id allocator so forced (slow-log) id
+/// allocation cannot phase-shift the sampling pattern.
+static ARRIVALS: AtomicU64 = AtomicU64::new(1);
 /// Round-robin ring assignment for threads.
 static NEXT_RING: AtomicUsize = AtomicUsize::new(0);
 
@@ -147,10 +154,31 @@ pub fn sample_rate() -> f64 {
     f64::from_bits(SAMPLE_RATE_BITS.load(Ordering::Relaxed))
 }
 
-/// Whether tracing is enabled at all (one relaxed load).
+/// Whether tracing is enabled at all (one relaxed load per switch).
 #[inline]
 pub fn enabled() -> bool {
-    SAMPLE_RATE_BITS.load(Ordering::Relaxed) != 0
+    SAMPLE_RATE_BITS.load(Ordering::Relaxed) != 0 || ALWAYS_RECORD.load(Ordering::Relaxed) != 0
+}
+
+/// Turns always-on recording on or off. With it on, [`event`] records
+/// for any thread with a current trace id even when the sampling rate
+/// is 0 — the slow-log sets a forced id per request so every request
+/// leaves spans in the rings, and only the ones that turn out slow are
+/// retained anywhere beyond ring wraparound.
+pub fn set_always_record(on: bool) {
+    ALWAYS_RECORD.store(u64::from(on), Ordering::Relaxed);
+}
+
+/// Whether always-on recording is active.
+pub fn always_record() -> bool {
+    ALWAYS_RECORD.load(Ordering::Relaxed) != 0
+}
+
+/// Allocates a process-unique nonzero trace id unconditionally — the
+/// slow-log path tags every request so its spans are addressable if
+/// the request turns out slow. Does not consume a sampling slot.
+pub fn start_trace_forced() -> u64 {
+    NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Rolls the sampling dice for a new request: a nonzero
@@ -161,13 +189,13 @@ pub fn try_start_trace() -> u64 {
     if rate <= 0.0 {
         return 0;
     }
-    let n = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+    let n = ARRIVALS.fetch_add(1, Ordering::Relaxed);
     if rate >= 1.0 {
-        return n;
+        return NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
     }
     let period = (1.0 / rate).round().max(1.0) as u64;
     if n.is_multiple_of(period) {
-        n
+        NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
     } else {
         0
     }

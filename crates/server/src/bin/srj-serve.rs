@@ -27,10 +27,23 @@ const USAGE: &str = "usage: srj-serve [--addr HOST:PORT] [--workers N] [--queue-
                  [--write-timeout-ms N] [--idle-timeout-ms N]
                  [--rate-limit-rps N] [--mutation-rate-limit-rps N]
                  [--shed-high-water N]
+                 [--http-port N] [--slow-log N] [--slow-threshold-ms N]
+                 [--timeseries-cadence-ms N] [--no-profiler]
+                 [--health-window-ms N]
                  [--dataset ID=KIND:SCALE[:SEED]]... [--dataset-file ID=R_PATH[,S_PATH]]...
   KIND: uniform | road | poi | trajectory | taxi
   --trace-sample-rate: fraction of SAMPLE requests recording trace
                        spans (0 disables tracing; fetch with TRACE)
+  --http-port: also serve GET /metrics, /healthz, /vars over HTTP/1.1
+               on 127.0.0.1:N (0 picks a free port; off by default)
+  --slow-log: slow-request log capacity (0 disables capture; default 64)
+  --slow-threshold-ms: absolute slow threshold; 0 = auto (live p99,
+               after a warm-up of 32 requests; default 0)
+  --timeseries-cadence-ms: metric history snapshot cadence
+               (0 disables the recorder; default 1000)
+  --no-profiler: disable worker-state sampling
+  --health-window-ms: how long /healthz stays degraded after the last
+               shed/reap/reject/replan signal (default 5000)
   --log-json: print every lifecycle event (swaps, patches, repairs,
               re-plans, compactions, backpressure parks, load sheds,
               reaped connections) to stderr as one JSON object per line
@@ -247,6 +260,37 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--shed-high-water takes an integer"));
             }
+            "--http-port" => {
+                let port: u16 = value(&args, &mut i, "--http-port")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--http-port takes a port number"));
+                config.http_port = Some(port);
+            }
+            "--slow-log" => {
+                config.slow_log_capacity = value(&args, &mut i, "--slow-log")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--slow-log takes an integer"));
+            }
+            "--slow-threshold-ms" => {
+                let ms: u64 = value(&args, &mut i, "--slow-threshold-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--slow-threshold-ms takes an integer"));
+                config.slow_threshold_ns = ms.saturating_mul(1_000_000);
+            }
+            "--timeseries-cadence-ms" => {
+                config.timeseries_cadence_ms = value(&args, &mut i, "--timeseries-cadence-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--timeseries-cadence-ms takes an integer"));
+            }
+            "--no-profiler" => {
+                config.profiler = false;
+                i += 1;
+            }
+            "--health-window-ms" => {
+                config.health_degraded_window_ms = value(&args, &mut i, "--health-window-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--health-window-ms takes an integer"));
+            }
             "--log-json" => {
                 log_json = true;
                 i += 1;
@@ -286,6 +330,10 @@ fn main() {
     };
     // Parsed by srj-loadgen scripts / the CI smoke step; keep stable.
     println!("listening on {}", server.local_addr());
+    if let Some(http) = server.http_addr() {
+        // Also parsed by the CI HTTP smoke step; keep stable.
+        println!("http on {http}");
+    }
     server.wait_shutdown();
     eprintln!("# shutdown requested");
     server.shutdown();

@@ -7,22 +7,35 @@
 //!
 //! Polls the `METRICS` frame on an interval and renders a server
 //! health line (connections, load sheds, rate limits, reaped idle
-//! connections, handshake rejects) plus, per dataset: request/sample
-//! throughput (rates are deltas between polls), error counts, latency
-//! p50/p99 reconstructed from the histogram buckets, the observed
-//! rejection rate, and the five maintenance-rung counters. `--once`
-//! prints a single snapshot and exits; `--raw` dumps the exposition
-//! text verbatim (what the CI smoke step greps).
+//! connections, handshake rejects), a worker-utilization bar (sampled
+//! state deltas between polls), plus, per dataset: request/sample
+//! throughput (rates are deltas between polls), error counts, the
+//! exact mean latency (`_sum`/`_count`), latency p50/p99 estimated
+//! from the histogram buckets, the observed rejection rate, and the
+//! five maintenance-rung counters; the `SLOWLOG` tail is shown
+//! underneath when the server retains slow requests. `--once` prints
+//! a single snapshot and exits; `--raw` dumps the exposition text
+//! verbatim (what the CI smoke step greps).
+//!
+//! **Quantile error bound.** The histogram buckets are log₂-spaced,
+//! so a quantile is only known to lie inside one bucket `(le/2, le]`.
+//! The dashboard reports the bucket's *geometric midpoint* `le/√2`,
+//! which is at most a factor √2 ≈ 1.41 away from the true quantile in
+//! either direction (the bucket upper bound, reported previously, was
+//! biased up to 2× high). The mean column has no such error: it is
+//! computed exactly from the histogram's `_sum` and `_count` series.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use srj_server::{Client, ClientConfig};
+use srj_server::{Client, ClientConfig, SlowLogEntry};
 
 const USAGE: &str = "usage: srj-top [--addr HOST:PORT] [--interval-ms N]
-               [--connect-timeout-ms N] [--once] [--raw]
+               [--connect-timeout-ms N] [--once] [--raw] [--slow N]
   --once: print one snapshot and exit
   --raw:  print the raw Prometheus exposition instead of the dashboard
+  --slow: tail the newest N slow-log entries under the table
+          (default 4; 0 hides the panel)
   --connect-timeout-ms: dial deadline (0 blocks indefinitely)
   Default: --addr 127.0.0.1:7878 --interval-ms 1000
            --connect-timeout-ms 5000";
@@ -86,9 +99,15 @@ fn parse_exposition(text: &str) -> Vec<Sample> {
     out
 }
 
-/// Quantile from cumulative `_bucket{le=...}` samples of one series:
-/// the `le` upper bound of the first bucket whose cumulative count
-/// reaches the q-th rank.
+/// Quantile estimate from cumulative `_bucket{le=...}` samples of one
+/// series: find the first bucket whose cumulative count reaches the
+/// q-th rank, then report the bucket's **geometric midpoint** `le/√2`
+/// (the buckets are log₂-spaced, so the true quantile lies in
+/// `(le/2, le]` and the midpoint is within a factor √2 of it; the
+/// upper bound would be biased up to 2× high). The first bucket
+/// (`le ≤ 1` ns) and an overflow into `+Inf` fall back to the bound
+/// itself (resp. the largest finite bound) — there is no midpoint to
+/// take.
 fn bucket_quantile(buckets: &[(f64, f64)], q: f64) -> f64 {
     let total = buckets
         .iter()
@@ -102,12 +121,22 @@ fn bucket_quantile(buckets: &[(f64, f64)], q: f64) -> f64 {
     let rank = (total * q).floor() + 1.0;
     let mut sorted: Vec<(f64, f64)> = buckets.to_vec();
     sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut last_finite = 0.0;
     for (le, cumulative) in sorted {
+        if le.is_finite() {
+            last_finite = le;
+        }
         if cumulative >= rank.min(total) {
-            return le;
+            return if le.is_infinite() {
+                last_finite
+            } else if le <= 1.0 {
+                le
+            } else {
+                le / std::f64::consts::SQRT_2
+            };
         }
     }
-    0.0
+    last_finite
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -136,6 +165,8 @@ struct DatasetRow {
     epoch: f64,
     rungs: BTreeMap<String, f64>,
     latency_buckets: Vec<(f64, f64)>,
+    latency_sum: f64,
+    latency_count: f64,
 }
 
 fn snapshot_rows(samples: &[Sample]) -> BTreeMap<u64, DatasetRow> {
@@ -165,13 +196,17 @@ fn snapshot_rows(samples: &[Sample]) -> BTreeMap<u64, DatasetRow> {
                 };
                 row.latency_buckets.push((le, s.value));
             }
+            "srj_request_latency_ns_sum" => row.latency_sum = s.value,
+            "srj_request_latency_ns_count" => row.latency_count = s.value,
             _ => {}
         }
     }
     rows
 }
 
-/// Unlabeled server-wide series the health line shows.
+/// Unlabeled server-wide series the health line shows, plus the
+/// per-state worker-profiler sample counters the utilization bar is
+/// built from.
 #[derive(Default, Clone, Copy)]
 struct HealthRow {
     connections: f64,
@@ -180,7 +215,15 @@ struct HealthRow {
     reaped: f64,
     handshake_rejects: f64,
     parks: f64,
+    /// `srj_worker_state_samples_total` in [`WORKER_STATES`] order.
+    worker_states: [f64; 6],
 }
+
+/// Label values of `srj_worker_state_samples_total`, in display order.
+const WORKER_STATES: [&str; 6] = ["idle", "decode", "acquire", "draw", "write", "park"];
+
+/// One glyph per state for the utilization bar, same order.
+const STATE_GLYPHS: [char; 6] = ['.', 'd', 'a', 'D', 'w', 'P'];
 
 fn snapshot_health(samples: &[Sample]) -> HealthRow {
     let mut h = HealthRow::default();
@@ -192,16 +235,60 @@ fn snapshot_health(samples: &[Sample]) -> HealthRow {
             "srj_conn_reaped" => h.reaped = s.value,
             "srj_handshake_rejects_total" => h.handshake_rejects = s.value,
             "srj_backpressure_parks_total" => h.parks = s.value,
+            "srj_worker_state_samples_total" => {
+                if let Some(i) = s
+                    .label("state")
+                    .and_then(|v| WORKER_STATES.iter().position(|w| *w == v))
+                {
+                    h.worker_states[i] = s.value;
+                }
+            }
             _ => {}
         }
     }
     h
 }
 
+/// Renders the worker-utilization line from the per-state sample
+/// deltas since the previous poll: a 30-cell proportional bar (one
+/// glyph per state) plus the busiest non-idle percentages. Empty when
+/// the profiler is off or no sweep landed between polls.
+fn render_util(current: &HealthRow, prev: &HealthRow) -> String {
+    let deltas: Vec<f64> = (0..6)
+        .map(|i| (current.worker_states[i] - prev.worker_states[i]).max(0.0))
+        .collect();
+    let total: f64 = deltas.iter().sum();
+    if total <= 0.0 {
+        return String::new();
+    }
+    const WIDTH: usize = 30;
+    let mut bar = String::with_capacity(WIDTH);
+    for (i, d) in deltas.iter().enumerate() {
+        let cells = (d / total * WIDTH as f64).round() as usize;
+        for _ in 0..cells {
+            if bar.len() < WIDTH {
+                bar.push(STATE_GLYPHS[i]);
+            }
+        }
+    }
+    while bar.len() < WIDTH {
+        bar.push('.');
+    }
+    let mut parts = Vec::new();
+    for (i, d) in deltas.iter().enumerate() {
+        if i != 0 && *d > 0.0 {
+            parts.push(format!("{} {:.0}%", WORKER_STATES[i], d / total * 100.0));
+        }
+    }
+    format!("util [{bar}] {}", parts.join("  "))
+}
+
 fn render(
     rows: &BTreeMap<u64, DatasetRow>,
     prev: &BTreeMap<u64, DatasetRow>,
     health: HealthRow,
+    prev_health: &HealthRow,
+    slow: &[SlowLogEntry],
     dt: Duration,
     clear: bool,
 ) {
@@ -219,24 +306,34 @@ fn render(
         health.handshake_rejects,
         health.parks,
     );
+    let util = render_util(&health, prev_health);
+    if !util.is_empty() {
+        println!("{util}");
+    }
     println!(
-        "{:>8} {:>9} {:>11} {:>7} {:>9} {:>9} {:>7} {:>32}",
-        "dataset", "req/s", "samples/s", "errors", "p50", "p99", "rej", "rungs m/c/f/r/p"
+        "{:>8} {:>9} {:>11} {:>7} {:>9} {:>9} {:>9} {:>7} {:>32}",
+        "dataset", "req/s", "samples/s", "errors", "mean", "~p50", "~p99", "rej", "rungs m/c/f/r/p"
     );
     let dt_s = dt.as_secs_f64().max(1e-9);
     for (id, row) in rows {
         let prev_row = prev.get(id).cloned().unwrap_or_default();
         let req_rate = (row.requests - prev_row.requests).max(0.0) / dt_s;
         let sample_rate = (row.samples - prev_row.samples).max(0.0) / dt_s;
+        let mean = if row.latency_count > 0.0 {
+            row.latency_sum / row.latency_count
+        } else {
+            0.0
+        };
         let p50 = bucket_quantile(&row.latency_buckets, 0.50);
         let p99 = bucket_quantile(&row.latency_buckets, 0.99);
         let rung = |name: &str| row.rungs.get(name).copied().unwrap_or(0.0) as u64;
         println!(
-            "{:>8} {:>9.1} {:>11.0} {:>7.0} {:>9} {:>9} {:>7.2} {:>32}",
+            "{:>8} {:>9.1} {:>11.0} {:>7.0} {:>9} {:>9} {:>9} {:>7.2} {:>32}",
             id,
             req_rate,
             sample_rate,
             row.errors,
+            fmt_ns(mean),
             fmt_ns(p50),
             fmt_ns(p99),
             row.rejection_rate,
@@ -250,6 +347,23 @@ fn render(
             ),
         );
     }
+    if !slow.is_empty() {
+        println!("slow requests (newest first):");
+        for e in slow {
+            println!(
+                "  trace {:>#18x}  ds {:>3}  t {:>8}  {:<13}  \
+                 elapsed {:>9}  wait {:>9}  iters {:>8}  spans {:>3}",
+                e.trace_id,
+                e.dataset,
+                e.t,
+                e.algorithm,
+                fmt_ns(e.elapsed_ns as f64),
+                fmt_ns(e.queue_wait_ns as f64),
+                e.iterations,
+                e.spans.len(),
+            );
+        }
+    }
 }
 
 fn main() {
@@ -258,6 +372,7 @@ fn main() {
     let mut interval = Duration::from_millis(1000);
     let mut once = false;
     let mut raw = false;
+    let mut slow_tail: u32 = 4;
     let mut connect_timeout = Duration::from_millis(5_000);
 
     let mut i = 0;
@@ -298,6 +413,15 @@ fn main() {
                 raw = true;
                 i += 1;
             }
+            "--slow" => {
+                let Some(v) = args.get(i + 1) else {
+                    fail("--slow requires a value");
+                };
+                slow_tail = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--slow takes an integer"));
+                i += 2;
+            }
             "--help" | "-h" => fail("srj-top"),
             other => fail(&format!("unknown flag {other}")),
         }
@@ -316,6 +440,7 @@ fn main() {
     };
 
     let mut prev: BTreeMap<u64, DatasetRow> = BTreeMap::new();
+    let mut prev_health = HealthRow::default();
     let mut last_poll = Instant::now();
     loop {
         let text = match client.metrics() {
@@ -331,9 +456,17 @@ fn main() {
             let samples = parse_exposition(&text);
             let rows = snapshot_rows(&samples);
             let health = snapshot_health(&samples);
+            // An older server answers SLOWLOG with an ERROR frame;
+            // show the panel only when the fetch works.
+            let slow = if slow_tail > 0 {
+                client.slow_log(slow_tail).unwrap_or_default()
+            } else {
+                Vec::new()
+            };
             let dt = last_poll.elapsed().max(interval);
-            render(&rows, &prev, health, dt, !once);
+            render(&rows, &prev, health, &prev_health, &slow, dt, !once);
             prev = rows;
+            prev_health = health;
         }
         if once {
             return;

@@ -14,7 +14,8 @@
 //! `BUSY{retry_after_ms}` answer never waits less than the server's
 //! hint. What is safe to resend differs by request:
 //!
-//! * reads (`SAMPLE`, `STATS`, `METRICS`, `EPOCH`, `TRACE`, `PING`)
+//! * reads (`SAMPLE`, `STATS`, `METRICS`, `EPOCH`, `TRACE`, `SLOWLOG`,
+//!   `PING`)
 //!   are idempotent — transport failures reconnect and resend freely
 //!   ([`Client::sample`] restarts with a fresh buffer;
 //!   [`Client::sample_with`] only resends while *zero* batches have
@@ -572,6 +573,20 @@ impl Client {
             } if tid == trace_id => Ok(spans),
             Response::Trace { .. } => Err(ClientError::Unexpected("trace for a different id")),
             _ => Err(ClientError::Unexpected("expected a trace frame")),
+        }
+    }
+
+    /// Fetches the server's slow-request log: up to `max` of the most
+    /// recent over-threshold requests, newest first, each with its
+    /// request context and captured span tree. The server additionally
+    /// caps the answer at its own retention/frame limit.
+    pub fn slow_log(
+        &mut self,
+        max: u32,
+    ) -> Result<Vec<crate::protocol::SlowLogEntry>, ClientError> {
+        match self.exchange(&Request::SlowLog { max })? {
+            Response::SlowLog { entries } => Ok(entries),
+            _ => Err(ClientError::Unexpected("expected a slow-log frame")),
         }
     }
 

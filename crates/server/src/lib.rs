@@ -49,6 +49,7 @@
 
 pub mod client;
 pub mod fault;
+mod http;
 pub mod protocol;
 mod server;
 
@@ -56,9 +57,9 @@ pub use client::{Client, ClientConfig, ClientError, SampleOutcome, UpdateOutcome
 pub use fault::{FaultPlan, FaultRng};
 pub use protocol::{
     EpochInfo, ErrorCode, ProtocolError, Request, RequestStats, RequestStatus, Response,
-    SampleRequest, ServerStatsFrame, Side, TraceSpan, UpdateStats,
+    SampleRequest, ServerStatsFrame, Side, SlowLogEntry, TraceSpan, UpdateStats,
 };
-pub use server::{DatasetRegistry, Server, ServerConfig};
+pub use server::{DatasetRegistry, Server, ServerConfig, SLOW_AUTO_MIN_REQUESTS};
 /// Re-exported so protocol users don't need a direct `srj-engine` dep.
 pub use srj_engine::Algorithm;
 
@@ -220,6 +221,183 @@ mod tests {
 
         // An untraced id answers an empty span list, not an error.
         assert!(client.trace(u64::MAX - 1).unwrap().is_empty());
+        server.shutdown();
+    }
+
+    /// The PR8 forensics loop: with sampling *off* but the slow log
+    /// armed with an absolute threshold, a slow request is retained
+    /// with its complete span tree and request context, fast requests
+    /// are not, and the capture never leaks into the `DONE` frame's
+    /// sampled-trace contract.
+    #[test]
+    fn slow_requests_are_captured_with_span_forensics() {
+        let _serial = serial();
+        let r = pseudo_points(200, 5, 50.0);
+        let s = pseudo_points(300, 6, 50.0);
+        let mut registry = DatasetRegistry::new();
+        registry.register(3, r, s);
+        let threshold = std::time::Duration::from_millis(40);
+        let config = ServerConfig {
+            trace_sample_rate: 0.0,
+            slow_log_capacity: 8,
+            slow_threshold_ns: threshold.as_nanos() as u64,
+            ..ServerConfig::default()
+        };
+        let mut server = Server::start("127.0.0.1:0", registry, config).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        let req = |t: u64| SampleRequest {
+            req_id: 0,
+            dataset: 3,
+            l: 5.0,
+            algorithm: None,
+            shards: 1,
+            t,
+            seed: 9,
+        };
+        // Warm the engine cache so the fast probe below cannot be
+        // slowed by the one-time index build.
+        client.sample(req(1)).unwrap();
+        let fast = client.sample(req(5)).unwrap();
+        assert_eq!(fast.status, RequestStatus::Ok);
+
+        // Grow t until a request breaches the threshold for real —
+        // self-calibrating, so the test holds on any build profile.
+        let mut t = 50_000u64;
+        let slow = loop {
+            let outcome = client.sample(req(t)).unwrap();
+            assert_eq!(outcome.status, RequestStatus::Ok);
+            assert_eq!(
+                outcome.stats.trace_id, 0,
+                "sampling is off; forced slow-log ids must not leak into DONE"
+            );
+            if std::time::Duration::from_nanos(outcome.stats.elapsed_ns) > 2 * threshold {
+                break outcome;
+            }
+            t *= 4;
+        };
+
+        let entries = client.slow_log(32).unwrap();
+        assert!(!entries.is_empty(), "the slow request must be retained");
+        for e in &entries {
+            assert!(
+                e.t >= 50_000,
+                "fast requests must not be captured (found t = {})",
+                e.t
+            );
+            assert!(e.elapsed_ns >= threshold.as_nanos() as u64);
+        }
+        let newest = &entries[0];
+        assert_eq!(newest.dataset, 3);
+        assert_eq!(newest.t, t);
+        assert_eq!(newest.algorithm, "auto");
+        assert_ne!(newest.trace_id, 0, "capture runs under a forced trace id");
+        assert!(newest.queue_wait_ns <= newest.elapsed_ns);
+        assert!(newest.iterations >= slow.stats.samples);
+        let distinct: std::collections::HashSet<&str> =
+            newest.spans.iter().map(|s| s.span.as_str()).collect();
+        for span in ["frame_decode", "acquire", "draw_loop", "batch_write"] {
+            assert!(
+                distinct.contains(span),
+                "missing span {span:?} in {distinct:?}"
+            );
+        }
+        assert!(
+            newest.spans.windows(2).all(|w| w[0].ns <= w[1].ns),
+            "spans must be oldest first"
+        );
+        server.shutdown();
+    }
+
+    fn http_get(addr: std::net::SocketAddr, head: &str) -> String {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(head.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    /// The HTTP sidecar serves the three endpoints, enforces GET, and
+    /// `/healthz` flips ready → degraded on a health signal (here a
+    /// handshake reject) and recovers once the incident window ages
+    /// out.
+    #[test]
+    fn http_endpoints_and_health_transitions() {
+        let _serial = serial();
+        let r = pseudo_points(200, 7, 50.0);
+        let s = pseudo_points(300, 8, 50.0);
+        let mut registry = DatasetRegistry::new();
+        registry.register(4, r, s);
+        let config = ServerConfig {
+            http_port: Some(0),
+            health_degraded_window_ms: 300,
+            ..ServerConfig::default()
+        };
+        let mut server = Server::start("127.0.0.1:0", registry, config).unwrap();
+        let http = server.http_addr().expect("http listener must be up");
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client
+            .sample(SampleRequest {
+                req_id: 0,
+                dataset: 4,
+                l: 5.0,
+                algorithm: None,
+                shards: 1,
+                t: 100,
+                seed: 3,
+            })
+            .unwrap();
+
+        let metrics = http_get(http, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("srj_requests_total{dataset=\"4\"} 1"));
+        assert!(metrics.contains("srj_connections_accepted_total"));
+
+        let vars = http_get(http, "GET /vars?probe=ci HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(vars.starts_with("HTTP/1.1 200 OK"), "{vars}");
+        assert!(vars.contains("\"metrics\":["), "{vars}");
+        assert!(vars.contains("\"series\":["), "{vars}");
+        assert!(vars.contains("\"slow_log\":["), "{vars}");
+
+        let health = http_get(http, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.contains("\"status\":\"ready\""), "{health}");
+
+        assert!(http_get(http, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n").starts_with("HTTP/1.1 404"));
+        assert!(
+            http_get(http, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").starts_with("HTTP/1.1 405")
+        );
+
+        // A version-mismatched HELLO bumps the handshake-reject
+        // counter: a health signal.
+        {
+            let mut bad = std::net::TcpStream::connect(server.local_addr()).unwrap();
+            protocol::write_frame(
+                &mut bad,
+                &protocol::encode_request(&protocol::Request::Hello {
+                    version: protocol::PROTOCOL_VERSION + 7,
+                    features: 0,
+                }),
+            )
+            .unwrap();
+            // Wait for the ERROR answer so the reject has been counted.
+            let _ = protocol::read_frame(&mut bad);
+        }
+        let degraded = http_get(http, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(
+            degraded.starts_with("HTTP/1.1 503"),
+            "expected degraded: {degraded}"
+        );
+        assert!(degraded.contains("\"status\":\"degraded\""), "{degraded}");
+
+        // Once the incident window ages out, /healthz recovers.
+        std::thread::sleep(std::time::Duration::from_millis(450));
+        let recovered = http_get(http, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(
+            recovered.starts_with("HTTP/1.1 200 OK"),
+            "expected recovery: {recovered}"
+        );
         server.shutdown();
     }
 }

@@ -16,6 +16,7 @@
 //!                  EPOCH   { req_id, dataset }
 //!                  METRICS { }
 //!                  TRACE   { trace_id }
+//!                  SLOWLOG { max }
 //!                  PING    { token }
 //! response frames: WELCOME { version, features }
 //!                  BATCH   { req_id, count, (r, s) × count }
@@ -31,6 +32,9 @@
 //!                  METRICS { len, utf8 text (Prometheus exposition) }
 //!                  TRACE   { trace_id, count,
 //!                            (ns, span_len, span, event_len, event) × count }
+//!                  SLOWLOG { count, (trace_id, finished_ns, dataset, t,
+//!                            epoch, iterations, queue_wait_ns, elapsed_ns,
+//!                            algo_len, algo, span_count, spans...) × count }
 //!                  PONG    { token }
 //!                  BUSY    { req_id, retry_after_ms }
 //!                  ERROR   { code, msg_len, utf8 msg }
@@ -102,6 +106,7 @@ const OP_METRICS: u8 = 0x07;
 const OP_TRACE: u8 = 0x08;
 const OP_HELLO: u8 = 0x09;
 const OP_PING: u8 = 0x0A;
+const OP_SLOWLOG: u8 = 0x0B;
 /// Response opcodes.
 const OP_BATCH: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
@@ -114,6 +119,7 @@ const OP_WELCOME: u8 = 0x88;
 const OP_PONG: u8 = 0x89;
 const OP_BUSY: u8 = 0x8A;
 const OP_ERROR: u8 = 0x8B;
+const OP_SLOWLOG_ENTRIES: u8 = 0x8C;
 
 /// Why the server terminated a connection with an `ERROR` frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -424,6 +430,13 @@ pub enum Request {
         /// The trace to dump.
         trace_id: u64,
     },
+    /// Fetch the most recent slow-request captures (tail-based
+    /// forensics), newest first.
+    SlowLog {
+        /// At most this many entries (the server additionally caps the
+        /// answer to fit one frame).
+        max: u32,
+    },
 }
 
 /// Decoded response frames.
@@ -510,6 +523,39 @@ pub enum Response {
         /// or already-overwritten trace).
         spans: Vec<TraceSpan>,
     },
+    /// Answer to a `SLOWLOG` request.
+    SlowLog {
+        /// Retained slow-request captures, newest first.
+        entries: Vec<SlowLogEntry>,
+    },
+}
+
+/// One retained slow request, as carried by the `SLOWLOG` response
+/// frame: the full request context plus the span tree snapshotted when
+/// the request breached the latency threshold.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SlowLogEntry {
+    /// The request's (forced or sampled) trace id.
+    pub trace_id: u64,
+    /// Server-process-monotone completion timestamp, nanoseconds.
+    pub finished_ns: u64,
+    /// Served dataset id.
+    pub dataset: u64,
+    /// Requested sample count.
+    pub t: u64,
+    /// Serving algorithm name (`auto` when the planner chose).
+    pub algorithm: String,
+    /// Dataset epoch the request was served against.
+    pub epoch: u64,
+    /// Rejection-loop iterations the request burned.
+    pub iterations: u64,
+    /// Time between frame decode and the first worker step,
+    /// nanoseconds.
+    pub queue_wait_ns: u64,
+    /// End-to-end wall time, nanoseconds.
+    pub elapsed_ns: u64,
+    /// The span tree, oldest first.
+    pub spans: Vec<TraceSpan>,
 }
 
 /// One span record of a traced request, as carried by the `TRACE`
@@ -625,6 +671,10 @@ impl<'a> Parser<'a> {
         std::str::from_utf8(self.bytes(n)?).map_err(|_| ProtocolError::Malformed("invalid utf-8"))
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
     fn finish(&self) -> Result<(), ProtocolError> {
         if self.buf.is_empty() {
             Ok(())
@@ -664,6 +714,42 @@ fn algorithm_from_byte(b: u8) -> Result<Option<Algorithm>, ProtocolError> {
         3 => Some(Algorithm::Bbst),
         _ => return Err(ProtocolError::Malformed("unknown algorithm byte")),
     })
+}
+
+/// Encodes a span list: count, then `(ns, span_len, span, event_len,
+/// event)` per span — the layout shared by `TRACE` and `SLOWLOG`.
+fn put_spans(out: &mut Vec<u8>, spans: &[TraceSpan]) {
+    put_u32(out, spans.len() as u32);
+    for s in spans {
+        put_u64(out, s.ns);
+        put_u16(out, s.span.len() as u16);
+        out.extend_from_slice(s.span.as_bytes());
+        put_u16(out, s.event.len() as u16);
+        out.extend_from_slice(s.event.as_bytes());
+    }
+}
+
+/// Smallest wire size of one span: ns + two empty strings.
+const MIN_SPAN_LEN: usize = 12;
+
+/// Decodes a span list as written by [`put_spans`], bounding the
+/// allocation against the parser's remaining bytes before trusting the
+/// count.
+fn parse_spans(p: &mut Parser<'_>) -> Result<Vec<TraceSpan>, ProtocolError> {
+    let count = p.u32()? as usize;
+    if count * MIN_SPAN_LEN > p.remaining() {
+        return Err(ProtocolError::Malformed("span count vs length mismatch"));
+    }
+    let mut spans = Vec::with_capacity(count);
+    for _ in 0..count {
+        let ns = p.u64()?;
+        let span_len = p.u16()? as usize;
+        let span = p.str(span_len)?.to_string();
+        let event_len = p.u16()? as usize;
+        let event = p.str(event_len)?.to_string();
+        spans.push(TraceSpan { ns, span, event });
+    }
+    Ok(spans)
 }
 
 // ---- frame encode/decode -------------------------------------------------
@@ -735,6 +821,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Ping { token } => {
             payload.push(OP_PING);
             put_u64(&mut payload, *token);
+        }
+        Request::SlowLog { max } => {
+            payload.push(OP_SLOWLOG);
+            put_u32(&mut payload, *max);
         }
     }
     finish_frame(payload)
@@ -821,6 +911,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
             features: p.u32()?,
         },
         OP_PING => Request::Ping { token: p.u64()? },
+        OP_SLOWLOG => Request::SlowLog { max: p.u32()? },
         _ => return Err(ProtocolError::Malformed("unknown request opcode")),
     };
     p.finish()?;
@@ -907,13 +998,23 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Trace { trace_id, spans } => {
             payload.push(OP_TRACE_SPANS);
             put_u64(&mut payload, *trace_id);
-            put_u32(&mut payload, spans.len() as u32);
-            for s in spans {
-                put_u64(&mut payload, s.ns);
-                put_u16(&mut payload, s.span.len() as u16);
-                payload.extend_from_slice(s.span.as_bytes());
-                put_u16(&mut payload, s.event.len() as u16);
-                payload.extend_from_slice(s.event.as_bytes());
+            put_spans(&mut payload, spans);
+        }
+        Response::SlowLog { entries } => {
+            payload.push(OP_SLOWLOG_ENTRIES);
+            put_u32(&mut payload, entries.len() as u32);
+            for e in entries {
+                put_u64(&mut payload, e.trace_id);
+                put_u64(&mut payload, e.finished_ns);
+                put_u64(&mut payload, e.dataset);
+                put_u64(&mut payload, e.t);
+                put_u64(&mut payload, e.epoch);
+                put_u64(&mut payload, e.iterations);
+                put_u64(&mut payload, e.queue_wait_ns);
+                put_u64(&mut payload, e.elapsed_ns);
+                put_u16(&mut payload, e.algorithm.len() as u16);
+                payload.extend_from_slice(e.algorithm.as_bytes());
+                put_spans(&mut payload, &e.spans);
             }
         }
         Response::Welcome { version, features } => {
@@ -1069,22 +1170,44 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
         }
         OP_TRACE_SPANS => {
             let trace_id = p.u64()?;
-            let count = p.u32()? as usize;
-            // Each span is at least 12 bytes (ns + two empty strings);
-            // bound the allocation before trusting the count.
-            if count * 12 > payload.len() {
-                return Err(ProtocolError::Malformed("trace count vs length mismatch"));
-            }
-            let mut spans = Vec::with_capacity(count);
-            for _ in 0..count {
-                let ns = p.u64()?;
-                let span_len = p.u16()? as usize;
-                let span = p.str(span_len)?.to_string();
-                let event_len = p.u16()? as usize;
-                let event = p.str(event_len)?.to_string();
-                spans.push(TraceSpan { ns, span, event });
-            }
+            let spans = parse_spans(&mut p)?;
             Response::Trace { trace_id, spans }
+        }
+        OP_SLOWLOG_ENTRIES => {
+            let count = p.u32()? as usize;
+            // Each entry is at least 70 bytes (eight u64 fields, an
+            // empty algorithm string, an empty span list); bound the
+            // allocation before trusting the count.
+            if count * 70 > p.remaining() {
+                return Err(ProtocolError::Malformed("slowlog count vs length mismatch"));
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let trace_id = p.u64()?;
+                let finished_ns = p.u64()?;
+                let dataset = p.u64()?;
+                let t = p.u64()?;
+                let epoch = p.u64()?;
+                let iterations = p.u64()?;
+                let queue_wait_ns = p.u64()?;
+                let elapsed_ns = p.u64()?;
+                let algo_len = p.u16()? as usize;
+                let algorithm = p.str(algo_len)?.to_string();
+                let spans = parse_spans(&mut p)?;
+                entries.push(SlowLogEntry {
+                    trace_id,
+                    finished_ns,
+                    dataset,
+                    t,
+                    algorithm,
+                    epoch,
+                    iterations,
+                    queue_wait_ns,
+                    elapsed_ns,
+                    spans,
+                });
+            }
+            Response::SlowLog { entries }
         }
         OP_WELCOME => Response::Welcome {
             version: p.u16()?,
@@ -1260,6 +1383,71 @@ mod tests {
                 },
             ],
         });
+    }
+
+    fn slow_entry(trace_id: u64) -> SlowLogEntry {
+        SlowLogEntry {
+            trace_id,
+            finished_ns: 1_000_000,
+            dataset: 3,
+            t: 50_000,
+            algorithm: "auto".to_string(),
+            epoch: 2,
+            iterations: 123_456,
+            queue_wait_ns: 7_890,
+            elapsed_ns: 42_000_000,
+            spans: vec![
+                TraceSpan {
+                    ns: 10,
+                    span: "frame_decode".to_string(),
+                    event: "sample_request".to_string(),
+                },
+                TraceSpan {
+                    ns: 20,
+                    span: "draw_loop".to_string(),
+                    event: "begin".to_string(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn slowlog_frames_roundtrip() {
+        roundtrip_request(Request::SlowLog { max: 0 });
+        roundtrip_request(Request::SlowLog { max: 32 });
+        roundtrip_response(Response::SlowLog {
+            entries: Vec::new(),
+        });
+        roundtrip_response(Response::SlowLog {
+            entries: vec![slow_entry(9), slow_entry(8)],
+        });
+        // An entry with no spans and an empty algorithm name is the
+        // minimal (70-byte) wire form.
+        roundtrip_response(Response::SlowLog {
+            entries: vec![SlowLogEntry::default()],
+        });
+    }
+
+    #[test]
+    fn slowlog_hostile_counts_are_rejected() {
+        let frame = encode_response(&Response::SlowLog {
+            entries: vec![slow_entry(1)],
+        });
+        // Claim 60000 entries: must fail the pre-allocation bound
+        // check (entry count lives right after the opcode byte).
+        let mut payload = frame[4..].to_vec();
+        payload[1..5].copy_from_slice(&60_000u32.to_le_bytes());
+        assert!(decode_response(&payload).is_err());
+        // Claim a huge span count inside the single entry: the nested
+        // span guard must reject it. The span count sits after the
+        // opcode, entry count, eight u64 fields, and "auto".
+        let mut payload = frame[4..].to_vec();
+        let off = 1 + 4 + 64 + 2 + 4;
+        payload[off..off + 4].copy_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(decode_response(&payload).is_err());
+        // Truncating the final span mid-string is a malformed frame.
+        let short = &frame[4..frame.len() - 3];
+        assert!(decode_response(short).is_err());
     }
 
     #[test]

@@ -50,7 +50,7 @@ use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -58,13 +58,17 @@ use srj_core::{JoinPair, SampleConfig, SampleError};
 use srj_engine::{DatasetStore, EngineStats, EpochConfig, EpochEngine, SamplerHandle};
 use srj_geom::Point;
 use srj_obs::journal::EventKind;
-use srj_obs::{trace, Counter, Gauge, Histogram, Registry};
+use srj_obs::profiler::ALL_STATES;
+use srj_obs::timeseries::{Recorder, SeriesStore};
+use srj_obs::{
+    trace, Counter, Gauge, Histogram, Profiler, Registry, SlowEntry, SlowLog, StateTag, WorkerState,
+};
 
 use crate::fault::FaultPlan;
 use crate::protocol::{
     decode_request, encode_response, read_frame_or_idle, EpochInfo, ErrorCode, FrameRead, Request,
-    RequestStats, RequestStatus, Response, SampleRequest, ServerStatsFrame, Side, TraceSpan,
-    UpdateStats, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_FEATURES,
+    RequestStats, RequestStatus, Response, SampleRequest, ServerStatsFrame, Side, SlowLogEntry,
+    TraceSpan, UpdateStats, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_FEATURES,
 };
 
 /// `retry_after_ms` suggested on load-shed `BUSY` answers: long enough
@@ -139,6 +143,33 @@ pub struct ServerConfig {
     /// Fault-injection plan for the chaos harness. The default is
     /// inert: nothing fires, the sites cost one branch per frame.
     pub fault_plan: FaultPlan,
+    /// Loopback HTTP observability port (`/metrics`, `/healthz`,
+    /// `/vars` on `127.0.0.1`; `0` = OS-assigned, see
+    /// [`Server::http_addr`]). `None` (default) disables the listener.
+    pub http_port: Option<u16>,
+    /// Slow requests retained for forensics (`SLOWLOG` frame,
+    /// `/vars`). Nonzero turns on always-record span rings
+    /// ([`srj_obs::trace::set_always_record`]) so every request leaves
+    /// a span trail the capture can snapshot. `0` disables tail-based
+    /// capture entirely. Default 64.
+    pub slow_log_capacity: usize,
+    /// Latency threshold for slow-request capture, nanoseconds. `0`
+    /// (default) derives the threshold from the live request-latency
+    /// p99 once at least [`SLOW_AUTO_MIN_REQUESTS`] requests have been
+    /// observed (nothing is captured before that).
+    pub slow_threshold_ns: u64,
+    /// Cadence of the in-process time-series recorder
+    /// ([`srj_obs::timeseries`]), milliseconds. `0` disables the
+    /// recorder (and `/vars` serves no series). Default 1000.
+    pub timeseries_cadence_ms: u64,
+    /// Whether the maintainer samples worker/reader/writer state tags
+    /// into `srj_worker_state_samples_total{state=...}`. Default true.
+    pub profiler: bool,
+    /// `/healthz` reports `degraded` while the most recent distress
+    /// signal (load shed, connection reap, handshake reject, engine
+    /// re-plan) is younger than this window, milliseconds. Default
+    /// 5000.
+    pub health_degraded_window_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -159,9 +190,26 @@ impl Default for ServerConfig {
             mutation_rate_limit_rps: 0,
             shed_high_water: 256,
             fault_plan: FaultPlan::inert(),
+            http_port: None,
+            slow_log_capacity: 64,
+            slow_threshold_ns: 0,
+            timeseries_cadence_ms: 1000,
+            profiler: true,
+            health_degraded_window_ms: 5000,
         }
     }
 }
+
+/// Requests the latency histogram must have seen before the automatic
+/// (`slow_threshold_ns == 0`) p99-derived slow threshold engages — a
+/// p99 of three requests is noise, not a baseline.
+pub const SLOW_AUTO_MIN_REQUESTS: u64 = 32;
+
+/// Most entries a `SLOWLOG` answer carries, and most spans one entry
+/// retains — together they bound the response frame well under
+/// [`MAX_FRAME_LEN`].
+pub(crate) const SLOWLOG_MAX_ENTRIES: usize = 32;
+pub(crate) const SLOWLOG_MAX_SPANS: usize = 512;
 
 /// `set_read_timeout`/`set_write_timeout` reject `Some(ZERO)`; zero
 /// means "no deadline" throughout the config.
@@ -399,16 +447,26 @@ struct Job {
     /// (stats/error answers don't).
     record: bool,
     /// Nonzero when this request won the trace-sampling coin flip; the
-    /// id is made current on whichever worker thread steps the job and
-    /// echoed in the `DONE` frame so the client can fetch the spans.
+    /// id is echoed in the `DONE` frame so the client can fetch the
+    /// spans.
     trace_id: u64,
+    /// The id spans are recorded under on whichever worker thread steps
+    /// the job: equal to `trace_id` for sampled requests, a forced id
+    /// when slow-log capture is on (every request must leave a span
+    /// trail the capture can snapshot), `0` otherwise. Never echoed —
+    /// `DONE` semantics ride on `trace_id` alone.
+    span_id: u64,
     started: Instant,
+    /// Decode-to-first-worker-step delay, set on the first step — the
+    /// queue-wait component of a slow-log capture.
+    queue_wait: Option<Duration>,
 }
 
 impl Job {
     fn sample(
         req: SampleRequest,
         trace_id: u64,
+        span_id: u64,
         tx: SyncSender<Vec<u8>>,
         conn: Arc<ConnShared>,
     ) -> Self {
@@ -423,7 +481,9 @@ impl Job {
             sent: 0,
             record: true,
             trace_id,
+            span_id,
             started: Instant::now(),
+            queue_wait: None,
         }
     }
 
@@ -455,7 +515,9 @@ impl Job {
             sent: 0,
             record: false,
             trace_id: 0,
+            span_id: 0,
             started: Instant::now(),
+            queue_wait: None,
         }
     }
 
@@ -706,6 +768,12 @@ struct ServerMetrics {
     /// `srj_handshake_rejects_total` — connections refused at the
     /// handshake (bad version, or a request before `HELLO`).
     handshake_rejects: Counter,
+    /// `srj_slow_requests_total` — requests captured into the slow log
+    /// (hot-path increment, rare by construction).
+    slow_captures: Counter,
+    /// `srj_worker_state_samples_total{state=...}` in
+    /// [`ALL_STATES`] order — profiler mirror at scrape.
+    worker_states: [Counter; 6],
 }
 
 impl ServerMetrics {
@@ -720,13 +788,29 @@ impl ServerMetrics {
             rate_limited: reg.counter("srj_rate_limited", &[]),
             conn_reaped: reg.counter("srj_conn_reaped", &[]),
             handshake_rejects: reg.counter("srj_handshake_rejects_total", &[]),
+            slow_captures: reg.counter("srj_slow_requests_total", &[]),
+            worker_states: std::array::from_fn(|i| {
+                reg.counter(
+                    "srj_worker_state_samples_total",
+                    &[("state", ALL_STATES[i].as_str())],
+                )
+            }),
         }
     }
 }
 
 // ---- shared server state -------------------------------------------------
 
-struct Shared {
+/// Change detector behind `/healthz`: whenever the aggregate distress
+/// signal moves, the incident clock restarts; the endpoint reports
+/// `degraded` while the clock is younger than the configured window.
+#[derive(Default)]
+struct HealthState {
+    last_signal: u64,
+    last_change: Option<Instant>,
+}
+
+pub(crate) struct Shared {
     config: ServerConfig,
     registry: HashMap<u64, Arc<ServedDataset>>,
     /// Serving-engine lookup hits/misses (a miss pays an index build).
@@ -749,10 +833,20 @@ struct Shared {
     shutdown_flag: Mutex<bool>,
     shutdown_cv: Condvar,
     addr: SocketAddr,
+    /// Tail-based slow-request retention (capacity 0 = disabled).
+    slow_log: SlowLog,
+    /// Worker/reader/writer state tags, sampled by the maintainer.
+    profiler: Profiler,
+    /// The time-series store, set once when the recorder starts (the
+    /// recorder itself lives on [`Server`] — storing it here would arc-
+    /// cycle through its snapshot closure).
+    tsdb: OnceLock<Arc<SeriesStore>>,
+    /// `/healthz` change detector.
+    health: Mutex<HealthState>,
 }
 
 impl Shared {
-    fn is_shutting_down(&self) -> bool {
+    pub(crate) fn is_shutting_down(&self) -> bool {
         *self.shutdown_flag.lock().expect("shutdown flag poisoned")
     }
 
@@ -817,14 +911,25 @@ impl Shared {
         }
     }
 
-    /// The Prometheus text exposition behind the `METRICS` frame:
-    /// mirrors the engine-internal counters (maintenance rungs,
-    /// rejection feedback, Σµ, epochs, connection counters) into the
-    /// registry, then renders. The hot-path metrics (requests,
-    /// samples, errors, latency) are already current — they are
-    /// recorded directly at request completion.
-    fn metrics_text(&self) -> String {
+    /// The Prometheus text exposition behind the `METRICS` frame and
+    /// `/metrics`: one mirror pass, then a render.
+    pub(crate) fn metrics_text(&self) -> String {
+        self.mirror_metrics();
+        self.metrics.render()
+    }
+
+    /// Mirrors the engine-internal counters (maintenance rungs,
+    /// rejection feedback, Σµ, epochs, connection counters, profiler
+    /// state samples) into the registry so a render — or a time-series
+    /// snapshot — observes current values. The hot-path metrics
+    /// (requests, samples, errors, latency) are already current — they
+    /// are recorded directly at request completion.
+    fn mirror_metrics(&self) {
         let sm = &self.server_metrics;
+        let counts = self.profiler.counts();
+        for (i, c) in sm.worker_states.iter().enumerate() {
+            c.store(counts[i]);
+        }
         sm.connections_accepted
             .store(self.accepted.load(Ordering::Relaxed));
         sm.active_connections
@@ -861,7 +966,135 @@ impl Shared {
                 served.store.epoch() as f64
             });
         }
-        self.metrics.render()
+    }
+
+    /// The latency threshold slow-request capture compares against
+    /// right now — the configured absolute value, or the live p99 once
+    /// enough requests have been observed. `None` = capture nothing
+    /// (auto mode still warming up).
+    fn slow_threshold_ns(&self) -> Option<u64> {
+        if self.config.slow_threshold_ns > 0 {
+            return Some(self.config.slow_threshold_ns);
+        }
+        let snap = self.request_stats.snapshot();
+        (snap.queries + snap.errors >= SLOW_AUTO_MIN_REQUESTS)
+            .then(|| snap.p99_latency.as_nanos().min(u128::from(u64::MAX)) as u64)
+    }
+
+    /// Sum over every dataset's engines of re-plan escalations — the
+    /// maintenance-ladder input to `/healthz`.
+    fn replans_total(&self) -> u64 {
+        self.registry
+            .values()
+            .map(|d| d.maintenance_stats().replans)
+            .sum()
+    }
+
+    /// Evaluates `/healthz`: `(ready, body)`. The aggregate distress
+    /// signal is the sum of the load-shed, connection-reap,
+    /// handshake-reject, and engine-re-plan counters; any movement
+    /// restarts the incident clock, and the server reports `degraded`
+    /// until the clock outgrows the configured window.
+    pub(crate) fn healthz(&self) -> (bool, String) {
+        let sm = &self.server_metrics;
+        let shed = sm.requests_shed.get();
+        let reaped = sm.conn_reaped.get();
+        let rejects = sm.handshake_rejects.get();
+        let replans = self.replans_total();
+        let signal = shed + reaped + rejects + replans;
+        let now = Instant::now();
+        let incident_age_ms = {
+            let mut health = self.health.lock().expect("health state poisoned");
+            if signal != health.last_signal {
+                health.last_signal = signal;
+                health.last_change = Some(now);
+            }
+            health
+                .last_change
+                .map(|t| now.duration_since(t).as_millis().min(u128::from(u64::MAX)) as u64)
+        };
+        let window = self.config.health_degraded_window_ms;
+        let ready = incident_age_ms.is_none_or(|age| age >= window);
+        let body = format!(
+            "{{\"status\":{},\"shed\":{shed},\"reaped\":{reaped},\
+             \"handshake_rejects\":{rejects},\"replans\":{replans},\
+             \"window_ms\":{window},\"incident_age_ms\":{}}}",
+            if ready { "\"ready\"" } else { "\"degraded\"" },
+            match incident_age_ms {
+                Some(age) => age.to_string(),
+                None => "null".to_string(),
+            },
+        );
+        (ready, body)
+    }
+
+    /// The `/vars` body: a JSON snapshot of every registered metric,
+    /// the recent 1-minute time-series rollups (when the recorder is
+    /// on), and the slow-log tail.
+    pub(crate) fn vars_json(&self) -> String {
+        use srj_obs::json::escape;
+        use srj_obs::ValueSnapshot;
+        self.mirror_metrics();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"metrics\":[");
+        for (i, m) in self.metrics.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"labels\":{},",
+                escape(&m.name),
+                escape(&m.labels)
+            ));
+            match m.value {
+                ValueSnapshot::Counter(v) => out.push_str(&format!("\"counter\":{v}}}")),
+                ValueSnapshot::Gauge(v) => {
+                    // Gauges are finite by construction; guard anyway so
+                    // a rogue value cannot emit invalid JSON.
+                    let v = if v.is_finite() { v } else { 0.0 };
+                    out.push_str(&format!("\"gauge\":{v}}}"));
+                }
+                ValueSnapshot::Histogram { count, sum } => {
+                    out.push_str(&format!("\"count\":{count},\"sum\":{sum}}}"));
+                }
+            }
+        }
+        out.push_str("],\"series\":[");
+        if let Some(store) = self.tsdb.get() {
+            let since = srj_obs::clock::now_ns().saturating_sub(srj_obs::timeseries::ROLLUP_5M_NS);
+            for (i, (name, labels, kind)) in store.series_names().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":{},\"labels\":{},\"kind\":\"{}\",\"rollup_1m\":[",
+                    escape(name),
+                    escape(labels),
+                    kind.as_str()
+                ));
+                let rollups = store.rollup(name, labels, srj_obs::timeseries::ROLLUP_1M_NS, since);
+                for (j, r) in rollups.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"start_ns\":{},\"min\":{},\"max\":{},\"avg\":{},\
+                         \"last\":{},\"count\":{}}}",
+                        r.start_ns, r.min, r.max, r.avg, r.last, r.count
+                    ));
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push_str("],\"slow_log\":[");
+        for (i, e) in self.slow_log.recent(8).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -874,6 +1107,11 @@ pub struct Server {
     acceptor: Option<JoinHandle<()>>,
     maintainer: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// The time-series recorder thread (owned here, not on [`Shared`]:
+    /// its snapshot closure holds an `Arc<Shared>`).
+    recorder: Option<Recorder>,
+    /// The HTTP observability listener: resolved address + thread.
+    http: Option<(SocketAddr, JoinHandle<()>)>,
 }
 
 impl Server {
@@ -896,8 +1134,10 @@ impl Server {
         // Tracing is a process-wide switch (the engine's instrumented
         // call sites have no server reference); the last-started
         // server's rate wins, which in practice is one server per
-        // process.
+        // process. Slow-log capture needs every request to leave span
+        // records, so it flips the always-record half of the switch.
         trace::set_sample_rate(config.trace_sample_rate);
+        trace::set_always_record(config.slow_log_capacity > 0);
         // Label every store with its wire id so engine-internal
         // lifecycle events (swaps, patches, repairs, re-plans,
         // compactions) carry the dataset id clients know.
@@ -928,7 +1168,29 @@ impl Server {
             shutdown_flag: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             addr: listener.local_addr()?,
+            slow_log: SlowLog::new(config.slow_log_capacity),
+            profiler: Profiler::new(),
+            tsdb: OnceLock::new(),
+            health: Mutex::new(HealthState::default()),
         });
+
+        let recorder = (config.timeseries_cadence_ms > 0).then(|| {
+            let snap_shared = Arc::clone(&shared);
+            let recorder = Recorder::start(
+                Duration::from_millis(config.timeseries_cadence_ms),
+                srj_obs::timeseries::DEFAULT_CAPACITY,
+                move || {
+                    snap_shared.mirror_metrics();
+                    snap_shared.metrics.snapshot()
+                },
+            );
+            let _ = shared.tsdb.set(recorder.store());
+            recorder
+        });
+        let http = match config.http_port {
+            Some(port) => Some(crate::http::start(Arc::clone(&shared), port)?),
+            None => None,
+        };
 
         let workers = (0..config.workers)
             .map(|i| {
@@ -946,9 +1208,9 @@ impl Server {
                 .spawn(move || acceptor_loop(listener, &shared))
                 .expect("spawn acceptor")
         };
-        // The idle reaper only exists when there is a deadline to
-        // enforce.
-        let maintainer = (!config.idle_timeout.is_zero()).then(|| {
+        // The maintainer exists when it has work: an idle deadline to
+        // enforce, or profiler tags to sample.
+        let maintainer = (!config.idle_timeout.is_zero() || config.profiler).then(|| {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("srj-maintainer".into())
@@ -961,7 +1223,15 @@ impl Server {
             acceptor: Some(acceptor),
             maintainer,
             workers,
+            recorder,
+            http,
         })
+    }
+
+    /// The HTTP observability listener's resolved address (with an
+    /// OS-assigned port filled in), when one is configured.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http.as_ref().map(|(addr, _)| *addr)
     }
 
     /// The bound address (with the OS-assigned port resolved).
@@ -1003,6 +1273,15 @@ impl Server {
     /// drop.
     pub fn shutdown(&mut self) {
         self.shared.begin_shutdown();
+        if let Some(mut recorder) = self.recorder.take() {
+            recorder.stop();
+        }
+        if let Some((addr, handle)) = self.http.take() {
+            // Wake the HTTP listener out of its blocking accept() so it
+            // observes the shutdown flag.
+            let _ = TcpStream::connect(addr);
+            let _ = handle.join();
+        }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
@@ -1143,8 +1422,9 @@ fn reader_loop(
     conn: Arc<ConnShared>,
     shared: &Arc<Shared>,
 ) {
+    let tag = shared.profiler.register();
     if handshake(&mut stream, &tx, &conn, shared).is_ok() {
-        serve_frames(&mut stream, &tx, &conn, shared);
+        serve_frames(&mut stream, &tx, &conn, shared, &tag);
     }
     shared.active.fetch_sub(1, Ordering::Relaxed);
 }
@@ -1205,7 +1485,13 @@ fn serve_frames(
     tx: &SyncSender<Vec<u8>>,
     conn: &Arc<ConnShared>,
     shared: &Arc<Shared>,
+    tag: &StateTag,
 ) {
+    // Journal labels identify the peer a control-plane event hit.
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_default();
     let plan = shared.config.fault_plan;
     let mut faults = plan
         .is_active()
@@ -1228,6 +1514,7 @@ fn serve_frames(
         Some(ms)
     };
     loop {
+        tag.set(WorkerState::Idle);
         let payload = match read_frame_or_idle(stream) {
             Ok(FrameRead::Frame(payload)) => payload,
             // The socket deadline expired between frames: not an
@@ -1243,6 +1530,7 @@ fn serve_frames(
             // a socket error.
             Ok(FrameRead::Eof) | Err(_) => return,
         };
+        tag.set(WorkerState::Decode);
         if shared.is_shutting_down() {
             return;
         }
@@ -1294,6 +1582,7 @@ fn serve_frames(
                     shared.server_metrics.requests_shed.inc();
                     srj_obs::journal::event(EventKind::LoadShed)
                         .dataset(Some(req.dataset))
+                        .label(peer.clone())
                         .emit();
                     if send_busy(req.req_id, SHED_RETRY_MS).is_err() {
                         return;
@@ -1303,12 +1592,21 @@ fn serve_frames(
                 // The sampling decision is made here, at frame decode,
                 // so the trace covers the request's whole server-side
                 // life; the id rides on the job and comes back to the
-                // client in the DONE frame.
+                // client in the DONE frame. With slow-log capture on,
+                // an unsampled request still gets a forced span id —
+                // never echoed, but snapshotted if it finishes slow.
                 let trace_id = trace::try_start_trace();
-                trace::event_for(trace_id, "frame_decode", "sample_request");
+                let span_id = if trace_id != 0 {
+                    trace_id
+                } else if shared.slow_log.enabled() {
+                    trace::start_trace_forced()
+                } else {
+                    0
+                };
+                trace::event_for(span_id, "frame_decode", "sample_request");
                 enqueue(
                     shared,
-                    Job::sample(req, trace_id, tx.clone(), Arc::clone(conn)),
+                    Job::sample(req, trace_id, span_id, tx.clone(), Arc::clone(conn)),
                 );
             }
             Ok(Request::Stats) => {
@@ -1359,6 +1657,26 @@ fn serve_frames(
                     })
                     .collect();
                 let frame = encode_response(&Response::Trace { trace_id, spans });
+                enqueue(
+                    shared,
+                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(conn)),
+                );
+            }
+            Ok(Request::SlowLog { max }) => {
+                if let Some(ms) = throttled(&mut req_bucket) {
+                    if send_busy(0, ms).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                let cap = (max as usize).min(SLOWLOG_MAX_ENTRIES);
+                let entries = shared
+                    .slow_log
+                    .recent(cap)
+                    .into_iter()
+                    .map(slow_entry_to_wire)
+                    .collect();
+                let frame = encode_response(&Response::SlowLog { entries });
                 enqueue(
                     shared,
                     Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(conn)),
@@ -1508,10 +1826,16 @@ fn should_shed(shared: &Arc<Shared>, conn: &Arc<ConnShared>) -> bool {
 
 /// Sweeps for idle connections at half the idle deadline (so a
 /// connection is reaped within 1.5× the deadline), clamped to
-/// [10 ms, 500 ms]; exits when shutdown flips.
+/// [10 ms, 500 ms], and takes one profiler sample per sweep; exits
+/// when shutdown flips. With the idle reaper disabled the maintainer
+/// may exist purely for the profiler, on a 50 ms sweep.
 fn maintainer_loop(shared: &Arc<Shared>) {
     let idle = shared.config.idle_timeout;
-    let sweep = (idle / 2).clamp(Duration::from_millis(10), Duration::from_millis(500));
+    let sweep = if idle.is_zero() {
+        Duration::from_millis(50)
+    } else {
+        (idle / 2).clamp(Duration::from_millis(10), Duration::from_millis(500))
+    };
     let mut flag = shared.shutdown_flag.lock().expect("shutdown flag poisoned");
     while !*flag {
         let (guard, _) = shared
@@ -1523,7 +1847,12 @@ fn maintainer_loop(shared: &Arc<Shared>) {
             return;
         }
         drop(flag);
-        reap_idle(shared, idle);
+        if shared.config.profiler {
+            shared.profiler.sample();
+        }
+        if !idle.is_zero() {
+            reap_idle(shared, idle);
+        }
         flag = shared.shutdown_flag.lock().expect("shutdown flag poisoned");
     }
 }
@@ -1550,10 +1879,16 @@ fn reap_idle(shared: &Arc<Shared>, idle: Duration) {
             continue;
         }
         conn.closed.store(true, Ordering::Release);
+        let peer = conn
+            .stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default();
         let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         shared.server_metrics.conn_reaped.inc();
         srj_obs::journal::event(EventKind::ConnReaped)
             .duration_ns(quiet_ns)
+            .label(peer)
             .emit();
     }
 }
@@ -1569,11 +1904,13 @@ fn writer_loop(
     conn: Arc<ConnShared>,
     shared: &Arc<Shared>,
 ) {
+    let tag = shared.profiler.register();
     let plan = shared.config.fault_plan;
     let mut faults = plan
         .is_active()
         .then(|| plan.rng_for(conn.id, FAULT_ROLE_WRITER));
     while let Ok(frame) = rx.recv() {
+        tag.set(WorkerState::Write);
         // Empty frames are park kicks: nothing to write, but parked
         // jobs must be re-examined.
         if !frame.is_empty() && !write_frame_faulty(&mut stream, &frame, &plan, faults.as_mut()) {
@@ -1588,6 +1925,7 @@ fn writer_loop(
         for job in parked {
             enqueue(shared, job);
         }
+        tag.set(WorkerState::Idle);
     }
     // The socket is gone or the last sender hung up: anything still
     // parked can never be delivered.
@@ -1662,8 +2000,10 @@ fn enqueue(shared: &Arc<Shared>, job: Job) {
 // ---- workers -------------------------------------------------------------
 
 fn worker_loop(shared: &Arc<Shared>) {
+    let tag = shared.profiler.register();
     while let Some(job) = shared.queue.pop() {
-        step(shared, job);
+        step(shared, job, &tag);
+        tag.set(WorkerState::Idle);
     }
 }
 
@@ -1678,7 +2018,7 @@ enum Flushed {
 /// Sends queued frames until the outbox is empty or the connection's
 /// queue is full. Full ⇒ park on the connection (with a kick so the
 /// writer always notices); disconnected ⇒ drop; empty + done ⇒ finish.
-fn flush_outbox(shared: &Arc<Shared>, mut job: Job) -> Flushed {
+fn flush_outbox(shared: &Arc<Shared>, mut job: Job, tag: &StateTag) -> Flushed {
     while let Some(frame) = job.outbox.pop_front() {
         match job.tx.try_send(frame) {
             Ok(()) => {}
@@ -1692,9 +2032,17 @@ fn flush_outbox(shared: &Arc<Shared>, mut job: Job) -> Flushed {
                 // the request parks on its connection. A rare
                 // control-plane condition, so it goes to the journal
                 // (and the park counter) rather than the trace ring.
+                tag.set(WorkerState::Park);
+                let peer = job
+                    .conn
+                    .stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_default();
                 shared.server_metrics.backpressure_parks.inc();
                 srj_obs::journal::event(EventKind::BackpressurePark)
                     .dataset(job.record.then_some(job.req.dataset))
+                    .label(peer)
                     .emit();
                 trace::event("batch_write", "park");
                 let kick_tx = job.tx.clone();
@@ -1755,23 +2103,29 @@ fn finish(shared: &Arc<Shared>, job: &Job, _delivered: bool) {
 }
 
 /// One worker step: flush, produce at most one batch, flush, requeue.
-fn step(shared: &Arc<Shared>, job: Job) {
-    // Make the job's trace current for everything this step does —
+fn step(shared: &Arc<Shared>, mut job: Job, tag: &StateTag) {
+    // Make the job's span id current for everything this step does —
     // including the engine-internal draw-loop events, which only see
     // the thread-local id.
-    let _trace = trace::set_current(job.trace_id);
-    let mut job = match flush_outbox(shared, job) {
+    let _trace = trace::set_current(job.span_id);
+    if job.queue_wait.is_none() {
+        job.queue_wait = Some(job.started.elapsed());
+    }
+    tag.set(WorkerState::Write);
+    let mut job = match flush_outbox(shared, job, tag) {
         Flushed::Clear(job) => job,
         Flushed::Gone => return,
     };
 
     match &mut job.state {
         JobState::Acquire => {
+            tag.set(WorkerState::Acquire);
             trace::event("acquire", "begin");
             match acquire_handle(shared, &job.req) {
                 Ok(handle) => {
                     trace::event("acquire", "handle_ready");
                     job.state = JobState::Stream(Box::new(handle));
+                    tag.set(WorkerState::Draw);
                     produce_batch(shared, &mut job);
                 }
                 Err(status) => {
@@ -1780,13 +2134,17 @@ fn step(shared: &Arc<Shared>, job: Job) {
                 }
             }
         }
-        JobState::Stream(_) => produce_batch(shared, &mut job),
+        JobState::Stream(_) => {
+            tag.set(WorkerState::Draw);
+            produce_batch(shared, &mut job);
+        }
         // Respond jobs carry only pre-encoded frames; with the outbox
         // clear they are finished by flush_outbox, never reach here.
         JobState::Respond => {}
     }
 
-    if let Flushed::Clear(job) = flush_outbox(shared, job) {
+    tag.set(WorkerState::Write);
+    if let Flushed::Clear(job) = flush_outbox(shared, job, tag) {
         enqueue(shared, job);
     }
 }
@@ -1937,6 +2295,7 @@ fn produce_batch(shared: &Arc<Shared>, job: &mut Job) {
 fn push_done(shared: &Arc<Shared>, job: &mut Job, status: RequestStatus) {
     let iterations = job.iterations();
     let elapsed = job.started.elapsed();
+    maybe_capture_slow(shared, job, iterations, elapsed);
     if job.record {
         // Record now, not at delivery: the DONE frame below reaches the
         // client strictly after this, so a follow-up STATS request can
@@ -1972,4 +2331,80 @@ fn push_done(shared: &Arc<Shared>, job: &mut Job, status: RequestStatus) {
     }));
     job.done = Some(status);
     trace::event("batch_write", "done_enqueued");
+}
+
+/// Tail-based slow-request capture: when a finished request breached
+/// the latency threshold, snapshot its span tree (still in the rings —
+/// the capture races only ring wraparound, not a sampling decision)
+/// plus the request context into the bounded slow log.
+fn maybe_capture_slow(shared: &Arc<Shared>, job: &Job, iterations: u64, elapsed: Duration) {
+    if !shared.slow_log.enabled() || job.span_id == 0 {
+        return;
+    }
+    let elapsed_ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let Some(threshold) = shared.slow_threshold_ns() else {
+        return;
+    };
+    if elapsed_ns < threshold {
+        return;
+    }
+    let mut spans = SlowEntry::capture_spans(job.span_id);
+    spans.truncate(SLOWLOG_MAX_SPANS);
+    let epoch = shared
+        .registry
+        .get(&job.req.dataset)
+        .map(|d| d.store.epoch())
+        .unwrap_or(0);
+    shared.server_metrics.slow_captures.inc();
+    shared.slow_log.record(SlowEntry {
+        trace_id: job.span_id,
+        finished_ns: srj_obs::clock::now_ns(),
+        dataset: job.req.dataset,
+        t: job.req.t,
+        algorithm: algorithm_name(job.req.algorithm).to_string(),
+        epoch,
+        iterations,
+        queue_wait_ns: job
+            .queue_wait
+            .unwrap_or_default()
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64,
+        elapsed_ns,
+        spans,
+    });
+}
+
+/// Stable lower-case algorithm name for slow-log context (`auto` =
+/// the planner chose).
+fn algorithm_name(a: Option<srj_engine::Algorithm>) -> &'static str {
+    match a {
+        None => "auto",
+        Some(srj_engine::Algorithm::Kds) => "kds",
+        Some(srj_engine::Algorithm::KdsRejection) => "kds_rejection",
+        Some(srj_engine::Algorithm::Bbst) => "bbst",
+    }
+}
+
+/// Converts a retained [`SlowEntry`] into its wire form.
+fn slow_entry_to_wire(e: SlowEntry) -> SlowLogEntry {
+    SlowLogEntry {
+        trace_id: e.trace_id,
+        finished_ns: e.finished_ns,
+        dataset: e.dataset,
+        t: e.t,
+        algorithm: e.algorithm,
+        epoch: e.epoch,
+        iterations: e.iterations,
+        queue_wait_ns: e.queue_wait_ns,
+        elapsed_ns: e.elapsed_ns,
+        spans: e
+            .spans
+            .into_iter()
+            .map(|s| TraceSpan {
+                ns: s.ns,
+                span: s.span,
+                event: s.event,
+            })
+            .collect(),
+    }
 }

@@ -10,7 +10,7 @@ use srj_geom::Point;
 use srj_server::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, EpochInfo,
     ErrorCode, ProtocolError, Request, RequestStats, RequestStatus, Response, SampleRequest,
-    ServerStatsFrame, Side, TraceSpan, UpdateStats, MAX_ERROR_MSG_LEN, MAX_FRAME_LEN,
+    ServerStatsFrame, Side, SlowLogEntry, TraceSpan, UpdateStats, MAX_ERROR_MSG_LEN, MAX_FRAME_LEN,
     PROTOCOL_VERSION, SERVER_FEATURES,
 };
 use srj_server::Algorithm;
@@ -279,6 +279,46 @@ proptest! {
                     ns,
                     span: "s".repeat(a),
                     event: "v".repeat(b),
+                })
+                .collect(),
+        });
+    }
+
+    #[test]
+    fn slowlog_roundtrips(
+        max in any::<u32>(),
+        entries in prop::collection::vec(
+            (
+                (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+                (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+                0usize..12,
+                prop::collection::vec((any::<u64>(), 0usize..16, 0usize..16), 0..6),
+            ),
+            0..4,
+        ),
+    ) {
+        roundtrip_request(Request::SlowLog { max });
+        roundtrip_response(Response::SlowLog {
+            entries: entries
+                .into_iter()
+                .map(|(a, b, algo_len, spans)| SlowLogEntry {
+                    trace_id: a.0,
+                    finished_ns: a.1,
+                    dataset: a.2,
+                    t: a.3,
+                    algorithm: "a".repeat(algo_len),
+                    epoch: b.0,
+                    iterations: b.1,
+                    queue_wait_ns: b.2,
+                    elapsed_ns: b.3,
+                    spans: spans
+                        .into_iter()
+                        .map(|(ns, s, v)| TraceSpan {
+                            ns,
+                            span: "s".repeat(s),
+                            event: "v".repeat(v),
+                        })
+                        .collect(),
                 })
                 .collect(),
         });

@@ -103,7 +103,7 @@ fn maintenance_ladder_journals_expected_event_sequence() {
     repair_engine.refresh();
     assert_eq!(repair_engine.repairs(), 1, "feedback must trigger repair");
     assert_eq!(kinds_for(9102), vec![EventKind::Repair]);
-    let repair = srj::obs::journal::journal().for_dataset(9102)[0];
+    let repair = srj::obs::journal::journal().for_dataset(9102)[0].clone();
     assert!(repair.dirty_cells > 0, "repair must name its cells");
     assert!(
         repair.mu_after < repair.mu_before,
