@@ -8,6 +8,7 @@ use srj_bbst::{bucket_capacity, CellBbsts, MassMode};
 use srj_geom::{Point, PointId, Rect};
 use srj_grid::{case_of, CellCase, Grid};
 
+use crate::buffer::{BufferStats, DrawBuffers};
 use crate::cellstore::{BbstCellCtx, CellStore, PatchReport};
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 use crate::cursor::{Cursor, SamplerIndex};
@@ -407,10 +408,13 @@ impl BbstIndex {
 
 /// Per-cursor scratch of the BBST draw: the per-cell rejection records
 /// this cursor accumulated (drained by the serving layer into shared
-/// per-cell counters — the signal behind targeted cell repairs).
+/// per-cell counters — the signal behind targeted cell repairs), plus
+/// the buffered-draw fast path state (off by default).
 #[derive(Default)]
 pub struct BbstScratch {
     rejected_cells: Vec<u32>,
+    /// Buffered fully-covered-cell draw state.
+    pub buffers: DrawBuffers,
 }
 
 impl SamplerIndex for BbstIndex {
@@ -422,9 +426,9 @@ impl SamplerIndex for BbstIndex {
     }
 
     /// One iteration of Algorithm 1's sampling phase (lines 12–15).
-    fn try_draw(
+    fn try_draw<R: Rng + ?Sized>(
         &self,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         scratch: &mut BbstScratch,
         stats: &mut PhaseReport,
     ) -> Result<Option<JoinPair>, SampleError> {
@@ -454,16 +458,30 @@ impl SamplerIndex for BbstIndex {
                     .filter(|&sid| w.contains(grid.point(sid)))
             }
             case => {
-                let run = case12_run(cell, grid.points(), case, &w)
-                    .expect("non-corner case must yield a run");
-                // Exact cases never reject; the run is non-empty
-                // because its UB-phase count was positive.
-                let sid = run[rng.gen_range(0..run.len())];
-                debug_assert!(
-                    w.contains(grid.point(sid)),
-                    "case-1/2 sample escaped the window"
-                );
-                Some(sid)
+                if scratch.buffers.enabled() && w.contains_rect(&cell.rect) {
+                    // Fully covered exact cell (the center cell of the
+                    // 3×3 neighborhood, always, since the cell side
+                    // equals the window half-extent): its case-1/2
+                    // weight equals the member count, so a uniform
+                    // member draw — buffered for hot cells — replaces
+                    // the run materialisation.
+                    let token = Arc::as_ptr(self.store.unit_arc(slot)) as usize;
+                    let sid = scratch.buffers.draw_covered(slot, token, &cell.by_x, || {
+                        rng.gen_range(0..cell.by_x.len())
+                    });
+                    Some(sid)
+                } else {
+                    let run = case12_run(cell, grid.points(), case, &w)
+                        .expect("non-corner case must yield a run");
+                    // Exact cases never reject; the run is non-empty
+                    // because its UB-phase count was positive.
+                    let sid = run[rng.gen_range(0..run.len())];
+                    debug_assert!(
+                        w.contains(grid.point(sid)),
+                        "case-1/2 sample escaped the window"
+                    );
+                    Some(sid)
+                }
             }
         };
         if let Some(sid) = accepted {
@@ -492,6 +510,22 @@ impl SamplerIndex for BbstIndex {
 
     fn drain_cell_rejections(scratch: &mut BbstScratch, out: &mut Vec<u32>) {
         out.append(&mut scratch.rejected_cells);
+    }
+
+    fn set_buffers(scratch: &mut BbstScratch, enabled: bool) {
+        scratch.buffers.set_enabled(enabled);
+    }
+
+    fn warm_buffers(scratch: &mut BbstScratch, slots: &[u32]) {
+        scratch.buffers.warm(slots);
+    }
+
+    fn seed_buffers(scratch: &mut BbstScratch, seed: u64) {
+        scratch.buffers.seed_rng(seed);
+    }
+
+    fn drain_buffer_stats(scratch: &mut BbstScratch) -> BufferStats {
+        scratch.buffers.drain_stats()
     }
 
     fn index_build_report(&self) -> PhaseReport {

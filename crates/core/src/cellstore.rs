@@ -22,12 +22,13 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use rand::{Rng, RngCore};
+use rand::Rng;
 use srj_bbst::CellBbsts;
 use srj_geom::{Point, PointId, Rect};
 use srj_grid::{Cell, Grid};
 use srj_kdtree::{CanonicalScratch, KdTree};
 
+use crate::buffer::DrawBuffers;
 use crate::parallel::par_map;
 
 /// A per-cell payload a [`CellStore`] can carry: built from one cell's
@@ -324,11 +325,39 @@ impl KdCellStore {
     /// rank selection — this is the serving system's hottest loop, so
     /// the covering cells are never range-counted twice. Degenerate
     /// wide windows (> 9 covering cells) fall back to a re-walk.
-    pub fn sample_in_window(
+    pub fn sample_in_window<R: Rng + ?Sized>(
         &self,
         w: &Rect,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         scratch: &mut CanonicalScratch,
+    ) -> Option<(PointId, usize)> {
+        self.sample_impl(w, rng, scratch, None)
+    }
+
+    /// [`KdCellStore::sample_in_window`] with the buffered fast path:
+    /// when the ranked cell is **fully covered** by `w` (every member
+    /// qualifies — with cell side = window half-extent that is the
+    /// common case), the draw skips the kd descent entirely and is
+    /// served from [`DrawBuffers`] — a pre-drawn buffer pop for hot
+    /// cells, the already-drawn in-cell rank for cold ones. Boundary
+    /// cells keep the descent. The distribution is identical; the RNG
+    /// stream is not, so the legacy entry point stays separate.
+    pub fn sample_in_window_buffered<R: Rng + ?Sized>(
+        &self,
+        w: &Rect,
+        rng: &mut R,
+        scratch: &mut CanonicalScratch,
+        buffers: &mut DrawBuffers,
+    ) -> Option<(PointId, usize)> {
+        self.sample_impl(w, rng, scratch, Some(buffers))
+    }
+
+    fn sample_impl<R: Rng + ?Sized>(
+        &self,
+        w: &Rect,
+        rng: &mut R,
+        scratch: &mut CanonicalScratch,
+        mut buffers: Option<&mut DrawBuffers>,
     ) -> Option<(PointId, usize)> {
         let mut counts: [(u32, usize); 9] = [(0, 0); 9];
         let mut filled = 0usize;
@@ -351,8 +380,23 @@ impl KdCellStore {
             return None;
         }
         let mut rank = rng.gen_range(0..total as u64) as usize;
-        let draw = |slot: u32, count: usize, rng: &mut dyn RngCore, scratch: &mut _| {
+        let draw = |slot: u32,
+                    count: usize,
+                    in_cell_rank: usize,
+                    rng: &mut R,
+                    scratch: &mut CanonicalScratch,
+                    buffers: &mut Option<&mut DrawBuffers>| {
             let cell = self.store.grid().cell(slot);
+            if let Some(bufs) = buffers.as_deref_mut() {
+                if bufs.enabled() && w.contains_rect(&cell.rect) {
+                    // Fully covered: every member qualifies, and the
+                    // in-cell rank is already uniform over them.
+                    debug_assert_eq!(cell.len(), count);
+                    let token = Arc::as_ptr(self.store.unit_arc(slot)) as usize;
+                    let id = bufs.draw_covered(slot, token, &cell.by_x, || in_cell_rank);
+                    return (id, total);
+                }
+            }
             let (local, in_cell) = self
                 .store
                 .unit(slot)
@@ -364,7 +408,7 @@ impl KdCellStore {
         if !overflow {
             for &(slot, count) in &counts[..filled] {
                 if rank < count {
-                    return Some(draw(slot, count, rng, scratch));
+                    return Some(draw(slot, count, rank, rng, scratch, &mut buffers));
                 }
                 rank -= count;
             }
@@ -379,7 +423,7 @@ impl KdCellStore {
             }
             let count = self.count_cell(slot, w);
             if rank < count {
-                picked = Some(draw(slot, count, rng, scratch));
+                picked = Some(draw(slot, count, rank, rng, scratch, &mut buffers));
             } else {
                 rank -= count;
             }

@@ -8,10 +8,16 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rand::RngCore;
+use rand::{Rng, RngCore};
 
+use crate::buffer::BufferStats;
 use crate::config::{JoinPair, PhaseReport, SampleError};
 use crate::traits::JoinSampler;
+
+/// Pre-allocation cap for batched draws: `t` is caller-controlled (and
+/// remote-controlled through the network front-end); vectors still grow
+/// on demand past the cap.
+const MAX_PREALLOC_PAIRS: usize = 1 << 20;
 
 /// Contract an immutable, shareable sampler index exposes to its
 /// cursors: a thread-safe draw against caller-owned mutable state.
@@ -39,9 +45,15 @@ pub trait SamplerIndex: Send + Sync {
     /// **every** iteration (each iteration emits any pair of `J` with
     /// probability exactly `1/Σµ`), not merely loop inside one shard,
     /// which would bias samples toward shards with looser bounds.
-    fn try_draw(
+    ///
+    /// Generic over the RNG so the serving engine can monomorphise the
+    /// whole draw path over its concrete `SmallRng` (no virtual call
+    /// per random word); the object-safe [`crate::JoinSampler`] path
+    /// instantiates it at `R = dyn RngCore` and behaves exactly as
+    /// before.
+    fn try_draw<R: Rng + ?Sized>(
         &self,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         scratch: &mut Self::Scratch,
         stats: &mut PhaseReport,
     ) -> Result<Option<JoinPair>, SampleError>;
@@ -75,12 +87,33 @@ pub trait SamplerIndex: Send + Sync {
     /// scratch; the default is a no-op for everything else.
     fn drain_cell_rejections(_scratch: &mut Self::Scratch, _out: &mut Vec<u32>) {}
 
+    /// Switches the buffered-draw fast path carried in `scratch` on or
+    /// off (see [`crate::DrawBuffers`]). Default no-op for indexes
+    /// without a buffered path; the legacy entry points never consult
+    /// buffers either way, so their RNG streams stay byte-identical.
+    fn set_buffers(_scratch: &mut Self::Scratch, _enabled: bool) {}
+
+    /// Pre-promotes the given cell slots to buffered status (warm
+    /// start, skipping the heat ladder). Default no-op.
+    fn warm_buffers(_scratch: &mut Self::Scratch, _slots: &[u32]) {}
+
+    /// Pins the buffered path's RNG to a caller-chosen stream, making
+    /// the buffered draw sequence a pure function of the caller's
+    /// seed. Default no-op.
+    fn seed_buffers(_scratch: &mut Self::Scratch, _seed: u64) {}
+
+    /// Drains the buffer hit/refill/invalidation counters accumulated
+    /// in `scratch`. Default: all-zero.
+    fn drain_buffer_stats(_scratch: &mut Self::Scratch) -> BufferStats {
+        BufferStats::default()
+    }
+
     /// One uniform draw: loops [`SamplerIndex::try_draw`] until a
     /// candidate is accepted or [`SamplerIndex::rejection_limit`]
     /// consecutive rejections trip the safety valve.
-    fn draw_with(
+    fn draw_with<R: Rng + ?Sized>(
         &self,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         scratch: &mut Self::Scratch,
         stats: &mut PhaseReport,
     ) -> Result<JoinPair, SampleError> {
@@ -212,6 +245,55 @@ impl<I: SamplerIndex> Cursor<I> {
     pub fn sampling_stats(&self) -> &PhaseReport {
         &self.stats
     }
+
+    /// Switches this cursor's buffered-draw fast path on or off.
+    pub fn set_buffers(&mut self, enabled: bool) {
+        I::set_buffers(&mut self.scratch, enabled);
+    }
+
+    /// Pre-promotes `slots` to buffered status (warm start).
+    pub fn warm_buffers(&mut self, slots: &[u32]) {
+        I::warm_buffers(&mut self.scratch, slots);
+    }
+
+    /// Pins this cursor's buffer RNG to a seed-derived stream.
+    pub fn seed_buffers(&mut self, seed: u64) {
+        I::seed_buffers(&mut self.scratch, seed);
+    }
+
+    /// Drains the buffer hit/refill/invalidation counters.
+    pub fn drain_buffer_stats(&mut self) -> BufferStats {
+        I::drain_buffer_stats(&mut self.scratch)
+    }
+
+    /// Monomorphised batch draw: `t` accept-loops against a concrete
+    /// RNG under a single timing bracket, appending to `out`. This is
+    /// the engine's hot serving path — the compiler sees the whole
+    /// index/RNG pair, so there is no virtual call per random word and
+    /// no `Instant::now()` per pair.
+    pub fn sample_batch<R: Rng + ?Sized>(
+        &mut self,
+        t: usize,
+        rng: &mut R,
+        out: &mut Vec<JoinPair>,
+    ) -> Result<(), SampleError> {
+        let start = Instant::now();
+        out.reserve(t.min(MAX_PREALLOC_PAIRS));
+        for _ in 0..t {
+            match self
+                .index
+                .draw_with(rng, &mut self.scratch, &mut self.stats)
+            {
+                Ok(p) => out.push(p),
+                Err(e) => {
+                    self.stats.sampling += start.elapsed();
+                    return Err(e);
+                }
+            }
+        }
+        self.stats.sampling += start.elapsed();
+        Ok(())
+    }
 }
 
 impl<I: SamplerIndex> JoinSampler for Cursor<I> {
@@ -233,10 +315,6 @@ impl<I: SamplerIndex> JoinSampler for Cursor<I> {
     }
 
     fn sample(&mut self, t: usize, rng: &mut dyn RngCore) -> Result<Vec<JoinPair>, SampleError> {
-        // Bound the pre-allocation: `t` is caller-controlled (and will
-        // be remote-controlled once a network front-end lands); the
-        // vector still grows on demand past the cap.
-        const MAX_PREALLOC_PAIRS: usize = 1 << 20;
         let start = Instant::now();
         let mut out = Vec::with_capacity(t.min(MAX_PREALLOC_PAIRS));
         for _ in 0..t {

@@ -1,11 +1,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rand::RngCore;
+use rand::{Rng, RngCore};
 use srj_alias::AliasTable;
 use srj_geom::{Point, Rect};
-use srj_kdtree::CanonicalScratch;
 
+use crate::buffer::{BufferStats, KdsScratch};
 use crate::cellstore::KdCellStore;
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 use crate::cursor::{Cursor, SamplerIndex};
@@ -161,7 +161,7 @@ impl KdsIndex {
 }
 
 impl SamplerIndex for KdsIndex {
-    type Scratch = CanonicalScratch;
+    type Scratch = KdsScratch;
 
     fn algorithm_name(&self) -> &'static str {
         "KDS"
@@ -169,10 +169,10 @@ impl SamplerIndex for KdsIndex {
 
     /// KDS counts exactly, so every iteration accepts: `try_draw` never
     /// returns `Ok(None)`.
-    fn try_draw(
+    fn try_draw<R: Rng + ?Sized>(
         &self,
-        rng: &mut dyn RngCore,
-        scratch: &mut CanonicalScratch,
+        rng: &mut R,
+        scratch: &mut KdsScratch,
         stats: &mut PhaseReport,
     ) -> Result<Option<JoinPair>, SampleError> {
         let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
@@ -181,12 +181,31 @@ impl SamplerIndex for KdsIndex {
         let w = Rect::window(self.r_points[ridx], self.config.half_extent);
         // The alias only returns r with a positive count, so the window
         // is non-empty and the draw cannot fail.
-        let (sid, _count) = self
-            .s_cells
-            .sample_in_window(&w, rng, scratch)
-            .expect("alias returned an r with zero range count");
+        let (sid, _count) = if scratch.buffers.enabled() {
+            self.s_cells
+                .sample_in_window_buffered(&w, rng, &mut scratch.kd, &mut scratch.buffers)
+        } else {
+            self.s_cells.sample_in_window(&w, rng, &mut scratch.kd)
+        }
+        .expect("alias returned an r with zero range count");
         stats.samples += 1;
         Ok(Some(JoinPair::new(ridx as u32, sid)))
+    }
+
+    fn set_buffers(scratch: &mut KdsScratch, enabled: bool) {
+        scratch.buffers.set_enabled(enabled);
+    }
+
+    fn warm_buffers(scratch: &mut KdsScratch, slots: &[u32]) {
+        scratch.buffers.warm(slots);
+    }
+
+    fn seed_buffers(scratch: &mut KdsScratch, seed: u64) {
+        scratch.buffers.seed_rng(seed);
+    }
+
+    fn drain_buffer_stats(scratch: &mut KdsScratch) -> BufferStats {
+        scratch.buffers.drain_stats()
     }
 
     fn total_weight(&self) -> f64 {

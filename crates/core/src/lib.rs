@@ -59,6 +59,7 @@
 //! achieved speedup is always visible.
 
 mod bbst_alg;
+pub mod buffer;
 pub mod cellstore;
 mod config;
 mod cursor;
@@ -73,6 +74,7 @@ mod traits;
 mod variant;
 
 pub use bbst_alg::{BbstCursor, BbstIndex, BbstSStructures, BbstSampler};
+pub use buffer::{BufferStats, DrawBuffers, KdsScratch, BUFFER_CAP, MAX_BUFFERS, PROMOTE_HITS};
 pub use cellstore::{
     BbstCellCtx, CellStore, CellUnit, KdCellStore, PatchReport as CellPatchReport,
 };

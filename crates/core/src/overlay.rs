@@ -50,11 +50,12 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rand::{Rng, RngCore};
+use rand::Rng;
 use srj_alias::AliasTable;
 use srj_geom::{Point, PointId, Rect};
 use srj_grid::Grid;
 
+use crate::buffer::BufferStats;
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 use crate::cursor::SamplerIndex;
 
@@ -398,9 +399,9 @@ impl<I: SamplerIndex> OverlayIndex<I> {
     /// One base-source iteration: base draw + tombstone filter. The
     /// base's own accounting runs against a scratch report so a
     /// tombstone rejection is not miscounted as an accepted sample.
-    fn try_draw_base(
+    fn try_draw_base<R: Rng + ?Sized>(
         &self,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         scratch: &mut I::Scratch,
         stats: &mut PhaseReport,
     ) -> Result<Option<JoinPair>, SampleError> {
@@ -420,7 +421,11 @@ impl<I: SamplerIndex> OverlayIndex<I> {
 
     /// One inserted-`R` iteration: `r⁺ ∝ µ`, uniform candidate from the
     /// base-S 3×3 block, accept iff in-window and live.
-    fn try_draw_r_ins(&self, rng: &mut dyn RngCore, stats: &mut PhaseReport) -> Option<JoinPair> {
+    fn try_draw_r_ins<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        stats: &mut PhaseReport,
+    ) -> Option<JoinPair> {
         stats.iterations += 1;
         let alias = self.r_ins_alias.as_ref()?;
         let i = alias.sample(rng);
@@ -440,7 +445,11 @@ impl<I: SamplerIndex> OverlayIndex<I> {
     /// One inserted-`S` iteration: `s⁺ ∝ ν`, uniform candidate from the
     /// base-R 3×3 block ⊎ the inserted-R buffer, accept iff in-window
     /// and live.
-    fn try_draw_s_ins(&self, rng: &mut dyn RngCore, stats: &mut PhaseReport) -> Option<JoinPair> {
+    fn try_draw_s_ins<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        stats: &mut PhaseReport,
+    ) -> Option<JoinPair> {
         stats.iterations += 1;
         let alias = self.s_ins_alias.as_ref()?;
         let j = alias.sample(rng);
@@ -477,9 +486,9 @@ impl<I: SamplerIndex> SamplerIndex for OverlayIndex<I> {
     /// One iteration: source `∝ (W_base, W_R, W_S)` — re-picked every
     /// iteration, exactly like the sharded composition — then one
     /// iteration of that source.
-    fn try_draw(
+    fn try_draw<R: Rng + ?Sized>(
         &self,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         scratch: &mut Self::Scratch,
         stats: &mut PhaseReport,
     ) -> Result<Option<JoinPair>, SampleError> {
@@ -508,6 +517,24 @@ impl<I: SamplerIndex> SamplerIndex for OverlayIndex<I> {
 
     fn drain_cell_rejections(scratch: &mut Self::Scratch, out: &mut Vec<u32>) {
         I::drain_cell_rejections(scratch, out);
+    }
+
+    fn set_buffers(scratch: &mut Self::Scratch, enabled: bool) {
+        // The overlay's scratch IS the base's scratch: base-source
+        // draws keep their buffered fast path through the overlay.
+        I::set_buffers(scratch, enabled);
+    }
+
+    fn warm_buffers(scratch: &mut Self::Scratch, slots: &[u32]) {
+        I::warm_buffers(scratch, slots);
+    }
+
+    fn seed_buffers(scratch: &mut Self::Scratch, seed: u64) {
+        I::seed_buffers(scratch, seed);
+    }
+
+    fn drain_buffer_stats(scratch: &mut Self::Scratch) -> BufferStats {
+        I::drain_buffer_stats(scratch)
     }
 
     fn index_build_report(&self) -> PhaseReport {

@@ -1,17 +1,16 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rand::{Rng, RngCore};
-use srj_alias::AliasTable;
-use srj_geom::{Point, Rect};
-use srj_grid::Grid;
-use srj_kdtree::CanonicalScratch;
-
+use crate::buffer::{BufferStats, KdsScratch};
 use crate::cellstore::KdCellStore;
 use crate::config::{JoinPair, PhaseReport, SampleConfig, SampleError};
 use crate::cursor::{Cursor, SamplerIndex};
 use crate::parallel::par_map;
 use crate::traits::JoinSampler;
+use rand::{Rng, RngCore};
+use srj_alias::AliasTable;
+use srj_geom::{Point, Rect};
+use srj_grid::Grid;
 
 /// Immutable build product of Baseline 2 — **KDS-rejection** (paper
 /// Section III-B).
@@ -194,7 +193,7 @@ impl KdsRejectionIndex {
 }
 
 impl SamplerIndex for KdsRejectionIndex {
-    type Scratch = CanonicalScratch;
+    type Scratch = KdsScratch;
 
     fn algorithm_name(&self) -> &'static str {
         "KDS-rejection"
@@ -202,10 +201,10 @@ impl SamplerIndex for KdsRejectionIndex {
 
     /// One rejection-sampling iteration: draw `r ∝ µ(r)`, draw a point
     /// of `S ∩ w(r)`, accept with probability `|S(w(r))| / µ(r)`.
-    fn try_draw(
+    fn try_draw<R: Rng + ?Sized>(
         &self,
-        rng: &mut dyn RngCore,
-        scratch: &mut CanonicalScratch,
+        rng: &mut R,
+        scratch: &mut KdsScratch,
         stats: &mut PhaseReport,
     ) -> Result<Option<JoinPair>, SampleError> {
         let alias = self.alias.as_ref().ok_or(SampleError::EmptyJoin)?;
@@ -214,7 +213,13 @@ impl SamplerIndex for KdsRejectionIndex {
         let w = Rect::window(self.r_points[ridx], self.config.half_extent);
         // µ(r) > 0 does not imply the window is non-empty: the nine
         // cells may hold points only outside w(r).
-        if let Some((sid, count)) = self.s_cells.sample_in_window(&w, rng, scratch) {
+        let drawn = if scratch.buffers.enabled() {
+            self.s_cells
+                .sample_in_window_buffered(&w, rng, &mut scratch.kd, &mut scratch.buffers)
+        } else {
+            self.s_cells.sample_in_window(&w, rng, &mut scratch.kd)
+        };
+        if let Some((sid, count)) = drawn {
             // Accept with probability |S(w(r))| / µ(r).
             if rng.gen::<f64>() * self.mu[ridx] < count as f64 {
                 stats.samples += 1;
@@ -222,6 +227,22 @@ impl SamplerIndex for KdsRejectionIndex {
             }
         }
         Ok(None)
+    }
+
+    fn set_buffers(scratch: &mut KdsScratch, enabled: bool) {
+        scratch.buffers.set_enabled(enabled);
+    }
+
+    fn warm_buffers(scratch: &mut KdsScratch, slots: &[u32]) {
+        scratch.buffers.warm(slots);
+    }
+
+    fn seed_buffers(scratch: &mut KdsScratch, seed: u64) {
+        scratch.buffers.seed_rng(seed);
+    }
+
+    fn drain_buffer_stats(scratch: &mut KdsScratch) -> BufferStats {
+        scratch.buffers.drain_stats()
     }
 
     fn rejection_limit(&self) -> u64 {

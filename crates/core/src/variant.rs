@@ -133,9 +133,9 @@ impl BbstKdVariantIndex {
     /// One uniform draw against the immutable index (`&self`; safe from
     /// many threads). The variant's bounds are exact, so a draw never
     /// rejects.
-    fn draw(
+    fn draw<R: Rng + ?Sized>(
         &self,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         scratch: &mut CanonicalScratch,
         stats: &mut PhaseReport,
     ) -> Result<JoinPair, SampleError> {
@@ -181,9 +181,9 @@ impl SamplerIndex for BbstKdVariantIndex {
         "BBST-kd-variant"
     }
 
-    fn try_draw(
+    fn try_draw<R: Rng + ?Sized>(
         &self,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         scratch: &mut CanonicalScratch,
         stats: &mut PhaseReport,
     ) -> Result<Option<JoinPair>, SampleError> {

@@ -1,15 +1,15 @@
 //! The engine proper: one immutable index, many lightweight handles.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::rngs::{BufferedRng, SmallRng};
+use rand::{RngCore, SeedableRng};
 use srj_core::{
-    AnySamplerIndex, BbstCursor, BbstIndex, CellPatchReport, Cursor, DeltaSet, JoinPair,
-    JoinSampler, KdsCursor, KdsIndex, KdsRejectionCursor, KdsRejectionIndex, OverlayIndex,
-    OverlaySupport, PhaseReport, SampleConfig, SampleError, SamplerIndex as _,
+    AnySamplerIndex, BbstCursor, BbstIndex, BufferStats, CellPatchReport, Cursor, DeltaSet,
+    JoinPair, JoinSampler, KdsCursor, KdsIndex, KdsRejectionCursor, KdsRejectionIndex,
+    OverlayIndex, OverlaySupport, PhaseReport, SampleConfig, SampleError, SamplerIndex as _,
 };
 use srj_geom::Point;
 
@@ -69,6 +69,11 @@ struct EngineShared {
     /// targeted repair.
     cell_rejections: Option<CellRejectionStats>,
     plan: Option<PlanReport>,
+    /// Whether handles should serve batches through the buffered draw
+    /// fast path (pre-drawn per-cell sample buffers + monomorphised
+    /// RNG). Handles re-check the flag on every batch, so flipping it
+    /// takes effect without re-acquiring handles.
+    buffers: AtomicBool,
     /// Sequence number for auto-seeded handles.
     handle_seq: AtomicU64,
 }
@@ -221,7 +226,7 @@ impl Engine {
                 )))
             }
         };
-        Engine::from_index(index, plan)
+        Engine::from_index(index, plan, true)
     }
 
     /// Lets the planner pick the algorithm from a cheap `O(n + m)`
@@ -244,7 +249,7 @@ impl Engine {
             )),
             (algorithm, _) => return Engine::build_inner(r, s, config, algorithm, Some(report)),
         };
-        Engine::from_index(index, Some(report))
+        Engine::from_index(index, Some(report), true)
     }
 
     /// Shard-aware [`Engine::auto`]: the planner picks the algorithm,
@@ -276,7 +281,7 @@ impl Engine {
             }
             Algorithm::Bbst => IndexKind::Bbst(Arc::new(BbstIndex::build(r, s, config))),
         };
-        Engine::from_index(index, plan)
+        Engine::from_index(index, plan, true)
     }
 
     /// Wraps this engine's index in a delta [`OverlayIndex`], producing
@@ -331,6 +336,7 @@ impl Engine {
                 shards,
             },
             self.shared.plan,
+            self.buffers_enabled(),
         )
     }
 
@@ -393,7 +399,7 @@ impl Engine {
             IndexKind::Dyn { .. } => return None,
         };
         // The old plan described the pre-mutation workload.
-        Some(Engine::from_index(index, None))
+        Some(Engine::from_index(index, None, self.buffers_enabled()))
     }
 
     /// Rebuilds this engine over a new `R` while **patching** its
@@ -491,7 +497,10 @@ impl Engine {
             }
             IndexKind::Dyn { .. } => return None,
         };
-        Some((Engine::from_index(index, None), report))
+        Some((
+            Engine::from_index(index, None, self.buffers_enabled()),
+            report,
+        ))
     }
 
     /// Re-tightens the named `S`-cells to exact (per-bucket-mass)
@@ -509,12 +518,19 @@ impl Engine {
             )),
             _ => return None,
         };
-        Some(Engine::from_index(index, self.shared.plan))
+        Some(Engine::from_index(
+            index,
+            self.shared.plan,
+            self.buffers_enabled(),
+        ))
     }
 
     /// Wraps a built index with fresh stats / handle sequence /
-    /// per-cell rejection counters.
-    fn from_index(index: IndexKind, plan: Option<PlanReport>) -> Engine {
+    /// per-cell rejection counters. `buffers` seeds the fast-path
+    /// flag: `true` for fresh builds, inherited for derived engines
+    /// (overlays, rebuilds, repairs) so an operator's toggle survives
+    /// epoch swaps.
+    fn from_index(index: IndexKind, plan: Option<PlanReport>, buffers: bool) -> Engine {
         let cells = index_cell_count(&index);
         Engine {
             shared: Arc::new(EngineShared {
@@ -522,15 +538,37 @@ impl Engine {
                 stats: EngineStats::new(),
                 cell_rejections: (cells > 0).then(|| CellRejectionStats::new(cells)),
                 plan,
+                buffers: AtomicBool::new(buffers),
                 handle_seq: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Whether handles serve batches through the buffered draw fast
+    /// path (see [`SamplerHandle::sample_batch`]).
+    pub fn buffers_enabled(&self) -> bool {
+        self.shared.buffers.load(Ordering::Relaxed)
+    }
+
+    /// Flips the buffered draw fast path for every handle of this
+    /// engine. Handles re-check the flag at each batch, so the change
+    /// applies without re-acquiring them; disabling also drops each
+    /// handle's pinned buffers at its next batch.
+    pub fn set_buffers_enabled(&self, on: bool) {
+        self.shared.buffers.store(on, Ordering::Relaxed);
     }
 
     /// Whether this engine serves through a delta overlay (pending
     /// mutations present) rather than a full build.
     pub fn is_overlay(&self) -> bool {
         matches!(self.shared.index, IndexKind::Dyn { .. })
+    }
+
+    /// Whether `self` and `other` are clones of the same engine (share
+    /// one stats/index cell) — lets the epoch machinery tell a real
+    /// swap from a same-engine reinstall before retiring counters.
+    pub(crate) fn shares_state(&self, other: &Engine) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
     }
 
     /// The algorithm this engine serves with.
@@ -557,9 +595,14 @@ impl Engine {
     }
 
     /// The planner's decision report, if this engine came from
-    /// [`Engine::auto`].
-    pub fn plan(&self) -> Option<&PlanReport> {
-        self.shared.plan.as_ref()
+    /// [`Engine::auto`], with [`PlanReport::buffers`] stamped from the
+    /// engine's **live** fast-path flag (buffer state is a serving-time
+    /// property the build-time planner cannot know).
+    pub fn plan(&self) -> Option<PlanReport> {
+        self.shared.plan.map(|mut p| {
+            p.buffers = self.buffers_enabled();
+            p
+        })
     }
 
     /// A new serving handle with an automatically derived, per-handle
@@ -596,12 +639,19 @@ impl Engine {
             rng: SmallRng::seed_from_u64(seed),
             shared: Arc::clone(&self.shared),
             reject_buf: Vec::new(),
+            buffers_armed: false,
         }
     }
 
     /// Aggregate statistics across every handle this engine has issued.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// `(hits, refills, invalidations)` of the buffered draw fast path
+    /// across every handle — three relaxed loads, no histogram walk.
+    pub fn buffer_counters(&self) -> (u64, u64, u64) {
+        self.shared.stats.buffer_counters()
     }
 
     /// Just `(samples, iterations)` — the rejection-rate pair as two
@@ -730,6 +780,49 @@ impl CursorKind {
             CursorKind::Dyn(c) => c.report(),
         }
     }
+
+    /// Arms / disarms the cursor's per-cell sample buffers. The
+    /// type-erased overlay cursor has no buffer hooks (its draws mix
+    /// three pair sources per iteration), so `Dyn` is a no-op.
+    fn set_buffers(&mut self, on: bool) {
+        match self {
+            CursorKind::Kds(c) => c.set_buffers(on),
+            CursorKind::KdsRejection(c) => c.set_buffers(on),
+            CursorKind::Bbst(c) => c.set_buffers(on),
+            CursorKind::ShardedKds(c) => c.set_buffers(on),
+            CursorKind::ShardedKdsRejection(c) => c.set_buffers(on),
+            CursorKind::ShardedBbst(c) => c.set_buffers(on),
+            CursorKind::Dyn(_) => {}
+        }
+    }
+
+    /// Pins the buffered path's RNG to a seed-derived stream so the
+    /// buffered draw sequence is reproducible per handle seed.
+    fn seed_buffers(&mut self, seed: u64) {
+        match self {
+            CursorKind::Kds(c) => c.seed_buffers(seed),
+            CursorKind::KdsRejection(c) => c.seed_buffers(seed),
+            CursorKind::Bbst(c) => c.seed_buffers(seed),
+            CursorKind::ShardedKds(c) => c.seed_buffers(seed),
+            CursorKind::ShardedKdsRejection(c) => c.seed_buffers(seed),
+            CursorKind::ShardedBbst(c) => c.seed_buffers(seed),
+            CursorKind::Dyn(_) => {}
+        }
+    }
+
+    /// Takes the cursor's buffer counters accumulated since the last
+    /// drain (zeroes for `Dyn`).
+    fn drain_buffer_stats(&mut self) -> BufferStats {
+        match self {
+            CursorKind::Kds(c) => c.drain_buffer_stats(),
+            CursorKind::KdsRejection(c) => c.drain_buffer_stats(),
+            CursorKind::Bbst(c) => c.drain_buffer_stats(),
+            CursorKind::ShardedKds(c) => c.drain_buffer_stats(),
+            CursorKind::ShardedKdsRejection(c) => c.drain_buffer_stats(),
+            CursorKind::ShardedBbst(c) => c.drain_buffer_stats(),
+            CursorKind::Dyn(_) => BufferStats::default(),
+        }
+    }
 }
 
 /// A lightweight per-thread serving handle: its own RNG, its own
@@ -744,6 +837,9 @@ pub struct SamplerHandle {
     shared: Arc<EngineShared>,
     /// Reused drain buffer for per-cell rejection records.
     reject_buf: Vec<u32>,
+    /// Whether this handle's cursor currently has its sample buffers
+    /// armed (mirrors the engine's flag as of the last batch).
+    buffers_armed: bool,
 }
 
 const _: () = {
@@ -795,6 +891,82 @@ impl SamplerHandle {
         }
         self.flush_cell_rejections();
         out
+    }
+
+    /// Syncs the cursor's buffer state with the engine's flag; on
+    /// arming, pins the buffer RNG to a stream derived from this
+    /// handle's own generator. Deriving (rather than taking a slot off
+    /// the process-wide seed sequence) keeps the repeatability
+    /// contract: a seeded handle's whole draw stream — buffered pops
+    /// included — is a pure function of its seed, so two same-seed
+    /// requests against the same epoch return identical pairs. For the
+    /// same reason nothing here may consult cross-request state (e.g.
+    /// warm-starting from the shared rejection counters would let one
+    /// request's traffic change the next one's stream); promotion is
+    /// left to the per-handle heat ladder, which a hot cell climbs in
+    /// [`srj_core::PROMOTE_HITS`] draws.
+    fn arm_buffers(&mut self) {
+        let want = self.shared.buffers.load(Ordering::Relaxed);
+        if want == self.buffers_armed {
+            return;
+        }
+        self.buffers_armed = want;
+        self.cursor.set_buffers(want);
+        if want {
+            let seed = self.rng.next_u64();
+            self.cursor.seed_buffers(seed);
+        }
+    }
+
+    /// Draws `t` uniform join samples with replacement through the
+    /// **buffered fast path**: the draw loop is monomorphised over the
+    /// handle's concrete [`SmallRng`] (no per-draw virtual dispatch),
+    /// hot fully-covered `S`-cells serve from pre-drawn sample buffers
+    /// when [`Engine::set_buffers_enabled`] is on, and the whole batch
+    /// is timed and recorded as **one** engine query (a per-item
+    /// `Instant` pair would cost more than a buffered draw).
+    ///
+    /// The distribution is identical to [`SamplerHandle::sample`] —
+    /// buffers only short-circuit draws for cells whose selection
+    /// probability already equals their exact member weight — but the
+    /// RNG consumption schedule differs, so the two paths produce
+    /// different (equally uniform) streams from the same seed.
+    ///
+    /// The type-erased overlay cursor keeps its object-safe draw; it
+    /// still gains batched RNG by wrapping this handle's generator in
+    /// a [`BufferedRng`] word stash for the duration of the batch.
+    pub fn sample_batch(&mut self, t: usize) -> Result<Vec<JoinPair>, SampleError> {
+        srj_obs::trace::event("engine_query", "sample_batch");
+        self.arm_buffers();
+        let before = self.cursor.report().iterations;
+        let start = Instant::now();
+        let mut out = Vec::new();
+        let res = match &mut self.cursor {
+            CursorKind::Kds(c) => c.sample_batch(t, &mut self.rng, &mut out),
+            CursorKind::KdsRejection(c) => c.sample_batch(t, &mut self.rng, &mut out),
+            CursorKind::Bbst(c) => c.sample_batch(t, &mut self.rng, &mut out),
+            CursorKind::ShardedKds(c) => c.sample_batch(t, &mut self.rng, &mut out),
+            CursorKind::ShardedKdsRejection(c) => c.sample_batch(t, &mut self.rng, &mut out),
+            CursorKind::ShardedBbst(c) => c.sample_batch(t, &mut self.rng, &mut out),
+            CursorKind::Dyn(c) => {
+                let mut stash = BufferedRng::new(&mut self.rng);
+                c.sample(t, &mut stash).map(|v| out = v)
+            }
+        };
+        let iterations = self.cursor.report().iterations - before;
+        match &res {
+            Ok(()) => self
+                .shared
+                .stats
+                .record_query(out.len() as u64, iterations, start.elapsed()),
+            Err(_) => self.shared.stats.record_error(iterations, start.elapsed()),
+        }
+        let bufstats = self.cursor.drain_buffer_stats();
+        if bufstats != BufferStats::default() {
+            self.shared.stats.record_buffer_stats(bufstats);
+        }
+        self.flush_cell_rejections();
+        res.map(|()| out)
     }
 
     /// Progressive sampling: an iterator of uniform join samples that

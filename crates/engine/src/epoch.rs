@@ -58,7 +58,7 @@
 //! accessors return `None`, not NaN); pinned algorithms may still be
 //! repaired (repair never changes the algorithm) but never re-planned.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -261,6 +261,13 @@ pub struct MaintenanceSnapshot {
     pub replans: u64,
     /// Duration of the most recent swap, nanoseconds.
     pub last_swap_ns: u64,
+    /// Buffered-draw hits across the cell's history (monotone).
+    pub buffer_hits: u64,
+    /// Bulk buffer refills across the cell's history (monotone).
+    pub buffer_refills: u64,
+    /// Buffer invalidations — cursor token mismatches plus one per
+    /// swap that retired an armed engine (monotone).
+    pub buffer_invalidations: u64,
 }
 
 enum Maintenance {
@@ -295,6 +302,16 @@ pub struct EpochEngine {
     repairs: AtomicU64,
     replans: AtomicU64,
     last_swap_ns: AtomicU64,
+    /// Whether freshly committed engines serve with the buffered draw
+    /// fast path (applied to every engine this cell installs).
+    buffers: AtomicBool,
+    /// Buffer counters of superseded engines, accumulated at swap time
+    /// so the exposition totals stay monotone across epochs (the
+    /// planner-window accumulators in [`EpochState`] reset on commit;
+    /// these never do).
+    acc_buffer_hits: AtomicU64,
+    acc_buffer_refills: AtomicU64,
+    acc_buffer_invalidations: AtomicU64,
 }
 
 const _: () = {
@@ -369,6 +386,10 @@ impl EpochEngine {
             repairs: AtomicU64::new(0),
             replans: AtomicU64::new(0),
             last_swap_ns: AtomicU64::new(0),
+            buffers: AtomicBool::new(true),
+            acc_buffer_hits: AtomicU64::new(0),
+            acc_buffer_refills: AtomicU64::new(0),
+            acc_buffer_invalidations: AtomicU64::new(0),
         }
     }
 
@@ -479,6 +500,52 @@ impl EpochEngine {
             .stats()
     }
 
+    /// Whether engines committed by this cell serve batches through
+    /// the buffered draw fast path.
+    pub fn buffers_enabled(&self) -> bool {
+        self.buffers.load(Ordering::Relaxed)
+    }
+
+    /// Flips the buffered draw fast path for the serving engine and for
+    /// every engine a later swap installs (the toggle survives epoch
+    /// swaps).
+    pub fn set_buffers_enabled(&self, on: bool) {
+        self.buffers.store(on, Ordering::Relaxed);
+        let st = self.state.read().expect("epoch state poisoned");
+        st.current.set_buffers_enabled(on);
+        st.base.set_buffers_enabled(on);
+    }
+
+    /// Monotone `(hits, refills, invalidations)` of the buffered draw
+    /// fast path across the cell's whole history: superseded engines'
+    /// counters (absorbed at swap time) plus the serving engine's live
+    /// ones.
+    pub fn buffer_counters(&self) -> (u64, u64, u64) {
+        let st = self.state.read().expect("epoch state poisoned");
+        let (h, r, i) = st.current.buffer_counters();
+        (
+            self.acc_buffer_hits.load(Ordering::Relaxed) + h,
+            self.acc_buffer_refills.load(Ordering::Relaxed) + r,
+            self.acc_buffer_invalidations.load(Ordering::Relaxed) + i,
+        )
+    }
+
+    /// Folds a superseded engine's buffer counters into the monotone
+    /// accumulators and charges the swap itself as one invalidation
+    /// when the retiring engine had buffers armed (its handles' pinned
+    /// buffers die with their epoch). Callers journal the matching
+    /// [`EventKind::BufferInvalidate`] outside the state lock; this
+    /// returns whether one should be emitted.
+    fn absorb_buffer_counters(&self, retired: &Engine) -> bool {
+        let (h, r, i) = retired.buffer_counters();
+        self.acc_buffer_hits.fetch_add(h, Ordering::Relaxed);
+        self.acc_buffer_refills.fetch_add(r, Ordering::Relaxed);
+        let invalidated = retired.buffers_enabled();
+        self.acc_buffer_invalidations
+            .fetch_add(i + u64::from(invalidated), Ordering::Relaxed);
+        invalidated
+    }
+
     /// Epoch-wide observed rejection overhead `iterations / samples`,
     /// accumulated across the epoch's overlay snapshots. `None` until
     /// a sample is accepted — zero-sample engines must never feed NaN
@@ -537,6 +604,7 @@ impl EpochEngine {
     /// the read lock describes the same committed engine.
     pub fn maintenance_snapshot(&self) -> MaintenanceSnapshot {
         let st = self.state.read().expect("epoch state poisoned");
+        let (buf_hits, buf_refills, buf_invalidations) = st.current.buffer_counters();
         MaintenanceSnapshot {
             epoch: st.built_epoch,
             mu_total: st.current.total_weight(),
@@ -547,6 +615,10 @@ impl EpochEngine {
             repairs: self.repairs.load(Ordering::Relaxed),
             replans: self.replans.load(Ordering::Relaxed),
             last_swap_ns: self.last_swap_ns.load(Ordering::Relaxed),
+            buffer_hits: self.acc_buffer_hits.load(Ordering::Relaxed) + buf_hits,
+            buffer_refills: self.acc_buffer_refills.load(Ordering::Relaxed) + buf_refills,
+            buffer_invalidations: self.acc_buffer_invalidations.load(Ordering::Relaxed)
+                + buf_invalidations,
         }
     }
 
@@ -712,7 +784,11 @@ impl EpochEngine {
         planned: Option<f64>,
     ) -> std::sync::RwLockWriteGuard<'_, EpochState> {
         let cells = engine.cell_count();
+        engine.set_buffers_enabled(self.buffers_enabled());
         let mut st = self.state.write().expect("epoch state poisoned");
+        if !engine.shares_state(&st.current) {
+            self.absorb_buffer_counters(&st.current);
+        }
         st.base = engine.clone();
         st.base_s = Arc::clone(&snap.base_s);
         st.current = engine;
@@ -766,6 +842,12 @@ impl EpochEngine {
         .duration_ns(t0.elapsed().as_nanos() as u64)
         .mu(mu_before, mu_after)
         .emit();
+        if self.buffers_enabled() {
+            event(EventKind::BufferInvalidate)
+                .dataset(self.store.obs_label())
+                .epoch(snap.epoch)
+                .emit();
+        }
     }
 
     /// The incremental half of [`EpochEngine::major_swap`]: `true` when
@@ -850,6 +932,12 @@ impl EpochEngine {
             .duration_ns(t0.elapsed().as_nanos() as u64)
             .mu(mu_before, mu_after)
             .emit();
+        if self.buffers_enabled() {
+            event(EventKind::BufferInvalidate)
+                .dataset(self.store.obs_label())
+                .epoch(snap.epoch)
+                .emit();
+        }
         true
     }
 
@@ -870,7 +958,11 @@ impl EpochEngine {
                 let mu_before = current.total_weight();
                 let mu_after = engine.total_weight();
                 let cells = engine.cell_count();
+                engine.set_buffers_enabled(self.buffers_enabled());
                 let mut st = self.state.write().expect("epoch state poisoned");
+                if !engine.shares_state(&st.current) {
+                    self.absorb_buffer_counters(&st.current);
+                }
                 let built_epoch = st.built_epoch;
                 st.base = engine.clone();
                 st.current = engine;
@@ -890,6 +982,12 @@ impl EpochEngine {
                     .duration_ns(t0.elapsed().as_nanos() as u64)
                     .mu(mu_before, mu_after)
                     .emit();
+                if self.buffers_enabled() {
+                    event(EventKind::BufferInvalidate)
+                        .dataset(self.store.obs_label())
+                        .epoch(built_epoch)
+                        .emit();
+                }
             }
             None => {
                 // Nothing to tighten (wrong family, or all named cells
@@ -945,6 +1043,12 @@ impl EpochEngine {
         }
         let mu_before = st.current.total_weight();
         let mu_after = engine.total_weight();
+        engine.set_buffers_enabled(self.buffers_enabled());
+        let retired_buffers = if engine.shares_state(&st.current) {
+            false
+        } else {
+            self.absorb_buffer_counters(&st.current)
+        };
         st.current = engine;
         st.support = Some(support);
         st.built_version = snap.version;
@@ -956,6 +1060,12 @@ impl EpochEngine {
             .duration_ns(t0.elapsed().as_nanos() as u64)
             .mu(mu_before, mu_after)
             .emit();
+        if retired_buffers {
+            event(EventKind::BufferInvalidate)
+                .dataset(self.store.obs_label())
+                .epoch(snap.epoch)
+                .emit();
+        }
     }
 }
 

@@ -65,6 +65,11 @@ pub struct PlanReport {
     /// recorded here because the shard count is part of the build's
     /// identity (the [`crate::EngineCache`] keys on it).
     pub num_shards: usize,
+    /// Whether the engine serving this plan has the buffered draw fast
+    /// path active. The planner itself always stamps `false` — buffer
+    /// state is a serving-time property, not a build-time decision —
+    /// and [`crate::Engine::plan`] overwrites it with the live flag.
+    pub buffers: bool,
     /// Human-readable decision rationale.
     pub reason: &'static str,
 }
@@ -96,6 +101,7 @@ pub(crate) fn plan(
             est_overhead: None,
             algorithm: Algorithm::Kds,
             num_shards,
+            buffers: false,
             reason: "n·√m below the exact-counting budget: KDS's zero-rejection \
                      sampling wins and its O(n√m) build is negligible",
         };
@@ -161,6 +167,7 @@ pub(crate) fn plan(
         est_overhead: Some(est_overhead),
         algorithm,
         num_shards,
+        buffers: false,
         reason,
     };
     (report, Some((grid, grid_build_time)))

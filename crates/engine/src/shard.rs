@@ -32,10 +32,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rand::RngCore;
+use rand::Rng;
 use srj_alias::AliasTable;
 use srj_core::parallel::par_map;
-use srj_core::{JoinPair, PhaseReport, SampleConfig, SampleError, SamplerIndex};
+use srj_core::{BufferStats, JoinPair, PhaseReport, SampleConfig, SampleError, SamplerIndex};
 use srj_geom::Point;
 
 /// Balanced contiguous partition of `R` into `k` shards — the same
@@ -186,9 +186,9 @@ impl<I: SamplerIndex> SamplerIndex for ShardedIndex<I> {
     /// One iteration: shard `∝ Σµ_i`, then one iteration of that
     /// shard's sampler, with the accepted `r` re-based to its global
     /// index.
-    fn try_draw(
+    fn try_draw<R: Rng + ?Sized>(
         &self,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         scratch: &mut Self::Scratch,
         stats: &mut PhaseReport,
     ) -> Result<Option<JoinPair>, SampleError> {
@@ -217,6 +217,24 @@ impl<I: SamplerIndex> SamplerIndex for ShardedIndex<I> {
 
     fn drain_cell_rejections(scratch: &mut Self::Scratch, out: &mut Vec<u32>) {
         I::drain_cell_rejections(scratch, out);
+    }
+
+    fn set_buffers(scratch: &mut Self::Scratch, enabled: bool) {
+        // One shared scratch serves every shard, and all shards draw
+        // from the one shared S-side, so the buffers are shard-blind.
+        I::set_buffers(scratch, enabled);
+    }
+
+    fn warm_buffers(scratch: &mut Self::Scratch, slots: &[u32]) {
+        I::warm_buffers(scratch, slots);
+    }
+
+    fn seed_buffers(scratch: &mut Self::Scratch, seed: u64) {
+        I::seed_buffers(scratch, seed);
+    }
+
+    fn drain_buffer_stats(scratch: &mut Self::Scratch) -> BufferStats {
+        I::drain_buffer_stats(scratch)
     }
 
     fn index_build_report(&self) -> PhaseReport {

@@ -24,6 +24,9 @@ pub struct EngineStats {
     iterations: Counter,
     errors: Counter,
     latency: Histogram,
+    buffer_hits: Counter,
+    buffer_refills: Counter,
+    buffer_invalidations: Counter,
 }
 
 impl EngineStats {
@@ -64,6 +67,33 @@ impl EngineStats {
         self.latency.clone()
     }
 
+    /// Folds a drained per-cursor [`srj_core::BufferStats`] delta into
+    /// the shared buffer counters. Handles call this once per batch,
+    /// so the hot path pays three relaxed adds at most.
+    pub fn record_buffer_stats(&self, delta: srj_core::BufferStats) {
+        self.buffer_hits.add(delta.hits);
+        self.buffer_refills.add(delta.refills);
+        self.buffer_invalidations.add(delta.invalidations);
+    }
+
+    /// Records `n` buffer invalidations attributed to an epoch event
+    /// (a swap or cell patch retiring pinned buffers) rather than a
+    /// cursor-observed token mismatch.
+    pub fn record_buffer_invalidations(&self, n: u64) {
+        self.buffer_invalidations.add(n);
+    }
+
+    /// `(hits, refills, invalidations)` of the buffered draw fast path
+    /// as three relaxed loads — for export layers mirroring the
+    /// counters into scrape-time metrics.
+    pub fn buffer_counters(&self) -> (u64, u64, u64) {
+        (
+            self.buffer_hits.get(),
+            self.buffer_refills.get(),
+            self.buffer_invalidations.get(),
+        )
+    }
+
     /// A point-in-time copy of every counter and derived quantile.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -74,6 +104,9 @@ impl EngineStats {
             mean_latency: Duration::from_nanos(self.latency.mean()),
             p50_latency: Duration::from_nanos(self.latency.quantile(0.50)),
             p99_latency: Duration::from_nanos(self.latency.quantile(0.99)),
+            buffer_hits: self.buffer_hits.get(),
+            buffer_refills: self.buffer_refills.get(),
+            buffer_invalidations: self.buffer_invalidations.get(),
         }
     }
 }
@@ -148,6 +181,14 @@ pub struct StatsSnapshot {
     pub p50_latency: Duration,
     /// 99th-percentile per-query latency (bucket resolution).
     pub p99_latency: Duration,
+    /// Draws served straight from a pre-drawn sample buffer.
+    pub buffer_hits: u64,
+    /// Bulk buffer refills (each pre-draws [`srj_core::BUFFER_CAP`]
+    /// ids).
+    pub buffer_refills: u64,
+    /// Buffers dropped because their cell's backing unit changed
+    /// (token mismatch in a cursor, or an epoch swap retiring them).
+    pub buffer_invalidations: u64,
 }
 
 impl StatsSnapshot {

@@ -48,6 +48,11 @@ pub enum EventKind {
     /// The maintainer closed a connection that sat idle past its
     /// deadline with no in-flight work.
     ConnReaped,
+    /// An epoch swap retired the serving engine's pre-drawn sample
+    /// buffers: handles pinned to the old epoch drain out and new
+    /// handles start with cold buffers (a stale buffer surviving a
+    /// swap would be a uniformity bug, so retirement is journalled).
+    BufferInvalidate,
 }
 
 impl EventKind {
@@ -63,6 +68,7 @@ impl EventKind {
             EventKind::BackpressurePark => "backpressure_park",
             EventKind::LoadShed => "load_shed",
             EventKind::ConnReaped => "conn_reaped",
+            EventKind::BufferInvalidate => "buffer_invalidate",
         }
     }
 }

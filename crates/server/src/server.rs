@@ -170,6 +170,12 @@ pub struct ServerConfig {
     /// re-plan) is younger than this window, milliseconds. Default
     /// 5000.
     pub health_degraded_window_ms: u64,
+    /// Whether `SAMPLE` batches are drawn through the engines'
+    /// buffered fast path ([`SamplerHandle::sample_batch`]:
+    /// monomorphised RNG, pre-drawn per-cell sample buffers, one stats
+    /// record per batch) instead of the per-item streaming draw.
+    /// Default true; turn off to A/B the legacy path.
+    pub buffers: bool,
 }
 
 impl Default for ServerConfig {
@@ -196,6 +202,7 @@ impl Default for ServerConfig {
             timeseries_cadence_ms: 1000,
             profiler: true,
             health_degraded_window_ms: 5000,
+            buffers: true,
         }
     }
 }
@@ -344,6 +351,9 @@ impl ServedDataset {
             out.replans += s.replans;
             out.mu_total += s.mu_total;
             out.epoch = out.epoch.max(s.epoch);
+            out.buffer_hits += s.buffer_hits;
+            out.buffer_refills += s.buffer_refills;
+            out.buffer_invalidations += s.buffer_invalidations;
             let snap = e.stats();
             out.samples += snap.samples;
             out.iterations += snap.iterations;
@@ -365,6 +375,9 @@ struct MaintenanceStats {
     mu_total: f64,
     samples: u64,
     iterations: u64,
+    buffer_hits: u64,
+    buffer_refills: u64,
+    buffer_invalidations: u64,
     /// Serving epoch (max across engines), consistent with `mu_total`.
     epoch: u64,
     /// How many engines were aggregated (0 ⇒ fall back to the store's
@@ -718,6 +731,14 @@ struct DatasetMetrics {
     rungs: [Counter; 5],
     /// `srj_cells_patched_total` — cells rebuilt by patch swaps.
     cells_patched: Counter,
+    /// `srj_buffer_hits_total` — draws served from pre-drawn sample
+    /// buffers, engine mirror at scrape.
+    buffer_hits: Counter,
+    /// `srj_buffer_refills_total` — bulk buffer refills at scrape.
+    buffer_refills: Counter,
+    /// `srj_buffer_invalidations_total` — buffers dropped by token
+    /// mismatches or retired by epoch swaps, at scrape.
+    buffer_invalidations: Counter,
 }
 
 impl DatasetMetrics {
@@ -740,6 +761,9 @@ impl DatasetMetrics {
                 )
             }),
             cells_patched: reg.counter("srj_cells_patched_total", &labels),
+            buffer_hits: reg.counter("srj_buffer_hits_total", &labels),
+            buffer_refills: reg.counter("srj_buffer_refills_total", &labels),
+            buffer_invalidations: reg.counter("srj_buffer_invalidations_total", &labels),
         }
     }
 }
@@ -950,6 +974,9 @@ impl Shared {
             m.rungs[3].store(agg.repairs);
             m.rungs[4].store(agg.replans);
             m.cells_patched.store(agg.cells_patched);
+            m.buffer_hits.store(agg.buffer_hits);
+            m.buffer_refills.store(agg.buffer_refills);
+            m.buffer_invalidations.store(agg.buffer_invalidations);
             m.rejection_iterations.store(agg.iterations);
             m.rejection_rate.set(if agg.samples == 0 {
                 0.0
@@ -2181,7 +2208,9 @@ fn acquire_handle(
                 algorithm: req.algorithm,
                 ..shared.config.epoch
             };
-            EpochEngine::with_store(Arc::clone(&served.store), &config, epoch_cfg)
+            let engine = EpochEngine::with_store(Arc::clone(&served.store), &config, epoch_cfg);
+            engine.set_buffers_enabled(shared.config.buffers);
+            engine
         },
         &shared.engine_hits,
         &shared.engine_misses,
@@ -2271,10 +2300,23 @@ fn produce_batch(shared: &Arc<Shared>, job: &mut Job) {
     let remaining = job.req.t.saturating_sub(job.sent);
     let batch = remaining.min(shared.config.batch_pairs as u64) as usize;
     trace::event("draw_loop", "batch_begin");
-    let mut stream = handle.stream();
-    let pairs: Vec<JoinPair> = stream.by_ref().take(batch).collect();
-    let error = stream.error();
-    drop(stream);
+    let (pairs, error) = if shared.config.buffers {
+        // Buffered fast path: the whole batch is drawn with the
+        // handle's concrete RNG (no per-draw virtual dispatch), hot
+        // cells serve from pre-drawn buffers, and the engine records
+        // one query per batch. An error forfeits the batch's partial
+        // draws — the DONE status carries the error either way.
+        match handle.sample_batch(batch) {
+            Ok(pairs) => (pairs, None),
+            Err(e) => (Vec::new(), Some(e)),
+        }
+    } else {
+        let mut stream = handle.stream();
+        let pairs: Vec<JoinPair> = stream.by_ref().take(batch).collect();
+        let error = stream.error();
+        drop(stream);
+        (pairs, error)
+    };
     trace::event("draw_loop", "batch_end");
     job.sent += pairs.len() as u64;
     if !pairs.is_empty() {

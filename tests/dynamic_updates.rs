@@ -304,6 +304,137 @@ fn rejection_divergence_replans_the_algorithm() {
     assert_eq!(engine.algorithm(), Algorithm::Bbst);
 }
 
+/// Like [`draw_and_check`] but through the buffered batch path
+/// ([`srj::SamplerHandle::sample_batch`]): draws in uneven batches so
+/// buffer refill boundaries and partial batches are both crossed, and
+/// every emitted pair is validated against the **current** live join —
+/// a stale buffered id would fail the membership check before it could
+/// skew the chi-squared.
+fn draw_batches_and_check(engine: &EpochEngine, l: f64, seed: u64, what: &str) {
+    let snap = engine.store().snapshot();
+    let join = live_join(&snap, l);
+    assert!(
+        join.len() > 30,
+        "{what}: workload too sparse ({})",
+        join.len()
+    );
+    let join_set: std::collections::HashSet<JoinPair> = join.iter().copied().collect();
+    let draws = (join.len() as u64 * 60).max(20_000);
+    let mut h = engine.handle_seeded(seed);
+    let mut counts: HashMap<JoinPair, u64> = HashMap::new();
+    let mut remaining = draws as usize;
+    // 517 is deliberately coprime to the 256-id buffer capacity, so
+    // batch ends and refill boundaries drift against each other.
+    while remaining > 0 {
+        let n = remaining.min(517);
+        let pairs = h.sample_batch(n).unwrap();
+        assert_eq!(pairs.len(), n, "{what}: short batch");
+        for p in pairs {
+            assert!(
+                join_set.contains(&p),
+                "{what}: emitted stale or non-join pair {p:?}"
+            );
+            *counts.entry(p).or_insert(0) += 1;
+        }
+        remaining -= n;
+    }
+    assert_uniform(&counts, &join, draws, what);
+}
+
+/// The buffered-draw suite: warm buffers with batch draws, mutate both
+/// sides, draw through the pending overlay, force the epoch swap, and
+/// draw again — at every stage each sample must belong to that stage's
+/// live join (no stale buffered ids) and stay chi-squared uniform.
+/// Runs every algorithm family; the buffer counters must show real
+/// buffered traffic and the swap must charge an invalidation.
+#[test]
+fn buffered_batches_stay_uniform_across_mutations_and_swap() {
+    let l = 6.0;
+    let cfg = SampleConfig::new(l);
+    for (i, algo) in [Algorithm::Kds, Algorithm::KdsRejection, Algorithm::Bbst]
+        .into_iter()
+        .enumerate()
+    {
+        let seed = 4000 + i as u64 * 10;
+        let r = pseudo_points(60, seed, 50.0);
+        let s = pseudo_points(80, seed + 1, 50.0);
+        let engine = EpochEngine::new(
+            r,
+            s,
+            &cfg,
+            EpochConfig::default()
+                .with_algorithm(algo)
+                .with_rebuild_fraction(0.9)
+                .with_tombstone_rebuild_fraction(0.9),
+        );
+        assert!(engine.buffers_enabled(), "{algo}: buffers default on");
+
+        // Warm: batch draws on the fresh engine promote hot cells.
+        draw_batches_and_check(&engine, l, seed + 7, &format!("{algo} buffered warm"));
+        let (warm_hits, warm_refills, _) = engine.buffer_counters();
+
+        // Mutate both sides past the warm buffers' world.
+        for (j, p) in pseudo_points(20, seed + 2, 50.0).into_iter().enumerate() {
+            let rid = engine.insert_r(p);
+            if j % 5 == 0 {
+                assert!(engine.delete_r(rid));
+            }
+        }
+        for p in pseudo_points(25, seed + 3, 50.0) {
+            engine.insert_s(p);
+        }
+        for id in (0..60u32).step_by(9) {
+            assert!(engine.delete_r(id));
+        }
+        for id in (0..80u32).step_by(11) {
+            assert!(engine.delete_s(id));
+        }
+        engine.refresh();
+        assert_eq!(engine.epoch(), 0, "{algo}: deltas must stay pending");
+        assert!(engine.engine().is_overlay());
+        // Pending deltas serve through the overlay — batch draws must
+        // reflect them immediately (a stale buffer would keep serving
+        // the pre-mutation members).
+        draw_batches_and_check(&engine, l, seed + 8, &format!("{algo} buffered overlay"));
+
+        // Fold the deltas in: compact + rebuild = major epoch swap.
+        engine.store().compact();
+        engine.refresh();
+        assert_eq!(engine.epoch(), 1, "{algo}: swap must bump the epoch");
+        draw_batches_and_check(&engine, l, seed + 9, &format!("{algo} buffered post-swap"));
+
+        let (hits, refills, invalidations) = engine.buffer_counters();
+        assert!(
+            warm_hits > 0 && warm_refills > 0,
+            "{algo}: warm phase never hit a buffer ({warm_hits}/{warm_refills})"
+        );
+        assert!(
+            hits > warm_hits,
+            "{algo}: post-swap draws never hit a buffer"
+        );
+        assert!(refills >= warm_refills);
+        assert!(
+            invalidations >= 1,
+            "{algo}: retiring the armed engine must charge an invalidation"
+        );
+    }
+}
+
+/// `PlanReport::buffers` mirrors the live engine flag, not the state
+/// at plan time.
+#[test]
+fn plan_report_tracks_buffer_flag() {
+    let r = pseudo_points(500, 81, 60.0);
+    let s = pseudo_points(500, 82, 60.0);
+    let engine = EpochEngine::new(r, s, &SampleConfig::new(6.0), EpochConfig::default());
+    let plan = engine.engine().plan().expect("auto engine records a plan");
+    assert!(plan.buffers, "buffers default on");
+    engine.set_buffers_enabled(false);
+    assert!(!engine.engine().plan().unwrap().buffers);
+    engine.set_buffers_enabled(true);
+    assert!(engine.engine().plan().unwrap().buffers);
+}
+
 /// Zero-sample and zero-iteration accessors return `None`, never NaN —
 /// and never feed the re-plan trigger.
 #[test]

@@ -55,7 +55,12 @@ fn maintenance_ladder_journals_expected_event_sequence() {
     engine.insert_s(Point::new(1.0, 1.0));
     engine.refresh();
     assert_eq!(engine.minor_swaps(), 1, "one insert must overlay");
-    assert_eq!(kinds_for(9101), vec![EventKind::MinorSwap]);
+    // Buffers are on by default, so every swap that retires an armed
+    // engine journals a BufferInvalidate right after its swap event.
+    assert_eq!(
+        kinds_for(9101),
+        vec![EventKind::MinorSwap, EventKind::BufferInvalidate]
+    );
 
     for i in 0..8 {
         engine.insert_s(Point::new(1.0 + 0.1 * i as f64, 1.5));
@@ -66,8 +71,10 @@ fn maintenance_ladder_journals_expected_event_sequence() {
         kinds_for(9101),
         vec![
             EventKind::MinorSwap,
+            EventKind::BufferInvalidate,
             EventKind::Compaction,
-            EventKind::CellPatch
+            EventKind::CellPatch,
+            EventKind::BufferInvalidate
         ],
         "a patch swap rides an incremental compaction"
     );
@@ -102,7 +109,10 @@ fn maintenance_ladder_journals_expected_event_sequence() {
     repair_engine.handle_seeded(11).sample(4_000).unwrap();
     repair_engine.refresh();
     assert_eq!(repair_engine.repairs(), 1, "feedback must trigger repair");
-    assert_eq!(kinds_for(9102), vec![EventKind::Repair]);
+    assert_eq!(
+        kinds_for(9102),
+        vec![EventKind::Repair, EventKind::BufferInvalidate]
+    );
     let repair = srj::obs::journal::journal().for_dataset(9102)[0].clone();
     assert!(repair.dirty_cells > 0, "repair must name its cells");
     assert!(
@@ -145,8 +155,10 @@ fn maintenance_ladder_journals_expected_event_sequence() {
         kinds_for(9103),
         vec![
             EventKind::MinorSwap,
+            EventKind::BufferInvalidate,
             EventKind::Compaction,
-            EventKind::Replan
+            EventKind::Replan,
+            EventKind::BufferInvalidate
         ],
         "a re-plan rides a full compaction"
     );
@@ -167,12 +179,17 @@ fn maintenance_ladder_journals_expected_event_sequence() {
         ladder,
         vec![
             (Some(9101), EventKind::MinorSwap),
+            (Some(9101), EventKind::BufferInvalidate),
             (Some(9101), EventKind::Compaction),
             (Some(9101), EventKind::CellPatch),
+            (Some(9101), EventKind::BufferInvalidate),
             (Some(9102), EventKind::Repair),
+            (Some(9102), EventKind::BufferInvalidate),
             (Some(9103), EventKind::MinorSwap),
+            (Some(9103), EventKind::BufferInvalidate),
             (Some(9103), EventKind::Compaction),
             (Some(9103), EventKind::Replan),
+            (Some(9103), EventKind::BufferInvalidate),
         ]
     );
     assert!(

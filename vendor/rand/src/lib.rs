@@ -195,6 +195,24 @@ mod tests {
     }
 
     #[test]
+    fn buffered_rng_preserves_the_inner_stream() {
+        let mut direct = SmallRng::seed_from_u64(21);
+        let mut buffered = super::rngs::BufferedRng::new(SmallRng::seed_from_u64(21));
+        // Crosses a refill boundary (stash is 64 words).
+        for k in 0..200 {
+            assert_eq!(buffered.next_u64(), direct.next_u64(), "word {k}");
+        }
+        // Through a dyn inner object, the stream is still the same.
+        let mut direct = SmallRng::seed_from_u64(22);
+        let mut raw = SmallRng::seed_from_u64(22);
+        let dyn_inner: &mut dyn RngCore = &mut raw;
+        let mut buffered = super::rngs::BufferedRng::new(dyn_inner);
+        for _ in 0..100 {
+            assert_eq!(buffered.next_u64(), direct.next_u64());
+        }
+    }
+
+    #[test]
     fn fill_bytes_covers_partial_chunks() {
         let mut rng = SmallRng::seed_from_u64(13);
         let mut buf = [0u8; 13];

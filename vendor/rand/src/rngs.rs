@@ -1,5 +1,6 @@
-//! Concrete RNGs. Only [`SmallRng`] is provided — the one generator the
-//! workspace instantiates.
+//! Concrete RNGs: [`SmallRng`] (the one generator the workspace
+//! instantiates) and the [`BufferedRng`] word-stash adaptor that
+//! amortises `dyn RngCore` dispatch on draw hot loops.
 
 use crate::{RngCore, SeedableRng};
 
@@ -42,8 +43,99 @@ impl RngCore for SmallRng {
     }
 
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(8) {
+        // `chunks_exact_mut` so the common full-chunk copy compiles to
+        // one 8-byte store (no per-chunk length slicing) — this is the
+        // loop a `BufferedRng` refill amortises its dispatch into.
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.step().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
             let bytes = self.step().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Words a [`BufferedRng`] pulls from its inner generator per refill.
+const STASH_WORDS: usize = 64;
+
+/// A word-stash adaptor: pulls [`STASH_WORDS`] `u64`s from the inner
+/// generator in one refill loop and serves draws from the stash.
+///
+/// The point is dispatch amortisation. A `&mut dyn RngCore` on a draw
+/// hot loop pays one virtual call per random word (two through the
+/// `Box<dyn RngCore>` forwarding impl, which re-enters the vtable via
+/// `&mut **self`); wrapping the dyn object in a `BufferedRng` once per
+/// batch moves those calls into the refill loop, so the per-word cost
+/// on the draw path is an inlined array read plus ~1/64th of a virtual
+/// call. Wrapping an already-concrete RNG is near free but pointless.
+///
+/// The stream is the inner generator's stream in order (refills pull
+/// whole little-endian words via `fill_bytes`, which every generator
+/// in this crate produces as its `next_u64` sequence); `next_u32`
+/// consumes a full word, like `SmallRng`.
+#[derive(Debug)]
+pub struct BufferedRng<R: RngCore> {
+    inner: R,
+    stash: [u64; STASH_WORDS],
+    /// Next unserved stash slot; `== STASH_WORDS` means empty.
+    pos: usize,
+}
+
+impl<R: RngCore> BufferedRng<R> {
+    /// Wraps `inner`; the first draw triggers the first refill.
+    pub fn new(inner: R) -> Self {
+        BufferedRng {
+            inner,
+            stash: [0; STASH_WORDS],
+            pos: STASH_WORDS,
+        }
+    }
+
+    /// Unwraps the inner generator. Unserved stash words are discarded
+    /// — they were already drawn from the inner stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    // One `fill_bytes` call per refill — NOT a `next_u64` loop, which
+    // would still pay the virtual dispatch once per word and amortise
+    // nothing. `fill_bytes` crosses the vtable once and the inner
+    // generator steps itself with direct calls.
+    #[inline(never)]
+    fn refill(&mut self) {
+        let mut bytes = [0u8; STASH_WORDS * 8];
+        self.inner.fill_bytes(&mut bytes);
+        for (w, chunk) in self.stash.iter_mut().zip(bytes.chunks_exact(8)) {
+            *w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        self.pos = 0;
+    }
+}
+
+impl<R: RngCore> RngCore for BufferedRng<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // `>=`, not `==`: the branch then proves `pos < STASH_WORDS`
+        // and the indexing below compiles without a bounds check.
+        if self.pos >= STASH_WORDS {
+            self.refill();
+        }
+        let w = self.stash[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
             let len = chunk.len();
             chunk.copy_from_slice(&bytes[..len]);
         }
