@@ -1,0 +1,209 @@
+//! A hashed timer wheel.
+//!
+//! Deadlines hash into `slots` buckets of `tick` width; entries whose
+//! deadline lies beyond one wheel revolution simply stay in their
+//! bucket until the cursor passes them on a later round (the classic
+//! "hashed wheel with rounds" scheme, kept implicit by storing each
+//! entry's absolute deadline tick). Scheduling is O(1); advancing
+//! does O(entries in passed slots) work; [`TimerWheel::next_timeout`]
+//! scans at most one revolution of slot headers.
+//!
+//! Cancellation is intentionally absent: the owner validates every
+//! fired key against current state and ignores stale ones. That keeps
+//! re-arming (e.g. a read deadline pushed back on every byte of
+//! progress) allocation-free and race-free — the price is that a
+//! superseded entry occupies its slot until its original deadline
+//! passes, which is bounded by the deadline horizon.
+
+use std::time::{Duration, Instant};
+
+struct Entry<K> {
+    deadline_tick: u64,
+    key: K,
+}
+
+pub struct TimerWheel<K> {
+    slots: Vec<Vec<Entry<K>>>,
+    tick: Duration,
+    start: Instant,
+    /// Absolute tick the cursor has advanced through (exclusive).
+    current_tick: u64,
+    len: usize,
+}
+
+impl<K> TimerWheel<K> {
+    /// `tick` must be nonzero; `slots` ≥ 2. A 1ms tick with 512 slots
+    /// gives a 512ms revolution — longer deadlines take extra rounds.
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel<K> {
+        assert!(!tick.is_zero() && slots >= 2);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick,
+            start: Instant::now(),
+            current_tick: 0,
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        let ns = t.saturating_duration_since(self.start).as_nanos();
+        (ns / self.tick.as_nanos()) as u64
+    }
+
+    /// Arms `key` to fire at (or just after) `deadline`. A deadline in
+    /// the past fires on the next [`TimerWheel::advance`].
+    pub fn schedule(&mut self, deadline: Instant, key: K) {
+        let deadline_tick = self.tick_of(deadline).max(self.current_tick);
+        let slot = (deadline_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { deadline_tick, key });
+        self.len += 1;
+    }
+
+    /// How long a poller may sleep before the next entry could fire:
+    /// the distance to the first occupied slot ahead of the cursor
+    /// (an entry there may still be rounds away — the caller wakes,
+    /// fires nothing, and sleeps again; rare and harmless). `None`
+    /// when the wheel is empty.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        let slots = self.slots.len() as u64;
+        for ahead in 0..slots {
+            let tick = self.current_tick + ahead;
+            if !self.slots[(tick % slots) as usize].is_empty() {
+                let fire_at = self.start + self.tick * (tick + 1) as u32;
+                return Some(fire_at.saturating_duration_since(now));
+            }
+        }
+        // Every remaining entry is ≥ one full revolution out.
+        Some(self.tick * self.slots.len() as u32)
+    }
+
+    /// Sweeps the cursor up to `now`, appending every due key to
+    /// `fired` (in slot order; ties within a slot fire in insertion
+    /// order). Entries seen in a passed slot but not yet due stay put.
+    pub fn advance(&mut self, now: Instant, fired: &mut Vec<K>) {
+        let target = self.tick_of(now);
+        if target < self.current_tick {
+            return;
+        }
+        let slots = self.slots.len() as u64;
+        // After a sleep longer than a revolution each slot passes at
+        // least once, so one full sweep visits everything.
+        let steps = (target - self.current_tick + 1).min(slots);
+        for i in 0..steps {
+            let slot = ((self.current_tick + i) % slots) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut j = 0;
+            while j < bucket.len() {
+                if bucket[j].deadline_tick <= target {
+                    fired.push(bucket.swap_remove(j).key);
+                    self.len -= 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        self.current_tick = target + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_until<K: Clone>(wheel: &mut TimerWheel<K>, deadline: Instant) -> Vec<K> {
+        let mut fired = Vec::new();
+        wheel.advance(deadline, &mut fired);
+        fired
+    }
+
+    #[test]
+    fn fires_in_deadline_order_across_slots() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 8);
+        let now = Instant::now();
+        wheel.schedule(now + Duration::from_millis(5), "b");
+        wheel.schedule(now + Duration::from_millis(2), "a");
+        wheel.schedule(now + Duration::from_millis(9), "c");
+        assert_eq!(wheel.len(), 3);
+
+        let fired = drain_until(&mut wheel, now + Duration::from_millis(3));
+        assert_eq!(fired, vec!["a"]);
+        let fired = drain_until(&mut wheel, now + Duration::from_millis(7));
+        assert_eq!(fired, vec!["b"]);
+        let fired = drain_until(&mut wheel, now + Duration::from_millis(20));
+        assert_eq!(fired, vec!["c"]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn deadlines_beyond_one_revolution_wait_their_rounds() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 4);
+        let now = Instant::now();
+        // 4 slots × 1ms tick: a 10ms deadline is 2.5 revolutions out.
+        wheel.schedule(now + Duration::from_millis(10), "far");
+        wheel.schedule(now + Duration::from_millis(2), "near");
+
+        let fired = drain_until(&mut wheel, now + Duration::from_millis(4));
+        assert_eq!(fired, vec!["near"], "far entry must survive a pass");
+        let fired = drain_until(&mut wheel, now + Duration::from_millis(8));
+        assert!(fired.is_empty(), "still a round short");
+        let fired = drain_until(&mut wheel, now + Duration::from_millis(12));
+        assert_eq!(fired, vec!["far"]);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_advance() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 8);
+        let now = Instant::now();
+        let mut fired = Vec::new();
+        wheel.advance(now + Duration::from_millis(50), &mut fired);
+        wheel.schedule(now, "stale");
+        wheel.advance(now + Duration::from_millis(51), &mut fired);
+        assert_eq!(fired, vec!["stale"]);
+    }
+
+    #[test]
+    fn next_timeout_tracks_first_occupied_slot() {
+        let mut wheel: TimerWheel<u32> = TimerWheel::new(Duration::from_millis(1), 16);
+        let now = Instant::now();
+        assert!(wheel.next_timeout(now).is_none());
+
+        wheel.schedule(now + Duration::from_millis(6), 1);
+        let hint = wheel.next_timeout(now).unwrap();
+        assert!(hint <= Duration::from_millis(8), "hint {hint:?} too far");
+
+        // Sleeping the hint then advancing must fire the entry within
+        // a tick or two of its deadline.
+        let wake = now + hint + Duration::from_millis(2);
+        let mut fired = Vec::new();
+        wheel.advance(wake, &mut fired);
+        assert_eq!(fired, vec![1]);
+    }
+
+    #[test]
+    fn rearm_supersedes_via_owner_validation() {
+        // The wheel itself keeps stale entries; the contract is that
+        // both fire and the owner drops the stale one. Model that.
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 8);
+        let now = Instant::now();
+        wheel.schedule(now + Duration::from_millis(2), ("conn1", 1u64));
+        wheel.schedule(now + Duration::from_millis(4), ("conn1", 2u64));
+        let armed_generation = 2u64;
+        let fired = drain_until(&mut wheel, now + Duration::from_millis(10));
+        let live: Vec<_> = fired
+            .into_iter()
+            .filter(|(_, generation)| *generation == armed_generation)
+            .collect();
+        assert_eq!(live, vec![("conn1", 2)]);
+    }
+}

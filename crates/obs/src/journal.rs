@@ -53,6 +53,10 @@ pub enum EventKind {
     /// handles start with cold buffers (a stale buffer surviving a
     /// swap would be a uniformity bug, so retirement is journalled).
     BufferInvalidate,
+    /// `accept(2)` hit fd exhaustion (`EMFILE`/`ENFILE`); the server
+    /// paused accepting and backed off instead of spinning. `label`
+    /// carries the errno text, `duration_ns` the backoff applied.
+    AcceptBackoff,
 }
 
 impl EventKind {
@@ -69,6 +73,7 @@ impl EventKind {
             EventKind::LoadShed => "load_shed",
             EventKind::ConnReaped => "conn_reaped",
             EventKind::BufferInvalidate => "buffer_invalidate",
+            EventKind::AcceptBackoff => "accept_backoff",
         }
     }
 }

@@ -36,7 +36,8 @@ const USAGE: &str = "usage: srj-loadgen [--addr HOST:PORT] [--clients N] [--requ
                    [--dataset ID] [--l F] [--algo auto|kds|kds-rejection|bbst]
                    [--shards N] [--update-fraction F] [--update-batch N]
                    [--delete-heavy] [--obs-bench] [--chaos] [--fault-seed N]
-                   [--buffers on|off|ab] [--connect-timeout-ms N]
+                   [--buffers on|off|ab] [--connections N]
+                   [--connect-timeout-ms N]
                    [--no-nodelay] [--domain F] [--out PATH] [--shutdown]
   Defaults: --addr 127.0.0.1:7878 --clients 4 --requests 8 --t 50000
             --dataset 1 --l 100 --algo auto --shards 1
@@ -44,7 +45,8 @@ const USAGE: &str = "usage: srj-loadgen [--addr HOST:PORT] [--clients N] [--requ
             --connect-timeout-ms 5000 --fault-seed 7
             --out BENCH_PR3.json (BENCH_PR5.json with --delete-heavy,
             BENCH_PR8.json with --obs-bench, BENCH_PR7.json with --chaos,
-            BENCH_PR9.json with --buffers)
+            BENCH_PR9.json with --buffers, BENCH_PR10.json with
+            --connections)
   --delete-heavy: every request is preceded by a DELETE batch of S ids
                   (no inserts); asserts the served Σµ strictly shrinks
                   across the resulting epoch swap and writes the PR5
@@ -77,6 +79,14 @@ const USAGE: &str = "usage: srj-loadgen [--addr HOST:PORT] [--clients N] [--requ
            rates, per-round rates, and spread into the PR9 bench JSON
            (\"speedup\" = buffered/unbuffered). `on` or `off` runs a
            single side (no speedup); `ab` runs the A/B.
+  --connections N: ignore --addr; run the high-fanout serving bench
+           against an in-process server — phase 1 is the plain read
+           workload alone (the regression gate vs the
+           thread-per-connection baseline), phase 2 opens N keepalive
+           connections held live by PING sweeps and reruns the same
+           hot workload through that standing crowd. Exits non-zero
+           on any hot-client error or any keepalive connection that
+           stops answering. Writes the PR10 bench JSON.
   --connect-timeout-ms / --no-nodelay: client socket knobs (all modes);
            0 disables the connect deadline, --no-nodelay leaves Nagle
            batching on.";
@@ -628,6 +638,248 @@ fn run_buffers_bench(
         std::process::exit(1);
     }
     eprintln!("# wrote {out_path}");
+    std::process::exit(0);
+}
+
+/// High-fanout serving bench — the C10k acceptance run for the
+/// readiness-based connection layer. Ignores `--addr`; starts one
+/// in-process server with a deliberately short idle timeout and runs
+/// two phases against it:
+///
+/// 1. **low fanout** — the plain read workload (`clients_n` hot
+///    clients, no standing crowd), the regression gate against the
+///    thread-per-connection baseline's samples/sec;
+/// 2. **high fanout** — `connections` keepalive connections are
+///    opened (handshake only), kept alive by a PING sweep timed to
+///    beat the idle reaper, and the *same* hot workload runs through
+///    that standing crowd. After the hot load drains, every keepalive
+///    connection must still answer a PING: a dead one means the event
+///    loop starved it, mis-fired its idle timer, or leaked its state
+///    under fanout — exactly the failure modes this layer exists to
+///    avoid.
+///
+/// Writes the PR10 bench JSON with both rates, the sustained
+/// connection count, and the event-loop counters scraped via
+/// `METRICS`. Exits non-zero on any hot-client error, any keepalive
+/// ping failure, or a sustained count below the target.
+#[allow(clippy::too_many_arguments)]
+fn run_connections_bench(
+    cfg: ClientConfig,
+    connections: usize,
+    clients_n: usize,
+    requests: usize,
+    t: u64,
+    l: f64,
+    algorithm: Option<Algorithm>,
+    algo_str: &str,
+    shards: u32,
+    domain: f64,
+    out_path: &str,
+) -> ! {
+    let dataset = 1u64;
+    // The fd budget: N keepalive sockets + hot clients + listener +
+    // waker + accept headroom, on both ends of the loopback.
+    let need = (connections as u64) * 2 + 512;
+    match srj_net::rlimit::raise_nofile(need) {
+        Ok(soft) if soft < need => eprintln!(
+            "warning: RLIMIT_NOFILE soft limit {soft} < wanted {need}; \
+             some connections may fail to open"
+        ),
+        Ok(_) => {}
+        Err(e) => eprintln!("warning: could not raise RLIMIT_NOFILE: {e}"),
+    }
+
+    // The exact dataset `srj-serve`'s default serves (uniform, scale
+    // 0.05, seed 42): the low-fanout phase is then directly comparable
+    // to a `srj-serve` + plain-loadgen run of the same workload — the
+    // regression gate against the thread-per-connection baseline.
+    let d = srj_bench::scaled_spec(srj_datagen::DatasetKind::Uniform, 0.05, 0.5, 42);
+    let mut registry = DatasetRegistry::new();
+    registry.register(dataset, d.r, d.s);
+    // Short idle timeout on purpose: with the PING sweep below at half
+    // that period, a reaped keepalive connection is a timer-wheel bug,
+    // not a configuration accident.
+    const IDLE: Duration = Duration::from_secs(5);
+    let config = ServerConfig {
+        idle_timeout: IDLE,
+        ..ServerConfig::default()
+    };
+    let mut server =
+        Server::start("127.0.0.1:0", registry, config).expect("bind connections-bench server");
+    let addr = server.local_addr().to_string();
+
+    // Warm the engine cache so neither phase times the index build.
+    if let Ok(mut c) = Client::connect_with(addr.as_str(), cfg) {
+        let _ = c.sample(SampleRequest {
+            req_id: 0,
+            dataset,
+            l,
+            algorithm,
+            shards,
+            t: 1,
+            seed: 1,
+        });
+    }
+
+    let hot_phase = |label: &str| -> (f64, u64, u64) {
+        let wall_start = Instant::now();
+        let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+            let addr = &addr;
+            let handles: Vec<_> = (0..clients_n)
+                .map(|cid| {
+                    scope.spawn(move || {
+                        run_client(
+                            cid, addr, cfg, requests, t, dataset, l, algorithm, shards, 0, 1,
+                            domain,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall = wall_start.elapsed();
+        let total: u64 = outcomes.iter().map(|o| o.samples).sum();
+        let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
+        let rate = total as f64 / wall.as_secs_f64().max(1e-9);
+        eprintln!(
+            "# {label}: {total} samples in {:.2}s = {rate:.0}/s ({errors} errors)",
+            wall.as_secs_f64()
+        );
+        (rate, total, errors)
+    };
+
+    eprintln!(
+        "# connections-bench: {clients_n} hot clients x {requests} reqs x {t} samples, \
+         {connections} keepalive connections (idle timeout {:?})",
+        IDLE
+    );
+    let (low_rate, low_total, low_errors) = hot_phase("low-fanout phase");
+
+    // Open the standing crowd. Connect failures are counted, not
+    // fatal here — the sustained-count gate at the end decides.
+    let mut keepalive: Vec<Client> = Vec::with_capacity(connections);
+    let mut connect_failures = 0u64;
+    for k in 0..connections {
+        match Client::connect_with(addr.as_str(), cfg) {
+            Ok(c) => keepalive.push(c),
+            Err(e) => {
+                if connect_failures == 0 {
+                    eprintln!("keepalive connect {k} failed: {e}");
+                }
+                connect_failures += 1;
+            }
+        }
+    }
+    let opened = keepalive.len();
+    eprintln!("# opened {opened}/{connections} keepalive connections");
+
+    // PING sweep at half the idle timeout: every connection stays
+    // legitimately alive, so any reap is the server's mistake. The
+    // sweeper owns the crowd while the hot phase runs and hands it
+    // back (with its failure count) for the final liveness check.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let sweep_every = IDLE / 2;
+    let ((high_rate, high_total, high_errors), (mut keepalive, sweep_failures)) =
+        std::thread::scope(|scope| {
+            let stop = &stop;
+            let sweeper = scope.spawn(move || {
+                let mut failures = 0u64;
+                let mut last = Instant::now();
+                // First sweep immediately: proves the crowd is live
+                // before the hot load starts competing for the core.
+                loop {
+                    for c in keepalive.iter_mut() {
+                        if c.ping().is_err() {
+                            failures += 1;
+                        }
+                    }
+                    while last.elapsed() < sweep_every {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            return (keepalive, failures);
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    last = Instant::now();
+                }
+            });
+            let hot = hot_phase("high-fanout phase");
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            (hot, sweeper.join().unwrap())
+        });
+
+    // Final liveness check: every opened connection must still answer.
+    let mut sustained = 0usize;
+    for c in keepalive.iter_mut() {
+        if c.ping().is_ok() {
+            sustained += 1;
+        }
+    }
+    eprintln!("# sustained {sustained}/{opened} keepalive connections after hot load");
+
+    // Scrape the event-loop counters while the crowd is still open so
+    // `srj_conn_open` reflects the standing fanout.
+    let (conn_open, wakeups, reaped) = Client::connect_with(addr.as_str(), cfg)
+        .ok()
+        .and_then(|mut c| c.metrics().ok())
+        .map(|text| {
+            (
+                metric_value(&text, "srj_conn_open"),
+                metric_value(&text, "srj_event_loop_wakeups_total"),
+                metric_value(&text, "srj_conn_reaped"),
+            )
+        })
+        .unwrap_or((-1.0, -1.0, -1.0));
+    drop(keepalive);
+    server.shutdown();
+
+    let ratio = high_rate / low_rate.max(1e-9);
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"pr\": 10,").unwrap();
+    writeln!(json, "  \"host_cores\": {},", host_cores()).unwrap();
+    writeln!(
+        json,
+        "  \"workload\": {{\"clients\": {clients_n}, \"requests_per_client\": {requests}, \
+         \"t\": {t}, \"dataset\": {dataset}, \"l\": {l}, \"algorithm\": \"{algo_str}\", \
+         \"shards\": {shards}, \"idle_timeout_s\": {}, \"ping_sweep_s\": {}}},",
+        IDLE.as_secs(),
+        sweep_every.as_secs_f64(),
+    )
+    .unwrap();
+    writeln!(json, "  \"connections_target\": {connections},").unwrap();
+    writeln!(json, "  \"connections_opened\": {opened},").unwrap();
+    writeln!(json, "  \"connections_sustained\": {sustained},").unwrap();
+    writeln!(json, "  \"connect_failures\": {connect_failures},").unwrap();
+    writeln!(json, "  \"keepalive_ping_failures\": {sweep_failures},").unwrap();
+    writeln!(json, "  \"samples_low_fanout\": {low_total},").unwrap();
+    writeln!(json, "  \"samples_per_sec_low_fanout\": {low_rate:.0},").unwrap();
+    writeln!(json, "  \"samples_high_fanout\": {high_total},").unwrap();
+    writeln!(json, "  \"samples_per_sec_high_fanout\": {high_rate:.0},").unwrap();
+    writeln!(json, "  \"high_over_low_ratio\": {ratio:.4},").unwrap();
+    writeln!(json, "  \"errors\": {},", low_errors + high_errors).unwrap();
+    writeln!(json, "  \"srj_conn_open\": {conn_open:.0},").unwrap();
+    writeln!(json, "  \"srj_conn_reaped\": {reaped:.0},").unwrap();
+    writeln!(json, "  \"srj_event_loop_wakeups_total\": {wakeups:.0}").unwrap();
+    writeln!(json, "}}").unwrap();
+    print!("{json}");
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("warning: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {out_path}");
+
+    let hot_failed = low_errors + high_errors > 0 || low_total == 0 || high_total == 0;
+    if hot_failed {
+        eprintln!("connections-bench: hot clients saw errors");
+        std::process::exit(1);
+    }
+    if sweep_failures > 0 || sustained < connections {
+        eprintln!(
+            "connections-bench: keepalive crowd degraded \
+             ({sweep_failures} sweep failures, {sustained}/{connections} sustained)"
+        );
+        std::process::exit(1);
+    }
     std::process::exit(0);
 }
 
@@ -1334,6 +1586,7 @@ fn main() {
     let mut obs_bench = false;
     let mut chaos = false;
     let mut buffers_mode: Option<String> = None;
+    let mut connections: usize = 0;
     let mut fault_seed: u64 = 7;
     let mut connect_timeout_ms: u64 = 5_000;
     let mut nodelay = true;
@@ -1382,6 +1635,7 @@ fn main() {
                 chaos = true;
                 i += 1;
             }
+            "--connections" => parse_flag!(connections, "--connections", "an integer"),
             "--fault-seed" => parse_flag!(fault_seed, "--fault-seed", "an integer"),
             "--buffers" => {
                 let v = value(&args, &mut i, "--buffers");
@@ -1429,13 +1683,20 @@ fn main() {
     if buffers_mode.is_some() && (chaos || obs_bench || delete_heavy || update_fraction > 0.0) {
         fail("--buffers runs its own pure read A/B (no other workload modes)");
     }
+    if connections > 0
+        && (buffers_mode.is_some() || chaos || obs_bench || delete_heavy || update_fraction > 0.0)
+    {
+        fail("--connections runs its own high-fanout read workload (no other workload modes)");
+    }
     let cfg = ClientConfig {
         connect_timeout: Duration::from_millis(connect_timeout_ms),
         nodelay,
         ..ClientConfig::default()
     };
     let out_path = out_path.unwrap_or_else(|| {
-        if buffers_mode.is_some() {
+        if connections > 0 {
+            "BENCH_PR10.json".to_string()
+        } else if buffers_mode.is_some() {
             "BENCH_PR9.json".to_string()
         } else if chaos {
             "BENCH_PR7.json".to_string()
@@ -1449,6 +1710,21 @@ fn main() {
     });
     if chaos {
         run_chaos(cfg, clients, requests, t, fault_seed, &out_path);
+    }
+    if connections > 0 {
+        run_connections_bench(
+            cfg,
+            connections,
+            clients.max(1),
+            requests,
+            t,
+            l,
+            algorithm,
+            &algo_str,
+            shards,
+            domain,
+            &out_path,
+        );
     }
     if let Some(mode) = &buffers_mode {
         run_buffers_bench(

@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Polls the `METRICS` frame on an interval and renders a server
-//! health line (connections, load sheds, rate limits, reaped idle
-//! connections, handshake rejects), a worker-utilization bar (sampled
+//! health line (connections accepted and currently open, event-loop
+//! wakeups/second, load sheds, rate limits, reaped idle connections,
+//! handshake rejects), a worker-utilization bar (sampled
 //! state deltas between polls), plus, per dataset: request/sample
 //! throughput (rates are deltas between polls), error counts, the
 //! exact mean latency (`_sum`/`_count`), latency p50/p99 estimated
@@ -216,6 +217,11 @@ fn snapshot_rows(samples: &[Sample]) -> BTreeMap<u64, DatasetRow> {
 #[derive(Default, Clone, Copy)]
 struct HealthRow {
     connections: f64,
+    /// `srj_conn_open` — sockets registered on the event loop now.
+    open: f64,
+    /// `srj_event_loop_wakeups_total` — loop iterations; rendered as
+    /// wakeups/second from the delta between polls.
+    loop_wakeups: f64,
     shed: f64,
     rate_limited: f64,
     reaped: f64,
@@ -236,6 +242,8 @@ fn snapshot_health(samples: &[Sample]) -> HealthRow {
     for s in samples {
         match s.name.as_str() {
             "srj_connections_accepted_total" => h.connections = s.value,
+            "srj_conn_open" => h.open = s.value,
+            "srj_event_loop_wakeups_total" => h.loop_wakeups = s.value,
             "srj_requests_shed" => h.shed = s.value,
             "srj_rate_limited" => h.rate_limited = s.value,
             "srj_conn_reaped" => h.reaped = s.value,
@@ -302,10 +310,17 @@ fn render(
         // ANSI clear + home, so the dashboard repaints in place.
         print!("\x1b[2J\x1b[H");
     }
+    let wakeups_per_s = if dt.as_secs_f64() > 0.0 {
+        ((health.loop_wakeups - prev_health.loop_wakeups).max(0.0)) / dt.as_secs_f64()
+    } else {
+        0.0
+    };
     println!(
-        "conns {:.0}  shed {:.0}  rate-limited {:.0}  reaped {:.0}  \
-         handshake-rejects {:.0}  parks {:.0}",
+        "conns {:.0} ({:.0} open)  loop {:.0}/s  shed {:.0}  rate-limited {:.0}  \
+         reaped {:.0}  handshake-rejects {:.0}  parks {:.0}",
         health.connections,
+        health.open,
+        wakeups_per_s,
         health.shed,
         health.rate_limited,
         health.reaped,

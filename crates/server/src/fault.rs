@@ -1,26 +1,35 @@
 //! Deterministic fault injection for the serving stack.
 //!
 //! A [`FaultPlan`] rides on `crate::ServerConfig` and is consulted by
-//! the per-connection reader and writer threads. The default plan is
-//! **inert**: every probability is zero and the injection sites cost
-//! one branch on an [`FaultPlan::is_active`] flag. An active plan
-//! derives one deterministic [`FaultRng`] per `(connection, role)`
-//! from its seed, so a chaos soak with a fixed seed injects the same
-//! fault schedule on every run — failures found under chaos reproduce.
+//! the event loop's per-connection state machines: the decode side
+//! draws from the `reader` stream, the flush side from the `writer`
+//! stream — the same `(connection, role)` derivation the old
+//! thread-per-connection layer used, so a chaos seed reproduces the
+//! same fault schedule across the readiness rewrite. The default plan
+//! is **inert**: every probability is zero and the injection sites
+//! cost one branch on an [`FaultPlan::is_active`] flag. An active
+//! plan derives one deterministic [`FaultRng`] per
+//! `(connection, role)` from its seed, so a chaos soak with a fixed
+//! seed injects the same fault schedule on every run — failures found
+//! under chaos reproduce.
 //!
 //! What can be injected (each with its own probability, evaluated per
-//! frame):
+//! frame). Faults that used to block a thread (`sleep`) are now timer
+//! perturbations of the state machine — the held frame or write gap
+//! rides a timer-wheel entry while every other connection keeps
+//! being served:
 //!
-//! * **delayed reads** — the reader sleeps before processing a frame,
+//! * **delayed reads** — a decoded frame's dispatch is held for
+//!   `delay_read_ms` (decoding pauses so frame order is preserved),
 //!   simulating a stalled peer or congested path;
-//! * **forced `BUSY`** — the reader answers a request with `BUSY`
-//!   instead of executing it, simulating load shedding;
-//! * **partial writes** — the writer splits a response frame into two
-//!   delayed `write(2)`s, exercising client-side reassembly;
-//! * **truncated frames** — the writer emits a prefix of a frame and
-//!   drops the connection, leaving the client mid-frame;
-//! * **dropped connections** — the reader shuts the socket down
-//!   before processing a frame.
+//! * **forced `BUSY`** — a request is answered `BUSY` instead of
+//!   executed, simulating load shedding;
+//! * **partial writes** — a response frame is flushed as two
+//!   temporally separated halves, exercising client-side reassembly;
+//! * **truncated frames** — a prefix of a response frame is emitted
+//!   and the connection dropped, leaving the client mid-frame;
+//! * **dropped connections** — the socket is shut down instead of
+//!   dispatching a received frame.
 
 /// Per-frame fault probabilities plus the seed their schedule derives
 /// from. The [`Default`] (all zeros) is inert.

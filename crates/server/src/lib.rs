@@ -48,6 +48,7 @@
 //! `examples/network_serving.rs` for the in-process version.
 
 pub mod client;
+mod event_loop;
 pub mod fault;
 mod http;
 pub mod protocol;

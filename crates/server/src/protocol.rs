@@ -1314,6 +1314,83 @@ pub fn read_frame_or_idle<R: Read>(r: &mut R) -> Result<FrameRead, ProtocolError
     Ok(FrameRead::Frame(payload))
 }
 
+/// Incremental frame decoder for nonblocking sockets.
+///
+/// The readiness loop reads whatever bytes the socket has and feeds
+/// them through [`FrameAccumulator::extend`]; complete frame payloads
+/// come back out of [`FrameAccumulator::next_frame`] one at a time,
+/// in arrival order, regardless of how the byte stream was split.
+/// The length prefix is validated against [`MAX_FRAME_LEN`] as soon
+/// as its 4 bytes are present — an oversized frame is rejected before
+/// any payload is buffered, exactly like [`read_frame`]'s check
+/// before allocation.
+#[derive(Debug, Default)]
+pub struct FrameAccumulator {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already handed out as frames; compacted lazily.
+    pos: usize,
+}
+
+/// Consumed prefix past which [`FrameAccumulator::next_frame`]
+/// compacts its buffer instead of letting it creep.
+const ACCUMULATOR_COMPACT_BYTES: usize = 64 * 1024;
+
+impl FrameAccumulator {
+    pub fn new() -> FrameAccumulator {
+        FrameAccumulator::default()
+    }
+
+    /// Appends raw socket bytes (any split, including one at a time).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame payload, `Ok(None)` when more
+    /// bytes are needed. A length prefix beyond [`MAX_FRAME_LEN`] is
+    /// an error the moment it is readable; the accumulator is then
+    /// poisoned garbage and the connection must be torn down.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
+        let pending = &self.buf[self.pos..];
+        if pending.len() < 4 {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(ProtocolError::TooLarge(len));
+        }
+        if pending.len() < 4 + len {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let payload = pending[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        self.maybe_compact();
+        Ok(Some(payload))
+    }
+
+    /// Whether a partial frame (or partial length prefix) is pending —
+    /// the state that arms a mid-frame read deadline.
+    pub fn has_partial(&self) -> bool {
+        self.buf.len() > self.pos
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > ACCUMULATOR_COMPACT_BYTES {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1796,5 +1873,61 @@ mod tests {
         bytes.extend_from_slice(&[1, 2]);
         let mut cursor = std::io::Cursor::new(&bytes);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn accumulator_reassembles_byte_at_a_time() {
+        let reqs = [
+            Request::Ping { token: 3 },
+            Request::Stats,
+            Request::Sample(SampleRequest {
+                req_id: 1,
+                dataset: 2,
+                l: 4.5,
+                algorithm: None,
+                shards: 1,
+                t: 10,
+                seed: 6,
+            }),
+        ];
+        let mut wire = Vec::new();
+        for req in &reqs {
+            wire.extend_from_slice(&encode_request(req));
+        }
+        let mut acc = FrameAccumulator::new();
+        let mut decoded = Vec::new();
+        for &b in &wire {
+            acc.extend(&[b]);
+            while let Some(payload) = acc.next_frame().unwrap() {
+                decoded.push(decode_request(&payload).unwrap());
+            }
+        }
+        assert_eq!(decoded, reqs);
+        assert!(!acc.has_partial());
+        assert_eq!(acc.buffered(), 0);
+    }
+
+    #[test]
+    fn accumulator_rejects_oversized_prefix_before_payload() {
+        let mut acc = FrameAccumulator::new();
+        acc.extend(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(matches!(acc.next_frame(), Err(ProtocolError::TooLarge(_))));
+    }
+
+    #[test]
+    fn accumulator_tracks_partial_state() {
+        let frame = encode_request(&Request::Ping { token: 11 });
+        let mut acc = FrameAccumulator::new();
+        assert!(!acc.has_partial());
+        acc.extend(&frame[..3]);
+        assert!(acc.next_frame().unwrap().is_none());
+        assert!(acc.has_partial(), "a split length prefix is mid-frame");
+        acc.extend(&frame[3..]);
+        let payload = acc.next_frame().unwrap().unwrap();
+        assert_eq!(
+            decode_request(&payload).unwrap(),
+            Request::Ping { token: 11 }
+        );
+        assert!(!acc.has_partial());
     }
 }

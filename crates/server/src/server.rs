@@ -1,26 +1,27 @@
-//! The TCP serving subsystem: acceptor, fixed worker pool, bounded
-//! per-connection response queues.
+//! The TCP serving subsystem: a readiness-driven event loop owning
+//! every connection, a fixed worker pool, bounded per-connection
+//! response queues.
 //!
 //! ```text
 //!             ┌──────────────────────────────────────────────────────┐
 //!             │                     Server                           │
-//!  TCP ─────► │ acceptor ──► per-conn reader ──► JobQueue (global)   │
-//!             │                  │                   │               │
-//!             │                  │             worker × W  (fixed)   │
-//!             │                  │                   │ one batch per │
-//!             │                  │                   │ step, then    │
-//!             │                  │                   ▼ requeue       │
-//!             │                  │      bounded SyncSender (per conn)│
-//!             │                  │                   │               │
-//!             │                  └───── per-conn writer ──► socket   │
+//!  TCP ─────► │ event loop (epoll) ── decode ──► JobQueue (global)   │
+//!             │   accept · read · write · timers     │               │
+//!             │        ▲        ▲              worker × W  (fixed)   │
+//!             │        │        │                    │ one batch per │
+//!             │        │   bounded OutQueue (frames) │ step, then    │
+//!             │        │        ▲                    ▼ requeue       │
+//!             │        └────────┴──── try_send ──────┘               │
 //!             └──────────────────────────────────────────────────────┘
 //! ```
 //!
-//! **Threading.** One acceptor, `workers` pool threads shared by every
-//! connection, and one reader + one writer thread per connection
-//! (blocking `std::net` sockets need a thread per blocking direction;
-//! readers and writers are idle-parked almost always, the pool does the
-//! sampling work).
+//! **Threading.** One event-loop thread (see `crate::event_loop`)
+//! owns the listener and every connection socket — all nonblocking,
+//! driven by `epoll(7)` readiness (with a `poll(2)` fallback) and a
+//! timer wheel for every deadline; `workers` pool threads do the
+//! sampling. No per-connection threads exist: ten thousand idle
+//! keepalive connections cost ten thousand registered fds, not twenty
+//! thousand parked stacks.
 //!
 //! **Batching.** A `SAMPLE` request becomes one job holding one
 //! [`SamplerHandle`] for its whole lifetime — the engine/handle
@@ -31,25 +32,28 @@
 //! requests interleave fairly regardless of their `t`.
 //!
 //! **Backpressure.** Each connection owns a *bounded* frame queue
-//! ([`ServerConfig::queue_frames`]) drained by its writer. Workers only
-//! ever `try_send`: when a client stops reading and its queue fills,
-//! the job *parks itself on the connection* and the worker moves on —
-//! a slow reader stalls its own stream, never the pool. The hand-back
-//! is lock-step safe: after parking, the worker nudges the queue with
-//! an empty kick frame, and the writer re-queues parked jobs after
-//! every frame it dequeues, so a parked job is re-activated on the
-//! very next free slot and cannot be lost to the park/drain race.
+//! ([`ServerConfig::queue_frames`], the [`ConnShared`] out-queue)
+//! drained by the event loop as the socket accepts bytes. Workers only
+//! ever [`ConnShared::try_send`]: when a client stops reading and its
+//! queue fills, the job *parks itself on the connection* and the
+//! worker moves on — a slow reader stalls its own stream, never the
+//! pool. The hand-back is lock-step safe: after parking, the worker
+//! kicks the loop (a dirty mark + waker write), and the loop
+//! re-queues parked jobs whenever a write frees queue room, so a
+//! parked job is re-activated on the very next free slot and cannot
+//! be lost to the park/drain race. The loop also stops *reading* (and
+//! decoding) a connection whose out-queue is at capacity, so control
+//! answers stay bounded and a flooding client is throttled by its own
+//! TCP window.
 //!
 //! **Shutdown.** [`Server::shutdown`] (or a client `SHUTDOWN` frame)
-//! stops the acceptor, closes the job queue, shuts every connection
-//! socket, and joins every thread the server ever spawned — no leaks,
-//! asserted by the loopback tests.
+//! wakes the event loop (which tears down every connection), closes
+//! the job queue, and joins every thread the server ever spawned — no
+//! leaks, asserted by the loopback tests.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -64,22 +68,24 @@ use srj_obs::{
     trace, Counter, Gauge, Histogram, Profiler, Registry, SlowEntry, SlowLog, StateTag, WorkerState,
 };
 
+use crate::event_loop::{EventLoop, LoopNotify};
 use crate::fault::FaultPlan;
 use crate::protocol::{
-    decode_request, encode_response, read_frame_or_idle, EpochInfo, ErrorCode, FrameRead, Request,
-    RequestStats, RequestStatus, Response, SampleRequest, ServerStatsFrame, Side, SlowLogEntry,
-    TraceSpan, UpdateStats, MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_FEATURES,
+    encode_response, EpochInfo, RequestStats, RequestStatus, Response, SampleRequest,
+    ServerStatsFrame, Side, SlowLogEntry, TraceSpan, UpdateStats, MAX_FRAME_LEN,
 };
 
 /// `retry_after_ms` suggested on load-shed `BUSY` answers: long enough
 /// for a worker step to drain queue headroom, short enough that a
 /// shed client re-offers while the burst is still being absorbed.
-const SHED_RETRY_MS: u32 = 50;
+pub(crate) const SHED_RETRY_MS: u32 = 50;
 
-/// Fault-schedule roles: the reader and writer of one connection draw
-/// from independent deterministic streams.
-const FAULT_ROLE_READER: u64 = 1;
-const FAULT_ROLE_WRITER: u64 = 2;
+/// Fault-schedule roles: the decode (reader) and flush (writer) sides
+/// of one connection draw from independent deterministic streams —
+/// the same streams the old thread-per-connection layer drew, so a
+/// chaos seed reproduces the same fault schedule across the rewrite.
+pub(crate) const FAULT_ROLE_READER: u64 = 1;
+pub(crate) const FAULT_ROLE_WRITER: u64 = 2;
 
 /// Serving knobs. The defaults suit a loopback bench on a small host;
 /// production would raise `workers` to the core count.
@@ -122,9 +128,9 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Idle-connection reap deadline: a connection with no received
     /// frame and no in-flight work for this long is closed by the
-    /// maintainer thread (journaled as `ConnReaped`). The maintainer
-    /// sweeps at half this interval, so reaping happens within 1.5×
-    /// the deadline. Default 300 s. Zero disables.
+    /// event loop's sweep timer (journaled as `ConnReaped`). The
+    /// sweep runs at half this interval, so reaping happens within
+    /// 1.5× the deadline. Default 300 s. Zero disables.
     pub idle_timeout: Duration,
     /// Per-connection request-frame budget, frames/second (token
     /// bucket, burst = one second's budget); an exceeded budget
@@ -218,9 +224,9 @@ pub const SLOW_AUTO_MIN_REQUESTS: u64 = 32;
 pub(crate) const SLOWLOG_MAX_ENTRIES: usize = 32;
 pub(crate) const SLOWLOG_MAX_SPANS: usize = 512;
 
-/// `set_read_timeout`/`set_write_timeout` reject `Some(ZERO)`; zero
-/// means "no deadline" throughout the config.
-fn timeout_opt(d: Duration) -> Option<Duration> {
+/// Zero means "no deadline" throughout the config; the event loop
+/// arms a timer-wheel entry only for `Some` deadlines.
+pub(crate) fn timeout_opt(d: Duration) -> Option<Duration> {
     (!d.is_zero()).then_some(d)
 }
 
@@ -434,7 +440,7 @@ impl DatasetRegistry {
 // ---- jobs ----------------------------------------------------------------
 
 /// What a queued job is doing.
-enum JobState {
+pub(crate) enum JobState {
     /// Engine/handle not yet acquired (first worker step does it).
     Acquire,
     /// Streaming batches through an acquired handle.
@@ -445,9 +451,8 @@ enum JobState {
 
 /// One in-flight request. Lives in the global queue, on a worker, or
 /// parked on its connection when the response queue is full.
-struct Job {
+pub(crate) struct Job {
     req: SampleRequest,
-    tx: SyncSender<Vec<u8>>,
     conn: Arc<ConnShared>,
     state: JobState,
     /// Encoded frames not yet handed to the writer (front = next).
@@ -476,17 +481,15 @@ struct Job {
 }
 
 impl Job {
-    fn sample(
+    pub(crate) fn sample(
         req: SampleRequest,
         trace_id: u64,
         span_id: u64,
-        tx: SyncSender<Vec<u8>>,
         conn: Arc<ConnShared>,
     ) -> Self {
         conn.inflight.fetch_add(1, Ordering::AcqRel);
         Job {
             req,
-            tx,
             conn,
             state: JobState::Acquire,
             outbox: VecDeque::new(),
@@ -501,12 +504,7 @@ impl Job {
     }
 
     /// A job that only delivers pre-encoded frames (stats, errors).
-    fn respond(
-        frame: Vec<u8>,
-        status: RequestStatus,
-        tx: SyncSender<Vec<u8>>,
-        conn: Arc<ConnShared>,
-    ) -> Self {
+    pub(crate) fn respond(frame: Vec<u8>, status: RequestStatus, conn: Arc<ConnShared>) -> Self {
         conn.inflight.fetch_add(1, Ordering::AcqRel);
         let mut outbox = VecDeque::with_capacity(1);
         outbox.push_back(frame);
@@ -520,7 +518,6 @@ impl Job {
                 t: 0,
                 seed: 0,
             },
-            tx,
             conn,
             state: JobState::Respond,
             outbox,
@@ -546,57 +543,175 @@ impl Drop for Job {
     /// A job is in flight from construction until it is dropped —
     /// finished, abandoned, or drained at shutdown. The balanced
     /// counter is what keeps the reaper away from connections with
-    /// pending work.
+    /// pending work. The kick wakes the event loop so a half-closed
+    /// connection whose last job just finished is torn down promptly.
     fn drop(&mut self) {
         self.conn.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.conn.kick();
     }
 }
 
 // ---- per-connection state ------------------------------------------------
 
-/// State shared by a connection's reader, writer, and jobs.
-struct ConnShared {
+/// The bounded response queue of one connection: workers `try_send`
+/// into it, the event loop drains it to the socket. Capacity is the
+/// backpressure window ([`ServerConfig::queue_frames`]); the loop's
+/// control answers may exceed it by a bounded margin because frame
+/// decoding pauses while the queue is at (or past) capacity.
+struct OutQueue {
+    frames: VecDeque<Vec<u8>>,
+    capacity: usize,
+    /// Set at teardown: the socket can never deliver another frame.
+    disconnected: bool,
+}
+
+/// Why [`ConnShared::try_send`] refused a frame — mirrors the
+/// `std::sync::mpsc::TrySendError` cases the old writer channel had.
+pub(crate) enum SendError {
+    /// Queue at capacity; the frame comes back for parking.
+    Full(Vec<u8>),
+    /// Connection torn down; the frame can never be delivered.
+    Disconnected,
+}
+
+/// State shared by the event loop, the workers, and a connection's
+/// jobs.
+pub(crate) struct ConnShared {
     /// Accept-order id, unique per server — seeds the connection's
-    /// deterministic fault schedules.
-    id: u64,
+    /// deterministic fault schedules and names it on the event loop.
+    pub(crate) id: u64,
     /// Clone of the socket, used only to `shutdown(2)` it.
-    stream: TcpStream,
+    pub(crate) stream: TcpStream,
+    /// Peer address, resolved once at accept — journal labels.
+    pub(crate) peer: String,
     /// When the connection was accepted; the reference point for
     /// `last_activity_ns`.
     t0: Instant,
-    /// Nanoseconds since `t0` of the last received frame (updated by
-    /// the reader); the maintainer reaps connections idle past
+    /// Nanoseconds since `t0` of the last received frame (updated at
+    /// frame dispatch); the sweep timer reaps connections idle past
     /// [`ServerConfig::idle_timeout`].
     last_activity_ns: AtomicU64,
     /// Requests alive on this connection (queued, on a worker, or
-    /// parked) — the maintainer never reaps a connection with work in
-    /// flight, however long its socket has been quiet.
-    inflight: AtomicU64,
+    /// parked) — the reaper never touches a connection with work in
+    /// flight, and teardown waits for in-flight jobs to drain.
+    pub(crate) inflight: AtomicU64,
     /// Jobs waiting for a free slot in the response queue (the
     /// backpressure parking lot).
-    parked: Mutex<Vec<Job>>,
-    /// Set by the writer on exit, by the reaper, and by server
-    /// shutdown; parked/new frames for a closed connection are dropped.
-    closed: AtomicBool,
+    pub(crate) parked: Mutex<Vec<Job>>,
+    /// Set by teardown and by server shutdown; parked/new frames for
+    /// a closed connection are dropped.
+    pub(crate) closed: AtomicBool,
+    /// The bounded response queue (see [`OutQueue`]).
+    out: Mutex<OutQueue>,
+    /// The event loop's doorbell: dirty marks + waker writes.
+    notify: Arc<LoopNotify>,
 }
 
 impl ConnShared {
+    pub(crate) fn new(
+        id: u64,
+        stream: TcpStream,
+        peer: String,
+        capacity: usize,
+        notify: Arc<LoopNotify>,
+    ) -> ConnShared {
+        ConnShared {
+            id,
+            stream,
+            peer,
+            t0: Instant::now(),
+            last_activity_ns: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            parked: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+            out: Mutex::new(OutQueue {
+                frames: VecDeque::new(),
+                capacity: capacity.max(1),
+                disconnected: false,
+            }),
+            notify,
+        }
+    }
+
     /// Marks the connection active now.
-    fn touch(&self) {
+    pub(crate) fn touch(&self) {
         let ns = self.t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         self.last_activity_ns.store(ns, Ordering::Release);
     }
 
     /// Nanoseconds the connection has been idle.
-    fn idle_ns(&self) -> u64 {
+    pub(crate) fn idle_ns(&self) -> u64 {
         let now = self.t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         now.saturating_sub(self.last_activity_ns.load(Ordering::Acquire))
+    }
+
+    /// Worker-side bounded send: refuses at capacity (the caller
+    /// parks) and after teardown (the caller finishes the job). On
+    /// success the event loop is kicked to flush.
+    pub(crate) fn try_send(&self, frame: Vec<u8>) -> Result<(), SendError> {
+        {
+            let mut out = self.out.lock().expect("out queue poisoned");
+            if out.disconnected {
+                return Err(SendError::Disconnected);
+            }
+            if out.frames.len() >= out.capacity {
+                return Err(SendError::Full(frame));
+            }
+            out.frames.push_back(frame);
+        }
+        self.kick();
+        Ok(())
+    }
+
+    /// Loop-side send for control answers (`WELCOME`/`PONG`/`BUSY`/
+    /// `ERROR`): never refused at capacity — bounded anyway, because
+    /// the loop stops decoding frames while the queue is full, so at
+    /// most one control answer per decoded frame can overshoot.
+    pub(crate) fn push_direct(&self, frame: Vec<u8>) {
+        let mut out = self.out.lock().expect("out queue poisoned");
+        if !out.disconnected {
+            out.frames.push_back(frame);
+        }
+    }
+
+    /// Next frame for the socket (event loop only).
+    pub(crate) fn pop_out(&self) -> Option<Vec<u8>> {
+        self.out
+            .lock()
+            .expect("out queue poisoned")
+            .frames
+            .pop_front()
+    }
+
+    /// Queued frames not yet handed to the socket.
+    pub(crate) fn out_len(&self) -> usize {
+        self.out.lock().expect("out queue poisoned").frames.len()
+    }
+
+    /// Whether the queue has a free worker-side slot.
+    pub(crate) fn out_has_room(&self) -> bool {
+        let out = self.out.lock().expect("out queue poisoned");
+        !out.disconnected && out.frames.len() < out.capacity
+    }
+
+    /// Teardown half: refuse all future sends and drop what is queued.
+    pub(crate) fn out_disconnect(&self) {
+        let mut out = self.out.lock().expect("out queue poisoned");
+        out.disconnected = true;
+        out.frames.clear();
+    }
+
+    /// Rings the event loop's doorbell for this connection: marks it
+    /// dirty (flush writes, re-examine parked jobs, maybe tear down)
+    /// and wakes the poller.
+    pub(crate) fn kick(&self) {
+        self.notify.mark_dirty(self.id);
     }
 }
 
 // ---- global job queue ----------------------------------------------------
 
-struct JobQueue {
+pub(crate) struct JobQueue {
     jobs: Mutex<VecDeque<Job>>,
     cv: Condvar,
     closed: AtomicBool,
@@ -659,7 +774,7 @@ impl JobQueue {
 
 /// A token bucket: `rate` tokens/second, burst capacity of one
 /// second's budget, starting full.
-struct TokenBucket {
+pub(crate) struct TokenBucket {
     rate: f64,
     burst: f64,
     tokens: f64,
@@ -668,7 +783,7 @@ struct TokenBucket {
 
 impl TokenBucket {
     /// `None` when `rps` is zero (unlimited).
-    fn new(rps: u32) -> Option<TokenBucket> {
+    pub(crate) fn new(rps: u32) -> Option<TokenBucket> {
         (rps > 0).then(|| TokenBucket {
             rate: f64::from(rps),
             burst: f64::from(rps),
@@ -680,7 +795,7 @@ impl TokenBucket {
     /// `None` = admitted (one token consumed); `Some(ms)` = declined,
     /// with the time until a token accrues — the `retry_after_ms` for
     /// the `BUSY` answer.
-    fn admit(&mut self) -> Option<u32> {
+    pub(crate) fn admit(&mut self) -> Option<u32> {
         let now = Instant::now();
         let dt = now.duration_since(self.last).as_secs_f64();
         self.tokens = (self.tokens + dt * self.rate).min(self.burst);
@@ -769,7 +884,7 @@ impl DatasetMetrics {
 }
 
 /// Server-wide metric handles (no `dataset` label).
-struct ServerMetrics {
+pub(crate) struct ServerMetrics {
     /// `srj_connections_accepted_total` — mirror at scrape.
     connections_accepted: Counter,
     /// `srj_active_connections` gauge — mirror at scrape.
@@ -783,18 +898,31 @@ struct ServerMetrics {
     backpressure_parks: Counter,
     /// `srj_requests_shed` — `SAMPLE`s answered `BUSY` because the job
     /// queue was past the high-water mark (hot-path increment).
-    requests_shed: Counter,
+    pub(crate) requests_shed: Counter,
     /// `srj_rate_limited` — requests answered `BUSY` by a token bucket
     /// (hot-path increment).
-    rate_limited: Counter,
-    /// `srj_conn_reaped` — idle connections closed by the maintainer.
-    conn_reaped: Counter,
+    pub(crate) rate_limited: Counter,
+    /// `srj_conn_reaped` — idle connections closed by the event
+    /// loop's sweep timer.
+    pub(crate) conn_reaped: Counter,
     /// `srj_handshake_rejects_total` — connections refused at the
     /// handshake (bad version, or a request before `HELLO`).
-    handshake_rejects: Counter,
+    pub(crate) handshake_rejects: Counter,
     /// `srj_slow_requests_total` — requests captured into the slow log
     /// (hot-path increment, rare by construction).
     slow_captures: Counter,
+    /// `srj_conn_open` gauge — connections registered on the event
+    /// loop right now, maintained live by the loop itself.
+    pub(crate) conn_open: Gauge,
+    /// `srj_event_loop_wakeups_total` — poller returns (events or
+    /// timer expiry), one per loop iteration.
+    pub(crate) loop_wakeups: Counter,
+    /// `srj_event_loop_dispatch_ns` — time spent servicing one wakeup
+    /// (accepts + reads + decode + writes), excluding the wait itself.
+    pub(crate) loop_dispatch: Histogram,
+    /// `srj_accept_backoff_total` — accept(2) pauses after
+    /// EMFILE/ENFILE fd exhaustion.
+    pub(crate) accept_backoffs: Counter,
     /// `srj_worker_state_samples_total{state=...}` in
     /// [`ALL_STATES`] order — profiler mirror at scrape.
     worker_states: [Counter; 6],
@@ -813,6 +941,10 @@ impl ServerMetrics {
             conn_reaped: reg.counter("srj_conn_reaped", &[]),
             handshake_rejects: reg.counter("srj_handshake_rejects_total", &[]),
             slow_captures: reg.counter("srj_slow_requests_total", &[]),
+            conn_open: reg.gauge("srj_conn_open", &[]),
+            loop_wakeups: reg.counter("srj_event_loop_wakeups_total", &[]),
+            loop_dispatch: reg.histogram("srj_event_loop_dispatch_ns", &[]),
+            accept_backoffs: reg.counter("srj_accept_backoff_total", &[]),
             worker_states: std::array::from_fn(|i| {
                 reg.counter(
                     "srj_worker_state_samples_total",
@@ -835,12 +967,12 @@ struct HealthState {
 }
 
 pub(crate) struct Shared {
-    config: ServerConfig,
+    pub(crate) config: ServerConfig,
     registry: HashMap<u64, Arc<ServedDataset>>,
     /// Serving-engine lookup hits/misses (a miss pays an index build).
     engine_hits: AtomicU64,
     engine_misses: AtomicU64,
-    queue: JobQueue,
+    pub(crate) queue: JobQueue,
     /// Per-request serving statistics (latency histogram reused from
     /// the engine crate — one `record_query` per finished request).
     request_stats: EngineStats,
@@ -848,19 +980,21 @@ pub(crate) struct Shared {
     /// and embedded servers never share exposition state) plus the
     /// cached typed handles.
     metrics: Registry,
-    server_metrics: ServerMetrics,
+    pub(crate) server_metrics: ServerMetrics,
     dataset_metrics: HashMap<u64, DatasetMetrics>,
-    accepted: AtomicU64,
-    active: AtomicU64,
-    conns: Mutex<Vec<Arc<ConnShared>>>,
-    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) active: AtomicU64,
+    pub(crate) conns: Mutex<Vec<Arc<ConnShared>>>,
     shutdown_flag: Mutex<bool>,
     shutdown_cv: Condvar,
     addr: SocketAddr,
     /// Tail-based slow-request retention (capacity 0 = disabled).
-    slow_log: SlowLog,
-    /// Worker/reader/writer state tags, sampled by the maintainer.
-    profiler: Profiler,
+    pub(crate) slow_log: SlowLog,
+    /// Worker/event-loop state tags, sampled by the maintainer.
+    pub(crate) profiler: Profiler,
+    /// The event loop's doorbell — worker kicks and shutdown wakeups
+    /// land here.
+    pub(crate) notify: Arc<LoopNotify>,
     /// The time-series store, set once when the recorder starts (the
     /// recorder itself lives on [`Server`] — storing it here would arc-
     /// cycle through its snapshot closure).
@@ -875,9 +1009,9 @@ impl Shared {
     }
 
     /// Flips the server into shutdown: idempotent, callable from any
-    /// thread (including a connection reader serving a `SHUTDOWN`
-    /// frame). Thread joining is [`Server::shutdown`]'s half.
-    fn begin_shutdown(&self) {
+    /// thread (including the event loop serving a `SHUTDOWN` frame).
+    /// Thread joining is [`Server::shutdown`]'s half.
+    pub(crate) fn begin_shutdown(&self) {
         {
             let mut flag = self.shutdown_flag.lock().expect("shutdown flag poisoned");
             if *flag {
@@ -891,11 +1025,12 @@ impl Shared {
             conn.closed.store(true, Ordering::Release);
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         }
-        // Wake the acceptor out of its blocking accept().
-        let _ = TcpStream::connect(self.addr);
+        // Wake the event loop out of its poller wait so it tears the
+        // connections down and exits.
+        self.notify.wake();
     }
 
-    fn stats_frame(&self) -> ServerStatsFrame {
+    pub(crate) fn stats_frame(&self) -> ServerStatsFrame {
         let snap = self.request_stats.snapshot();
         let mut patch_swaps = 0u64;
         let mut cells_patched = 0u64;
@@ -1131,7 +1266,7 @@ impl Shared {
 /// threads joined).
 pub struct Server {
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     maintainer: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     /// The time-series recorder thread (owned here, not on [`Shared`]:
@@ -1178,6 +1313,7 @@ impl Server {
             .keys()
             .map(|&id| (id, DatasetMetrics::register(&metrics, id)))
             .collect();
+        let notify = Arc::new(LoopNotify::new()?);
         let shared = Arc::new(Shared {
             config,
             registry: registry.map,
@@ -1191,12 +1327,12 @@ impl Server {
             accepted: AtomicU64::new(0),
             active: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
-            conn_threads: Mutex::new(Vec::new()),
             shutdown_flag: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             addr: listener.local_addr()?,
             slow_log: SlowLog::new(config.slow_log_capacity),
             profiler: Profiler::new(),
+            notify,
             tsdb: OnceLock::new(),
             health: Mutex::new(HealthState::default()),
         });
@@ -1228,16 +1364,20 @@ impl Server {
                     .expect("spawn worker")
             })
             .collect();
-        let acceptor = {
-            let shared = Arc::clone(&shared);
+        // One event-loop thread owns the listener, every connection
+        // socket, and all the connection timers. Construction happens
+        // here (not on the thread) so bind/epoll errors surface from
+        // start() instead of killing a detached thread.
+        let event_loop = {
+            let mut el = EventLoop::new(listener, Arc::clone(&shared))?;
             std::thread::Builder::new()
-                .name("srj-acceptor".into())
-                .spawn(move || acceptor_loop(listener, &shared))
-                .expect("spawn acceptor")
+                .name("srj-event-loop".into())
+                .spawn(move || el.run())
+                .expect("spawn event loop")
         };
-        // The maintainer exists when it has work: an idle deadline to
-        // enforce, or profiler tags to sample.
-        let maintainer = (!config.idle_timeout.is_zero() || config.profiler).then(|| {
+        // The maintainer only samples the profiler now — idle reaping
+        // moved onto the event loop's sweep timer.
+        let maintainer = config.profiler.then(|| {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("srj-maintainer".into())
@@ -1247,7 +1387,7 @@ impl Server {
 
         Ok(Server {
             shared,
-            acceptor: Some(acceptor),
+            event_loop: Some(event_loop),
             maintainer,
             workers,
             recorder,
@@ -1309,41 +1449,23 @@ impl Server {
             let _ = TcpStream::connect(addr);
             let _ = handle.join();
         }
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        // The event loop observes the shutdown flag on its next wakeup
+        // (begin_shutdown rang its waker), tears every connection down,
+        // and exits; after the join the connection list is final.
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
         if let Some(maintainer) = self.maintainer.take() {
             let _ = maintainer.join();
-        }
-        // The acceptor is joined, so the connection list is final —
-        // re-close every socket. This catches a connection that raced
-        // begin_shutdown (accepted before the flag flipped, registered
-        // after the close pass), whose reader would otherwise block in
-        // read_frame() forever and hang the join below.
-        for conn in self.shared.conns.lock().expect("conn list poisoned").iter() {
-            conn.closed.store(true, Ordering::Release);
-            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
         // Workers are gone: drop every job still queued or parked so
-        // the per-connection channels disconnect and the writers exit.
+        // no response can outlive the server.
         drop(self.shared.queue.drain());
         for conn in self.shared.conns.lock().expect("conn list poisoned").iter() {
             conn.parked.lock().expect("parked list poisoned").clear();
-        }
-        // Connection threads exit on the closed sockets / disconnected
-        // channels; new handles cannot appear (the acceptor is joined).
-        let handles: Vec<JoinHandle<()>> = self
-            .shared
-            .conn_threads
-            .lock()
-            .expect("conn threads poisoned")
-            .drain(..)
-            .collect();
-        for handle in handles {
-            let _ = handle.join();
         }
     }
 }
@@ -1354,491 +1476,13 @@ impl Drop for Server {
     }
 }
 
-// ---- acceptor ------------------------------------------------------------
-
-fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.is_shutting_down() {
-                    return;
-                }
-                continue;
-            }
-        };
-        if shared.is_shutting_down() {
-            return; // the stream may be the shutdown wake-up; drop it
-        }
-        // Opportunistically forget connections that already closed —
-        // and join their finished reader/writer threads — so a
-        // long-lived server's bookkeeping doesn't grow without bound.
-        shared
-            .conns
-            .lock()
-            .expect("conn list poisoned")
-            .retain(|c| !c.closed.load(Ordering::Acquire));
-        {
-            let mut threads = shared.conn_threads.lock().expect("conn threads poisoned");
-            let mut live = Vec::with_capacity(threads.len());
-            for handle in threads.drain(..) {
-                if handle.is_finished() {
-                    let _ = handle.join();
-                } else {
-                    live.push(handle);
-                }
-            }
-            *threads = live;
-        }
-        spawn_connection(shared, stream);
-    }
-}
-
-fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let (write_stream, shutdown_clone) = match (stream.try_clone(), stream.try_clone()) {
-        (Ok(w), Ok(s)) => (w, s),
-        _ => return, // clone failure: drop the connection
-    };
-    let _ = write_stream.set_write_timeout(timeout_opt(shared.config.write_timeout));
-    let id = shared.accepted.fetch_add(1, Ordering::Relaxed);
-    shared.active.fetch_add(1, Ordering::Relaxed);
-    let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(shared.config.queue_frames);
-    let conn = Arc::new(ConnShared {
-        id,
-        stream: shutdown_clone,
-        t0: Instant::now(),
-        last_activity_ns: AtomicU64::new(0),
-        inflight: AtomicU64::new(0),
-        parked: Mutex::new(Vec::new()),
-        closed: AtomicBool::new(false),
-    });
-
-    let reader = {
-        let shared = Arc::clone(shared);
-        let conn = Arc::clone(&conn);
-        std::thread::Builder::new()
-            .name("srj-conn-reader".into())
-            .spawn(move || reader_loop(stream, tx, conn, &shared))
-            .expect("spawn reader")
-    };
-    let writer = {
-        let shared = Arc::clone(shared);
-        let conn = Arc::clone(&conn);
-        std::thread::Builder::new()
-            .name("srj-conn-writer".into())
-            .spawn(move || writer_loop(rx, write_stream, conn, &shared))
-            .expect("spawn writer")
-    };
-
-    let mut threads = shared.conn_threads.lock().expect("conn threads poisoned");
-    threads.push(reader);
-    threads.push(writer);
-    shared.conns.lock().expect("conn list poisoned").push(conn);
-}
-
-// ---- reader --------------------------------------------------------------
-
-/// Runs the mandatory handshake, then decodes request frames into
-/// jobs. Never writes to the socket itself — handshake and control
-/// answers go through the writer's channel, everything else through a
-/// job, so backpressure has exactly one path per direction.
-fn reader_loop(
-    mut stream: TcpStream,
-    tx: SyncSender<Vec<u8>>,
-    conn: Arc<ConnShared>,
-    shared: &Arc<Shared>,
-) {
-    let tag = shared.profiler.register();
-    if handshake(&mut stream, &tx, &conn, shared).is_ok() {
-        serve_frames(&mut stream, &tx, &conn, shared, &tag);
-    }
-    shared.active.fetch_sub(1, Ordering::Relaxed);
-}
-
-/// The mandatory `HELLO`/`WELCOME` exchange, under its own (usually
-/// shorter) deadline. A v0 peer — one that opens with a request frame,
-/// or a `HELLO` carrying a version this server does not speak — gets a
-/// well-formed `ERROR` frame and a close; it never reaches the job
-/// queue, so a rejected peer costs no worker time. The answer flows
-/// through the writer's channel like every other frame.
-fn handshake(
-    stream: &mut TcpStream,
-    tx: &SyncSender<Vec<u8>>,
-    conn: &ConnShared,
-    shared: &Arc<Shared>,
-) -> Result<(), ()> {
-    let _ = stream.set_read_timeout(timeout_opt(shared.config.handshake_timeout));
-    let payload = match read_frame_or_idle(stream) {
-        Ok(FrameRead::Frame(payload)) => payload,
-        // Silent close on EOF, deadline expiry, or a garbage length
-        // prefix — there is no peer worth answering.
-        _ => return Err(()),
-    };
-    let reject = |code: ErrorCode, message: String| {
-        shared.server_metrics.handshake_rejects.inc();
-        let _ = tx.send(encode_response(&Response::Error { code, message }));
-        Err(())
-    };
-    match decode_request(&payload) {
-        Ok(Request::Hello { version, .. }) if version == PROTOCOL_VERSION => {
-            conn.touch();
-            let frame = encode_response(&Response::Welcome {
-                version: PROTOCOL_VERSION,
-                features: SERVER_FEATURES,
-            });
-            if tx.send(frame).is_err() {
-                return Err(());
-            }
-            let _ = stream.set_read_timeout(timeout_opt(shared.config.read_timeout));
-            Ok(())
-        }
-        Ok(Request::Hello { version, .. }) => reject(
-            ErrorCode::VersionMismatch,
-            format!("peer speaks protocol version {version}, server speaks {PROTOCOL_VERSION}"),
-        ),
-        Ok(_) => reject(
-            ErrorCode::HandshakeRequired,
-            "first frame on a connection must be HELLO".to_string(),
-        ),
-        Err(e) => reject(ErrorCode::HandshakeRequired, format!("bad handshake: {e}")),
-    }
-}
-
-/// The post-handshake frame loop: admission control (token buckets,
-/// load shedding), fault injection, and dispatch.
-fn serve_frames(
-    stream: &mut TcpStream,
-    tx: &SyncSender<Vec<u8>>,
-    conn: &Arc<ConnShared>,
-    shared: &Arc<Shared>,
-    tag: &StateTag,
-) {
-    // Journal labels identify the peer a control-plane event hit.
-    let peer = stream
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_default();
-    let plan = shared.config.fault_plan;
-    let mut faults = plan
-        .is_active()
-        .then(|| plan.rng_for(conn.id, FAULT_ROLE_READER));
-    let mut req_bucket = TokenBucket::new(shared.config.rate_limit_rps);
-    let mut mut_bucket = TokenBucket::new(shared.config.mutation_rate_limit_rps);
-    // Answers `BUSY` through the writer channel; an Err means the
-    // writer is gone and the loop should end.
-    let send_busy = |req_id: u32, retry_after_ms: u32| {
-        tx.send(encode_response(&Response::Busy {
-            req_id,
-            retry_after_ms,
-        }))
-    };
-    // Declined by a token bucket? Bumps the metric so the check reads
-    // as one expression at each admission point.
-    let throttled = |bucket: &mut Option<TokenBucket>| -> Option<u32> {
-        let ms = bucket.as_mut()?.admit()?;
-        shared.server_metrics.rate_limited.inc();
-        Some(ms)
-    };
-    loop {
-        tag.set(WorkerState::Idle);
-        let payload = match read_frame_or_idle(stream) {
-            Ok(FrameRead::Frame(payload)) => payload,
-            // The socket deadline expired between frames: not an
-            // error — idleness is the maintainer's business (it reaps
-            // by closing the socket, which lands here as Eof/Err).
-            Ok(FrameRead::Idle) => {
-                if conn.closed.load(Ordering::Acquire) || shared.is_shutting_down() {
-                    return;
-                }
-                continue;
-            }
-            // Clean EOF, a mid-frame stall past the read deadline, or
-            // a socket error.
-            Ok(FrameRead::Eof) | Err(_) => return,
-        };
-        tag.set(WorkerState::Decode);
-        if shared.is_shutting_down() {
-            return;
-        }
-        conn.touch();
-        if let Some(rng) = faults.as_mut() {
-            if rng.fires(plan.delay_read_prob) {
-                std::thread::sleep(Duration::from_millis(plan.delay_read_ms));
-            }
-            if rng.fires(plan.drop_conn_prob) {
-                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-                return;
-            }
-        }
-        match decode_request(&payload) {
-            Ok(Request::Hello { .. }) => {
-                // A repeated HELLO is harmless; re-answer it so a
-                // client that re-syncs after a partial read converges.
-                let frame = encode_response(&Response::Welcome {
-                    version: PROTOCOL_VERSION,
-                    features: SERVER_FEATURES,
-                });
-                if tx.send(frame).is_err() {
-                    return;
-                }
-            }
-            Ok(Request::Ping { token }) => {
-                // Keepalives are never shed, limited, or queued: their
-                // job is to answer even (especially) under load.
-                if tx.send(encode_response(&Response::Pong { token })).is_err() {
-                    return;
-                }
-            }
-            Ok(Request::Sample(req)) => {
-                if let Some(ms) = throttled(&mut req_bucket) {
-                    if send_busy(req.req_id, ms).is_err() {
-                        return;
-                    }
-                    continue;
-                }
-                if let Some(rng) = faults.as_mut() {
-                    if rng.fires(plan.busy_prob) {
-                        if send_busy(req.req_id, plan.busy_retry_after_ms).is_err() {
-                            return;
-                        }
-                        continue;
-                    }
-                }
-                if should_shed(shared, conn) {
-                    shared.server_metrics.requests_shed.inc();
-                    srj_obs::journal::event(EventKind::LoadShed)
-                        .dataset(Some(req.dataset))
-                        .label(peer.clone())
-                        .emit();
-                    if send_busy(req.req_id, SHED_RETRY_MS).is_err() {
-                        return;
-                    }
-                    continue;
-                }
-                // The sampling decision is made here, at frame decode,
-                // so the trace covers the request's whole server-side
-                // life; the id rides on the job and comes back to the
-                // client in the DONE frame. With slow-log capture on,
-                // an unsampled request still gets a forced span id —
-                // never echoed, but snapshotted if it finishes slow.
-                let trace_id = trace::try_start_trace();
-                let span_id = if trace_id != 0 {
-                    trace_id
-                } else if shared.slow_log.enabled() {
-                    trace::start_trace_forced()
-                } else {
-                    0
-                };
-                trace::event_for(span_id, "frame_decode", "sample_request");
-                enqueue(
-                    shared,
-                    Job::sample(req, trace_id, span_id, tx.clone(), Arc::clone(conn)),
-                );
-            }
-            Ok(Request::Stats) => {
-                if let Some(ms) = throttled(&mut req_bucket) {
-                    if send_busy(0, ms).is_err() {
-                        return;
-                    }
-                    continue;
-                }
-                let frame = encode_response(&Response::ServerStats(shared.stats_frame()));
-                enqueue(
-                    shared,
-                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(conn)),
-                );
-            }
-            // Observability answers are rendered inline on the reader
-            // (pure snapshot work, no engine/handle involvement) and
-            // still delivered through a job so backpressure has
-            // exactly one path.
-            Ok(Request::Metrics) => {
-                if let Some(ms) = throttled(&mut req_bucket) {
-                    if send_busy(0, ms).is_err() {
-                        return;
-                    }
-                    continue;
-                }
-                let frame = encode_response(&Response::Metrics {
-                    text: shared.metrics_text(),
-                });
-                enqueue(
-                    shared,
-                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(conn)),
-                );
-            }
-            Ok(Request::Trace { trace_id }) => {
-                if let Some(ms) = throttled(&mut req_bucket) {
-                    if send_busy(0, ms).is_err() {
-                        return;
-                    }
-                    continue;
-                }
-                let spans = trace::spans_for(trace_id)
-                    .into_iter()
-                    .map(|r| TraceSpan {
-                        ns: r.ns,
-                        span: r.span.to_string(),
-                        event: r.event.to_string(),
-                    })
-                    .collect();
-                let frame = encode_response(&Response::Trace { trace_id, spans });
-                enqueue(
-                    shared,
-                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(conn)),
-                );
-            }
-            Ok(Request::SlowLog { max }) => {
-                if let Some(ms) = throttled(&mut req_bucket) {
-                    if send_busy(0, ms).is_err() {
-                        return;
-                    }
-                    continue;
-                }
-                let cap = (max as usize).min(SLOWLOG_MAX_ENTRIES);
-                let entries = shared
-                    .slow_log
-                    .recent(cap)
-                    .into_iter()
-                    .map(slow_entry_to_wire)
-                    .collect();
-                let frame = encode_response(&Response::SlowLog { entries });
-                enqueue(
-                    shared,
-                    Job::respond(frame, RequestStatus::Ok, tx.clone(), Arc::clone(conn)),
-                );
-            }
-            // Mutations are applied here, on the reader: they are O(|frame|)
-            // buffer writes against the store (no index work — engines fold
-            // the delta in lazily), so they never occupy a sampling worker,
-            // and applying before the next frame is read gives each
-            // connection read-your-writes ordering.
-            Ok(Request::Insert {
-                req_id,
-                dataset,
-                side,
-                points,
-            }) => {
-                // Mutations pay both budgets: the shared request bucket
-                // and the (usually tighter) mutation bucket.
-                if let Some(ms) = throttled(&mut req_bucket).or_else(|| throttled(&mut mut_bucket))
-                {
-                    if send_busy(req_id, ms).is_err() {
-                        return;
-                    }
-                    continue;
-                }
-                if let Some(rng) = faults.as_mut() {
-                    if rng.fires(plan.busy_prob) {
-                        if send_busy(req_id, plan.busy_retry_after_ms).is_err() {
-                            return;
-                        }
-                        continue;
-                    }
-                }
-                let (status, stats) = match apply_insert(shared, dataset, side, &points) {
-                    Ok(stats) => (RequestStatus::Ok, stats),
-                    Err(status) => (status, UpdateStats::default()),
-                };
-                let frame = encode_response(&Response::Update {
-                    req_id,
-                    status,
-                    stats,
-                });
-                enqueue(
-                    shared,
-                    Job::respond(frame, status, tx.clone(), Arc::clone(conn)),
-                );
-            }
-            Ok(Request::Delete {
-                req_id,
-                dataset,
-                side,
-                ids,
-            }) => {
-                if let Some(ms) = throttled(&mut req_bucket).or_else(|| throttled(&mut mut_bucket))
-                {
-                    if send_busy(req_id, ms).is_err() {
-                        return;
-                    }
-                    continue;
-                }
-                if let Some(rng) = faults.as_mut() {
-                    if rng.fires(plan.busy_prob) {
-                        if send_busy(req_id, plan.busy_retry_after_ms).is_err() {
-                            return;
-                        }
-                        continue;
-                    }
-                }
-                let (status, stats) = match apply_delete(shared, dataset, side, &ids) {
-                    Ok(stats) => (RequestStatus::Ok, stats),
-                    Err(status) => (status, UpdateStats::default()),
-                };
-                let frame = encode_response(&Response::Update {
-                    req_id,
-                    status,
-                    stats,
-                });
-                enqueue(
-                    shared,
-                    Job::respond(frame, status, tx.clone(), Arc::clone(conn)),
-                );
-            }
-            Ok(Request::Epoch { req_id, dataset }) => {
-                if let Some(ms) = throttled(&mut req_bucket) {
-                    if send_busy(req_id, ms).is_err() {
-                        return;
-                    }
-                    continue;
-                }
-                let (status, info) = match epoch_info(shared, dataset) {
-                    Ok(info) => (RequestStatus::Ok, info),
-                    Err(status) => (status, EpochInfo::default()),
-                };
-                let frame = encode_response(&Response::Epoch {
-                    req_id,
-                    status,
-                    info,
-                });
-                enqueue(
-                    shared,
-                    Job::respond(frame, status, tx.clone(), Arc::clone(conn)),
-                );
-            }
-            Ok(Request::Shutdown) => {
-                shared.begin_shutdown();
-                return;
-            }
-            Err(_) => {
-                // Can't trust any field of a malformed frame, so the
-                // echoed id is 0; close after answering.
-                let frame = encode_response(&Response::Done {
-                    req_id: 0,
-                    status: RequestStatus::BadRequest,
-                    stats: RequestStats::default(),
-                });
-                enqueue(
-                    shared,
-                    Job::respond(
-                        frame,
-                        RequestStatus::BadRequest,
-                        tx.clone(),
-                        Arc::clone(conn),
-                    ),
-                );
-                return;
-            }
-        }
-    }
-}
+// ---- admission -----------------------------------------------------------
 
 /// Whether a new `SAMPLE` should be declined with `BUSY` instead of
 /// queued: the global queue is past the high-water mark, or this
 /// connection already has a request parked on a full response queue
 /// (more concurrent streams cannot help a client that isn't reading).
-fn should_shed(shared: &Arc<Shared>, conn: &Arc<ConnShared>) -> bool {
+pub(crate) fn should_shed(shared: &Arc<Shared>, conn: &Arc<ConnShared>) -> bool {
     let hw = shared.config.shed_high_water;
     if hw == 0 {
         return false;
@@ -1851,18 +1495,12 @@ fn should_shed(shared: &Arc<Shared>, conn: &Arc<ConnShared>) -> bool {
 
 // ---- maintainer ------------------------------------------------------------
 
-/// Sweeps for idle connections at half the idle deadline (so a
-/// connection is reaped within 1.5× the deadline), clamped to
-/// [10 ms, 500 ms], and takes one profiler sample per sweep; exits
-/// when shutdown flips. With the idle reaper disabled the maintainer
-/// may exist purely for the profiler, on a 50 ms sweep.
+/// Takes one profiler sample every 50 ms until shutdown flips. Idle
+/// reaping — the maintainer's other historic duty — now lives on the
+/// event loop's sweep timer, so this thread only exists when the
+/// profiler is on.
 fn maintainer_loop(shared: &Arc<Shared>) {
-    let idle = shared.config.idle_timeout;
-    let sweep = if idle.is_zero() {
-        Duration::from_millis(50)
-    } else {
-        (idle / 2).clamp(Duration::from_millis(10), Duration::from_millis(500))
-    };
+    let sweep = Duration::from_millis(50);
     let mut flag = shared.shutdown_flag.lock().expect("shutdown flag poisoned");
     while !*flag {
         let (guard, _) = shared
@@ -1874,136 +1512,15 @@ fn maintainer_loop(shared: &Arc<Shared>) {
             return;
         }
         drop(flag);
-        if shared.config.profiler {
-            shared.profiler.sample();
-        }
-        if !idle.is_zero() {
-            reap_idle(shared, idle);
-        }
+        shared.profiler.sample();
         flag = shared.shutdown_flag.lock().expect("shutdown flag poisoned");
     }
-}
-
-/// Closes every connection that has been quiet past `idle` with no
-/// work in flight. The close is a socket `shutdown(2)`: the reader
-/// unblocks with EOF and exits, dropping its channel sender, which in
-/// turn ends the writer — the same teardown path as a peer hangup.
-fn reap_idle(shared: &Arc<Shared>, idle: Duration) {
-    let conns: Vec<Arc<ConnShared>> = shared
-        .conns
-        .lock()
-        .expect("conn list poisoned")
-        .iter()
-        .map(Arc::clone)
-        .collect();
-    let idle_ns = idle.as_nanos().min(u128::from(u64::MAX)) as u64;
-    for conn in conns {
-        if conn.closed.load(Ordering::Acquire) || conn.inflight.load(Ordering::Acquire) != 0 {
-            continue;
-        }
-        let quiet_ns = conn.idle_ns();
-        if quiet_ns < idle_ns {
-            continue;
-        }
-        conn.closed.store(true, Ordering::Release);
-        let peer = conn
-            .stream
-            .peer_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_default();
-        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-        shared.server_metrics.conn_reaped.inc();
-        srj_obs::journal::event(EventKind::ConnReaped)
-            .duration_ns(quiet_ns)
-            .label(peer)
-            .emit();
-    }
-}
-
-// ---- writer --------------------------------------------------------------
-
-/// Drains the bounded response queue to the socket, and re-activates
-/// parked jobs after every dequeue — the other half of the
-/// backpressure handshake (see the module docs).
-fn writer_loop(
-    rx: Receiver<Vec<u8>>,
-    mut stream: TcpStream,
-    conn: Arc<ConnShared>,
-    shared: &Arc<Shared>,
-) {
-    let tag = shared.profiler.register();
-    let plan = shared.config.fault_plan;
-    let mut faults = plan
-        .is_active()
-        .then(|| plan.rng_for(conn.id, FAULT_ROLE_WRITER));
-    while let Ok(frame) = rx.recv() {
-        tag.set(WorkerState::Write);
-        // Empty frames are park kicks: nothing to write, but parked
-        // jobs must be re-examined.
-        if !frame.is_empty() && !write_frame_faulty(&mut stream, &frame, &plan, faults.as_mut()) {
-            break;
-        }
-        let parked: Vec<Job> = conn
-            .parked
-            .lock()
-            .expect("parked list poisoned")
-            .drain(..)
-            .collect();
-        for job in parked {
-            enqueue(shared, job);
-        }
-        tag.set(WorkerState::Idle);
-    }
-    // The socket is gone or the last sender hung up: anything still
-    // parked can never be delivered.
-    conn.closed.store(true, Ordering::Release);
-    let abandoned: Vec<Job> = conn
-        .parked
-        .lock()
-        .expect("parked list poisoned")
-        .drain(..)
-        .collect();
-    for job in &abandoned {
-        finish(shared, job, false);
-    }
-    let _ = stream.shutdown(std::net::Shutdown::Both);
-}
-
-/// Writes one response frame, possibly injecting a writer-side fault.
-/// Returns `false` when the connection should be torn down (write
-/// error, or an injected truncation — which deliberately leaves the
-/// peer mid-frame).
-fn write_frame_faulty(
-    stream: &mut TcpStream,
-    frame: &[u8],
-    plan: &FaultPlan,
-    faults: Option<&mut crate::fault::FaultRng>,
-) -> bool {
-    if let Some(rng) = faults {
-        // Only frames with room to split meaningfully are candidates;
-        // tiny control frames pass through.
-        if frame.len() > 8 {
-            if rng.fires(plan.truncate_frame_prob) {
-                let _ = stream.write_all(&frame[..frame.len() / 2]);
-                return false;
-            }
-            if rng.fires(plan.partial_write_prob) {
-                let (head, tail) = frame.split_at(frame.len() / 2);
-                if stream.write_all(head).is_err() {
-                    return false;
-                }
-                std::thread::sleep(Duration::from_millis(1));
-                return stream.write_all(tail).is_ok();
-            }
-        }
-    }
-    stream.write_all(frame).is_ok()
 }
 
 /// Enqueues a job; when shutdown has already closed the queue, answers
 /// the request with a best-effort `DONE{ShuttingDown}` instead (the
 /// connection is being torn down, so a full queue just drops it).
-fn enqueue(shared: &Arc<Shared>, job: Job) {
+pub(crate) fn enqueue(shared: &Arc<Shared>, job: Job) {
     let Some(mut job) = shared.queue.push(job) else {
         return;
     };
@@ -2018,7 +1535,7 @@ fn enqueue(shared: &Arc<Shared>, job: Job) {
                 trace_id: job.trace_id,
             },
         });
-        let _ = job.tx.try_send(frame);
+        let _ = job.conn.try_send(frame);
         job.done = Some(RequestStatus::ShuttingDown);
     }
     finish(shared, &job, false);
@@ -2044,12 +1561,13 @@ enum Flushed {
 
 /// Sends queued frames until the outbox is empty or the connection's
 /// queue is full. Full ⇒ park on the connection (with a kick so the
-/// writer always notices); disconnected ⇒ drop; empty + done ⇒ finish.
+/// event loop always notices); disconnected ⇒ drop; empty + done ⇒
+/// finish.
 fn flush_outbox(shared: &Arc<Shared>, mut job: Job, tag: &StateTag) -> Flushed {
     while let Some(frame) = job.outbox.pop_front() {
-        match job.tx.try_send(frame) {
+        match job.conn.try_send(frame) {
             Ok(()) => {}
-            Err(TrySendError::Full(frame)) => {
+            Err(SendError::Full(frame)) => {
                 job.outbox.push_front(frame);
                 if job.conn.closed.load(Ordering::Acquire) {
                     finish(shared, &job, false);
@@ -2060,31 +1578,26 @@ fn flush_outbox(shared: &Arc<Shared>, mut job: Job, tag: &StateTag) -> Flushed {
                 // control-plane condition, so it goes to the journal
                 // (and the park counter) rather than the trace ring.
                 tag.set(WorkerState::Park);
-                let peer = job
-                    .conn
-                    .stream
-                    .peer_addr()
-                    .map(|a| a.to_string())
-                    .unwrap_or_default();
+                let peer = job.conn.peer.clone();
                 shared.server_metrics.backpressure_parks.inc();
                 srj_obs::journal::event(EventKind::BackpressurePark)
                     .dataset(job.record.then_some(job.req.dataset))
                     .label(peer)
                     .emit();
                 trace::event("batch_write", "park");
-                let kick_tx = job.tx.clone();
                 let conn = Arc::clone(&job.conn);
                 conn.parked.lock().expect("parked list poisoned").push(job);
-                // The park happens-before this kick; the writer checks
-                // the parking lot after every dequeue, so either the
-                // kick lands (writer will see the job) or the queue is
-                // still non-empty (writer will dequeue something and
-                // see the job).
-                let _ = kick_tx.try_send(Vec::new());
+                // The park happens-before this kick; the event loop
+                // re-examines the parking lot on every dirty mark and
+                // after every socket write, so either the kick lands
+                // (loop will see the job) or the out-queue is still
+                // draining (loop will pop a frame and see the job).
+                conn.kick();
                 if conn.closed.load(Ordering::Acquire) {
-                    // The writer exited (and drained the lot) between
-                    // our closed-check above and the park: nobody will
-                    // ever re-queue what we just parked — reclaim it.
+                    // The connection tore down (and drained the lot)
+                    // between our closed-check above and the park:
+                    // nobody will ever re-queue what we just parked —
+                    // reclaim it.
                     let stranded: Vec<Job> = conn
                         .parked
                         .lock()
@@ -2097,7 +1610,7 @@ fn flush_outbox(shared: &Arc<Shared>, mut job: Job, tag: &StateTag) -> Flushed {
                 }
                 return Flushed::Gone;
             }
-            Err(TrySendError::Disconnected(_)) => {
+            Err(SendError::Disconnected) => {
                 finish(shared, &job, false);
                 return Flushed::Gone;
             }
@@ -2115,7 +1628,7 @@ fn flush_outbox(shared: &Arc<Shared>, mut job: Job, tag: &StateTag) -> Flushed {
 /// recorded in [`push_done`] instead — before their `DONE` frame can
 /// reach the client — so a `STATS` request issued right after a `DONE`
 /// always observes the request it followed.
-fn finish(shared: &Arc<Shared>, job: &Job, _delivered: bool) {
+pub(crate) fn finish(shared: &Arc<Shared>, job: &Job, _delivered: bool) {
     if !job.record {
         return;
     }
@@ -2227,7 +1740,7 @@ fn acquire_handle(
 /// consistent even while other connections mutate (or a refresh
 /// compacts) concurrently. O(|points|); the serving engines fold the
 /// new delta in on their next handle acquisition.
-fn apply_insert(
+pub(crate) fn apply_insert(
     shared: &Arc<Shared>,
     dataset: u64,
     side: Side,
@@ -2252,7 +1765,7 @@ fn apply_insert(
 /// Applies a `DELETE` as one atomic batch; unknown or
 /// already-tombstoned ids are skipped (not counted in `applied`), so
 /// deletes are idempotent over the wire.
-fn apply_delete(
+pub(crate) fn apply_delete(
     shared: &Arc<Shared>,
     dataset: u64,
     side: Side,
@@ -2275,7 +1788,7 @@ fn apply_delete(
 }
 
 /// Answers an `EPOCH` query from the store's counters.
-fn epoch_info(shared: &Arc<Shared>, dataset: u64) -> Result<EpochInfo, RequestStatus> {
+pub(crate) fn epoch_info(shared: &Arc<Shared>, dataset: u64) -> Result<EpochInfo, RequestStatus> {
     let served = shared
         .registry
         .get(&dataset)
@@ -2428,7 +1941,7 @@ fn algorithm_name(a: Option<srj_engine::Algorithm>) -> &'static str {
 }
 
 /// Converts a retained [`SlowEntry`] into its wire form.
-fn slow_entry_to_wire(e: SlowEntry) -> SlowLogEntry {
+pub(crate) fn slow_entry_to_wire(e: SlowEntry) -> SlowLogEntry {
     SlowLogEntry {
         trace_id: e.trace_id,
         finished_ns: e.finished_ns,

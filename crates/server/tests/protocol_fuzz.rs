@@ -9,9 +9,9 @@ use srj_core::JoinPair;
 use srj_geom::Point;
 use srj_server::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, EpochInfo,
-    ErrorCode, ProtocolError, Request, RequestStats, RequestStatus, Response, SampleRequest,
-    ServerStatsFrame, Side, SlowLogEntry, TraceSpan, UpdateStats, MAX_ERROR_MSG_LEN, MAX_FRAME_LEN,
-    PROTOCOL_VERSION, SERVER_FEATURES,
+    ErrorCode, FrameAccumulator, ProtocolError, Request, RequestStats, RequestStatus, Response,
+    SampleRequest, ServerStatsFrame, Side, SlowLogEntry, TraceSpan, UpdateStats, MAX_ERROR_MSG_LEN,
+    MAX_FRAME_LEN, PROTOCOL_VERSION, SERVER_FEATURES,
 };
 use srj_server::Algorithm;
 
@@ -439,6 +439,139 @@ fn mid_frame_eof_is_error_and_boundary_eof_is_clean() {
             "EOF after {cut}/{} bytes was not an error",
             frame.len()
         );
+    }
+}
+
+/// One request of every frame type — fixed-size, variable-size, and
+/// empty-payload shapes — so the incremental-decode tests below cover
+/// each wire layout the readiness loop's accumulator will see.
+fn request_corpus() -> Vec<Request> {
+    vec![
+        Request::Hello {
+            version: PROTOCOL_VERSION,
+            features: SERVER_FEATURES,
+        },
+        Request::Ping {
+            token: 0xDEAD_BEEF_CAFE_F00D,
+        },
+        Request::Sample(SampleRequest {
+            req_id: 7,
+            dataset: 1,
+            l: 100.0,
+            algorithm: Some(Algorithm::Kds),
+            shards: 2,
+            t: 4096,
+            seed: 99,
+        }),
+        Request::Stats,
+        Request::Shutdown,
+        Request::Insert {
+            req_id: 8,
+            dataset: 2,
+            side: Side::R,
+            points: (0..17).map(|i| Point::new(i as f64, -(i as f64))).collect(),
+        },
+        Request::Delete {
+            req_id: 9,
+            dataset: 3,
+            side: Side::S,
+            ids: (0..23).collect(),
+        },
+        Request::Epoch {
+            req_id: 10,
+            dataset: 4,
+        },
+        Request::Metrics,
+        Request::Trace { trace_id: 0x1234 },
+        Request::SlowLog { max: 5 },
+    ]
+}
+
+/// The accumulator must reassemble every request frame type from the
+/// worst possible fragmentation — one byte per read — yielding no
+/// frame early, exactly one frame at the final byte, and an empty
+/// buffer afterwards.
+#[test]
+fn accumulator_decodes_every_request_byte_at_a_time() {
+    for req in request_corpus() {
+        let wire = encode_request(&req);
+        let mut acc = FrameAccumulator::new();
+        for (i, byte) in wire.iter().enumerate() {
+            assert!(
+                acc.next_frame().unwrap().is_none(),
+                "{req:?}: frame surfaced after {i}/{} bytes",
+                wire.len()
+            );
+            acc.extend(std::slice::from_ref(byte));
+            assert!(
+                acc.has_partial(),
+                "{req:?}: partial not flagged at byte {i}"
+            );
+        }
+        let payload = acc
+            .next_frame()
+            .unwrap()
+            .unwrap_or_else(|| panic!("{req:?}: no frame after all {} bytes", wire.len()));
+        assert_eq!(decode_request(&payload).unwrap(), req);
+        assert!(acc.next_frame().unwrap().is_none());
+        assert!(!acc.has_partial(), "{req:?}: bytes left over");
+        assert_eq!(acc.buffered(), 0);
+    }
+}
+
+/// A length prefix beyond `MAX_FRAME_LEN` is rejected the moment its
+/// fourth byte lands — before any payload is buffered — even when it
+/// arrives mid-stream behind valid frames, one byte at a time.
+#[test]
+fn accumulator_rejects_oversized_prefix_mid_stream() {
+    let mut acc = FrameAccumulator::new();
+    acc.extend(&encode_request(&Request::Ping { token: 1 }));
+    assert!(acc.next_frame().unwrap().is_some());
+    let claim = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+    for (i, byte) in claim.iter().enumerate() {
+        if i < 3 {
+            acc.extend(std::slice::from_ref(byte));
+            assert!(acc.next_frame().unwrap().is_none());
+        } else {
+            acc.extend(std::slice::from_ref(byte));
+            assert!(matches!(
+                acc.next_frame(),
+                Err(ProtocolError::TooLarge(len)) if len == MAX_FRAME_LEN + 1
+            ));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The whole request corpus concatenated into one byte stream and
+    /// delivered in arbitrary chunks — including splits inside length
+    /// prefixes and across frame boundaries — must come back out as
+    /// exactly the original frame sequence, popping eagerly after
+    /// every chunk (the readiness loop's access pattern, which also
+    /// exercises the lazy compaction).
+    #[test]
+    fn accumulator_reassembles_random_splits(
+        raw_cuts in prop::collection::vec(any::<usize>(), 0..24),
+    ) {
+        let corpus = request_corpus();
+        let stream: Vec<u8> = corpus.iter().flat_map(encode_request).collect();
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % stream.len()).collect();
+        cuts.push(0);
+        cuts.push(stream.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut acc = FrameAccumulator::new();
+        let mut decoded = Vec::new();
+        for window in cuts.windows(2) {
+            acc.extend(&stream[window[0]..window[1]]);
+            while let Some(payload) = acc.next_frame().unwrap() {
+                decoded.push(decode_request(&payload).unwrap());
+            }
+        }
+        prop_assert_eq!(decoded, corpus);
+        prop_assert!(!acc.has_partial());
     }
 }
 
